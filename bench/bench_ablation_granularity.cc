@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation: sampling granularity.
+ *
+ * The paper fixes the PMI period at 100M uops after experimenting
+ * with "various instruction granularities", calling it "a safe
+ * granularity": coarse enough that handler and transition costs
+ * vanish, fine enough to track phase behaviour. This ablation
+ * re-runs applu management across granularities and reports the
+ * trade-off: finer sampling sees more phase detail (more
+ * transitions, slightly different accuracy) but pays measurable
+ * overhead; coarser sampling blurs phases away.
+ *
+ * Workload note: the synthetic trace defines behaviour per 100M-uop
+ * interval, so sub-100M sampling sees piecewise-constant behaviour
+ * within an interval — the overhead trend is exact, the accuracy
+ * trend is a lower bound on what finer real phases would show.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "common/cli.hh"
+#include "common/table_writer.hh"
+#include "core/system.hh"
+#include "workload/spec2000.hh"
+
+using namespace livephase;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const size_t samples =
+        static_cast<size_t>(args.getInt("samples", 300));
+    const uint64_t seed =
+        static_cast<uint64_t>(args.getInt("seed", 1));
+    const std::string bench_name =
+        args.getString("bench", "applu_in");
+
+    printExperimentHeader(
+        std::cout, "Ablation: PMI sampling granularity",
+        "paper picks 100M uops (~100 ms) so that ~10-100 us of "
+        "handler + DVFS work stays invisible; finer granularities "
+        "pay linearly more overhead");
+
+    const IntervalTrace trace =
+        Spec2000Suite::byName(bench_name).makeTrace(samples, seed);
+
+    TableWriter table({"sample_uops", "samples_taken", "accuracy",
+                       "edp_improvement", "perf_degradation",
+                       "transitions", "handler_time_share"});
+
+    for (uint64_t granularity :
+         {1'000'000ULL, 10'000'000ULL, 50'000'000ULL,
+          100'000'000ULL, 500'000'000ULL}) {
+        System::Config cfg;
+        cfg.kernel.sample_uops = granularity;
+        const System system(cfg);
+        const auto baseline = system.runBaseline(trace);
+        const auto managed = system.run(
+            trace, makeGphtGovernor(DvfsTable::pentiumM()));
+        const RelativeMetrics rel =
+            relativeTo(managed.exact, baseline.exact);
+        const double handler_share =
+            static_cast<double>(managed.samples.size()) *
+            cfg.kernel.handler_overhead_us * 1e-6 /
+            managed.exact.seconds;
+        table.addRow({
+            std::to_string(granularity / 1'000'000) + "M",
+            std::to_string(managed.samples.size()),
+            formatPercent(managed.prediction_accuracy),
+            formatPercent(rel.edpImprovement()),
+            formatPercent(rel.perfDegradation()),
+            std::to_string(managed.dvfs_transitions),
+            formatPercent(handler_share, 4),
+        });
+    }
+    table.print(std::cout);
+    if (args.getBool("csv"))
+        table.printCsv(std::cout);
+
+    printComparison(std::cout,
+                    "overhead share at the deployed 100M granularity",
+                    "invisible (~0.005%)", "see table row 100M");
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Ablation: the Section 4 pitfall — UPC-defined phases under
+ * management.
+ *
+ * The paper measures that UPC moves with the operating point while
+ * Mem/Uop does not, and *argues* that UPC-based phases would
+ * therefore be unusable for dynamic management: management actions
+ * would alter the very phases that triggered them. This experiment
+ * runs that forbidden design and quantifies the damage:
+ *
+ *  - on steady workloads the UPC governor oscillates between
+ *    settings (a phase looks memory-bound at full speed, the
+ *    governor slows down, UPC rises past the boundary, the phase
+ *    now looks CPU-bound, the governor speeds back up, ...);
+ *  - on variable workloads the action-dependent phase stream
+ *    conceals the real patterns, degrading prediction and EDP.
+ */
+
+#include <iostream>
+
+#include "analysis/report.hh"
+#include "common/cli.hh"
+#include "common/table_writer.hh"
+#include "core/system.hh"
+#include "workload/spec2000.hh"
+
+using namespace livephase;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const size_t samples =
+        static_cast<size_t>(args.getInt("samples", 400));
+    const uint64_t seed =
+        static_cast<uint64_t>(args.getInt("seed", 1));
+
+    printExperimentHeader(
+        std::cout,
+        "Ablation: UPC-defined phases under management (Section 4's "
+        "pitfall, run on purpose)",
+        "\"Directly using UPC in phase classification is not "
+        "reliable for dynamic management, as the resulting phases "
+        "vary with different power management settings\"");
+
+    const System system;
+    auto upc = []() {
+        return makeUpcGovernor(DvfsTable::pentiumM());
+    };
+    auto mem = []() {
+        return makeGphtGovernor(DvfsTable::pentiumM());
+    };
+
+    TableWriter table({"benchmark", "governor", "accuracy",
+                       "transitions_per_100_samples",
+                       "edp_improvement", "perf_degradation"});
+    for (const char *name :
+         {"swim_in", "mcf_inp", "applu_in", "equake_in",
+          "mgrid_in"}) {
+        const IntervalTrace trace =
+            Spec2000Suite::byName(name).makeTrace(samples, seed);
+        for (const auto &candidate :
+             {std::pair<const char *, GovernorFactory>{"Mem/Uop",
+                                                       mem},
+              std::pair<const char *, GovernorFactory>{"UPC", upc}}) {
+            const ManagementResult r = compareToBaseline(
+                system, trace, candidate.second);
+            table.addRow({
+                name,
+                candidate.first,
+                formatPercent(r.accuracy()),
+                formatDouble(
+                    100.0 *
+                        static_cast<double>(
+                            r.managed.dvfs_transitions) /
+                        static_cast<double>(r.managed.samples.size()),
+                    0),
+                formatPercent(r.relative.edpImprovement()),
+                formatPercent(r.relative.perfDegradation()),
+            });
+        }
+    }
+    table.print(std::cout);
+    if (args.getBool("csv"))
+        table.printCsv(std::cout);
+
+    printBanner(std::cout, "the oscillation, close up");
+    // A perfectly steady workload: the Mem/Uop governor settles in
+    // one transition; the UPC governor keeps flapping.
+    IntervalTrace steady("steady_memory_bound");
+    for (size_t i = 0; i < 60; ++i) {
+        Interval ivl;
+        ivl.uops = 100e6;
+        ivl.mem_per_uop = 0.030;
+        ivl.core_ipc = 1.2;
+        steady.append(ivl);
+    }
+    const auto mem_run = system.run(steady, mem());
+    const auto upc_run = system.run(steady, upc());
+    printComparison(std::cout,
+                    "transitions on a steady workload (Mem/Uop)",
+                    "one (settle and stay)",
+                    std::to_string(mem_run.dvfs_transitions));
+    printComparison(std::cout,
+                    "transitions on a steady workload (UPC)",
+                    "continuous oscillation",
+                    std::to_string(upc_run.dvfs_transitions));
+    std::cout << "  first 16 UPC-phase samples (note the flapping "
+                 "between phases as the governor acts):\n    ";
+    const size_t shown =
+        std::min<size_t>(16, upc_run.samples.size());
+    for (size_t i = 0; i < shown; ++i)
+        std::cout << upc_run.samples[i].actual_phase << ' ';
+    std::cout << "\n";
+    return 0;
+}

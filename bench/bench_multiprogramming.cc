@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Extension experiment: phase prediction and management under
+ * multiprogramming.
+ *
+ * The paper's module monitors native execution — whatever the OS
+ * schedules — and Section 5.1 highlights system-induced
+ * variability. Here two applications time-share the core under a
+ * round-robin scheduler and the kernel module manages the *merged*
+ * stream: the quantum-aligned interleaving is itself a repetitive
+ * pattern, so the GPHT keeps predicting well, and DVFS management
+ * still pays off.
+ */
+
+#include <iostream>
+
+#include "analysis/report.hh"
+#include "common/cli.hh"
+#include "common/table_writer.hh"
+#include "cpu/core.hh"
+#include "kernel/phase_kernel_module.hh"
+#include "kernel/scheduler.hh"
+#include "workload/spec2000.hh"
+
+using namespace livephase;
+
+namespace
+{
+
+struct CoRunResult
+{
+    PowerPerf perf{};
+    double accuracy = 1.0;
+    size_t transitions = 0;
+    uint64_t switches = 0;
+};
+
+CoRunResult
+coRun(const IntervalTrace &a, const IntervalTrace &b,
+      Governor governor, uint64_t quantum_uops)
+{
+    Core core;
+    PhaseKernelModule module(core, std::move(governor));
+    module.load();
+    Scheduler::Config scfg;
+    scfg.quantum_uops = quantum_uops;
+    Scheduler sched(core, scfg);
+    sched.addTask(a);
+    sched.addTask(b);
+    sched.runToCompletion();
+    CoRunResult result;
+    result.perf.instructions = core.totals().instructions;
+    result.perf.seconds = core.totals().seconds;
+    result.perf.joules = core.totals().joules;
+    result.accuracy = module.log().predictionAccuracy();
+    result.transitions = core.dvfs().transitionCount();
+    result.switches = sched.contextSwitches();
+    module.unload();
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const size_t samples =
+        static_cast<size_t>(args.getInt("samples", 300));
+    const uint64_t seed =
+        static_cast<uint64_t>(args.getInt("seed", 1));
+    // Quantum equal to the sampling period: each 100M-uop sample
+    // sees one application, so the merged stream alternates phases
+    // every sample — the hardest case for reactive management and
+    // an easy pattern for the GPHT.
+    const uint64_t quantum = static_cast<uint64_t>(
+        args.getInt("quantum-uops", 100'000'000));
+
+    printExperimentHeader(
+        std::cout,
+        "Extension: management of a multiprogrammed (co-scheduled) "
+        "stream",
+        "the deployed module monitors whatever runs; quantum-"
+        "aligned interleaving stays predictable and manageable");
+
+    const IntervalTrace cpu_app =
+        Spec2000Suite::byName("crafty_in").makeTrace(samples, seed);
+    const IntervalTrace mem_app =
+        Spec2000Suite::byName("swim_in").makeTrace(samples, seed);
+
+    TableWriter table({"configuration", "accuracy", "runtime_s",
+                       "avg_watts", "edp_vs_baseline",
+                       "transitions", "ctx_switches"});
+
+    const CoRunResult baseline =
+        coRun(cpu_app, mem_app, makeBaselineGovernor(), quantum);
+    const CoRunResult reactive = coRun(
+        cpu_app, mem_app,
+        makeReactiveGovernor(DvfsTable::pentiumM()), quantum);
+    const CoRunResult gpht = coRun(
+        cpu_app, mem_app, makeGphtGovernor(DvfsTable::pentiumM()),
+        quantum);
+
+    auto row = [&](const char *label, const CoRunResult &r) {
+        const double edp_ratio =
+            r.perf.edp() / baseline.perf.edp();
+        table.addRow({
+            label,
+            formatPercent(r.accuracy),
+            formatDouble(r.perf.seconds, 2),
+            formatDouble(r.perf.watts(), 2),
+            formatPercent(1.0 - edp_ratio),
+            std::to_string(r.transitions),
+            std::to_string(r.switches),
+        });
+    };
+    row("baseline (co-run)", baseline);
+    row("reactive (co-run)", reactive);
+    row("gpht (co-run)", gpht);
+    table.print(std::cout);
+    if (args.getBool("csv"))
+        table.printCsv(std::cout);
+
+    printComparison(
+        std::cout, "GPHT accuracy on the merged stream",
+        "monitoring is application-agnostic (Section 5)",
+        formatPercent(gpht.accuracy));
+    printComparison(
+        std::cout, "management benefit survives co-scheduling",
+        "framework operates on native system execution",
+        formatPercent(1.0 - gpht.perf.edp() / baseline.perf.edp()) +
+            " EDP improvement");
+    return 0;
+}

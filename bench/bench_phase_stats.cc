@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Workload phase characterization (Section 2 domain).
+ *
+ * Prints, for every benchmark, the phase-occupancy summary — how
+ * many phases it visits, residency of the dominant phase, mean run
+ * lengths, transition rate and the conditional next-phase entropy.
+ * The last two columns explain the Figure 4 results analytically:
+ * last-value accuracy is exactly 1 - transition_rate, and a low
+ * conditional entropy at a high transition rate is precisely the
+ * regime where pattern-based prediction (GPHT) wins.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/phase_stats.hh"
+#include "analysis/report.hh"
+#include "common/cli.hh"
+#include "common/table_writer.hh"
+#include "workload/spec2000.hh"
+
+using namespace livephase;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const size_t samples =
+        static_cast<size_t>(args.getInt("samples", 600));
+    const uint64_t seed =
+        static_cast<uint64_t>(args.getInt("seed", 1));
+
+    printExperimentHeader(
+        std::cout, "Phase characterization of the workload suite",
+        "Section 2's classification domain: occupancy, run lengths "
+        "and transition structure per benchmark");
+
+    const PhaseClassifier classifier = PhaseClassifier::table1();
+    TableWriter table({"benchmark", "phases", "dominant_phase",
+                       "dominant_residency", "mean_run",
+                       "transition_rate", "cond_entropy_bits"});
+
+    for (const auto &bench : Spec2000Suite::all()) {
+        const IntervalTrace trace = bench.makeTrace(samples, seed);
+        const PhaseStats stats =
+            computePhaseStats(trace, classifier);
+        // Dominant phase and a residency-weighted mean run length.
+        PhaseId dominant = 1;
+        double weighted_run = 0.0;
+        for (const auto &row : stats.occupancy) {
+            if (row.samples > stats.of(dominant).samples)
+                dominant = row.phase;
+            weighted_run += row.residency * row.mean_run_length;
+        }
+        table.addRow({
+            bench.name(),
+            std::to_string(stats.phasesVisited()),
+            std::to_string(dominant),
+            formatPercent(stats.of(dominant).residency),
+            formatDouble(weighted_run, 1),
+            formatPercent(stats.transition_rate),
+            formatDouble(stats.conditionalEntropyBits(), 2),
+        });
+    }
+    table.print(std::cout);
+    if (args.getBool("csv"))
+        table.printCsv(std::cout);
+
+    printBanner(std::cout, "reading the table");
+    std::cout
+        << "  last-value accuracy == 100% - transition_rate;\n"
+        << "  cond_entropy ~ 0 with a high transition rate marks "
+           "the GPHT sweet spot\n"
+        << "  (deterministic patterns statistical predictors "
+           "cannot follow);\n"
+        << "  cond_entropy near its maximum marks irreducibly "
+           "random behaviour (gcc).\n";
+    return 0;
+}

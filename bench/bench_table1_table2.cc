@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tables 1 & 2 — phase definitions and their DVFS translation.
+ *
+ * Prints the deployed system's phase boundary table (Mem/Uop ranges
+ * -> phase ids) and the phase -> operating point lookup table, plus
+ * the Section 6.3 conservative variant for a 5% degradation bound.
+ */
+
+#include <iostream>
+
+#include "analysis/report.hh"
+#include "common/cli.hh"
+#include "common/table_writer.hh"
+#include "core/dvfs_policy.hh"
+#include "core/phase_classifier.hh"
+#include "cpu/dvfs_table.hh"
+
+using namespace livephase;
+
+namespace
+{
+
+void
+printPhaseTables(const PhaseClassifier &classifier,
+                 const DvfsPolicy &policy, const DvfsTable &table,
+                 bool csv)
+{
+    TableWriter out({"mem_per_uop_range", "phase", "dvfs_setting"});
+    const auto &bounds = classifier.boundaries();
+    for (PhaseId phase = 1; phase <= classifier.numPhases();
+         ++phase) {
+        const size_t k = static_cast<size_t>(phase);
+        std::string range;
+        if (phase == 1) {
+            range = "< " + formatDouble(bounds[0], 4);
+        } else if (phase == classifier.numPhases()) {
+            range = ">= " + formatDouble(bounds.back(), 4);
+        } else {
+            range = "[" + formatDouble(bounds[k - 2], 4) + ", " +
+                formatDouble(bounds[k - 1], 4) + ")";
+        }
+        out.addRow({range, std::to_string(phase),
+                    table.at(policy.settingForPhase(phase))
+                        .toString()});
+    }
+    out.print(std::cout);
+    if (csv)
+        out.printCsv(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const bool csv = args.getBool("csv");
+
+    printExperimentHeader(
+        std::cout, "Tables 1 & 2: phase definitions -> DVFS settings",
+        "6 Mem/Uop phase classes mapped onto the 6 Pentium-M "
+        "SpeedStep points (1500 MHz/1484 mV .. 600 MHz/956 mV)");
+
+    const DvfsTable &table = DvfsTable::pentiumM();
+    const PhaseClassifier classifier = PhaseClassifier::table1();
+    const DvfsPolicy policy = DvfsPolicy::table2(classifier, table);
+    printPhaseTables(classifier, policy, table, csv);
+
+    printBanner(std::cout,
+                "Section 6.3 conservative definitions (5% bound)");
+    const TimingModel timing;
+    const BoundedDvfsConfig bounded =
+        deriveBoundedDvfs(timing, table, 0.05, 1.0, 0.4);
+    printPhaseTables(bounded.classifier, bounded.policy, table, csv);
+
+    printComparison(std::cout, "phase classes", "6", "6");
+    printComparison(std::cout, "fastest/slowest setting",
+                    "1500 MHz/1484 mV & 600 MHz/956 mV",
+                    table.fastest().toString() + " & " +
+                        table.slowest().toString());
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Custom workloads and custom phase policies: everything in the
+ * framework is data, so a downstream user can define their own
+ * behaviour patterns, phase boundaries and phase->DVFS mapping
+ * without touching library code — the reconfigurability the paper
+ * emphasizes in Sections 5.2 and 6.3.
+ *
+ * This example builds a three-section workload (startup, periodic
+ * compute kernel, memory-bound output) from the pattern library,
+ * then manages it with (a) the stock Table 1/2 governor and (b) a
+ * custom 3-phase definition with its own DVFS mapping.
+ */
+
+#include <iostream>
+
+#include "analysis/power_perf.hh"
+#include "common/cli.hh"
+#include "common/random.hh"
+#include "common/table_writer.hh"
+#include "core/gpht_predictor.hh"
+#include "core/system.hh"
+#include "workload/patterns.hh"
+
+using namespace livephase;
+
+namespace
+{
+
+/** Assemble the workload from the pattern toolbox. */
+IntervalTrace
+makePipeline(size_t samples, uint64_t seed)
+{
+    std::vector<SegmentPattern::Segment> sections;
+    // Startup: CPU-bound initialization.
+    sections.push_back(
+        {std::make_unique<ConstantPattern>(0.0015), 40});
+    // Compute kernel: repetitive loop nest alternating compute and
+    // gather steps.
+    sections.push_back(
+        {std::make_unique<PeriodicSequencePattern>(
+             std::vector<double>{0.002, 0.002, 0.017, 0.017, 0.002,
+                                 0.026}),
+         120});
+    // Output: streaming writes, strongly memory-bound.
+    sections.push_back(
+        {std::make_unique<ConstantPattern>(0.034), 40});
+
+    MemPatternPtr pattern = std::make_unique<NoisyPattern>(
+        std::make_unique<SegmentPattern>(std::move(sections)),
+        0.0003);
+
+    MachineBehavior machine;
+    machine.ipc_at_zero_mem = 1.6;
+    machine.block_factor = 0.85;
+
+    Rng rng(seed);
+    IntervalTrace trace("pipeline_app");
+    for (size_t i = 0; i < samples; ++i)
+        trace.append(
+            machine.makeInterval(pattern->next(rng), 100e6, rng));
+    return trace;
+}
+
+/** A custom governor: 3 coarse phases onto 3 chosen settings. */
+Governor
+makeThreePhaseGovernor()
+{
+    // Phases: compute (< 0.008), mixed [0.008, 0.02), memory-bound
+    // (>= 0.02).
+    PhaseClassifier classifier({0.008, 0.020});
+    const DvfsTable &table = DvfsTable::pentiumM();
+    // Map onto 1500 MHz, 1200 MHz and 800 MHz — deliberately never
+    // using the slowest point to keep worst-case latency bounded.
+    DvfsPolicy policy("three-phase", {0, 2, 4}, table.size());
+    return Governor("three-phase-gpht", std::move(classifier),
+                    std::make_unique<GphtPredictor>(8, 128),
+                    std::move(policy), true);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const size_t samples =
+        static_cast<size_t>(args.getInt("samples", 600));
+    const uint64_t seed =
+        static_cast<uint64_t>(args.getInt("seed", 1));
+
+    const IntervalTrace trace = makePipeline(samples, seed);
+    const System system;
+
+    const ManagementResult stock = compareToBaseline(
+        system, trace,
+        []() { return makeGphtGovernor(DvfsTable::pentiumM()); });
+    const ManagementResult custom = compareToBaseline(
+        system, trace, []() { return makeThreePhaseGovernor(); });
+
+    std::cout << "custom workload: " << trace.size()
+              << " samples, mean Mem/Uop "
+              << formatDouble(trace.meanMemPerUop(), 4) << "\n\n";
+    TableWriter table({"governor", "accuracy", "power_savings",
+                       "perf_degradation", "edp_improvement"});
+    for (const ManagementResult *r : {&stock, &custom}) {
+        table.addRow({
+            r->governor,
+            formatPercent(r->accuracy()),
+            formatPercent(r->relative.powerSavings()),
+            formatPercent(r->relative.perfDegradation()),
+            formatPercent(r->relative.edpImprovement()),
+        });
+    }
+    table.print(std::cout);
+    std::cout << "\nThe 6-phase Table 1/2 governor extracts more "
+                 "savings;\nthe custom 3-phase governor trades some "
+                 "EDP for a bounded\nworst-case frequency drop "
+                 "(never below 800 MHz).\n";
+    return 0;
+}

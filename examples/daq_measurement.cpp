@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Full measurement platform demo (the paper's Figure 9): run a
+ * workload with the DAQ chain enabled and show how the externally
+ * measured numbers line up with the simulator's exact accounting —
+ * including per-phase power attribution via the parallel-port
+ * synchronization bits.
+ *
+ * Usage:
+ *     ./build/examples/daq_measurement [--bench mgrid_in]
+ *         [--samples 120] [--noise 0.0003]
+ */
+
+#include <iostream>
+
+#include "common/cli.hh"
+#include "common/table_writer.hh"
+#include "core/system.hh"
+#include "workload/spec2000.hh"
+
+using namespace livephase;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::string bench_name =
+        args.getString("bench", "mgrid_in");
+    const size_t samples =
+        static_cast<size_t>(args.getInt("samples", 120));
+
+    System::Config cfg;
+    cfg.use_daq = true;
+    cfg.daq.noise_sigma_v = args.getDouble("noise", 0.0003);
+    const System system(cfg);
+
+    const IntervalTrace trace =
+        Spec2000Suite::byName(bench_name).makeTrace(samples);
+    const System::RunResult run =
+        system.run(trace, makeGphtGovernor(DvfsTable::pentiumM()));
+
+    std::cout << "workload: " << bench_name << " under GPHT "
+              << "management, DAQ sampling at 40 us\n\n";
+
+    TableWriter summary({"quantity", "exact_simulation",
+                         "daq_measured", "difference"});
+    auto row = [&](const char *what, double exact, double measured,
+                   int precision) {
+        summary.addRow({what, formatDouble(exact, precision),
+                        formatDouble(measured, precision),
+                        formatPercent(measured / exact - 1.0, 2)});
+    };
+    row("runtime (s)", run.exact.seconds, run.measured.seconds, 4);
+    row("energy (J)", run.exact.joules, run.measured.joules, 3);
+    row("average power (W)", run.exact.watts(),
+        run.measured.watts(), 3);
+    summary.print(std::cout);
+
+    std::cout << "\nPMI-handler residency measured by the DAQ "
+              << "(parallel-port bit 1): "
+              << formatDouble(run.handler_seconds_measured * 1e3, 3)
+              << " ms over "
+              << formatDouble(run.measured.seconds, 2)
+              << " s of execution ("
+              << formatPercent(run.handler_seconds_measured /
+                               run.measured.seconds, 3)
+              << " — the paper's 'no visible overheads')\n";
+
+    std::cout << "\nper-phase power windows (first 12, bit-0 "
+                 "delimited):\n";
+    TableWriter phases({"window", "duration_ms", "watts"});
+    const size_t shown = std::min<size_t>(12, run.phase_power.size());
+    for (size_t i = 0; i < shown; ++i) {
+        const auto &w = run.phase_power[i];
+        phases.addRow({std::to_string(i),
+                       formatDouble(w.seconds() * 1e3, 2),
+                       formatDouble(w.watts(), 2)});
+    }
+    phases.print(std::cout);
+    std::cout << "(" << run.phase_power.size()
+              << " windows total — one per 100M-uop sample)\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Governor comparison: run one workload under every management
+ * strategy the library ships — unmanaged baseline, last-value
+ * reactive, proactive GPHT, and the performance-bounded
+ * conservative variant — and print the power/performance trade-off
+ * of each.
+ *
+ * Usage:
+ *     ./build/examples/governor_comparison --bench mcf_inp \
+ *         [--samples 400] [--bound 0.05]
+ */
+
+#include <iostream>
+
+#include "analysis/power_perf.hh"
+#include "common/cli.hh"
+#include "common/table_writer.hh"
+#include "core/system.hh"
+#include "workload/spec2000.hh"
+
+using namespace livephase;
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::string bench_name =
+        args.getString("bench", "equake_in");
+    const size_t samples =
+        static_cast<size_t>(args.getInt("samples", 400));
+    const double bound = args.getDouble("bound", 0.05);
+
+    const IntervalTrace trace =
+        Spec2000Suite::byName(bench_name).makeTrace(samples);
+    const System system;
+    const TimingModel timing;
+
+    struct Candidate
+    {
+        const char *label;
+        GovernorFactory make;
+    };
+    const std::vector<Candidate> candidates{
+        {"reactive (last value)",
+         []() { return makeReactiveGovernor(DvfsTable::pentiumM()); }},
+        {"proactive GPHT(8,128)",
+         []() { return makeGphtGovernor(DvfsTable::pentiumM()); }},
+        {"GPHT large PHT (8,1024)",
+         []() {
+             return makeGphtGovernor(DvfsTable::pentiumM(), 8, 1024);
+         }},
+        {"bounded degradation",
+         [&timing, bound]() {
+             return makeBoundedGovernor(timing,
+                                        DvfsTable::pentiumM(),
+                                        bound);
+         }},
+    };
+
+    std::cout << "workload: " << bench_name << ", " << samples
+              << " samples of 100M uops\n\n";
+    TableWriter table({"governor", "accuracy", "transitions",
+                       "power_savings", "perf_degradation",
+                       "edp_improvement"});
+    for (const auto &candidate : candidates) {
+        const ManagementResult r =
+            compareToBaseline(system, trace, candidate.make);
+        table.addRow({
+            candidate.label,
+            formatPercent(r.accuracy()),
+            std::to_string(r.managed.dvfs_transitions),
+            formatPercent(r.relative.powerSavings()),
+            formatPercent(r.relative.perfDegradation()),
+            formatPercent(r.relative.edpImprovement()),
+        });
+    }
+    table.print(std::cout);
+    std::cout << "\n(baseline: "
+              << formatDouble(system.runBaseline(trace).exact.watts(),
+                              2)
+              << " W at the fastest operating point)\n";
+    return 0;
+}

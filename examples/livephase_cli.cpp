@@ -1,0 +1,208 @@
+/**
+ * @file
+ * livephase_cli — command-line driver over trace CSV files.
+ *
+ * The adoption path for users with their own measurements: convert
+ * PMC logs to the trace CSV format (see workload/trace_io.hh), then
+ * characterize, predict and manage them from the shell.
+ *
+ * Subcommands:
+ *   generate <benchmark> <out.csv> [--samples N] [--seed S]
+ *       synthesize a suite benchmark into a CSV trace
+ *   info <trace.csv>
+ *       phase characterization summary
+ *   predict <trace.csv> [--predictor lastvalue|gpht|all]
+ *       prediction accuracy on the trace
+ *   manage <trace.csv> [--governor reactive|gpht|bounded]
+ *       managed-vs-baseline power/performance
+ *   list
+ *       list the built-in synthetic benchmarks
+ */
+
+#include <iostream>
+
+#include "analysis/accuracy.hh"
+#include "analysis/phase_stats.hh"
+#include "analysis/power_perf.hh"
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/table_writer.hh"
+#include "core/gpht_predictor.hh"
+#include "core/last_value_predictor.hh"
+#include "core/system.hh"
+#include "workload/spec2000.hh"
+#include "workload/trace_io.hh"
+
+using namespace livephase;
+
+namespace
+{
+
+int
+usage(const std::string &prog)
+{
+    std::cerr
+        << "usage: " << prog << " <command> [args]\n"
+        << "  generate <benchmark> <out.csv> [--samples N] [--seed S]\n"
+        << "  info <trace.csv>\n"
+        << "  predict <trace.csv> [--predictor lastvalue|gpht|all]\n"
+        << "  manage <trace.csv> [--governor reactive|gpht|bounded]"
+           " [--bound 0.05]\n"
+        << "  list\n";
+    return 2;
+}
+
+int
+cmdGenerate(const CliArgs &args)
+{
+    if (args.positional().size() < 3)
+        return usage(args.program());
+    const SpecBenchmark &bench =
+        Spec2000Suite::byName(args.positional()[1]);
+    const IntervalTrace trace = bench.makeTrace(
+        static_cast<size_t>(args.getInt("samples", 0)),
+        static_cast<uint64_t>(args.getInt("seed", 1)));
+    saveTrace(trace, args.positional()[2]);
+    std::cout << "wrote " << trace.size() << " samples of "
+              << trace.name() << " to " << args.positional()[2]
+              << "\n";
+    return 0;
+}
+
+int
+cmdInfo(const CliArgs &args)
+{
+    if (args.positional().size() < 2)
+        return usage(args.program());
+    const IntervalTrace trace = loadTrace(args.positional()[1]);
+    const PhaseStats stats =
+        computePhaseStats(trace, PhaseClassifier::table1());
+    std::cout << trace.name() << ": " << trace.size()
+              << " samples, mean Mem/Uop "
+              << formatDouble(trace.meanMemPerUop(), 4)
+              << ", transition rate "
+              << formatPercent(stats.transition_rate)
+              << ", next-phase entropy "
+              << formatDouble(stats.conditionalEntropyBits(), 2)
+              << " bits\n\n";
+    TableWriter table({"phase", "residency", "runs", "mean_run",
+                       "max_run"});
+    for (const auto &row : stats.occupancy) {
+        if (row.samples == 0)
+            continue;
+        table.addRow({std::to_string(row.phase),
+                      formatPercent(row.residency),
+                      std::to_string(row.runs),
+                      formatDouble(row.mean_run_length, 1),
+                      std::to_string(row.max_run_length)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdPredict(const CliArgs &args)
+{
+    if (args.positional().size() < 2)
+        return usage(args.program());
+    const IntervalTrace trace = loadTrace(args.positional()[1]);
+    const std::string which =
+        args.getString("predictor", "all");
+    const PhaseClassifier classifier = PhaseClassifier::table1();
+    TableWriter table({"predictor", "accuracy", "mispredictions"});
+    auto report = [&](PhasePredictor &p) {
+        const auto eval = evaluatePredictor(trace, classifier, p);
+        table.addRow({eval.predictor,
+                      formatPercent(eval.accuracy()),
+                      std::to_string(eval.mispredictions) + "/" +
+                          std::to_string(eval.evaluated)});
+    };
+    if (which == "lastvalue") {
+        LastValuePredictor p;
+        report(p);
+    } else if (which == "gpht") {
+        GphtPredictor p(8, 128);
+        report(p);
+    } else if (which == "all") {
+        for (auto &p : makeFigure4Predictors())
+            report(*p);
+    } else {
+        fatal("unknown predictor '%s'", which.c_str());
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdManage(const CliArgs &args)
+{
+    if (args.positional().size() < 2)
+        return usage(args.program());
+    const IntervalTrace trace = loadTrace(args.positional()[1]);
+    const std::string which = args.getString("governor", "gpht");
+    const double bound = args.getDouble("bound", 0.05);
+    const TimingModel timing;
+    GovernorFactory factory;
+    if (which == "reactive") {
+        factory = []() {
+            return makeReactiveGovernor(DvfsTable::pentiumM());
+        };
+    } else if (which == "gpht") {
+        factory = []() {
+            return makeGphtGovernor(DvfsTable::pentiumM());
+        };
+    } else if (which == "bounded") {
+        factory = [&timing, bound]() {
+            return makeBoundedGovernor(timing, DvfsTable::pentiumM(),
+                                       bound);
+        };
+    } else {
+        fatal("unknown governor '%s'", which.c_str());
+    }
+    const System system;
+    const ManagementResult r =
+        compareToBaseline(system, trace, factory);
+    std::cout << trace.name() << " under " << r.governor << ":\n";
+    std::cout << "  prediction accuracy:  "
+              << formatPercent(r.accuracy()) << "\n";
+    std::cout << "  power savings:        "
+              << formatPercent(r.relative.powerSavings()) << "\n";
+    std::cout << "  perf degradation:     "
+              << formatPercent(r.relative.perfDegradation()) << "\n";
+    std::cout << "  EDP improvement:      "
+              << formatPercent(r.relative.edpImprovement()) << "\n";
+    std::cout << "  DVFS transitions:     "
+              << r.managed.dvfs_transitions << "\n";
+    return 0;
+}
+
+int
+cmdList()
+{
+    for (const auto &bench : Spec2000Suite::all())
+        std::cout << bench.name() << " ("
+                  << quadrantName(bench.quadrant()) << ")\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    if (args.positional().empty())
+        return usage(args.program());
+    const std::string &command = args.positional()[0];
+    if (command == "generate")
+        return cmdGenerate(args);
+    if (command == "info")
+        return cmdInfo(args);
+    if (command == "predict")
+        return cmdPredict(args);
+    if (command == "manage")
+        return cmdManage(args);
+    if (command == "list")
+        return cmdList();
+    return usage(args.program());
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Phase explorer: inspect any benchmark's phase behaviour and see
+ * how each predictor tracks it, sample by sample.
+ *
+ * Usage:
+ *     ./build/examples/phase_explorer --bench equake_in \
+ *         [--samples 200] [--window 40] [--seed 1]
+ *
+ * Prints the Mem/Uop series with its phase classification, then an
+ * ASCII strip chart of actual vs GPHT-predicted phases, then the
+ * accuracy of the full Figure 4 predictor roster on the trace.
+ */
+
+#include <iostream>
+
+#include "analysis/accuracy.hh"
+#include "analysis/quadrants.hh"
+#include "common/cli.hh"
+#include "common/table_writer.hh"
+#include "core/gpht_predictor.hh"
+#include "workload/spec2000.hh"
+
+using namespace livephase;
+
+namespace
+{
+
+/** One text row per phase level, '#' where the series visits it. */
+void
+printStripChart(const std::vector<PhaseId> &series,
+                const std::string &title, int num_phases)
+{
+    std::cout << "\n" << title << "\n";
+    for (int phase = num_phases; phase >= 1; --phase) {
+        std::cout << "  phase " << phase << " |";
+        for (PhaseId p : series)
+            std::cout << (p == phase ? '#' : ' ');
+        std::cout << "|\n";
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const std::string bench_name =
+        args.getString("bench", "applu_in");
+    const size_t samples =
+        static_cast<size_t>(args.getInt("samples", 200));
+    const size_t window =
+        static_cast<size_t>(args.getInt("window", 60));
+    const uint64_t seed =
+        static_cast<uint64_t>(args.getInt("seed", 1));
+
+    if (args.getBool("list")) {
+        for (const auto &name : Spec2000Suite::names())
+            std::cout << name << "\n";
+        return 0;
+    }
+
+    const SpecBenchmark &bench = Spec2000Suite::byName(bench_name);
+    const IntervalTrace trace = bench.makeTrace(samples, seed);
+    const PhaseClassifier classifier = PhaseClassifier::table1();
+
+    const QuadrantPoint point = quadrantPoint(trace);
+    std::cout << bench_name << ": mean Mem/Uop "
+              << formatDouble(point.mean_mem_per_uop, 4)
+              << ", sample variation "
+              << formatDouble(point.variation_pct, 1) << "% -> "
+              << quadrantName(point.quadrant) << "\n";
+
+    GphtPredictor gpht(8, 128);
+    const auto eval = evaluatePredictor(trace, classifier, gpht);
+
+    const size_t shown = std::min(window, trace.size());
+    std::vector<PhaseId> actual(eval.actual.end() - shown,
+                                eval.actual.end());
+    std::vector<PhaseId> predicted(eval.predicted.end() - shown,
+                                   eval.predicted.end());
+    printStripChart(actual, "actual phases (last " +
+                    std::to_string(shown) + " samples)",
+                    classifier.numPhases());
+    printStripChart(predicted, "GPHT(8,128) predictions",
+                    classifier.numPhases());
+
+    std::cout << "\npredictor accuracy on this trace:\n";
+    TableWriter table({"predictor", "accuracy", "mispredictions"});
+    for (auto &p : makeFigure4Predictors()) {
+        const auto e = evaluatePredictor(trace, classifier, *p);
+        table.addRow({e.predictor, formatPercent(e.accuracy()),
+                      std::to_string(e.mispredictions) + "/" +
+                          std::to_string(e.evaluated)});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,80 @@
+#include "analysis/accuracy.hh"
+
+#include "common/logging.hh"
+#include "core/fixed_window_predictor.hh"
+#include "core/gpht_predictor.hh"
+#include "core/last_value_predictor.hh"
+#include "core/variable_window_predictor.hh"
+
+namespace livephase
+{
+
+double
+PredictionEvaluation::accuracy() const
+{
+    if (evaluated == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(mispredictions) /
+        static_cast<double>(evaluated);
+}
+
+double
+PredictionEvaluation::mispredictionRate() const
+{
+    return 1.0 - accuracy();
+}
+
+PredictionEvaluation
+evaluatePredictor(const IntervalTrace &trace,
+                  const PhaseClassifier &classifier,
+                  PhasePredictor &predictor)
+{
+    if (trace.empty())
+        fatal("evaluatePredictor: empty trace '%s'",
+              trace.name().c_str());
+
+    predictor.reset();
+
+    PredictionEvaluation eval;
+    eval.predictor = predictor.name();
+    eval.workload = trace.name();
+    eval.actual.reserve(trace.size());
+    eval.predicted.reserve(trace.size());
+
+    PhaseId upcoming = INVALID_PHASE; // prediction for sample i
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const PhaseSample observed =
+            classifier.sample(trace.at(i).mem_per_uop);
+        eval.actual.push_back(observed.phase);
+        eval.predicted.push_back(upcoming);
+        if (i > 0) {
+            ++eval.evaluated;
+            if (upcoming != observed.phase)
+                ++eval.mispredictions;
+        }
+        predictor.observe(observed);
+        upcoming = predictor.predict();
+        // A cold predictor falls back to repeating the observation,
+        // mirroring the deployed handler.
+        if (upcoming == INVALID_PHASE)
+            upcoming = observed.phase;
+    }
+    return eval;
+}
+
+std::vector<PredictorPtr>
+makeFigure4Predictors()
+{
+    std::vector<PredictorPtr> predictors;
+    predictors.push_back(std::make_unique<LastValuePredictor>());
+    predictors.push_back(std::make_unique<FixedWindowPredictor>(8));
+    predictors.push_back(std::make_unique<FixedWindowPredictor>(128));
+    predictors.push_back(
+        std::make_unique<VariableWindowPredictor>(128, 0.005));
+    predictors.push_back(
+        std::make_unique<VariableWindowPredictor>(128, 0.030));
+    predictors.push_back(std::make_unique<GphtPredictor>(8, 1024));
+    return predictors;
+}
+
+} // namespace livephase

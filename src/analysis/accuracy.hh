@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Offline prediction-accuracy evaluation (paper Section 3.2).
+ *
+ * Replays a workload's Mem/Uop series through a classifier and a
+ * predictor using exactly the protocol of the deployed PMI handler
+ * (observe the ending period, predict the next), and scores the
+ * predictions against the phases that actually followed. This is the
+ * machinery behind Figures 2, 4 and 5.
+ */
+
+#ifndef LIVEPHASE_ANALYSIS_ACCURACY_HH
+#define LIVEPHASE_ANALYSIS_ACCURACY_HH
+
+#include <string>
+#include <vector>
+
+#include "core/phase_classifier.hh"
+#include "core/predictor.hh"
+#include "workload/trace.hh"
+
+namespace livephase
+{
+
+/** Outcome of evaluating one predictor on one workload. */
+struct PredictionEvaluation
+{
+    std::string predictor;   ///< predictor name
+    std::string workload;    ///< trace name
+    size_t evaluated = 0;    ///< predictions scored (samples - 1)
+    size_t mispredictions = 0;
+
+    /** Per-sample classified (actual) phases. */
+    std::vector<PhaseId> actual;
+
+    /** predicted[i] is the prediction *for* sample i (made at
+     *  sample i-1); predicted[0] is INVALID_PHASE. */
+    std::vector<PhaseId> predicted;
+
+    /** Fraction of scored predictions that were correct. */
+    double accuracy() const;
+
+    /** Fraction mispredicted (1 - accuracy). */
+    double mispredictionRate() const;
+};
+
+/**
+ * Evaluate a predictor on a trace. The predictor is reset() first.
+ *
+ * @param trace      workload to replay.
+ * @param classifier phase definition.
+ * @param predictor  predictor under test (state is mutated).
+ */
+PredictionEvaluation evaluatePredictor(const IntervalTrace &trace,
+                                       const PhaseClassifier &classifier,
+                                       PhasePredictor &predictor);
+
+/**
+ * The paper's Figure 4 predictor roster: LastValue, FixWindow 8 and
+ * 128, VarWindow 128/0.005 and 128/0.030, GPHT 8/1024.
+ */
+std::vector<PredictorPtr> makeFigure4Predictors();
+
+} // namespace livephase
+
+#endif // LIVEPHASE_ANALYSIS_ACCURACY_HH

@@ -1,0 +1,114 @@
+#include "analysis/freq_scaling.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+double
+FrequencyScalingModel::cyclesPerUop(double freq_hz) const
+{
+    if (freq_hz <= 0.0)
+        panic("FrequencyScalingModel: non-positive frequency %f",
+              freq_hz);
+    return compute_cycles_per_uop + stall_seconds_per_uop * freq_hz;
+}
+
+double
+FrequencyScalingModel::upcAt(double freq_hz) const
+{
+    return 1.0 / cyclesPerUop(freq_hz);
+}
+
+double
+FrequencyScalingModel::slowdown(double freq_hz,
+                                double ref_freq_hz) const
+{
+    const double t = cyclesPerUop(freq_hz) / freq_hz;
+    const double t_ref = cyclesPerUop(ref_freq_hz) / ref_freq_hz;
+    return t / t_ref;
+}
+
+double
+FrequencyScalingModel::minFrequencyForSlowdown(
+    double max_degradation, double ref_freq_hz) const
+{
+    if (max_degradation <= 0.0)
+        return ref_freq_hz;
+    // time(f) = A/f + S. Bound: A/f + S <= (1 + d)(A/f_ref + S)
+    //   A/f <= A(1+d)/f_ref + d*S
+    //   f >= A / (A(1+d)/f_ref + d*S)
+    const double a = compute_cycles_per_uop;
+    const double s = stall_seconds_per_uop;
+    const double d = max_degradation;
+    if (a <= 0.0)
+        return 0.0; // pure memory time: frequency is irrelevant
+    return a / (a * (1.0 + d) / ref_freq_hz + d * s);
+}
+
+FrequencyScalingModel
+calibrateFromTwoPoints(double upc_1, double freq_1_hz, double upc_2,
+                       double freq_2_hz)
+{
+    if (upc_1 <= 0.0 || upc_2 <= 0.0)
+        fatal("calibrateFromTwoPoints: UPC observations must be "
+              "positive (%f, %f)", upc_1, upc_2);
+    if (freq_1_hz <= 0.0 || freq_2_hz <= 0.0 ||
+        freq_1_hz == freq_2_hz) {
+        fatal("calibrateFromTwoPoints: need two distinct positive "
+              "frequencies (%f, %f)", freq_1_hz, freq_2_hz);
+    }
+    const double c1 = 1.0 / upc_1;
+    const double c2 = 1.0 / upc_2;
+    FrequencyScalingModel model;
+    model.stall_seconds_per_uop =
+        (c1 - c2) / (freq_1_hz - freq_2_hz);
+    model.compute_cycles_per_uop =
+        c1 - model.stall_seconds_per_uop * freq_1_hz;
+    // Measurement noise can push either term slightly negative;
+    // clamp to the physical domain.
+    model.stall_seconds_per_uop =
+        std::max(model.stall_seconds_per_uop, 0.0);
+    model.compute_cycles_per_uop =
+        std::max(model.compute_cycles_per_uop, 0.0);
+    if (model.compute_cycles_per_uop == 0.0 &&
+        model.stall_seconds_per_uop == 0.0) {
+        fatal("calibrateFromTwoPoints: observations identify a "
+              "degenerate model");
+    }
+    return model;
+}
+
+FrequencyScalingModel
+calibrateFromOnePoint(double upc, double mem_per_uop, double freq_hz,
+                      double blocking_latency_ns)
+{
+    if (upc <= 0.0)
+        fatal("calibrateFromOnePoint: UPC must be positive (%f)",
+              upc);
+    if (freq_hz <= 0.0)
+        fatal("calibrateFromOnePoint: frequency must be positive");
+    if (mem_per_uop < 0.0 || blocking_latency_ns < 0.0)
+        fatal("calibrateFromOnePoint: negative memory parameters");
+    FrequencyScalingModel model;
+    model.stall_seconds_per_uop =
+        mem_per_uop * blocking_latency_ns * 1e-9;
+    model.compute_cycles_per_uop = std::max(
+        1.0 / upc - model.stall_seconds_per_uop * freq_hz, 0.0);
+    return model;
+}
+
+FrequencyScalingModel
+scalingModelOf(const TimingModel &timing, const Interval &ivl)
+{
+    FrequencyScalingModel model;
+    model.compute_cycles_per_uop = 1.0 / ivl.core_ipc;
+    model.stall_seconds_per_uop = ivl.mem_per_uop *
+        timing.params().mem_latency_ns * 1e-9 *
+        ivl.mem_block_factor;
+    return model;
+}
+
+} // namespace livephase

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Cross-frequency performance prediction.
+ *
+ * The paper points at Kotla et al. [16, 17] as the natural extension
+ * of its framework: predicting how a phase's *performance* moves
+ * across DVFS settings, enabling richer phase definitions than the
+ * Mem/Uop table. This module implements that extension on top of
+ * the same leading-order model the platform itself obeys:
+ *
+ *     cycles/uop(f) = A + S * f
+ *
+ * where A is the compute component (cycles) and S the blocking
+ * memory time per uop (seconds — frequency invariant). Two UPC
+ * observations at different frequencies identify (A, S) exactly;
+ * a single observation identifies them given an assumed blocking
+ * latency per memory transaction.
+ */
+
+#ifndef LIVEPHASE_ANALYSIS_FREQ_SCALING_HH
+#define LIVEPHASE_ANALYSIS_FREQ_SCALING_HH
+
+#include "cpu/timing_model.hh"
+
+namespace livephase
+{
+
+/**
+ * An identified linear frequency-scaling model for one execution
+ * region.
+ */
+struct FrequencyScalingModel
+{
+    /** Compute cycles per uop (frequency-independent). */
+    double compute_cycles_per_uop = 0.0;
+
+    /** Blocking memory seconds per uop (frequency-independent). */
+    double stall_seconds_per_uop = 0.0;
+
+    /** Cycles per uop at a frequency. @pre freq_hz > 0 */
+    double cyclesPerUop(double freq_hz) const;
+
+    /** Predicted UPC at a frequency. */
+    double upcAt(double freq_hz) const;
+
+    /** Predicted execution-time ratio of freq_hz vs ref_freq_hz. */
+    double slowdown(double freq_hz, double ref_freq_hz) const;
+
+    /**
+     * Lowest frequency (in Hz, continuous) whose slowdown versus
+     * ref_freq_hz stays within `max_degradation`. Returns
+     * ref_freq_hz when even infinitesimal scaling violates the
+     * bound is impossible (never: slowdown(ref)=1), and 0 when any
+     * frequency qualifies (fully memory-bound region).
+     */
+    double minFrequencyForSlowdown(double max_degradation,
+                                   double ref_freq_hz) const;
+};
+
+/**
+ * Identify the scaling model from two (UPC, frequency) observations
+ * of the same region — e.g. two samples of one phase taken at
+ * different SpeedStep points.
+ *
+ * fatal() when the observations are inconsistent with the model
+ * (equal frequencies, non-positive UPC) ; a slightly negative
+ * compute or stall term from measurement noise is clamped to 0.
+ */
+FrequencyScalingModel calibrateFromTwoPoints(double upc_1,
+                                             double freq_1_hz,
+                                             double upc_2,
+                                             double freq_2_hz);
+
+/**
+ * Identify the scaling model from a single (UPC, Mem/Uop)
+ * observation, assuming each memory transaction blocks for
+ * `blocking_latency_ns` of wall-clock time (the TimingModel's
+ * latency times an assumed blocking factor).
+ */
+FrequencyScalingModel calibrateFromOnePoint(
+    double upc, double mem_per_uop, double freq_hz,
+    double blocking_latency_ns);
+
+/**
+ * Ground truth for tests/benches: the scaling model an Interval
+ * actually follows under a TimingModel.
+ */
+FrequencyScalingModel scalingModelOf(const TimingModel &timing,
+                                     const Interval &ivl);
+
+} // namespace livephase
+
+#endif // LIVEPHASE_ANALYSIS_FREQ_SCALING_HH

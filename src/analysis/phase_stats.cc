@@ -1,0 +1,129 @@
+#include "analysis/phase_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+int
+PhaseStats::phasesVisited() const
+{
+    int visited = 0;
+    for (const auto &row : occupancy)
+        if (row.samples > 0)
+            ++visited;
+    return visited;
+}
+
+double
+PhaseStats::conditionalEntropyBits() const
+{
+    if (total_samples < 2)
+        return 0.0;
+    // H(next | current) = sum_i p(i) * H(next | current = i).
+    double entropy = 0.0;
+    const double boundaries =
+        static_cast<double>(total_samples - 1);
+    for (size_t i = 0; i < transition_counts.size(); ++i) {
+        uint64_t row_total = 0;
+        for (uint64_t count : transition_counts[i])
+            row_total += count;
+        if (row_total == 0)
+            continue;
+        const double p_row =
+            static_cast<double>(row_total) / boundaries;
+        double row_entropy = 0.0;
+        for (uint64_t count : transition_counts[i]) {
+            if (count == 0)
+                continue;
+            const double p = static_cast<double>(count) /
+                static_cast<double>(row_total);
+            row_entropy -= p * std::log2(p);
+        }
+        entropy += p_row * row_entropy;
+    }
+    return entropy;
+}
+
+const PhaseOccupancy &
+PhaseStats::of(PhaseId phase) const
+{
+    if (phase < 1 ||
+        static_cast<size_t>(phase) > occupancy.size()) {
+        panic("PhaseStats::of: phase %d out of 1..%zu", phase,
+              occupancy.size());
+    }
+    return occupancy[static_cast<size_t>(phase - 1)];
+}
+
+PhaseStats
+computePhaseStats(const IntervalTrace &trace,
+                  const PhaseClassifier &classifier)
+{
+    if (trace.empty())
+        fatal("computePhaseStats: empty trace '%s'",
+              trace.name().c_str());
+
+    const size_t phases =
+        static_cast<size_t>(classifier.numPhases());
+    PhaseStats stats;
+    stats.workload = trace.name();
+    stats.total_samples = trace.size();
+    stats.occupancy.resize(phases);
+    for (size_t i = 0; i < phases; ++i)
+        stats.occupancy[i].phase = static_cast<PhaseId>(i + 1);
+    stats.transition_counts.assign(
+        phases, std::vector<uint64_t>(phases, 0));
+
+    PhaseId previous = INVALID_PHASE;
+    uint64_t run_length = 0;
+    uint64_t transitions = 0;
+
+    auto close_run = [&stats](PhaseId phase, uint64_t length) {
+        if (phase == INVALID_PHASE || length == 0)
+            return;
+        PhaseOccupancy &row =
+            stats.occupancy[static_cast<size_t>(phase - 1)];
+        ++row.runs;
+        row.mean_run_length += static_cast<double>(length);
+        row.max_run_length =
+            std::max(row.max_run_length, length);
+    };
+
+    for (const Interval &ivl : trace) {
+        const PhaseId current =
+            classifier.classify(ivl.mem_per_uop);
+        ++stats.occupancy[static_cast<size_t>(current - 1)].samples;
+        if (previous != INVALID_PHASE) {
+            ++stats.transition_counts[static_cast<size_t>(
+                previous - 1)][static_cast<size_t>(current - 1)];
+            if (current != previous)
+                ++transitions;
+        }
+        if (current == previous) {
+            ++run_length;
+        } else {
+            close_run(previous, run_length);
+            run_length = 1;
+        }
+        previous = current;
+    }
+    close_run(previous, run_length);
+
+    for (auto &row : stats.occupancy) {
+        row.residency = static_cast<double>(row.samples) /
+            static_cast<double>(stats.total_samples);
+        if (row.runs > 0)
+            row.mean_run_length /= static_cast<double>(row.runs);
+    }
+    stats.transition_rate = stats.total_samples > 1
+        ? static_cast<double>(transitions) /
+            static_cast<double>(stats.total_samples - 1)
+        : 0.0;
+    return stats;
+}
+
+} // namespace livephase

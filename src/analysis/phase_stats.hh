@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Phase-behaviour characterization statistics.
+ *
+ * The phase-analysis literature the paper builds on summarizes
+ * applications by how they occupy phases: per-phase residency, run
+ * (duration) distributions and the transition structure. This
+ * module computes those summaries from a classified trace — useful
+ * both for workload characterization reports and for explaining
+ * *why* a predictor scores what it scores (e.g. last-value accuracy
+ * is exactly 1 minus the phase transition rate).
+ */
+
+#ifndef LIVEPHASE_ANALYSIS_PHASE_STATS_HH
+#define LIVEPHASE_ANALYSIS_PHASE_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/phase_classifier.hh"
+#include "workload/trace.hh"
+
+namespace livephase
+{
+
+/** Statistics for one phase class. */
+struct PhaseOccupancy
+{
+    PhaseId phase = INVALID_PHASE;
+    uint64_t samples = 0;    ///< samples classified into this phase
+    uint64_t runs = 0;       ///< maximal runs of this phase
+    double mean_run_length = 0.0;
+    uint64_t max_run_length = 0;
+
+    /** Fraction of all samples spent in this phase. */
+    double residency = 0.0;
+};
+
+/** Full phase-behaviour summary of one trace. */
+struct PhaseStats
+{
+    std::string workload;
+    uint64_t total_samples = 0;
+    std::vector<PhaseOccupancy> occupancy; ///< one per phase, 1..N
+
+    /** transition_counts[i][j]: phase i+1 followed by phase j+1. */
+    std::vector<std::vector<uint64_t>> transition_counts;
+
+    /** Fraction of sample boundaries that change phase. */
+    double transition_rate = 0.0;
+
+    /** Number of distinct phases actually visited. */
+    int phasesVisited() const;
+
+    /**
+     * Empirical entropy (bits) of the next phase given the current
+     * one — a lower bound on what any first-order predictor can
+     * achieve; 0 means the next phase is fully determined by the
+     * current phase.
+     */
+    double conditionalEntropyBits() const;
+
+    /** Occupancy row for a phase. @pre 1 <= phase <= N */
+    const PhaseOccupancy &of(PhaseId phase) const;
+};
+
+/** Compute the summary for a trace under a classifier. */
+PhaseStats computePhaseStats(const IntervalTrace &trace,
+                             const PhaseClassifier &classifier);
+
+} // namespace livephase
+
+#endif // LIVEPHASE_ANALYSIS_PHASE_STATS_HH

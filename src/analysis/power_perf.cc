@@ -1,0 +1,48 @@
+#include "analysis/power_perf.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+ManagementResult
+compareToBaseline(const System &system, const IntervalTrace &trace,
+                  const GovernorFactory &make_governor)
+{
+    if (!make_governor)
+        fatal("compareToBaseline: no governor factory provided");
+    ManagementResult result;
+    result.workload = trace.name();
+    result.baseline = system.runBaseline(trace);
+    result.managed = system.run(trace, make_governor());
+    result.governor = result.managed.governor;
+    result.relative =
+        relativeTo(result.managed.exact, result.baseline.exact);
+    return result;
+}
+
+SuiteSummary
+summarize(const std::vector<ManagementResult> &results)
+{
+    if (results.empty())
+        fatal("summarize: no management results");
+    SuiteSummary summary;
+    summary.count = results.size();
+    for (const auto &r : results) {
+        summary.avg_edp_improvement += r.relative.edpImprovement();
+        summary.avg_perf_degradation += r.relative.perfDegradation();
+        summary.avg_power_savings += r.relative.powerSavings();
+        summary.max_edp_improvement =
+            std::max(summary.max_edp_improvement,
+                     r.relative.edpImprovement());
+    }
+    const double n = static_cast<double>(results.size());
+    summary.avg_edp_improvement /= n;
+    summary.avg_perf_degradation /= n;
+    summary.avg_power_savings /= n;
+    return summary;
+}
+
+} // namespace livephase

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Managed-vs-baseline power/performance comparison (paper
+ * Section 6).
+ *
+ * Runs a workload twice on the same platform configuration — once
+ * unmanaged (fastest setting throughout) and once under a governor —
+ * and reports the normalized BIPS / power / EDP the paper plots in
+ * Figures 11-13.
+ */
+
+#ifndef LIVEPHASE_ANALYSIS_POWER_PERF_HH
+#define LIVEPHASE_ANALYSIS_POWER_PERF_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/system.hh"
+#include "workload/trace.hh"
+
+namespace livephase
+{
+
+/** Factory so each run gets fresh predictor state. */
+using GovernorFactory = std::function<Governor()>;
+
+/** Result of one managed-vs-baseline experiment. */
+struct ManagementResult
+{
+    std::string workload;
+    std::string governor;
+    System::RunResult baseline;
+    System::RunResult managed;
+    RelativeMetrics relative{};
+
+    /** Prediction accuracy of the managed run. */
+    double accuracy() const { return managed.prediction_accuracy; }
+};
+
+/**
+ * Run `trace` under the baseline and under `make_governor`'s
+ * governor; compute normalized metrics (managed / baseline).
+ */
+ManagementResult compareToBaseline(const System &system,
+                                   const IntervalTrace &trace,
+                                   const GovernorFactory &make_governor);
+
+/**
+ * Suite-level aggregates of the paper's Section 6 summary lines:
+ * average EDP improvement and performance degradation over a set of
+ * results.
+ */
+struct SuiteSummary
+{
+    double avg_edp_improvement = 0.0;
+    double avg_perf_degradation = 0.0;
+    double avg_power_savings = 0.0;
+    double max_edp_improvement = 0.0;
+    size_t count = 0;
+};
+
+/** Aggregate results into a summary. @pre !results.empty() */
+SuiteSummary summarize(const std::vector<ManagementResult> &results);
+
+} // namespace livephase
+
+#endif // LIVEPHASE_ANALYSIS_POWER_PERF_HH

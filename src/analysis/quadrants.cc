@@ -1,0 +1,33 @@
+#include "analysis/quadrants.hh"
+
+#include "analysis/variability.hh"
+
+namespace livephase
+{
+
+Quadrant
+classifyQuadrant(double variation_pct, double mean_mem,
+                 const QuadrantThresholds &thresholds)
+{
+    const bool variable = variation_pct >= thresholds.variation_pct;
+    const bool high_potential = mean_mem >= thresholds.mem_per_uop;
+    if (!variable)
+        return high_potential ? Quadrant::Q2 : Quadrant::Q1;
+    return high_potential ? Quadrant::Q3 : Quadrant::Q4;
+}
+
+QuadrantPoint
+quadrantPoint(const IntervalTrace &trace,
+              const QuadrantThresholds &thresholds)
+{
+    QuadrantPoint point;
+    point.name = trace.name();
+    point.mean_mem_per_uop = trace.meanMemPerUop();
+    point.variation_pct = sampleVariationPct(trace);
+    point.quadrant = classifyQuadrant(point.variation_pct,
+                                      point.mean_mem_per_uop,
+                                      thresholds);
+    return point;
+}
+
+} // namespace livephase

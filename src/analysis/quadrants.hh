@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 3 quadrant categorization.
+ *
+ * Benchmarks split into four quadrants by variability (y) and power
+ * savings potential (x = mean Mem/Uop): Q1 stable/low-potential,
+ * Q2 stable/high-potential, Q3 variable/high-potential, Q4
+ * variable/low-potential.
+ */
+
+#ifndef LIVEPHASE_ANALYSIS_QUADRANTS_HH
+#define LIVEPHASE_ANALYSIS_QUADRANTS_HH
+
+#include "workload/spec2000.hh"
+#include "workload/trace.hh"
+
+namespace livephase
+{
+
+/** Quadrant split thresholds. */
+struct QuadrantThresholds
+{
+    /** Sample variation (%) separating stable from variable. */
+    double variation_pct = 18.0;
+
+    /** Mean Mem/Uop separating low from high savings potential. */
+    double mem_per_uop = 0.0075;
+};
+
+/** A benchmark's measured Figure 3 coordinates. */
+struct QuadrantPoint
+{
+    std::string name;
+    double mean_mem_per_uop = 0.0; ///< x axis
+    double variation_pct = 0.0;    ///< y axis
+    Quadrant quadrant = Quadrant::Q1;
+};
+
+/** Categorize a (variation, potential) coordinate. */
+Quadrant classifyQuadrant(double variation_pct, double mean_mem,
+                          const QuadrantThresholds &thresholds =
+                              QuadrantThresholds{});
+
+/** Measure a trace's Figure 3 coordinates and quadrant. */
+QuadrantPoint quadrantPoint(const IntervalTrace &trace,
+                            const QuadrantThresholds &thresholds =
+                                QuadrantThresholds{});
+
+} // namespace livephase
+
+#endif // LIVEPHASE_ANALYSIS_QUADRANTS_HH

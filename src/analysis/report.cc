@@ -1,0 +1,66 @@
+#include "analysis/report.hh"
+
+#include <algorithm>
+#include <ostream>
+
+namespace livephase
+{
+
+void
+printExperimentHeader(std::ostream &os, const std::string &id,
+                      const std::string &paper_claim)
+{
+    os << "================================================================\n";
+    os << id << "\n";
+    os << "Paper: " << paper_claim << "\n";
+    os << "================================================================\n";
+}
+
+void
+printComparison(std::ostream &os, const std::string &what,
+                const std::string &paper_value,
+                const std::string &measured_value)
+{
+    os << "  [paper-vs-measured] " << what << ": paper " << paper_value
+       << ", measured " << measured_value << "\n";
+}
+
+TableWriter
+managementTable(std::vector<ManagementResult> results)
+{
+    std::sort(results.begin(), results.end(),
+              [](const ManagementResult &a, const ManagementResult &b) {
+                  return a.relative.edp_ratio > b.relative.edp_ratio;
+              });
+    TableWriter table({"benchmark", "norm_bips", "norm_power",
+                       "norm_edp", "edp_improv", "perf_degr",
+                       "accuracy"});
+    for (const auto &r : results) {
+        table.addRow({
+            r.workload,
+            formatPercent(r.relative.bips_ratio),
+            formatPercent(r.relative.power_ratio),
+            formatPercent(r.relative.edp_ratio),
+            formatPercent(r.relative.edpImprovement()),
+            formatPercent(r.relative.perfDegradation()),
+            formatPercent(r.accuracy()),
+        });
+    }
+    return table;
+}
+
+void
+printSuiteSummary(std::ostream &os, const std::string &set_name,
+                  const SuiteSummary &summary)
+{
+    os << "  " << set_name << " (" << summary.count << " benchmarks): "
+       << "avg EDP improvement " << formatPercent(
+              summary.avg_edp_improvement)
+       << ", max " << formatPercent(summary.max_edp_improvement)
+       << ", avg perf degradation " << formatPercent(
+              summary.avg_perf_degradation)
+       << ", avg power savings " << formatPercent(
+              summary.avg_power_savings) << "\n";
+}
+
+} // namespace livephase

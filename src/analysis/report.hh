@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Report assembly helpers shared by the bench binaries: uniform
+ * headers, paper-vs-measured comparison lines, and sorted result
+ * tables.
+ */
+
+#ifndef LIVEPHASE_ANALYSIS_REPORT_HH
+#define LIVEPHASE_ANALYSIS_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/power_perf.hh"
+#include "common/table_writer.hh"
+
+namespace livephase
+{
+
+/**
+ * Print the standard experiment header: experiment id, what the
+ * paper shows, and how to read our output.
+ */
+void printExperimentHeader(std::ostream &os, const std::string &id,
+                           const std::string &paper_claim);
+
+/**
+ * Print one "paper vs measured" comparison line, e.g.
+ *   [check] applu misprediction reduction: paper ~6x, measured 6.8x
+ */
+void printComparison(std::ostream &os, const std::string &what,
+                     const std::string &paper_value,
+                     const std::string &measured_value);
+
+/**
+ * Build the Figure 11-style table (normalized BIPS / power / EDP per
+ * benchmark) from management results, sorted by decreasing EDP ratio
+ * (the paper's ordering).
+ */
+TableWriter managementTable(std::vector<ManagementResult> results);
+
+/**
+ * Print a SuiteSummary as the paper's Section 6 summary sentences.
+ */
+void printSuiteSummary(std::ostream &os, const std::string &set_name,
+                       const SuiteSummary &summary);
+
+} // namespace livephase
+
+#endif // LIVEPHASE_ANALYSIS_REPORT_HH

@@ -1,0 +1,46 @@
+#include "analysis/variability.hh"
+
+#include <cmath>
+
+#include "core/phase_classifier.hh"
+
+namespace livephase
+{
+
+double
+sampleVariationPct(const IntervalTrace &trace, double delta)
+{
+    if (trace.size() < 2)
+        return 0.0;
+    size_t varying = 0;
+    for (size_t i = 1; i < trace.size(); ++i) {
+        const double change =
+            std::abs(trace.at(i).mem_per_uop -
+                     trace.at(i - 1).mem_per_uop);
+        if (change > delta)
+            ++varying;
+    }
+    return 100.0 * static_cast<double>(varying) /
+        static_cast<double>(trace.size() - 1);
+}
+
+double
+phaseTransitionRate(const IntervalTrace &trace,
+                    const PhaseClassifier &classifier)
+{
+    if (trace.size() < 2)
+        return 0.0;
+    size_t transitions = 0;
+    PhaseId previous = classifier.classify(trace.at(0).mem_per_uop);
+    for (size_t i = 1; i < trace.size(); ++i) {
+        const PhaseId current =
+            classifier.classify(trace.at(i).mem_per_uop);
+        if (current != previous)
+            ++transitions;
+        previous = current;
+    }
+    return static_cast<double>(transitions) /
+        static_cast<double>(trace.size() - 1);
+}
+
+} // namespace livephase

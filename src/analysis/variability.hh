@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Workload variability metrics (paper Figure 3).
+ *
+ * The paper characterizes each benchmark by (a) its average Mem/Uop
+ * ("power savings potential", x axis) and (b) the percentage of
+ * samples whose Mem/Uop moves by more than 0.005 from the previous
+ * sample ("sample variation", y axis) at the 100M-instruction
+ * granularity.
+ */
+
+#ifndef LIVEPHASE_ANALYSIS_VARIABILITY_HH
+#define LIVEPHASE_ANALYSIS_VARIABILITY_HH
+
+#include "workload/trace.hh"
+
+namespace livephase
+{
+
+/**
+ * Percentage (0..100) of consecutive-sample Mem/Uop deltas exceeding
+ * `delta` — Figure 3's y axis.
+ *
+ * @param trace workload series (>= 2 samples; returns 0 otherwise).
+ * @param delta transition threshold (paper: 0.005).
+ */
+double sampleVariationPct(const IntervalTrace &trace,
+                          double delta = 0.005);
+
+/**
+ * Fraction (0..1) of samples whose *classified phase* differs from
+ * the previous sample's — an upper bound on last-value accuracy
+ * error.
+ */
+double phaseTransitionRate(const IntervalTrace &trace,
+                           const class PhaseClassifier &classifier);
+
+} // namespace livephase
+
+#endif // LIVEPHASE_ANALYSIS_VARIABILITY_HH

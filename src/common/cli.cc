@@ -1,0 +1,84 @@
+#include "common/cli.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+CliArgs::CliArgs(int argc, const char *const *argv)
+{
+    prog = argc > 0 ? argv[0] : "";
+    for (int i = 1; i < argc; ++i) {
+        std::string token = argv[i];
+        if (token.rfind("--", 0) != 0) {
+            pos.push_back(std::move(token));
+            continue;
+        }
+        std::string name = token.substr(2);
+        std::string value = "true";
+        auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            value = argv[++i];
+        }
+        flags[name] = value;
+    }
+}
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    return flags.count(name) > 0;
+}
+
+std::string
+CliArgs::getString(const std::string &name,
+                   const std::string &fallback) const
+{
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+}
+
+int64_t
+CliArgs::getInt(const std::string &name, int64_t fallback) const
+{
+    auto it = flags.find(name);
+    if (it == flags.end())
+        return fallback;
+    char *end = nullptr;
+    long long v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("--%s expects an integer, got '%s'", name.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+double
+CliArgs::getDouble(const std::string &name, double fallback) const
+{
+    auto it = flags.find(name);
+    if (it == flags.end())
+        return fallback;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("--%s expects a number, got '%s'", name.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+bool
+CliArgs::getBool(const std::string &name, bool fallback) const
+{
+    auto it = flags.find(name);
+    if (it == flags.end())
+        return fallback;
+    return it->second != "false" && it->second != "0";
+}
+
+} // namespace livephase

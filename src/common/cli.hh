@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal command-line flag parsing shared by the examples and the
+ * bench binaries (--seed=N, --samples=N, --csv, ...).
+ */
+
+#ifndef LIVEPHASE_COMMON_CLI_HH
+#define LIVEPHASE_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace livephase
+{
+
+/**
+ * Parsed command line. Flags take the forms "--name=value",
+ * "--name value" (when the next token is not itself a flag) or bare
+ * "--name" (boolean). Everything else is a positional argument.
+ */
+class CliArgs
+{
+  public:
+    /** Parse argv; never exits, unknown flags are simply stored. */
+    CliArgs(int argc, const char *const *argv);
+
+    /** True if --name was present at all. */
+    bool has(const std::string &name) const;
+
+    /** String value of --name, or fallback if absent. */
+    std::string getString(const std::string &name,
+                          const std::string &fallback) const;
+
+    /** Integer value of --name, or fallback; fatal() on garbage. */
+    int64_t getInt(const std::string &name, int64_t fallback) const;
+
+    /** Double value of --name, or fallback; fatal() on garbage. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Boolean flag: present (and not "=false"/"=0") means true. */
+    bool getBool(const std::string &name, bool fallback = false) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const { return pos; }
+
+    /** Program name (argv[0]). */
+    const std::string &program() const { return prog; }
+
+  private:
+    std::string prog;
+    std::map<std::string, std::string> flags;
+    std::vector<std::string> pos;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_COMMON_CLI_HH

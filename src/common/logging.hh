@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 idiom.
+ *
+ * Two classes of failure are distinguished, following the simulator
+ * convention:
+ *
+ *  - panic():  an internal invariant was violated — a bug in livephase
+ *              itself. Aborts (so a debugger/core dump can capture it).
+ *  - fatal():  the *user* asked for something impossible (bad
+ *              configuration, out-of-range parameter). Exits cleanly
+ *              with an error code.
+ *
+ * warn()/inform() provide non-fatal status messages. All messages go
+ * to stderr so that bench/table output on stdout stays machine
+ * readable.
+ */
+
+#ifndef LIVEPHASE_COMMON_LOGGING_HH
+#define LIVEPHASE_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace livephase
+{
+
+/** Verbosity levels for the message stream. */
+enum class LogLevel
+{
+    Quiet,   ///< only panic/fatal text
+    Normal,  ///< + warn()
+    Verbose  ///< + inform()
+};
+
+/** Set the global verbosity for warn()/inform(). Thread-unsafe by design
+ *  (configure once at startup). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ *
+ * @param fmt printf-style format string.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit a warning (suspicious but survivable condition). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Install a hook that is invoked (with the formatted message) instead
+ * of abort()/exit() by panic()/fatal(). Used by the test suite to turn
+ * fatal paths into catchable C++ exceptions. Passing nullptr restores
+ * the default behaviour.
+ */
+using FailureHook = void (*)(const std::string &message, bool is_panic);
+void setFailureHook(FailureHook hook);
+
+} // namespace livephase
+
+#endif // LIVEPHASE_COMMON_LOGGING_HH

@@ -1,0 +1,133 @@
+#include "common/random.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+namespace
+{
+
+/** SplitMix64 step — used only to expand the user seed into state. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(uint64_t seed)
+    : cached_gaussian(0.0), has_cached_gaussian(false)
+{
+    uint64_t sm = seed;
+    for (auto &word : s)
+        word = splitmix64(sm);
+    // xoshiro256** must not start from the all-zero state; SplitMix64
+    // cannot produce four zero outputs in a row, but guard anyway.
+    if ((s[0] | s[1] | s[2] | s[3]) == 0)
+        s[0] = 1;
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    if (lo > hi)
+        panic("Rng::uniform: lo (%f) > hi (%f)", lo, hi);
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::uniformInt: lo (%lld) > hi (%lld)",
+              static_cast<long long>(lo), static_cast<long long>(hi));
+    const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    if (range == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+    uint64_t value;
+    do {
+        value = next();
+    } while (value >= limit);
+    return lo + static_cast<int64_t>(value % range);
+}
+
+double
+Rng::gaussian()
+{
+    if (has_cached_gaussian) {
+        has_cached_gaussian = false;
+        return cached_gaussian;
+    }
+    // Box–Muller transform; u1 in (0,1] to keep the log finite.
+    double u1 = 1.0 - uniform();
+    double u2 = uniform();
+    double radius = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    cached_gaussian = radius * std::sin(theta);
+    has_cached_gaussian = true;
+    return radius * std::cos(theta);
+}
+
+double
+Rng::gaussian(double mean, double sigma)
+{
+    return mean + sigma * gaussian();
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+Rng
+Rng::split(uint64_t stream_index) const
+{
+    // Mix the current state with the stream index through SplitMix64
+    // so children of the same parent are decorrelated.
+    uint64_t mix = s[0] ^ (stream_index * 0xd1342543de82ef95ULL);
+    return Rng(mix);
+}
+
+} // namespace livephase

@@ -1,0 +1,208 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+RunningStats::RunningStats()
+{
+    reset();
+}
+
+void
+RunningStats::add(double x)
+{
+    addWeighted(x, 1.0);
+}
+
+void
+RunningStats::addWeighted(double x, double weight)
+{
+    if (weight <= 0.0)
+        panic("RunningStats::addWeighted: non-positive weight %f", weight);
+    ++n;
+    weight_sum += weight;
+    const double delta = x - running_mean;
+    running_mean += (weight / weight_sum) * delta;
+    m2 += weight * delta * (x - running_mean);
+    min_value = std::min(min_value, x);
+    max_value = std::max(max_value, x);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double total = weight_sum + other.weight_sum;
+    const double delta = other.running_mean - running_mean;
+    m2 += other.m2 +
+        delta * delta * weight_sum * other.weight_sum / total;
+    running_mean += delta * other.weight_sum / total;
+    weight_sum = total;
+    n += other.n;
+    min_value = std::min(min_value, other.min_value);
+    max_value = std::max(max_value, other.max_value);
+}
+
+void
+RunningStats::reset()
+{
+    n = 0;
+    weight_sum = 0.0;
+    running_mean = 0.0;
+    m2 = 0.0;
+    min_value = std::numeric_limits<double>::infinity();
+    max_value = -std::numeric_limits<double>::infinity();
+}
+
+double
+RunningStats::mean() const
+{
+    if (n == 0)
+        panic("RunningStats::mean on empty accumulator");
+    return running_mean;
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    // Frequency-weight interpretation: unbiased divisor is W - 1 when
+    // weights count repeated observations; with unit weights this is
+    // the textbook n - 1.
+    return m2 / (weight_sum - 1.0 > 0.0 ? weight_sum - 1.0 : 1.0);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStats::min() const
+{
+    if (n == 0)
+        panic("RunningStats::min on empty accumulator");
+    return min_value;
+}
+
+double
+RunningStats::max() const
+{
+    if (n == 0)
+        panic("RunningStats::max on empty accumulator");
+    return max_value;
+}
+
+double
+RunningStats::sum() const
+{
+    return running_mean * weight_sum;
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        panic("percentile of empty sample set");
+    if (p < 0.0 || p > 100.0)
+        panic("percentile %f out of [0, 100]", p);
+    std::sort(samples.begin(), samples.end());
+    if (samples.size() == 1)
+        return samples.front();
+    const double rank = (p / 100.0) * (samples.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        panic("mean of empty vector");
+    double total = 0.0;
+    for (double v : values)
+        total += v;
+    return total / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        panic("geomean of empty vector");
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            panic("geomean requires positive values, got %f", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+PowerPerf::bips() const
+{
+    if (seconds <= 0.0)
+        panic("PowerPerf::bips with non-positive time %f", seconds);
+    return instructions / seconds / 1e9;
+}
+
+double
+PowerPerf::watts() const
+{
+    if (seconds <= 0.0)
+        panic("PowerPerf::watts with non-positive time %f", seconds);
+    return joules / seconds;
+}
+
+double
+PowerPerf::edp() const
+{
+    return joules * seconds;
+}
+
+double
+PowerPerf::ed2p() const
+{
+    return joules * seconds * seconds;
+}
+
+PowerPerf &
+PowerPerf::operator+=(const PowerPerf &other)
+{
+    instructions += other.instructions;
+    seconds += other.seconds;
+    joules += other.joules;
+    return *this;
+}
+
+RelativeMetrics
+relativeTo(const PowerPerf &managed, const PowerPerf &baseline)
+{
+    if (baseline.seconds <= 0.0 || baseline.joules <= 0.0)
+        panic("relativeTo: degenerate baseline (t=%f s, E=%f J)",
+              baseline.seconds, baseline.joules);
+    RelativeMetrics rel;
+    rel.bips_ratio = managed.bips() / baseline.bips();
+    rel.power_ratio = managed.watts() / baseline.watts();
+    rel.energy_ratio = managed.joules / baseline.joules;
+    rel.edp_ratio = managed.edp() / baseline.edp();
+    return rel;
+}
+
+} // namespace livephase

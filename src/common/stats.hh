@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Small statistics toolkit used across the analysis and measurement
+ * layers: streaming accumulators, percentiles, and derived
+ * power/performance metrics (BIPS, EDP).
+ */
+
+#ifndef LIVEPHASE_COMMON_STATS_HH
+#define LIVEPHASE_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace livephase
+{
+
+/**
+ * Streaming accumulator for mean/variance/min/max.
+ *
+ * Uses Welford's algorithm so long runs (millions of 40 us DAQ
+ * samples) stay numerically stable.
+ */
+class RunningStats
+{
+  public:
+    RunningStats();
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Add a sample with a weight (e.g. time-weighted power). */
+    void addWeighted(double x, double weight);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Remove all samples. */
+    void reset();
+
+    /** Number of samples added (unweighted count). */
+    size_t count() const { return n; }
+
+    /** Sum of weights (== count() when add() was used throughout). */
+    double totalWeight() const { return weight_sum; }
+
+    /** Weighted mean of the samples. @pre count() > 0 */
+    double mean() const;
+
+    /** Unbiased sample variance. Returns 0 for fewer than 2 samples. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen. @pre count() > 0 */
+    double min() const;
+
+    /** Largest sample seen. @pre count() > 0 */
+    double max() const;
+
+    /** Weighted sum of all samples (mean() * totalWeight()). */
+    double sum() const;
+
+  private:
+    size_t n;
+    double weight_sum;
+    double running_mean;
+    double m2; // weighted sum of squared deviations
+    double min_value;
+    double max_value;
+};
+
+/**
+ * Percentile of a sample vector using linear interpolation between
+ * order statistics (the common "type 7" estimator).
+ *
+ * @param samples input values (copied and sorted internally).
+ * @param p       percentile in [0, 100].
+ * @return the interpolated percentile.
+ * @pre !samples.empty()
+ */
+double percentile(std::vector<double> samples, double p);
+
+/** Arithmetic mean of a vector. @pre !values.empty() */
+double mean(const std::vector<double> &values);
+
+/** Geometric mean of a vector of positive values. @pre all > 0 */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Derived power/performance metrics for an execution (or one phase
+ * sample of an execution).
+ */
+struct PowerPerf
+{
+    double instructions;  ///< instructions retired
+    double seconds;       ///< wall-clock time
+    double joules;        ///< energy consumed
+
+    /** Billions of instructions per second. @pre seconds > 0 */
+    double bips() const;
+
+    /** Average power in watts. @pre seconds > 0 */
+    double watts() const;
+
+    /** Energy-delay product in joule-seconds. */
+    double edp() const;
+
+    /** Energy-delay-squared product. */
+    double ed2p() const;
+
+    /** Element-wise accumulation of another region. */
+    PowerPerf &operator+=(const PowerPerf &other);
+};
+
+/**
+ * Relative change of a managed run versus a baseline run, expressed
+ * the way the paper reports it.
+ */
+struct RelativeMetrics
+{
+    double bips_ratio;       ///< managed BIPS / baseline BIPS
+    double power_ratio;      ///< managed power / baseline power
+    double energy_ratio;     ///< managed energy / baseline energy
+    double edp_ratio;        ///< managed EDP / baseline EDP
+
+    /** Performance degradation, e.g. 0.05 for a 5% slowdown. */
+    double perfDegradation() const { return 1.0 - bips_ratio; }
+
+    /** EDP improvement, e.g. 0.34 for a 34% improvement. */
+    double edpImprovement() const { return 1.0 - edp_ratio; }
+
+    /** Power savings fraction. */
+    double powerSavings() const { return 1.0 - power_ratio; }
+
+    /** Energy savings fraction. */
+    double energySavings() const { return 1.0 - energy_ratio; }
+};
+
+/** Compute managed-vs-baseline ratios. @pre baseline has time/energy > 0 */
+RelativeMetrics relativeTo(const PowerPerf &managed,
+                           const PowerPerf &baseline);
+
+} // namespace livephase
+
+#endif // LIVEPHASE_COMMON_STATS_HH

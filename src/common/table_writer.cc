@@ -1,0 +1,123 @@
+#include "common/table_writer.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : head(std::move(header))
+{
+    if (head.empty())
+        panic("TableWriter requires at least one column");
+}
+
+void
+TableWriter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != head.size())
+        panic("TableWriter row has %zu cells, expected %zu",
+              cells.size(), head.size());
+    body.push_back(std::move(cells));
+}
+
+void
+TableWriter::addRow(const std::string &label,
+                    const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(formatDouble(v, precision));
+    addRow(std::move(cells));
+}
+
+void
+TableWriter::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(head.size());
+    for (size_t c = 0; c < head.size(); ++c)
+        widths[c] = head[c].size();
+    for (const auto &row : body)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit_row(head);
+    size_t rule_width = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        rule_width += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(rule_width, '-') << '\n';
+    for (const auto &row : body)
+        emit_row(row);
+}
+
+void
+TableWriter::printCsv(std::ostream &os) const
+{
+    auto emit_csv = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            // Quote cells containing separators; data here is simple,
+            // but be safe for benchmark names.
+            const std::string &cell = row[c];
+            const bool need_quotes =
+                cell.find(',') != std::string::npos ||
+                cell.find('"') != std::string::npos;
+            if (need_quotes) {
+                os << '"';
+                for (char ch : cell) {
+                    if (ch == '"')
+                        os << '"';
+                    os << ch;
+                }
+                os << '"';
+            } else {
+                os << cell;
+            }
+            if (c + 1 < row.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    emit_csv(head);
+    for (const auto &row : body)
+        emit_csv(row);
+}
+
+std::string
+formatDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "\n==== " << title << " ====\n";
+}
+
+} // namespace livephase

@@ -1,0 +1,69 @@
+#include "core/confidence_predictor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+ConfidenceGatedPredictor::ConfidenceGatedPredictor(PredictorPtr inner,
+                                                   int max_level,
+                                                   int threshold)
+    : inner(std::move(inner)), max_level(max_level),
+      threshold(threshold), level(0), last_observed(INVALID_PHASE),
+      last_inner_prediction(INVALID_PHASE)
+{
+    if (!this->inner)
+        fatal("ConfidenceGatedPredictor: null inner predictor");
+    if (max_level < 1)
+        fatal("ConfidenceGatedPredictor: max level must be >= 1");
+    if (threshold < 1 || threshold > max_level)
+        fatal("ConfidenceGatedPredictor: threshold %d outside "
+              "[1, %d]", threshold, max_level);
+}
+
+void
+ConfidenceGatedPredictor::observe(const PhaseSample &sample)
+{
+    // Train confidence on how the *inner* predictor would have done,
+    // regardless of what the gate emitted — otherwise low confidence
+    // would starve the counter of evidence to recover on.
+    if (last_inner_prediction != INVALID_PHASE) {
+        if (last_inner_prediction == sample.phase)
+            level = std::min(level + 1, max_level);
+        else
+            level = std::max(level - 1, 0);
+    }
+    inner->observe(sample);
+    last_observed = sample.phase;
+    last_inner_prediction = inner->predict();
+}
+
+PhaseId
+ConfidenceGatedPredictor::predict() const
+{
+    if (last_observed == INVALID_PHASE)
+        return INVALID_PHASE;
+    if (trusting() && last_inner_prediction != INVALID_PHASE)
+        return last_inner_prediction;
+    return last_observed;
+}
+
+void
+ConfidenceGatedPredictor::reset()
+{
+    inner->reset();
+    level = 0;
+    last_observed = INVALID_PHASE;
+    last_inner_prediction = INVALID_PHASE;
+}
+
+std::string
+ConfidenceGatedPredictor::name() const
+{
+    return "Conf" + std::to_string(threshold) + "of" +
+        std::to_string(max_level) + "(" + inner->name() + ")";
+}
+
+} // namespace livephase

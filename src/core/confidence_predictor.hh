@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Confidence gating for phase predictors.
+ *
+ * A misprediction under dynamic management is not free: it selects
+ * a wrong DVFS setting for a whole 100M-uop period and often buys an
+ * extra pair of transitions. This decorator adds the classic
+ * branch-predictor remedy — an n-bit saturating confidence counter
+ * trained on the inner predictor's hit/miss stream. While confidence
+ * is below threshold the wrapper answers with the last observed
+ * phase (the reactive choice) instead of the inner predictor's
+ * guess; once the inner predictor proves itself the proactive
+ * prediction passes through.
+ *
+ * This is an extension beyond the paper (its Section 8 notes the
+ * framework accepts any predictor); `bench_ablation_predictors`
+ * quantifies its effect.
+ */
+
+#ifndef LIVEPHASE_CORE_CONFIDENCE_PREDICTOR_HH
+#define LIVEPHASE_CORE_CONFIDENCE_PREDICTOR_HH
+
+#include "core/predictor.hh"
+
+namespace livephase
+{
+
+/**
+ * Saturating-counter confidence gate around any predictor.
+ */
+class ConfidenceGatedPredictor : public PhasePredictor
+{
+  public:
+    /**
+     * @param inner      predictor to gate (owned); fatal() if null.
+     * @param max_level  saturation ceiling (e.g. 3 for 2-bit).
+     * @param threshold  minimum confidence to trust the inner
+     *                   prediction; fatal() unless
+     *                   0 < threshold <= max_level.
+     */
+    ConfidenceGatedPredictor(PredictorPtr inner, int max_level = 3,
+                             int threshold = 2);
+
+    void observe(const PhaseSample &sample) override;
+    PhaseId predict() const override;
+    void reset() override;
+    std::string name() const override;
+
+    /** Current confidence level. */
+    int confidence() const { return level; }
+
+    /** True when the inner prediction is currently trusted. */
+    bool trusting() const { return level >= threshold; }
+
+  private:
+    PredictorPtr inner;
+    int max_level;
+    int threshold;
+    int level;
+    PhaseId last_observed;
+    PhaseId last_inner_prediction;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_CORE_CONFIDENCE_PREDICTOR_HH

@@ -1,0 +1,115 @@
+#include "core/dvfs_policy.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+DvfsPolicy::DvfsPolicy(std::string name, std::vector<size_t> mapping,
+                       size_t table_size)
+    : label(std::move(name)), map(std::move(mapping)),
+      num_settings(table_size)
+{
+    if (map.empty())
+        fatal("DvfsPolicy '%s' has an empty phase mapping",
+              label.c_str());
+    for (size_t k = 0; k < map.size(); ++k) {
+        if (map[k] >= num_settings)
+            fatal("DvfsPolicy '%s': phase %zu maps to setting %zu but "
+                  "the table has %zu points", label.c_str(), k + 1,
+                  map[k], num_settings);
+    }
+}
+
+DvfsPolicy
+DvfsPolicy::table2(const PhaseClassifier &classifier,
+                   const DvfsTable &table)
+{
+    const int phases = classifier.numPhases();
+    if (static_cast<size_t>(phases) != table.size())
+        fatal("Table-2 policy needs one operating point per phase "
+              "(%d phases, %zu points)", phases, table.size());
+    std::vector<size_t> mapping(static_cast<size_t>(phases));
+    for (size_t k = 0; k < mapping.size(); ++k)
+        mapping[k] = k;
+    return DvfsPolicy("table2", std::move(mapping), table.size());
+}
+
+DvfsPolicy
+DvfsPolicy::alwaysFastest(int num_phases)
+{
+    if (num_phases < 1)
+        fatal("alwaysFastest needs at least one phase");
+    return DvfsPolicy("always-fastest",
+                      std::vector<size_t>(
+                          static_cast<size_t>(num_phases), 0),
+                      1);
+}
+
+size_t
+DvfsPolicy::settingForPhase(PhaseId phase) const
+{
+    if (phase < 1 || static_cast<size_t>(phase) > map.size())
+        panic("DvfsPolicy '%s': phase %d out of 1..%zu", label.c_str(),
+              phase, map.size());
+    return map[static_cast<size_t>(phase) - 1];
+}
+
+BoundedDvfsConfig
+deriveBoundedDvfs(const TimingModel &timing, const DvfsTable &table,
+                  double max_degradation, double core_ipc,
+                  double block_factor)
+{
+    if (max_degradation <= 0.0 || max_degradation >= 1.0)
+        fatal("deriveBounded: degradation bound %.3f outside (0, 1)",
+              max_degradation);
+    if (core_ipc <= 0.0)
+        fatal("deriveBounded: core IPC must be positive");
+    if (block_factor <= 0.0 || block_factor > 1.0)
+        fatal("deriveBounded: blocking factor %.3f outside (0, 1]",
+              block_factor);
+
+    // Closed form of the minimum Mem/Uop `m` at which operating
+    // point f satisfies time(m, f) <= (1 + d) * time(m, f_max):
+    //
+    //   m >= A * (f_max/f - 1 - d) / (L * b * f_max * d)
+    //
+    // with A = 1/core_ipc, L = memory latency (s), b = blocking
+    // factor, d = bound. Derived from the TimingModel cycle
+    // equation; see tests/core/dvfs_policy_test.cc for a numerical
+    // cross-check against TimingModel::slowdown.
+    const double f_max = table.fastest().freqHz();
+    const double lat_s = timing.params().mem_latency_ns * 1e-9;
+    const double a = 1.0 / core_ipc;
+    const double d = max_degradation;
+
+    std::vector<double> boundaries;
+    double previous = 0.0;
+    for (size_t i = 1; i < table.size(); ++i) {
+        const double f = table.at(i).freqHz();
+        double m = a * (f_max / f - 1.0 - d) /
+            (lat_s * block_factor * f_max * d);
+        // A non-positive threshold means this point meets the bound
+        // even for purely CPU-bound code; keep boundaries strictly
+        // increasing so the classifier stays well-formed.
+        m = std::max(m, previous + 1e-6);
+        boundaries.push_back(m);
+        previous = m;
+    }
+
+    PhaseClassifier classifier(boundaries);
+    std::vector<size_t> mapping(table.size());
+    for (size_t k = 0; k < mapping.size(); ++k)
+        mapping[k] = k;
+    char name[64];
+    std::snprintf(name, sizeof(name), "bounded_%.0f%%",
+                  max_degradation * 100.0);
+    return BoundedDvfsConfig{std::move(classifier),
+                             DvfsPolicy(name, std::move(mapping),
+                                        table.size())};
+}
+
+} // namespace livephase

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Translation of predicted phases into DVFS settings.
+ *
+ * The deployed system keeps this as a lookup table defined at module
+ * initialization (paper Section 5.2, Table 2) so the handler can map
+ * a predicted phase to an operating point in O(1) inside interrupt
+ * context. Alternative management goals are plain reconfigurations
+ * of this table; Section 6.3's performance-bounded variant is derived
+ * analytically here from the timing model.
+ */
+
+#ifndef LIVEPHASE_CORE_DVFS_POLICY_HH
+#define LIVEPHASE_CORE_DVFS_POLICY_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/phase_classifier.hh"
+#include "cpu/dvfs_table.hh"
+#include "cpu/timing_model.hh"
+
+namespace livephase
+{
+
+/**
+ * Phase -> operating-point-index lookup table.
+ */
+class DvfsPolicy
+{
+  public:
+    /**
+     * @param name     identifier for reports.
+     * @param mapping  mapping[k] is the DVFS table index for phase
+     *                 k+1; fatal() when empty or an index is out of
+     *                 range for the given table size.
+     * @param table_size number of operating points available.
+     */
+    DvfsPolicy(std::string name, std::vector<size_t> mapping,
+               size_t table_size);
+
+    /**
+     * The paper's Table 2 policy: phase k -> k-th fastest setting.
+     * fatal() unless the classifier's phase count equals the DVFS
+     * table size.
+     */
+    static DvfsPolicy table2(const PhaseClassifier &classifier,
+                             const DvfsTable &table);
+
+    /** A policy pinning every phase to the fastest setting
+     *  (the unmanaged baseline). */
+    static DvfsPolicy alwaysFastest(int num_phases);
+
+    /** Table index for a phase. @pre 1 <= phase <= numPhases() */
+    size_t settingForPhase(PhaseId phase) const;
+
+    /** Number of phases this policy covers. */
+    int numPhases() const { return static_cast<int>(map.size()); }
+
+    /** Report name. */
+    const std::string &name() const { return label; }
+
+  private:
+    std::string label;
+    std::vector<size_t> map;
+    size_t num_settings;
+};
+
+/**
+ * Result of deriving a performance-bounded configuration: new phase
+ * boundaries plus the matching policy (Section 6.3).
+ */
+struct BoundedDvfsConfig
+{
+    PhaseClassifier classifier;
+    DvfsPolicy policy;
+};
+
+/**
+ * Derive phase definitions that bound worst-case performance
+ * degradation (Section 6.3): for each operating point, compute the
+ * smallest Mem/Uop at which running there — instead of at the
+ * fastest point — slows execution by at most `max_degradation`, then
+ * use those thresholds as the new phase boundaries.
+ *
+ * The worst case within a phase is its most CPU-bound member, so the
+ * derivation is evaluated at the paper's reference concurrency
+ * (core_ipc) and a conservative blocking factor.
+ *
+ * @param timing   machine timing model.
+ * @param table    available operating points.
+ * @param max_degradation e.g. 0.05 for a 5% bound; fatal() when not
+ *                 in (0, 1).
+ * @param core_ipc reference execution-core IPC.
+ * @param block_factor memory blocking factor assumed.
+ */
+BoundedDvfsConfig deriveBoundedDvfs(const TimingModel &timing,
+                                    const DvfsTable &table,
+                                    double max_degradation,
+                                    double core_ipc = 1.0,
+                                    double block_factor = 1.0);
+
+} // namespace livephase
+
+#endif // LIVEPHASE_CORE_DVFS_POLICY_HH

@@ -1,0 +1,107 @@
+#include "core/fixed_window_predictor.hh"
+
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+FixedWindowPredictor::FixedWindowPredictor(size_t window,
+                                           Selector selector,
+                                           double ewma_alpha)
+    : win_size(window), sel(selector), alpha(ewma_alpha),
+      ewma_value(0.0), ewma_seeded(false)
+{
+    if (win_size == 0)
+        fatal("FixedWindowPredictor: window must be non-zero");
+    if (alpha <= 0.0 || alpha > 1.0)
+        fatal("FixedWindowPredictor: EWMA alpha %f outside (0, 1]",
+              alpha);
+}
+
+void
+FixedWindowPredictor::observe(const PhaseSample &sample)
+{
+    history.push_front(sample.phase);
+    if (history.size() > win_size)
+        history.pop_back();
+    if (ewma_seeded) {
+        ewma_value =
+            alpha * static_cast<double>(sample.phase) +
+            (1.0 - alpha) * ewma_value;
+    } else {
+        ewma_value = static_cast<double>(sample.phase);
+        ewma_seeded = true;
+    }
+}
+
+PhaseId
+FixedWindowPredictor::predict() const
+{
+    if (history.empty())
+        return INVALID_PHASE;
+    switch (sel) {
+      case Selector::Majority:
+        return majorityVote();
+      case Selector::Average:
+        return roundedAverage();
+      case Selector::Ewma:
+        return static_cast<PhaseId>(std::lround(ewma_value));
+    }
+    panic("FixedWindowPredictor: unhandled selector");
+}
+
+void
+FixedWindowPredictor::reset()
+{
+    history.clear();
+    ewma_value = 0.0;
+    ewma_seeded = false;
+}
+
+std::string
+FixedWindowPredictor::name() const
+{
+    const char *tag = sel == Selector::Majority ? ""
+        : sel == Selector::Average ? "_avg" : "_ewma";
+    return "FixWindow_" + std::to_string(win_size) + tag;
+}
+
+PhaseId
+FixedWindowPredictor::majorityVote() const
+{
+    std::map<PhaseId, size_t> counts;
+    for (PhaseId p : history)
+        ++counts[p];
+    PhaseId best = history.front();
+    size_t best_count = counts[best];
+    for (const auto &[phase, count] : counts) {
+        if (count > best_count) {
+            best = phase;
+            best_count = count;
+        }
+    }
+    // Ties resolve to the most recent phase among the tied ones:
+    // walk the history from newest to oldest.
+    for (PhaseId p : history) {
+        if (counts[p] == best_count) {
+            best = p;
+            break;
+        }
+    }
+    return best;
+}
+
+PhaseId
+FixedWindowPredictor::roundedAverage() const
+{
+    double sum = 0.0;
+    for (PhaseId p : history)
+        sum += static_cast<double>(p);
+    return static_cast<PhaseId>(
+        std::lround(sum / static_cast<double>(history.size())));
+}
+
+} // namespace livephase

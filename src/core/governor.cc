@@ -1,0 +1,102 @@
+#include "core/governor.hh"
+
+#include "common/logging.hh"
+#include "core/gpht_predictor.hh"
+#include "core/last_value_predictor.hh"
+
+namespace livephase
+{
+
+Governor::Governor(std::string name, PhaseClassifier classifier,
+                   PredictorPtr predictor, DvfsPolicy policy,
+                   bool manage, PhaseMetric metric)
+    : label(std::move(name)), classes(std::move(classifier)),
+      pred(std::move(predictor)), pol(std::move(policy)),
+      manage(manage), metric_source(metric)
+{
+    if (label.empty())
+        fatal("Governor requires a name");
+    if (manage && !pred)
+        fatal("Governor '%s' manages DVFS but has no predictor",
+              label.c_str());
+    if (pol.numPhases() < classes.numPhases())
+        fatal("Governor '%s': policy covers %d phases but the "
+              "classifier defines %d", label.c_str(),
+              pol.numPhases(), classes.numPhases());
+}
+
+Governor
+makeBaselineGovernor()
+{
+    PhaseClassifier classifier = PhaseClassifier::table1();
+    DvfsPolicy policy =
+        DvfsPolicy::alwaysFastest(classifier.numPhases());
+    return Governor("baseline", std::move(classifier),
+                    std::make_unique<LastValuePredictor>(),
+                    std::move(policy), false);
+}
+
+Governor
+makeReactiveGovernor(const DvfsTable &table)
+{
+    PhaseClassifier classifier = PhaseClassifier::table1();
+    DvfsPolicy policy = DvfsPolicy::table2(classifier, table);
+    return Governor("reactive", std::move(classifier),
+                    std::make_unique<LastValuePredictor>(),
+                    std::move(policy), true);
+}
+
+Governor
+makeGphtGovernor(const DvfsTable &table, size_t gphr_depth,
+                 size_t pht_entries)
+{
+    PhaseClassifier classifier = PhaseClassifier::table1();
+    DvfsPolicy policy = DvfsPolicy::table2(classifier, table);
+    return Governor("gpht", std::move(classifier),
+                    std::make_unique<GphtPredictor>(gphr_depth,
+                                                    pht_entries),
+                    std::move(policy), true);
+}
+
+Governor
+makeUpcGovernor(const DvfsTable &table, size_t gphr_depth,
+                size_t pht_entries)
+{
+    // Six UPC classes spanning the Figure 6 behaviour space. Phase
+    // 1 = lowest UPC (looks memory-bound) down to phase 6 = highest
+    // (clearly CPU-bound), so the policy maps phase k onto the
+    // (7-k)-th fastest point: slow the "memory-bound" phases down.
+    PhaseClassifier classifier({0.3, 0.6, 0.9, 1.2, 1.5});
+    if (static_cast<size_t>(classifier.numPhases()) != table.size())
+        fatal("makeUpcGovernor expects one setting per UPC class");
+    std::vector<size_t> mapping(table.size());
+    for (size_t k = 0; k < mapping.size(); ++k)
+        mapping[k] = table.size() - 1 - k;
+    DvfsPolicy policy("upc-phases", std::move(mapping),
+                      table.size());
+    return Governor("upc-phases", std::move(classifier),
+                    std::make_unique<GphtPredictor>(gphr_depth,
+                                                    pht_entries),
+                    std::move(policy), true, PhaseMetric::Upc);
+}
+
+Governor
+makeBoundedGovernor(const TimingModel &timing, const DvfsTable &table,
+                    double max_degradation, size_t gphr_depth,
+                    size_t pht_entries)
+{
+    // Derive against the least-slack corner of the workload
+    // population: unit concurrency (uops/instruction ~ 1, the
+    // paper's reference) and a low memory-overlap product, so that
+    // even pointer-chasing codes like mcf stay inside the bound.
+    BoundedDvfsConfig bounded = deriveBoundedDvfs(
+        timing, table, max_degradation, /*core_ipc=*/1.0,
+        /*block_factor=*/0.4);
+    return Governor("bounded-" + bounded.policy.name(),
+                    std::move(bounded.classifier),
+                    std::make_unique<GphtPredictor>(gphr_depth,
+                                                    pht_entries),
+                    std::move(bounded.policy), true);
+}
+
+} // namespace livephase

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Governors: bundled phase-management strategies.
+ *
+ * A governor packages the three configurable pieces the kernel
+ * module needs — a phase classifier, a next-phase predictor, and a
+ * phase-to-DVFS policy — under a name. The paper's three systems map
+ * directly:
+ *
+ *  - baseline:  unmanaged execution at the fastest setting
+ *               (monitoring only);
+ *  - reactive:  last-value prediction + Table 2 policy — the
+ *               commonly used scheme GPHT is compared against in
+ *               Section 6.2;
+ *  - gpht:      GPHT prediction + Table 2 policy (the paper's
+ *               deployed proactive system);
+ *  - bounded:   GPHT prediction + Section 6.3's conservative phase
+ *               definitions bounding worst-case slowdown.
+ */
+
+#ifndef LIVEPHASE_CORE_GOVERNOR_HH
+#define LIVEPHASE_CORE_GOVERNOR_HH
+
+#include <string>
+
+#include "core/dvfs_policy.hh"
+#include "core/phase_classifier.hh"
+#include "core/predictor.hh"
+#include "cpu/dvfs_table.hh"
+#include "cpu/timing_model.hh"
+
+namespace livephase
+{
+
+/**
+ * Which monitored metric the classifier consumes.
+ *
+ * The paper's phases are defined on Mem/Uop precisely because it is
+ * DVFS-invariant (Section 4). Upc is provided to *demonstrate* the
+ * pitfall the paper warns against: UPC-defined phases shift with the
+ * operating point, so management actions corrupt the phase stream.
+ */
+enum class PhaseMetric
+{
+    MemPerUop,
+    Upc
+};
+
+/**
+ * A complete phase-management strategy. Move-only (owns the
+ * predictor state).
+ */
+class Governor
+{
+  public:
+    /**
+     * @param name       report identifier.
+     * @param classifier phase definition in use.
+     * @param predictor  next-phase predictor; may be null for a
+     *                   monitoring-only (baseline) governor.
+     * @param policy     phase -> DVFS translation.
+     * @param manage     when false, DVFS is never changed (baseline).
+     * @param metric     monitored metric the classifier consumes.
+     */
+    Governor(std::string name, PhaseClassifier classifier,
+             PredictorPtr predictor, DvfsPolicy policy, bool manage,
+             PhaseMetric metric = PhaseMetric::MemPerUop);
+
+    Governor(Governor &&) = default;
+    Governor &operator=(Governor &&) = default;
+
+    /** Report identifier. */
+    const std::string &name() const { return label; }
+
+    /** Phase definition. */
+    const PhaseClassifier &classifier() const { return classes; }
+
+    /** Predictor (null for monitoring-only governors). */
+    PhasePredictor *predictor() { return pred.get(); }
+    const PhasePredictor *predictor() const { return pred.get(); }
+
+    /** Phase -> DVFS policy. */
+    const DvfsPolicy &policy() const { return pol; }
+
+    /** True when the governor actively applies DVFS settings. */
+    bool manages() const { return manage; }
+
+    /** Monitored metric the classifier consumes. */
+    PhaseMetric metric() const { return metric_source; }
+
+  private:
+    std::string label;
+    PhaseClassifier classes;
+    PredictorPtr pred;
+    DvfsPolicy pol;
+    bool manage;
+    PhaseMetric metric_source;
+};
+
+/** Unmanaged baseline: monitor and log, never touch DVFS. */
+Governor makeBaselineGovernor();
+
+/**
+ * Reactive management: respond to the last observed phase
+ * (Section 6.2's comparison scheme).
+ */
+Governor makeReactiveGovernor(const DvfsTable &table);
+
+/**
+ * Proactive GPHT management (the paper's deployed configuration:
+ * GPHR depth 8, 128-entry PHT; Section 3.2 evaluates 1024 entries).
+ */
+Governor makeGphtGovernor(const DvfsTable &table,
+                          size_t gphr_depth = 8,
+                          size_t pht_entries = 128);
+
+/**
+ * GPHT management under Section 6.3's conservative phase
+ * definitions bounding worst-case performance degradation.
+ */
+Governor makeBoundedGovernor(const TimingModel &timing,
+                             const DvfsTable &table,
+                             double max_degradation,
+                             size_t gphr_depth = 8,
+                             size_t pht_entries = 128);
+
+/**
+ * The anti-pattern of Section 4: phases defined on UPC instead of
+ * Mem/Uop, with low-UPC (memory-looking) phases mapped to slow
+ * settings. Because UPC itself moves with the operating point, the
+ * phase stream is action-dependent — this governor oscillates and
+ * mismanages exactly as the paper warns. Provided for the
+ * `bench_ablation_upc_phases` demonstration; do not deploy.
+ */
+Governor makeUpcGovernor(const DvfsTable &table,
+                         size_t gphr_depth = 8,
+                         size_t pht_entries = 128);
+
+} // namespace livephase
+
+#endif // LIVEPHASE_CORE_GOVERNOR_HH

@@ -1,0 +1,209 @@
+#include "core/gpht_predictor.hh"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+GphtPredictor::GphtPredictor(size_t gphr_depth, size_t pht_entries)
+    : depth(gphr_depth), capacity(pht_entries)
+{
+    if (depth == 0)
+        fatal("GphtPredictor: GPHR depth must be non-zero");
+    if (capacity == 0)
+        fatal("GphtPredictor: PHT must have at least one entry");
+    gphr.assign(depth, INVALID_PHASE);
+    pht.assign(capacity, PhtEntry{});
+    gphr_fill = 0;
+    lru_clock = 0;
+    pending_train = -1;
+    current_prediction = INVALID_PHASE;
+}
+
+void
+GphtPredictor::observe(const PhaseSample &sample)
+{
+    // 1. Train the entry consulted (or installed) last period with
+    //    the phase that actually followed its pattern.
+    if (pending_train >= 0)
+        pht[static_cast<size_t>(pending_train)].prediction =
+            sample.phase;
+    pending_train = -1;
+
+    // 2. Shift the observed phase into the GPHR.
+    for (size_t i = depth - 1; i > 0; --i)
+        gphr[i] = gphr[i - 1];
+    gphr[0] = sample.phase;
+    if (gphr_fill < depth)
+        ++gphr_fill;
+
+    // 3. Until the GPHR holds a full pattern there is nothing to
+    //    index the PHT with: behave as last-value.
+    if (gphr_fill < depth) {
+        current_prediction = gphr[0];
+        return;
+    }
+
+    // 4. Associative PHT lookup.
+    ++counters.lookups;
+    const int hit = lookup();
+    if (hit >= 0) {
+        ++counters.hits;
+        PhtEntry &entry = pht[static_cast<size_t>(hit)];
+        entry.age = ++lru_clock;
+        // An entry installed on a miss has not been trained yet; its
+        // prediction is invalid until its pattern recurs after one
+        // training step. Fall back to last-value in that window.
+        current_prediction = entry.prediction != INVALID_PHASE
+            ? entry.prediction : gphr[0];
+        pending_train = hit;
+        return;
+    }
+
+    // 5. Miss: predict last value and install the current pattern.
+    current_prediction = gphr[0];
+    const int victim = victimIndex();
+    PhtEntry &entry = pht[static_cast<size_t>(victim)];
+    if (entry.age >= 0)
+        ++counters.replacements;
+    ++counters.insertions;
+    entry.tag = gphr;
+    entry.prediction = INVALID_PHASE;
+    entry.age = ++lru_clock;
+    pending_train = victim;
+}
+
+PhaseId
+GphtPredictor::predict() const
+{
+    return current_prediction;
+}
+
+void
+GphtPredictor::reset()
+{
+    std::fill(gphr.begin(), gphr.end(), INVALID_PHASE);
+    gphr_fill = 0;
+    for (auto &entry : pht)
+        entry = PhtEntry{};
+    lru_clock = 0;
+    pending_train = -1;
+    current_prediction = INVALID_PHASE;
+    counters = Stats{};
+}
+
+std::string
+GphtPredictor::name() const
+{
+    return "GPHT_" + std::to_string(depth) + "_" +
+        std::to_string(capacity);
+}
+
+size_t
+GphtPredictor::phtOccupancy() const
+{
+    size_t valid = 0;
+    for (const auto &entry : pht)
+        if (entry.age >= 0)
+            ++valid;
+    return valid;
+}
+
+std::vector<PhaseId>
+GphtPredictor::gphrContents() const
+{
+    return gphr;
+}
+
+void
+GphtPredictor::saveState(std::ostream &os) const
+{
+    os << "GPHT-STATE 1\n";
+    os << depth << ' ' << capacity << '\n';
+    os << gphr_fill << ' ' << lru_clock << ' ' << pending_train
+       << ' ' << current_prediction << '\n';
+    for (PhaseId p : gphr)
+        os << p << ' ';
+    os << '\n';
+    for (const PhtEntry &entry : pht) {
+        os << entry.age << ' ' << entry.prediction;
+        if (entry.age >= 0) {
+            // Tags of invalid entries are empty; only valid ones
+            // carry depth phases.
+            for (PhaseId p : entry.tag)
+                os << ' ' << p;
+        }
+        os << '\n';
+    }
+}
+
+void
+GphtPredictor::loadState(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    if (!(is >> magic >> version) || magic != "GPHT-STATE" ||
+        version != 1) {
+        fatal("GphtPredictor::loadState: bad header");
+    }
+    size_t saved_depth = 0, saved_capacity = 0;
+    if (!(is >> saved_depth >> saved_capacity))
+        fatal("GphtPredictor::loadState: truncated geometry");
+    if (saved_depth != depth || saved_capacity != capacity)
+        fatal("GphtPredictor::loadState: geometry mismatch "
+              "(saved %zux%zu, this %zux%zu)", saved_depth,
+              saved_capacity, depth, capacity);
+    if (!(is >> gphr_fill >> lru_clock >> pending_train >>
+          current_prediction) ||
+        gphr_fill > depth ||
+        pending_train >= static_cast<int>(capacity)) {
+        fatal("GphtPredictor::loadState: corrupt predictor state");
+    }
+    for (PhaseId &p : gphr)
+        if (!(is >> p))
+            fatal("GphtPredictor::loadState: truncated GPHR");
+    for (PhtEntry &entry : pht) {
+        if (!(is >> entry.age >> entry.prediction))
+            fatal("GphtPredictor::loadState: truncated PHT");
+        entry.tag.clear();
+        if (entry.age >= 0) {
+            entry.tag.resize(depth);
+            for (PhaseId &p : entry.tag)
+                if (!(is >> p))
+                    fatal("GphtPredictor::loadState: truncated tag");
+        }
+    }
+    counters = Stats{};
+}
+
+int
+GphtPredictor::lookup() const
+{
+    for (size_t i = 0; i < capacity; ++i) {
+        if (pht[i].age >= 0 && pht[i].tag == gphr)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+GphtPredictor::victimIndex()
+{
+    int victim = -1;
+    int64_t oldest = 0;
+    for (size_t i = 0; i < capacity; ++i) {
+        if (pht[i].age < 0)
+            return static_cast<int>(i); // invalid entry available
+        if (victim < 0 || pht[i].age < oldest) {
+            victim = static_cast<int>(i);
+            oldest = pht[i].age;
+        }
+    }
+    return victim;
+}
+
+} // namespace livephase

@@ -1,0 +1,30 @@
+#include "core/last_value_predictor.hh"
+
+namespace livephase
+{
+
+void
+LastValuePredictor::observe(const PhaseSample &sample)
+{
+    last = sample.phase;
+}
+
+PhaseId
+LastValuePredictor::predict() const
+{
+    return last;
+}
+
+void
+LastValuePredictor::reset()
+{
+    last = INVALID_PHASE;
+}
+
+std::string
+LastValuePredictor::name() const
+{
+    return "LastValue";
+}
+
+} // namespace livephase

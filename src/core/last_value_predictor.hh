@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Last-value phase predictor.
+ *
+ * The simplest statistical predictor of Section 3 — and the implicit
+ * policy of "reactive" dynamic-management schemes: the next period is
+ * assumed identical to the last observed one,
+ * Phase[t+1] = Phase[t].
+ */
+
+#ifndef LIVEPHASE_CORE_LAST_VALUE_PREDICTOR_HH
+#define LIVEPHASE_CORE_LAST_VALUE_PREDICTOR_HH
+
+#include "core/predictor.hh"
+
+namespace livephase
+{
+
+/**
+ * Predicts that the most recently observed phase repeats.
+ */
+class LastValuePredictor : public PhasePredictor
+{
+  public:
+    LastValuePredictor() = default;
+
+    void observe(const PhaseSample &sample) override;
+    PhaseId predict() const override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    PhaseId last = INVALID_PHASE;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_CORE_LAST_VALUE_PREDICTOR_HH

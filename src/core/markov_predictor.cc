@@ -1,0 +1,79 @@
+#include "core/markov_predictor.hh"
+
+namespace livephase
+{
+
+MarkovPredictor::MarkovPredictor(uint64_t decay_period)
+    : decay_period(decay_period), observations(0),
+      current(INVALID_PHASE)
+{
+}
+
+void
+MarkovPredictor::observe(const PhaseSample &sample)
+{
+    if (current != INVALID_PHASE)
+        ++counts[{current, sample.phase}];
+    current = sample.phase;
+    ++observations;
+    if (decay_period != 0 && observations % decay_period == 0)
+        decay();
+}
+
+PhaseId
+MarkovPredictor::predict() const
+{
+    if (current == INVALID_PHASE)
+        return INVALID_PHASE;
+    PhaseId best = current; // fall back to last value
+    uint64_t best_count = 0;
+    for (const auto &[key, count] : counts) {
+        if (key.first != current)
+            continue;
+        if (count > best_count ||
+            (count == best_count && key.second == current)) {
+            // Ties resolve toward staying in the current phase —
+            // the cheaper decision for DVFS (no transition).
+            best = key.second;
+            best_count = count;
+        }
+    }
+    return best;
+}
+
+void
+MarkovPredictor::reset()
+{
+    counts.clear();
+    observations = 0;
+    current = INVALID_PHASE;
+}
+
+std::string
+MarkovPredictor::name() const
+{
+    if (decay_period == 0)
+        return "Markov";
+    return "Markov_decay" + std::to_string(decay_period);
+}
+
+uint64_t
+MarkovPredictor::transitionCount(PhaseId from, PhaseId to) const
+{
+    auto it = counts.find({from, to});
+    return it == counts.end() ? 0 : it->second;
+}
+
+void
+MarkovPredictor::decay()
+{
+    for (auto it = counts.begin(); it != counts.end();) {
+        it->second /= 2;
+        if (it->second == 0)
+            it = counts.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace livephase

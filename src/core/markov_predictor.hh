@@ -1,0 +1,60 @@
+/**
+ * @file
+ * First-order Markov (transition-table) phase predictor.
+ *
+ * A classic table-based alternative from the literature the paper
+ * builds on (Duesterwald et al. [8] show table predictors beat
+ * statistical ones on variable metrics): count observed phase ->
+ * phase transitions and predict the maximum-likelihood successor of
+ * the current phase. Sits between last-value (captures self-loops
+ * only implicitly) and the GPHT (which keys on full history
+ * patterns): it captures dominant pairwise transitions but cannot
+ * disambiguate contexts that share the same current phase.
+ */
+
+#ifndef LIVEPHASE_CORE_MARKOV_PREDICTOR_HH
+#define LIVEPHASE_CORE_MARKOV_PREDICTOR_HH
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "core/predictor.hh"
+
+namespace livephase
+{
+
+/**
+ * Maximum-likelihood next-phase predictor over pairwise transition
+ * counts.
+ */
+class MarkovPredictor : public PhasePredictor
+{
+  public:
+    /**
+     * @param decay_period halve all counts every `decay_period`
+     *        observations so the table adapts to program regions;
+     *        0 disables decay.
+     */
+    explicit MarkovPredictor(uint64_t decay_period = 0);
+
+    void observe(const PhaseSample &sample) override;
+    PhaseId predict() const override;
+    void reset() override;
+    std::string name() const override;
+
+    /** Observed count for a (from, to) transition. */
+    uint64_t transitionCount(PhaseId from, PhaseId to) const;
+
+  private:
+    void decay();
+
+    uint64_t decay_period;
+    uint64_t observations;
+    PhaseId current;
+    std::map<std::pair<PhaseId, PhaseId>, uint64_t> counts;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_CORE_MARKOV_PREDICTOR_HH

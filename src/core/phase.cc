@@ -1,0 +1,14 @@
+#include "core/phase.hh"
+
+namespace livephase
+{
+
+std::string
+phaseName(PhaseId phase)
+{
+    if (phase == INVALID_PHASE)
+        return "invalid";
+    return "phase " + std::to_string(phase);
+}
+
+} // namespace livephase

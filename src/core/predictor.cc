@@ -1,0 +1,12 @@
+#include "core/predictor.hh"
+
+namespace livephase
+{
+
+void
+PhasePredictor::observePhase(PhaseId phase)
+{
+    observe(PhaseSample{phase, static_cast<double>(phase)});
+}
+
+} // namespace livephase

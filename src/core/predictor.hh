@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Common interface for next-phase predictors.
+ *
+ * Protocol (mirroring the PMI handler of the paper's Figure 8): once
+ * per sampling period the handler calls observe() with the phase it
+ * just measured, then predict() for the phase it expects in the next
+ * period. A predictor therefore answers "given everything observed
+ * up to and including sample t, what is phase t+1?".
+ *
+ * Before any observation, predict() returns INVALID_PHASE and callers
+ * (the kernel module, the evaluation harness) treat the first period
+ * as unpredictable.
+ */
+
+#ifndef LIVEPHASE_CORE_PREDICTOR_HH
+#define LIVEPHASE_CORE_PREDICTOR_HH
+
+#include <memory>
+#include <string>
+
+#include "core/phase.hh"
+
+namespace livephase
+{
+
+/**
+ * Abstract next-phase predictor.
+ */
+class PhasePredictor
+{
+  public:
+    virtual ~PhasePredictor() = default;
+
+    /** Feed the phase (and raw metric) observed for the period that
+     *  just ended. */
+    virtual void observe(const PhaseSample &sample) = 0;
+
+    /** Predicted phase for the next period (INVALID_PHASE until the
+     *  first observation). */
+    virtual PhaseId predict() const = 0;
+
+    /** Forget all history. */
+    virtual void reset() = 0;
+
+    /** Identifier used in result tables ("GPHT_8_1024", ...). */
+    virtual std::string name() const = 0;
+
+    /** Convenience overload for tests: observe a bare phase id with
+     *  a synthetic metric equal to the id (distinct per phase). */
+    void observePhase(PhaseId phase);
+};
+
+/** Owning handle used throughout the library. */
+using PredictorPtr = std::unique_ptr<PhasePredictor>;
+
+} // namespace livephase
+
+#endif // LIVEPHASE_CORE_PREDICTOR_HH

@@ -1,0 +1,103 @@
+#include "core/run_length_predictor.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+RunLengthPredictor::RunLengthPredictor(double ewma_alpha)
+    : alpha(ewma_alpha), current(INVALID_PHASE), run_length(0)
+{
+    if (alpha <= 0.0 || alpha > 1.0)
+        fatal("RunLengthPredictor: EWMA alpha %f outside (0, 1]",
+              alpha);
+}
+
+void
+RunLengthPredictor::observe(const PhaseSample &sample)
+{
+    if (sample.phase == current) {
+        ++run_length;
+        return;
+    }
+    if (current != INVALID_PHASE) {
+        // The previous run just ended: fold its length into the
+        // phase's expectation and record the successor.
+        PhaseStats &s = stats[current];
+        const double length = static_cast<double>(run_length);
+        if (s.has_length) {
+            s.expected_length =
+                alpha * length + (1.0 - alpha) * s.expected_length;
+        } else {
+            s.expected_length = length;
+            s.has_length = true;
+        }
+        ++s.successor_counts[sample.phase];
+    }
+    current = sample.phase;
+    run_length = 1;
+}
+
+PhaseId
+RunLengthPredictor::predict() const
+{
+    if (current == INVALID_PHASE)
+        return INVALID_PHASE;
+    auto it = stats.find(current);
+    if (it == stats.end() || !it->second.has_length)
+        return current; // never seen this run end: assume it stays
+    // Predict a change only once the run has reached the learned
+    // duration (rounding down keeps the change prediction aligned
+    // with the modal boundary for stable periodic workloads).
+    if (static_cast<double>(run_length) <
+        it->second.expected_length - 0.5) {
+        return current;
+    }
+    return likelySuccessor(current);
+}
+
+void
+RunLengthPredictor::reset()
+{
+    current = INVALID_PHASE;
+    run_length = 0;
+    stats.clear();
+}
+
+std::string
+RunLengthPredictor::name() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "RunLength_%.2f", alpha);
+    return buf;
+}
+
+double
+RunLengthPredictor::expectedRunLength(PhaseId phase) const
+{
+    auto it = stats.find(phase);
+    if (it == stats.end() || !it->second.has_length)
+        return 0.0;
+    return it->second.expected_length;
+}
+
+PhaseId
+RunLengthPredictor::likelySuccessor(PhaseId phase) const
+{
+    auto it = stats.find(phase);
+    if (it == stats.end() || it->second.successor_counts.empty())
+        return phase;
+    PhaseId best = phase;
+    uint64_t best_count = 0;
+    for (const auto &[succ, count] : it->second.successor_counts) {
+        if (count > best_count) {
+            best = succ;
+            best_count = count;
+        }
+    }
+    return best;
+}
+
+} // namespace livephase

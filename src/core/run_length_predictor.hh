@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Run-length (duration-aware) phase predictor.
+ *
+ * The paper's related work (Lau et al. [18], Isci et al. [14])
+ * predicts phase *durations* as well as identities. This predictor
+ * operationalizes that idea at the sample level: it learns, per
+ * phase, the typical run length (how many consecutive samples the
+ * phase persists) and the phase that usually follows. While the
+ * current run is shorter than the learned duration it predicts
+ * "stay"; once the run reaches it, it predicts the learned
+ * successor.
+ *
+ * Compared to the GPHT this needs far less state (two small tables)
+ * but captures only first-order structure — the bench
+ * `bench_ablation_predictors` quantifies the gap.
+ */
+
+#ifndef LIVEPHASE_CORE_RUN_LENGTH_PREDICTOR_HH
+#define LIVEPHASE_CORE_RUN_LENGTH_PREDICTOR_HH
+
+#include <cstdint>
+#include <map>
+
+#include "core/predictor.hh"
+
+namespace livephase
+{
+
+/**
+ * Duration-aware predictor: per-phase expected run length plus
+ * most-likely successor.
+ */
+class RunLengthPredictor : public PhasePredictor
+{
+  public:
+    /**
+     * @param ewma_alpha smoothing for the learned run length,
+     *        in (0, 1]; fatal() otherwise.
+     */
+    explicit RunLengthPredictor(double ewma_alpha = 0.5);
+
+    void observe(const PhaseSample &sample) override;
+    PhaseId predict() const override;
+    void reset() override;
+    std::string name() const override;
+
+    /** Learned expected run length of a phase (0 if never ended). */
+    double expectedRunLength(PhaseId phase) const;
+
+    /** Length of the current (ongoing) run. */
+    uint64_t currentRunLength() const { return run_length; }
+
+  private:
+    /** Per-phase duration/successor statistics. */
+    struct PhaseStats
+    {
+        double expected_length = 0.0;
+        bool has_length = false;
+        std::map<PhaseId, uint64_t> successor_counts;
+    };
+
+    PhaseId likelySuccessor(PhaseId phase) const;
+
+    double alpha;
+    PhaseId current;
+    uint64_t run_length;
+    std::map<PhaseId, PhaseStats> stats;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_CORE_RUN_LENGTH_PREDICTOR_HH

@@ -1,0 +1,142 @@
+#include "core/set_assoc_gpht_predictor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+SetAssocGphtPredictor::SetAssocGphtPredictor(size_t gphr_depth,
+                                             size_t sets,
+                                             size_t ways)
+    : depth(gphr_depth), num_sets(sets), num_ways(ways)
+{
+    if (depth == 0)
+        fatal("SetAssocGphtPredictor: GPHR depth must be non-zero");
+    if (num_sets == 0 || num_ways == 0)
+        fatal("SetAssocGphtPredictor: geometry %zux%zu invalid",
+              num_sets, num_ways);
+    gphr.assign(depth, INVALID_PHASE);
+    table.assign(num_sets * num_ways, Entry{});
+    gphr_fill = 0;
+    lru_clock = 0;
+    pending_train = -1;
+    current_prediction = INVALID_PHASE;
+}
+
+void
+SetAssocGphtPredictor::observe(const PhaseSample &sample)
+{
+    if (pending_train >= 0)
+        table[static_cast<size_t>(pending_train)].prediction =
+            sample.phase;
+    pending_train = -1;
+
+    for (size_t i = depth - 1; i > 0; --i)
+        gphr[i] = gphr[i - 1];
+    gphr[0] = sample.phase;
+    if (gphr_fill < depth)
+        ++gphr_fill;
+
+    if (gphr_fill < depth) {
+        current_prediction = gphr[0];
+        return;
+    }
+
+    ++counters.lookups;
+    const size_t set = setIndex();
+    const int hit_way = lookupInSet(set);
+    if (hit_way >= 0) {
+        ++counters.hits;
+        Entry &entry = at(set, static_cast<size_t>(hit_way));
+        entry.age = ++lru_clock;
+        current_prediction = entry.prediction != INVALID_PHASE
+            ? entry.prediction : gphr[0];
+        pending_train = static_cast<int64_t>(
+            set * num_ways + static_cast<size_t>(hit_way));
+        return;
+    }
+
+    current_prediction = gphr[0];
+    const size_t way = victimWay(set);
+    Entry &entry = at(set, way);
+    if (entry.age >= 0)
+        ++counters.replacements;
+    ++counters.insertions;
+    entry.tag = gphr;
+    entry.prediction = INVALID_PHASE;
+    entry.age = ++lru_clock;
+    pending_train = static_cast<int64_t>(set * num_ways + way);
+}
+
+PhaseId
+SetAssocGphtPredictor::predict() const
+{
+    return current_prediction;
+}
+
+void
+SetAssocGphtPredictor::reset()
+{
+    std::fill(gphr.begin(), gphr.end(), INVALID_PHASE);
+    gphr_fill = 0;
+    for (auto &entry : table)
+        entry = Entry{};
+    lru_clock = 0;
+    pending_train = -1;
+    current_prediction = INVALID_PHASE;
+    counters = Stats{};
+}
+
+std::string
+SetAssocGphtPredictor::name() const
+{
+    return "GPHTsa_" + std::to_string(depth) + "_" +
+        std::to_string(num_sets) + "x" + std::to_string(num_ways);
+}
+
+size_t
+SetAssocGphtPredictor::setIndex() const
+{
+    // FNV-1a over the history register; cheap and well mixed for
+    // the tiny phase alphabet.
+    uint64_t hash = 1469598103934665603ULL;
+    for (PhaseId p : gphr) {
+        hash ^= static_cast<uint64_t>(static_cast<uint32_t>(p));
+        hash *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(hash % num_sets);
+}
+
+int
+SetAssocGphtPredictor::lookupInSet(size_t set) const
+{
+    for (size_t way = 0; way < num_ways; ++way) {
+        const Entry &entry = at(set, way);
+        if (entry.age >= 0 && entry.tag == gphr)
+            return static_cast<int>(way);
+    }
+    return -1;
+}
+
+size_t
+SetAssocGphtPredictor::victimWay(size_t set)
+{
+    size_t victim = 0;
+    int64_t oldest = 0;
+    bool found = false;
+    for (size_t way = 0; way < num_ways; ++way) {
+        const Entry &entry = at(set, way);
+        if (entry.age < 0)
+            return way;
+        if (!found || entry.age < oldest) {
+            victim = way;
+            oldest = entry.age;
+            found = true;
+        }
+    }
+    return victim;
+}
+
+} // namespace livephase

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Set-associative GPHT predictor.
+ *
+ * Section 3.2 notes that "holding and associatively searching
+ * through a 1024 entry PHT may be undesirable" on a real system —
+ * the paper's answer is to shrink the table to 128 entries. This
+ * variant explores the orthogonal answer from cache design: keep
+ * the capacity but bound the search by hashing the GPHR into one of
+ * `sets` buckets and searching only that bucket's `ways` entries
+ * (LRU within the set). Lookup cost drops from O(entries) to
+ * O(ways); the cost is conflict misses when hot patterns collide.
+ *
+ * `bench_ablation_gpht_assoc` quantifies the accuracy/latency
+ * trade-off against the fully associative design.
+ */
+
+#ifndef LIVEPHASE_CORE_SET_ASSOC_GPHT_PREDICTOR_HH
+#define LIVEPHASE_CORE_SET_ASSOC_GPHT_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/predictor.hh"
+
+namespace livephase
+{
+
+/**
+ * GPHT with hashed set-associative pattern lookup.
+ */
+class SetAssocGphtPredictor : public PhasePredictor
+{
+  public:
+    /** Lookup statistics. */
+    struct Stats
+    {
+        uint64_t lookups = 0;
+        uint64_t hits = 0;
+        uint64_t insertions = 0;
+        uint64_t replacements = 0; ///< conflict/capacity evictions
+    };
+
+    /**
+     * @param gphr_depth history length; fatal() when 0.
+     * @param sets       number of hash buckets; fatal() when 0.
+     * @param ways       entries per bucket; fatal() when 0.
+     */
+    SetAssocGphtPredictor(size_t gphr_depth, size_t sets,
+                          size_t ways);
+
+    void observe(const PhaseSample &sample) override;
+    PhaseId predict() const override;
+    void reset() override;
+    std::string name() const override;
+
+    /** Total capacity (sets * ways). */
+    size_t capacity() const { return num_sets * num_ways; }
+
+    size_t gphrDepth() const { return depth; }
+    size_t sets() const { return num_sets; }
+    size_t ways() const { return num_ways; }
+
+    /** Lookup statistics since construction/reset. */
+    const Stats &stats() const { return counters; }
+
+  private:
+    struct Entry
+    {
+        std::vector<PhaseId> tag;
+        PhaseId prediction = INVALID_PHASE;
+        int64_t age = -1;
+    };
+
+    /** Hash the current GPHR to a set index. */
+    size_t setIndex() const;
+
+    /** Entry index within the set, or -1 on miss. */
+    int lookupInSet(size_t set) const;
+
+    /** Victim way in the set (invalid first, else LRU). */
+    size_t victimWay(size_t set);
+
+    Entry &at(size_t set, size_t way)
+    {
+        return table[set * num_ways + way];
+    }
+
+    const Entry &at(size_t set, size_t way) const
+    {
+        return table[set * num_ways + way];
+    }
+
+    size_t depth;
+    size_t num_sets;
+    size_t num_ways;
+    std::vector<PhaseId> gphr;
+    size_t gphr_fill;
+    std::vector<Entry> table;
+    int64_t lru_clock;
+    int64_t pending_train; ///< flat table index, or -1
+    PhaseId current_prediction;
+    Stats counters;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_CORE_SET_ASSOC_GPHT_PREDICTOR_HH

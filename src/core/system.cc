@@ -1,0 +1,90 @@
+#include "core/system.hh"
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+System::System()
+    : System(Config{})
+{
+}
+
+System::System(Config config)
+    : cfg(config)
+{
+    if (cfg.idle_padding_s < 0.0)
+        fatal("System: negative idle padding %f", cfg.idle_padding_s);
+}
+
+System::RunResult
+System::run(const IntervalTrace &trace, Governor governor) const
+{
+    if (trace.empty())
+        fatal("System::run: workload '%s' is empty",
+              trace.name().c_str());
+
+    Core core(cfg.core);
+    PowerTraceRecorder recorder;
+    if (cfg.use_daq) {
+        core.setPowerSegmentListener(
+            [&recorder](double t0, double t1, double w, double v) {
+                recorder.add(t0, t1, w, v);
+            });
+    }
+
+    RunResult result;
+    result.workload = trace.name();
+    result.governor = governor.name();
+
+    PhaseKernelModule module(core, std::move(governor), cfg.kernel);
+    module.load();
+
+    core.idle(cfg.idle_padding_s);
+    module.beginApplication();
+
+    const Core::Totals before = core.totals();
+    for (const Interval &ivl : trace)
+        core.execute(ivl);
+    const Core::Totals after = core.totals();
+
+    module.endApplication();
+    core.idle(cfg.idle_padding_s);
+
+    result.exact.instructions = after.instructions -
+        before.instructions;
+    result.exact.seconds = after.seconds - before.seconds;
+    result.exact.joules = after.joules - before.joules;
+
+    result.samples = module.log().all();
+    result.prediction_accuracy = module.log().predictionAccuracy();
+    result.dvfs_transitions = core.dvfs().transitionCount();
+
+    if (cfg.use_daq) {
+        LoggingMachine logger;
+        DaqSampler sampler(cfg.daq);
+        sampler.sampleRun(
+            recorder.segments(),
+            module.parallelPort().transitions(),
+            [&logger](const DaqSample &s) { logger.consume(s); });
+        logger.finish();
+        result.measured.instructions = result.exact.instructions;
+        result.measured.seconds = logger.appSeconds();
+        result.measured.joules = logger.appJoules();
+        result.phase_power = logger.phases();
+        result.handler_seconds_measured = logger.handlerSeconds();
+    } else {
+        result.measured = result.exact;
+    }
+
+    module.unload();
+    return result;
+}
+
+System::RunResult
+System::runBaseline(const IntervalTrace &trace) const
+{
+    return run(trace, makeBaselineGovernor());
+}
+
+} // namespace livephase

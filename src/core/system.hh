@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Top-level experiment harness: wires a workload, a processor, the
+ * kernel module and (optionally) the DAQ measurement chain into one
+ * run — the full deployed platform of the paper's Figure 9.
+ */
+
+#ifndef LIVEPHASE_CORE_SYSTEM_HH
+#define LIVEPHASE_CORE_SYSTEM_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/governor.hh"
+#include "cpu/core.hh"
+#include "daq/daq_sampler.hh"
+#include "daq/logging_machine.hh"
+#include "kernel/kernel_log.hh"
+#include "kernel/phase_kernel_module.hh"
+#include "workload/trace.hh"
+
+namespace livephase
+{
+
+/**
+ * Runs workloads under a governor and reports power/performance.
+ *
+ * Each run() constructs a fresh Core and kernel module so runs are
+ * independent and reproducible. When DAQ measurement is enabled the
+ * result carries both the simulator's exact accounting and the
+ * DAQ-reconstructed measurement (noise, 40 us sampling, parallel-
+ * port synchronization) — tests verify the two agree.
+ */
+class System
+{
+  public:
+    /** Harness configuration. */
+    struct Config
+    {
+        Core::Config core{};
+        PhaseKernelModule::Config kernel{};
+        bool use_daq = false;
+        DaqSampler::Config daq{};
+
+        /** Idle time before/after the application, exercising the
+         *  DAQ's application gating (bit 2). */
+        double idle_padding_s = 0.005;
+    };
+
+    /** Outcome of one workload run. */
+    struct RunResult
+    {
+        std::string workload;
+        std::string governor;
+
+        /** Exact (simulator-accounted) application-region totals. */
+        PowerPerf exact{};
+
+        /** DAQ-measured totals (== exact when DAQ disabled). */
+        PowerPerf measured{};
+
+        /** The kernel module's per-sample log. */
+        std::vector<SampleRecord> samples;
+
+        /** DAQ per-phase power windows (empty when DAQ disabled). */
+        std::vector<LoggingMachine::PhasePower> phase_power;
+
+        size_t dvfs_transitions = 0;
+
+        /** Prediction accuracy over the run (from the kernel log). */
+        double prediction_accuracy = 1.0;
+
+        /** Handler residency as measured by the DAQ (bit 1). */
+        double handler_seconds_measured = 0.0;
+    };
+
+    /** Construct with the default configuration. */
+    System();
+
+    explicit System(Config config);
+
+    /** Execute the trace under the governor. */
+    RunResult run(const IntervalTrace &trace, Governor governor) const;
+
+    /** Convenience: run under the unmanaged baseline. */
+    RunResult runBaseline(const IntervalTrace &trace) const;
+
+    const Config &config() const { return cfg; }
+
+  private:
+    Config cfg;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_CORE_SYSTEM_HH

@@ -1,0 +1,77 @@
+#include "core/variable_window_predictor.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+VariableWindowPredictor::VariableWindowPredictor(
+    size_t max_window, double transition_threshold)
+    : max_win(max_window), threshold(transition_threshold),
+      last_metric(0.0), has_last_metric(false), flushes(0)
+{
+    if (max_win == 0)
+        fatal("VariableWindowPredictor: window must be non-zero");
+    if (threshold < 0.0)
+        fatal("VariableWindowPredictor: negative threshold %f",
+              threshold);
+}
+
+void
+VariableWindowPredictor::observe(const PhaseSample &sample)
+{
+    if (has_last_metric &&
+        std::abs(sample.metric - last_metric) > threshold) {
+        // Phase transition: the pre-transition history describes the
+        // previous phase and would poison the vote — drop it.
+        history.clear();
+        ++flushes;
+    }
+    history.push_front(sample.phase);
+    if (history.size() > max_win)
+        history.pop_back();
+    last_metric = sample.metric;
+    has_last_metric = true;
+}
+
+PhaseId
+VariableWindowPredictor::predict() const
+{
+    if (history.empty())
+        return INVALID_PHASE;
+    std::map<PhaseId, size_t> counts;
+    for (PhaseId p : history)
+        ++counts[p];
+    size_t best_count = 0;
+    for (const auto &[phase, count] : counts)
+        best_count = std::max(best_count, count);
+    for (PhaseId p : history) {
+        if (counts[p] == best_count)
+            return p;
+    }
+    return history.front();
+}
+
+void
+VariableWindowPredictor::reset()
+{
+    history.clear();
+    last_metric = 0.0;
+    has_last_metric = false;
+    flushes = 0;
+}
+
+std::string
+VariableWindowPredictor::name() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "VarWindow_%zu_%.3f", max_win,
+                  threshold);
+    return buf;
+}
+
+} // namespace livephase

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Variable-history-window phase predictor.
+ *
+ * Section 3's refinement of the fixed window: when a phase transition
+ * is detected — the raw Mem/Uop metric moves by more than a threshold
+ * between consecutive samples — history accumulated before the
+ * transition is obsolete and is discarded. Figure 4 evaluates a
+ * 128-entry window with transition thresholds of 0.005 and 0.030.
+ */
+
+#ifndef LIVEPHASE_CORE_VARIABLE_WINDOW_PREDICTOR_HH
+#define LIVEPHASE_CORE_VARIABLE_WINDOW_PREDICTOR_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "core/predictor.hh"
+
+namespace livephase
+{
+
+/**
+ * Majority-vote predictor over a window that shrinks at transitions.
+ */
+class VariableWindowPredictor : public PhasePredictor
+{
+  public:
+    /**
+     * @param max_window maximum history length; fatal() when 0.
+     * @param transition_threshold Mem/Uop delta that flushes history;
+     *        fatal() when negative.
+     */
+    VariableWindowPredictor(size_t max_window,
+                            double transition_threshold);
+
+    void observe(const PhaseSample &sample) override;
+    PhaseId predict() const override;
+    void reset() override;
+    std::string name() const override;
+
+    /** Number of observations currently in the (possibly shrunk)
+     *  window. */
+    size_t occupancy() const { return history.size(); }
+
+    /** Number of history flushes triggered so far. */
+    size_t flushCount() const { return flushes; }
+
+  private:
+    size_t max_win;
+    double threshold;
+    std::deque<PhaseId> history; ///< most recent at front
+    double last_metric;
+    bool has_last_metric;
+    size_t flushes;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_CORE_VARIABLE_WINDOW_PREDICTOR_HH

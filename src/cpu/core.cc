@@ -1,0 +1,197 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+Core::Core()
+    : Core(Config{})
+{
+}
+
+Core::Core(Config config)
+    : timing_model(config.timing), power_model(config.power),
+      now_s(0.0)
+{
+    dvfs_ctl = std::make_unique<DvfsController>(config.table, msr_file,
+                                                config.transition_us);
+    bank = std::make_unique<PmcBank>(msr_file);
+    tsc_counter = std::make_unique<Tsc>(msr_file);
+    bank->setOverflowCallback(
+        [this](int counter_index) { pmi_ctl.raise(counter_index); });
+}
+
+void
+Core::execute(const Interval &ivl)
+{
+    if (!ivl.valid())
+        fatal("Core::execute: invalid interval (uops=%f, ipc=%f, "
+              "mem/uop=%f)", ivl.uops, ivl.core_ipc, ivl.mem_per_uop);
+
+    chargePendingDvfsStall();
+
+    double remaining_uops = ivl.uops;
+    // Guard against livelock if a counter is armed with a tiny period
+    // and the handler never re-arms it: always retire at least 1 uop.
+    while (remaining_uops >= 1.0) {
+        const OperatingPoint op = dvfs_ctl->current();
+        const double freq_hz = op.freqHz();
+
+        // Find the earliest armed overflow, measured in uops.
+        double limit_uops = remaining_uops;
+        for (int i = 0; i < PmcBank::NUM_COUNTERS; ++i) {
+            const Pmc &pmc = bank->counter(i);
+            const PmcEventSelect &sel = pmc.select();
+            if (!sel.enable || !sel.int_enable ||
+                sel.event == PmcEventId::None) {
+                continue;
+            }
+            const double per_uop =
+                eventsPerUop(sel.event, ivl, freq_hz);
+            if (per_uop <= 0.0)
+                continue;
+            const double uops_to_overflow =
+                static_cast<double>(pmc.eventsUntilOverflow()) /
+                per_uop;
+            limit_uops = std::min(limit_uops, uops_to_overflow);
+        }
+        const double chunk_uops =
+            std::max(1.0, std::min(remaining_uops, limit_uops));
+
+        // Execute the chunk at the current operating point.
+        Interval chunk = ivl;
+        chunk.uops = chunk_uops;
+        const double chunk_cycles = timing_model.cycles(chunk, freq_hz);
+        const double chunk_seconds = chunk_cycles / freq_hz;
+        const double chunk_upc = timing_model.upc(chunk, freq_hz);
+        const double watts = power_model.watts(op, chunk_upc);
+        advanceTime(chunk_seconds, watts, op.volts());
+        tsc_counter->advance(chunk_cycles);
+
+        sums.uops += chunk.uops;
+        sums.instructions += chunk.instructions();
+        sums.mem_transactions += chunk.memTransactions();
+        sums.cycles += chunk_cycles;
+
+        // Advance the counters; an armed counter reaching its period
+        // raises the PMI synchronously from inside advance(), running
+        // the OS handler (which may reprogram counters and DVFS).
+        // Non-interrupting counters advance first so that a handler
+        // triggered by an armed counter reads event totals that
+        // include this chunk — on real hardware all counters run
+        // concurrently up to the interrupt.
+        for (int pass = 0; pass < 2; ++pass) {
+            for (int i = 0; i < PmcBank::NUM_COUNTERS; ++i) {
+                Pmc &pmc = bank->counter(i);
+                const PmcEventSelect &sel = pmc.select();
+                if (!sel.enable || sel.event == PmcEventId::None)
+                    continue;
+                if (sel.int_enable != (pass == 1))
+                    continue;
+                const double per_uop =
+                    eventsPerUop(sel.event, ivl, freq_hz);
+                const auto events = static_cast<uint64_t>(
+                    std::llround(chunk.uops * per_uop));
+                pmc.advance(events);
+            }
+        }
+
+        remaining_uops -= chunk_uops;
+        // A handler invoked above may have requested a transition;
+        // charge its stall before the next chunk runs.
+        chargePendingDvfsStall();
+    }
+}
+
+void
+Core::idle(double idle_seconds)
+{
+    if (idle_seconds < 0.0)
+        panic("Core::idle: negative duration %f", idle_seconds);
+    if (idle_seconds == 0.0)
+        return;
+    const OperatingPoint op = dvfs_ctl->current();
+    advanceTime(idle_seconds, power_model.watts(op, 0.0), op.volts());
+}
+
+void
+Core::chargeKernelOverhead(double overhead_seconds)
+{
+    if (overhead_seconds < 0.0)
+        panic("Core::chargeKernelOverhead: negative duration %f",
+              overhead_seconds);
+    if (overhead_seconds == 0.0)
+        return;
+    const OperatingPoint op = dvfs_ctl->current();
+    // Kernel code is short, branchy and cache-resident: model it as
+    // moderate-throughput execution.
+    advanceTime(overhead_seconds, power_model.watts(op, 1.0),
+                op.volts());
+}
+
+void
+Core::setPowerSegmentListener(PowerSegmentListener listener)
+{
+    power_listeners.clear();
+    if (listener)
+        power_listeners.push_back(std::move(listener));
+}
+
+void
+Core::addPowerSegmentListener(PowerSegmentListener listener)
+{
+    if (!listener)
+        fatal("Core::addPowerSegmentListener: null listener");
+    power_listeners.push_back(std::move(listener));
+}
+
+void
+Core::advanceTime(double seconds, double watts, double volts)
+{
+    if (seconds <= 0.0)
+        return;
+    const double t0 = now_s;
+    now_s += seconds;
+    sums.seconds += seconds;
+    sums.joules += watts * seconds;
+    for (const auto &listener : power_listeners)
+        listener(t0, now_s, watts, volts);
+}
+
+void
+Core::chargePendingDvfsStall()
+{
+    const double stall = dvfs_ctl->consumePendingStallSeconds();
+    if (stall <= 0.0)
+        return;
+    const OperatingPoint op = dvfs_ctl->current();
+    // During the transition the core is halted: leakage plus the
+    // activity floor at the destination point.
+    advanceTime(stall, power_model.watts(op, 0.0), op.volts());
+}
+
+double
+Core::eventsPerUop(PmcEventId event, const Interval &ivl,
+                   double freq_hz) const
+{
+    switch (event) {
+      case PmcEventId::None:
+        return 0.0;
+      case PmcEventId::UopsRetired:
+        return 1.0;
+      case PmcEventId::InstRetired:
+        return 1.0 / ivl.uops_per_inst;
+      case PmcEventId::BusTranMem:
+        return ivl.mem_per_uop;
+      case PmcEventId::CpuClkUnhalted:
+        return timing_model.cyclesPerUop(ivl, freq_hz);
+    }
+    panic("Core::eventsPerUop: unhandled event id %d",
+          static_cast<int>(event));
+}
+
+} // namespace livephase

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The simulated processor: execution engine tying together the
+ * timing model, power model, DVFS controller, MSR file, performance
+ * counters, TSC and PMI delivery.
+ *
+ * Core::execute() runs one workload interval at the current operating
+ * point, splitting the work at performance-counter overflow
+ * boundaries so that an armed counter raises its PMI at *exactly* the
+ * programmed event count — the property the paper's fixed
+ * 100M-instruction sampling relies on. The OS-side PMI handler (see
+ * kernel/PhaseKernelModule) runs synchronously at that point and may
+ * reprogram counters and request DVFS transitions; transitions take
+ * effect immediately for the remainder of the interval and their
+ * stall cost is charged to time and energy.
+ */
+
+#ifndef LIVEPHASE_CPU_CORE_HH
+#define LIVEPHASE_CPU_CORE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cpu/dvfs_controller.hh"
+#include "cpu/dvfs_table.hh"
+#include "cpu/msr.hh"
+#include "cpu/power_model.hh"
+#include "cpu/timing_model.hh"
+#include "pmc/pmc.hh"
+#include "pmc/pmi_controller.hh"
+#include "pmc/tsc.hh"
+#include "workload/interval.hh"
+
+namespace livephase
+{
+
+/**
+ * A single simulated Pentium-M-class core.
+ */
+class Core
+{
+  public:
+    /** Construction parameters. */
+    struct Config
+    {
+        TimingModel::Params timing{};
+        PowerModel::Params power{};
+        DvfsTable table = DvfsTable::pentiumM();
+        double transition_us = 10.0; ///< DVFS transition stall
+    };
+
+    /** Cumulative execution totals since construction. */
+    struct Totals
+    {
+        double uops = 0.0;
+        double instructions = 0.0;
+        double mem_transactions = 0.0;
+        double cycles = 0.0;
+        double seconds = 0.0; ///< busy (executing) time incl. stalls
+        double joules = 0.0;
+    };
+
+    /**
+     * Listener for piecewise-constant power segments
+     * (t_start, t_end, watts, cpu volts) — the electrical signal the
+     * DAQ taps at the sense resistors.
+     */
+    using PowerSegmentListener =
+        std::function<void(double t0, double t1, double watts,
+                           double volts)>;
+
+    /** Construct with the default (Pentium-M) configuration. */
+    Core();
+
+    explicit Core(Config config);
+
+    // The core owns components that hold references into it; neither
+    // copying nor moving preserves those links.
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
+
+    /** @{ Component access. */
+    Msr &msr() { return msr_file; }
+    PmcBank &pmcBank() { return *bank; }
+    Tsc &tsc() { return *tsc_counter; }
+    PmiController &pmi() { return pmi_ctl; }
+    DvfsController &dvfs() { return *dvfs_ctl; }
+    const TimingModel &timing() const { return timing_model; }
+    const PowerModel &powerModel() const { return power_model; }
+    /** @} */
+
+    /**
+     * Execute one workload interval at the current operating point,
+     * honoring counter overflows / PMIs along the way.
+     */
+    void execute(const Interval &ivl);
+
+    /**
+     * Advance wall-clock time without retiring work (processor idle
+     * at the current operating point, minimum activity). Used to
+     * model the gaps before/after application execution that the
+     * DAQ's parallel-port bit 2 gates out.
+     */
+    void idle(double idle_seconds);
+
+    /**
+     * Charge kernel-mode overhead (PMI handler body, syscalls) to
+     * time and energy at the current operating point. Invoked by the
+     * kernel module to model its own execution cost.
+     */
+    void chargeKernelOverhead(double overhead_seconds);
+
+    /** Current simulated wall-clock time, seconds. */
+    double now() const { return now_s; }
+
+    /** Cumulative totals. */
+    const Totals &totals() const { return sums; }
+
+    /** Replace all power-segment listeners with one (the DAQ tap);
+     *  null clears. */
+    void setPowerSegmentListener(PowerSegmentListener listener);
+
+    /** Attach an additional power-segment listener (e.g. a thermal
+     *  monitor alongside the DAQ). fatal() if null. */
+    void addPowerSegmentListener(PowerSegmentListener listener);
+
+  private:
+    /** Advance time at constant power, emitting a power segment. */
+    void advanceTime(double seconds, double watts, double volts);
+
+    /** Charge any DVFS stall produced since the last check. */
+    void chargePendingDvfsStall();
+
+    /** Programmed events per uop for an event on this interval. */
+    double eventsPerUop(PmcEventId event, const Interval &ivl,
+                        double freq_hz) const;
+
+    TimingModel timing_model;
+    PowerModel power_model;
+    Msr msr_file;
+    PmiController pmi_ctl;
+    // unique_ptrs: these components attach to msr_file in their
+    // constructors, so they must be built after it and torn down
+    // before it.
+    std::unique_ptr<DvfsController> dvfs_ctl;
+    std::unique_ptr<PmcBank> bank;
+    std::unique_ptr<Tsc> tsc_counter;
+
+    double now_s;
+    Totals sums;
+    std::vector<PowerSegmentListener> power_listeners;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_CPU_CORE_HH

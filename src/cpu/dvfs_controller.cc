@@ -1,0 +1,79 @@
+#include "cpu/dvfs_controller.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+DvfsController::DvfsController(const DvfsTable &table, Msr &msr,
+                               double transition_us)
+    : tbl(table), msr_file(msr), transition_s(transition_us * 1e-6),
+      current_index(0), transitions(0), total_stall_s(0.0),
+      pending_stall_s(0.0)
+{
+    if (transition_us < 0.0)
+        fatal("DvfsController: negative transition latency %f us",
+              transition_us);
+    msr_file.attach(
+        msr_addr::PERF_STATUS,
+        [this]() { return uint64_t(current().encode()); },
+        [](uint64_t) { /* read-only status register */ });
+    msr_file.attach(
+        msr_addr::PERF_CTL,
+        [this]() { return uint64_t(current().encode()); },
+        [this](uint64_t v) { writePerfCtl(v); });
+}
+
+DvfsController::~DvfsController()
+{
+    msr_file.detach(msr_addr::PERF_STATUS);
+    msr_file.detach(msr_addr::PERF_CTL);
+}
+
+const OperatingPoint &
+DvfsController::current() const
+{
+    return tbl.at(current_index);
+}
+
+void
+DvfsController::requestIndex(size_t index)
+{
+    if (index >= tbl.size())
+        panic("DvfsController: operating point index %zu out of range "
+              "(%zu points)", index, tbl.size());
+    if (index == current_index)
+        return;
+    current_index = index;
+    ++transitions;
+    total_stall_s += transition_s;
+    pending_stall_s += transition_s;
+}
+
+double
+DvfsController::consumePendingStallSeconds()
+{
+    const double stall = pending_stall_s;
+    pending_stall_s = 0.0;
+    return stall;
+}
+
+void
+DvfsController::writePerfCtl(uint64_t value)
+{
+    const OperatingPoint requested =
+        OperatingPoint::decode(static_cast<uint32_t>(value));
+    for (size_t i = 0; i < tbl.size(); ++i) {
+        if (std::abs(tbl.at(i).freq_mhz - requested.freq_mhz) < 0.5 &&
+            std::abs(tbl.at(i).voltage_mv - requested.voltage_mv) < 8.0) {
+            requestIndex(i);
+            return;
+        }
+    }
+    fatal("PERF_CTL write requests unsupported operating point %s",
+          requested.toString().c_str());
+}
+
+} // namespace livephase

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * SpeedStep-style DVFS transition machinery.
+ *
+ * The controller owns the processor's current operating point and
+ * mediates all transitions. It is wired to the MSR file at the
+ * architectural PERF_CTL/PERF_STATUS addresses, so the kernel module
+ * can either call requestIndex() directly or go through raw wrmsr —
+ * both paths share one implementation, exactly like a SpeedStep
+ * driver sitting on IA32_PERF_CTL.
+ *
+ * A transition is not free: the PLL relock and voltage ramp stall the
+ * core for transition_us microseconds (the paper cites 10-100 us,
+ * invisible at its 100 ms sampling period — a property the overhead
+ * bench verifies). The accumulated stall time is consumed by the Core
+ * and charged to wall-clock time and energy.
+ */
+
+#ifndef LIVEPHASE_CPU_DVFS_CONTROLLER_HH
+#define LIVEPHASE_CPU_DVFS_CONTROLLER_HH
+
+#include <cstddef>
+
+#include "cpu/dvfs_table.hh"
+#include "cpu/msr.hh"
+
+namespace livephase
+{
+
+/**
+ * Owns the current operating point and performs DVFS transitions.
+ */
+class DvfsController
+{
+  public:
+    /**
+     * @param table          supported operating points (copied).
+     * @param msr            MSR file to attach PERF_CTL/PERF_STATUS to.
+     * @param transition_us  core stall per transition, microseconds.
+     */
+    DvfsController(const DvfsTable &table, Msr &msr,
+                   double transition_us = 10.0);
+
+    ~DvfsController();
+
+    DvfsController(const DvfsController &) = delete;
+    DvfsController &operator=(const DvfsController &) = delete;
+
+    /** The operating-point table. */
+    const DvfsTable &table() const { return tbl; }
+
+    /** Index of the current operating point (0 = fastest). */
+    size_t currentIndex() const { return current_index; }
+
+    /** The current operating point. */
+    const OperatingPoint &current() const;
+
+    /**
+     * Request a transition to the given table index. A request for
+     * the current index is a no-op (no stall, not counted), matching
+     * the "Same as current setting?" check in the paper's Figure 8.
+     */
+    void requestIndex(size_t index);
+
+    /** Number of actual (state-changing) transitions performed. */
+    size_t transitionCount() const { return transitions; }
+
+    /** Total stall time spent in transitions so far, seconds. */
+    double totalTransitionSeconds() const { return total_stall_s; }
+
+    /**
+     * Stall seconds accumulated since the last call, to be charged by
+     * the execution engine. Resets the pending amount.
+     */
+    double consumePendingStallSeconds();
+
+  private:
+    /** PERF_CTL write path (decodes and matches a table entry). */
+    void writePerfCtl(uint64_t value);
+
+    DvfsTable tbl;
+    Msr &msr_file;
+    double transition_s;
+    size_t current_index;
+    size_t transitions;
+    double total_stall_s;
+    double pending_stall_s;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_CPU_DVFS_CONTROLLER_HH

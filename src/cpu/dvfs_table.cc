@@ -1,0 +1,71 @@
+#include "cpu/dvfs_table.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+DvfsTable::DvfsTable(std::vector<OperatingPoint> points)
+    : pts(std::move(points))
+{
+    if (pts.empty())
+        fatal("DvfsTable requires at least one operating point");
+    for (size_t i = 1; i < pts.size(); ++i) {
+        if (pts[i].freq_mhz >= pts[i - 1].freq_mhz)
+            fatal("DvfsTable points must be strictly decreasing in "
+                  "frequency (%f MHz then %f MHz)",
+                  pts[i - 1].freq_mhz, pts[i].freq_mhz);
+        if (pts[i].voltage_mv > pts[i - 1].voltage_mv)
+            fatal("DvfsTable voltage must not increase as frequency "
+                  "drops (%f mV then %f mV)",
+                  pts[i - 1].voltage_mv, pts[i].voltage_mv);
+    }
+}
+
+const DvfsTable &
+DvfsTable::pentiumM()
+{
+    // Paper Table 2: the six SpeedStep settings of the prototype
+    // Pentium-M laptop.
+    static const DvfsTable table({
+        {1500.0, 1484.0},
+        {1400.0, 1452.0},
+        {1200.0, 1356.0},
+        {1000.0, 1228.0},
+        { 800.0, 1116.0},
+        { 600.0,  956.0},
+    });
+    return table;
+}
+
+const OperatingPoint &
+DvfsTable::at(size_t index) const
+{
+    if (index >= pts.size())
+        panic("DvfsTable index %zu out of range (size %zu)", index,
+              pts.size());
+    return pts[index];
+}
+
+size_t
+DvfsTable::indexOfFrequency(double freq_mhz) const
+{
+    for (size_t i = 0; i < pts.size(); ++i)
+        if (std::abs(pts[i].freq_mhz - freq_mhz) < 0.5)
+            return i;
+    fatal("DvfsTable has no %f MHz operating point", freq_mhz);
+}
+
+size_t
+DvfsTable::slowestAtLeast(double min_freq_mhz) const
+{
+    size_t best = 0;
+    for (size_t i = 0; i < pts.size(); ++i)
+        if (pts[i].freq_mhz >= min_freq_mhz)
+            best = i;
+    return best;
+}
+
+} // namespace livephase

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The set of DVFS operating points a processor supports.
+ */
+
+#ifndef LIVEPHASE_CPU_DVFS_TABLE_HH
+#define LIVEPHASE_CPU_DVFS_TABLE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "cpu/operating_point.hh"
+
+namespace livephase
+{
+
+/**
+ * Ordered table of operating points, fastest first.
+ *
+ * Index 0 is the highest-performance point; this matches the paper's
+ * convention where phase 1 (highly CPU-bound) maps to the fastest
+ * setting and phase 6 (highly memory-bound) to the slowest (Table 2).
+ */
+class DvfsTable
+{
+  public:
+    /**
+     * Build a table from explicit points.
+     *
+     * @param points operating points; must be non-empty, strictly
+     *               decreasing in frequency and non-increasing in
+     *               voltage (fatal otherwise).
+     */
+    explicit DvfsTable(std::vector<OperatingPoint> points);
+
+    /**
+     * The six Pentium-M SpeedStep points of the paper's Table 2:
+     * (1500 MHz, 1484 mV) ... (600 MHz, 956 mV). Returns a
+     * reference to a shared immutable instance so that idioms like
+     * `for (auto &op : DvfsTable::pentiumM().points())` are safe.
+     */
+    static const DvfsTable &pentiumM();
+
+    /** Number of operating points. */
+    size_t size() const { return pts.size(); }
+
+    /** Point at the given index. @pre index < size() */
+    const OperatingPoint &at(size_t index) const;
+
+    /** Fastest point (index 0). */
+    const OperatingPoint &fastest() const { return pts.front(); }
+
+    /** Slowest point (last index). */
+    const OperatingPoint &slowest() const { return pts.back(); }
+
+    /**
+     * Index of the point with exactly the given frequency.
+     * fatal() if no such point exists.
+     */
+    size_t indexOfFrequency(double freq_mhz) const;
+
+    /**
+     * Index of the slowest point whose frequency is still >= the
+     * given minimum (used when deriving bounded-degradation policies).
+     * Returns 0 when even the fastest point is below the minimum.
+     */
+    size_t slowestAtLeast(double min_freq_mhz) const;
+
+    /** All points, fastest first. */
+    const std::vector<OperatingPoint> &points() const { return pts; }
+
+  private:
+    std::vector<OperatingPoint> pts;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_CPU_DVFS_TABLE_HH

@@ -1,0 +1,45 @@
+#include "cpu/msr.hh"
+
+namespace livephase
+{
+
+uint64_t
+Msr::rdmsr(uint32_t address) const
+{
+    auto it = devices.find(address);
+    if (it != devices.end() && it->second.read)
+        return it->second.read();
+    auto st = storage.find(address);
+    return st == storage.end() ? 0 : st->second;
+}
+
+void
+Msr::wrmsr(uint32_t address, uint64_t value)
+{
+    auto it = devices.find(address);
+    if (it != devices.end() && it->second.write) {
+        it->second.write(value);
+        return;
+    }
+    storage[address] = value;
+}
+
+void
+Msr::attach(uint32_t address, ReadHandler read, WriteHandler write)
+{
+    devices[address] = Device{std::move(read), std::move(write)};
+}
+
+void
+Msr::detach(uint32_t address)
+{
+    devices.erase(address);
+}
+
+bool
+Msr::attached(uint32_t address) const
+{
+    return devices.count(address) > 0;
+}
+
+} // namespace livephase

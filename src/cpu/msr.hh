@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Model-specific register (MSR) file of the simulated Pentium-M.
+ *
+ * The paper's kernel module talks to the hardware exclusively through
+ * MSRs: PERF_CTL/PERF_STATUS for SpeedStep transitions and the
+ * PERFEVTSEL/PERFCTR pairs for the performance counters. We model a
+ * small MSR file with rdmsr/wrmsr semantics so the kernel-module code
+ * path mirrors the real driver: device components register callbacks
+ * on their architectural addresses.
+ */
+
+#ifndef LIVEPHASE_CPU_MSR_HH
+#define LIVEPHASE_CPU_MSR_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+namespace livephase
+{
+
+/** Architectural MSR addresses used by the model (P6/Pentium-M). */
+namespace msr_addr
+{
+constexpr uint32_t PERFEVTSEL0 = 0x186; ///< counter 0 event select
+constexpr uint32_t PERFEVTSEL1 = 0x187; ///< counter 1 event select
+constexpr uint32_t PERFCTR0 = 0xc1;     ///< counter 0 value
+constexpr uint32_t PERFCTR1 = 0xc2;     ///< counter 1 value
+constexpr uint32_t TSC = 0x10;          ///< time stamp counter
+constexpr uint32_t PERF_STATUS = 0x198; ///< current SpeedStep point
+constexpr uint32_t PERF_CTL = 0x199;    ///< requested SpeedStep point
+constexpr uint32_t APIC_LVTPC = 0x834;  ///< PMI vector (simplified)
+} // namespace msr_addr
+
+/**
+ * A small MSR file with read/write hooks.
+ *
+ * Components (DvfsController, Pmc, Tsc) register handlers for their
+ * addresses; unclaimed addresses behave as plain 64-bit storage so
+ * tests can exercise the kernel module's raw rdmsr/wrmsr path.
+ */
+class Msr
+{
+  public:
+    using ReadHandler = std::function<uint64_t()>;
+    using WriteHandler = std::function<void(uint64_t)>;
+
+    Msr() = default;
+
+    /** Read an MSR (dispatches to a hook when registered). */
+    uint64_t rdmsr(uint32_t address) const;
+
+    /** Write an MSR (dispatches to a hook when registered). */
+    void wrmsr(uint32_t address, uint64_t value);
+
+    /**
+     * Attach device behaviour to an address. Either handler may be
+     * null, in which case the corresponding access falls back to the
+     * backing store.
+     */
+    void attach(uint32_t address, ReadHandler read, WriteHandler write);
+
+    /** Detach any device behaviour from an address. */
+    void detach(uint32_t address);
+
+    /** True if a device claimed this address. */
+    bool attached(uint32_t address) const;
+
+  private:
+    struct Device
+    {
+        ReadHandler read;
+        WriteHandler write;
+    };
+
+    std::map<uint32_t, Device> devices;
+    mutable std::map<uint32_t, uint64_t> storage;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_CPU_MSR_HH

@@ -1,0 +1,45 @@
+#include "cpu/operating_point.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+uint32_t
+OperatingPoint::encode() const
+{
+    const double fid_f = freq_mhz / 100.0;
+    const double vid_f = (voltage_mv - 700.0) / 16.0;
+    const long fid = std::lround(fid_f);
+    const long vid = std::lround(vid_f);
+    if (fid < 1 || fid > 0xff)
+        panic("OperatingPoint::encode: frequency %f MHz not encodable",
+              freq_mhz);
+    if (vid < 0 || vid > 0xff)
+        panic("OperatingPoint::encode: voltage %f mV not encodable",
+              voltage_mv);
+    return static_cast<uint32_t>((fid << 8) | vid);
+}
+
+OperatingPoint
+OperatingPoint::decode(uint32_t perf_ctl)
+{
+    OperatingPoint op;
+    op.freq_mhz = static_cast<double>((perf_ctl >> 8) & 0xff) * 100.0;
+    op.voltage_mv = 700.0 + static_cast<double>(perf_ctl & 0xff) * 16.0;
+    return op;
+}
+
+std::string
+OperatingPoint::toString() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.0f MHz / %.0f mV", freq_mhz,
+                  voltage_mv);
+    return buf;
+}
+
+} // namespace livephase

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * A single DVFS operating point (frequency/voltage pair).
+ */
+
+#ifndef LIVEPHASE_CPU_OPERATING_POINT_HH
+#define LIVEPHASE_CPU_OPERATING_POINT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace livephase
+{
+
+/**
+ * One SpeedStep-style voltage/frequency pair.
+ *
+ * The Pentium-M encodes these in IA32_PERF_CTL as a (bus ratio, VID)
+ * pair; we keep physical units and provide the MSR encoding used by
+ * the Msr/DvfsController plumbing.
+ */
+struct OperatingPoint
+{
+    double freq_mhz = 0.0;    ///< core clock in MHz
+    double voltage_mv = 0.0;  ///< supply voltage in millivolts
+
+    /** Core clock in Hz. */
+    double freqHz() const { return freq_mhz * 1e6; }
+
+    /** Supply voltage in volts. */
+    double volts() const { return voltage_mv / 1000.0; }
+
+    /**
+     * Encode as a PERF_CTL-style 32-bit value: frequency identifier
+     * in bits [15:8] (100 MHz granularity, mirroring the Pentium-M
+     * bus-ratio field for a 100 MHz FSB) and a voltage identifier in
+     * bits [7:0] (16 mV steps above 700 mV, the real VID encoding).
+     */
+    uint32_t encode() const;
+
+    /** Decode the encoding produced by encode(). */
+    static OperatingPoint decode(uint32_t perf_ctl);
+
+    /** "1500 MHz / 1484 mV" for logs and tables. */
+    std::string toString() const;
+
+    bool operator==(const OperatingPoint &other) const = default;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_CPU_OPERATING_POINT_HH

@@ -1,0 +1,62 @@
+#include "cpu/power_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+PowerModel::PowerModel()
+    : PowerModel(Params{})
+{
+}
+
+PowerModel::PowerModel(Params params)
+    : p(params)
+{
+    if (p.ceff_farads <= 0.0)
+        fatal("PowerModel: effective capacitance must be positive");
+    if (p.activity_base < 0.0 || p.activity_span < 0.0)
+        fatal("PowerModel: activity factors must be non-negative");
+    if (p.activity_base + p.activity_span > 1.0 + 1e-9)
+        fatal("PowerModel: activity factor exceeds 1 "
+              "(base %.3f + span %.3f)", p.activity_base,
+              p.activity_span);
+    if (p.upc_for_full_activity <= 0.0)
+        fatal("PowerModel: upc_for_full_activity must be positive");
+    if (p.leak_w_per_v2 < 0.0)
+        fatal("PowerModel: leakage coefficient must be non-negative");
+}
+
+double
+PowerModel::activity(double upc) const
+{
+    if (upc < 0.0)
+        panic("PowerModel::activity: negative UPC %f", upc);
+    const double frac =
+        std::min(upc / p.upc_for_full_activity, 1.0);
+    return p.activity_base + p.activity_span * frac;
+}
+
+double
+PowerModel::dynamicWatts(const OperatingPoint &op, double upc) const
+{
+    const double v = op.volts();
+    return p.ceff_farads * v * v * op.freqHz() * activity(upc);
+}
+
+double
+PowerModel::leakageWatts(const OperatingPoint &op) const
+{
+    const double v = op.volts();
+    return p.leak_w_per_v2 * v * v;
+}
+
+double
+PowerModel::watts(const OperatingPoint &op, double upc) const
+{
+    return dynamicWatts(op, upc) + leakageWatts(op);
+}
+
+} // namespace livephase

@@ -1,0 +1,61 @@
+#include "cpu/thermal_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+ThermalModel::ThermalModel()
+    : ThermalModel(Params{})
+{
+}
+
+ThermalModel::ThermalModel(Params params)
+    : p(params), temp_c(params.initial_c)
+{
+    if (p.resistance_k_per_w <= 0.0)
+        fatal("ThermalModel: thermal resistance must be positive");
+    if (p.capacitance_j_per_k <= 0.0)
+        fatal("ThermalModel: thermal capacitance must be positive");
+}
+
+double
+ThermalModel::steadyStateC(double watts) const
+{
+    return p.ambient_c + watts * p.resistance_k_per_w;
+}
+
+double
+ThermalModel::timeConstant() const
+{
+    return p.resistance_k_per_w * p.capacitance_j_per_k;
+}
+
+double
+ThermalModel::advance(double watts, double seconds)
+{
+    if (watts < 0.0)
+        panic("ThermalModel::advance: negative power %f", watts);
+    if (seconds < 0.0)
+        panic("ThermalModel::advance: negative duration %f", seconds);
+    const double t_ss = steadyStateC(watts);
+    const double decay = std::exp(-seconds / timeConstant());
+    temp_c = t_ss + (temp_c - t_ss) * decay;
+    return temp_c;
+}
+
+void
+ThermalModel::reset()
+{
+    temp_c = p.initial_c;
+}
+
+double
+ThermalModel::powerForSteadyState(double target_c) const
+{
+    return (target_c - p.ambient_c) / p.resistance_k_per_w;
+}
+
+} // namespace livephase

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Lumped RC thermal model of the processor package.
+ *
+ * The paper positions its framework as a foundation for dynamic
+ * *thermal* management as well as DVFS (Sections 1 and 8). To
+ * exercise that claim we model die temperature with the standard
+ * first-order RC abstraction used by architecture-level thermal
+ * work (HotSpot-style single node):
+ *
+ *     C * dT/dt = P(t) - (T - T_ambient) / R
+ *
+ * which integrates exactly over a constant-power segment as an
+ * exponential approach to the steady-state temperature
+ * T_ss = T_ambient + P * R with time constant tau = R * C.
+ */
+
+#ifndef LIVEPHASE_CPU_THERMAL_MODEL_HH
+#define LIVEPHASE_CPU_THERMAL_MODEL_HH
+
+namespace livephase
+{
+
+/**
+ * Single-node RC package model with exact exponential integration.
+ */
+class ThermalModel
+{
+  public:
+    /** Thermal parameters (defaults: mobile die, ~1.5 s tau,
+     *  ~3 K/W junction-to-ambient — a 12 W busy core settles near
+     *  71 C over a 35 C ambient). */
+    struct Params
+    {
+        double ambient_c = 35.0;      ///< ambient/skin proxy, deg C
+        double resistance_k_per_w = 3.0; ///< junction-to-ambient R
+        double capacitance_j_per_k = 0.5; ///< lumped die C
+        double initial_c = 35.0;      ///< starting temperature
+    };
+
+    /** Construct with the default mobile-package parameters. */
+    ThermalModel();
+
+    explicit ThermalModel(Params params);
+
+    /** Current die temperature, deg C. */
+    double temperature() const { return temp_c; }
+
+    /** Steady-state temperature at a constant power draw. */
+    double steadyStateC(double watts) const;
+
+    /** Thermal time constant R*C in seconds. */
+    double timeConstant() const;
+
+    /**
+     * Advance the model across a constant-power segment (exact
+     * closed-form integration; unconditionally stable for any dt).
+     *
+     * @return the temperature at the end of the segment.
+     */
+    double advance(double watts, double seconds);
+
+    /** Reset to the initial temperature. */
+    void reset();
+
+    /**
+     * Power draw that would settle exactly at `target_c` — the
+     * budget a thermal governor steers toward.
+     */
+    double powerForSteadyState(double target_c) const;
+
+    const Params &params() const { return p; }
+
+  private:
+    Params p;
+    double temp_c;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_CPU_THERMAL_MODEL_HH

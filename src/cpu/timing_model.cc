@@ -1,0 +1,96 @@
+#include "cpu/timing_model.hh"
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+TimingModel::TimingModel()
+    : TimingModel(Params{})
+{
+}
+
+TimingModel::TimingModel(Params params)
+    : p(params)
+{
+    if (p.mem_latency_ns <= 0.0)
+        fatal("TimingModel: memory latency must be positive (%f ns)",
+              p.mem_latency_ns);
+    if (p.max_core_ipc <= 0.0)
+        fatal("TimingModel: max core IPC must be positive (%f)",
+              p.max_core_ipc);
+    if (p.ref_freq_mhz <= 0.0)
+        fatal("TimingModel: reference frequency must be positive (%f)",
+              p.ref_freq_mhz);
+}
+
+double
+TimingModel::cyclesPerUop(const Interval &ivl, double freq_hz) const
+{
+    if (!ivl.valid())
+        panic("TimingModel: invalid interval (uops=%f ipc=%f m=%f)",
+              ivl.uops, ivl.core_ipc, ivl.mem_per_uop);
+    if (freq_hz <= 0.0)
+        panic("TimingModel: non-positive frequency %f Hz", freq_hz);
+    const double compute = 1.0 / ivl.core_ipc;
+    const double stall = ivl.mem_per_uop * p.mem_latency_ns * 1e-9 *
+        freq_hz * ivl.mem_block_factor;
+    return compute + stall;
+}
+
+double
+TimingModel::cycles(const Interval &ivl, double freq_hz) const
+{
+    return ivl.uops * cyclesPerUop(ivl, freq_hz);
+}
+
+double
+TimingModel::seconds(const Interval &ivl, double freq_hz) const
+{
+    return cycles(ivl, freq_hz) / freq_hz;
+}
+
+double
+TimingModel::upc(const Interval &ivl, double freq_hz) const
+{
+    return 1.0 / cyclesPerUop(ivl, freq_hz);
+}
+
+double
+TimingModel::slowdown(const Interval &ivl, double freq_hz,
+                      double ref_freq_hz) const
+{
+    return seconds(ivl, freq_hz) / seconds(ivl, ref_freq_hz);
+}
+
+double
+TimingModel::coreIpcForTargetUpc(double target_upc, double mem_per_uop,
+                                 double block_factor) const
+{
+    if (target_upc <= 0.0)
+        fatal("IPCxMEM target UPC must be positive (%f)", target_upc);
+    const double boundary = boundaryUpc(mem_per_uop, block_factor);
+    if (target_upc > boundary)
+        fatal("IPCxMEM target UPC %.3f unreachable at Mem/Uop %.4f "
+              "(boundary %.3f)", target_upc, mem_per_uop, boundary);
+    const double f_ref = p.ref_freq_mhz * 1e6;
+    const double stall = mem_per_uop * p.mem_latency_ns * 1e-9 * f_ref *
+        block_factor;
+    const double compute = 1.0 / target_upc - stall;
+    // compute > 0 is guaranteed by the boundary check unless the
+    // target sits exactly on the boundary; clamp to the issue bound.
+    if (compute <= 1.0 / p.max_core_ipc)
+        return p.max_core_ipc;
+    return 1.0 / compute;
+}
+
+double
+TimingModel::boundaryUpc(double mem_per_uop, double block_factor) const
+{
+    const double f_ref = p.ref_freq_mhz * 1e6;
+    const double stall = mem_per_uop * p.mem_latency_ns * 1e-9 * f_ref *
+        block_factor;
+    return 1.0 / (1.0 / p.max_core_ipc + stall);
+}
+
+} // namespace livephase

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Analytical timing model of a Pentium-M-class core.
+ *
+ * The model splits an interval's cycles into compute cycles and
+ * memory-stall cycles:
+ *
+ *     cycles/uop(f) = 1/core_ipc
+ *                   + (Mem/Uop) * mem_latency * f * block_factor
+ *
+ * Memory latency is fixed in *wall-clock* terms (DRAM does not scale
+ * with the core's DVFS state), so its cycle cost is proportional to
+ * frequency. This single property produces both effects the paper
+ * measures in Section 4 / Figure 7:
+ *
+ *  - UPC = uops/cycles rises as frequency drops (memory stalls cost
+ *    fewer core cycles), strongly for memory-bound code and not at
+ *    all when Mem/Uop = 0;
+ *  - Mem/Uop itself is an occupancy-free event ratio and is exactly
+ *    DVFS-invariant.
+ */
+
+#ifndef LIVEPHASE_CPU_TIMING_MODEL_HH
+#define LIVEPHASE_CPU_TIMING_MODEL_HH
+
+#include "workload/interval.hh"
+
+namespace livephase
+{
+
+/**
+ * Frequency-aware cycle/time model for workload intervals.
+ */
+class TimingModel
+{
+  public:
+    /** Tunable machine parameters. */
+    struct Params
+    {
+        /** Main-memory round-trip latency in nanoseconds (wall clock,
+         *  DVFS-independent). */
+        double mem_latency_ns = 110.0;
+
+        /** Highest sustainable execution-core IPC (uop issue bound);
+         *  defines the "SPEC boundary" asymptote of Figure 6. */
+        double max_core_ipc = 2.0;
+
+        /** Reference (fastest) frequency in MHz at which IPCxMEM
+         *  targets are specified. */
+        double ref_freq_mhz = 1500.0;
+    };
+
+    /** Construct with the default machine parameters. */
+    TimingModel();
+
+    explicit TimingModel(Params params);
+
+    /** Machine parameters in use. */
+    const Params &params() const { return p; }
+
+    /** Core cycles one uop of this interval costs at frequency f. */
+    double cyclesPerUop(const Interval &ivl, double freq_hz) const;
+
+    /** Total core cycles for the interval at frequency f. */
+    double cycles(const Interval &ivl, double freq_hz) const;
+
+    /** Wall-clock seconds for the interval at frequency f. */
+    double seconds(const Interval &ivl, double freq_hz) const;
+
+    /** Uops retired per cycle at frequency f. */
+    double upc(const Interval &ivl, double freq_hz) const;
+
+    /**
+     * Execution-time ratio of running at freq_hz instead of
+     * ref_freq_hz (>= 1 when freq_hz < ref_freq_hz). 1.10 means a 10%
+     * slowdown.
+     */
+    double slowdown(const Interval &ivl, double freq_hz,
+                    double ref_freq_hz) const;
+
+    /**
+     * Solve for the core_ipc that yields the target UPC at the
+     * reference frequency given the interval's memory behaviour.
+     * Used by the IPCxMEM suite to pin (UPC, Mem/Uop) grid points.
+     *
+     * fatal() if the target is unreachable (above boundaryUpc()).
+     */
+    double coreIpcForTargetUpc(double target_upc, double mem_per_uop,
+                               double block_factor = 1.0) const;
+
+    /**
+     * Maximum achievable UPC at the reference frequency for a given
+     * Mem/Uop level — the "SPEC boundary" curve of Figure 6.
+     */
+    double boundaryUpc(double mem_per_uop,
+                       double block_factor = 1.0) const;
+
+  private:
+    Params p;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_CPU_TIMING_MODEL_HH

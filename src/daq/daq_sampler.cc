@@ -1,0 +1,103 @@
+#include "daq/daq_sampler.hh"
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+void
+PowerTraceRecorder::add(double t0, double t1, double watts,
+                        double volts)
+{
+    if (t1 < t0)
+        panic("PowerTraceRecorder: segment ends before it starts "
+              "(%f > %f)", t0, t1);
+    if (!trace.empty() && t0 < trace.back().t1 - 1e-12)
+        panic("PowerTraceRecorder: out-of-order segment at t=%f", t0);
+    // Coalesce adjacent segments with identical electrical state to
+    // keep long constant-behaviour runs compact.
+    if (!trace.empty() && trace.back().watts == watts &&
+        trace.back().volts == volts &&
+        t0 <= trace.back().t1 + 1e-12) {
+        trace.back().t1 = t1;
+        return;
+    }
+    trace.push_back(PowerSegment{t0, t1, watts, volts});
+}
+
+void
+PowerTraceRecorder::clear()
+{
+    trace.clear();
+}
+
+DaqSampler::DaqSampler()
+    : DaqSampler(Config{})
+{
+}
+
+DaqSampler::DaqSampler(Config config)
+    : cfg(config)
+{
+    if (cfg.sample_period_us <= 0.0)
+        fatal("DaqSampler: sample period must be positive (%f us)",
+              cfg.sample_period_us);
+    if (cfg.noise_sigma_v < 0.0)
+        fatal("DaqSampler: negative noise sigma");
+}
+
+void
+DaqSampler::sampleRun(const std::vector<PowerSegment> &power,
+                      const std::vector<ParallelPort::Transition>
+                          &port_transitions,
+                      const Sink &sink)
+{
+    if (!sink)
+        fatal("DaqSampler::sampleRun: no sink provided");
+    if (power.empty())
+        return;
+
+    Rng rng(cfg.seed);
+    SignalConditioner conditioner(cfg.filter_window);
+
+    const double period_s = cfg.sample_period_us * 1e-6;
+    const double t_begin = power.front().t0;
+    const double t_end = power.back().t1;
+
+    size_t seg = 0;
+    size_t transition = 0;
+    uint8_t port_level = 0;
+
+    for (double t = t_begin; t < t_end; t += period_s) {
+        // Advance to the waveform segment containing t.
+        while (seg + 1 < power.size() && power[seg].t1 <= t)
+            ++seg;
+        // Advance the port level to the last transition at or
+        // before t.
+        while (transition < port_transitions.size() &&
+               port_transitions[transition].time <= t) {
+            port_level = port_transitions[transition].level;
+            ++transition;
+        }
+
+        const PowerSegment &s = power[seg];
+        TapVoltages raw = tap.measure(s.watts, s.volts);
+        raw.v1 += rng.gaussian(0.0, cfg.noise_sigma_v);
+        raw.v2 += rng.gaussian(0.0, cfg.noise_sigma_v);
+        raw.vcpu += rng.gaussian(0.0, cfg.noise_sigma_v);
+
+        const ConditionedSignals cond = conditioner.process(raw);
+        // Reconstruct power from the conditioned differential drops
+        // exactly as the logging side does.
+        const double i1 = cond.drop1 / tap.r1();
+        const double i2 = cond.drop2 / tap.r2();
+
+        DaqSample out;
+        out.time = t;
+        out.watts = cond.vcpu * (i1 + i2);
+        out.port = port_level;
+        sink(out);
+    }
+}
+
+} // namespace livephase

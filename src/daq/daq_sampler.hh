@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The data acquisition system (NI DAQPad 6070E analogue of
+ * Figure 9).
+ *
+ * The DAQ digitizes the conditioned sense signals plus the parallel
+ * port bits at a fixed 40 us period, reconstructs instantaneous CPU
+ * power, and streams the samples to the logging machine. Execution
+ * and measurement are fully decoupled, exactly as in the paper: the
+ * simulator records the ground-truth power waveform as
+ * piecewise-constant segments (the Core's power-segment listener)
+ * and the DAQ samples that waveform on its own clock, with Gaussian
+ * front-end noise on each measured voltage.
+ */
+
+#ifndef LIVEPHASE_DAQ_DAQ_SAMPLER_HH
+#define LIVEPHASE_DAQ_DAQ_SAMPLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/random.hh"
+#include "daq/sense_resistor.hh"
+#include "daq/signal_conditioner.hh"
+#include "kernel/parallel_port.hh"
+
+namespace livephase
+{
+
+/** One piece of the ground-truth power waveform. */
+struct PowerSegment
+{
+    double t0 = 0.0;    ///< segment start, seconds
+    double t1 = 0.0;    ///< segment end, seconds
+    double watts = 0.0; ///< constant power over [t0, t1)
+    double volts = 0.0; ///< CPU supply voltage over the segment
+};
+
+/**
+ * Buffers the Core's power-segment callbacks into a waveform the
+ * DAQ can sample offline.
+ */
+class PowerTraceRecorder
+{
+  public:
+    /** The Core-compatible listener; append one segment. */
+    void add(double t0, double t1, double watts, double volts);
+
+    /** The recorded waveform. */
+    const std::vector<PowerSegment> &segments() const { return trace; }
+
+    /** True when nothing was recorded. */
+    bool empty() const { return trace.empty(); }
+
+    /** Drop all segments. */
+    void clear();
+
+  private:
+    std::vector<PowerSegment> trace;
+};
+
+/** One digitized DAQ sample. */
+struct DaqSample
+{
+    double time = 0.0;   ///< sample timestamp, seconds
+    double watts = 0.0;  ///< reconstructed CPU power
+    uint8_t port = 0;    ///< parallel-port byte at the sample time
+};
+
+/**
+ * Fixed-rate sampler over a recorded run.
+ */
+class DaqSampler
+{
+  public:
+    /** Acquisition parameters. */
+    struct Config
+    {
+        double sample_period_us = 40.0; ///< paper: 40 us
+        double noise_sigma_v = 0.0002;  ///< per-channel voltage noise
+        size_t filter_window = 4;       ///< conditioner boxcar length
+        uint64_t seed = 42;             ///< noise stream seed
+    };
+
+    /** Construct with the paper's acquisition parameters. */
+    DaqSampler();
+
+    explicit DaqSampler(Config config);
+
+    /** Per-sample sink invoked in time order. */
+    using Sink = std::function<void(const DaqSample &)>;
+
+    /**
+     * Sample a recorded run: walk the power waveform and port
+     * transitions at the configured period, reconstruct power
+     * through the resistor-tap -> noise -> conditioner chain and
+     * deliver each sample to the sink.
+     *
+     * @param power ground-truth waveform (time-ordered segments).
+     * @param port_transitions parallel-port history (time-ordered).
+     * @param sink  per-sample consumer (the logging machine).
+     */
+    void sampleRun(const std::vector<PowerSegment> &power,
+                   const std::vector<ParallelPort::Transition>
+                       &port_transitions,
+                   const Sink &sink);
+
+    const Config &config() const { return cfg; }
+
+  private:
+    Config cfg;
+    SenseResistorTap tap;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_DAQ_DAQ_SAMPLER_HH

@@ -1,0 +1,95 @@
+#include "daq/logging_machine.hh"
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+void
+LoggingMachine::consume(const DaqSample &sample)
+{
+    ++samples;
+    if (!have_last) {
+        have_last = true;
+        last = sample;
+        // Phase attribution starts at the first sample inside the
+        // application region.
+        if ((sample.port >> parport_bit::APP_RUNNING) & 1u) {
+            phase_open = true;
+            current_phase = PhasePower{sample.time, sample.time, 0.0};
+        }
+        return;
+    }
+    if (sample.time < last.time)
+        panic("LoggingMachine: samples out of order (%f after %f)",
+              sample.time, last.time);
+
+    const double dt = sample.time - last.time;
+    // Left-rectangle integration: the previous sample's power holds
+    // until this one.
+    const double joules = last.watts * dt;
+
+    const bool app_was_on = (last.port >> parport_bit::APP_RUNNING) & 1u;
+    const bool handler_was_on = (last.port >> parport_bit::IN_HANDLER) & 1u;
+    if (app_was_on) {
+        app_joules += joules;
+        app_seconds += dt;
+        if (phase_open)
+            current_phase.joules += joules;
+    }
+    if (handler_was_on)
+        handler_seconds += dt;
+
+    const bool app_now = (sample.port >> parport_bit::APP_RUNNING) & 1u;
+    const bool phase_bit_was =
+        (last.port >> parport_bit::PHASE_TOGGLE) & 1u;
+    const bool phase_bit_now =
+        (sample.port >> parport_bit::PHASE_TOGGLE) & 1u;
+
+    if (app_was_on && !app_now) {
+        // Application ended: close the open phase window.
+        closePhaseWindow(sample.time);
+    } else if (!app_was_on && app_now) {
+        phase_open = true;
+        current_phase = PhasePower{sample.time, sample.time, 0.0};
+    } else if (app_now && phase_bit_was != phase_bit_now) {
+        // Phase marker toggled: one sampling period ended.
+        closePhaseWindow(sample.time);
+        phase_open = true;
+        current_phase = PhasePower{sample.time, sample.time, 0.0};
+    }
+
+    last = sample;
+}
+
+void
+LoggingMachine::finish()
+{
+    if (phase_open)
+        closePhaseWindow(last.time);
+}
+
+double
+LoggingMachine::appWatts() const
+{
+    return app_seconds > 0.0 ? app_joules / app_seconds : 0.0;
+}
+
+void
+LoggingMachine::reset()
+{
+    *this = LoggingMachine{};
+}
+
+void
+LoggingMachine::closePhaseWindow(double t)
+{
+    if (!phase_open)
+        return;
+    current_phase.t_end = t;
+    if (current_phase.seconds() > 0.0)
+        phase_windows.push_back(current_phase);
+    phase_open = false;
+}
+
+} // namespace livephase

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The logging machine (Figure 9): consumes the DAQ sample stream and
+ * computes power/performance statistics, synchronized to execution
+ * through the parallel-port bits.
+ *
+ *  - bit 2 (APP_RUNNING) gates whole-application energy/time;
+ *  - bit 0 (PHASE_TOGGLE) edges delimit the 100M-instruction phase
+ *    samples, giving per-phase power;
+ *  - bit 1 (IN_HANDLER) accumulates interrupt-handler residency so
+ *    the "no visible overheads" claim can be checked from the
+ *    measurement side.
+ */
+
+#ifndef LIVEPHASE_DAQ_LOGGING_MACHINE_HH
+#define LIVEPHASE_DAQ_LOGGING_MACHINE_HH
+
+#include <vector>
+
+#include "daq/daq_sampler.hh"
+
+namespace livephase
+{
+
+/**
+ * Streaming consumer of DAQ samples with per-phase attribution.
+ */
+class LoggingMachine
+{
+  public:
+    /** Power statistics for one phase sample (between bit-0 edges). */
+    struct PhasePower
+    {
+        double t_start = 0.0;
+        double t_end = 0.0;
+        double joules = 0.0;
+
+        double seconds() const { return t_end - t_start; }
+        double watts() const
+        {
+            return seconds() > 0.0 ? joules / seconds() : 0.0;
+        }
+    };
+
+    LoggingMachine() = default;
+
+    /** Consume one DAQ sample (time-ordered). */
+    void consume(const DaqSample &sample);
+
+    /** Finish the run (closes any open phase window). */
+    void finish();
+
+    /** Energy measured while the application marker was set. */
+    double appJoules() const { return app_joules; }
+
+    /** Time measured while the application marker was set. */
+    double appSeconds() const { return app_seconds; }
+
+    /** Mean application power. */
+    double appWatts() const;
+
+    /** Time attributed to PMI-handler execution (bit 1 high). */
+    double handlerSeconds() const { return handler_seconds; }
+
+    /** Per-phase power windows, in time order. */
+    const std::vector<PhasePower> &phases() const
+    {
+        return phase_windows;
+    }
+
+    /** Total samples consumed. */
+    size_t samplesConsumed() const { return samples; }
+
+    /** Reset all statistics. */
+    void reset();
+
+  private:
+    void closePhaseWindow(double t);
+
+    double app_joules = 0.0;
+    double app_seconds = 0.0;
+    double handler_seconds = 0.0;
+    size_t samples = 0;
+
+    bool have_last = false;
+    DaqSample last{};
+
+    bool phase_open = false;
+    PhasePower current_phase{};
+    std::vector<PhasePower> phase_windows;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_DAQ_LOGGING_MACHINE_HH

@@ -1,0 +1,44 @@
+#include "daq/sense_resistor.hh"
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+SenseResistorTap::SenseResistorTap(double r1_ohms, double r2_ohms)
+    : r1_ohms(r1_ohms), r2_ohms(r2_ohms)
+{
+    if (r1_ohms <= 0.0 || r2_ohms <= 0.0)
+        fatal("SenseResistorTap: resistances must be positive "
+              "(%f, %f)", r1_ohms, r2_ohms);
+}
+
+TapVoltages
+SenseResistorTap::measure(double watts, double vcpu) const
+{
+    if (watts < 0.0)
+        panic("SenseResistorTap::measure: negative power %f", watts);
+    if (vcpu <= 0.0)
+        panic("SenseResistorTap::measure: non-positive voltage %f",
+              vcpu);
+    const double total_current = watts / vcpu;
+    // Parallel branches: current divides inversely to resistance.
+    const double conductance = 1.0 / r1_ohms + 1.0 / r2_ohms;
+    const double i1 = total_current * (1.0 / r1_ohms) / conductance;
+    const double i2 = total_current * (1.0 / r2_ohms) / conductance;
+    TapVoltages taps;
+    taps.vcpu = vcpu;
+    taps.v1 = vcpu + i1 * r1_ohms;
+    taps.v2 = vcpu + i2 * r2_ohms;
+    return taps;
+}
+
+double
+SenseResistorTap::reconstructWatts(const TapVoltages &taps) const
+{
+    const double i1 = (taps.v1 - taps.vcpu) / r1_ohms;
+    const double i2 = (taps.v2 - taps.vcpu) / r2_ohms;
+    return taps.vcpu * (i1 + i2);
+}
+
+} // namespace livephase

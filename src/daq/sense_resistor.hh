@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Electrical model of the CPU power sensing network (paper
+ * Section 5.3, Figure 9).
+ *
+ * The prototype laptop routes the CPU supply through two parallel
+ * 2 mOhm precision sense resistors between the voltage regulator and
+ * the processor. Measuring V1 and V2 (upstream of each resistor) and
+ * VCPU (downstream) yields the two branch currents
+ * I_k = (V_k - VCPU) / R_k and thus CPU power
+ * P = VCPU * (I1 + I2).
+ *
+ * SenseResistorTap converts the simulator's ground-truth
+ * (power, voltage) into the three observable node voltages — the raw
+ * signals the DAQ digitizes.
+ */
+
+#ifndef LIVEPHASE_DAQ_SENSE_RESISTOR_HH
+#define LIVEPHASE_DAQ_SENSE_RESISTOR_HH
+
+namespace livephase
+{
+
+/** The three measured node voltages (volts). */
+struct TapVoltages
+{
+    double v1 = 0.0;   ///< upstream of R1
+    double v2 = 0.0;   ///< upstream of R2
+    double vcpu = 0.0; ///< CPU supply node
+};
+
+/**
+ * The two-resistor sensing network.
+ */
+class SenseResistorTap
+{
+  public:
+    /**
+     * @param r1_ohms first sense resistor (paper: 2 mOhm).
+     * @param r2_ohms second sense resistor (paper: 2 mOhm).
+     * fatal() on non-positive resistance.
+     */
+    explicit SenseResistorTap(double r1_ohms = 0.002,
+                              double r2_ohms = 0.002);
+
+    /**
+     * Node voltages for a ground-truth operating condition.
+     * The current splits between the parallel branches inversely to
+     * their resistances (equal split for matched resistors).
+     *
+     * @param watts   CPU power draw.
+     * @param vcpu    CPU supply voltage.
+     */
+    TapVoltages measure(double watts, double vcpu) const;
+
+    /**
+     * Reconstruct power from node voltages, as the signal
+     * conditioner + DAQ do: P = vcpu * ((v1-vcpu)/R1 + (v2-vcpu)/R2).
+     */
+    double reconstructWatts(const TapVoltages &taps) const;
+
+    double r1() const { return r1_ohms; }
+    double r2() const { return r2_ohms; }
+
+  private:
+    double r1_ohms;
+    double r2_ohms;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_DAQ_SENSE_RESISTOR_HH

@@ -1,0 +1,52 @@
+#include "daq/signal_conditioner.hh"
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+SignalConditioner::SignalConditioner(size_t window)
+    : win(window)
+{
+    if (win == 0)
+        fatal("SignalConditioner: window must be non-zero");
+}
+
+ConditionedSignals
+SignalConditioner::process(const TapVoltages &raw)
+{
+    ConditionedSignals out;
+    out.drop1 = ch_drop1.filter(raw.v1 - raw.vcpu, win);
+    out.drop2 = ch_drop2.filter(raw.v2 - raw.vcpu, win);
+    out.vcpu = ch_vcpu.filter(raw.vcpu, win);
+    return out;
+}
+
+void
+SignalConditioner::reset()
+{
+    ch_drop1.reset();
+    ch_drop2.reset();
+    ch_vcpu.reset();
+}
+
+double
+SignalConditioner::Channel::filter(double x, size_t window)
+{
+    history.push_back(x);
+    sum += x;
+    if (history.size() > window) {
+        sum -= history.front();
+        history.pop_front();
+    }
+    return sum / static_cast<double>(history.size());
+}
+
+void
+SignalConditioner::Channel::reset()
+{
+    history.clear();
+    sum = 0.0;
+}
+
+} // namespace livephase

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Signal conditioning stage (the National Instruments AI05 unit of
+ * Figure 9).
+ *
+ * The raw tap voltages ride on millivolt-scale noise; the 2 mOhm
+ * sense drops are themselves only tens of millivolts, so the
+ * conditioner (a) low-pass filters each channel with a short moving
+ * average and (b) outputs the *differential* drops (V1 - VCPU),
+ * (V2 - VCPU) plus VCPU — the quantities the DAQ digitizes.
+ */
+
+#ifndef LIVEPHASE_DAQ_SIGNAL_CONDITIONER_HH
+#define LIVEPHASE_DAQ_SIGNAL_CONDITIONER_HH
+
+#include <cstddef>
+#include <deque>
+
+#include "daq/sense_resistor.hh"
+
+namespace livephase
+{
+
+/** Conditioned outputs: differential drops plus the supply. */
+struct ConditionedSignals
+{
+    double drop1 = 0.0; ///< filtered (v1 - vcpu)
+    double drop2 = 0.0; ///< filtered (v2 - vcpu)
+    double vcpu = 0.0;  ///< filtered supply voltage
+};
+
+/**
+ * Per-channel moving-average filter + differential output stage.
+ */
+class SignalConditioner
+{
+  public:
+    /**
+     * @param window moving-average length in samples (1 = pass
+     *        through); fatal() when 0.
+     */
+    explicit SignalConditioner(size_t window = 4);
+
+    /** Feed one raw sample, get the conditioned outputs. */
+    ConditionedSignals process(const TapVoltages &raw);
+
+    /** Clear filter state. */
+    void reset();
+
+    /** Configured filter window. */
+    size_t window() const { return win; }
+
+  private:
+    /** One boxcar-filtered channel. */
+    class Channel
+    {
+      public:
+        double filter(double x, size_t window);
+        void reset();
+
+      private:
+        std::deque<double> history;
+        double sum = 0.0;
+    };
+
+    size_t win;
+    Channel ch_drop1, ch_drop2, ch_vcpu;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_DAQ_SIGNAL_CONDITIONER_HH

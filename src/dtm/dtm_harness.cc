@@ -1,0 +1,92 @@
+#include "dtm/dtm_harness.hh"
+
+#include "common/logging.hh"
+#include "kernel/phase_kernel_module.hh"
+
+namespace livephase
+{
+
+std::string
+thermalStrategyName(ThermalStrategy strategy)
+{
+    switch (strategy) {
+      case ThermalStrategy::None:
+        return "unmanaged";
+      case ThermalStrategy::Reactive:
+        return "reactive";
+      case ThermalStrategy::Proactive:
+        return "proactive-gpht";
+    }
+    return "?";
+}
+
+double
+ThermalRunResult::overLimitShare() const
+{
+    if (perf.seconds <= 0.0)
+        return 0.0;
+    return seconds_over_limit / perf.seconds;
+}
+
+ThermalRunResult
+runThermal(const IntervalTrace &trace, ThermalStrategy strategy,
+           const ThermalConfig &config)
+{
+    if (trace.empty())
+        fatal("runThermal: workload '%s' is empty",
+              trace.name().c_str());
+
+    Core core(config.core);
+    ThermalMonitor monitor(core, config.thermal);
+
+    Governor governor = strategy == ThermalStrategy::Proactive
+        ? makeGphtGovernor(core.dvfs().table())
+        : strategy == ThermalStrategy::Reactive
+            ? makeReactiveGovernor(core.dvfs().table())
+            : makeBaselineGovernor();
+
+    PhaseKernelModule::Config kcfg;
+    kcfg.sample_uops = config.sample_uops;
+    PhaseKernelModule module(core, std::move(governor), kcfg);
+
+    if (strategy != ThermalStrategy::None) {
+        PowerAdvisor advisor(module.governor().classifier(),
+                             core.timing(), core.powerModel(),
+                             core.dvfs().table());
+        // Both strategies use the same throttle mechanism; what
+        // differs is the phase feeding it: reactive sees the last
+        // observed phase (its governor's prediction), proactive the
+        // GPHT's. Under performance pressure the reactive policy's
+        // stale phase picks the wrong budget row right after phase
+        // changes.
+        module.setDecisionHook(makeThermalThrottleHook(
+            monitor, std::move(advisor), config.limit_c,
+            config.guard_c));
+    }
+
+    module.load();
+    module.beginApplication();
+    const Core::Totals before = core.totals();
+    for (const Interval &ivl : trace)
+        core.execute(ivl);
+    const Core::Totals after = core.totals();
+    module.endApplication();
+
+    ThermalRunResult result;
+    result.workload = trace.name();
+    result.strategy = strategy;
+    result.perf.instructions =
+        after.instructions - before.instructions;
+    result.perf.seconds = after.seconds - before.seconds;
+    result.perf.joules = after.joules - before.joules;
+    result.peak_temp_c = monitor.peakTemperature();
+    result.seconds_over_limit = monitor.secondsAbove(config.limit_c);
+    result.limit_c = config.limit_c;
+    result.prediction_accuracy = module.log().predictionAccuracy();
+    result.dvfs_transitions = core.dvfs().transitionCount();
+    result.temperature_trace = monitor.trace();
+    module.unload();
+    return result;
+}
+
+} // namespace livephase

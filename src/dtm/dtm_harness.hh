@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Experiment harness for thermal / power-cap management runs.
+ *
+ * The System harness targets the DVFS/EDP experiments; this one
+ * wires the same platform with a ThermalMonitor and an optional
+ * management hook, and reports thermal outcomes alongside
+ * power/performance.
+ */
+
+#ifndef LIVEPHASE_DTM_DTM_HARNESS_HH
+#define LIVEPHASE_DTM_DTM_HARNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/governor.hh"
+#include "cpu/core.hh"
+#include "dtm/dtm_policies.hh"
+#include "dtm/thermal_monitor.hh"
+#include "workload/trace.hh"
+
+namespace livephase
+{
+
+/** Thermal management strategies the harness can apply. */
+enum class ThermalStrategy
+{
+    None,      ///< no thermal control (may exceed the limit)
+    Reactive,  ///< throttle only on temperature (last-value phase)
+    Proactive  ///< GPHT phase prediction + advisor-guided throttle
+};
+
+/** Short name for reports. */
+std::string thermalStrategyName(ThermalStrategy strategy);
+
+/** Outcome of a thermal run. */
+struct ThermalRunResult
+{
+    std::string workload;
+    ThermalStrategy strategy = ThermalStrategy::None;
+    PowerPerf perf{};
+    double peak_temp_c = 0.0;
+    double seconds_over_limit = 0.0;
+    double limit_c = 0.0;
+    double prediction_accuracy = 1.0;
+    size_t dvfs_transitions = 0;
+    std::vector<ThermalMonitor::TempSample> temperature_trace;
+
+    /** Fraction of the run spent over the limit. */
+    double overLimitShare() const;
+};
+
+/** Configuration of a thermal experiment. */
+struct ThermalConfig
+{
+    Core::Config core{};
+    ThermalModel::Params thermal{};
+    uint64_t sample_uops = 100'000'000;
+    double limit_c = 62.0;
+    double guard_c = 4.0;
+};
+
+/**
+ * Run a workload under a thermal strategy.
+ *
+ * - None: unmanaged baseline at the fastest setting.
+ * - Reactive: last-value phase prediction; throttle engages only
+ *   once the temperature has already entered the guard band.
+ * - Proactive: GPHT prediction; the advisor slows the *predicted*
+ *   phase down before the limit is reached.
+ */
+ThermalRunResult runThermal(const IntervalTrace &trace,
+                            ThermalStrategy strategy,
+                            const ThermalConfig &config =
+                                ThermalConfig{});
+
+} // namespace livephase
+
+#endif // LIVEPHASE_DTM_DTM_HARNESS_HH

@@ -1,0 +1,58 @@
+#include "dtm/dtm_policies.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+PhaseKernelModule::DecisionHook
+makeThermalThrottleHook(const ThermalMonitor &monitor,
+                        PowerAdvisor advisor, double limit_c,
+                        double guard_c)
+{
+    if (guard_c < 0.0)
+        fatal("makeThermalThrottleHook: negative guard band");
+    if (limit_c <= monitor.model().params().ambient_c)
+        fatal("makeThermalThrottleHook: limit %.1f C not above "
+              "ambient %.1f C", limit_c,
+              monitor.model().params().ambient_c);
+    // The sustainable budget: power whose steady state sits at the
+    // limit. Running under it forever can never violate the limit.
+    const double budget =
+        monitor.model().powerForSteadyState(limit_c);
+    return [&monitor, advisor = std::move(advisor), limit_c, guard_c,
+            budget](PhaseId predicted, size_t policy_index) {
+        const double temp = monitor.temperature();
+        if (temp < limit_c - guard_c) {
+            // Cool: run the performance policy unmodified.
+            return policy_index;
+        }
+        // Hot: take the fastest setting (no faster than the policy
+        // wanted) whose predicted power is sustainable. The closer
+        // to the limit we are, the tighter the effective budget —
+        // a proportional taper inside the guard band.
+        const double urgency =
+            std::clamp((limit_c - temp) / guard_c, 0.0, 1.0);
+        const double effective_budget = budget * (0.7 + 0.3 * urgency);
+        return advisor.fastestWithinBudget(predicted, policy_index,
+                                           effective_budget);
+    };
+}
+
+PhaseKernelModule::DecisionHook
+makePowerCapHook(PowerAdvisor advisor, double budget_watts)
+{
+    if (budget_watts <= 0.0)
+        fatal("makePowerCapHook: budget must be positive (%f W)",
+              budget_watts);
+    return [advisor = std::move(advisor),
+            budget_watts](PhaseId predicted, size_t policy_index) {
+        return advisor.fastestWithinBudget(predicted, policy_index,
+                                           budget_watts);
+    };
+}
+
+} // namespace livephase

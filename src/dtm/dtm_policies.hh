@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Phase-prediction-guided thermal and power-cap management.
+ *
+ * The paper presents DVFS/EDP optimization as one instance of a
+ * general framework and names dynamic thermal management and power
+ * bounding as the other applications (Sections 1 and 8). These
+ * decision hooks implement both on top of the unchanged
+ * monitoring/prediction pipeline:
+ *
+ *  - makeThermalThrottleHook(): keep die temperature under a limit.
+ *    Proactive: when the temperature is inside a guard band of the
+ *    limit, the hook consults the PowerAdvisor for the *predicted*
+ *    phase and picks the fastest setting whose estimated power fits
+ *    the steady-state budget of the limit — slowing down *before*
+ *    the limit is hit, instead of after a violation like reactive
+ *    DTM.
+ *
+ *  - makePowerCapHook(): never choose a setting whose estimated
+ *    power for the predicted phase exceeds a fixed budget.
+ */
+
+#ifndef LIVEPHASE_DTM_DTM_POLICIES_HH
+#define LIVEPHASE_DTM_DTM_POLICIES_HH
+
+#include "dtm/power_advisor.hh"
+#include "dtm/thermal_monitor.hh"
+#include "kernel/phase_kernel_module.hh"
+
+namespace livephase
+{
+
+/**
+ * Thermal-throttle decision hook.
+ *
+ * @param monitor    live temperature source (must outlive the hook).
+ * @param advisor    per-(phase, setting) power estimates (copied).
+ * @param limit_c    temperature ceiling.
+ * @param guard_c    guard band: throttling engages when the current
+ *                   temperature is above limit_c - guard_c.
+ *
+ * fatal() when guard_c is negative or limit_c is not above the
+ * monitor's ambient temperature.
+ */
+PhaseKernelModule::DecisionHook makeThermalThrottleHook(
+    const ThermalMonitor &monitor, PowerAdvisor advisor,
+    double limit_c, double guard_c = 3.0);
+
+/**
+ * Power-cap decision hook: clamp every decision to settings whose
+ * estimated power for the predicted phase fits the budget.
+ *
+ * fatal() when the budget is not positive.
+ */
+PhaseKernelModule::DecisionHook makePowerCapHook(PowerAdvisor advisor,
+                                                 double budget_watts);
+
+} // namespace livephase
+
+#endif // LIVEPHASE_DTM_DTM_POLICIES_HH

@@ -1,0 +1,78 @@
+#include "dtm/power_advisor.hh"
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+PowerAdvisor::PowerAdvisor(const PhaseClassifier &classifier,
+                           const TimingModel &timing,
+                           const PowerModel &power,
+                           const DvfsTable &table, double core_ipc,
+                           double block_factor)
+{
+    if (core_ipc <= 0.0)
+        fatal("PowerAdvisor: core IPC must be positive");
+    if (block_factor < 0.0 || block_factor > 1.0)
+        fatal("PowerAdvisor: blocking factor %f outside [0, 1]",
+              block_factor);
+    const int phases = classifier.numPhases();
+    estimates.resize(static_cast<size_t>(phases));
+    for (PhaseId phase = 1; phase <= phases; ++phase) {
+        Interval representative;
+        representative.uops = 1.0;
+        representative.mem_per_uop =
+            classifier.representativeMetric(phase);
+        representative.core_ipc = core_ipc;
+        representative.mem_block_factor = block_factor;
+        auto &row = estimates[static_cast<size_t>(phase - 1)];
+        row.reserve(table.size());
+        for (size_t i = 0; i < table.size(); ++i) {
+            const OperatingPoint &op = table.at(i);
+            const double upc =
+                timing.upc(representative, op.freqHz());
+            row.push_back(power.watts(op, upc));
+        }
+    }
+}
+
+double
+PowerAdvisor::watts(PhaseId phase, size_t setting_index) const
+{
+    if (phase < 1 ||
+        static_cast<size_t>(phase) > estimates.size()) {
+        panic("PowerAdvisor: phase %d out of 1..%zu", phase,
+              estimates.size());
+    }
+    const auto &row = estimates[static_cast<size_t>(phase - 1)];
+    if (setting_index >= row.size())
+        panic("PowerAdvisor: setting %zu out of %zu", setting_index,
+              row.size());
+    return row[setting_index];
+}
+
+size_t
+PowerAdvisor::fastestWithinBudget(PhaseId phase, size_t from_index,
+                                  double budget_watts) const
+{
+    const size_t settings = numSettings();
+    for (size_t i = from_index; i < settings; ++i) {
+        if (watts(phase, i) <= budget_watts)
+            return i;
+    }
+    return settings - 1;
+}
+
+int
+PowerAdvisor::numPhases() const
+{
+    return static_cast<int>(estimates.size());
+}
+
+size_t
+PowerAdvisor::numSettings() const
+{
+    return estimates.empty() ? 0 : estimates.front().size();
+}
+
+} // namespace livephase

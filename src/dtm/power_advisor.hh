@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Model-based power estimation per (phase, operating point).
+ *
+ * Thermal and power-cap governors need to know, at decision time,
+ * roughly how much power the *next* period will draw at each
+ * candidate setting. The advisor derives that from the same models
+ * the platform obeys: a phase's representative Mem/Uop, the timing
+ * model's UPC at each frequency, and the power model. Estimates are
+ * precomputed at construction so the in-handler lookup is O(1).
+ */
+
+#ifndef LIVEPHASE_DTM_POWER_ADVISOR_HH
+#define LIVEPHASE_DTM_POWER_ADVISOR_HH
+
+#include <vector>
+
+#include "core/phase_classifier.hh"
+#include "cpu/dvfs_table.hh"
+#include "cpu/power_model.hh"
+#include "cpu/timing_model.hh"
+
+namespace livephase
+{
+
+/**
+ * Precomputed watts[phase][setting] estimate table.
+ */
+class PowerAdvisor
+{
+  public:
+    /**
+     * @param classifier phase definition (representative metrics).
+     * @param timing     machine timing model.
+     * @param power      machine power model.
+     * @param table      operating points.
+     * @param core_ipc   assumed execution-core IPC for estimates.
+     * @param block_factor assumed memory blocking factor.
+     */
+    PowerAdvisor(const PhaseClassifier &classifier,
+                 const TimingModel &timing, const PowerModel &power,
+                 const DvfsTable &table, double core_ipc = 1.2,
+                 double block_factor = 0.8);
+
+    /** Estimated watts for a phase at a table index. */
+    double watts(PhaseId phase, size_t setting_index) const;
+
+    /**
+     * Fastest setting (smallest index) no faster than `from_index`
+     * whose estimated power stays within `budget_watts`. Falls back
+     * to the slowest point when even it exceeds the budget.
+     */
+    size_t fastestWithinBudget(PhaseId phase, size_t from_index,
+                               double budget_watts) const;
+
+    /** Number of phases covered. */
+    int numPhases() const;
+
+    /** Number of settings covered. */
+    size_t numSettings() const;
+
+  private:
+    std::vector<std::vector<double>> estimates; // [phase-1][setting]
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_DTM_POWER_ADVISOR_HH

@@ -1,0 +1,79 @@
+#include "dtm/thermal_monitor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "cpu/core.hh"
+
+namespace livephase
+{
+
+ThermalMonitor::ThermalMonitor(Core &core,
+                               ThermalModel::Params params,
+                               double trace_resolution_s)
+    : model_state(params), trace_resolution_s(trace_resolution_s),
+      peak_c(params.initial_c)
+{
+    if (trace_resolution_s < 0.0)
+        fatal("ThermalMonitor: negative trace resolution");
+    samples.push_back(TempSample{0.0, model_state.temperature()});
+    core.addPowerSegmentListener(
+        [this](double t0, double t1, double watts, double) {
+            onSegment(t0, t1, watts);
+        });
+}
+
+double
+ThermalMonitor::secondsAbove(double threshold_c) const
+{
+    double total = 0.0;
+    for (const auto &seg : segments) {
+        const bool start_above = seg.start_c > threshold_c;
+        const bool end_above = seg.end_c > threshold_c;
+        if (start_above && end_above) {
+            total += seg.duration;
+            continue;
+        }
+        if (!start_above && !end_above)
+            continue;
+        // Exactly one endpoint above: temperature approaches t_ss
+        // monotonically, so there is a single crossing at
+        //   t* = tau * ln((start - t_ss) / (threshold - t_ss)).
+        const double num = seg.start_c - seg.t_ss;
+        const double den = threshold_c - seg.t_ss;
+        if (num == 0.0 || den == 0.0 || (num > 0.0) != (den > 0.0))
+            continue; // numerically degenerate; skip conservatively
+        const double t_cross =
+            std::clamp(seg.tau * std::log(num / den), 0.0,
+                       seg.duration);
+        total += start_above ? t_cross : seg.duration - t_cross;
+    }
+    return total;
+}
+
+void
+ThermalMonitor::onSegment(double t0, double t1, double watts)
+{
+    const double duration = t1 - t0;
+    if (duration <= 0.0)
+        return;
+    SegmentSummary seg;
+    seg.duration = duration;
+    seg.start_c = model_state.temperature();
+    seg.tau = model_state.timeConstant();
+    seg.t_ss = model_state.steadyStateC(watts);
+    seg.end_c = model_state.advance(watts, duration);
+    segments.push_back(seg);
+
+    // Within a segment temperature moves monotonically, so the peak
+    // is at one of the endpoints.
+    peak_c = std::max({peak_c, seg.start_c, seg.end_c});
+
+    if (samples.empty() ||
+        t1 - samples.back().time >= trace_resolution_s) {
+        samples.push_back(TempSample{t1, seg.end_c});
+    }
+}
+
+} // namespace livephase

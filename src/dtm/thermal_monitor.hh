@@ -1,0 +1,89 @@
+/**
+ * @file
+ * On-line die-temperature tracking for a running Core.
+ *
+ * Subscribes to the core's power-segment stream and integrates the
+ * RC thermal model over every segment, keeping an always-current
+ * temperature the thermal governor reads at decision time, plus a
+ * bounded-resolution temperature trace for evaluation.
+ */
+
+#ifndef LIVEPHASE_DTM_THERMAL_MONITOR_HH
+#define LIVEPHASE_DTM_THERMAL_MONITOR_HH
+
+#include <vector>
+
+#include "cpu/thermal_model.hh"
+
+namespace livephase
+{
+
+class Core;
+
+/**
+ * Live thermal state attached to a core.
+ */
+class ThermalMonitor
+{
+  public:
+    /** One point of the recorded temperature trace. */
+    struct TempSample
+    {
+        double time = 0.0;
+        double temp_c = 0.0;
+    };
+
+    /**
+     * @param core   processor to monitor (registers a power
+     *               listener; the monitor must outlive the core's
+     *               use of it).
+     * @param params thermal model parameters.
+     * @param trace_resolution_s minimum spacing between recorded
+     *               trace points (0 records every segment).
+     */
+    ThermalMonitor(Core &core,
+                   ThermalModel::Params params = ThermalModel::Params{},
+                   double trace_resolution_s = 0.01);
+
+    ThermalMonitor(const ThermalMonitor &) = delete;
+    ThermalMonitor &operator=(const ThermalMonitor &) = delete;
+
+    /** Current die temperature, deg C. */
+    double temperature() const { return model_state.temperature(); }
+
+    /** Hottest temperature seen so far. */
+    double peakTemperature() const { return peak_c; }
+
+    /** Total time spent above a threshold so far. */
+    double secondsAbove(double threshold_c) const;
+
+    /** The underlying model (steady-state queries etc.). */
+    const ThermalModel &model() const { return model_state; }
+
+    /** Recorded temperature trace. */
+    const std::vector<TempSample> &trace() const { return samples; }
+
+  private:
+    void onSegment(double t0, double t1, double watts);
+
+    ThermalModel model_state;
+    double trace_resolution_s;
+    double peak_c;
+    std::vector<TempSample> samples;
+    // Piecewise (threshold-free) bookkeeping of time-above: store
+    // per-segment (duration, start temp, end temp) summary instead
+    // of every instant; secondsAbove interpolates.
+    struct SegmentSummary
+    {
+        double duration;
+        double start_c;
+        double end_c;
+        double tau;     ///< model time constant during the segment
+        double t_ss;    ///< steady-state target of the segment
+    };
+    std::vector<SegmentSummary> segments;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_DTM_THERMAL_MONITOR_HH

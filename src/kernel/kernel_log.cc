@@ -1,0 +1,56 @@
+#include "kernel/kernel_log.hh"
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+void
+KernelLog::append(const SampleRecord &record)
+{
+    records.push_back(record);
+}
+
+const SampleRecord &
+KernelLog::at(size_t index) const
+{
+    if (index >= records.size())
+        panic("KernelLog::at: index %zu out of range (%zu)", index,
+              records.size());
+    return records[index];
+}
+
+void
+KernelLog::clear()
+{
+    records.clear();
+}
+
+double
+KernelLog::predictionAccuracy() const
+{
+    if (records.size() < 2)
+        return 1.0;
+    size_t correct = 0;
+    for (size_t i = 1; i < records.size(); ++i) {
+        if (records[i - 1].predicted_phase == records[i].actual_phase)
+            ++correct;
+    }
+    return static_cast<double>(correct) /
+        static_cast<double>(records.size() - 1);
+}
+
+size_t
+KernelLog::mispredictions() const
+{
+    if (records.size() < 2)
+        return 0;
+    size_t wrong = 0;
+    for (size_t i = 1; i < records.size(); ++i) {
+        if (records[i - 1].predicted_phase != records[i].actual_phase)
+            ++wrong;
+    }
+    return wrong;
+}
+
+} // namespace livephase

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The kernel module's per-sample evaluation log (paper Section 5.4).
+ *
+ * At every PMI invocation the handler appends one record with the
+ * raw counter readings, derived metrics, the classified phase, the
+ * prediction made for the *next* period, and the DVFS setting
+ * applied. A user-level tool reads this log through system calls;
+ * all of the paper's prediction-accuracy evaluations are computed
+ * from it.
+ */
+
+#ifndef LIVEPHASE_KERNEL_KERNEL_LOG_HH
+#define LIVEPHASE_KERNEL_KERNEL_LOG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/phase.hh"
+
+namespace livephase
+{
+
+/** One sampling period as recorded by the PMI handler. */
+struct SampleRecord
+{
+    uint64_t index = 0;        ///< sample sequence number
+    double t_start = 0.0;      ///< period start, simulated seconds
+    double t_end = 0.0;        ///< period end (handler entry)
+    uint64_t uops = 0;         ///< uops retired in the period
+    uint64_t mem_transactions = 0; ///< memory bus transactions
+    uint64_t tsc_cycles = 0;   ///< TSC delta over the period
+    double mem_per_uop = 0.0;  ///< derived Mem/Uop
+    double upc = 0.0;          ///< derived uops per cycle
+    PhaseId actual_phase = INVALID_PHASE; ///< phase of this period
+    PhaseId predicted_phase = INVALID_PHASE; ///< prediction for next
+    size_t dvfs_index = 0;     ///< setting applied for the next period
+    double freq_mhz = 0.0;     ///< frequency during *this* period
+};
+
+/**
+ * Append-only in-kernel sample log.
+ */
+class KernelLog
+{
+  public:
+    KernelLog() = default;
+
+    /** Append one record (handler context). */
+    void append(const SampleRecord &record);
+
+    /** Number of records. */
+    size_t size() const { return records.size(); }
+
+    /** True when no samples were recorded. */
+    bool empty() const { return records.empty(); }
+
+    /** Record by index. @pre index < size() */
+    const SampleRecord &at(size_t index) const;
+
+    /** All records (user-level read syscall). */
+    const std::vector<SampleRecord> &all() const { return records; }
+
+    /** Clear the log (module reload). */
+    void clear();
+
+    /**
+     * Prediction accuracy over the log: the fraction of samples
+     * whose phase matched the prediction recorded one sample
+     * earlier. The first sample has no prior prediction and is
+     * excluded. Returns 1.0 for logs with fewer than 2 samples.
+     */
+    double predictionAccuracy() const;
+
+    /** Number of mispredicted samples (complement of the above). */
+    size_t mispredictions() const;
+
+  private:
+    std::vector<SampleRecord> records;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_KERNEL_KERNEL_LOG_HH

@@ -1,0 +1,58 @@
+#include "kernel/parallel_port.hh"
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+ParallelPort::ParallelPort(std::function<double()> clock)
+    : now(std::move(clock)), level(0)
+{
+    if (!now)
+        fatal("ParallelPort requires a clock function");
+}
+
+void
+ParallelPort::setBit(int bit, bool value)
+{
+    if (bit < 0 || bit > 7)
+        panic("ParallelPort::setBit: bit %d out of range", bit);
+    const uint8_t mask = static_cast<uint8_t>(1u << bit);
+    const uint8_t next = value
+        ? static_cast<uint8_t>(level | mask)
+        : static_cast<uint8_t>(level & ~mask);
+    write(next);
+}
+
+void
+ParallelPort::toggleBit(int bit)
+{
+    if (bit < 0 || bit > 7)
+        panic("ParallelPort::toggleBit: bit %d out of range", bit);
+    write(static_cast<uint8_t>(level ^ (1u << bit)));
+}
+
+void
+ParallelPort::write(uint8_t value)
+{
+    if (value == level)
+        return;
+    level = value;
+    trace.push_back(Transition{now(), level});
+}
+
+bool
+ParallelPort::bit(int bit_index) const
+{
+    if (bit_index < 0 || bit_index > 7)
+        panic("ParallelPort::bit: bit %d out of range", bit_index);
+    return (level >> bit_index) & 1u;
+}
+
+void
+ParallelPort::clearTrace()
+{
+    trace.clear();
+}
+
+} // namespace livephase

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Parallel-port signalling between the prototype machine and the
+ * DAQ/logging side (paper Section 5.4).
+ *
+ * Three output bits synchronize the otherwise independent execution
+ * and measurement processes:
+ *
+ *   bit 0 — flipped by the PMI handler at every sampling interval so
+ *           the DAQ can attribute power to individual phase samples;
+ *   bit 1 — set while the PMI handler runs (interrupt vs application
+ *           execution);
+ *   bit 2 — set from user level for the duration of an application
+ *           run, gating whole-program power measurement.
+ *
+ * Every write is recorded as a timestamped transition; the DAQ
+ * samples the port level at its own 40 us cadence from this record.
+ */
+
+#ifndef LIVEPHASE_KERNEL_PARALLEL_PORT_HH
+#define LIVEPHASE_KERNEL_PARALLEL_PORT_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace livephase
+{
+
+/** Bit roles on the port (paper Section 5.4). */
+namespace parport_bit
+{
+constexpr int PHASE_TOGGLE = 0;
+constexpr int IN_HANDLER = 1;
+constexpr int APP_RUNNING = 2;
+} // namespace parport_bit
+
+/**
+ * An 8-bit output port with a timestamped transition trace.
+ */
+class ParallelPort
+{
+  public:
+    /** One recorded level change. */
+    struct Transition
+    {
+        double time;   ///< simulated wall-clock seconds
+        uint8_t level; ///< port byte after the change
+    };
+
+    /** @param clock returns the current simulated time (seconds). */
+    explicit ParallelPort(std::function<double()> clock);
+
+    /** Set or clear one bit. @pre 0 <= bit < 8 */
+    void setBit(int bit, bool value);
+
+    /** Invert one bit. @pre 0 <= bit < 8 */
+    void toggleBit(int bit);
+
+    /** Write the whole byte at once. */
+    void write(uint8_t value);
+
+    /** Current port byte. */
+    uint8_t read() const { return level; }
+
+    /** State of one bit. @pre 0 <= bit < 8 */
+    bool bit(int bit) const;
+
+    /** Full transition history (time-ordered). */
+    const std::vector<Transition> &transitions() const
+    {
+        return trace;
+    }
+
+    /** Drop the recorded history (the current level persists). */
+    void clearTrace();
+
+  private:
+    std::function<double()> now;
+    uint8_t level;
+    std::vector<Transition> trace;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_KERNEL_PARALLEL_PORT_HH

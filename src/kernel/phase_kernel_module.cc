@@ -1,0 +1,199 @@
+#include "kernel/phase_kernel_module.hh"
+
+#include "common/logging.hh"
+#include "cpu/core.hh"
+
+namespace livephase
+{
+
+PhaseKernelModule::PhaseKernelModule(Core &core, Governor governor)
+    : PhaseKernelModule(core, std::move(governor), Config{})
+{
+}
+
+PhaseKernelModule::PhaseKernelModule(Core &core, Governor governor,
+                                     Config config)
+    : cpu(core), gov(std::move(governor)), cfg(config),
+      port([&core]() { return core.now(); }), loaded(false),
+      sample_count(0), tsc_snapshot(0), period_start_s(0.0)
+{
+    if (cfg.sample_uops == 0)
+        fatal("PhaseKernelModule: sampling granularity must be "
+              "non-zero");
+    if (cfg.handler_overhead_us < 0.0)
+        fatal("PhaseKernelModule: negative handler overhead");
+}
+
+PhaseKernelModule::~PhaseKernelModule()
+{
+    if (loaded)
+        unload();
+}
+
+void
+PhaseKernelModule::load()
+{
+    if (loaded)
+        fatal("PhaseKernelModule: already loaded");
+
+    Msr &msr = cpu.msr();
+
+    // Counter 0: UOPS_RETIRED, interrupt on overflow — the sampling
+    // clock. Counter 1: BUS_TRAN_MEM, free running.
+    PmcEventSelect sel0;
+    sel0.event = PmcEventId::UopsRetired;
+    sel0.int_enable = true;
+    sel0.enable = true;
+    msr.wrmsr(msr_addr::PERFEVTSEL0, sel0.encode());
+
+    PmcEventSelect sel1;
+    sel1.event = PmcEventId::BusTranMem;
+    sel1.int_enable = false;
+    sel1.enable = true;
+    msr.wrmsr(msr_addr::PERFEVTSEL1, sel1.encode());
+
+    cpu.pmi().installHandler(
+        [this](int counter_index) { handlePmi(counter_index); });
+
+    if (gov.predictor())
+        gov.predictor()->reset();
+    klog.clear();
+    sample_count = 0;
+    armCounters();
+    loaded = true;
+}
+
+void
+PhaseKernelModule::unload()
+{
+    if (!loaded)
+        fatal("PhaseKernelModule: not loaded");
+    cpu.pmi().installHandler(nullptr);
+    cpu.pmcBank().stopAll();
+    loaded = false;
+}
+
+void
+PhaseKernelModule::setDecisionHook(DecisionHook hook)
+{
+    decision_hook = std::move(hook);
+}
+
+void
+PhaseKernelModule::beginApplication()
+{
+    port.setBit(parport_bit::APP_RUNNING, true);
+}
+
+void
+PhaseKernelModule::endApplication()
+{
+    port.setBit(parport_bit::APP_RUNNING, false);
+}
+
+void
+PhaseKernelModule::handlePmi(int counter_index)
+{
+    if (counter_index != 0) {
+        warn("unexpected PMI from counter %d", counter_index);
+        return;
+    }
+    port.setBit(parport_bit::IN_HANDLER, true);
+
+    PmcBank &bank = cpu.pmcBank();
+
+    // 1. Stop and read the counters. Counter 0 was armed to wrap at
+    // exactly sample_uops events; counter 1 counted from zero.
+    bank.stopAll();
+    const uint64_t uops = cfg.sample_uops;
+    const uint64_t mem_trans = bank.counter(1).read();
+    const uint64_t tsc_now = cpu.tsc().read();
+    const uint64_t tsc_delta = tsc_now - tsc_snapshot;
+
+    // 2. Translate the readings into the phase of the period that
+    // just ended. The deployed system classifies on Mem/Uop; the
+    // Upc metric source exists to demonstrate Section 4's pitfall.
+    const double mem_per_uop = static_cast<double>(mem_trans) /
+        static_cast<double>(uops);
+    const double upc = tsc_delta > 0
+        ? static_cast<double>(uops) / static_cast<double>(tsc_delta)
+        : 0.0;
+    const double metric_value =
+        gov.metric() == PhaseMetric::Upc ? upc : mem_per_uop;
+    const PhaseSample observed =
+        gov.classifier().sample(metric_value);
+
+    // 3. Update the predictor and predict the next phase. An invalid
+    // prediction (cold start) falls back to the observed phase.
+    PhaseId predicted = observed.phase;
+    if (gov.predictor()) {
+        gov.predictor()->observe(observed);
+        const PhaseId p = gov.predictor()->predict();
+        if (p != INVALID_PHASE)
+            predicted = p;
+    }
+
+    // 4. Translate the predicted phase into a DVFS setting and apply
+    // it only when it differs from the current one (Figure 8's
+    // "Same as current setting?" branch).
+    size_t dvfs_index = cpu.dvfs().currentIndex();
+    if (gov.manages()) {
+        size_t target = gov.policy().settingForPhase(predicted);
+        if (decision_hook) {
+            target = decision_hook(predicted, target);
+            if (target >= cpu.dvfs().table().size())
+                panic("decision hook chose setting %zu of %zu",
+                      target, cpu.dvfs().table().size());
+        }
+        if (target != dvfs_index) {
+            cpu.msr().wrmsr(
+                msr_addr::PERF_CTL,
+                cpu.dvfs().table().at(target).encode());
+            dvfs_index = target;
+        }
+    }
+
+    // 5. Log the sample for user-level evaluation.
+    if (cfg.log_enabled) {
+        SampleRecord rec;
+        rec.index = sample_count;
+        rec.t_start = period_start_s;
+        rec.t_end = cpu.now();
+        rec.uops = uops;
+        rec.mem_transactions = mem_trans;
+        rec.tsc_cycles = tsc_delta;
+        rec.mem_per_uop = mem_per_uop;
+        rec.upc = upc;
+        rec.actual_phase = observed.phase;
+        rec.predicted_phase = predicted;
+        rec.dvfs_index = dvfs_index;
+        rec.freq_mhz = tsc_delta > 0 && rec.t_end > rec.t_start
+            ? static_cast<double>(tsc_delta) /
+              (rec.t_end - rec.t_start) / 1e6
+            : cpu.dvfs().current().freq_mhz;
+        klog.append(rec);
+    }
+    ++sample_count;
+
+    // Handler execution cost (counter reads, prediction, logging).
+    cpu.chargeKernelOverhead(cfg.handler_overhead_us * 1e-6);
+
+    // 6. Phase marker for the DAQ, then clear/re-arm/restart.
+    port.toggleBit(parport_bit::PHASE_TOGGLE);
+    bank.counter(0).clearOverflowFlag();
+    armCounters();
+    port.setBit(parport_bit::IN_HANDLER, false);
+}
+
+void
+PhaseKernelModule::armCounters()
+{
+    PmcBank &bank = cpu.pmcBank();
+    bank.counter(0).armForOverflowAfter(cfg.sample_uops);
+    bank.counter(1).write(0);
+    tsc_snapshot = cpu.tsc().read();
+    period_start_s = cpu.now();
+    bank.startAll();
+}
+
+} // namespace livephase

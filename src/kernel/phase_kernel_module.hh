@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The loadable kernel module: the paper's deployed implementation of
+ * runtime phase monitoring, prediction, and DVFS management
+ * (Sections 5.1-5.2, flow of Figure 8).
+ *
+ * On load() the module programs the two Pentium-M counters
+ * (UOPS_RETIRED armed to overflow every sample_uops, BUS_TRAN_MEM
+ * free running), installs its PMI handler and snapshots the TSC.
+ * Every PMI it then:
+ *
+ *   1. stops and reads the counters,
+ *   2. translates the readings to the current phase (Mem/Uop),
+ *   3. updates the predictor and predicts the next phase,
+ *   4. translates the prediction to a DVFS setting and applies it
+ *      through PERF_CTL if it differs from the current one,
+ *   5. logs the sample, toggles the parallel-port phase bit,
+ *   6. clears the overflow, re-arms and restarts the counters.
+ *
+ * The module runs autonomously on any workload — no profiling,
+ * instrumentation, or application modification, matching the paper's
+ * central deployment claim.
+ */
+
+#ifndef LIVEPHASE_KERNEL_PHASE_KERNEL_MODULE_HH
+#define LIVEPHASE_KERNEL_PHASE_KERNEL_MODULE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "core/governor.hh"
+#include "kernel/kernel_log.hh"
+#include "kernel/parallel_port.hh"
+
+namespace livephase
+{
+
+class Core;
+
+/**
+ * LKM analogue binding a Core to a Governor.
+ */
+class PhaseKernelModule
+{
+  public:
+    /** Module parameters (insmod arguments). */
+    struct Config
+    {
+        /** Sampling granularity in retired uops (paper: 100 M). */
+        uint64_t sample_uops = 100'000'000;
+
+        /** Modelled execution cost of one handler invocation —
+         *  counter reads, table lookup, logging (order of
+         *  microseconds; invisible at 100 ms periods). */
+        double handler_overhead_us = 5.0;
+
+        /** Record per-sample evaluation data. */
+        bool log_enabled = true;
+    };
+
+    /**
+     * Optional override of the phase->setting translation: receives
+     * the predicted phase and the static policy's chosen table
+     * index, returns the index to actually apply. This is how
+     * stateful management goals — dynamic thermal management, power
+     * capping — plug into the same handler without changing the
+     * monitoring/prediction machinery (the generality claimed in
+     * the paper's Sections 1 and 8).
+     */
+    using DecisionHook =
+        std::function<size_t(PhaseId predicted, size_t policy_index)>;
+
+    /**
+     * @param core     the processor to attach to.
+     * @param governor management strategy (moved in).
+     * @param config   module parameters.
+     */
+    /** Construct with default module parameters. */
+    PhaseKernelModule(Core &core, Governor governor);
+
+    PhaseKernelModule(Core &core, Governor governor, Config config);
+
+    ~PhaseKernelModule();
+
+    PhaseKernelModule(const PhaseKernelModule &) = delete;
+    PhaseKernelModule &operator=(const PhaseKernelModule &) = delete;
+
+    /** insmod: program counters, install the PMI handler, arm.
+     *  fatal() when already loaded. */
+    void load();
+
+    /** rmmod: uninstall the handler and stop the counters. */
+    void unload();
+
+    /** True between load() and unload(). */
+    bool isLoaded() const { return loaded; }
+
+    /** User-level syscall: mark application start (parport bit 2). */
+    void beginApplication();
+
+    /** User-level syscall: mark application end. */
+    void endApplication();
+
+    /** The governor in use. */
+    const Governor &governor() const { return gov; }
+
+    /** The evaluation log (user-level read syscall). */
+    const KernelLog &log() const { return klog; }
+
+    /** The parallel port driven by this module. */
+    ParallelPort &parallelPort() { return port; }
+    const ParallelPort &parallelPort() const { return port; }
+
+    /** Samples processed since load(). */
+    uint64_t samplesTaken() const { return sample_count; }
+
+    /** Install (or clear, with null) the decision hook. */
+    void setDecisionHook(DecisionHook hook);
+
+    /** Module parameters. */
+    const Config &config() const { return cfg; }
+
+  private:
+    /** The PMI handler (Figure 8). */
+    void handlePmi(int counter_index);
+
+    /** Arm/reset counters and snapshots for the next period. */
+    void armCounters();
+
+    Core &cpu;
+    Governor gov;
+    Config cfg;
+    DecisionHook decision_hook;
+    ParallelPort port;
+    KernelLog klog;
+    bool loaded;
+    uint64_t sample_count;
+    uint64_t tsc_snapshot;
+    double period_start_s;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_KERNEL_PHASE_KERNEL_MODULE_HH

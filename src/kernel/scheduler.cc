@@ -1,0 +1,111 @@
+#include "kernel/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "cpu/core.hh"
+
+namespace livephase
+{
+
+Scheduler::Scheduler(Core &core)
+    : Scheduler(core, Config{})
+{
+}
+
+Scheduler::Scheduler(Core &core, Config config)
+    : cpu(core), cfg(config), current(0), switches(0),
+      any_ran(false)
+{
+    if (cfg.quantum_uops == 0)
+        fatal("Scheduler: quantum must be non-zero");
+    if (cfg.switch_overhead_us < 0.0)
+        fatal("Scheduler: negative context-switch overhead");
+}
+
+void
+Scheduler::addTask(const IntervalTrace &trace)
+{
+    if (trace.empty())
+        fatal("Scheduler: task '%s' has an empty trace",
+              trace.name().c_str());
+    tasks.emplace_back(trace);
+}
+
+bool
+Scheduler::allFinished() const
+{
+    if (tasks.empty())
+        return true;
+    for (const Task &task : tasks)
+        if (!task.finished())
+            return false;
+    return true;
+}
+
+bool
+Scheduler::runQuantum()
+{
+    if (tasks.empty())
+        return false;
+
+    // Find the next runnable task (round robin from `current`).
+    size_t inspected = 0;
+    while (inspected < tasks.size() && tasks[current].finished()) {
+        current = (current + 1) % tasks.size();
+        ++inspected;
+    }
+    if (tasks[current].finished())
+        return false; // everything drained
+
+    Task &task = tasks[current];
+    if (any_ran) {
+        // Charge the switch into this task's context.
+        cpu.chargeKernelOverhead(cfg.switch_overhead_us * 1e-6);
+        ++switches;
+    }
+    if (task.accounting.first_scheduled_s < 0.0)
+        task.accounting.first_scheduled_s = cpu.now();
+
+    double budget = static_cast<double>(cfg.quantum_uops);
+    while (budget >= 1.0 && !task.finished()) {
+        const Interval &whole = task.trace.at(task.interval_index);
+        const double remaining = whole.uops - task.consumed_uops;
+        const double chunk_uops = std::min(budget, remaining);
+        Interval chunk = whole;
+        chunk.uops = chunk_uops;
+        cpu.execute(chunk);
+        task.accounting.uops_retired += chunk_uops;
+        task.consumed_uops += chunk_uops;
+        budget -= chunk_uops;
+        if (task.consumed_uops >= whole.uops - 0.5) {
+            ++task.interval_index;
+            task.consumed_uops = 0.0;
+        }
+    }
+    if (task.finished())
+        task.accounting.completed_s = cpu.now();
+
+    any_ran = true;
+    current = (current + 1) % tasks.size();
+    return true;
+}
+
+void
+Scheduler::runToCompletion()
+{
+    while (runQuantum()) {
+    }
+}
+
+std::vector<Scheduler::TaskStats>
+Scheduler::stats() const
+{
+    std::vector<TaskStats> out;
+    out.reserve(tasks.size());
+    for (const Task &task : tasks)
+        out.push_back(task.accounting);
+    return out;
+}
+
+} // namespace livephase

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Round-robin multiprogramming on the simulated core.
+ *
+ * The paper's kernel module monitors *native system execution*:
+ * whatever the OS happens to schedule, including interleavings of
+ * multiple applications (one source of the "system induced
+ * variability" Section 5.1 discusses). This scheduler substrate
+ * time-slices several workload traces onto one core with a fixed
+ * uop quantum and a per-switch kernel cost, producing exactly the
+ * merged PMC stream the deployed module would see.
+ */
+
+#ifndef LIVEPHASE_KERNEL_SCHEDULER_HH
+#define LIVEPHASE_KERNEL_SCHEDULER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/trace.hh"
+
+namespace livephase
+{
+
+class Core;
+
+/**
+ * Cooperative round-robin scheduler over workload traces.
+ */
+class Scheduler
+{
+  public:
+    /** Scheduling parameters. */
+    struct Config
+    {
+        /** Timeslice in retired uops (10M uops ~ 7 ms at full
+         *  speed — a Linux-like quantum). */
+        uint64_t quantum_uops = 10'000'000;
+
+        /** Kernel cost of one context switch. */
+        double switch_overhead_us = 8.0;
+    };
+
+    /** Per-task accounting. */
+    struct TaskStats
+    {
+        std::string name;
+        double uops_retired = 0.0;
+        double first_scheduled_s = -1.0;
+        double completed_s = -1.0; ///< -1 while still running
+
+        bool finished() const { return completed_s >= 0.0; }
+    };
+
+    /**
+     * @param core   processor to schedule onto.
+     * @param config scheduling parameters; fatal() on a zero
+     *               quantum or negative switch cost.
+     */
+    /** Construct with default scheduling parameters. */
+    explicit Scheduler(Core &core);
+
+    Scheduler(Core &core, Config config);
+
+    /** Add a workload (copied). fatal() on an empty trace. */
+    void addTask(const IntervalTrace &trace);
+
+    /** Number of tasks added. */
+    size_t taskCount() const { return tasks.size(); }
+
+    /** True when every task has drained. */
+    bool allFinished() const;
+
+    /**
+     * Run one scheduling quantum of the current task (or less, if
+     * the task finishes first), then rotate. No-op when everything
+     * has finished.
+     *
+     * @return true if any work was executed.
+     */
+    bool runQuantum();
+
+    /** Run quanta until every task completes. */
+    void runToCompletion();
+
+    /** Accounting per task, in addTask() order. */
+    std::vector<TaskStats> stats() const;
+
+    /** Context switches performed so far. */
+    uint64_t contextSwitches() const { return switches; }
+
+  private:
+    /** One schedulable entity. */
+    struct Task
+    {
+        IntervalTrace trace;
+        size_t interval_index = 0;
+        double consumed_uops = 0.0; ///< within the current interval
+        TaskStats accounting;
+
+        explicit Task(IntervalTrace t)
+            : trace(std::move(t))
+        {
+            accounting.name = trace.name();
+        }
+
+        bool finished() const
+        {
+            return interval_index >= trace.size();
+        }
+    };
+
+    Core &cpu;
+    Config cfg;
+    std::vector<Task> tasks;
+    size_t current;
+    uint64_t switches;
+    bool any_ran; ///< a task has run since the last switch charge
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_KERNEL_SCHEDULER_HH

@@ -1,0 +1,144 @@
+#include "pmc/pmc.hh"
+
+#include "common/logging.hh"
+#include "cpu/msr.hh"
+
+namespace livephase
+{
+
+Pmc::Pmc(int index)
+    : idx(index), value(0), overflow_flag(false)
+{
+}
+
+void
+Pmc::programSelect(uint64_t raw_select)
+{
+    sel = PmcEventSelect::decode(raw_select);
+}
+
+void
+Pmc::write(uint64_t new_value)
+{
+    value = new_value % MODULUS;
+}
+
+uint64_t
+Pmc::advance(uint64_t events)
+{
+    if (!sel.enable || sel.event == PmcEventId::None)
+        return 0;
+    const uint64_t headroom = MODULUS - value;
+    if (events < headroom) {
+        value += events;
+        return 0;
+    }
+    // At least one wrap. Count how many full periods fit after the
+    // first wrap; in practice the execution engine splits work at
+    // overflow boundaries so wraps > 1 only happens when no PMI
+    // handler re-arms the counter.
+    uint64_t remaining = events - headroom;
+    uint64_t wraps = 1 + remaining / MODULUS;
+    value = remaining % MODULUS;
+    overflow_flag = true;
+    if (sel.int_enable && on_overflow) {
+        for (uint64_t w = 0; w < wraps; ++w)
+            on_overflow(idx);
+    }
+    return wraps;
+}
+
+void
+Pmc::armForOverflowAfter(uint64_t events)
+{
+    if (events == 0 || events >= MODULUS)
+        panic("Pmc::armForOverflowAfter: period %llu out of (0, 2^40)",
+              static_cast<unsigned long long>(events));
+    value = MODULUS - events;
+}
+
+void
+Pmc::setOverflowCallback(OverflowCallback cb)
+{
+    on_overflow = std::move(cb);
+}
+
+PmcBank::PmcBank(Msr &msr)
+    : msr_file(msr), counters{Pmc(0), Pmc(1)}
+{
+    struct Slot
+    {
+        uint32_t ctr_addr;
+        uint32_t sel_addr;
+    };
+    static constexpr Slot slots[NUM_COUNTERS] = {
+        {msr_addr::PERFCTR0, msr_addr::PERFEVTSEL0},
+        {msr_addr::PERFCTR1, msr_addr::PERFEVTSEL1},
+    };
+    for (int i = 0; i < NUM_COUNTERS; ++i) {
+        Pmc *pmc = &counters[i];
+        msr_file.attach(
+            slots[i].ctr_addr,
+            [pmc]() { return pmc->read(); },
+            [pmc](uint64_t v) { pmc->write(v); });
+        msr_file.attach(
+            slots[i].sel_addr,
+            [pmc]() { return pmc->select().encode(); },
+            [pmc](uint64_t v) { pmc->programSelect(v); });
+    }
+}
+
+PmcBank::~PmcBank()
+{
+    msr_file.detach(msr_addr::PERFCTR0);
+    msr_file.detach(msr_addr::PERFCTR1);
+    msr_file.detach(msr_addr::PERFEVTSEL0);
+    msr_file.detach(msr_addr::PERFEVTSEL1);
+}
+
+Pmc &
+PmcBank::counter(int index)
+{
+    if (index < 0 || index >= NUM_COUNTERS)
+        panic("PmcBank::counter index %d out of range", index);
+    return counters[static_cast<size_t>(index)];
+}
+
+const Pmc &
+PmcBank::counter(int index) const
+{
+    if (index < 0 || index >= NUM_COUNTERS)
+        panic("PmcBank::counter index %d out of range", index);
+    return counters[static_cast<size_t>(index)];
+}
+
+void
+PmcBank::stopAll()
+{
+    for (auto &pmc : counters) {
+        PmcEventSelect sel = pmc.select();
+        sel.enable = false;
+        pmc.programSelect(sel.encode());
+    }
+}
+
+void
+PmcBank::startAll()
+{
+    for (auto &pmc : counters) {
+        PmcEventSelect sel = pmc.select();
+        if (sel.event != PmcEventId::None) {
+            sel.enable = true;
+            pmc.programSelect(sel.encode());
+        }
+    }
+}
+
+void
+PmcBank::setOverflowCallback(Pmc::OverflowCallback cb)
+{
+    for (auto &pmc : counters)
+        pmc.setOverflowCallback(cb);
+}
+
+} // namespace livephase

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Performance monitoring counters of the simulated Pentium-M.
+ *
+ * Each Pmc is a 40-bit up-counter with a programmable event select.
+ * Following the real hardware (and the paper's LKM), a counter armed
+ * for interrupt-on-overflow is initialized to 2^40 - N so that it
+ * overflows after exactly N events — this is how the 100M-uop
+ * sampling granularity is realized.
+ *
+ * PmcBank groups the Pentium-M's *two* general-purpose counters
+ * (a hard platform constraint the paper designs around: one counter
+ * must count UOPS_RETIRED to drive the PMI, leaving a single free
+ * counter — hence the Mem/Uop-only phase definition) and wires them
+ * to the MSR file.
+ */
+
+#ifndef LIVEPHASE_PMC_PMC_HH
+#define LIVEPHASE_PMC_PMC_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "pmc/pmc_event.hh"
+
+namespace livephase
+{
+
+class Msr;
+
+/**
+ * One 40-bit performance counter.
+ */
+class Pmc
+{
+  public:
+    /** Counter width in bits (P6 family). */
+    static constexpr int WIDTH = 40;
+
+    /** Wrap-around modulus (2^40). */
+    static constexpr uint64_t MODULUS = 1ULL << WIDTH;
+
+    /** Callback invoked when the counter wraps with INT enabled. */
+    using OverflowCallback = std::function<void(int counter_index)>;
+
+    explicit Pmc(int index = 0);
+
+    /** Counter index within its bank. */
+    int index() const { return idx; }
+
+    /** Program the event select (PERFEVTSEL write). */
+    void programSelect(uint64_t raw_select);
+
+    /** Current event select. */
+    const PmcEventSelect &select() const { return sel; }
+
+    /** Write the counter value (truncated to 40 bits). */
+    void write(uint64_t value);
+
+    /** Read the current 40-bit value. */
+    uint64_t read() const { return value; }
+
+    /**
+     * Advance by `events` occurrences of the programmed event.
+     * No-op when the counter is disabled. Invokes the overflow
+     * callback (if INT is enabled) each time the counter wraps.
+     *
+     * @return number of wrap-arounds that occurred.
+     */
+    uint64_t advance(uint64_t events);
+
+    /**
+     * Events remaining until the next wrap. A freshly-armed counter
+     * (value = 2^40 - N) reports N.
+     */
+    uint64_t eventsUntilOverflow() const { return MODULUS - value; }
+
+    /** Convenience: arm to overflow (and interrupt) after N events. */
+    void armForOverflowAfter(uint64_t events);
+
+    /** Register the bank-level overflow callback. */
+    void setOverflowCallback(OverflowCallback cb);
+
+    /** Clear the sticky overflow flag (PMI acknowledge). */
+    void clearOverflowFlag() { overflow_flag = false; }
+
+    /** Sticky overflow flag (set on wrap, cleared by handler). */
+    bool overflowFlag() const { return overflow_flag; }
+
+  private:
+    int idx;
+    PmcEventSelect sel;
+    uint64_t value;
+    bool overflow_flag;
+    OverflowCallback on_overflow;
+};
+
+/**
+ * The Pentium-M's bank of two general-purpose counters plus MSR
+ * plumbing.
+ */
+class PmcBank
+{
+  public:
+    /** Number of general-purpose counters on the platform. */
+    static constexpr int NUM_COUNTERS = 2;
+
+    /**
+     * @param msr MSR file to attach PERFCTR0/1 and PERFEVTSEL0/1 to.
+     */
+    explicit PmcBank(Msr &msr);
+
+    ~PmcBank();
+
+    PmcBank(const PmcBank &) = delete;
+    PmcBank &operator=(const PmcBank &) = delete;
+
+    /** Access a counter. @pre 0 <= index < NUM_COUNTERS */
+    Pmc &counter(int index);
+    const Pmc &counter(int index) const;
+
+    /** Stop both counters (clear EN), preserving values. */
+    void stopAll();
+
+    /** Restart both counters (set EN on those with a real event). */
+    void startAll();
+
+    /** Route all overflow callbacks to one sink. */
+    void setOverflowCallback(Pmc::OverflowCallback cb);
+
+  private:
+    Msr &msr_file;
+    std::array<Pmc, NUM_COUNTERS> counters;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_PMC_PMC_HH

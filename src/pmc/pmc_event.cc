@@ -1,0 +1,70 @@
+#include "pmc/pmc_event.hh"
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+std::string
+pmcEventName(PmcEventId id)
+{
+    switch (id) {
+      case PmcEventId::None:
+        return "NONE";
+      case PmcEventId::InstRetired:
+        return "INST_RETIRED";
+      case PmcEventId::UopsRetired:
+        return "UOPS_RETIRED";
+      case PmcEventId::BusTranMem:
+        return "BUS_TRAN_MEM";
+      case PmcEventId::CpuClkUnhalted:
+        return "CPU_CLK_UNHALTED";
+    }
+    return "UNKNOWN";
+}
+
+bool
+pmcEventValid(uint8_t raw)
+{
+    switch (static_cast<PmcEventId>(raw)) {
+      case PmcEventId::None:
+      case PmcEventId::InstRetired:
+      case PmcEventId::UopsRetired:
+      case PmcEventId::BusTranMem:
+      case PmcEventId::CpuClkUnhalted:
+        return true;
+    }
+    return false;
+}
+
+uint64_t
+PmcEventSelect::encode() const
+{
+    uint64_t raw = static_cast<uint64_t>(event) &
+        perfevtsel::EVENT_MASK;
+    if (int_enable)
+        raw |= perfevtsel::INT_BIT;
+    if (enable)
+        raw |= perfevtsel::EN_BIT;
+    return raw;
+}
+
+PmcEventSelect
+PmcEventSelect::decode(uint64_t raw)
+{
+    PmcEventSelect sel;
+    const uint8_t code =
+        static_cast<uint8_t>(raw & perfevtsel::EVENT_MASK);
+    sel.int_enable = (raw & perfevtsel::INT_BIT) != 0;
+    sel.enable = (raw & perfevtsel::EN_BIT) != 0;
+    if (!pmcEventValid(code)) {
+        if (sel.enable)
+            fatal("PERFEVTSEL enables unknown event code 0x%02x", code);
+        sel.event = PmcEventId::None;
+        return sel;
+    }
+    sel.event = static_cast<PmcEventId>(code);
+    return sel;
+}
+
+} // namespace livephase

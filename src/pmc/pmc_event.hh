@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Performance-counter event definitions (P6/Pentium-M encoding).
+ *
+ * The paper configures its two counters as UOPS_RETIRED (the PMI
+ * trigger, giving fixed-instruction-granularity sampling) and
+ * BUS_TRAN_MEM (memory bus transactions). We model the architectural
+ * PERFEVTSEL encoding so the kernel module programs counters the same
+ * way the real LKM does: event code in bits [7:0], INT (PMI enable)
+ * in bit 20, EN in bit 22.
+ */
+
+#ifndef LIVEPHASE_PMC_PMC_EVENT_HH
+#define LIVEPHASE_PMC_PMC_EVENT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace livephase
+{
+
+/** Countable micro-architectural events. */
+enum class PmcEventId : uint8_t
+{
+    None = 0x00,
+    InstRetired = 0xc0,  ///< INST_RETIRED: instructions retired
+    UopsRetired = 0xc2,  ///< UOPS_RETIRED: micro-ops retired
+    BusTranMem = 0x6f,   ///< BUS_TRAN_MEM: memory bus transactions
+    CpuClkUnhalted = 0x79, ///< CPU_CLK_UNHALTED: unhalted core cycles
+};
+
+/** Human-readable event mnemonic. */
+std::string pmcEventName(PmcEventId id);
+
+/** True if the id is one of the modelled events. */
+bool pmcEventValid(uint8_t raw);
+
+/** Decoded PERFEVTSEL register contents. */
+struct PmcEventSelect
+{
+    PmcEventId event = PmcEventId::None;
+    bool int_enable = false;  ///< raise a PMI on counter overflow
+    bool enable = false;      ///< counter is counting
+
+    /** Encode to the architectural PERFEVTSEL layout. */
+    uint64_t encode() const;
+
+    /** Decode from the architectural PERFEVTSEL layout.
+     *  fatal() on an unknown event code with EN set. */
+    static PmcEventSelect decode(uint64_t raw);
+};
+
+namespace perfevtsel
+{
+constexpr uint64_t EVENT_MASK = 0xff;
+constexpr uint64_t INT_BIT = 1ULL << 20;
+constexpr uint64_t EN_BIT = 1ULL << 22;
+} // namespace perfevtsel
+
+} // namespace livephase
+
+#endif // LIVEPHASE_PMC_PMC_EVENT_HH

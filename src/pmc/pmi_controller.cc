@@ -1,0 +1,41 @@
+#include "pmc/pmi_controller.hh"
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+PmiController::PmiController()
+    : is_masked(false), in_handler(false), delivered(0), suppressed(0)
+{
+}
+
+void
+PmiController::installHandler(Handler new_handler)
+{
+    handler = std::move(new_handler);
+}
+
+void
+PmiController::setMasked(bool masked)
+{
+    is_masked = masked;
+}
+
+void
+PmiController::raise(int counter_index)
+{
+    if (is_masked || !handler) {
+        ++suppressed;
+        return;
+    }
+    if (in_handler)
+        panic("PMI raised while a PMI handler is already running "
+              "(counter %d)", counter_index);
+    in_handler = true;
+    ++delivered;
+    handler(counter_index);
+    in_handler = false;
+}
+
+} // namespace livephase

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Performance monitoring interrupt (PMI) delivery.
+ *
+ * On real hardware a counter overflow raises a local-APIC interrupt
+ * whose vector the OS programs via the LVTPC entry. We model the
+ * same contract: the bank's overflow lines feed the controller, which
+ * dispatches to the registered handler when unmasked, tracks nesting
+ * (a handler must not re-enter itself) and counts deliveries.
+ */
+
+#ifndef LIVEPHASE_PMC_PMI_CONTROLLER_HH
+#define LIVEPHASE_PMC_PMI_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace livephase
+{
+
+/**
+ * Routes counter-overflow events to the OS-installed PMI handler.
+ */
+class PmiController
+{
+  public:
+    /** Handler signature: index of the counter that overflowed. */
+    using Handler = std::function<void(int counter_index)>;
+
+    PmiController();
+
+    /** Install (or replace) the handler; null uninstalls. */
+    void installHandler(Handler handler);
+
+    /** Mask or unmask PMI delivery (LVTPC mask bit). */
+    void setMasked(bool masked);
+
+    /** True when delivery is masked. */
+    bool masked() const { return is_masked; }
+
+    /**
+     * Raise a PMI for the given counter. Dispatches to the handler
+     * unless masked, no handler is installed, or a handler is already
+     * running (real PMIs are held pending by the APIC; our execution
+     * engine never generates one from inside a handler, so we treat
+     * re-entry as a bug).
+     */
+    void raise(int counter_index);
+
+    /** Number of PMIs delivered to the handler. */
+    uint64_t deliveredCount() const { return delivered; }
+
+    /** Number of PMIs suppressed (masked or no handler). */
+    uint64_t suppressedCount() const { return suppressed; }
+
+    /** True while the handler is executing. */
+    bool inHandler() const { return in_handler; }
+
+  private:
+    Handler handler;
+    bool is_masked;
+    bool in_handler;
+    uint64_t delivered;
+    uint64_t suppressed;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_PMC_PMI_CONTROLLER_HH

@@ -1,0 +1,39 @@
+#include "pmc/tsc.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "cpu/msr.hh"
+
+namespace livephase
+{
+
+Tsc::Tsc(Msr &msr)
+    : msr_file(msr), cycles(0), fraction(0.0)
+{
+    msr_file.attach(
+        msr_addr::TSC,
+        [this]() { return cycles; },
+        [this](uint64_t v) {
+            cycles = v;
+            fraction = 0.0;
+        });
+}
+
+Tsc::~Tsc()
+{
+    msr_file.detach(msr_addr::TSC);
+}
+
+void
+Tsc::advance(double delta_cycles)
+{
+    if (delta_cycles < 0.0)
+        panic("Tsc::advance by negative cycles %f", delta_cycles);
+    fraction += delta_cycles;
+    const double whole = std::floor(fraction);
+    cycles += static_cast<uint64_t>(whole);
+    fraction -= whole;
+}
+
+} // namespace livephase

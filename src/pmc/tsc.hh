@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Time stamp counter.
+ *
+ * On the Pentium-M the TSC advances with core clocks (pre
+ * constant_tsc), so its delta across a sample combined with the
+ * UOPS_RETIRED delta yields UPC — exactly how the paper's handler
+ * computes it. The kernel module reinitializes the TSC view each
+ * sample by taking a snapshot rather than writing the MSR.
+ */
+
+#ifndef LIVEPHASE_PMC_TSC_HH
+#define LIVEPHASE_PMC_TSC_HH
+
+#include <cstdint>
+
+namespace livephase
+{
+
+class Msr;
+
+/**
+ * 64-bit cycle counter advancing with the (DVFS-scaled) core clock.
+ */
+class Tsc
+{
+  public:
+    /** @param msr MSR file to expose the TSC at address 0x10. */
+    explicit Tsc(Msr &msr);
+
+    ~Tsc();
+
+    Tsc(const Tsc &) = delete;
+    Tsc &operator=(const Tsc &) = delete;
+
+    /** Current cycle count. */
+    uint64_t read() const { return cycles; }
+
+    /** Advance by executed core cycles. */
+    void advance(double delta_cycles);
+
+  private:
+    Msr &msr_file;
+    uint64_t cycles;
+    double fraction; ///< sub-cycle remainder so long runs don't drift
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_PMC_TSC_HH

@@ -1,0 +1,22 @@
+#include "workload/interval.hh"
+
+namespace livephase
+{
+
+bool
+Interval::valid() const
+{
+    if (uops <= 0.0)
+        return false;
+    if (uops_per_inst < 1.0)
+        return false;
+    if (mem_per_uop < 0.0)
+        return false;
+    if (core_ipc <= 0.0)
+        return false;
+    if (mem_block_factor < 0.0 || mem_block_factor > 1.0)
+        return false;
+    return true;
+}
+
+} // namespace livephase

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The unit of workload behaviour: one execution interval with
+ * piecewise-constant characteristics.
+ *
+ * The paper samples execution every 100 M retired uops; between two
+ * samples the application is treated as having a single behaviour
+ * point (Mem/Uop, concurrency). An Interval captures exactly the
+ * intrinsic, frequency-independent properties of such a region:
+ *
+ *  - how many uops it retires and how many instructions they map to,
+ *  - how many memory bus transactions it issues per uop (Mem/Uop —
+ *    the paper's phase-defining metric, shown DVFS-invariant in
+ *    Section 4),
+ *  - how fast the core can execute it when never blocked on memory
+ *    (core_ipc), and
+ *  - how much of the memory latency the core fails to hide
+ *    (mem_block_factor, 1 = fully blocking, 0 = fully overlapped).
+ *
+ * Everything frequency-dependent (cycles, UPC, time, power) is
+ * derived by cpu/TimingModel and cpu/PowerModel.
+ */
+
+#ifndef LIVEPHASE_WORKLOAD_INTERVAL_HH
+#define LIVEPHASE_WORKLOAD_INTERVAL_HH
+
+#include <cstdint>
+
+namespace livephase
+{
+
+/**
+ * Intrinsic description of one execution interval.
+ *
+ * All fields are frequency-independent; see TimingModel for the
+ * mapping to cycles at a given operating point.
+ */
+struct Interval
+{
+    /** Retired micro-ops in this interval. */
+    double uops = 100e6;
+
+    /**
+     * Uops retired per instruction retired (>= 1). The paper uses
+     * uops/instruction as a proxy for available concurrent execution;
+     * 1.0 is the "common lowest observed concurrency" its phase table
+     * is calibrated for.
+     */
+    double uops_per_inst = 1.0;
+
+    /** Memory bus transactions per uop (the Mem/Uop metric). */
+    double mem_per_uop = 0.0;
+
+    /**
+     * Uops per cycle the core sustains on this code when memory never
+     * blocks it (execution-core IPC). Bounded by the machine's issue
+     * width; see TimingModel::Params::max_core_ipc.
+     */
+    double core_ipc = 1.0;
+
+    /**
+     * Fraction of each memory transaction's latency that stalls
+     * retirement (0 = perfectly overlapped/prefetched, 1 = fully
+     * serialized pointer chasing).
+     */
+    double mem_block_factor = 1.0;
+
+    /** Instructions retired in this interval. */
+    double instructions() const { return uops / uops_per_inst; }
+
+    /** Memory bus transactions issued in this interval. */
+    double memTransactions() const { return uops * mem_per_uop; }
+
+    /** Sanity check: all fields within physically meaningful ranges. */
+    bool valid() const;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_WORKLOAD_INTERVAL_HH

@@ -1,0 +1,137 @@
+#include "workload/ipcxmem.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+namespace
+{
+
+/**
+ * Lowest memory blocking factor an IPCxMEM kernel can reach by
+ * maximizing memory-level parallelism (independent access streams).
+ * Together with the issue bound this defines the achievable-UPC
+ * boundary of Figure 6.
+ */
+constexpr double MIN_BLOCK_FACTOR = 0.2;
+
+} // anonymous namespace
+
+std::string
+IpcMemConfig::toString() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "UPC=%.1f, Mem/Uop=%.4f",
+                  target_upc, target_mem_per_uop);
+    return buf;
+}
+
+IpcMemSuite::IpcMemSuite(const TimingModel &timing)
+    : model(timing)
+{
+}
+
+Interval
+IpcMemSuite::makeInterval(const IpcMemConfig &config, double uops) const
+{
+    if (config.target_upc <= 0.0)
+        fatal("IPCxMEM: target UPC must be positive (%f)",
+              config.target_upc);
+    if (config.target_mem_per_uop < 0.0)
+        fatal("IPCxMEM: negative Mem/Uop target %f",
+              config.target_mem_per_uop);
+
+    const auto &p = model.params();
+    const double f_ref = p.ref_freq_mhz * 1e6;
+    const double m = config.target_mem_per_uop;
+    // Memory stall cycles per uop at the reference frequency when
+    // accesses are fully blocking.
+    const double stall_full = m * p.mem_latency_ns * 1e-9 * f_ref;
+    const double needed_cpu = 1.0 / config.target_upc; // cycles/uop
+    const double min_compute = 1.0 / p.max_core_ipc;
+
+    Interval ivl;
+    ivl.uops = uops;
+    ivl.uops_per_inst = 1.0;
+    ivl.mem_per_uop = m;
+
+    if (needed_cpu - stall_full >= min_compute) {
+        // Reachable with fully blocking accesses (pointer chasing):
+        // tune the compute density.
+        ivl.mem_block_factor = 1.0;
+        ivl.core_ipc = 1.0 / (needed_cpu - stall_full);
+    } else if (stall_full > 0.0) {
+        // Too fast for blocking accesses: run the core at the issue
+        // bound and overlap memory accesses (independent streams)
+        // until the target is met.
+        ivl.core_ipc = p.max_core_ipc;
+        const double block = (needed_cpu - min_compute) / stall_full;
+        if (block < MIN_BLOCK_FACTOR - 1e-9)
+            fatal("IPCxMEM target %s beyond the achievable boundary "
+                  "(needs blocking factor %.3f < %.2f)",
+                  config.toString().c_str(), block, MIN_BLOCK_FACTOR);
+        ivl.mem_block_factor = std::max(block, MIN_BLOCK_FACTOR);
+    } else {
+        // m == 0 and the target exceeds the issue bound.
+        fatal("IPCxMEM target %s exceeds the issue bound (max UPC "
+              "%.2f)", config.toString().c_str(), p.max_core_ipc);
+    }
+    return ivl;
+}
+
+IntervalTrace
+IpcMemSuite::makeTrace(const IpcMemConfig &config, size_t samples,
+                       double sample_uops) const
+{
+    if (samples == 0)
+        fatal("IpcMemSuite::makeTrace: zero samples requested");
+    IntervalTrace trace("ipcxmem_" + config.toString());
+    const Interval ivl = makeInterval(config, sample_uops);
+    for (size_t i = 0; i < samples; ++i)
+        trace.append(ivl);
+    return trace;
+}
+
+std::vector<IpcMemConfig>
+IpcMemSuite::grid() const
+{
+    std::vector<IpcMemConfig> configs;
+    for (double upc = 0.1; upc <= 1.9 + 1e-9; upc += 0.2) {
+        for (double m = 0.0; m <= 0.0475 + 1e-9; m += 0.005) {
+            if (upc <= boundaryUpc(m) + 1e-9)
+                configs.push_back(IpcMemConfig{upc, m});
+        }
+    }
+    return configs;
+}
+
+std::vector<IpcMemConfig>
+IpcMemSuite::figure7Configs() const
+{
+    // The eleven legend entries of the paper's Figure 7.
+    return {
+        {1.9, 0.0000},
+        {1.3, 0.0075},
+        {0.9, 0.0125},
+        {0.9, 0.0075},
+        {0.9, 0.0000},
+        {0.5, 0.0225},
+        {0.5, 0.0025},
+        {0.5, 0.0000},
+        {0.1, 0.0475},
+        {0.1, 0.0325},
+        {0.1, 0.0000},
+    };
+}
+
+double
+IpcMemSuite::boundaryUpc(double mem_per_uop) const
+{
+    return model.boundaryUpc(mem_per_uop, MIN_BLOCK_FACTOR);
+}
+
+} // namespace livephase

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The IPCxMEM configurable micro-workload suite (paper Section 4).
+ *
+ * Each configuration pins a target (UPC, Mem/Uop) coordinate at the
+ * platform's highest frequency, letting the evaluation sweep the
+ * whole two-dimensional behaviour space (Figure 6) and measure how
+ * each metric responds to DVFS (Figure 7). The suite is generated
+ * from the timing model by solving for the execution-core IPC that
+ * produces the requested UPC at the reference frequency.
+ */
+
+#ifndef LIVEPHASE_WORKLOAD_IPCXMEM_HH
+#define LIVEPHASE_WORKLOAD_IPCXMEM_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/timing_model.hh"
+#include "workload/interval.hh"
+#include "workload/trace.hh"
+
+namespace livephase
+{
+
+/**
+ * One IPCxMEM configuration: a pinned behaviour coordinate.
+ */
+struct IpcMemConfig
+{
+    double target_upc = 1.0;     ///< UPC at the reference frequency
+    double target_mem_per_uop = 0.0;
+
+    /** "UPC=0.9, Mem/Uop=0.0075" — the paper's legend format. */
+    std::string toString() const;
+};
+
+/**
+ * Factory for IPCxMEM workloads and the Figure 6 grid.
+ */
+class IpcMemSuite
+{
+  public:
+    /** @param timing machine model used to solve configurations. */
+    explicit IpcMemSuite(const TimingModel &timing);
+
+    /**
+     * Build the interval realizing a configuration: Mem/Uop set
+     * directly, core IPC solved so the UPC target is met at the
+     * reference frequency. fatal() if the target lies beyond the
+     * achievable boundary.
+     */
+    Interval makeInterval(const IpcMemConfig &config,
+                          double uops = 100e6) const;
+
+    /** A steady trace of `samples` intervals of one configuration. */
+    IntervalTrace makeTrace(const IpcMemConfig &config,
+                            size_t samples,
+                            double sample_uops = 100e6) const;
+
+    /**
+     * The full exploration grid of Figure 6: UPC from 0.1 to 1.9 in
+     * steps of 0.2, Mem/Uop from 0 to 0.0475 in steps of 0.005,
+     * keeping only points under the achievable boundary (~50
+     * configurations).
+     */
+    std::vector<IpcMemConfig> grid() const;
+
+    /**
+     * The eleven highlighted configurations of Figure 7's legend
+     * (from UPC=1.9/Mem/Uop=0 down to UPC=0.1/Mem/Uop=0.0475).
+     */
+    std::vector<IpcMemConfig> figure7Configs() const;
+
+    /** The achievable-UPC boundary at a Mem/Uop level (Figure 6's
+     *  "SPEC Boundary" curve). */
+    double boundaryUpc(double mem_per_uop) const;
+
+  private:
+    const TimingModel &model;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_WORKLOAD_IPCXMEM_HH

@@ -1,0 +1,309 @@
+#include "workload/patterns.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+ConstantPattern::ConstantPattern(double level)
+    : level(level)
+{
+    if (level < 0.0)
+        fatal("ConstantPattern: negative level %f", level);
+}
+
+double
+ConstantPattern::next(Rng &)
+{
+    return level;
+}
+
+void
+ConstantPattern::reset()
+{
+}
+
+std::string
+ConstantPattern::describe() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "const(%.4f)", level);
+    return buf;
+}
+
+PeriodicSequencePattern::PeriodicSequencePattern(
+    std::vector<double> levels)
+    : levels(std::move(levels)), position(0)
+{
+    if (this->levels.empty())
+        fatal("PeriodicSequencePattern: empty level sequence");
+    for (double v : this->levels)
+        if (v < 0.0)
+            fatal("PeriodicSequencePattern: negative level %f", v);
+}
+
+double
+PeriodicSequencePattern::next(Rng &)
+{
+    const double value = levels[position];
+    position = (position + 1) % levels.size();
+    return value;
+}
+
+void
+PeriodicSequencePattern::reset()
+{
+    position = 0;
+}
+
+std::string
+PeriodicSequencePattern::describe() const
+{
+    return "periodic(" + std::to_string(levels.size()) + " levels)";
+}
+
+SquareWavePattern::SquareWavePattern(double low, double high,
+                                     size_t low_len, size_t high_len)
+    : low(low), high(high), low_len(low_len), high_len(high_len),
+      position(0)
+{
+    if (low < 0.0 || high < 0.0)
+        fatal("SquareWavePattern: negative level");
+    if (low_len == 0 || high_len == 0)
+        fatal("SquareWavePattern: zero dwell length");
+}
+
+double
+SquareWavePattern::next(Rng &)
+{
+    const size_t period = low_len + high_len;
+    const size_t offset = position % period;
+    ++position;
+    return offset < low_len ? low : high;
+}
+
+void
+SquareWavePattern::reset()
+{
+    position = 0;
+}
+
+std::string
+SquareWavePattern::describe() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "square(%.4f x%zu, %.4f x%zu)",
+                  low, low_len, high, high_len);
+    return buf;
+}
+
+RampPattern::RampPattern(double lo, double hi, size_t period)
+    : lo(lo), hi(hi), period(period), position(0)
+{
+    if (lo < 0.0 || hi < lo)
+        fatal("RampPattern: require 0 <= lo <= hi");
+    if (period < 2)
+        fatal("RampPattern: period must be >= 2");
+}
+
+double
+RampPattern::next(Rng &)
+{
+    const size_t offset = position % period;
+    ++position;
+    return lo + (hi - lo) * static_cast<double>(offset) /
+        static_cast<double>(period - 1);
+}
+
+void
+RampPattern::reset()
+{
+    position = 0;
+}
+
+std::string
+RampPattern::describe() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "ramp(%.4f..%.4f /%zu)", lo, hi,
+                  period);
+    return buf;
+}
+
+MarkovPattern::MarkovPattern(std::vector<double> levels,
+                             double stay_prob)
+    : levels(std::move(levels)), stay_prob(stay_prob), current(0),
+      started(false)
+{
+    if (this->levels.size() < 2)
+        fatal("MarkovPattern: need at least two levels");
+    if (stay_prob < 0.0 || stay_prob > 1.0)
+        fatal("MarkovPattern: stay probability %f outside [0, 1]",
+              stay_prob);
+    for (double v : this->levels)
+        if (v < 0.0)
+            fatal("MarkovPattern: negative level %f", v);
+}
+
+double
+MarkovPattern::next(Rng &rng)
+{
+    if (!started) {
+        current = static_cast<size_t>(
+            rng.uniformInt(0,
+                           static_cast<int64_t>(levels.size()) - 1));
+        started = true;
+    } else if (!rng.chance(stay_prob)) {
+        // Jump to a uniformly chosen *different* level.
+        const auto jump = static_cast<size_t>(rng.uniformInt(
+            0, static_cast<int64_t>(levels.size()) - 2));
+        current = jump >= current ? jump + 1 : jump;
+    }
+    return levels[current];
+}
+
+void
+MarkovPattern::reset()
+{
+    current = 0;
+    started = false;
+}
+
+std::string
+MarkovPattern::describe() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "markov(%zu levels, stay %.2f)",
+                  levels.size(), stay_prob);
+    return buf;
+}
+
+SegmentPattern::SegmentPattern(std::vector<Segment> segments)
+    : segments(std::move(segments)), seg_index(0), seg_position(0)
+{
+    if (this->segments.empty())
+        fatal("SegmentPattern: no segments");
+    for (const auto &seg : this->segments) {
+        if (!seg.pattern)
+            fatal("SegmentPattern: null sub-pattern");
+        if (seg.length == 0)
+            fatal("SegmentPattern: zero-length segment");
+    }
+}
+
+double
+SegmentPattern::next(Rng &rng)
+{
+    if (seg_position >= segments[seg_index].length) {
+        seg_position = 0;
+        seg_index = (seg_index + 1) % segments.size();
+        // Each visit to a section replays it from its start, the way
+        // an outer loop re-enters an inner loop nest.
+        segments[seg_index].pattern->reset();
+    }
+    ++seg_position;
+    return segments[seg_index].pattern->next(rng);
+}
+
+void
+SegmentPattern::reset()
+{
+    seg_index = 0;
+    seg_position = 0;
+    for (auto &seg : segments)
+        seg.pattern->reset();
+}
+
+std::string
+SegmentPattern::describe() const
+{
+    return "segments(" + std::to_string(segments.size()) + ")";
+}
+
+NoisyPattern::NoisyPattern(MemPatternPtr inner, double sigma)
+    : inner(std::move(inner)), sigma(sigma)
+{
+    if (!this->inner)
+        fatal("NoisyPattern: null inner pattern");
+    if (sigma < 0.0)
+        fatal("NoisyPattern: negative sigma %f", sigma);
+}
+
+double
+NoisyPattern::next(Rng &rng)
+{
+    const double value = inner->next(rng) + rng.gaussian(0.0, sigma);
+    return std::max(value, 0.0);
+}
+
+void
+NoisyPattern::reset()
+{
+    inner->reset();
+}
+
+std::string
+NoisyPattern::describe() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s + noise(%.5f)",
+                  inner->describe().c_str(), sigma);
+    return buf;
+}
+
+SpikePattern::SpikePattern(MemPatternPtr inner, double spike_level,
+                           double probability)
+    : inner(std::move(inner)), spike_level(spike_level),
+      probability(probability)
+{
+    if (!this->inner)
+        fatal("SpikePattern: null inner pattern");
+    if (spike_level < 0.0)
+        fatal("SpikePattern: negative spike level");
+    if (probability < 0.0 || probability > 1.0)
+        fatal("SpikePattern: probability %f outside [0, 1]",
+              probability);
+}
+
+double
+SpikePattern::next(Rng &rng)
+{
+    const double value = inner->next(rng);
+    return rng.chance(probability) ? spike_level : value;
+}
+
+void
+SpikePattern::reset()
+{
+    inner->reset();
+}
+
+std::string
+SpikePattern::describe() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s + spikes(%.4f @ p=%.3f)",
+                  inner->describe().c_str(), spike_level, probability);
+    return buf;
+}
+
+Interval
+MachineBehavior::makeInterval(double mem_per_uop, double uops,
+                              Rng &rng) const
+{
+    Interval ivl;
+    ivl.uops = uops;
+    ivl.uops_per_inst = uops_per_inst;
+    ivl.mem_per_uop = std::max(mem_per_uop, 0.0);
+    double ipc = ipc_at_zero_mem - ipc_mem_slope * ivl.mem_per_uop;
+    if (ipc_noise_sigma > 0.0)
+        ipc += rng.gaussian(0.0, ipc_noise_sigma);
+    ivl.core_ipc = std::clamp(ipc, min_core_ipc, max_core_ipc);
+    ivl.mem_block_factor = block_factor;
+    return ivl;
+}
+
+} // namespace livephase

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Behaviour-pattern generators for synthetic workload traces.
+ *
+ * A MemPattern emits a per-sample Mem/Uop level sequence; decorators
+ * add measurement-scale noise or rare disturbances. These are the
+ * building blocks from which the synthetic SPEC2000 suite
+ * (spec2000.hh) composes each benchmark's published behaviour shape:
+ * flat Q1 applications, slowly oscillating memory-bound Q2 codes, and
+ * the strongly repetitive multi-phase Q3/Q4 patterns (applu, equake,
+ * bzip2) on which pattern-based prediction shines.
+ *
+ * Patterns are sequential generators: next() advances internal state.
+ * All randomness flows through the caller-supplied Rng, keeping
+ * traces reproducible from a single seed.
+ */
+
+#ifndef LIVEPHASE_WORKLOAD_PATTERNS_HH
+#define LIVEPHASE_WORKLOAD_PATTERNS_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "workload/interval.hh"
+
+namespace livephase
+{
+
+/**
+ * Abstract generator of a Mem/Uop level sequence.
+ */
+class MemPattern
+{
+  public:
+    virtual ~MemPattern() = default;
+
+    /** Produce the next sample's Mem/Uop level. */
+    virtual double next(Rng &rng) = 0;
+
+    /** Restart the sequence from the beginning. */
+    virtual void reset() = 0;
+
+    /** Short description for logs. */
+    virtual std::string describe() const = 0;
+};
+
+using MemPatternPtr = std::unique_ptr<MemPattern>;
+
+/** A constant level. */
+class ConstantPattern : public MemPattern
+{
+  public:
+    explicit ConstantPattern(double level);
+    double next(Rng &rng) override;
+    void reset() override;
+    std::string describe() const override;
+
+  private:
+    double level;
+};
+
+/**
+ * A fixed sequence of levels repeated forever — loop-nest behaviour,
+ * the shape the GPHT is designed to capture.
+ */
+class PeriodicSequencePattern : public MemPattern
+{
+  public:
+    /** @param levels one period of Mem/Uop values; fatal() if empty */
+    explicit PeriodicSequencePattern(std::vector<double> levels);
+    double next(Rng &rng) override;
+    void reset() override;
+    std::string describe() const override;
+
+    /** Period length. */
+    size_t period() const { return levels.size(); }
+
+  private:
+    std::vector<double> levels;
+    size_t position;
+};
+
+/** Two levels alternating with fixed dwell lengths (square wave). */
+class SquareWavePattern : public MemPattern
+{
+  public:
+    SquareWavePattern(double low, double high, size_t low_len,
+                      size_t high_len);
+    double next(Rng &rng) override;
+    void reset() override;
+    std::string describe() const override;
+
+  private:
+    double low, high;
+    size_t low_len, high_len;
+    size_t position;
+};
+
+/** Linear ramp from lo to hi over `period` samples, then restart. */
+class RampPattern : public MemPattern
+{
+  public:
+    RampPattern(double lo, double hi, size_t period);
+    double next(Rng &rng) override;
+    void reset() override;
+    std::string describe() const override;
+
+  private:
+    double lo, hi;
+    size_t period;
+    size_t position;
+};
+
+/**
+ * Random walk over a discrete level set: stay at the current level
+ * with probability `stay_prob`, otherwise jump to a uniformly chosen
+ * other level. Models irregular, input-dependent codes (gcc).
+ */
+class MarkovPattern : public MemPattern
+{
+  public:
+    /**
+     * @param levels    candidate Mem/Uop levels (>= 2; fatal()
+     *                  otherwise).
+     * @param stay_prob probability of repeating the current level.
+     */
+    MarkovPattern(std::vector<double> levels, double stay_prob);
+    double next(Rng &rng) override;
+    void reset() override;
+    std::string describe() const override;
+
+  private:
+    std::vector<double> levels;
+    double stay_prob;
+    size_t current;
+    bool started;
+};
+
+/**
+ * Concatenation of sub-patterns with fixed segment lengths, cycling —
+ * models program sections (init / compute / output) whose boundaries
+ * break short-history predictors.
+ */
+class SegmentPattern : public MemPattern
+{
+  public:
+    /** One program section. */
+    struct Segment
+    {
+        MemPatternPtr pattern;
+        size_t length;
+    };
+
+    /** @param segments sections in order; fatal() when empty or any
+     *        has zero length. */
+    explicit SegmentPattern(std::vector<Segment> segments);
+    double next(Rng &rng) override;
+    void reset() override;
+    std::string describe() const override;
+
+  private:
+    std::vector<Segment> segments;
+    size_t seg_index;
+    size_t seg_position;
+};
+
+/** Decorator adding Gaussian noise (clamped at 0) to another
+ *  pattern. */
+class NoisyPattern : public MemPattern
+{
+  public:
+    NoisyPattern(MemPatternPtr inner, double sigma);
+    double next(Rng &rng) override;
+    void reset() override;
+    std::string describe() const override;
+
+  private:
+    MemPatternPtr inner;
+    double sigma;
+};
+
+/**
+ * Decorator that occasionally replaces a sample with a spike level —
+ * models OS interference and the real-system variability of
+ * Section 5.1.
+ */
+class SpikePattern : public MemPattern
+{
+  public:
+    SpikePattern(MemPatternPtr inner, double spike_level,
+                 double probability);
+    double next(Rng &rng) override;
+    void reset() override;
+    std::string describe() const override;
+
+  private:
+    MemPatternPtr inner;
+    double spike_level;
+    double probability;
+};
+
+/**
+ * How a workload's Mem/Uop level translates into the remaining
+ * interval parameters (execution-core IPC, blocking factor).
+ * Memory-heavier code tends to sustain lower core IPC; the linear
+ * relation with clamping is a serviceable fit of the Figure 6 cloud.
+ */
+struct MachineBehavior
+{
+    double ipc_at_zero_mem = 1.5;  ///< core IPC for Mem/Uop = 0
+    double ipc_mem_slope = 10.0;   ///< core-IPC drop per unit Mem/Uop
+    double min_core_ipc = 0.3;
+    double max_core_ipc = 2.0;
+    double ipc_noise_sigma = 0.02; ///< per-sample IPC jitter
+    double block_factor = 0.9;     ///< memory blocking factor
+    double uops_per_inst = 1.0;
+
+    /** Build one interval for a Mem/Uop level. */
+    Interval makeInterval(double mem_per_uop, double uops,
+                          Rng &rng) const;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_WORKLOAD_PATTERNS_HH

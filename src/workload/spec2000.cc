@@ -1,0 +1,440 @@
+#include "workload/spec2000.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+std::string
+quadrantName(Quadrant q)
+{
+    switch (q) {
+      case Quadrant::Q1:
+        return "Q1";
+      case Quadrant::Q2:
+        return "Q2";
+      case Quadrant::Q3:
+        return "Q3";
+      case Quadrant::Q4:
+        return "Q4";
+    }
+    return "Q?";
+}
+
+SpecBenchmark::SpecBenchmark(std::string name, Quadrant quadrant,
+                             PatternFactory make_pattern,
+                             MachineBehavior behavior,
+                             size_t default_samples)
+    : label(std::move(name)), quad(quadrant),
+      factory(std::move(make_pattern)), machine(behavior),
+      samples(default_samples)
+{
+    if (label.empty())
+        fatal("SpecBenchmark requires a name");
+    if (!factory)
+        fatal("SpecBenchmark '%s' has no pattern factory",
+              label.c_str());
+    if (samples == 0)
+        fatal("SpecBenchmark '%s' has zero default samples",
+              label.c_str());
+}
+
+IntervalTrace
+SpecBenchmark::makeTrace(size_t num_samples, uint64_t seed,
+                         double sample_uops) const
+{
+    if (num_samples == 0)
+        num_samples = samples;
+    if (sample_uops <= 0.0)
+        fatal("SpecBenchmark '%s': non-positive sample size %f",
+              label.c_str(), sample_uops);
+    // Derive a per-benchmark stream from the shared seed so traces
+    // are independent yet reproducible as a suite.
+    uint64_t name_hash = 1469598103934665603ULL; // FNV-1a
+    for (char c : label)
+        name_hash = (name_hash ^ static_cast<uint8_t>(c)) *
+            1099511628211ULL;
+    Rng rng = Rng(seed).split(name_hash);
+
+    MemPatternPtr pattern = factory();
+    IntervalTrace trace(label);
+    for (size_t i = 0; i < num_samples; ++i) {
+        const double level = pattern->next(rng);
+        trace.append(machine.makeInterval(level, sample_uops, rng));
+    }
+    return trace;
+}
+
+namespace
+{
+
+using Factory = SpecBenchmark::PatternFactory;
+
+/** Small measurement-scale jitter applied to nearly all patterns. */
+constexpr double JITTER = 0.0003;
+
+MemPatternPtr
+noisy(MemPatternPtr inner, double sigma = JITTER)
+{
+    return std::make_unique<NoisyPattern>(std::move(inner), sigma);
+}
+
+/** Flat behaviour: one level plus jitter (most Q1 benchmarks). */
+Factory
+flat(double level, double sigma = JITTER)
+{
+    return [=]() {
+        return noisy(std::make_unique<ConstantPattern>(level), sigma);
+    };
+}
+
+/** Flat with rare disturbance samples (OS interference). */
+Factory
+flatWithSpikes(double level, double spike, double prob)
+{
+    return [=]() {
+        return noisy(std::make_unique<SpikePattern>(
+            std::make_unique<ConstantPattern>(level), spike, prob));
+    };
+}
+
+/** Two-level alternation with fixed dwell lengths. */
+Factory
+square(double lo, double hi, size_t lo_len, size_t hi_len)
+{
+    return [=]() {
+        return noisy(std::make_unique<SquareWavePattern>(
+            lo, hi, lo_len, hi_len));
+    };
+}
+
+/** Deterministic repeating multi-level loop pattern. */
+Factory
+periodic(std::vector<double> levels)
+{
+    return [levels]() {
+        return noisy(
+            std::make_unique<PeriodicSequencePattern>(levels));
+    };
+}
+
+/** Loop pattern with occasional off-pattern samples (system
+ *  interference), which caps pattern-predictor accuracy in the low
+ *  90s as observed on the real machine. */
+Factory
+periodicWithSpikes(std::vector<double> levels, double spike,
+                   double prob)
+{
+    return [levels, spike, prob]() {
+        return noisy(std::make_unique<SpikePattern>(
+            std::make_unique<PeriodicSequencePattern>(levels), spike,
+            prob));
+    };
+}
+
+/** Irregular input-dependent level walk (the gcc family). */
+Factory
+markov(std::vector<double> levels, double stay)
+{
+    return [levels, stay]() {
+        return noisy(std::make_unique<MarkovPattern>(levels, stay));
+    };
+}
+
+/**
+ * Alternating loop-nest regions, each a deterministic periodic
+ * pattern, plus rare spikes — the applu/equake shape: strongly
+ * repetitive phases interrupted by region changes that defeat
+ * statistical predictors but not the GPHT. An optional third region
+ * widens the pattern working set (applu's PHT footprint exceeds 64
+ * entries on the real machine, which is what Figure 5's 64-entry
+ * degradation reflects).
+ */
+Factory
+multiRegion(std::vector<double> region_a, size_t len_a,
+            std::vector<double> region_b, size_t len_b,
+            double spike, double spike_prob,
+            std::vector<double> region_c = {}, size_t len_c = 0)
+{
+    return [=]() {
+        std::vector<SegmentPattern::Segment> segs;
+        segs.push_back(
+            {std::make_unique<PeriodicSequencePattern>(region_a),
+             len_a});
+        segs.push_back(
+            {std::make_unique<PeriodicSequencePattern>(region_b),
+             len_b});
+        if (!region_c.empty()) {
+            segs.push_back(
+                {std::make_unique<PeriodicSequencePattern>(region_c),
+                 len_c});
+        }
+        return noisy(std::make_unique<SpikePattern>(
+            std::make_unique<SegmentPattern>(std::move(segs)), spike,
+            spike_prob));
+    };
+}
+
+MachineBehavior
+defaultBehavior()
+{
+    return MachineBehavior{};
+}
+
+MachineBehavior
+memoryBound(double ipc0, double slope, double block)
+{
+    MachineBehavior b;
+    b.ipc_at_zero_mem = ipc0;
+    b.ipc_mem_slope = slope;
+    b.block_factor = block;
+    return b;
+}
+
+std::vector<SpecBenchmark>
+buildSuite()
+{
+    // Mem/Uop levels centred inside the Table 1 phase buckets so the
+    // jitter noise (sigma 0.0003) almost never crosses a boundary:
+    //   P1 ~ 0.002   P2 ~ 0.0075  P3 ~ 0.0125
+    //   P4 ~ 0.0175  P5 ~ 0.025   P6 ~ 0.035
+    const double P1 = 0.0022, P2 = 0.0078, P3 = 0.0128;
+    const double P4 = 0.0178, P5 = 0.0245, P6 = 0.0335;
+
+    std::vector<SpecBenchmark> suite;
+    auto add = [&suite](const char *name, Quadrant q, Factory f,
+                        MachineBehavior b, size_t n = 600) {
+        suite.emplace_back(name, q, std::move(f), b, n);
+    };
+
+    // --- Highly stable Q1 benchmarks (Figure 4 left edge) ---------
+    add("crafty_in", Quadrant::Q1, flat(0.0008), defaultBehavior());
+    add("eon_cook", Quadrant::Q1, flat(0.0003, 0.0001),
+        defaultBehavior());
+    add("eon_kajiya", Quadrant::Q1, flat(0.0002, 0.0001),
+        defaultBehavior());
+    add("eon_rushmeier", Quadrant::Q1, flat(0.0004, 0.0001),
+        defaultBehavior());
+    add("mesa_ref", Quadrant::Q1, flat(0.0012), defaultBehavior());
+    add("vortex_lendian2", Quadrant::Q1, flat(0.0020),
+        defaultBehavior());
+    add("sixtrack_in", Quadrant::Q1, flat(0.0006, 0.0002),
+        defaultBehavior());
+
+    // swim: flat but strongly memory-bound -> Q2 (high potential,
+    // no variability; paper reports >60% EDP improvement).
+    add("swim_in", Quadrant::Q2, flat(0.0240, 0.0004),
+        memoryBound(1.5, 8.0, 0.8));
+
+    add("vortex_lendian1", Quadrant::Q1, flat(0.0022, 0.0004),
+        defaultBehavior());
+    add("twolf_ref", Quadrant::Q1,
+        square(0.0020, 0.0036, 40, 12), defaultBehavior());
+    add("vortex_lendian3", Quadrant::Q1,
+        flatWithSpikes(0.0021, 0.0062, 0.012), defaultBehavior());
+
+    // --- gzip family: stable with section changes ------------------
+    add("gzip_program", Quadrant::Q1,
+        square(0.0030, 0.0072, 30, 10), defaultBehavior());
+    add("gzip_graphic", Quadrant::Q1,
+        square(0.0035, 0.0076, 25, 8), defaultBehavior());
+    add("gzip_random", Quadrant::Q1,
+        flatWithSpikes(0.0015, 0.0062, 0.02), defaultBehavior());
+    add("gzip_source", Quadrant::Q1,
+        square(0.0030, 0.0078, 20, 6), defaultBehavior());
+    add("gzip_log", Quadrant::Q1,
+        square(0.0028, 0.0072, 14, 5), defaultBehavior());
+
+    // mcf: extremely memory-bound (mean Mem/Uop ~ 0.11, far beyond
+    // the last boundary), mild oscillation that stays inside phase
+    // 6 -> Q2.
+    add("mcf_inp", Quadrant::Q2, [P5]() {
+            return noisy(std::make_unique<SpikePattern>(
+                std::make_unique<SquareWavePattern>(
+                    0.090, 0.125, 12, 12), P5, 0.02), 0.0008);
+        }, memoryBound(0.9, 2.0, 0.6));
+
+    // --- gcc family: irregular, input dependent --------------------
+    add("gcc_200", Quadrant::Q1,
+        markov({0.0012, 0.0038, 0.0062, 0.0088}, 0.92),
+        defaultBehavior());
+    add("gcc_scilab", Quadrant::Q1,
+        markov({0.0010, 0.0042, 0.0068, 0.0105}, 0.90),
+        defaultBehavior());
+    add("wupwise_ref", Quadrant::Q1,
+        square(0.0018, 0.0085, 18, 4), defaultBehavior());
+    add("gap_ref", Quadrant::Q1, [P2, P3]() {
+            std::vector<SegmentPattern::Segment> segs;
+            segs.push_back({std::make_unique<ConstantPattern>(0.0020),
+                            25});
+            segs.push_back(
+                {std::make_unique<PeriodicSequencePattern>(
+                     std::vector<double>{P2, P2, P3}), 9});
+            return noisy(
+                std::make_unique<SegmentPattern>(std::move(segs)));
+        }, defaultBehavior());
+    add("gcc_integrate", Quadrant::Q1,
+        markov({0.0010, 0.0045, 0.0078, 0.0115}, 0.88),
+        defaultBehavior());
+    add("gcc_expr", Quadrant::Q1,
+        markov({0.0008, 0.0042, 0.0080, 0.0118}, 0.87),
+        defaultBehavior());
+    add("ammp_in", Quadrant::Q1,
+        square(0.0022, 0.0095, 8, 5), defaultBehavior());
+    add("gcc_166", Quadrant::Q1,
+        markov({0.0008, 0.0035, 0.0065, 0.0095, 0.0125}, 0.85),
+        defaultBehavior());
+
+    // parser: level sits near the phase 1/2 boundary with real
+    // noise — inherently unpredictable classification flips that no
+    // predictor can beat (all methods plateau together, Figure 4).
+    add("parser_ref", Quadrant::Q1, flat(0.0042, 0.0008),
+        defaultBehavior());
+
+    add("apsi_ref", Quadrant::Q1, periodic([&] {
+            std::vector<double> seq;
+            for (int i = 0; i < 10; ++i)
+                seq.push_back(0.0022);
+            for (int i = 0; i < 4; ++i)
+                seq.push_back(P2);
+            for (int i = 0; i < 2; ++i)
+                seq.push_back(P3);
+            return seq;
+        }()), defaultBehavior());
+
+    // --- The variable set: Q4 then Q3 (Figure 4 right edge) --------
+    // The bzip2 family alternates a CPU-bound base level with short
+    // bursts of modestly memory-bound behaviour: high variability,
+    // low savings potential (Q4). The burst level sits a full noise
+    // margin above the base so the Figure 3 variation metric counts
+    // the transitions reliably.
+    const double BZ_BASE = 0.0028, BZ_B = 0.0088, BZ_C = 0.0128;
+    add("bzip2_program", Quadrant::Q4, periodicWithSpikes([&] {
+            std::vector<double> seq;
+            for (int i = 0; i < 6; ++i)
+                seq.push_back(BZ_BASE);
+            seq.insert(seq.end(), {BZ_B, BZ_B});
+            for (int i = 0; i < 6; ++i)
+                seq.push_back(BZ_BASE);
+            seq.insert(seq.end(), {BZ_C, BZ_C});
+            return seq;
+        }(), P4, 0.02), defaultBehavior());
+
+    add("mgrid_in", Quadrant::Q3, periodicWithSpikes([&] {
+            std::vector<double> seq;
+            for (int i = 0; i < 4; ++i)
+                seq.push_back(0.0235);
+            seq.insert(seq.end(), {P3, P3, P3, P4, P4, P4});
+            return seq;
+        }(), P1, 0.02), memoryBound(1.4, 8.0, 0.85));
+
+    add("bzip2_source", Quadrant::Q4, periodicWithSpikes([&] {
+            std::vector<double> seq;
+            for (int i = 0; i < 4; ++i)
+                seq.push_back(BZ_BASE);
+            seq.insert(seq.end(), {BZ_B, BZ_B});
+            for (int i = 0; i < 4; ++i)
+                seq.push_back(BZ_BASE);
+            seq.insert(seq.end(), {BZ_C, BZ_C});
+            return seq;
+        }(), P4, 0.02), defaultBehavior());
+
+    add("bzip2_graphic", Quadrant::Q4, periodicWithSpikes([&] {
+            std::vector<double> seq;
+            for (int i = 0; i < 3; ++i)
+                seq.push_back(BZ_BASE);
+            seq.insert(seq.end(), {BZ_B, BZ_B});
+            for (int i = 0; i < 3; ++i)
+                seq.push_back(BZ_BASE);
+            seq.insert(seq.end(), {BZ_C, BZ_C, BZ_B});
+            return seq;
+        }(), P4, 0.02), defaultBehavior());
+
+    // applu: the paper's showcase — rapidly alternating phases in a
+    // deterministic loop pattern across two program regions. Last
+    // value mispredicts ~half the samples; the GPHT learns both
+    // regions' patterns.
+    add("applu_in", Quadrant::Q3,
+        multiRegion({P1, P1, P4, P4, P1, P1, P5, P5, P3, P3}, 160,
+                    {P1, P1, P3, P3, P1, P1, P4, P4}, 120,
+                    P5, 0.005,
+                    {P1, P1, P2, P2, P3, P3, P1, P1, P5, P5, P1, P1,
+                     P2, P2, P1, P1, P3, P3, P5, P5, P1, P1, P3, P3,
+                     P1, P1, P2, P2, P5, P5, P1, P1, P3, P3, P1, P1},
+                    108),
+        memoryBound(1.5, 10.0, 0.9), 2500);
+
+    add("equake_in", Quadrant::Q3,
+        multiRegion({P6, P6, P1, P1, P6, P6, P5, P5, P1, P1}, 150,
+                    {P6, P6, P1, P1, P5, P5}, 120,
+                    P3, 0.005),
+        memoryBound(1.4, 8.0, 0.85), 2000);
+
+    return suite;
+}
+
+} // anonymous namespace
+
+const std::vector<SpecBenchmark> &
+Spec2000Suite::all()
+{
+    static const std::vector<SpecBenchmark> suite = buildSuite();
+    return suite;
+}
+
+const SpecBenchmark &
+Spec2000Suite::byName(const std::string &name)
+{
+    for (const auto &bench : all())
+        if (bench.name() == name)
+            return bench;
+    fatal("Spec2000Suite: unknown benchmark '%s'", name.c_str());
+}
+
+std::vector<std::string>
+Spec2000Suite::names()
+{
+    std::vector<std::string> out;
+    out.reserve(all().size());
+    for (const auto &bench : all())
+        out.push_back(bench.name());
+    return out;
+}
+
+std::vector<const SpecBenchmark *>
+Spec2000Suite::inQuadrant(Quadrant q)
+{
+    std::vector<const SpecBenchmark *> out;
+    for (const auto &bench : all())
+        if (bench.quadrant() == q)
+            out.push_back(&bench);
+    return out;
+}
+
+std::vector<const SpecBenchmark *>
+Spec2000Suite::variableSet()
+{
+    std::vector<const SpecBenchmark *> out;
+    for (const auto &bench : all()) {
+        if (bench.quadrant() == Quadrant::Q3 ||
+            bench.quadrant() == Quadrant::Q4) {
+            out.push_back(&bench);
+        }
+    }
+    return out;
+}
+
+std::vector<const SpecBenchmark *>
+Spec2000Suite::fig12Set()
+{
+    std::vector<const SpecBenchmark *> out;
+    for (const auto &bench : all()) {
+        if (bench.quadrant() != Quadrant::Q1)
+            out.push_back(&bench);
+    }
+    return out;
+}
+
+} // namespace livephase

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Synthetic SPEC CPU2000 workload suite.
+ *
+ * The paper evaluates 33 benchmark/input combinations of SPEC CPU2000
+ * on a real Pentium-M. We cannot ship SPEC binaries; instead each
+ * combination is modelled as a generator reproducing its *published
+ * interval-level behaviour*: the mean Mem/Uop (Figure 3's x axis,
+ * "power savings potential"), the sample-to-sample variability
+ * (Figure 3's y axis) and — decisive for predictor evaluation — the
+ * temporal *shape* of its Mem/Uop series (flat, slowly drifting,
+ * irregular, or strongly repetitive multi-phase as in applu).
+ *
+ * Prediction accuracy and DVFS benefit depend only on this
+ * interval-level series, so the substitution preserves the behaviour
+ * the paper measures (see DESIGN.md, substitution table).
+ */
+
+#ifndef LIVEPHASE_WORKLOAD_SPEC2000_HH
+#define LIVEPHASE_WORKLOAD_SPEC2000_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workload/patterns.hh"
+#include "workload/trace.hh"
+
+namespace livephase
+{
+
+/** Figure 3 quadrant labels. */
+enum class Quadrant
+{
+    Q1, ///< stable, low power-saving potential
+    Q2, ///< stable, high potential (swim, mcf)
+    Q3, ///< variable, high potential (applu, equake, mgrid)
+    Q4  ///< variable, low potential (bzip2 family)
+};
+
+/** Short name ("Q3") for reports. */
+std::string quadrantName(Quadrant q);
+
+/**
+ * One synthetic benchmark: metadata plus a trace factory.
+ */
+class SpecBenchmark
+{
+  public:
+    using PatternFactory = std::function<MemPatternPtr()>;
+
+    SpecBenchmark(std::string name, Quadrant quadrant,
+                  PatternFactory make_pattern,
+                  MachineBehavior behavior,
+                  size_t default_samples = 600);
+
+    /** Benchmark/input name ("applu_in"). */
+    const std::string &name() const { return label; }
+
+    /** Expected Figure 3 quadrant. */
+    Quadrant quadrant() const { return quad; }
+
+    /** Default trace length in samples. */
+    size_t defaultSamples() const { return samples; }
+
+    /** Machine-behaviour mapping used for this benchmark. */
+    const MachineBehavior &behavior() const { return machine; }
+
+    /**
+     * Generate an execution trace.
+     *
+     * @param num_samples number of 100M-uop samples (0 = default).
+     * @param seed        RNG seed (per-benchmark streams are split
+     *                    internally, so the same seed can be shared
+     *                    across the suite).
+     * @param sample_uops uops per sample.
+     */
+    IntervalTrace makeTrace(size_t num_samples = 0,
+                            uint64_t seed = 1,
+                            double sample_uops = 100e6) const;
+
+  private:
+    std::string label;
+    Quadrant quad;
+    PatternFactory factory;
+    MachineBehavior machine;
+    size_t samples;
+};
+
+/**
+ * The full 33-benchmark suite in the paper's Figure 4 order
+ * (decreasing last-value prediction accuracy).
+ */
+class Spec2000Suite
+{
+  public:
+    /** All benchmarks, Figure 4 order. */
+    static const std::vector<SpecBenchmark> &all();
+
+    /** Benchmark by name; fatal() if unknown. */
+    static const SpecBenchmark &byName(const std::string &name);
+
+    /** All benchmark names, Figure 4 order. */
+    static std::vector<std::string> names();
+
+    /** The benchmarks of one quadrant, Figure 4 order. */
+    static std::vector<const SpecBenchmark *> inQuadrant(Quadrant q);
+
+    /**
+     * The paper's "variable" set: the last six benchmarks of
+     * Figure 4 (Q3 + Q4), on which GPHT decisively beats the
+     * statistical predictors.
+     */
+    static std::vector<const SpecBenchmark *> variableSet();
+
+    /**
+     * The Figure 12 comparison set: Q2 + Q3 + Q4 benchmarks
+     * (bzip2 x3, mgrid, applu, equake, swim, mcf).
+     */
+    static std::vector<const SpecBenchmark *> fig12Set();
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_WORKLOAD_SPEC2000_HH

@@ -1,0 +1,74 @@
+#include "workload/trace.hh"
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+IntervalTrace::IntervalTrace(std::string name)
+    : label(std::move(name))
+{
+    if (label.empty())
+        fatal("IntervalTrace requires a non-empty name");
+}
+
+void
+IntervalTrace::append(const Interval &ivl)
+{
+    if (!ivl.valid())
+        fatal("IntervalTrace '%s': appending invalid interval "
+              "(uops=%f ipc=%f m=%f)", label.c_str(), ivl.uops,
+              ivl.core_ipc, ivl.mem_per_uop);
+    intervals.push_back(ivl);
+}
+
+const Interval &
+IntervalTrace::at(size_t index) const
+{
+    if (index >= intervals.size())
+        panic("IntervalTrace '%s': index %zu out of range (%zu)",
+              label.c_str(), index, intervals.size());
+    return intervals[index];
+}
+
+double
+IntervalTrace::totalUops() const
+{
+    double total = 0.0;
+    for (const auto &ivl : intervals)
+        total += ivl.uops;
+    return total;
+}
+
+double
+IntervalTrace::totalInstructions() const
+{
+    double total = 0.0;
+    for (const auto &ivl : intervals)
+        total += ivl.instructions();
+    return total;
+}
+
+std::vector<double>
+IntervalTrace::memPerUopSeries() const
+{
+    std::vector<double> series;
+    series.reserve(intervals.size());
+    for (const auto &ivl : intervals)
+        series.push_back(ivl.mem_per_uop);
+    return series;
+}
+
+double
+IntervalTrace::meanMemPerUop() const
+{
+    if (intervals.empty())
+        panic("IntervalTrace '%s': meanMemPerUop on empty trace",
+              label.c_str());
+    double total = 0.0;
+    for (const auto &ivl : intervals)
+        total += ivl.mem_per_uop;
+    return total / static_cast<double>(intervals.size());
+}
+
+} // namespace livephase

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A named sequence of workload intervals — the unit the System runs
+ * and the predictors are evaluated on.
+ */
+
+#ifndef LIVEPHASE_WORKLOAD_TRACE_HH
+#define LIVEPHASE_WORKLOAD_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/interval.hh"
+
+namespace livephase
+{
+
+/**
+ * An application execution expressed as per-sample intervals.
+ *
+ * By convention each interval carries exactly the uop count of one
+ * sampling period (100 M by default), so interval k corresponds to
+ * the paper's k-th 100M-uop phase sample.
+ */
+class IntervalTrace
+{
+  public:
+    /** @param name trace identifier; fatal() when empty. */
+    explicit IntervalTrace(std::string name);
+
+    /** Trace identifier (benchmark name). */
+    const std::string &name() const { return label; }
+
+    /** Append an interval. fatal() when invalid. */
+    void append(const Interval &ivl);
+
+    /** Number of intervals. */
+    size_t size() const { return intervals.size(); }
+
+    /** True when the trace holds no intervals. */
+    bool empty() const { return intervals.empty(); }
+
+    /** Interval at index. @pre index < size() */
+    const Interval &at(size_t index) const;
+
+    /** All intervals. */
+    const std::vector<Interval> &all() const { return intervals; }
+
+    /** Sum of uops across the trace. */
+    double totalUops() const;
+
+    /** Sum of instructions across the trace. */
+    double totalInstructions() const;
+
+    /** Per-sample Mem/Uop series (for variability analysis). */
+    std::vector<double> memPerUopSeries() const;
+
+    /** Mean Mem/Uop across samples (Figure 3's x axis). */
+    double meanMemPerUop() const;
+
+    /** Iteration support. */
+    auto begin() const { return intervals.begin(); }
+    auto end() const { return intervals.end(); }
+
+  private:
+    std::string label;
+    std::vector<Interval> intervals;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_WORKLOAD_TRACE_HH

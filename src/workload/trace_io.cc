@@ -1,0 +1,128 @@
+#include "workload/trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace livephase
+{
+
+namespace
+{
+
+const char *const HEADER =
+    "uops,uops_per_inst,mem_per_uop,core_ipc,mem_block_factor";
+
+std::vector<std::string>
+splitCsvRow(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream row(line);
+    while (std::getline(row, cell, ','))
+        cells.push_back(cell);
+    return cells;
+}
+
+double
+parseCell(const std::string &cell, size_t line_no, const char *what)
+{
+    char *end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str() || *end != '\0')
+        fatal("trace CSV line %zu: bad %s value '%s'", line_no, what,
+              cell.c_str());
+    return v;
+}
+
+} // anonymous namespace
+
+void
+writeTraceCsv(const IntervalTrace &trace, std::ostream &os)
+{
+    os << HEADER << '\n';
+    // 17 significant digits round-trip any IEEE double exactly.
+    os.precision(17);
+    for (const Interval &ivl : trace) {
+        os << ivl.uops << ',' << ivl.uops_per_inst << ','
+           << ivl.mem_per_uop << ',' << ivl.core_ipc << ','
+           << ivl.mem_block_factor << '\n';
+    }
+}
+
+IntervalTrace
+readTraceCsv(std::istream &is, const std::string &name)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        fatal("trace CSV '%s': empty input", name.c_str());
+    // Tolerate trailing carriage returns from foreign tools.
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    if (line != HEADER)
+        fatal("trace CSV '%s': unexpected header '%s' (want '%s')",
+              name.c_str(), line.c_str(), HEADER);
+
+    IntervalTrace trace(name);
+    size_t line_no = 1;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        const auto cells = splitCsvRow(line);
+        if (cells.size() != 5)
+            fatal("trace CSV '%s' line %zu: expected 5 columns, got "
+                  "%zu", name.c_str(), line_no, cells.size());
+        Interval ivl;
+        ivl.uops = parseCell(cells[0], line_no, "uops");
+        ivl.uops_per_inst =
+            parseCell(cells[1], line_no, "uops_per_inst");
+        ivl.mem_per_uop =
+            parseCell(cells[2], line_no, "mem_per_uop");
+        ivl.core_ipc = parseCell(cells[3], line_no, "core_ipc");
+        ivl.mem_block_factor =
+            parseCell(cells[4], line_no, "mem_block_factor");
+        if (!ivl.valid())
+            fatal("trace CSV '%s' line %zu: invalid interval",
+                  name.c_str(), line_no);
+        trace.append(ivl);
+    }
+    if (trace.empty())
+        fatal("trace CSV '%s': no interval rows", name.c_str());
+    return trace;
+}
+
+void
+saveTrace(const IntervalTrace &trace, const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("saveTrace: cannot open '%s' for writing",
+              path.c_str());
+    writeTraceCsv(trace, os);
+    if (!os.good())
+        fatal("saveTrace: write to '%s' failed", path.c_str());
+}
+
+IntervalTrace
+loadTrace(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("loadTrace: cannot open '%s'", path.c_str());
+    // Trace name: file stem.
+    std::string name = path;
+    const auto slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    const auto dot = name.find_last_of('.');
+    if (dot != std::string::npos && dot > 0)
+        name = name.substr(0, dot);
+    return readTraceCsv(is, name);
+}
+
+} // namespace livephase

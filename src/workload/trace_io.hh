@@ -1,0 +1,48 @@
+/**
+ * @file
+ * CSV import/export for workload traces.
+ *
+ * Lets users round-trip traces to disk — e.g. to replay the exact
+ * trace behind a published figure, or to feed *real* PMC logs
+ * (converted offline to interval rows) into the predictors and the
+ * management harness.
+ *
+ * Format: a header line, then one row per interval:
+ *
+ *     uops,uops_per_inst,mem_per_uop,core_ipc,mem_block_factor
+ *     100000000,1.0,0.0125,1.2,0.9
+ */
+
+#ifndef LIVEPHASE_WORKLOAD_TRACE_IO_HH
+#define LIVEPHASE_WORKLOAD_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.hh"
+
+namespace livephase
+{
+
+/** Write a trace as CSV (header + one row per interval). */
+void writeTraceCsv(const IntervalTrace &trace, std::ostream &os);
+
+/**
+ * Parse a trace from CSV. fatal() on malformed rows, unknown
+ * headers, or intervals that fail validation.
+ *
+ * @param is   CSV stream in writeTraceCsv() format.
+ * @param name name for the resulting trace.
+ */
+IntervalTrace readTraceCsv(std::istream &is, const std::string &name);
+
+/** Write a trace to a file; fatal() on I/O failure. */
+void saveTrace(const IntervalTrace &trace, const std::string &path);
+
+/** Read a trace from a file; the trace is named after the file
+ *  stem. fatal() on I/O failure. */
+IntervalTrace loadTrace(const std::string &path);
+
+} // namespace livephase
+
+#endif // LIVEPHASE_WORKLOAD_TRACE_IO_HH

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the analysis layer: accuracy evaluation, variability
+ * metrics, quadrants, management comparison and reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/accuracy.hh"
+#include "analysis/power_perf.hh"
+#include "analysis/quadrants.hh"
+#include "analysis/report.hh"
+#include "analysis/variability.hh"
+#include "core/gpht_predictor.hh"
+#include "core/last_value_predictor.hh"
+#include "workload/spec2000.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+IntervalTrace
+traceFromLevels(const std::vector<double> &levels,
+                const std::string &name = "levels")
+{
+    IntervalTrace t(name);
+    for (double m : levels) {
+        Interval ivl;
+        ivl.uops = 100e6;
+        ivl.mem_per_uop = m;
+        ivl.core_ipc = 1.0;
+        t.append(ivl);
+    }
+    return t;
+}
+
+TEST(Accuracy, LastValueOnConstantTraceIsPerfect)
+{
+    const IntervalTrace t =
+        traceFromLevels(std::vector<double>(50, 0.012));
+    LastValuePredictor lv;
+    const auto eval =
+        evaluatePredictor(t, PhaseClassifier::table1(), lv);
+    EXPECT_EQ(eval.evaluated, 49u);
+    EXPECT_EQ(eval.mispredictions, 0u);
+    EXPECT_DOUBLE_EQ(eval.accuracy(), 1.0);
+}
+
+TEST(Accuracy, LastValueOnAlternatingTraceFailsEverywhere)
+{
+    std::vector<double> levels;
+    for (int i = 0; i < 40; ++i)
+        levels.push_back(i % 2 == 0 ? 0.001 : 0.05);
+    const IntervalTrace t = traceFromLevels(levels);
+    LastValuePredictor lv;
+    const auto eval =
+        evaluatePredictor(t, PhaseClassifier::table1(), lv);
+    EXPECT_DOUBLE_EQ(eval.accuracy(), 0.0);
+
+    GphtPredictor gpht(8, 128);
+    const auto gpht_eval =
+        evaluatePredictor(t, PhaseClassifier::table1(), gpht);
+    EXPECT_GT(gpht_eval.accuracy(), 0.7);
+}
+
+TEST(Accuracy, PerSampleVectorsAreAligned)
+{
+    const IntervalTrace t =
+        traceFromLevels({0.001, 0.05, 0.001, 0.05});
+    LastValuePredictor lv;
+    const auto eval =
+        evaluatePredictor(t, PhaseClassifier::table1(), lv);
+    ASSERT_EQ(eval.actual.size(), 4u);
+    ASSERT_EQ(eval.predicted.size(), 4u);
+    EXPECT_EQ(eval.predicted[0], INVALID_PHASE);
+    EXPECT_EQ(eval.actual[0], 1);
+    EXPECT_EQ(eval.actual[1], 6);
+    // Prediction for sample 1 was made after observing sample 0.
+    EXPECT_EQ(eval.predicted[1], 1);
+    EXPECT_EQ(eval.predicted[2], 6);
+}
+
+TEST(Accuracy, PredictorIsResetBeforeEvaluation)
+{
+    GphtPredictor gpht(4, 16);
+    // Pollute the predictor...
+    for (int i = 0; i < 50; ++i)
+        gpht.observePhase(6);
+    const IntervalTrace t =
+        traceFromLevels(std::vector<double>(30, 0.001));
+    const auto eval =
+        evaluatePredictor(t, PhaseClassifier::table1(), gpht);
+    // ...and verify the evaluation saw a cold start.
+    EXPECT_DOUBLE_EQ(eval.accuracy(), 1.0);
+    EXPECT_EQ(eval.predictor, "GPHT_4_16");
+    EXPECT_EQ(eval.workload, "levels");
+}
+
+TEST(Accuracy, EmptyTraceIsFatal)
+{
+    IntervalTrace empty("empty");
+    LastValuePredictor lv;
+    EXPECT_FAILURE(
+        evaluatePredictor(empty, PhaseClassifier::table1(), lv));
+}
+
+TEST(Accuracy, Figure4RosterMatchesThePaper)
+{
+    const auto predictors = makeFigure4Predictors();
+    ASSERT_EQ(predictors.size(), 6u);
+    EXPECT_EQ(predictors[0]->name(), "LastValue");
+    EXPECT_EQ(predictors[1]->name(), "FixWindow_8");
+    EXPECT_EQ(predictors[2]->name(), "FixWindow_128");
+    EXPECT_EQ(predictors[3]->name(), "VarWindow_128_0.005");
+    EXPECT_EQ(predictors[4]->name(), "VarWindow_128_0.030");
+    EXPECT_EQ(predictors[5]->name(), "GPHT_8_1024");
+}
+
+TEST(Variability, CountsOnlyLargeDeltas)
+{
+    const IntervalTrace t =
+        traceFromLevels({0.010, 0.012, 0.020, 0.020, 0.002});
+    // Deltas: 0.002 (no), 0.008 (yes), 0.000 (no), 0.018 (yes).
+    EXPECT_NEAR(sampleVariationPct(t), 50.0, 1e-9);
+    EXPECT_NEAR(sampleVariationPct(t, 0.001), 75.0, 1e-9);
+}
+
+TEST(Variability, ShortTracesHaveZeroVariation)
+{
+    EXPECT_DOUBLE_EQ(sampleVariationPct(traceFromLevels({0.01})),
+                     0.0);
+}
+
+TEST(Variability, PhaseTransitionRate)
+{
+    const IntervalTrace t =
+        traceFromLevels({0.001, 0.001, 0.05, 0.05, 0.001});
+    EXPECT_NEAR(
+        phaseTransitionRate(t, PhaseClassifier::table1()), 0.5,
+        1e-12);
+}
+
+TEST(Quadrants, ClassificationMatrix)
+{
+    const QuadrantThresholds th;
+    EXPECT_EQ(classifyQuadrant(1.0, 0.001, th), Quadrant::Q1);
+    EXPECT_EQ(classifyQuadrant(1.0, 0.02, th), Quadrant::Q2);
+    EXPECT_EQ(classifyQuadrant(50.0, 0.02, th), Quadrant::Q3);
+    EXPECT_EQ(classifyQuadrant(50.0, 0.001, th), Quadrant::Q4);
+}
+
+TEST(Quadrants, PointMeasurement)
+{
+    std::vector<double> levels;
+    for (int i = 0; i < 100; ++i)
+        levels.push_back(i % 2 == 0 ? 0.01 : 0.03);
+    const QuadrantPoint point =
+        quadrantPoint(traceFromLevels(levels, "osc"));
+    EXPECT_EQ(point.name, "osc");
+    EXPECT_NEAR(point.mean_mem_per_uop, 0.02, 1e-9);
+    EXPECT_NEAR(point.variation_pct, 100.0, 1e-9);
+    EXPECT_EQ(point.quadrant, Quadrant::Q3);
+}
+
+TEST(Quadrants, Names)
+{
+    EXPECT_EQ(quadrantName(Quadrant::Q1), "Q1");
+    EXPECT_EQ(quadrantName(Quadrant::Q4), "Q4");
+}
+
+TEST(PowerPerfAnalysis, CompareToBaselineProducesSaneRatios)
+{
+    System system;
+    const IntervalTrace trace =
+        Spec2000Suite::byName("swim_in").makeTrace(60, 3);
+    const auto result = compareToBaseline(
+        system, trace,
+        []() { return makeGphtGovernor(DvfsTable::pentiumM()); });
+    EXPECT_EQ(result.workload, "swim_in");
+    EXPECT_EQ(result.governor, "gpht");
+    EXPECT_GT(result.relative.edpImprovement(), 0.2);
+    EXPECT_LT(result.relative.bips_ratio, 1.0);
+    EXPECT_GT(result.relative.bips_ratio, 0.6);
+    EXPECT_GT(result.accuracy(), 0.9);
+}
+
+TEST(PowerPerfAnalysis, MissingFactoryIsFatal)
+{
+    System system;
+    const IntervalTrace trace =
+        Spec2000Suite::byName("swim_in").makeTrace(10, 3);
+    EXPECT_FAILURE(compareToBaseline(system, trace, nullptr));
+}
+
+TEST(PowerPerfAnalysis, SummarizeAggregates)
+{
+    ManagementResult a, b;
+    a.relative.edp_ratio = 0.8;
+    a.relative.bips_ratio = 0.95;
+    a.relative.power_ratio = 0.7;
+    b.relative.edp_ratio = 0.6;
+    b.relative.bips_ratio = 0.90;
+    b.relative.power_ratio = 0.5;
+    const SuiteSummary s = summarize({a, b});
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_NEAR(s.avg_edp_improvement, 0.3, 1e-12);
+    EXPECT_NEAR(s.max_edp_improvement, 0.4, 1e-12);
+    EXPECT_NEAR(s.avg_perf_degradation, 0.075, 1e-12);
+    EXPECT_NEAR(s.avg_power_savings, 0.4, 1e-12);
+    EXPECT_FAILURE(summarize({}));
+}
+
+TEST(Report, TableSortedByEdpRatio)
+{
+    ManagementResult a, b;
+    a.workload = "better";
+    a.relative.edp_ratio = 0.5;
+    a.relative.bips_ratio = 0.9;
+    a.relative.power_ratio = 0.5;
+    b.workload = "worse";
+    b.relative.edp_ratio = 0.9;
+    b.relative.bips_ratio = 0.99;
+    b.relative.power_ratio = 0.9;
+    TableWriter table = managementTable({a, b});
+    std::ostringstream os;
+    table.printCsv(os);
+    const std::string out = os.str();
+    // Decreasing EDP ratio order: "worse" (0.9) first.
+    EXPECT_LT(out.find("worse"), out.find("better"));
+}
+
+TEST(Report, HeadersAndComparisons)
+{
+    std::ostringstream os;
+    printExperimentHeader(os, "Figure 4", "prediction accuracies");
+    printComparison(os, "applu accuracy", "~92%", "93.1%");
+    SuiteSummary s;
+    s.count = 3;
+    s.avg_edp_improvement = 0.27;
+    printSuiteSummary(os, "Q2-Q4", s);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Figure 4"), std::string::npos);
+    EXPECT_NE(out.find("paper-vs-measured"), std::string::npos);
+    EXPECT_NE(out.find("Q2-Q4"), std::string::npos);
+    EXPECT_NE(out.find("27.0%"), std::string::npos);
+}
+
+} // namespace
+} // namespace livephase

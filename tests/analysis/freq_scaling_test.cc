@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for cross-frequency performance prediction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/freq_scaling.hh"
+#include "cpu/dvfs_table.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+Interval
+interval(double m, double ipc, double block = 1.0)
+{
+    Interval ivl;
+    ivl.uops = 100e6;
+    ivl.mem_per_uop = m;
+    ivl.core_ipc = ipc;
+    ivl.mem_block_factor = block;
+    return ivl;
+}
+
+TEST(FreqScaling, GroundTruthModelMatchesTimingModel)
+{
+    const TimingModel timing;
+    const Interval ivl = interval(0.02, 1.1, 0.8);
+    const FrequencyScalingModel model = scalingModelOf(timing, ivl);
+    for (const auto &op : DvfsTable::pentiumM().points()) {
+        EXPECT_NEAR(model.upcAt(op.freqHz()),
+                    timing.upc(ivl, op.freqHz()), 1e-12);
+        EXPECT_NEAR(model.slowdown(op.freqHz(), 1.5e9),
+                    timing.slowdown(ivl, op.freqHz(), 1.5e9), 1e-12);
+    }
+}
+
+TEST(FreqScaling, TwoPointCalibrationRecoversExactModel)
+{
+    const TimingModel timing;
+    const Interval ivl = interval(0.03, 0.9);
+    const double upc_hi = timing.upc(ivl, 1.5e9);
+    const double upc_lo = timing.upc(ivl, 0.6e9);
+    const FrequencyScalingModel model =
+        calibrateFromTwoPoints(upc_hi, 1.5e9, upc_lo, 0.6e9);
+    // Predict at frequencies *not* used for calibration.
+    for (double f : {1.4e9, 1.2e9, 1.0e9, 0.8e9}) {
+        EXPECT_NEAR(model.upcAt(f), timing.upc(ivl, f), 1e-9)
+            << f / 1e6 << " MHz";
+    }
+    EXPECT_NEAR(model.compute_cycles_per_uop, 1.0 / 0.9, 1e-9);
+}
+
+TEST(FreqScaling, OnePointCalibrationWithKnownLatency)
+{
+    const TimingModel timing;
+    const Interval ivl = interval(0.025, 1.2, 1.0);
+    const double upc = timing.upc(ivl, 1.5e9);
+    const FrequencyScalingModel model = calibrateFromOnePoint(
+        upc, 0.025, 1.5e9, timing.params().mem_latency_ns);
+    for (double f : {1.0e9, 0.6e9})
+        EXPECT_NEAR(model.upcAt(f), timing.upc(ivl, f), 1e-9);
+}
+
+TEST(FreqScaling, CpuBoundRegionScalesWithFrequencyRatio)
+{
+    FrequencyScalingModel model;
+    model.compute_cycles_per_uop = 1.0;
+    model.stall_seconds_per_uop = 0.0;
+    EXPECT_NEAR(model.slowdown(0.6e9, 1.5e9), 2.5, 1e-12);
+    EXPECT_NEAR(model.upcAt(0.6e9), model.upcAt(1.5e9), 1e-12);
+}
+
+TEST(FreqScaling, MemoryDominatedRegionIsFrequencyInsensitive)
+{
+    FrequencyScalingModel model;
+    model.compute_cycles_per_uop = 0.05;
+    model.stall_seconds_per_uop = 10e-9;
+    // Time(f) = A/f + S: almost all time is S.
+    EXPECT_LT(model.slowdown(0.6e9, 1.5e9), 1.01);
+}
+
+TEST(FreqScaling, MinFrequencyForSlowdownIsTight)
+{
+    const TimingModel timing;
+    const Interval ivl = interval(0.015, 1.0);
+    const FrequencyScalingModel model = scalingModelOf(timing, ivl);
+    const double f_min = model.minFrequencyForSlowdown(0.05, 1.5e9);
+    EXPECT_GT(f_min, 0.0);
+    EXPECT_LT(f_min, 1.5e9);
+    // Exactly at the bound at f_min, over it slightly below.
+    EXPECT_NEAR(model.slowdown(f_min, 1.5e9), 1.05, 1e-9);
+    EXPECT_GT(model.slowdown(f_min * 0.95, 1.5e9), 1.05);
+}
+
+TEST(FreqScaling, MinFrequencyEdgeCases)
+{
+    FrequencyScalingModel pure_mem;
+    pure_mem.compute_cycles_per_uop = 0.0;
+    pure_mem.stall_seconds_per_uop = 10e-9;
+    EXPECT_DOUBLE_EQ(pure_mem.minFrequencyForSlowdown(0.05, 1.5e9),
+                     0.0);
+
+    FrequencyScalingModel pure_cpu;
+    pure_cpu.compute_cycles_per_uop = 1.0;
+    pure_cpu.stall_seconds_per_uop = 0.0;
+    // f_min = f_ref / (1 + d).
+    EXPECT_NEAR(pure_cpu.minFrequencyForSlowdown(0.25, 1.5e9),
+                1.2e9, 1.0);
+    EXPECT_DOUBLE_EQ(pure_cpu.minFrequencyForSlowdown(0.0, 1.5e9),
+                     1.5e9);
+}
+
+TEST(FreqScaling, NoisyCalibrationClampsToPhysicalDomain)
+{
+    // Noise can make UPC at low frequency *slightly lower* than at
+    // high frequency, implying negative stall; the model must clamp
+    // instead of predicting nonsense.
+    const FrequencyScalingModel model =
+        calibrateFromTwoPoints(1.00, 1.5e9, 0.99, 0.6e9);
+    EXPECT_GE(model.stall_seconds_per_uop, 0.0);
+    EXPECT_GE(model.compute_cycles_per_uop, 0.0);
+    EXPECT_GT(model.upcAt(1.0e9), 0.0);
+}
+
+TEST(FreqScaling, CalibrationRejectsDegenerateInput)
+{
+    EXPECT_FAILURE(calibrateFromTwoPoints(0.0, 1.5e9, 1.0, 0.6e9));
+    EXPECT_FAILURE(calibrateFromTwoPoints(1.0, 1.5e9, 1.0, 1.5e9));
+    EXPECT_FAILURE(calibrateFromOnePoint(0.0, 0.01, 1.5e9, 110.0));
+    EXPECT_FAILURE(calibrateFromOnePoint(1.0, -0.01, 1.5e9, 110.0));
+    EXPECT_FAILURE(calibrateFromOnePoint(1.0, 0.01, 0.0, 110.0));
+    FrequencyScalingModel model;
+    model.compute_cycles_per_uop = 1.0;
+    EXPECT_FAILURE(model.cyclesPerUop(0.0));
+}
+
+/**
+ * Property sweep across the behaviour grid: two-point calibration
+ * from the extreme frequencies predicts every intermediate
+ * operating point to within numerical precision.
+ */
+class CalibrationSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(CalibrationSweep, InterpolatesAllOperatingPoints)
+{
+    const auto [m, ipc] = GetParam();
+    const TimingModel timing;
+    const Interval ivl = interval(m, ipc, 0.9);
+    const FrequencyScalingModel model = calibrateFromTwoPoints(
+        timing.upc(ivl, 1.5e9), 1.5e9, timing.upc(ivl, 0.6e9),
+        0.6e9);
+    for (const auto &op : DvfsTable::pentiumM().points()) {
+        EXPECT_NEAR(model.upcAt(op.freqHz()),
+                    timing.upc(ivl, op.freqHz()),
+                    1e-9 + timing.upc(ivl, op.freqHz()) * 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BehaviorGrid, CalibrationSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.005, 0.02, 0.0475,
+                                         0.11),
+                       ::testing::Values(0.4, 1.0, 1.8)));
+
+} // namespace
+} // namespace livephase

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for command-line parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+CliArgs
+parse(std::initializer_list<const char *> argv)
+{
+    std::vector<const char *> v(argv);
+    return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(CliArgs, EqualsSyntax)
+{
+    CliArgs args = parse({"prog", "--seed=42", "--name=applu"});
+    EXPECT_EQ(args.getInt("seed", 0), 42);
+    EXPECT_EQ(args.getString("name", ""), "applu");
+}
+
+TEST(CliArgs, SpaceSyntax)
+{
+    CliArgs args = parse({"prog", "--samples", "600"});
+    EXPECT_EQ(args.getInt("samples", 0), 600);
+}
+
+TEST(CliArgs, BareFlagIsBooleanTrue)
+{
+    CliArgs args = parse({"prog", "--csv"});
+    EXPECT_TRUE(args.getBool("csv"));
+    EXPECT_TRUE(args.has("csv"));
+    EXPECT_FALSE(args.getBool("other"));
+}
+
+TEST(CliArgs, ExplicitFalse)
+{
+    CliArgs args = parse({"prog", "--csv=false", "--daq=0"});
+    EXPECT_FALSE(args.getBool("csv", true));
+    EXPECT_FALSE(args.getBool("daq", true));
+}
+
+TEST(CliArgs, PositionalArguments)
+{
+    CliArgs args = parse({"prog", "applu_in", "--seed=1", "equake_in"});
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "applu_in");
+    EXPECT_EQ(args.positional()[1], "equake_in");
+    EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(CliArgs, DoubleValues)
+{
+    CliArgs args = parse({"prog", "--bound=0.05"});
+    EXPECT_DOUBLE_EQ(args.getDouble("bound", 0.0), 0.05);
+    EXPECT_DOUBLE_EQ(args.getDouble("missing", 1.5), 1.5);
+}
+
+TEST(CliArgs, FallbacksWhenAbsent)
+{
+    CliArgs args = parse({"prog"});
+    EXPECT_EQ(args.getInt("n", 7), 7);
+    EXPECT_EQ(args.getString("s", "dflt"), "dflt");
+    EXPECT_FALSE(args.has("anything"));
+}
+
+TEST(CliArgs, GarbageIntegerIsFatal)
+{
+    CliArgs args = parse({"prog", "--n=abc"});
+    EXPECT_FAILURE(args.getInt("n", 0));
+}
+
+TEST(CliArgs, GarbageDoubleIsFatal)
+{
+    CliArgs args = parse({"prog", "--x=12.5zzz"});
+    EXPECT_FAILURE(args.getDouble("x", 0.0));
+}
+
+TEST(CliArgs, FlagFollowedByFlagIsBoolean)
+{
+    CliArgs args = parse({"prog", "--csv", "--seed=9"});
+    EXPECT_TRUE(args.getBool("csv"));
+    EXPECT_EQ(args.getInt("seed", 0), 9);
+}
+
+} // namespace
+} // namespace livephase

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/random.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng rng(0);
+    // Must not get stuck: consecutive outputs differ.
+    uint64_t first = rng.next();
+    uint64_t second = rng.next();
+    EXPECT_NE(first, second);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds)
+{
+    Rng rng(17);
+    EXPECT_FAILURE(rng.uniform(2.0, 1.0));
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(19);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.uniformInt(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u); // all of 3..7 observed
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(23);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.uniformInt(42, 42), 42);
+}
+
+TEST(Rng, UniformIntRejectsInvertedBounds)
+{
+    Rng rng(29);
+    EXPECT_FAILURE(rng.uniformInt(5, 4));
+}
+
+TEST(Rng, GaussianMomentsMatch)
+{
+    Rng rng(31);
+    const int n = 200000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(37);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(41);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-0.5));
+        EXPECT_TRUE(rng.chance(1.5));
+    }
+}
+
+TEST(Rng, ChanceFrequencyMatchesProbability)
+{
+    Rng rng(43);
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        if (rng.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreIndependentButDeterministic)
+{
+    Rng parent(99);
+    Rng child_a = parent.split(1);
+    Rng child_b = parent.split(2);
+    Rng child_a2 = parent.split(1);
+
+    // Same index -> identical stream.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(child_a.next(), child_a2.next());
+    // Different index -> different stream.
+    Rng fresh_a = parent.split(1);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (fresh_a.next() == child_b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+/** Property sweep: every seed produces in-range uniforms and a
+ *  reproducible stream. */
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(RngSeedSweep, DeterministicAndInRange)
+{
+    const uint64_t seed = GetParam();
+    Rng a(seed), b(seed);
+    for (int i = 0; i < 200; ++i) {
+        const double u = a.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        EXPECT_EQ(b.next() >> 11,
+                  static_cast<uint64_t>(std::ldexp(u, 53)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 2ULL, 42ULL,
+                                           12345ULL, 0xdeadbeefULL,
+                                           UINT64_MAX));
+
+} // namespace
+} // namespace livephase

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the statistics toolkit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+TEST(RunningStats, BasicMoments)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138089935, 1e-6); // sample stddev
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyAccessorsPanic)
+{
+    RunningStats s;
+    EXPECT_FAILURE(s.mean());
+    EXPECT_FAILURE(s.min());
+    EXPECT_FAILURE(s.max());
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, WeightedMean)
+{
+    RunningStats s;
+    s.addWeighted(1.0, 1.0);
+    s.addWeighted(10.0, 3.0);
+    EXPECT_NEAR(s.mean(), (1.0 + 30.0) / 4.0, 1e-12);
+    EXPECT_NEAR(s.totalWeight(), 4.0, 1e-12);
+}
+
+TEST(RunningStats, RejectsNonPositiveWeight)
+{
+    RunningStats s;
+    EXPECT_FAILURE(s.addWeighted(1.0, 0.0));
+    EXPECT_FAILURE(s.addWeighted(1.0, -2.0));
+}
+
+TEST(RunningStats, MergeMatchesBulk)
+{
+    Rng rng(5);
+    RunningStats all, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.gaussian(3.0, 2.0);
+        all.add(v);
+        (i < 400 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b); // no-op
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a); // copies
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, ResetClearsState)
+{
+    RunningStats s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_FAILURE(s.mean());
+}
+
+TEST(RunningStats, StableOverManySamples)
+{
+    RunningStats s;
+    // Large offset exposes naive sum-of-squares cancellation.
+    for (int i = 0; i < 100000; ++i)
+        s.add(1e9 + (i % 2 == 0 ? 1.0 : -1.0));
+    EXPECT_NEAR(s.mean(), 1e9, 1e-3);
+    EXPECT_NEAR(s.variance(), 1.0, 1e-4);
+}
+
+TEST(Percentile, MedianAndExtremes)
+{
+    std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+}
+
+TEST(Percentile, Interpolates)
+{
+    std::vector<double> v{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(Percentile, SingleElement)
+{
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(Percentile, RejectsBadInput)
+{
+    EXPECT_FAILURE(percentile({}, 50.0));
+    EXPECT_FAILURE(percentile({1.0}, -1.0));
+    EXPECT_FAILURE(percentile({1.0}, 101.0));
+}
+
+TEST(Means, ArithmeticAndGeometric)
+{
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0, 6.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 8.0}), std::sqrt(8.0), 1e-12);
+    EXPECT_FAILURE(mean({}));
+    EXPECT_FAILURE(geomean({}));
+    EXPECT_FAILURE(geomean({1.0, 0.0}));
+    EXPECT_FAILURE(geomean({1.0, -2.0}));
+}
+
+TEST(PowerPerf, DerivedMetrics)
+{
+    PowerPerf p{2e9, 2.0, 20.0}; // 2e9 inst, 2 s, 20 J
+    EXPECT_DOUBLE_EQ(p.bips(), 1.0);
+    EXPECT_DOUBLE_EQ(p.watts(), 10.0);
+    EXPECT_DOUBLE_EQ(p.edp(), 40.0);
+    EXPECT_DOUBLE_EQ(p.ed2p(), 80.0);
+}
+
+TEST(PowerPerf, AccumulationAddsComponents)
+{
+    PowerPerf a{1e9, 1.0, 5.0};
+    PowerPerf b{3e9, 2.0, 10.0};
+    a += b;
+    EXPECT_DOUBLE_EQ(a.instructions, 4e9);
+    EXPECT_DOUBLE_EQ(a.seconds, 3.0);
+    EXPECT_DOUBLE_EQ(a.joules, 15.0);
+}
+
+TEST(PowerPerf, ZeroTimePanics)
+{
+    PowerPerf p{1e9, 0.0, 5.0};
+    EXPECT_FAILURE(p.bips());
+    EXPECT_FAILURE(p.watts());
+}
+
+TEST(RelativeMetrics, ManagedVsBaseline)
+{
+    PowerPerf baseline{1e9, 1.0, 10.0};  // 1 BIPS, 10 W
+    PowerPerf managed{1e9, 1.25, 6.25};  // 0.8 BIPS, 5 W
+    RelativeMetrics rel = relativeTo(managed, baseline);
+    EXPECT_NEAR(rel.bips_ratio, 0.8, 1e-12);
+    EXPECT_NEAR(rel.power_ratio, 0.5, 1e-12);
+    EXPECT_NEAR(rel.energy_ratio, 0.625, 1e-12);
+    EXPECT_NEAR(rel.edp_ratio, 0.625 * 1.25, 1e-12);
+    EXPECT_NEAR(rel.perfDegradation(), 0.2, 1e-12);
+    EXPECT_NEAR(rel.powerSavings(), 0.5, 1e-12);
+    EXPECT_NEAR(rel.energySavings(), 0.375, 1e-12);
+    EXPECT_NEAR(rel.edpImprovement(), 1.0 - 0.78125, 1e-12);
+}
+
+TEST(RelativeMetrics, IdenticalRunsAreNeutral)
+{
+    PowerPerf run{5e9, 3.0, 30.0};
+    RelativeMetrics rel = relativeTo(run, run);
+    EXPECT_DOUBLE_EQ(rel.bips_ratio, 1.0);
+    EXPECT_DOUBLE_EQ(rel.edp_ratio, 1.0);
+    EXPECT_DOUBLE_EQ(rel.edpImprovement(), 0.0);
+}
+
+TEST(RelativeMetrics, DegenerateBaselinePanics)
+{
+    PowerPerf good{1e9, 1.0, 10.0};
+    PowerPerf bad{1e9, 0.0, 0.0};
+    EXPECT_FAILURE(relativeTo(good, bad));
+}
+
+} // namespace
+} // namespace livephase

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for table/CSV rendering and the logging helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table_writer.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+TEST(TableWriter, AlignedOutputContainsAllCells)
+{
+    TableWriter t({"bench", "acc"});
+    t.addRow({"applu_in", "92.3"});
+    t.addRow({"gzip_log", "99.1"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("bench"), std::string::npos);
+    EXPECT_NE(out.find("applu_in"), std::string::npos);
+    EXPECT_NE(out.find("99.1"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TableWriter, CsvEscapesSpecialCells)
+{
+    TableWriter t({"name", "note"});
+    t.addRow({"a,b", "say \"hi\""});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TableWriter, DoubleRowFormatsWithPrecision)
+{
+    TableWriter t({"name", "x", "y"});
+    t.addRow("point", {1.23456, 2.0}, 2);
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "name,x,y\npoint,1.23,2.00\n");
+}
+
+TEST(TableWriter, RowArityMismatchPanics)
+{
+    TableWriter t({"a", "b"});
+    EXPECT_FAILURE(t.addRow({"only-one"}));
+}
+
+TEST(TableWriter, EmptyHeaderRejected)
+{
+    EXPECT_FAILURE(TableWriter({}));
+}
+
+TEST(TableWriter, RowCountTracksAdds)
+{
+    TableWriter t({"a"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"x"});
+    t.addRow({"y"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Format, DoubleAndPercent)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(-1.0, 0), "-1");
+    EXPECT_EQ(formatPercent(0.345), "34.5%");
+    EXPECT_EQ(formatPercent(1.0, 0), "100%");
+}
+
+TEST(Banner, ContainsTitle)
+{
+    std::ostringstream os;
+    printBanner(os, "Phase Prediction");
+    EXPECT_NE(os.str().find("Phase Prediction"), std::string::npos);
+}
+
+TEST(Logging, LevelsGateWarnAndInform)
+{
+    // Exercise the setters; output goes to stderr and is not
+    // asserted on, but the calls must be safe at every level.
+    setLogLevel(LogLevel::Quiet);
+    warn("suppressed warning %d", 1);
+    inform("suppressed info");
+    setLogLevel(LogLevel::Verbose);
+    EXPECT_EQ(logLevel(), LogLevel::Verbose);
+    inform("visible info %s", "x");
+    setLogLevel(LogLevel::Normal);
+    EXPECT_EQ(logLevel(), LogLevel::Normal);
+}
+
+TEST(Logging, FatalAndPanicAreCatchableUnderHook)
+{
+    test::ScopedFailureCapture capture;
+    try {
+        fatal("user did %s", "bad thing");
+        FAIL() << "fatal returned";
+    } catch (const test::Failure &f) {
+        EXPECT_FALSE(f.isPanic());
+        EXPECT_STREQ(f.what(), "user did bad thing");
+    }
+    try {
+        panic("invariant %d broken", 7);
+        FAIL() << "panic returned";
+    } catch (const test::Failure &f) {
+        EXPECT_TRUE(f.isPanic());
+        EXPECT_STREQ(f.what(), "invariant 7 broken");
+    }
+}
+
+} // namespace
+} // namespace livephase

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for phase->DVFS policies, including the Section 6.3
+ * bounded-degradation derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dvfs_policy.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+TEST(DvfsPolicy, Table2IsIdentityMapping)
+{
+    const PhaseClassifier classifier = PhaseClassifier::table1();
+    const DvfsTable table = DvfsTable::pentiumM();
+    const DvfsPolicy policy = DvfsPolicy::table2(classifier, table);
+    EXPECT_EQ(policy.numPhases(), 6);
+    for (PhaseId phase = 1; phase <= 6; ++phase)
+        EXPECT_EQ(policy.settingForPhase(phase),
+                  static_cast<size_t>(phase - 1));
+}
+
+TEST(DvfsPolicy, Table2RequiresMatchingSizes)
+{
+    PhaseClassifier three_phases({0.01, 0.02});
+    EXPECT_FAILURE(
+        DvfsPolicy::table2(three_phases, DvfsTable::pentiumM()));
+}
+
+TEST(DvfsPolicy, AlwaysFastestMapsEverythingToZero)
+{
+    const DvfsPolicy policy = DvfsPolicy::alwaysFastest(6);
+    for (PhaseId phase = 1; phase <= 6; ++phase)
+        EXPECT_EQ(policy.settingForPhase(phase), 0u);
+}
+
+TEST(DvfsPolicy, RejectsBadMappings)
+{
+    EXPECT_FAILURE(DvfsPolicy("bad", {}, 6));
+    EXPECT_FAILURE(DvfsPolicy("bad", {0, 7}, 6)); // index out of range
+    EXPECT_FAILURE(DvfsPolicy::alwaysFastest(0));
+}
+
+TEST(DvfsPolicy, OutOfRangePhasePanics)
+{
+    const DvfsPolicy policy = DvfsPolicy::alwaysFastest(6);
+    EXPECT_FAILURE(policy.settingForPhase(0));
+    EXPECT_FAILURE(policy.settingForPhase(7));
+}
+
+TEST(BoundedDvfs, DerivationMeetsTheBoundNumerically)
+{
+    // Cross-check the closed form against TimingModel::slowdown: at
+    // each derived boundary, the slower setting must meet the bound
+    // (within rounding) and clearly violate it a little below the
+    // boundary.
+    const TimingModel timing;
+    const DvfsTable table = DvfsTable::pentiumM();
+    const double bound = 0.05;
+    const BoundedDvfsConfig cfg =
+        deriveBoundedDvfs(timing, table, bound, 1.0, 1.0);
+
+    const auto &boundaries = cfg.classifier.boundaries();
+    ASSERT_EQ(boundaries.size(), table.size() - 1);
+    const double f_max = table.fastest().freqHz();
+    for (size_t i = 0; i < boundaries.size(); ++i) {
+        const double f = table.at(i + 1).freqHz();
+        Interval at_boundary;
+        at_boundary.uops = 100e6;
+        at_boundary.core_ipc = 1.0;
+        at_boundary.mem_block_factor = 1.0;
+        at_boundary.mem_per_uop = boundaries[i];
+        EXPECT_LE(timing.slowdown(at_boundary, f, f_max),
+                  1.0 + bound + 1e-6)
+            << "setting " << i + 1;
+
+        Interval below = at_boundary;
+        below.mem_per_uop =
+            std::max(boundaries[i] - 0.002, boundaries[i] * 0.5);
+        if (below.mem_per_uop < boundaries[i]) {
+            EXPECT_GE(timing.slowdown(below, f, f_max),
+                      timing.slowdown(at_boundary, f, f_max) - 1e-9);
+        }
+    }
+}
+
+TEST(BoundedDvfs, BoundariesAreConservativeVsTable1)
+{
+    // A 5% bound demands much more memory-boundedness before slowing
+    // down than the aggressive Table 1 definitions.
+    const TimingModel timing;
+    const BoundedDvfsConfig cfg = deriveBoundedDvfs(
+        timing, DvfsTable::pentiumM(), 0.05, 1.0, 1.0);
+    const PhaseClassifier table1 = PhaseClassifier::table1();
+    const auto &aggressive = table1.boundaries();
+    const auto &conservative = cfg.classifier.boundaries();
+    ASSERT_EQ(aggressive.size(), conservative.size());
+    // The first boundary (1500 vs 1400 MHz) is an exception: a 5%
+    // bound nearly tolerates the 7.1% frequency step outright, so
+    // its threshold may fall below the aggressive one. From the
+    // 1200 MHz setting down, the conservative thresholds demand far
+    // more memory-boundedness.
+    for (size_t i = 1; i < aggressive.size(); ++i)
+        EXPECT_GT(conservative[i], aggressive[i]) << "boundary " << i;
+}
+
+TEST(BoundedDvfs, LooserBoundGivesLowerBoundaries)
+{
+    const TimingModel timing;
+    const DvfsTable table = DvfsTable::pentiumM();
+    const BoundedDvfsConfig tight =
+        deriveBoundedDvfs(timing, table, 0.02);
+    const BoundedDvfsConfig loose =
+        deriveBoundedDvfs(timing, table, 0.20);
+    for (size_t i = 0; i < tight.classifier.boundaries().size(); ++i)
+        EXPECT_LT(loose.classifier.boundaries()[i],
+                  tight.classifier.boundaries()[i]);
+}
+
+TEST(BoundedDvfs, PolicyIsIdentityOverDerivedPhases)
+{
+    const TimingModel timing;
+    const BoundedDvfsConfig cfg = deriveBoundedDvfs(
+        timing, DvfsTable::pentiumM(), 0.05);
+    EXPECT_EQ(cfg.policy.numPhases(), 6);
+    for (PhaseId phase = 1; phase <= 6; ++phase)
+        EXPECT_EQ(cfg.policy.settingForPhase(phase),
+                  static_cast<size_t>(phase - 1));
+}
+
+TEST(BoundedDvfs, InvalidArgumentsAreFatal)
+{
+    const TimingModel timing;
+    const DvfsTable table = DvfsTable::pentiumM();
+    EXPECT_FAILURE(deriveBoundedDvfs(timing, table, 0.0));
+    EXPECT_FAILURE(deriveBoundedDvfs(timing, table, 1.0));
+    EXPECT_FAILURE(deriveBoundedDvfs(timing, table, 0.05, 0.0));
+    EXPECT_FAILURE(deriveBoundedDvfs(timing, table, 0.05, 1.0, 0.0));
+    EXPECT_FAILURE(deriveBoundedDvfs(timing, table, 0.05, 1.0, 1.5));
+}
+
+/** Property: for any bound in (0,1), boundaries strictly increase. */
+class BoundSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BoundSweep, BoundariesStrictlyIncreasing)
+{
+    const TimingModel timing;
+    const BoundedDvfsConfig cfg = deriveBoundedDvfs(
+        timing, DvfsTable::pentiumM(), GetParam());
+    const auto &b = cfg.classifier.boundaries();
+    for (size_t i = 1; i < b.size(); ++i)
+        EXPECT_GT(b[i], b[i - 1]);
+    EXPECT_GT(b.front(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, BoundSweep,
+                         ::testing::Values(0.01, 0.02, 0.05, 0.10,
+                                           0.25, 0.5, 0.9));
+
+} // namespace
+} // namespace livephase

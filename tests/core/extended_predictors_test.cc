@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Tests for the extended predictor roster: Markov transition-table,
+ * run-length (duration-aware), and confidence-gated predictors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+#include "core/confidence_predictor.hh"
+#include "core/gpht_predictor.hh"
+#include "core/last_value_predictor.hh"
+#include "core/markov_predictor.hh"
+#include "core/run_length_predictor.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+void
+feed(PhasePredictor &p, const std::vector<PhaseId> &seq)
+{
+    for (PhaseId phase : seq)
+        p.observePhase(phase);
+}
+
+std::pair<int, int>
+score(PhasePredictor &p, const std::vector<PhaseId> &seq)
+{
+    p.reset();
+    int correct = 0, scored = 0;
+    PhaseId pending = INVALID_PHASE;
+    for (PhaseId actual : seq) {
+        if (pending != INVALID_PHASE) {
+            ++scored;
+            if (pending == actual)
+                ++correct;
+        }
+        p.observePhase(actual);
+        pending = p.predict();
+    }
+    return {correct, scored};
+}
+
+std::vector<PhaseId>
+repeatPattern(const std::vector<PhaseId> &period, size_t times)
+{
+    std::vector<PhaseId> seq;
+    for (size_t i = 0; i < times; ++i)
+        seq.insert(seq.end(), period.begin(), period.end());
+    return seq;
+}
+
+// ---------------------------------------------------------------
+// MarkovPredictor
+// ---------------------------------------------------------------
+
+TEST(Markov, ColdStateIsInvalid)
+{
+    MarkovPredictor p;
+    EXPECT_EQ(p.predict(), INVALID_PHASE);
+    p.observePhase(3);
+    // No transition seen yet: falls back to last value.
+    EXPECT_EQ(p.predict(), 3);
+}
+
+TEST(Markov, LearnsDominantTransitions)
+{
+    MarkovPredictor p;
+    // 1 -> 2 -> 1 -> 2 ... strict alternation.
+    feed(p, repeatPattern({1, 2}, 20));
+    p.observePhase(1);
+    EXPECT_EQ(p.predict(), 2);
+    p.observePhase(2);
+    EXPECT_EQ(p.predict(), 1);
+}
+
+TEST(Markov, TransitionCountsAccumulate)
+{
+    MarkovPredictor p;
+    feed(p, {1, 2, 1, 2, 1, 1});
+    EXPECT_EQ(p.transitionCount(1, 2), 2u);
+    EXPECT_EQ(p.transitionCount(2, 1), 2u);
+    EXPECT_EQ(p.transitionCount(1, 1), 1u);
+    EXPECT_EQ(p.transitionCount(2, 2), 0u);
+}
+
+TEST(Markov, TiesPreferStaying)
+{
+    MarkovPredictor p;
+    // From 1: once to 2, once to 1 — tie resolves to "stay".
+    feed(p, {1, 2, 1, 1});
+    EXPECT_EQ(p.transitionCount(1, 2), 1u);
+    EXPECT_EQ(p.transitionCount(1, 1), 1u);
+    EXPECT_EQ(p.predict(), 1);
+}
+
+TEST(Markov, PerfectOnAlternationWhereLastValueFails)
+{
+    MarkovPredictor markov;
+    LastValuePredictor lv;
+    const auto seq = repeatPattern({1, 6}, 100);
+    auto [m_correct, m_scored] = score(markov, seq);
+    auto [l_correct, l_scored] = score(lv, seq);
+    EXPECT_GT(m_correct, m_scored - 5);
+    EXPECT_EQ(l_correct, 0);
+    (void)l_scored;
+}
+
+TEST(Markov, CannotDisambiguateContexts)
+{
+    // 1,1,2,1,1,3: from phase 1 the successor depends on history
+    // (1 vs 2 vs 3) which a first-order table cannot represent; the
+    // GPHT can.
+    MarkovPredictor markov;
+    GphtPredictor gpht(8, 64);
+    const auto seq = repeatPattern({1, 1, 2, 1, 1, 3}, 60);
+    auto [m_correct, m_scored] = score(markov, seq);
+    auto [g_correct, g_scored] = score(gpht, seq);
+    EXPECT_LT(double(m_correct) / m_scored, 0.75);
+    EXPECT_GT(double(g_correct) / g_scored, 0.9);
+}
+
+TEST(Markov, DecayHalvesCounts)
+{
+    MarkovPredictor p(10); // decay every 10 observations
+    feed(p, repeatPattern({1, 2}, 5)); // exactly 10 observations
+    // 1->2 seen 5 times, halved once at observation 10.
+    EXPECT_EQ(p.transitionCount(1, 2), 2u);
+}
+
+TEST(Markov, ResetAndName)
+{
+    MarkovPredictor p(100);
+    feed(p, {1, 2, 3});
+    p.reset();
+    EXPECT_EQ(p.predict(), INVALID_PHASE);
+    EXPECT_EQ(p.transitionCount(1, 2), 0u);
+    EXPECT_EQ(p.name(), "Markov_decay100");
+    EXPECT_EQ(MarkovPredictor().name(), "Markov");
+}
+
+// ---------------------------------------------------------------
+// RunLengthPredictor
+// ---------------------------------------------------------------
+
+TEST(RunLength, LearnsDurationsAndSuccessors)
+{
+    RunLengthPredictor p(1.0); // no smoothing: track exactly
+    // Phase 1 runs of length 3 followed by phase 5 runs of 2.
+    feed(p, repeatPattern({1, 1, 1, 5, 5}, 10));
+    EXPECT_NEAR(p.expectedRunLength(1), 3.0, 1e-9);
+    EXPECT_NEAR(p.expectedRunLength(5), 2.0, 1e-9);
+}
+
+TEST(RunLength, PredictsStayUntilLearnedBoundary)
+{
+    RunLengthPredictor p(1.0);
+    feed(p, repeatPattern({1, 1, 1, 5, 5}, 10));
+    // Start of a new phase-1 run.
+    p.observePhase(1);
+    EXPECT_EQ(p.currentRunLength(), 1u);
+    EXPECT_EQ(p.predict(), 1); // 1 < 3: stay
+    p.observePhase(1);
+    EXPECT_EQ(p.predict(), 1); // 2 < 3: stay... boundary near
+    p.observePhase(1);
+    EXPECT_EQ(p.predict(), 5); // reached learned duration: switch
+}
+
+TEST(RunLength, BeatsLastValueOnPeriodicRuns)
+{
+    RunLengthPredictor rl;
+    LastValuePredictor lv;
+    const auto seq = repeatPattern({2, 2, 2, 2, 6, 6, 6}, 50);
+    auto [r_correct, r_scored] = score(rl, seq);
+    auto [l_correct, l_scored] = score(lv, seq);
+    EXPECT_GT(double(r_correct) / r_scored,
+              double(l_correct) / l_scored + 0.15);
+}
+
+TEST(RunLength, UnseenPhaseAssumedPersistent)
+{
+    RunLengthPredictor p;
+    p.observePhase(4);
+    EXPECT_EQ(p.predict(), 4);
+    p.observePhase(4);
+    EXPECT_EQ(p.predict(), 4);
+}
+
+TEST(RunLength, ResetNameAndValidation)
+{
+    RunLengthPredictor p(0.5);
+    p.observePhase(1);
+    p.observePhase(2);
+    p.reset();
+    EXPECT_EQ(p.predict(), INVALID_PHASE);
+    EXPECT_EQ(p.currentRunLength(), 0u);
+    EXPECT_DOUBLE_EQ(p.expectedRunLength(1), 0.0);
+    EXPECT_EQ(p.name(), "RunLength_0.50");
+    EXPECT_FAILURE(RunLengthPredictor(0.0));
+    EXPECT_FAILURE(RunLengthPredictor(1.5));
+}
+
+// ---------------------------------------------------------------
+// ConfidenceGatedPredictor
+// ---------------------------------------------------------------
+
+TEST(Confidence, StartsUntrustingAndFallsBackToLastValue)
+{
+    ConfidenceGatedPredictor p(
+        std::make_unique<GphtPredictor>(4, 16), 3, 2);
+    EXPECT_EQ(p.predict(), INVALID_PHASE);
+    p.observePhase(2);
+    EXPECT_FALSE(p.trusting());
+    EXPECT_EQ(p.predict(), 2); // last value while untrusted
+}
+
+TEST(Confidence, BuildsTrustOnCorrectInnerPredictions)
+{
+    ConfidenceGatedPredictor p(
+        std::make_unique<LastValuePredictor>(), 3, 2);
+    // Constant phase: inner (last value) is always right.
+    for (int i = 0; i < 5; ++i)
+        p.observePhase(4);
+    EXPECT_TRUE(p.trusting());
+    EXPECT_EQ(p.confidence(), 3); // saturated
+    EXPECT_EQ(p.predict(), 4);
+}
+
+TEST(Confidence, LosesTrustOnMispredictions)
+{
+    ConfidenceGatedPredictor p(
+        std::make_unique<LastValuePredictor>(), 3, 2);
+    for (int i = 0; i < 5; ++i)
+        p.observePhase(4);
+    EXPECT_TRUE(p.trusting());
+    // Random-looking phases: last-value inner mispredicts each time.
+    for (PhaseId phase : {1, 5, 2, 6, 3})
+        p.observePhase(phase);
+    EXPECT_FALSE(p.trusting());
+    EXPECT_EQ(p.confidence(), 0);
+}
+
+TEST(Confidence, GatedGphtStillLearnsPatterns)
+{
+    // On a learnable pattern the gate must end up trusting the GPHT
+    // and match its accuracy (minus a short warm-up).
+    ConfidenceGatedPredictor gated(
+        std::make_unique<GphtPredictor>(8, 64), 3, 2);
+    GphtPredictor bare(8, 64);
+    const auto seq = repeatPattern({1, 1, 4, 4, 1, 1, 5, 5}, 50);
+    auto [g_correct, g_scored] = score(gated, seq);
+    auto [b_correct, b_scored] = score(bare, seq);
+    ASSERT_EQ(g_scored, b_scored);
+    EXPECT_GE(g_correct, b_correct - 10);
+    EXPECT_TRUE(gated.trusting());
+}
+
+TEST(Confidence, GateReducesDamageOnNoise)
+{
+    // A miss-heavy inner predictor: GPHT depth 1 with large PHT on
+    // alternating-successor input systematically lags (see the GPHT
+    // sweep test); the gate must recover most of last-value's
+    // accuracy.
+    const auto seq = repeatPattern({1, 1, 2, 2}, 100);
+    GphtPredictor bare(1, 1024);
+    ConfidenceGatedPredictor gated(
+        std::make_unique<GphtPredictor>(1, 1024), 3, 3);
+    LastValuePredictor lv;
+    auto [bare_c, n1] = score(bare, seq);
+    auto [gated_c, n2] = score(gated, seq);
+    auto [lv_c, n3] = score(lv, seq);
+    ASSERT_EQ(n1, n2);
+    ASSERT_EQ(n2, n3);
+    EXPECT_GT(gated_c, bare_c);
+    EXPECT_GE(gated_c, lv_c - n3 / 10);
+}
+
+TEST(Confidence, ResetClearsTrustAndInner)
+{
+    ConfidenceGatedPredictor p(
+        std::make_unique<LastValuePredictor>(), 3, 2);
+    for (int i = 0; i < 5; ++i)
+        p.observePhase(4);
+    p.reset();
+    EXPECT_EQ(p.confidence(), 0);
+    EXPECT_EQ(p.predict(), INVALID_PHASE);
+}
+
+TEST(Confidence, NameAndValidation)
+{
+    ConfidenceGatedPredictor p(
+        std::make_unique<LastValuePredictor>(), 3, 2);
+    EXPECT_EQ(p.name(), "Conf2of3(LastValue)");
+    EXPECT_FAILURE(ConfidenceGatedPredictor(nullptr, 3, 2));
+    EXPECT_FAILURE(ConfidenceGatedPredictor(
+        std::make_unique<LastValuePredictor>(), 0, 1));
+    EXPECT_FAILURE(ConfidenceGatedPredictor(
+        std::make_unique<LastValuePredictor>(), 3, 4));
+    EXPECT_FAILURE(ConfidenceGatedPredictor(
+        std::make_unique<LastValuePredictor>(), 3, 0));
+}
+
+/**
+ * Property sweep: on every SPEC-like deterministic pattern, the
+ * gated GPHT's accuracy lies between last value's and the bare
+ * GPHT's plus a small tolerance.
+ */
+class ConfidenceSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ConfidenceSweep, GatedAccuracyBracketed)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()));
+    // Random periodic pattern of length 6-10 over phases 1..6.
+    std::vector<PhaseId> period;
+    const int len = static_cast<int>(rng.uniformInt(6, 10));
+    for (int i = 0; i < len; ++i)
+        period.push_back(static_cast<PhaseId>(rng.uniformInt(1, 6)));
+    const auto seq = repeatPattern(period, 80);
+
+    GphtPredictor bare(8, 128);
+    ConfidenceGatedPredictor gated(
+        std::make_unique<GphtPredictor>(8, 128), 3, 2);
+    LastValuePredictor lv;
+    auto [bare_c, n] = score(bare, seq);
+    auto [gated_c, n2] = score(gated, seq);
+    auto [lv_c, n3] = score(lv, seq);
+    ASSERT_EQ(n, n2);
+    ASSERT_EQ(n, n3);
+    EXPECT_GE(gated_c, std::min(bare_c, lv_c) - n / 20);
+    EXPECT_LE(gated_c, std::max(bare_c, lv_c) + n / 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, ConfidenceSweep,
+                         ::testing::Range(1, 11));
+
+} // namespace
+} // namespace livephase

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the set-associative GPHT variant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+#include "core/gpht_predictor.hh"
+#include "core/set_assoc_gpht_predictor.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+std::pair<int, int>
+score(PhasePredictor &p, const std::vector<PhaseId> &seq)
+{
+    p.reset();
+    int correct = 0, scored = 0;
+    PhaseId pending = INVALID_PHASE;
+    for (PhaseId actual : seq) {
+        if (pending != INVALID_PHASE) {
+            ++scored;
+            if (pending == actual)
+                ++correct;
+        }
+        p.observePhase(actual);
+        pending = p.predict();
+    }
+    return {correct, scored};
+}
+
+std::vector<PhaseId>
+repeatPattern(const std::vector<PhaseId> &period, size_t times)
+{
+    std::vector<PhaseId> seq;
+    for (size_t i = 0; i < times; ++i)
+        seq.insert(seq.end(), period.begin(), period.end());
+    return seq;
+}
+
+TEST(SetAssocGpht, GeometryAndName)
+{
+    SetAssocGphtPredictor p(8, 32, 4);
+    EXPECT_EQ(p.capacity(), 128u);
+    EXPECT_EQ(p.sets(), 32u);
+    EXPECT_EQ(p.ways(), 4u);
+    EXPECT_EQ(p.gphrDepth(), 8u);
+    EXPECT_EQ(p.name(), "GPHTsa_8_32x4");
+}
+
+TEST(SetAssocGpht, LearnsPeriodicPatterns)
+{
+    SetAssocGphtPredictor p(8, 32, 4);
+    const auto seq =
+        repeatPattern({1, 1, 4, 4, 1, 1, 5, 5, 3, 3}, 50);
+    auto [correct, scored] = score(p, seq);
+    EXPECT_GT(double(correct) / scored, 0.9);
+}
+
+TEST(SetAssocGpht, MatchesFullyAssociativeAtEqualCapacity)
+{
+    // Same capacity, structured workload: the hashed design should
+    // track the fully associative one closely.
+    SetAssocGphtPredictor hashed(8, 32, 4);
+    GphtPredictor full(8, 128);
+    const auto seq =
+        repeatPattern({1, 2, 2, 6, 6, 1, 3, 3, 1, 2, 5, 5}, 60);
+    auto [h_correct, n1] = score(hashed, seq);
+    auto [f_correct, n2] = score(full, seq);
+    ASSERT_EQ(n1, n2);
+    EXPECT_GE(h_correct, f_correct - n1 / 20);
+}
+
+TEST(SetAssocGpht, DirectMappedSuffersConflicts)
+{
+    // 128 sets x 1 way vs 32 x 4: same capacity, but the
+    // direct-mapped table cannot keep colliding patterns resident.
+    // With many distinct patterns, the 4-way design replaces less
+    // or hits more.
+    Rng rng(3);
+    std::vector<PhaseId> period;
+    for (int i = 0; i < 40; ++i)
+        period.push_back(static_cast<PhaseId>(rng.uniformInt(1, 6)));
+    const auto seq = repeatPattern(period, 30);
+
+    SetAssocGphtPredictor direct(8, 128, 1);
+    SetAssocGphtPredictor assoc(8, 32, 4);
+    auto [d_correct, n1] = score(direct, seq);
+    auto [a_correct, n2] = score(assoc, seq);
+    ASSERT_EQ(n1, n2);
+    // Associativity never hurts on this workload.
+    EXPECT_GE(a_correct, d_correct);
+}
+
+TEST(SetAssocGpht, FallsBackToLastValueBeforeWarmup)
+{
+    SetAssocGphtPredictor p(4, 8, 2);
+    p.observePhase(3);
+    EXPECT_EQ(p.predict(), 3);
+    p.observePhase(5);
+    EXPECT_EQ(p.predict(), 5);
+}
+
+TEST(SetAssocGpht, StatsAreConsistent)
+{
+    SetAssocGphtPredictor p(4, 4, 2);
+    const auto seq = repeatPattern({1, 2, 3, 4, 5, 6}, 40);
+    score(p, seq);
+    const auto &s = p.stats();
+    EXPECT_GT(s.lookups, 0u);
+    EXPECT_EQ(s.hits + s.insertions, s.lookups);
+}
+
+TEST(SetAssocGpht, ResetRestoresColdState)
+{
+    SetAssocGphtPredictor p(4, 8, 2);
+    for (int i = 0; i < 40; ++i)
+        p.observePhase(1 + i % 4);
+    p.reset();
+    EXPECT_EQ(p.predict(), INVALID_PHASE);
+    EXPECT_EQ(p.stats().lookups, 0u);
+}
+
+TEST(SetAssocGpht, InvalidGeometryIsFatal)
+{
+    EXPECT_FAILURE(SetAssocGphtPredictor(0, 8, 2));
+    EXPECT_FAILURE(SetAssocGphtPredictor(8, 0, 2));
+    EXPECT_FAILURE(SetAssocGphtPredictor(8, 8, 0));
+}
+
+/** Property: across geometries of equal capacity, accuracy on a
+ *  structured workload stays within a band of the full-assoc
+ *  reference. */
+class GeometrySweep
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{
+};
+
+TEST_P(GeometrySweep, NearFullAssociativeAccuracy)
+{
+    const auto [sets, ways] = GetParam();
+    SetAssocGphtPredictor hashed(8, sets, ways);
+    GphtPredictor full(8, sets * ways);
+    const auto seq =
+        repeatPattern({1, 1, 2, 2, 1, 1, 5, 5, 3, 3, 6, 6}, 60);
+    auto [h_correct, n1] = score(hashed, seq);
+    auto [f_correct, n2] = score(full, seq);
+    ASSERT_EQ(n1, n2);
+    EXPECT_GE(h_correct, f_correct - n1 / 10)
+        << sets << "x" << ways;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweep,
+    ::testing::Values(std::pair<size_t, size_t>{128, 1},
+                      std::pair<size_t, size_t>{64, 2},
+                      std::pair<size_t, size_t>{32, 4},
+                      std::pair<size_t, size_t>{16, 8},
+                      std::pair<size_t, size_t>{8, 16}));
+
+} // namespace
+} // namespace livephase

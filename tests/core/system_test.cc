@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the System harness and governors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/last_value_predictor.hh"
+#include "core/system.hh"
+#include "workload/spec2000.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+IntervalTrace
+steadyTrace(double m, size_t samples, double ipc = 1.0)
+{
+    IntervalTrace t("steady");
+    Interval ivl;
+    ivl.uops = 100e6;
+    ivl.mem_per_uop = m;
+    ivl.core_ipc = ipc;
+    for (size_t i = 0; i < samples; ++i)
+        t.append(ivl);
+    return t;
+}
+
+TEST(Governor, FactoriesProduceExpectedConfigurations)
+{
+    Governor baseline = makeBaselineGovernor();
+    EXPECT_EQ(baseline.name(), "baseline");
+    EXPECT_FALSE(baseline.manages());
+
+    const DvfsTable table = DvfsTable::pentiumM();
+    Governor reactive = makeReactiveGovernor(table);
+    EXPECT_EQ(reactive.name(), "reactive");
+    EXPECT_TRUE(reactive.manages());
+    EXPECT_EQ(reactive.predictor()->name(), "LastValue");
+
+    Governor gpht = makeGphtGovernor(table);
+    EXPECT_EQ(gpht.predictor()->name(), "GPHT_8_128");
+
+    Governor gpht_big = makeGphtGovernor(table, 8, 1024);
+    EXPECT_EQ(gpht_big.predictor()->name(), "GPHT_8_1024");
+
+    TimingModel timing;
+    Governor bounded = makeBoundedGovernor(timing, table, 0.05);
+    EXPECT_TRUE(bounded.manages());
+    EXPECT_NE(bounded.name().find("bounded"), std::string::npos);
+}
+
+TEST(Governor, ManagingGovernorRequiresPredictor)
+{
+    EXPECT_FAILURE(Governor(
+        "broken", PhaseClassifier::table1(), nullptr,
+        DvfsPolicy::alwaysFastest(6), true));
+}
+
+TEST(Governor, PolicyMustCoverClassifierPhases)
+{
+    EXPECT_FAILURE(Governor(
+        "broken", PhaseClassifier::table1(),
+        std::make_unique<LastValuePredictor>(),
+        DvfsPolicy::alwaysFastest(3), false));
+}
+
+TEST(System, EmptyTraceIsFatal)
+{
+    System system;
+    IntervalTrace empty("empty");
+    EXPECT_FAILURE(system.run(empty, makeBaselineGovernor()));
+}
+
+TEST(System, BaselineRunsAtFullFrequency)
+{
+    System system;
+    const auto result = system.runBaseline(steadyTrace(0.0, 20));
+    EXPECT_EQ(result.governor, "baseline");
+    EXPECT_EQ(result.dvfs_transitions, 0u);
+    EXPECT_EQ(result.samples.size(), 20u);
+    // IPC 1 at 1.5 GHz: ~66.7 ms per 100M-uop sample.
+    EXPECT_NEAR(result.exact.seconds, 20 * 100e6 / 1.5e9, 1e-3);
+    EXPECT_NEAR(result.exact.instructions, 2e9, 1.0);
+}
+
+TEST(System, ManagedMemoryBoundRunSavesEnergy)
+{
+    System system;
+    const IntervalTrace trace = steadyTrace(0.05, 30, 0.8);
+    const auto baseline = system.runBaseline(trace);
+    const auto managed =
+        system.run(trace, makeGphtGovernor(DvfsTable::pentiumM()));
+    EXPECT_LT(managed.exact.joules, baseline.exact.joules * 0.6);
+    EXPECT_GT(managed.exact.seconds, baseline.exact.seconds);
+    const RelativeMetrics rel =
+        relativeTo(managed.exact, baseline.exact);
+    EXPECT_GT(rel.edpImprovement(), 0.3);
+}
+
+TEST(System, CpuBoundRunIsLeftAlone)
+{
+    System system;
+    const IntervalTrace trace = steadyTrace(0.0005, 20, 1.8);
+    const auto managed =
+        system.run(trace, makeGphtGovernor(DvfsTable::pentiumM()));
+    EXPECT_EQ(managed.dvfs_transitions, 0u);
+}
+
+TEST(System, ResultsAreReproducible)
+{
+    System system;
+    const IntervalTrace trace =
+        Spec2000Suite::byName("applu_in").makeTrace(100, 5);
+    const auto a =
+        system.run(trace, makeGphtGovernor(DvfsTable::pentiumM()));
+    const auto b =
+        system.run(trace, makeGphtGovernor(DvfsTable::pentiumM()));
+    EXPECT_DOUBLE_EQ(a.exact.seconds, b.exact.seconds);
+    EXPECT_DOUBLE_EQ(a.exact.joules, b.exact.joules);
+    EXPECT_DOUBLE_EQ(a.prediction_accuracy, b.prediction_accuracy);
+    EXPECT_EQ(a.dvfs_transitions, b.dvfs_transitions);
+}
+
+TEST(System, SampleLogIsReturnedForEvaluation)
+{
+    System system;
+    const auto result = system.runBaseline(steadyTrace(0.012, 10));
+    ASSERT_EQ(result.samples.size(), 10u);
+    for (const auto &rec : result.samples) {
+        EXPECT_EQ(rec.actual_phase, 3);
+        EXPECT_NEAR(rec.mem_per_uop, 0.012, 1e-9);
+    }
+    EXPECT_DOUBLE_EQ(result.prediction_accuracy, 1.0);
+}
+
+TEST(System, DaqMeasurementAgreesWithExactAccounting)
+{
+    System::Config cfg;
+    cfg.use_daq = true;
+    System system(cfg);
+    const IntervalTrace trace = steadyTrace(0.02, 8, 1.2);
+    const auto result = system.runBaseline(trace);
+    // The DAQ reconstructs energy/time within noise and sampling
+    // quantization (40 us on ~0.5 s of execution).
+    EXPECT_NEAR(result.measured.seconds, result.exact.seconds,
+                result.exact.seconds * 0.01 + 2e-4);
+    EXPECT_NEAR(result.measured.joules, result.exact.joules,
+                result.exact.joules * 0.02);
+    // One power window per sample (plus the tail of the run).
+    EXPECT_GE(result.phase_power.size(), 7u);
+    EXPECT_LE(result.phase_power.size(), 10u);
+}
+
+TEST(System, DaqSeesHandlerResidency)
+{
+    System::Config cfg;
+    cfg.use_daq = true;
+    cfg.kernel.handler_overhead_us = 200.0; // exaggerate visibility
+    System system(cfg);
+    const auto result = system.runBaseline(steadyTrace(0.002, 10));
+    EXPECT_GT(result.handler_seconds_measured, 0.0);
+    // 10 handlers x 200 us = 2 ms, quantized at 40 us.
+    EXPECT_NEAR(result.handler_seconds_measured, 2e-3, 4e-4);
+}
+
+TEST(System, DaqDisabledCopiesExact)
+{
+    System system;
+    const auto result = system.runBaseline(steadyTrace(0.002, 5));
+    EXPECT_DOUBLE_EQ(result.measured.seconds, result.exact.seconds);
+    EXPECT_DOUBLE_EQ(result.measured.joules, result.exact.joules);
+    EXPECT_TRUE(result.phase_power.empty());
+}
+
+TEST(System, NegativePaddingIsFatal)
+{
+    System::Config cfg;
+    cfg.idle_padding_s = -0.1;
+    EXPECT_FAILURE(System{cfg});
+}
+
+} // namespace
+} // namespace livephase

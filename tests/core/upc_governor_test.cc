@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the Section 4 pitfall demonstration: UPC-defined phases
+ * are action-dependent and oscillate under management, while the
+ * deployed Mem/Uop phases are invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/last_value_predictor.hh"
+#include "core/system.hh"
+#include "workload/spec2000.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+IntervalTrace
+steadyMemoryBound(size_t samples)
+{
+    IntervalTrace t("steady");
+    for (size_t i = 0; i < samples; ++i) {
+        Interval ivl;
+        ivl.uops = 100e6;
+        ivl.mem_per_uop = 0.030;
+        ivl.core_ipc = 1.2;
+        t.append(ivl);
+    }
+    return t;
+}
+
+TEST(UpcGovernor, FactoryConfiguresUpcMetric)
+{
+    Governor gov = makeUpcGovernor(DvfsTable::pentiumM());
+    EXPECT_EQ(gov.metric(), PhaseMetric::Upc);
+    EXPECT_TRUE(gov.manages());
+    EXPECT_EQ(gov.classifier().numPhases(), 6);
+    // Phase 1 (lowest UPC, memory-looking) maps to the slowest
+    // setting; phase 6 to the fastest.
+    EXPECT_EQ(gov.policy().settingForPhase(1), 5u);
+    EXPECT_EQ(gov.policy().settingForPhase(6), 0u);
+}
+
+TEST(UpcGovernor, DefaultGovernorsUseMemPerUop)
+{
+    EXPECT_EQ(makeGphtGovernor(DvfsTable::pentiumM()).metric(),
+              PhaseMetric::MemPerUop);
+    EXPECT_EQ(makeBaselineGovernor().metric(),
+              PhaseMetric::MemPerUop);
+}
+
+TEST(UpcGovernor, OscillatesOnSteadyWorkload)
+{
+    // The paper's predicted pathology: the workload never changes,
+    // yet the UPC-phased governor keeps transitioning because its
+    // own actions move the classification metric across a boundary.
+    const System system;
+    const IntervalTrace trace = steadyMemoryBound(50);
+    const auto mem_run = system.run(
+        trace, makeGphtGovernor(DvfsTable::pentiumM()));
+    const auto upc_run =
+        system.run(trace, makeUpcGovernor(DvfsTable::pentiumM()));
+    EXPECT_LE(mem_run.dvfs_transitions, 2u);
+    EXPECT_GT(upc_run.dvfs_transitions, 20u);
+}
+
+TEST(UpcGovernor, PhaseStreamIsActionDependent)
+{
+    // Same workload, managed vs unmanaged: the UPC governor's
+    // *observed phases* differ between runs — the definition is not
+    // management-invariant. (For Mem/Uop phases the equivalent
+    // comparison is asserted invariant in paper_claims_test.)
+    const System system;
+    const IntervalTrace trace = steadyMemoryBound(40);
+
+    // Monitor UPC phases without managing (baseline frequency).
+    Governor monitor_only(
+        "upc-monitor", PhaseClassifier({0.3, 0.6, 0.9, 1.2, 1.5}),
+        std::make_unique<LastValuePredictor>(),
+        DvfsPolicy::alwaysFastest(6), false, PhaseMetric::Upc);
+    const auto unmanaged = system.run(trace,
+                                      std::move(monitor_only));
+    const auto managed =
+        system.run(trace, makeUpcGovernor(DvfsTable::pentiumM()));
+
+    ASSERT_EQ(unmanaged.samples.size(), managed.samples.size());
+    size_t differing = 0;
+    for (size_t i = 0; i < managed.samples.size(); ++i) {
+        if (managed.samples[i].actual_phase !=
+            unmanaged.samples[i].actual_phase)
+            ++differing;
+    }
+    EXPECT_GT(differing, managed.samples.size() / 3);
+}
+
+TEST(UpcGovernor, ConcealsPatternsOnVariableWorkloads)
+{
+    // equake's repetitive structure is plainly visible to Mem/Uop
+    // phases but scrambled by action-dependent UPC phases.
+    const System system;
+    const IntervalTrace trace =
+        Spec2000Suite::byName("equake_in").makeTrace(400, 1);
+    const auto mem_run = system.run(
+        trace, makeGphtGovernor(DvfsTable::pentiumM()));
+    const auto upc_run =
+        system.run(trace, makeUpcGovernor(DvfsTable::pentiumM()));
+    EXPECT_GT(mem_run.prediction_accuracy, 0.85);
+    EXPECT_LT(upc_run.prediction_accuracy,
+              mem_run.prediction_accuracy - 0.3);
+}
+
+} // namespace
+} // namespace livephase

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Deeper coverage of the Core's counter-event paths: instruction-
+ * denominated sampling (the paper speaks of 100M-instruction
+ * granularity — identical to uops at concurrency 1, distinct
+ * otherwise), cycle counting, and multi-listener power streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/core.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+void
+program(Core &core, int index, PmcEventId event, bool interrupt)
+{
+    PmcEventSelect sel;
+    sel.event = event;
+    sel.int_enable = interrupt;
+    sel.enable = true;
+    core.pmcBank().counter(index).programSelect(sel.encode());
+}
+
+TEST(CoreEvents, InstructionDenominatedSampling)
+{
+    // uops_per_inst = 1.25: 100M instructions retire as 125M uops.
+    Core core;
+    int pmis = 0;
+    core.pmi().installHandler([&](int) {
+        ++pmis;
+        core.pmcBank().counter(0).armForOverflowAfter(100'000'000);
+    });
+    program(core, 0, PmcEventId::InstRetired, true);
+    core.pmcBank().counter(0).armForOverflowAfter(100'000'000);
+
+    Interval ivl;
+    ivl.uops = 250e6;
+    ivl.uops_per_inst = 1.25;
+    ivl.core_ipc = 1.0;
+    core.execute(ivl);
+    // 250M uops = 200M instructions -> exactly 2 PMIs.
+    EXPECT_EQ(pmis, 2);
+    EXPECT_DOUBLE_EQ(core.totals().instructions, 200e6);
+}
+
+TEST(CoreEvents, CycleCounterTracksFrequencyDependentCycles)
+{
+    Core core;
+    program(core, 1, PmcEventId::CpuClkUnhalted, false);
+    core.pmcBank().counter(1).write(0);
+    Interval ivl;
+    ivl.uops = 100e6;
+    ivl.mem_per_uop = 0.02;
+    ivl.core_ipc = 1.0;
+    core.execute(ivl);
+    const double expected_cycles =
+        core.timing().cycles(ivl, 1.5e9);
+    EXPECT_NEAR(
+        static_cast<double>(core.pmcBank().counter(1).read()),
+        expected_cycles, 2.0);
+    // And the event-derived count matches the TSC.
+    EXPECT_NEAR(static_cast<double>(core.tsc().read()),
+                expected_cycles, 2.0);
+}
+
+TEST(CoreEvents, MemoryCounterMatchesIntervalTransactions)
+{
+    Core core;
+    program(core, 1, PmcEventId::BusTranMem, false);
+    core.pmcBank().counter(1).write(0);
+    Interval ivl;
+    ivl.uops = 80e6;
+    ivl.mem_per_uop = 0.0125;
+    core.execute(ivl);
+    EXPECT_EQ(core.pmcBank().counter(1).read(), 1'000'000u);
+}
+
+TEST(CoreEvents, MultipleListenersSeeTheSameStream)
+{
+    Core core;
+    double joules_a = 0.0, joules_b = 0.0;
+    core.addPowerSegmentListener(
+        [&](double t0, double t1, double w, double) {
+            joules_a += (t1 - t0) * w;
+        });
+    core.addPowerSegmentListener(
+        [&](double t0, double t1, double w, double) {
+            joules_b += (t1 - t0) * w;
+        });
+    Interval ivl;
+    ivl.uops = 100e6;
+    core.execute(ivl);
+    EXPECT_DOUBLE_EQ(joules_a, joules_b);
+    EXPECT_NEAR(joules_a, core.totals().joules, 1e-9);
+}
+
+TEST(CoreEvents, SetListenerReplacesAddAppends)
+{
+    Core core;
+    int calls_first = 0, calls_second = 0;
+    core.setPowerSegmentListener(
+        [&](double, double, double, double) { ++calls_first; });
+    core.setPowerSegmentListener(
+        [&](double, double, double, double) { ++calls_second; });
+    core.idle(0.001);
+    EXPECT_EQ(calls_first, 0); // replaced
+    EXPECT_GT(calls_second, 0);
+    core.setPowerSegmentListener(nullptr); // clears
+    core.idle(0.001);
+    EXPECT_EQ(calls_second, 1);
+    EXPECT_FAILURE(core.addPowerSegmentListener(nullptr));
+}
+
+TEST(CoreEvents, DisabledCounterNeverLimitsExecution)
+{
+    // An armed but disabled counter must not chunk execution.
+    Core core;
+    PmcEventSelect sel;
+    sel.event = PmcEventId::UopsRetired;
+    sel.int_enable = true;
+    sel.enable = false;
+    core.pmcBank().counter(0).programSelect(sel.encode());
+    core.pmcBank().counter(0).armForOverflowAfter(1'000'000);
+    int pmis = 0;
+    core.pmi().installHandler([&](int) { ++pmis; });
+    Interval ivl;
+    ivl.uops = 10e6;
+    core.execute(ivl);
+    EXPECT_EQ(pmis, 0);
+    EXPECT_EQ(core.pmcBank().counter(0).eventsUntilOverflow(),
+              1'000'000u);
+}
+
+TEST(CoreEvents, BothCountersArmedUsesEarliestOverflow)
+{
+    // Counter 0 armed at 60M uops, counter 1 (memory, m = 0.01)
+    // armed at 400k transactions = 40M uops: counter 1 fires first.
+    Core core;
+    std::vector<int> order;
+    core.pmi().installHandler([&](int c) {
+        order.push_back(c);
+        // Disarm whichever fired so the other can reach its
+        // overflow.
+        PmcEventSelect off;
+        core.pmcBank().counter(c).programSelect(off.encode());
+    });
+    program(core, 0, PmcEventId::UopsRetired, true);
+    core.pmcBank().counter(0).armForOverflowAfter(60'000'000);
+    program(core, 1, PmcEventId::BusTranMem, true);
+    core.pmcBank().counter(1).armForOverflowAfter(400'000);
+
+    Interval ivl;
+    ivl.uops = 100e6;
+    ivl.mem_per_uop = 0.01;
+    core.execute(ivl);
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1); // memory counter first (40M uops)
+    EXPECT_EQ(order[1], 0); // then the uop counter (60M uops)
+}
+
+} // namespace
+} // namespace livephase

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the Core execution engine: counter-driven interrupt
+ * splitting, time/energy accounting, DVFS interaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cpu/core.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+Interval
+simpleInterval(double uops = 100e6, double m = 0.0, double ipc = 1.0)
+{
+    Interval ivl;
+    ivl.uops = uops;
+    ivl.mem_per_uop = m;
+    ivl.core_ipc = ipc;
+    return ivl;
+}
+
+/** Program counter 0 as an interrupting uop counter. */
+void
+armUopCounter(Core &core, uint64_t period)
+{
+    PmcEventSelect sel;
+    sel.event = PmcEventId::UopsRetired;
+    sel.int_enable = true;
+    sel.enable = true;
+    core.pmcBank().counter(0).programSelect(sel.encode());
+    core.pmcBank().counter(0).armForOverflowAfter(period);
+}
+
+TEST(Core, ExecuteAccountsTimeEnergyAndWork)
+{
+    Core core;
+    const Interval ivl = simpleInterval(150e6, 0.0, 1.5);
+    core.execute(ivl);
+    const auto &t = core.totals();
+    EXPECT_DOUBLE_EQ(t.uops, 150e6);
+    EXPECT_DOUBLE_EQ(t.instructions, 150e6);
+    EXPECT_DOUBLE_EQ(t.cycles, 100e6);
+    EXPECT_NEAR(t.seconds, 100e6 / 1.5e9, 1e-12);
+    EXPECT_GT(t.joules, 0.0);
+    EXPECT_NEAR(core.now(), t.seconds, 1e-15);
+}
+
+TEST(Core, EnergyMatchesPowerModel)
+{
+    Core core;
+    const Interval ivl = simpleInterval(100e6, 0.0, 2.0);
+    core.execute(ivl);
+    const double upc = core.timing().upc(ivl, 1.5e9);
+    const double expected_watts =
+        core.powerModel().watts(core.dvfs().current(), upc);
+    EXPECT_NEAR(core.totals().joules / core.totals().seconds,
+                expected_watts, 1e-9);
+}
+
+TEST(Core, TscAdvancesWithCycles)
+{
+    Core core;
+    core.execute(simpleInterval(100e6, 0.0, 1.0));
+    EXPECT_EQ(core.tsc().read(), 100000000u);
+}
+
+TEST(Core, PmiFiresAtExactGranularity)
+{
+    Core core;
+    std::vector<uint64_t> tsc_at_pmi;
+    core.pmi().installHandler([&](int) {
+        tsc_at_pmi.push_back(core.tsc().read());
+        // Re-arm for the next period, as the kernel module does.
+        core.pmcBank().counter(0).armForOverflowAfter(50000000);
+    });
+    armUopCounter(core, 50000000);
+
+    core.execute(simpleInterval(200e6, 0.0, 1.0));
+    ASSERT_EQ(tsc_at_pmi.size(), 4u);
+    // IPC 1 at any frequency: cycles == uops.
+    EXPECT_EQ(tsc_at_pmi[0], 50000000u);
+    EXPECT_EQ(tsc_at_pmi[1], 100000000u);
+    EXPECT_EQ(tsc_at_pmi[2], 150000000u);
+    EXPECT_EQ(tsc_at_pmi[3], 200000000u);
+}
+
+TEST(Core, PmiSpansIntervalBoundaries)
+{
+    // A sampling period that straddles two workload intervals must
+    // fire exactly once, at the correct uop count.
+    Core core;
+    int pmis = 0;
+    core.pmi().installHandler([&](int) {
+        ++pmis;
+        core.pmcBank().counter(0).armForOverflowAfter(80000000);
+    });
+    armUopCounter(core, 80000000);
+    core.execute(simpleInterval(50e6));
+    EXPECT_EQ(pmis, 0);
+    core.execute(simpleInterval(50e6));
+    EXPECT_EQ(pmis, 1);
+    EXPECT_DOUBLE_EQ(core.totals().uops, 100e6);
+}
+
+TEST(Core, NonInterruptingCounterSeesFullPeriodAtPmi)
+{
+    // Counter 1 counts memory transactions; at the PMI it must hold
+    // the full period's worth (the handler reads it then).
+    Core core;
+    PmcEventSelect sel1;
+    sel1.event = PmcEventId::BusTranMem;
+    sel1.enable = true;
+    core.pmcBank().counter(1).programSelect(sel1.encode());
+    core.pmcBank().counter(1).write(0);
+
+    uint64_t mem_at_pmi = 0;
+    core.pmi().installHandler([&](int) {
+        mem_at_pmi = core.pmcBank().counter(1).read();
+        core.pmcBank().counter(0).armForOverflowAfter(100000000);
+        core.pmcBank().counter(1).write(0);
+    });
+    armUopCounter(core, 100000000);
+
+    core.execute(simpleInterval(100e6, 0.02, 1.0));
+    EXPECT_EQ(mem_at_pmi, 2000000u); // 100e6 uops * 0.02
+}
+
+TEST(Core, DvfsChangeInsidePmiAffectsRemainder)
+{
+    Core core;
+    core.pmi().installHandler([&](int) {
+        core.dvfs().requestIndex(5); // drop to 600 MHz mid-interval
+        core.pmcBank().counter(0).armForOverflowAfter(100000000);
+    });
+    armUopCounter(core, 50000000);
+
+    core.execute(simpleInterval(100e6, 0.0, 1.0));
+    // First 50M uops at 1.5 GHz, rest at 600 MHz (plus a 10 us
+    // transition stall).
+    const double expected =
+        50e6 / 1.5e9 + 50e6 / 0.6e9 + 10e-6;
+    EXPECT_NEAR(core.totals().seconds, expected, 1e-9);
+    EXPECT_EQ(core.dvfs().transitionCount(), 1u);
+}
+
+TEST(Core, IdleAdvancesClockWithFloorPower)
+{
+    Core core;
+    core.idle(0.5);
+    EXPECT_DOUBLE_EQ(core.now(), 0.5);
+    EXPECT_DOUBLE_EQ(core.totals().uops, 0.0);
+    const double idle_watts = core.powerModel().watts(
+        core.dvfs().current(), 0.0);
+    EXPECT_NEAR(core.totals().joules, idle_watts * 0.5, 1e-9);
+}
+
+TEST(Core, KernelOverheadChargesTimeAndEnergy)
+{
+    Core core;
+    core.chargeKernelOverhead(5e-6);
+    EXPECT_NEAR(core.now(), 5e-6, 1e-15);
+    EXPECT_GT(core.totals().joules, 0.0);
+    EXPECT_DOUBLE_EQ(core.totals().uops, 0.0);
+}
+
+TEST(Core, PowerSegmentListenerCoversAllTime)
+{
+    Core core;
+    double covered = 0.0;
+    double energy = 0.0;
+    core.setPowerSegmentListener(
+        [&](double t0, double t1, double w, double v) {
+            EXPECT_GE(t1, t0);
+            EXPECT_GT(w, 0.0);
+            EXPECT_GT(v, 0.5);
+            covered += t1 - t0;
+            energy += w * (t1 - t0);
+        });
+    core.execute(simpleInterval(100e6, 0.01, 1.2));
+    core.idle(0.001);
+    EXPECT_NEAR(covered, core.now(), 1e-12);
+    EXPECT_NEAR(energy, core.totals().joules, 1e-9);
+}
+
+TEST(Core, MemoryBoundIntervalDrawsLessPower)
+{
+    Core a, b;
+    a.execute(simpleInterval(100e6, 0.0, 1.8));
+    b.execute(simpleInterval(100e6, 0.05, 1.8));
+    const double watts_cpu = a.totals().joules / a.totals().seconds;
+    const double watts_mem = b.totals().joules / b.totals().seconds;
+    EXPECT_GT(watts_cpu, watts_mem);
+}
+
+TEST(Core, InvalidIntervalIsFatal)
+{
+    Core core;
+    Interval bad;
+    bad.uops = 0.0;
+    EXPECT_FAILURE(core.execute(bad));
+}
+
+TEST(Core, NegativeIdlePanics)
+{
+    Core core;
+    EXPECT_FAILURE(core.idle(-1.0));
+    EXPECT_FAILURE(core.chargeKernelOverhead(-1e-6));
+}
+
+} // namespace
+} // namespace livephase

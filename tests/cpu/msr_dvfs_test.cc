@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the MSR file and DVFS controller (SpeedStep plumbing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/dvfs_controller.hh"
+#include "cpu/msr.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+TEST(Msr, PlainStorageForUnclaimedAddresses)
+{
+    Msr msr;
+    EXPECT_EQ(msr.rdmsr(0x123), 0u);
+    msr.wrmsr(0x123, 0xdeadbeefULL);
+    EXPECT_EQ(msr.rdmsr(0x123), 0xdeadbeefULL);
+    EXPECT_FALSE(msr.attached(0x123));
+}
+
+TEST(Msr, AttachedHandlersIntercept)
+{
+    Msr msr;
+    uint64_t device_value = 7;
+    msr.attach(
+        0x200, [&]() { return device_value; },
+        [&](uint64_t v) { device_value = v * 2; });
+    EXPECT_TRUE(msr.attached(0x200));
+    EXPECT_EQ(msr.rdmsr(0x200), 7u);
+    msr.wrmsr(0x200, 21);
+    EXPECT_EQ(device_value, 42u);
+}
+
+TEST(Msr, DetachRestoresStorageBehavior)
+{
+    Msr msr;
+    msr.attach(0x300, []() { return uint64_t(99); }, nullptr);
+    EXPECT_EQ(msr.rdmsr(0x300), 99u);
+    msr.detach(0x300);
+    EXPECT_FALSE(msr.attached(0x300));
+    EXPECT_EQ(msr.rdmsr(0x300), 0u);
+}
+
+TEST(Msr, NullReadHandlerFallsBackToStorage)
+{
+    Msr msr;
+    bool wrote = false;
+    msr.attach(0x400, nullptr, [&](uint64_t) { wrote = true; });
+    msr.wrmsr(0x400, 5);
+    EXPECT_TRUE(wrote);
+    EXPECT_EQ(msr.rdmsr(0x400), 0u); // storage untouched by hook
+}
+
+class DvfsControllerTest : public ::testing::Test
+{
+  protected:
+    DvfsControllerTest()
+        : table(DvfsTable::pentiumM()), ctl(table, msr, 10.0)
+    {
+    }
+
+    Msr msr;
+    DvfsTable table;
+    DvfsController ctl;
+};
+
+TEST_F(DvfsControllerTest, StartsAtFastestPoint)
+{
+    EXPECT_EQ(ctl.currentIndex(), 0u);
+    EXPECT_DOUBLE_EQ(ctl.current().freq_mhz, 1500.0);
+    EXPECT_EQ(ctl.transitionCount(), 0u);
+}
+
+TEST_F(DvfsControllerTest, RequestIndexTransitions)
+{
+    ctl.requestIndex(5);
+    EXPECT_EQ(ctl.currentIndex(), 5u);
+    EXPECT_DOUBLE_EQ(ctl.current().freq_mhz, 600.0);
+    EXPECT_EQ(ctl.transitionCount(), 1u);
+}
+
+TEST_F(DvfsControllerTest, SameIndexIsFreeNoOp)
+{
+    // Figure 8's "Same as current setting?" check: no stall, not
+    // counted.
+    ctl.requestIndex(0);
+    EXPECT_EQ(ctl.transitionCount(), 0u);
+    EXPECT_DOUBLE_EQ(ctl.consumePendingStallSeconds(), 0.0);
+}
+
+TEST_F(DvfsControllerTest, TransitionsCostStallTime)
+{
+    ctl.requestIndex(3);
+    ctl.requestIndex(1);
+    EXPECT_EQ(ctl.transitionCount(), 2u);
+    EXPECT_NEAR(ctl.totalTransitionSeconds(), 20e-6, 1e-12);
+    EXPECT_NEAR(ctl.consumePendingStallSeconds(), 20e-6, 1e-12);
+    // Consuming resets the pending amount but not the total.
+    EXPECT_DOUBLE_EQ(ctl.consumePendingStallSeconds(), 0.0);
+    EXPECT_NEAR(ctl.totalTransitionSeconds(), 20e-6, 1e-12);
+}
+
+TEST_F(DvfsControllerTest, PerfCtlWritePathMatchesDirectRequest)
+{
+    // The kernel module's wrmsr(PERF_CTL) path lands on the same
+    // transition machinery.
+    msr.wrmsr(msr_addr::PERF_CTL, table.at(4).encode());
+    EXPECT_EQ(ctl.currentIndex(), 4u);
+    EXPECT_EQ(ctl.transitionCount(), 1u);
+}
+
+TEST_F(DvfsControllerTest, PerfStatusReflectsCurrentPoint)
+{
+    ctl.requestIndex(2);
+    const OperatingPoint status = OperatingPoint::decode(
+        static_cast<uint32_t>(msr.rdmsr(msr_addr::PERF_STATUS)));
+    EXPECT_DOUBLE_EQ(status.freq_mhz, 1200.0);
+    EXPECT_DOUBLE_EQ(status.voltage_mv, 1356.0);
+}
+
+TEST_F(DvfsControllerTest, PerfStatusWriteIsIgnored)
+{
+    msr.wrmsr(msr_addr::PERF_STATUS, table.at(5).encode());
+    EXPECT_EQ(ctl.currentIndex(), 0u);
+}
+
+TEST_F(DvfsControllerTest, UnsupportedPerfCtlValueIsFatal)
+{
+    const OperatingPoint bogus{1300.0, 1400.0};
+    EXPECT_FAILURE(msr.wrmsr(msr_addr::PERF_CTL, bogus.encode()));
+}
+
+TEST_F(DvfsControllerTest, OutOfRangeIndexPanics)
+{
+    EXPECT_FAILURE(ctl.requestIndex(6));
+}
+
+TEST(DvfsController, NegativeLatencyIsFatal)
+{
+    Msr msr;
+    EXPECT_FAILURE(
+        DvfsController(DvfsTable::pentiumM(), msr, -1.0));
+}
+
+TEST(DvfsController, DetachesOnDestruction)
+{
+    Msr msr;
+    {
+        DvfsController ctl(DvfsTable::pentiumM(), msr, 10.0);
+        EXPECT_TRUE(msr.attached(msr_addr::PERF_CTL));
+    }
+    EXPECT_FALSE(msr.attached(msr_addr::PERF_CTL));
+    EXPECT_FALSE(msr.attached(msr_addr::PERF_STATUS));
+}
+
+} // namespace
+} // namespace livephase

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for operating-point encoding and the DVFS table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/dvfs_table.hh"
+#include "cpu/operating_point.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+TEST(OperatingPoint, EncodeDecodeRoundTripsTable2)
+{
+    // All six paper Table 2 points survive the PERF_CTL encoding.
+    for (const auto &op : DvfsTable::pentiumM().points()) {
+        const OperatingPoint decoded =
+            OperatingPoint::decode(op.encode());
+        EXPECT_DOUBLE_EQ(decoded.freq_mhz, op.freq_mhz);
+        EXPECT_DOUBLE_EQ(decoded.voltage_mv, op.voltage_mv);
+    }
+}
+
+TEST(OperatingPoint, KnownEncoding)
+{
+    // 1500 MHz -> FID 15; 1484 mV -> VID (1484-700)/16 = 49.
+    OperatingPoint op{1500.0, 1484.0};
+    EXPECT_EQ(op.encode(), 0x0f31u);
+}
+
+TEST(OperatingPoint, UnitHelpers)
+{
+    OperatingPoint op{800.0, 1116.0};
+    EXPECT_DOUBLE_EQ(op.freqHz(), 800e6);
+    EXPECT_DOUBLE_EQ(op.volts(), 1.116);
+    EXPECT_EQ(op.toString(), "800 MHz / 1116 mV");
+}
+
+TEST(OperatingPoint, EncodingRejectsOutOfRange)
+{
+    OperatingPoint too_fast{30000.0, 1400.0};
+    EXPECT_FAILURE(too_fast.encode());
+    OperatingPoint too_low_v{1000.0, 100.0};
+    EXPECT_FAILURE(too_low_v.encode());
+}
+
+TEST(DvfsTable, PentiumMMatchesPaperTable2)
+{
+    const DvfsTable table = DvfsTable::pentiumM();
+    ASSERT_EQ(table.size(), 6u);
+    EXPECT_DOUBLE_EQ(table.at(0).freq_mhz, 1500.0);
+    EXPECT_DOUBLE_EQ(table.at(0).voltage_mv, 1484.0);
+    EXPECT_DOUBLE_EQ(table.at(1).freq_mhz, 1400.0);
+    EXPECT_DOUBLE_EQ(table.at(1).voltage_mv, 1452.0);
+    EXPECT_DOUBLE_EQ(table.at(2).freq_mhz, 1200.0);
+    EXPECT_DOUBLE_EQ(table.at(2).voltage_mv, 1356.0);
+    EXPECT_DOUBLE_EQ(table.at(3).freq_mhz, 1000.0);
+    EXPECT_DOUBLE_EQ(table.at(3).voltage_mv, 1228.0);
+    EXPECT_DOUBLE_EQ(table.at(4).freq_mhz, 800.0);
+    EXPECT_DOUBLE_EQ(table.at(4).voltage_mv, 1116.0);
+    EXPECT_DOUBLE_EQ(table.at(5).freq_mhz, 600.0);
+    EXPECT_DOUBLE_EQ(table.at(5).voltage_mv, 956.0);
+}
+
+TEST(DvfsTable, FastestAndSlowest)
+{
+    const DvfsTable table = DvfsTable::pentiumM();
+    EXPECT_DOUBLE_EQ(table.fastest().freq_mhz, 1500.0);
+    EXPECT_DOUBLE_EQ(table.slowest().freq_mhz, 600.0);
+}
+
+TEST(DvfsTable, IndexOfFrequency)
+{
+    const DvfsTable table = DvfsTable::pentiumM();
+    EXPECT_EQ(table.indexOfFrequency(1200.0), 2u);
+    EXPECT_EQ(table.indexOfFrequency(600.0), 5u);
+    EXPECT_FAILURE(table.indexOfFrequency(1300.0));
+}
+
+TEST(DvfsTable, SlowestAtLeast)
+{
+    const DvfsTable table = DvfsTable::pentiumM();
+    EXPECT_EQ(table.slowestAtLeast(1000.0), 3u);
+    EXPECT_EQ(table.slowestAtLeast(1050.0), 2u); // next up is 1200
+    EXPECT_EQ(table.slowestAtLeast(601.0), 4u);
+    EXPECT_EQ(table.slowestAtLeast(0.0), 5u);
+    EXPECT_EQ(table.slowestAtLeast(9999.0), 0u);
+}
+
+TEST(DvfsTable, RejectsEmptyTable)
+{
+    EXPECT_FAILURE(DvfsTable({}));
+}
+
+TEST(DvfsTable, RejectsNonDecreasingFrequency)
+{
+    EXPECT_FAILURE(DvfsTable({{1000.0, 1200.0}, {1000.0, 1100.0}}));
+    EXPECT_FAILURE(DvfsTable({{1000.0, 1200.0}, {1100.0, 1100.0}}));
+}
+
+TEST(DvfsTable, RejectsIncreasingVoltage)
+{
+    EXPECT_FAILURE(DvfsTable({{1000.0, 1100.0}, {800.0, 1200.0}}));
+}
+
+TEST(DvfsTable, OutOfRangeIndexPanics)
+{
+    const DvfsTable table = DvfsTable::pentiumM();
+    EXPECT_FAILURE(table.at(6));
+}
+
+TEST(DvfsTable, SinglePointTableIsValid)
+{
+    DvfsTable table({{1500.0, 1484.0}});
+    EXPECT_EQ(table.size(), 1u);
+    EXPECT_DOUBLE_EQ(table.fastest().freq_mhz,
+                     table.slowest().freq_mhz);
+}
+
+} // namespace
+} // namespace livephase

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/dvfs_table.hh"
+#include "cpu/power_model.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+TEST(PowerModel, CalibratedMagnitudes)
+{
+    // The defaults are calibrated to the paper's measured range:
+    // a busy core at (1500 MHz, 1.484 V) draws on the order of 12 W;
+    // the slowest point draws under 2.5 W.
+    PowerModel model;
+    const DvfsTable table = DvfsTable::pentiumM();
+    const double busy_fast = model.watts(table.at(0), 1.9);
+    const double busy_slow = model.watts(table.at(5), 1.9);
+    EXPECT_GT(busy_fast, 10.0);
+    EXPECT_LT(busy_fast, 14.0);
+    EXPECT_GT(busy_slow, 1.0);
+    EXPECT_LT(busy_slow, 2.6);
+}
+
+TEST(PowerModel, PowerIncreasesWithThroughput)
+{
+    PowerModel model;
+    const OperatingPoint op{1500.0, 1484.0};
+    double prev = 0.0;
+    for (double upc : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+        const double w = model.watts(op, upc);
+        EXPECT_GT(w, prev);
+        prev = w;
+    }
+}
+
+TEST(PowerModel, ActivitySaturates)
+{
+    PowerModel model;
+    const OperatingPoint op{1500.0, 1484.0};
+    EXPECT_DOUBLE_EQ(model.watts(op, 2.0), model.watts(op, 3.0));
+    EXPECT_DOUBLE_EQ(model.activity(2.0), model.activity(5.0));
+}
+
+TEST(PowerModel, ActivityBounds)
+{
+    PowerModel model;
+    EXPECT_DOUBLE_EQ(model.activity(0.0),
+                     model.params().activity_base);
+    EXPECT_LE(model.activity(10.0), 1.0);
+}
+
+TEST(PowerModel, PowerDropsMonotonicallyAlongDvfsLadder)
+{
+    PowerModel model;
+    const DvfsTable table = DvfsTable::pentiumM();
+    double prev = 1e9;
+    for (size_t i = 0; i < table.size(); ++i) {
+        const double w = model.watts(table.at(i), 1.0);
+        EXPECT_LT(w, prev);
+        prev = w;
+    }
+}
+
+TEST(PowerModel, DynamicPowerScalesWithV2F)
+{
+    PowerModel model;
+    const OperatingPoint a{1500.0, 1484.0};
+    const OperatingPoint b{750.0, 1484.0}; // half frequency, same V
+    EXPECT_NEAR(model.dynamicWatts(a, 1.0) / model.dynamicWatts(b, 1.0),
+                2.0, 1e-9);
+}
+
+TEST(PowerModel, LeakageScalesWithV2)
+{
+    PowerModel model;
+    const OperatingPoint hi{1500.0, 1484.0};
+    const OperatingPoint lo{600.0, 956.0};
+    const double ratio = model.leakageWatts(hi) /
+        model.leakageWatts(lo);
+    EXPECT_NEAR(ratio, (1.484 * 1.484) / (0.956 * 0.956), 1e-9);
+}
+
+TEST(PowerModel, TotalIsDynamicPlusLeakage)
+{
+    PowerModel model;
+    const OperatingPoint op{1000.0, 1228.0};
+    EXPECT_DOUBLE_EQ(model.watts(op, 1.2),
+                     model.dynamicWatts(op, 1.2) +
+                         model.leakageWatts(op));
+}
+
+TEST(PowerModel, DvfsLadderSavesMoreThanFrequencyAlone)
+{
+    // Dropping f and V together must save super-linearly vs the
+    // frequency ratio (the whole point of DVFS).
+    PowerModel model;
+    const DvfsTable table = DvfsTable::pentiumM();
+    const double ratio = model.watts(table.at(5), 1.0) /
+        model.watts(table.at(0), 1.0);
+    EXPECT_LT(ratio, 600.0 / 1500.0);
+}
+
+TEST(PowerModel, InvalidParamsAreFatal)
+{
+    PowerModel::Params p;
+    p.ceff_farads = 0.0;
+    EXPECT_FAILURE(PowerModel{p});
+    p = PowerModel::Params{};
+    p.activity_base = 0.7;
+    p.activity_span = 0.7; // sums over 1
+    EXPECT_FAILURE(PowerModel{p});
+    p = PowerModel::Params{};
+    p.upc_for_full_activity = 0.0;
+    EXPECT_FAILURE(PowerModel{p});
+    p = PowerModel::Params{};
+    p.leak_w_per_v2 = -0.1;
+    EXPECT_FAILURE(PowerModel{p});
+}
+
+TEST(PowerModel, NegativeUpcPanics)
+{
+    PowerModel model;
+    EXPECT_FAILURE(model.activity(-0.5));
+}
+
+} // namespace
+} // namespace livephase

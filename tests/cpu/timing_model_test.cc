@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the analytical timing model — including the properties
+ * the paper's Section 4 measurements rest on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/dvfs_table.hh"
+#include "cpu/timing_model.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+Interval
+cpuBound(double ipc = 1.5)
+{
+    Interval ivl;
+    ivl.uops = 100e6;
+    ivl.mem_per_uop = 0.0;
+    ivl.core_ipc = ipc;
+    return ivl;
+}
+
+Interval
+memBound(double m, double ipc = 1.0, double block = 1.0)
+{
+    Interval ivl;
+    ivl.uops = 100e6;
+    ivl.mem_per_uop = m;
+    ivl.core_ipc = ipc;
+    ivl.mem_block_factor = block;
+    return ivl;
+}
+
+TEST(TimingModel, CpuBoundCyclesMatchCoreIpc)
+{
+    TimingModel model;
+    const Interval ivl = cpuBound(2.0);
+    EXPECT_DOUBLE_EQ(model.cyclesPerUop(ivl, 1.5e9), 0.5);
+    EXPECT_DOUBLE_EQ(model.cycles(ivl, 1.5e9), 50e6);
+    EXPECT_DOUBLE_EQ(model.upc(ivl, 1.5e9), 2.0);
+}
+
+TEST(TimingModel, CpuBoundUpcIsFrequencyInvariant)
+{
+    TimingModel model;
+    const Interval ivl = cpuBound(1.3);
+    for (const auto &op : DvfsTable::pentiumM().points())
+        EXPECT_DOUBLE_EQ(model.upc(ivl, op.freqHz()), 1.3);
+}
+
+TEST(TimingModel, MemoryStallScalesWithFrequency)
+{
+    TimingModel model;
+    const Interval ivl = memBound(0.03);
+    const double c_fast = model.cyclesPerUop(ivl, 1.5e9);
+    const double c_slow = model.cyclesPerUop(ivl, 0.6e9);
+    // Stall cycles shrink proportionally with frequency.
+    const double lat = model.params().mem_latency_ns * 1e-9;
+    EXPECT_NEAR(c_fast - c_slow, 0.03 * lat * (1.5e9 - 0.6e9), 1e-9);
+}
+
+TEST(TimingModel, UpcRisesAsFrequencyDrops)
+{
+    // The paper's Figure 7 effect: memory-bound UPC increases at
+    // lower frequency because wall-clock memory latency costs fewer
+    // core cycles.
+    TimingModel model;
+    const Interval ivl = memBound(0.0475, 0.46);
+    double prev_upc = 0.0;
+    for (double f : {1.5e9, 1.4e9, 1.2e9, 1.0e9, 0.8e9, 0.6e9}) {
+        const double upc = model.upc(ivl, f);
+        EXPECT_GT(upc, prev_upc);
+        prev_upc = upc;
+    }
+}
+
+TEST(TimingModel, MemoryBoundUpcSwingIsLarge)
+{
+    // Paper: up to ~80% UPC change for highly memory-bound configs.
+    TimingModel model;
+    const Interval ivl = memBound(0.0475, 0.46);
+    const double swing = model.upc(ivl, 0.6e9) / model.upc(ivl, 1.5e9);
+    EXPECT_GT(swing, 1.5);
+    EXPECT_LT(swing, 2.2);
+}
+
+TEST(TimingModel, WallClockTimeGrowsAtLowerFrequency)
+{
+    TimingModel model;
+    const Interval ivl = memBound(0.01, 1.2);
+    EXPECT_GT(model.seconds(ivl, 0.6e9), model.seconds(ivl, 1.5e9));
+}
+
+TEST(TimingModel, SlowdownBoundedByFrequencyRatio)
+{
+    TimingModel model;
+    // CPU-bound slowdown equals the frequency ratio exactly ...
+    EXPECT_NEAR(model.slowdown(cpuBound(), 0.6e9, 1.5e9), 2.5, 1e-12);
+    // ... and memory-bound slowdown is strictly smaller.
+    const double mem_slowdown =
+        model.slowdown(memBound(0.05), 0.6e9, 1.5e9);
+    EXPECT_LT(mem_slowdown, 2.5);
+    EXPECT_GT(mem_slowdown, 1.0);
+}
+
+TEST(TimingModel, SlowdownDecreasesWithMemoryBoundedness)
+{
+    TimingModel model;
+    double prev = 10.0;
+    for (double m : {0.0, 0.005, 0.01, 0.02, 0.05, 0.11}) {
+        const double s = model.slowdown(memBound(m), 0.8e9, 1.5e9);
+        EXPECT_LT(s, prev);
+        prev = s;
+    }
+}
+
+TEST(TimingModel, BlockFactorZeroHidesAllStall)
+{
+    TimingModel model;
+    const Interval ivl = memBound(0.05, 1.5, 0.0);
+    EXPECT_DOUBLE_EQ(model.upc(ivl, 1.5e9), 1.5);
+    EXPECT_DOUBLE_EQ(model.upc(ivl, 0.6e9), 1.5);
+}
+
+TEST(TimingModel, BoundaryUpcMonotoneDecreasing)
+{
+    TimingModel model;
+    double prev = 1e9;
+    for (double m : {0.0, 0.005, 0.01, 0.02, 0.03, 0.0475}) {
+        const double b = model.boundaryUpc(m);
+        EXPECT_LT(b, prev);
+        prev = b;
+    }
+    EXPECT_DOUBLE_EQ(model.boundaryUpc(0.0),
+                     model.params().max_core_ipc);
+}
+
+TEST(TimingModel, CoreIpcSolverRoundTrips)
+{
+    TimingModel model;
+    for (double m : {0.0, 0.0075, 0.0225}) {
+        for (double target : {0.1, 0.3, 0.5}) {
+            if (target > model.boundaryUpc(m, 1.0))
+                continue; // beyond fully-blocking reach
+            const double ipc =
+                model.coreIpcForTargetUpc(target, m, 1.0);
+            Interval ivl = memBound(m, ipc, 1.0);
+            EXPECT_NEAR(model.upc(ivl, 1.5e9), target, 1e-9)
+                << "m=" << m << " target=" << target;
+        }
+    }
+}
+
+TEST(TimingModel, UnreachableTargetIsFatal)
+{
+    TimingModel model;
+    EXPECT_FAILURE(model.coreIpcForTargetUpc(1.9, 0.03, 1.0));
+    EXPECT_FAILURE(model.coreIpcForTargetUpc(2.5, 0.0, 1.0));
+    EXPECT_FAILURE(model.coreIpcForTargetUpc(0.0, 0.0, 1.0));
+}
+
+TEST(TimingModel, InvalidParametersAreFatal)
+{
+    TimingModel::Params p;
+    p.mem_latency_ns = 0.0;
+    EXPECT_FAILURE(TimingModel{p});
+    p = TimingModel::Params{};
+    p.max_core_ipc = -1.0;
+    EXPECT_FAILURE(TimingModel{p});
+    p = TimingModel::Params{};
+    p.ref_freq_mhz = 0.0;
+    EXPECT_FAILURE(TimingModel{p});
+}
+
+TEST(TimingModel, InvalidIntervalPanics)
+{
+    TimingModel model;
+    Interval bad = cpuBound();
+    bad.uops = -1.0;
+    EXPECT_FAILURE(model.cycles(bad, 1.5e9));
+    Interval bad_freq = cpuBound();
+    EXPECT_FAILURE(model.cycles(bad_freq, 0.0));
+}
+
+/**
+ * Property sweep over the whole behaviour space: Mem/Uop is exactly
+ * DVFS-invariant by construction, UPC never decreases as frequency
+ * drops, and time never improves at lower frequency.
+ */
+class TimingSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(TimingSweep, MonotonicityAcrossAllFrequencies)
+{
+    const auto [m, ipc] = GetParam();
+    TimingModel model;
+    const Interval ivl = memBound(m, ipc, 0.9);
+    double prev_upc = 0.0;
+    double prev_time = 0.0;
+    for (const auto &op : DvfsTable::pentiumM().points()) {
+        const double upc = model.upc(ivl, op.freqHz());
+        const double t = model.seconds(ivl, op.freqHz());
+        if (prev_upc > 0.0) {
+            EXPECT_GE(upc, prev_upc - 1e-12);
+            EXPECT_GE(t, prev_time - 1e-12);
+        }
+        prev_upc = upc;
+        prev_time = t;
+        // UPC can never exceed the core's own IPC.
+        EXPECT_LE(upc, ipc + 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BehaviorGrid, TimingSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.002, 0.0075, 0.015,
+                                         0.03, 0.0475, 0.11),
+                       ::testing::Values(0.3, 0.7, 1.0, 1.5, 2.0)));
+
+} // namespace
+} // namespace livephase

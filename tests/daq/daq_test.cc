@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for the measurement chain: sense resistors, signal
+ * conditioning, DAQ sampling and the logging machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+#include "daq/daq_sampler.hh"
+#include "daq/logging_machine.hh"
+#include "daq/sense_resistor.hh"
+#include "daq/signal_conditioner.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+TEST(SenseResistor, ReconstructionInvertsMeasurement)
+{
+    SenseResistorTap tap;
+    for (double watts : {1.0, 5.0, 12.5}) {
+        for (double vcpu : {0.956, 1.228, 1.484}) {
+            const TapVoltages taps = tap.measure(watts, vcpu);
+            EXPECT_NEAR(tap.reconstructWatts(taps), watts, 1e-9)
+                << watts << " W @ " << vcpu << " V";
+        }
+    }
+}
+
+TEST(SenseResistor, CurrentSplitsEquallyForMatchedResistors)
+{
+    SenseResistorTap tap(0.002, 0.002);
+    const TapVoltages taps = tap.measure(10.0, 1.484);
+    EXPECT_NEAR(taps.v1, taps.v2, 1e-12);
+    // Total current 6.74 A -> 3.37 A per branch -> 6.74 mV drop.
+    EXPECT_NEAR(taps.v1 - taps.vcpu, (10.0 / 1.484 / 2.0) * 0.002,
+                1e-12);
+}
+
+TEST(SenseResistor, MismatchedResistorsSplitInversely)
+{
+    SenseResistorTap tap(0.002, 0.004);
+    const TapVoltages taps = tap.measure(6.0, 1.2);
+    const double i1 = (taps.v1 - taps.vcpu) / 0.002;
+    const double i2 = (taps.v2 - taps.vcpu) / 0.004;
+    EXPECT_NEAR(i1, 2.0 * i2, 1e-9);
+    EXPECT_NEAR(tap.reconstructWatts(taps), 6.0, 1e-9);
+}
+
+TEST(SenseResistor, ZeroPowerGivesZeroDrops)
+{
+    SenseResistorTap tap;
+    const TapVoltages taps = tap.measure(0.0, 1.0);
+    EXPECT_DOUBLE_EQ(taps.v1, taps.vcpu);
+    EXPECT_DOUBLE_EQ(tap.reconstructWatts(taps), 0.0);
+}
+
+TEST(SenseResistor, InvalidInputs)
+{
+    EXPECT_FAILURE(SenseResistorTap(0.0, 0.002));
+    SenseResistorTap tap;
+    EXPECT_FAILURE(tap.measure(-1.0, 1.0));
+    EXPECT_FAILURE(tap.measure(1.0, 0.0));
+}
+
+TEST(SignalConditioner, PassThroughWithWindowOne)
+{
+    SignalConditioner cond(1);
+    TapVoltages raw{1.010, 1.012, 1.000};
+    const ConditionedSignals out = cond.process(raw);
+    EXPECT_NEAR(out.drop1, 0.010, 1e-12);
+    EXPECT_NEAR(out.drop2, 0.012, 1e-12);
+    EXPECT_NEAR(out.vcpu, 1.000, 1e-12);
+}
+
+TEST(SignalConditioner, MovingAverageSuppressesNoise)
+{
+    SignalConditioner cond(8);
+    // Alternate +/-1 mV around a 10 mV drop; the 8-sample boxcar
+    // must average it out.
+    ConditionedSignals out{};
+    for (int i = 0; i < 64; ++i) {
+        const double noise = (i % 2 == 0 ? 1e-3 : -1e-3);
+        out = cond.process(
+            TapVoltages{1.010 + noise, 1.010, 1.000});
+    }
+    EXPECT_NEAR(out.drop1, 0.010, 1.5e-4);
+}
+
+TEST(SignalConditioner, ResetForgetsHistory)
+{
+    SignalConditioner cond(4);
+    cond.process(TapVoltages{2.0, 2.0, 1.0});
+    cond.reset();
+    const ConditionedSignals out =
+        cond.process(TapVoltages{1.010, 1.010, 1.000});
+    EXPECT_NEAR(out.drop1, 0.010, 1e-12); // no stale 1.0 V drop
+}
+
+TEST(SignalConditioner, ZeroWindowIsFatal)
+{
+    EXPECT_FAILURE(SignalConditioner(0));
+}
+
+TEST(PowerTraceRecorder, CoalescesIdenticalAdjacentSegments)
+{
+    PowerTraceRecorder rec;
+    rec.add(0.0, 1.0, 5.0, 1.2);
+    rec.add(1.0, 2.0, 5.0, 1.2); // same electrical state
+    rec.add(2.0, 3.0, 7.0, 1.2); // power changed
+    ASSERT_EQ(rec.segments().size(), 2u);
+    EXPECT_DOUBLE_EQ(rec.segments()[0].t1, 2.0);
+    EXPECT_DOUBLE_EQ(rec.segments()[1].watts, 7.0);
+}
+
+TEST(PowerTraceRecorder, RejectsOutOfOrderSegments)
+{
+    PowerTraceRecorder rec;
+    rec.add(0.0, 1.0, 5.0, 1.2);
+    EXPECT_FAILURE(rec.add(0.5, 0.8, 5.0, 1.2));
+    EXPECT_FAILURE(rec.add(2.0, 1.5, 5.0, 1.2));
+}
+
+DaqSampler::Config
+quietDaq()
+{
+    DaqSampler::Config cfg;
+    cfg.noise_sigma_v = 0.0;
+    cfg.filter_window = 1;
+    return cfg;
+}
+
+TEST(DaqSampler, SamplesAtConfiguredPeriod)
+{
+    PowerTraceRecorder rec;
+    rec.add(0.0, 0.01, 8.0, 1.484); // 10 ms at 8 W
+    DaqSampler sampler(quietDaq());
+    size_t count = 0;
+    sampler.sampleRun(rec.segments(), {},
+                      [&](const DaqSample &s) {
+                          ++count;
+                          EXPECT_NEAR(s.watts, 8.0, 1e-9);
+                      });
+    EXPECT_EQ(count, 250u); // 10 ms / 40 us
+}
+
+TEST(DaqSampler, TracksSegmentBoundaries)
+{
+    PowerTraceRecorder rec;
+    rec.add(0.0, 0.001, 4.0, 1.2);
+    rec.add(0.001, 0.002, 10.0, 1.484);
+    DaqSampler sampler(quietDaq());
+    std::vector<DaqSample> samples;
+    sampler.sampleRun(rec.segments(), {},
+                      [&](const DaqSample &s) {
+                          samples.push_back(s);
+                      });
+    ASSERT_EQ(samples.size(), 50u);
+    EXPECT_NEAR(samples.front().watts, 4.0, 1e-9);
+    EXPECT_NEAR(samples.back().watts, 10.0, 1e-9);
+}
+
+TEST(DaqSampler, PortLevelsFollowTransitions)
+{
+    PowerTraceRecorder rec;
+    rec.add(0.0, 0.004, 5.0, 1.2);
+    std::vector<ParallelPort::Transition> port{
+        {0.001, 0x04}, {0.003, 0x05}};
+    DaqSampler sampler(quietDaq());
+    std::vector<DaqSample> samples;
+    sampler.sampleRun(rec.segments(), port,
+                      [&](const DaqSample &s) {
+                          samples.push_back(s);
+                      });
+    ASSERT_EQ(samples.size(), 100u);
+    EXPECT_EQ(samples[0].port, 0x00);
+    EXPECT_EQ(samples[30].port, 0x04); // t = 1.2 ms
+    EXPECT_EQ(samples[80].port, 0x05); // t = 3.2 ms
+}
+
+TEST(DaqSampler, NoisyMeasurementIsUnbiased)
+{
+    PowerTraceRecorder rec;
+    rec.add(0.0, 0.2, 9.0, 1.484); // 5000 samples
+    DaqSampler::Config cfg;
+    cfg.noise_sigma_v = 0.0003;
+    DaqSampler sampler(cfg);
+    RunningStats stats;
+    sampler.sampleRun(rec.segments(), {},
+                      [&](const DaqSample &s) { stats.add(s.watts); });
+    EXPECT_NEAR(stats.mean(), 9.0, 0.05);
+    EXPECT_GT(stats.stddev(), 0.0);
+}
+
+TEST(DaqSampler, EmptyTraceProducesNoSamples)
+{
+    DaqSampler sampler(quietDaq());
+    size_t count = 0;
+    sampler.sampleRun({}, {}, [&](const DaqSample &) { ++count; });
+    EXPECT_EQ(count, 0u);
+}
+
+TEST(DaqSampler, InvalidConfigIsFatal)
+{
+    DaqSampler::Config cfg;
+    cfg.sample_period_us = 0.0;
+    EXPECT_FAILURE(DaqSampler{cfg});
+    DaqSampler sampler;
+    PowerTraceRecorder rec;
+    rec.add(0.0, 0.001, 1.0, 1.0);
+    EXPECT_FAILURE(sampler.sampleRun(rec.segments(), {}, nullptr));
+}
+
+TEST(LoggingMachine, AppRegionGatedByBit2)
+{
+    LoggingMachine logger;
+    // 40 us cadence, 10 W. App marker on only for the middle two
+    // intervals.
+    const double dt = 40e-6;
+    uint8_t off = 0x00, on = 0x04;
+    double t = 0.0;
+    for (uint8_t port : {off, on, on, on, off, off}) {
+        logger.consume(DaqSample{t, 10.0, port});
+        t += dt;
+    }
+    logger.finish();
+    // Energy accrues for intervals whose *starting* sample has the
+    // bit set: three intervals of 40 us each.
+    EXPECT_NEAR(logger.appSeconds(), 3 * dt, 1e-12);
+    EXPECT_NEAR(logger.appJoules(), 10.0 * 3 * dt, 1e-12);
+    EXPECT_NEAR(logger.appWatts(), 10.0, 1e-9);
+}
+
+TEST(LoggingMachine, PhaseWindowsDelimitedByBit0)
+{
+    LoggingMachine logger;
+    const double dt = 40e-6;
+    double t = 0.0;
+    // App on throughout; phase bit toggles after 3 and 6 samples.
+    const uint8_t a = 0x04, b = 0x05;
+    for (uint8_t port : {a, a, a, b, b, b, a, a, a}) {
+        logger.consume(DaqSample{t, 5.0, port});
+        t += dt;
+    }
+    // End the app to close the last window.
+    logger.consume(DaqSample{t, 5.0, 0x00});
+    logger.finish();
+    const auto &phases = logger.phases();
+    ASSERT_EQ(phases.size(), 3u);
+    for (const auto &ph : phases) {
+        EXPECT_NEAR(ph.seconds(), 3 * dt, 1e-9);
+        EXPECT_NEAR(ph.watts(), 5.0, 1e-9);
+    }
+}
+
+TEST(LoggingMachine, HandlerResidencyTracked)
+{
+    LoggingMachine logger;
+    const double dt = 40e-6;
+    double t = 0.0;
+    for (uint8_t port : {0x04, 0x06, 0x06, 0x04}) { // bit1 pulses
+        logger.consume(DaqSample{t, 5.0, port});
+        t += dt;
+    }
+    logger.finish();
+    EXPECT_NEAR(logger.handlerSeconds(), 2 * dt, 1e-12);
+}
+
+TEST(LoggingMachine, OutOfOrderSamplesPanic)
+{
+    LoggingMachine logger;
+    logger.consume(DaqSample{1.0, 5.0, 0});
+    EXPECT_FAILURE(logger.consume(DaqSample{0.5, 5.0, 0}));
+}
+
+TEST(LoggingMachine, ResetClearsAccumulators)
+{
+    LoggingMachine logger;
+    logger.consume(DaqSample{0.0, 5.0, 0x04});
+    logger.consume(DaqSample{1.0, 5.0, 0x04});
+    logger.reset();
+    EXPECT_DOUBLE_EQ(logger.appSeconds(), 0.0);
+    EXPECT_EQ(logger.samplesConsumed(), 0u);
+}
+
+} // namespace
+} // namespace livephase

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Tests for the thermal model, monitor, power advisor, and the
+ * thermal / power-cap decision hooks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpu/core.hh"
+#include "cpu/thermal_model.hh"
+#include "dtm/dtm_harness.hh"
+#include "dtm/dtm_policies.hh"
+#include "dtm/power_advisor.hh"
+#include "dtm/thermal_monitor.hh"
+#include "workload/spec2000.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+TEST(ThermalModel, SteadyStateAndTimeConstant)
+{
+    ThermalModel model;
+    EXPECT_DOUBLE_EQ(model.steadyStateC(0.0), 35.0);
+    EXPECT_DOUBLE_EQ(model.steadyStateC(10.0), 65.0);
+    EXPECT_DOUBLE_EQ(model.timeConstant(), 1.5);
+    EXPECT_DOUBLE_EQ(model.powerForSteadyState(65.0), 10.0);
+}
+
+TEST(ThermalModel, ExponentialApproach)
+{
+    ThermalModel model;
+    // After one time constant: 63.2% of the way to steady state.
+    model.advance(10.0, model.timeConstant());
+    const double expected = 65.0 + (35.0 - 65.0) * std::exp(-1.0);
+    EXPECT_NEAR(model.temperature(), expected, 1e-9);
+    // After many time constants: settled.
+    model.advance(10.0, 100.0 * model.timeConstant());
+    EXPECT_NEAR(model.temperature(), 65.0, 1e-6);
+}
+
+TEST(ThermalModel, IntegrationIsSplitInvariant)
+{
+    // Advancing in one 2 s step equals advancing in 20 x 0.1 s
+    // steps (the closed form is exact).
+    ThermalModel one_step, many_steps;
+    one_step.advance(8.0, 2.0);
+    for (int i = 0; i < 20; ++i)
+        many_steps.advance(8.0, 0.1);
+    EXPECT_NEAR(one_step.temperature(), many_steps.temperature(),
+                1e-9);
+}
+
+TEST(ThermalModel, CoolsWhenPowerDrops)
+{
+    ThermalModel model;
+    model.advance(12.0, 50.0); // hot
+    const double hot = model.temperature();
+    model.advance(2.0, 1.0);
+    EXPECT_LT(model.temperature(), hot);
+    EXPECT_GT(model.temperature(), model.steadyStateC(2.0));
+}
+
+TEST(ThermalModel, ResetAndValidation)
+{
+    ThermalModel model;
+    model.advance(10.0, 10.0);
+    model.reset();
+    EXPECT_DOUBLE_EQ(model.temperature(), 35.0);
+    ThermalModel::Params bad;
+    bad.resistance_k_per_w = 0.0;
+    EXPECT_FAILURE(ThermalModel{bad});
+    bad = ThermalModel::Params{};
+    bad.capacitance_j_per_k = -1.0;
+    EXPECT_FAILURE(ThermalModel{bad});
+    EXPECT_FAILURE(model.advance(-1.0, 1.0));
+    EXPECT_FAILURE(model.advance(1.0, -1.0));
+}
+
+TEST(ThermalMonitor, TracksCorePower)
+{
+    Core core;
+    ThermalMonitor monitor(core);
+    Interval hot;
+    hot.uops = 9e9; // ~3.3 s at 1.5 GHz: over two time constants
+    hot.core_ipc = 1.8;
+    core.execute(hot);
+    // Busy core draws ~12 W -> steady state near 71 C.
+    EXPECT_GT(monitor.temperature(), 60.0);
+    EXPECT_LT(monitor.temperature(), 72.0);
+    EXPECT_GE(monitor.peakTemperature(), monitor.temperature());
+    EXPECT_FALSE(monitor.trace().empty());
+}
+
+TEST(ThermalMonitor, SecondsAboveThreshold)
+{
+    Core core;
+    ThermalMonitor monitor(core);
+    Interval hot;
+    hot.uops = 6e9;
+    hot.core_ipc = 1.8;
+    core.execute(hot);
+    const double total = core.now();
+    const double above_50 = monitor.secondsAbove(50.0);
+    const double above_65 = monitor.secondsAbove(65.0);
+    EXPECT_GT(above_50, 0.0);
+    EXPECT_LT(above_50, total);
+    EXPECT_LT(above_65, above_50); // monotone in the threshold
+    EXPECT_DOUBLE_EQ(monitor.secondsAbove(200.0), 0.0);
+    EXPECT_NEAR(monitor.secondsAbove(0.0), total, 1e-9);
+}
+
+TEST(PowerAdvisor, EstimatesAreMonotone)
+{
+    const PhaseClassifier classifier = PhaseClassifier::table1();
+    const TimingModel timing;
+    const PowerModel power;
+    PowerAdvisor advisor(classifier, timing, power,
+                         DvfsTable::pentiumM());
+    EXPECT_EQ(advisor.numPhases(), 6);
+    EXPECT_EQ(advisor.numSettings(), 6u);
+    // Power falls monotonically along the DVFS ladder for every
+    // phase.
+    for (PhaseId phase = 1; phase <= 6; ++phase) {
+        for (size_t i = 1; i < 6; ++i)
+            EXPECT_LT(advisor.watts(phase, i),
+                      advisor.watts(phase, i - 1))
+                << "phase " << phase << " setting " << i;
+    }
+    // At the same setting, CPU-bound phases draw more than
+    // memory-bound ones (higher activity).
+    EXPECT_GT(advisor.watts(1, 0), advisor.watts(6, 0));
+}
+
+TEST(PowerAdvisor, BudgetSelection)
+{
+    const PhaseClassifier classifier = PhaseClassifier::table1();
+    PowerAdvisor advisor(classifier, TimingModel{}, PowerModel{},
+                         DvfsTable::pentiumM());
+    // Huge budget: the policy's own choice stands.
+    EXPECT_EQ(advisor.fastestWithinBudget(1, 0, 1000.0), 0u);
+    EXPECT_EQ(advisor.fastestWithinBudget(1, 2, 1000.0), 2u);
+    // Tiny budget: clamps to the slowest point.
+    EXPECT_EQ(advisor.fastestWithinBudget(1, 0, 0.1), 5u);
+    // Intermediate budget: the chosen setting fits, the next-faster
+    // one does not.
+    const double budget = 6.0;
+    const size_t pick = advisor.fastestWithinBudget(1, 0, budget);
+    EXPECT_LE(advisor.watts(1, pick), budget);
+    if (pick > 0) {
+        EXPECT_GT(advisor.watts(1, pick - 1), budget);
+    }
+}
+
+TEST(PowerAdvisor, Validation)
+{
+    const PhaseClassifier classifier = PhaseClassifier::table1();
+    EXPECT_FAILURE(PowerAdvisor(classifier, TimingModel{},
+                                PowerModel{}, DvfsTable::pentiumM(),
+                                0.0));
+    EXPECT_FAILURE(PowerAdvisor(classifier, TimingModel{},
+                                PowerModel{}, DvfsTable::pentiumM(),
+                                1.0, 2.0));
+    PowerAdvisor advisor(classifier, TimingModel{}, PowerModel{},
+                         DvfsTable::pentiumM());
+    EXPECT_FAILURE(advisor.watts(0, 0));
+    EXPECT_FAILURE(advisor.watts(7, 0));
+    EXPECT_FAILURE(advisor.watts(1, 6));
+}
+
+IntervalTrace
+hotColdTrace(size_t samples)
+{
+    // Long CPU-bound (hot) regions punctuated by short memory-bound
+    // (cool) regions. A hot sample takes ~37 ms of wall clock, so
+    // an 80-sample hot region spans over two thermal time
+    // constants — enough to push an unmanaged core past the default
+    // 62 C limit (hot-phase steady state ~66 C).
+    IntervalTrace t("hot_cold");
+    for (size_t i = 0; i < samples; ++i) {
+        Interval ivl;
+        ivl.uops = 100e6;
+        const bool hot = (i % 88) < 80;
+        ivl.mem_per_uop = hot ? 0.001 : 0.035;
+        ivl.core_ipc = hot ? 1.8 : 1.0;
+        t.append(ivl);
+    }
+    return t;
+}
+
+TEST(ThermalHarness, UnmanagedRunExceedsTheLimit)
+{
+    const ThermalRunResult result =
+        runThermal(hotColdTrace(120), ThermalStrategy::None);
+    EXPECT_GT(result.peak_temp_c, result.limit_c);
+    EXPECT_GT(result.seconds_over_limit, 0.0);
+}
+
+TEST(ThermalHarness, ManagedRunsRespectTheLimit)
+{
+    for (ThermalStrategy strategy :
+         {ThermalStrategy::Reactive, ThermalStrategy::Proactive}) {
+        const ThermalRunResult result =
+            runThermal(hotColdTrace(120), strategy);
+        // The guard band engages before the limit; small residual
+        // overshoot can happen within one sampling period.
+        EXPECT_LT(result.peak_temp_c, result.limit_c + 1.0)
+            << thermalStrategyName(strategy);
+        EXPECT_LT(result.overLimitShare(), 0.02)
+            << thermalStrategyName(strategy);
+        EXPECT_GT(result.dvfs_transitions, 0u);
+    }
+}
+
+TEST(ThermalHarness, ManagementCostsBoundedPerformance)
+{
+    const ThermalRunResult baseline =
+        runThermal(hotColdTrace(120), ThermalStrategy::None);
+    const ThermalRunResult managed =
+        runThermal(hotColdTrace(120), ThermalStrategy::Proactive);
+    EXPECT_GT(managed.perf.seconds, baseline.perf.seconds);
+    // Throttling costs some speed but not a collapse.
+    EXPECT_LT(managed.perf.seconds, baseline.perf.seconds * 1.6);
+    EXPECT_LT(managed.perf.watts(), baseline.perf.watts());
+}
+
+TEST(ThermalHarness, ProactivePredictionIsAccurate)
+{
+    const ThermalRunResult result =
+        runThermal(hotColdTrace(240), ThermalStrategy::Proactive);
+    EXPECT_GT(result.prediction_accuracy, 0.85);
+}
+
+TEST(ThermalHooks, Validation)
+{
+    Core core;
+    ThermalMonitor monitor(core);
+    const PhaseClassifier classifier = PhaseClassifier::table1();
+    PowerAdvisor advisor(classifier, TimingModel{}, PowerModel{},
+                         DvfsTable::pentiumM());
+    EXPECT_FAILURE(makeThermalThrottleHook(monitor, advisor, 65.0,
+                                           -1.0));
+    EXPECT_FAILURE(makeThermalThrottleHook(monitor, advisor, 20.0));
+    EXPECT_FAILURE(makePowerCapHook(advisor, 0.0));
+}
+
+TEST(PowerCap, HookClampsHotPhases)
+{
+    const PhaseClassifier classifier = PhaseClassifier::table1();
+    PowerAdvisor advisor(classifier, TimingModel{}, PowerModel{},
+                         DvfsTable::pentiumM());
+    const auto hook = makePowerCapHook(advisor, 6.0);
+    // CPU-bound phase at the fastest setting exceeds 6 W: clamped.
+    const size_t clamped = hook(1, 0);
+    EXPECT_GT(clamped, 0u);
+    EXPECT_LE(advisor.watts(1, clamped), 6.0);
+    // Memory-bound phase at a slow setting already fits: untouched.
+    EXPECT_EQ(hook(6, 5), 5u);
+}
+
+TEST(PowerCap, EndToEndAveragePowerUnderBudget)
+{
+    const double budget = 6.0;
+    Core core;
+    PhaseKernelModule::Config kcfg;
+    kcfg.sample_uops = 100'000'000;
+    PhaseKernelModule module(core,
+                             makeGphtGovernor(core.dvfs().table()),
+                             kcfg);
+    PowerAdvisor advisor(module.governor().classifier(),
+                         core.timing(), core.powerModel(),
+                         core.dvfs().table());
+    module.setDecisionHook(makePowerCapHook(advisor, budget));
+    module.load();
+    const IntervalTrace trace = hotColdTrace(120);
+    for (const Interval &ivl : trace)
+        core.execute(ivl);
+    const double avg_watts =
+        core.totals().joules / core.totals().seconds;
+    // First sample runs uncapped; everything after fits the model
+    // estimate, so the average lands close to (and near) the cap.
+    EXPECT_LT(avg_watts, budget * 1.15);
+}
+
+TEST(ThermalHarness, EmptyTraceIsFatal)
+{
+    IntervalTrace empty("empty");
+    EXPECT_FAILURE(runThermal(empty, ThermalStrategy::None));
+}
+
+} // namespace
+} // namespace livephase

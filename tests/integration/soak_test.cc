@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Soak and randomized-configuration tests: long runs for numerical
+ * stability and LRU aging, plus fuzzed platform configurations
+ * checked against global invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/gpht_predictor.hh"
+#include "core/system.hh"
+#include "workload/patterns.hh"
+#include "workload/spec2000.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+TEST(Soak, TenThousandSampleRunStaysConsistent)
+{
+    // ~10^10 uops; exercises LRU aging, TSC accumulation and the
+    // stats over a long horizon.
+    const IntervalTrace trace =
+        Spec2000Suite::byName("applu_in").makeTrace(10'000, 7);
+    const System system;
+    const auto run =
+        system.run(trace, makeGphtGovernor(DvfsTable::pentiumM()));
+    EXPECT_EQ(run.samples.size(), 10'000u);
+    EXPECT_GT(run.prediction_accuracy, 0.9);
+    EXPECT_NEAR(run.exact.instructions, 1e12, 1e6);
+    // Time must be internally consistent: sum of per-sample periods
+    // equals the total app time within handler-overhead slack.
+    double period_sum = 0.0;
+    for (const auto &rec : run.samples)
+        period_sum += rec.t_end - rec.t_start;
+    EXPECT_NEAR(period_sum, run.exact.seconds,
+                run.exact.seconds * 0.001);
+}
+
+TEST(Soak, GphtStateStaysBoundedOverLongRuns)
+{
+    GphtPredictor gpht(8, 128);
+    Rng rng(11);
+    for (int i = 0; i < 200'000; ++i)
+        gpht.observePhase(static_cast<PhaseId>(rng.uniformInt(1, 6)));
+    EXPECT_LE(gpht.phtOccupancy(), 128u);
+    const auto &s = gpht.stats();
+    EXPECT_EQ(s.hits + s.insertions, s.lookups);
+    EXPECT_GT(s.replacements, 0u);
+}
+
+/** Randomized configurations must satisfy global invariants. */
+class FuzzConfig : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FuzzConfig, InvariantsHoldUnderRandomPlatforms)
+{
+    Rng rng(GetParam());
+
+    // Random workload out of the pattern library.
+    MachineBehavior machine;
+    machine.ipc_at_zero_mem = rng.uniform(0.8, 1.9);
+    machine.block_factor = rng.uniform(0.4, 1.0);
+    const double lo = rng.uniform(0.0, 0.01);
+    const double hi = lo + rng.uniform(0.002, 0.04);
+    SquareWavePattern pattern(
+        lo, hi, static_cast<size_t>(rng.uniformInt(2, 12)),
+        static_cast<size_t>(rng.uniformInt(2, 12)));
+    IntervalTrace trace("fuzz");
+    for (int i = 0; i < 80; ++i)
+        trace.append(machine.makeInterval(pattern.next(rng), 100e6,
+                                          rng));
+
+    // Random harness configuration.
+    System::Config cfg;
+    cfg.kernel.sample_uops = static_cast<uint64_t>(
+        rng.uniformInt(5'000'000, 200'000'000));
+    cfg.kernel.handler_overhead_us = rng.uniform(0.0, 50.0);
+    cfg.core.transition_us = rng.uniform(0.0, 500.0);
+    const System system(cfg);
+
+    const auto baseline = system.runBaseline(trace);
+    const auto managed = system.run(
+        trace, makeGphtGovernor(DvfsTable::pentiumM()));
+
+    // Invariants:
+    //  - both runs retire identical work;
+    EXPECT_NEAR(managed.exact.instructions,
+                baseline.exact.instructions, 1.0);
+    //  - the baseline (fastest point throughout) is never slower;
+    EXPECT_GE(managed.exact.seconds,
+              baseline.exact.seconds * (1.0 - 1e-9));
+    //  - managed never draws more average power than the baseline;
+    EXPECT_LE(managed.exact.watts(),
+              baseline.exact.watts() * (1.0 + 1e-9));
+    //  - accuracy is a valid fraction;
+    EXPECT_GE(managed.prediction_accuracy, 0.0);
+    EXPECT_LE(managed.prediction_accuracy, 1.0);
+    //  - energy is positive and consistent with power * time.
+    EXPECT_GT(managed.exact.joules, 0.0);
+    EXPECT_NEAR(managed.exact.joules,
+                managed.exact.watts() * managed.exact.seconds,
+                managed.exact.joules * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzConfig,
+                         ::testing::Range(uint64_t(1),
+                                          uint64_t(21)));
+
+} // namespace
+} // namespace livephase

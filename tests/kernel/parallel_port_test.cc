@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the parallel port and kernel log.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernel/kernel_log.hh"
+#include "kernel/parallel_port.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+TEST(ParallelPort, BitOperations)
+{
+    double now = 0.0;
+    ParallelPort port([&]() { return now; });
+    EXPECT_EQ(port.read(), 0u);
+    port.setBit(2, true);
+    EXPECT_TRUE(port.bit(2));
+    EXPECT_EQ(port.read(), 0x04u);
+    port.toggleBit(0);
+    EXPECT_TRUE(port.bit(0));
+    port.toggleBit(0);
+    EXPECT_FALSE(port.bit(0));
+    port.setBit(2, false);
+    EXPECT_EQ(port.read(), 0u);
+}
+
+TEST(ParallelPort, TransitionsAreTimestamped)
+{
+    double now = 0.0;
+    ParallelPort port([&]() { return now; });
+    now = 1.5;
+    port.setBit(0, true);
+    now = 2.5;
+    port.setBit(1, true);
+    const auto &trace = port.transitions();
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_DOUBLE_EQ(trace[0].time, 1.5);
+    EXPECT_EQ(trace[0].level, 0x01u);
+    EXPECT_DOUBLE_EQ(trace[1].time, 2.5);
+    EXPECT_EQ(trace[1].level, 0x03u);
+}
+
+TEST(ParallelPort, RedundantWritesAreNotRecorded)
+{
+    ParallelPort port([]() { return 0.0; });
+    port.setBit(0, false); // already 0
+    port.write(0);
+    EXPECT_TRUE(port.transitions().empty());
+    port.setBit(0, true);
+    port.setBit(0, true); // no change
+    EXPECT_EQ(port.transitions().size(), 1u);
+}
+
+TEST(ParallelPort, ClearTracePreservesLevel)
+{
+    ParallelPort port([]() { return 0.0; });
+    port.setBit(3, true);
+    port.clearTrace();
+    EXPECT_TRUE(port.transitions().empty());
+    EXPECT_TRUE(port.bit(3));
+}
+
+TEST(ParallelPort, OutOfRangeBitPanics)
+{
+    ParallelPort port([]() { return 0.0; });
+    EXPECT_FAILURE(port.setBit(8, true));
+    EXPECT_FAILURE(port.toggleBit(-1));
+    EXPECT_FAILURE(port.bit(9));
+}
+
+TEST(ParallelPort, RequiresClock)
+{
+    EXPECT_FAILURE(ParallelPort(nullptr));
+}
+
+SampleRecord
+record(uint64_t index, PhaseId actual, PhaseId predicted)
+{
+    SampleRecord r;
+    r.index = index;
+    r.actual_phase = actual;
+    r.predicted_phase = predicted;
+    return r;
+}
+
+TEST(KernelLog, AppendAndAccess)
+{
+    KernelLog log;
+    EXPECT_TRUE(log.empty());
+    log.append(record(0, 1, 2));
+    log.append(record(1, 2, 2));
+    EXPECT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.at(1).actual_phase, 2);
+    EXPECT_FAILURE(log.at(2));
+}
+
+TEST(KernelLog, AccuracyScoresPredictionAgainstNextSample)
+{
+    KernelLog log;
+    // Sample 0 predicts 2 for sample 1 (correct), sample 1 predicts
+    // 5 for sample 2 (wrong), sample 2 predicts 3 for sample 3
+    // (correct).
+    log.append(record(0, 1, 2));
+    log.append(record(1, 2, 5));
+    log.append(record(2, 4, 3));
+    log.append(record(3, 3, 1));
+    EXPECT_NEAR(log.predictionAccuracy(), 2.0 / 3.0, 1e-12);
+    EXPECT_EQ(log.mispredictions(), 1u);
+}
+
+TEST(KernelLog, DegenerateLogsAreFullyAccurate)
+{
+    KernelLog log;
+    EXPECT_DOUBLE_EQ(log.predictionAccuracy(), 1.0);
+    log.append(record(0, 1, 1));
+    EXPECT_DOUBLE_EQ(log.predictionAccuracy(), 1.0);
+    EXPECT_EQ(log.mispredictions(), 0u);
+}
+
+TEST(KernelLog, ClearEmptiesTheLog)
+{
+    KernelLog log;
+    log.append(record(0, 1, 1));
+    log.clear();
+    EXPECT_TRUE(log.empty());
+}
+
+} // namespace
+} // namespace livephase

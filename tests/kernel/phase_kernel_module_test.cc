@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests for the kernel module: the Figure 8 handler flow end to end
+ * on the simulated core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+#include "kernel/phase_kernel_module.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+Interval
+behavior(double m, double ipc = 1.0)
+{
+    Interval ivl;
+    ivl.uops = 100e6;
+    ivl.mem_per_uop = m;
+    ivl.core_ipc = ipc;
+    return ivl;
+}
+
+PhaseKernelModule::Config
+smallSamples(uint64_t uops = 10'000'000)
+{
+    PhaseKernelModule::Config cfg;
+    cfg.sample_uops = uops;
+    return cfg;
+}
+
+TEST(KernelModule, LoadProgramsCountersPerThePaper)
+{
+    Core core;
+    PhaseKernelModule module(core, makeGphtGovernor(
+        core.dvfs().table()));
+    module.load();
+    EXPECT_TRUE(module.isLoaded());
+    const Pmc &c0 = core.pmcBank().counter(0);
+    const Pmc &c1 = core.pmcBank().counter(1);
+    EXPECT_EQ(c0.select().event, PmcEventId::UopsRetired);
+    EXPECT_TRUE(c0.select().int_enable);
+    EXPECT_TRUE(c0.select().enable);
+    EXPECT_EQ(c0.eventsUntilOverflow(), 100'000'000u);
+    EXPECT_EQ(c1.select().event, PmcEventId::BusTranMem);
+    EXPECT_FALSE(c1.select().int_enable);
+    EXPECT_TRUE(c1.select().enable);
+    module.unload();
+    EXPECT_FALSE(module.isLoaded());
+    EXPECT_FALSE(c0.select().enable);
+}
+
+TEST(KernelModule, DoubleLoadOrUnloadIsFatal)
+{
+    Core core;
+    PhaseKernelModule module(core, makeBaselineGovernor());
+    module.load();
+    EXPECT_FAILURE(module.load());
+    module.unload();
+    EXPECT_FAILURE(module.unload());
+}
+
+TEST(KernelModule, SamplesAtConfiguredGranularity)
+{
+    Core core;
+    PhaseKernelModule module(core, makeBaselineGovernor(),
+                             smallSamples());
+    module.load();
+    core.execute(behavior(0.002)); // 100M uops -> 10 samples
+    EXPECT_EQ(module.samplesTaken(), 10u);
+    EXPECT_EQ(module.log().size(), 10u);
+}
+
+TEST(KernelModule, LogRecordsCorrectMetrics)
+{
+    Core core;
+    PhaseKernelModule module(core, makeBaselineGovernor(),
+                             smallSamples());
+    module.load();
+    core.execute(behavior(0.012, 1.0));
+    ASSERT_GE(module.log().size(), 1u);
+    const SampleRecord &rec = module.log().at(0);
+    EXPECT_EQ(rec.uops, 10'000'000u);
+    EXPECT_NEAR(rec.mem_per_uop, 0.012, 1e-9);
+    EXPECT_EQ(rec.actual_phase, 3); // [0.010, 0.015)
+    EXPECT_GT(rec.upc, 0.0);
+    EXPECT_LT(rec.upc, 1.0); // memory stalls push UPC below core IPC
+    EXPECT_GT(rec.t_end, rec.t_start);
+}
+
+TEST(KernelModule, AppliesPredictedDvfsSetting)
+{
+    Core core;
+    PhaseKernelModule module(core,
+                             makeReactiveGovernor(core.dvfs().table()),
+                             smallSamples());
+    module.load();
+    // Phase 6 behaviour: after the first sample the reactive
+    // governor must drop to the slowest setting.
+    core.execute(behavior(0.05));
+    EXPECT_EQ(core.dvfs().currentIndex(), 5u);
+    EXPECT_GE(core.dvfs().transitionCount(), 1u);
+}
+
+TEST(KernelModule, BaselineGovernorNeverTouchesDvfs)
+{
+    Core core;
+    PhaseKernelModule module(core, makeBaselineGovernor(),
+                             smallSamples());
+    module.load();
+    core.execute(behavior(0.05));
+    core.execute(behavior(0.001));
+    EXPECT_EQ(core.dvfs().currentIndex(), 0u);
+    EXPECT_EQ(core.dvfs().transitionCount(), 0u);
+    // ... but it still monitors and logs.
+    EXPECT_EQ(module.log().size(), 20u);
+}
+
+TEST(KernelModule, SameSettingSkipsTransition)
+{
+    Core core;
+    PhaseKernelModule module(core,
+                             makeReactiveGovernor(core.dvfs().table()),
+                             smallSamples());
+    module.load();
+    // Constant phase-6 behaviour: exactly one transition (down),
+    // then the "same as current setting" branch suppresses further
+    // writes.
+    core.execute(behavior(0.05));
+    core.execute(behavior(0.05));
+    EXPECT_EQ(core.dvfs().transitionCount(), 1u);
+}
+
+TEST(KernelModule, MemPerUopInLogIsDvfsInvariant)
+{
+    // Run the same workload unmanaged and managed; the logged
+    // Mem/Uop series must agree (paper Figure 10, top chart).
+    const Interval ivl = behavior(0.035, 0.8);
+
+    Core base_core;
+    PhaseKernelModule base(base_core, makeBaselineGovernor(),
+                           smallSamples());
+    base.load();
+    for (int i = 0; i < 5; ++i)
+        base_core.execute(ivl);
+
+    Core managed_core;
+    PhaseKernelModule managed(
+        managed_core, makeGphtGovernor(managed_core.dvfs().table()),
+        smallSamples());
+    managed.load();
+    for (int i = 0; i < 5; ++i)
+        managed_core.execute(ivl);
+
+    ASSERT_EQ(base.log().size(), managed.log().size());
+    for (size_t i = 0; i < base.log().size(); ++i) {
+        EXPECT_NEAR(base.log().at(i).mem_per_uop,
+                    managed.log().at(i).mem_per_uop, 1e-9);
+    }
+    // The managed run slowed down...
+    EXPECT_GT(managed_core.now(), base_core.now());
+    // ...which moved UPC, demonstrating why UPC-based phases would
+    // be unusable (Section 4).
+    EXPECT_GT(managed.log().at(4).upc, base.log().at(4).upc * 1.2);
+}
+
+TEST(KernelModule, ParallelPortSignalsFollowTheProtocol)
+{
+    Core core;
+    PhaseKernelModule module(core, makeBaselineGovernor(),
+                             smallSamples());
+    module.load();
+    module.beginApplication();
+    EXPECT_TRUE(module.parallelPort().bit(parport_bit::APP_RUNNING));
+    core.execute(behavior(0.002));
+    module.endApplication();
+    EXPECT_FALSE(module.parallelPort().bit(parport_bit::APP_RUNNING));
+    // 10 samples -> 10 phase-bit toggles, plus handler entry/exit
+    // pairs and the app bit edges.
+    size_t phase_edges = 0;
+    uint8_t prev = 0;
+    for (const auto &tr : module.parallelPort().transitions()) {
+        if ((tr.level ^ prev) & 0x01)
+            ++phase_edges;
+        prev = tr.level;
+    }
+    EXPECT_EQ(phase_edges, 10u);
+    // Handler bit must be low outside the handler.
+    EXPECT_FALSE(module.parallelPort().bit(parport_bit::IN_HANDLER));
+}
+
+TEST(KernelModule, HandlerOverheadIsCharged)
+{
+    Core with_overhead_core;
+    PhaseKernelModule::Config cfg = smallSamples();
+    cfg.handler_overhead_us = 50.0;
+    PhaseKernelModule heavy(with_overhead_core,
+                            makeBaselineGovernor(), cfg);
+    heavy.load();
+    with_overhead_core.execute(behavior(0.002));
+
+    Core free_core;
+    PhaseKernelModule::Config cfg0 = smallSamples();
+    cfg0.handler_overhead_us = 0.0;
+    PhaseKernelModule light(free_core, makeBaselineGovernor(), cfg0);
+    light.load();
+    free_core.execute(behavior(0.002));
+
+    EXPECT_NEAR(with_overhead_core.now() - free_core.now(),
+                10 * 50e-6, 1e-9);
+}
+
+TEST(KernelModule, OverheadIsInvisibleAtPaperGranularity)
+{
+    // The headline claim: at 100M-uop samples (~100 ms) a ~5 us
+    // handler is < 0.01% of execution time.
+    Core core;
+    PhaseKernelModule module(core, makeBaselineGovernor());
+    module.load();
+    for (int i = 0; i < 3; ++i)
+        core.execute(behavior(0.002));
+    const double handler_time = 3 * 5e-6;
+    EXPECT_LT(handler_time / core.now(), 1e-4);
+    EXPECT_EQ(module.samplesTaken(), 3u);
+}
+
+TEST(KernelModule, LoggingCanBeDisabled)
+{
+    Core core;
+    PhaseKernelModule::Config cfg = smallSamples();
+    cfg.log_enabled = false;
+    PhaseKernelModule module(core, makeBaselineGovernor(), cfg);
+    module.load();
+    core.execute(behavior(0.002));
+    EXPECT_EQ(module.samplesTaken(), 10u);
+    EXPECT_TRUE(module.log().empty());
+}
+
+TEST(KernelModule, InvalidConfigIsFatal)
+{
+    Core core;
+    PhaseKernelModule::Config zero;
+    zero.sample_uops = 0;
+    EXPECT_FAILURE(PhaseKernelModule(core, makeBaselineGovernor(),
+                                     zero));
+    PhaseKernelModule::Config negative;
+    negative.handler_overhead_us = -1.0;
+    EXPECT_FAILURE(PhaseKernelModule(core, makeBaselineGovernor(),
+                                     negative));
+}
+
+TEST(KernelModule, GphtGovernorPredictsRepetitivePhases)
+{
+    Core core;
+    // 25M-uop samples: each 100M-uop interval spans 4 samples, so
+    // alternating intervals give a period-8 phase pattern — exactly
+    // within reach of the depth-8 GPHR.
+    PhaseKernelModule module(core,
+                             makeGphtGovernor(core.dvfs().table()),
+                             smallSamples(25'000'000));
+    module.load();
+    for (int rep = 0; rep < 60; ++rep)
+        core.execute(behavior(rep % 2 == 0 ? 0.001 : 0.05));
+    // Last-value would be wrong at every run boundary (~25% of
+    // samples); the GPHT learns the period.
+    EXPECT_GT(module.log().predictionAccuracy(), 0.9);
+}
+
+} // namespace
+} // namespace livephase

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the round-robin multiprogramming substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/variability.hh"
+#include "cpu/core.hh"
+#include "kernel/phase_kernel_module.hh"
+#include "kernel/scheduler.hh"
+#include "workload/spec2000.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+IntervalTrace
+steady(const std::string &name, double m, size_t samples,
+       double ipc = 1.0)
+{
+    IntervalTrace t(name);
+    Interval ivl;
+    ivl.uops = 100e6;
+    ivl.mem_per_uop = m;
+    ivl.core_ipc = ipc;
+    for (size_t i = 0; i < samples; ++i)
+        t.append(ivl);
+    return t;
+}
+
+TEST(Scheduler, SingleTaskRunsToCompletion)
+{
+    Core core;
+    Scheduler sched(core);
+    sched.addTask(steady("a", 0.001, 3));
+    EXPECT_FALSE(sched.allFinished());
+    sched.runToCompletion();
+    EXPECT_TRUE(sched.allFinished());
+    const auto stats = sched.stats();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_DOUBLE_EQ(stats[0].uops_retired, 300e6);
+    EXPECT_TRUE(stats[0].finished());
+    EXPECT_DOUBLE_EQ(core.totals().uops, 300e6);
+}
+
+TEST(Scheduler, RoundRobinInterleavesFairly)
+{
+    Core core;
+    Scheduler::Config cfg;
+    cfg.quantum_uops = 10'000'000;
+    Scheduler sched(core, cfg);
+    sched.addTask(steady("a", 0.001, 2));
+    sched.addTask(steady("b", 0.001, 2));
+    // After 4 quanta, both tasks have made equal progress.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(sched.runQuantum());
+    const auto stats = sched.stats();
+    EXPECT_DOUBLE_EQ(stats[0].uops_retired, 20e6);
+    EXPECT_DOUBLE_EQ(stats[1].uops_retired, 20e6);
+    sched.runToCompletion();
+    EXPECT_TRUE(sched.allFinished());
+    EXPECT_DOUBLE_EQ(core.totals().uops, 400e6);
+}
+
+TEST(Scheduler, ShortTaskFinishesFirstAndDropsOut)
+{
+    Core core;
+    Scheduler::Config cfg;
+    cfg.quantum_uops = 50'000'000;
+    Scheduler sched(core, cfg);
+    sched.addTask(steady("short", 0.001, 1));  // 100M uops
+    sched.addTask(steady("long", 0.001, 4));   // 400M uops
+    sched.runToCompletion();
+    const auto stats = sched.stats();
+    EXPECT_TRUE(stats[0].finished());
+    EXPECT_TRUE(stats[1].finished());
+    EXPECT_LT(stats[0].completed_s, stats[1].completed_s);
+    EXPECT_DOUBLE_EQ(stats[1].uops_retired, 400e6);
+}
+
+TEST(Scheduler, ContextSwitchOverheadIsCharged)
+{
+    Core with_cost_core;
+    Scheduler::Config costly;
+    costly.quantum_uops = 10'000'000;
+    costly.switch_overhead_us = 100.0;
+    Scheduler costly_sched(with_cost_core, costly);
+    costly_sched.addTask(steady("a", 0.0, 1));
+    costly_sched.addTask(steady("b", 0.0, 1));
+    costly_sched.runToCompletion();
+
+    Core free_core;
+    Scheduler::Config free_cfg = costly;
+    free_cfg.switch_overhead_us = 0.0;
+    Scheduler free_sched(free_core, free_cfg);
+    free_sched.addTask(steady("a", 0.0, 1));
+    free_sched.addTask(steady("b", 0.0, 1));
+    free_sched.runToCompletion();
+
+    EXPECT_EQ(costly_sched.contextSwitches(),
+              free_sched.contextSwitches());
+    EXPECT_GT(costly_sched.contextSwitches(), 0u);
+    const double expected_overhead =
+        static_cast<double>(costly_sched.contextSwitches()) * 100e-6;
+    EXPECT_NEAR(with_cost_core.now() - free_core.now(),
+                expected_overhead, 1e-9);
+}
+
+TEST(Scheduler, MergedStreamShowsInducedVariability)
+{
+    // Two individually flat workloads with different Mem/Uop: the
+    // merged stream the kernel module sees alternates between them
+    // — variability that neither application has on its own.
+    Core core;
+    PhaseKernelModule::Config kcfg;
+    kcfg.sample_uops = 10'000'000;
+    PhaseKernelModule module(core, makeBaselineGovernor(), kcfg);
+    module.load();
+
+    Scheduler::Config cfg;
+    cfg.quantum_uops = 20'000'000; // 2 samples per quantum
+    Scheduler sched(core, cfg);
+    sched.addTask(steady("cpu_app", 0.001, 6));
+    sched.addTask(steady("mem_app", 0.035, 6));
+    sched.runToCompletion();
+
+    const auto &log = module.log();
+    ASSERT_GT(log.size(), 8u);
+    bool saw_phase_1 = false, saw_phase_6 = false;
+    size_t transitions = 0;
+    for (size_t i = 0; i < log.size(); ++i) {
+        saw_phase_1 |= log.at(i).actual_phase == 1;
+        saw_phase_6 |= log.at(i).actual_phase == 6;
+        if (i > 0 &&
+            log.at(i).actual_phase != log.at(i - 1).actual_phase)
+            ++transitions;
+    }
+    EXPECT_TRUE(saw_phase_1);
+    EXPECT_TRUE(saw_phase_6);
+    EXPECT_GT(transitions, 4u);
+}
+
+TEST(Scheduler, GphtLearnsTheMergedPattern)
+{
+    // Deterministic round robin + fixed quanta -> the merged phase
+    // sequence is itself periodic, and the GPHT learns it.
+    Core core;
+    PhaseKernelModule::Config kcfg;
+    kcfg.sample_uops = 20'000'000; // one sample per quantum
+    PhaseKernelModule module(core,
+                             makeGphtGovernor(core.dvfs().table()),
+                             kcfg);
+    module.load();
+
+    Scheduler::Config cfg;
+    cfg.quantum_uops = 20'000'000;
+    Scheduler sched(core, cfg);
+    sched.addTask(steady("cpu_app", 0.001, 40));
+    sched.addTask(steady("mem_app", 0.035, 40));
+    sched.runToCompletion();
+
+    EXPECT_GT(module.log().predictionAccuracy(), 0.85);
+}
+
+TEST(Scheduler, Validation)
+{
+    Core core;
+    Scheduler::Config zero;
+    zero.quantum_uops = 0;
+    EXPECT_FAILURE(Scheduler(core, zero));
+    Scheduler::Config negative;
+    negative.switch_overhead_us = -1.0;
+    EXPECT_FAILURE(Scheduler(core, negative));
+    Scheduler sched(core);
+    IntervalTrace empty("empty");
+    EXPECT_FAILURE(sched.addTask(empty));
+    // No tasks: quantum is a no-op.
+    EXPECT_FALSE(sched.runQuantum());
+    EXPECT_TRUE(sched.allFinished());
+}
+
+} // namespace
+} // namespace livephase

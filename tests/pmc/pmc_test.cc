@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Tests for the performance counter bank, event encoding, TSC and
+ * PMI delivery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/msr.hh"
+#include "pmc/pmc.hh"
+#include "pmc/pmc_event.hh"
+#include "pmc/pmi_controller.hh"
+#include "pmc/tsc.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+TEST(PmcEvent, EncodeDecodeRoundTrip)
+{
+    for (PmcEventId id :
+         {PmcEventId::InstRetired, PmcEventId::UopsRetired,
+          PmcEventId::BusTranMem, PmcEventId::CpuClkUnhalted}) {
+        PmcEventSelect sel;
+        sel.event = id;
+        sel.int_enable = true;
+        sel.enable = true;
+        const PmcEventSelect back =
+            PmcEventSelect::decode(sel.encode());
+        EXPECT_EQ(back.event, id);
+        EXPECT_TRUE(back.int_enable);
+        EXPECT_TRUE(back.enable);
+    }
+}
+
+TEST(PmcEvent, ArchitecturalBitLayout)
+{
+    PmcEventSelect sel;
+    sel.event = PmcEventId::UopsRetired; // 0xC2
+    sel.int_enable = true;
+    sel.enable = true;
+    EXPECT_EQ(sel.encode(),
+              0xc2ULL | (1ULL << 20) | (1ULL << 22));
+}
+
+TEST(PmcEvent, NamesAreStable)
+{
+    EXPECT_EQ(pmcEventName(PmcEventId::UopsRetired), "UOPS_RETIRED");
+    EXPECT_EQ(pmcEventName(PmcEventId::BusTranMem), "BUS_TRAN_MEM");
+    EXPECT_EQ(pmcEventName(PmcEventId::None), "NONE");
+}
+
+TEST(PmcEvent, UnknownEnabledEventIsFatal)
+{
+    EXPECT_FAILURE(
+        PmcEventSelect::decode(0x55ULL | (1ULL << 22)));
+    // Disabled unknown events decode harmlessly to None.
+    const PmcEventSelect sel = PmcEventSelect::decode(0x55ULL);
+    EXPECT_EQ(sel.event, PmcEventId::None);
+    EXPECT_FALSE(sel.enable);
+}
+
+TEST(Pmc, CountsOnlyWhenEnabled)
+{
+    Pmc pmc(0);
+    PmcEventSelect sel;
+    sel.event = PmcEventId::UopsRetired;
+    sel.enable = false;
+    pmc.programSelect(sel.encode());
+    pmc.advance(100);
+    EXPECT_EQ(pmc.read(), 0u);
+    sel.enable = true;
+    pmc.programSelect(sel.encode());
+    pmc.advance(100);
+    EXPECT_EQ(pmc.read(), 100u);
+}
+
+TEST(Pmc, FortyBitWrapAround)
+{
+    Pmc pmc(0);
+    PmcEventSelect sel;
+    sel.event = PmcEventId::UopsRetired;
+    sel.enable = true;
+    pmc.programSelect(sel.encode());
+    pmc.write(Pmc::MODULUS - 5);
+    const uint64_t wraps = pmc.advance(8);
+    EXPECT_EQ(wraps, 1u);
+    EXPECT_EQ(pmc.read(), 3u);
+    EXPECT_TRUE(pmc.overflowFlag());
+}
+
+TEST(Pmc, WriteTruncatesToFortyBits)
+{
+    Pmc pmc(0);
+    pmc.write(Pmc::MODULUS + 17);
+    EXPECT_EQ(pmc.read(), 17u);
+}
+
+TEST(Pmc, ArmForOverflowAfterCountsExactly)
+{
+    Pmc pmc(0);
+    PmcEventSelect sel;
+    sel.event = PmcEventId::UopsRetired;
+    sel.int_enable = true;
+    sel.enable = true;
+    pmc.programSelect(sel.encode());
+
+    int interrupts = 0;
+    pmc.setOverflowCallback([&](int) { ++interrupts; });
+    pmc.armForOverflowAfter(1000);
+    EXPECT_EQ(pmc.eventsUntilOverflow(), 1000u);
+    pmc.advance(999);
+    EXPECT_EQ(interrupts, 0);
+    EXPECT_EQ(pmc.eventsUntilOverflow(), 1u);
+    pmc.advance(1);
+    EXPECT_EQ(interrupts, 1);
+}
+
+TEST(Pmc, NoInterruptWithoutIntEnable)
+{
+    Pmc pmc(0);
+    PmcEventSelect sel;
+    sel.event = PmcEventId::BusTranMem;
+    sel.int_enable = false;
+    sel.enable = true;
+    pmc.programSelect(sel.encode());
+    int interrupts = 0;
+    pmc.setOverflowCallback([&](int) { ++interrupts; });
+    pmc.armForOverflowAfter(10);
+    pmc.advance(100);
+    EXPECT_EQ(interrupts, 0);
+    EXPECT_TRUE(pmc.overflowFlag()); // sticky flag still set
+}
+
+TEST(Pmc, MultipleWrapsWithoutRearm)
+{
+    Pmc pmc(0);
+    PmcEventSelect sel;
+    sel.event = PmcEventId::UopsRetired;
+    sel.enable = true;
+    pmc.programSelect(sel.encode());
+    pmc.write(0);
+    EXPECT_EQ(pmc.advance(2 * Pmc::MODULUS + 3), 2u);
+    EXPECT_EQ(pmc.read(), 3u);
+}
+
+TEST(Pmc, ArmRejectsDegenerateCounts)
+{
+    Pmc pmc(0);
+    EXPECT_FAILURE(pmc.armForOverflowAfter(0));
+    EXPECT_FAILURE(pmc.armForOverflowAfter(Pmc::MODULUS));
+}
+
+TEST(PmcBank, MsrPlumbingReachesCounters)
+{
+    Msr msr;
+    PmcBank bank(msr);
+    PmcEventSelect sel;
+    sel.event = PmcEventId::UopsRetired;
+    sel.enable = true;
+    msr.wrmsr(msr_addr::PERFEVTSEL0, sel.encode());
+    msr.wrmsr(msr_addr::PERFCTR0, 55);
+    EXPECT_EQ(bank.counter(0).read(), 55u);
+    EXPECT_EQ(bank.counter(0).select().event,
+              PmcEventId::UopsRetired);
+    EXPECT_EQ(msr.rdmsr(msr_addr::PERFCTR0), 55u);
+    EXPECT_EQ(msr.rdmsr(msr_addr::PERFEVTSEL0), sel.encode());
+}
+
+TEST(PmcBank, StopStartPreserveValuesAndEvents)
+{
+    Msr msr;
+    PmcBank bank(msr);
+    PmcEventSelect sel;
+    sel.event = PmcEventId::BusTranMem;
+    sel.enable = true;
+    bank.counter(1).programSelect(sel.encode());
+    bank.counter(1).advance(42);
+    bank.stopAll();
+    EXPECT_FALSE(bank.counter(1).select().enable);
+    bank.counter(1).advance(100); // ignored while stopped
+    EXPECT_EQ(bank.counter(1).read(), 42u);
+    bank.startAll();
+    EXPECT_TRUE(bank.counter(1).select().enable);
+    bank.counter(1).advance(8);
+    EXPECT_EQ(bank.counter(1).read(), 50u);
+}
+
+TEST(PmcBank, StartAllSkipsUnprogrammedCounters)
+{
+    Msr msr;
+    PmcBank bank(msr);
+    bank.startAll();
+    EXPECT_FALSE(bank.counter(0).select().enable);
+}
+
+TEST(PmcBank, ExactlyTwoCounters)
+{
+    Msr msr;
+    PmcBank bank(msr);
+    EXPECT_EQ(PmcBank::NUM_COUNTERS, 2);
+    EXPECT_FAILURE(bank.counter(2));
+    EXPECT_FAILURE(bank.counter(-1));
+}
+
+TEST(Tsc, AccumulatesFractionalCycles)
+{
+    Msr msr;
+    Tsc tsc(msr);
+    for (int i = 0; i < 10; ++i)
+        tsc.advance(0.5);
+    EXPECT_EQ(tsc.read(), 5u);
+    EXPECT_EQ(msr.rdmsr(msr_addr::TSC), 5u);
+}
+
+TEST(Tsc, WritableThroughMsr)
+{
+    Msr msr;
+    Tsc tsc(msr);
+    msr.wrmsr(msr_addr::TSC, 1000);
+    EXPECT_EQ(tsc.read(), 1000u);
+    tsc.advance(2.0);
+    EXPECT_EQ(tsc.read(), 1002u);
+}
+
+TEST(Tsc, NegativeAdvancePanics)
+{
+    Msr msr;
+    Tsc tsc(msr);
+    EXPECT_FAILURE(tsc.advance(-1.0));
+}
+
+TEST(PmiController, DeliversToHandler)
+{
+    PmiController pmi;
+    int delivered_counter = -1;
+    pmi.installHandler([&](int c) { delivered_counter = c; });
+    pmi.raise(0);
+    EXPECT_EQ(delivered_counter, 0);
+    EXPECT_EQ(pmi.deliveredCount(), 1u);
+    EXPECT_EQ(pmi.suppressedCount(), 0u);
+}
+
+TEST(PmiController, MaskedDeliveriesAreSuppressed)
+{
+    PmiController pmi;
+    int calls = 0;
+    pmi.installHandler([&](int) { ++calls; });
+    pmi.setMasked(true);
+    pmi.raise(0);
+    EXPECT_EQ(calls, 0);
+    EXPECT_EQ(pmi.suppressedCount(), 1u);
+    pmi.setMasked(false);
+    pmi.raise(0);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(PmiController, NoHandlerSuppresses)
+{
+    PmiController pmi;
+    pmi.raise(1);
+    EXPECT_EQ(pmi.suppressedCount(), 1u);
+}
+
+TEST(PmiController, ReentrantRaiseIsPanic)
+{
+    PmiController pmi;
+    pmi.installHandler([&](int) { pmi.raise(1); });
+    EXPECT_FAILURE(pmi.raise(0));
+}
+
+TEST(PmiController, InHandlerFlagTracksExecution)
+{
+    PmiController pmi;
+    bool observed_in_handler = false;
+    pmi.installHandler(
+        [&](int) { observed_in_handler = pmi.inHandler(); });
+    EXPECT_FALSE(pmi.inHandler());
+    pmi.raise(0);
+    EXPECT_TRUE(observed_in_handler);
+    EXPECT_FALSE(pmi.inHandler());
+}
+
+} // namespace
+} // namespace livephase

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for the workload pattern generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+#include "workload/patterns.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+std::vector<double>
+take(MemPattern &p, size_t n, uint64_t seed = 1)
+{
+    Rng rng(seed);
+    std::vector<double> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(p.next(rng));
+    return out;
+}
+
+TEST(ConstantPattern, EmitsLevelForever)
+{
+    ConstantPattern p(0.0123);
+    for (double v : take(p, 50))
+        EXPECT_DOUBLE_EQ(v, 0.0123);
+}
+
+TEST(ConstantPattern, RejectsNegativeLevel)
+{
+    EXPECT_FAILURE(ConstantPattern(-0.001));
+}
+
+TEST(PeriodicSequence, RepeatsExactly)
+{
+    PeriodicSequencePattern p({0.01, 0.02, 0.03});
+    const auto v = take(p, 7);
+    EXPECT_DOUBLE_EQ(v[0], 0.01);
+    EXPECT_DOUBLE_EQ(v[1], 0.02);
+    EXPECT_DOUBLE_EQ(v[2], 0.03);
+    EXPECT_DOUBLE_EQ(v[3], 0.01);
+    EXPECT_DOUBLE_EQ(v[6], 0.01);
+    EXPECT_EQ(p.period(), 3u);
+}
+
+TEST(PeriodicSequence, ResetRestarts)
+{
+    PeriodicSequencePattern p({0.01, 0.02});
+    Rng rng(1);
+    p.next(rng);
+    p.reset();
+    EXPECT_DOUBLE_EQ(p.next(rng), 0.01);
+}
+
+TEST(PeriodicSequence, RejectsEmptyOrNegative)
+{
+    EXPECT_FAILURE(PeriodicSequencePattern({}));
+    EXPECT_FAILURE(PeriodicSequencePattern({0.01, -0.02}));
+}
+
+TEST(SquareWave, DwellLengthsRespected)
+{
+    SquareWavePattern p(0.0, 1.0, 3, 2);
+    const auto v = take(p, 10);
+    const std::vector<double> expect{0, 0, 0, 1, 1, 0, 0, 0, 1, 1};
+    for (size_t i = 0; i < v.size(); ++i)
+        EXPECT_DOUBLE_EQ(v[i], expect[i]) << i;
+}
+
+TEST(SquareWave, RejectsZeroDwell)
+{
+    EXPECT_FAILURE(SquareWavePattern(0.0, 1.0, 0, 2));
+    EXPECT_FAILURE(SquareWavePattern(0.0, 1.0, 2, 0));
+}
+
+TEST(Ramp, SweepsLinearlyAndWraps)
+{
+    RampPattern p(0.0, 1.0, 5);
+    const auto v = take(p, 6);
+    EXPECT_DOUBLE_EQ(v[0], 0.0);
+    EXPECT_DOUBLE_EQ(v[2], 0.5);
+    EXPECT_DOUBLE_EQ(v[4], 1.0);
+    EXPECT_DOUBLE_EQ(v[5], 0.0); // wrapped
+}
+
+TEST(Ramp, RejectsDegenerateConfig)
+{
+    EXPECT_FAILURE(RampPattern(0.5, 0.1, 10)); // hi < lo
+    EXPECT_FAILURE(RampPattern(0.0, 1.0, 1));  // period < 2
+}
+
+TEST(Markov, StaysWithHighProbability)
+{
+    MarkovPattern p({0.01, 0.02, 0.03}, 0.95);
+    const auto v = take(p, 2000, 3);
+    size_t changes = 0;
+    for (size_t i = 1; i < v.size(); ++i)
+        if (v[i] != v[i - 1])
+            ++changes;
+    const double rate = double(changes) / (v.size() - 1);
+    EXPECT_NEAR(rate, 0.05, 0.02);
+}
+
+TEST(Markov, JumpsChangeLevel)
+{
+    // stay_prob 0 forces a level change every step.
+    MarkovPattern p({0.01, 0.02}, 0.0);
+    const auto v = take(p, 100, 7);
+    for (size_t i = 1; i < v.size(); ++i)
+        EXPECT_NE(v[i], v[i - 1]);
+}
+
+TEST(Markov, OnlyEmitsConfiguredLevels)
+{
+    MarkovPattern p({0.01, 0.02, 0.03}, 0.5);
+    for (double v : take(p, 500, 11))
+        EXPECT_TRUE(v == 0.01 || v == 0.02 || v == 0.03);
+}
+
+TEST(Markov, RejectsBadConfig)
+{
+    EXPECT_FAILURE(MarkovPattern({0.01}, 0.5));
+    EXPECT_FAILURE(MarkovPattern({0.01, 0.02}, 1.5));
+    EXPECT_FAILURE(MarkovPattern({0.01, -0.02}, 0.5));
+}
+
+TEST(Segment, CyclesThroughSections)
+{
+    std::vector<SegmentPattern::Segment> segs;
+    segs.push_back({std::make_unique<ConstantPattern>(0.1), 2});
+    segs.push_back({std::make_unique<ConstantPattern>(0.2), 3});
+    SegmentPattern p(std::move(segs));
+    const auto v = take(p, 10);
+    const std::vector<double> expect{0.1, 0.1, 0.2, 0.2, 0.2,
+                                     0.1, 0.1, 0.2, 0.2, 0.2};
+    for (size_t i = 0; i < v.size(); ++i)
+        EXPECT_DOUBLE_EQ(v[i], expect[i]) << i;
+}
+
+TEST(Segment, SubPatternsReplayFromStartEachVisit)
+{
+    std::vector<SegmentPattern::Segment> segs;
+    segs.push_back({std::make_unique<PeriodicSequencePattern>(
+                        std::vector<double>{0.1, 0.2, 0.3}),
+                    2});
+    segs.push_back({std::make_unique<ConstantPattern>(0.9), 1});
+    SegmentPattern p(std::move(segs));
+    const auto v = take(p, 6);
+    // Section A emits 0.1, 0.2; section B 0.9; A re-enters at 0.1.
+    EXPECT_DOUBLE_EQ(v[0], 0.1);
+    EXPECT_DOUBLE_EQ(v[1], 0.2);
+    EXPECT_DOUBLE_EQ(v[2], 0.9);
+    EXPECT_DOUBLE_EQ(v[3], 0.1);
+    EXPECT_DOUBLE_EQ(v[4], 0.2);
+    EXPECT_DOUBLE_EQ(v[5], 0.9);
+}
+
+TEST(Segment, RejectsBadConfig)
+{
+    EXPECT_FAILURE(SegmentPattern({}));
+    std::vector<SegmentPattern::Segment> zero_len;
+    zero_len.push_back({std::make_unique<ConstantPattern>(0.1), 0});
+    EXPECT_FAILURE(SegmentPattern(std::move(zero_len)));
+}
+
+TEST(Noisy, AddsZeroMeanJitterAndClampsAtZero)
+{
+    NoisyPattern p(std::make_unique<ConstantPattern>(0.01), 0.002);
+    const auto v = take(p, 5000, 13);
+    double sum = 0.0;
+    for (double x : v) {
+        EXPECT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / v.size(), 0.01, 0.0002);
+}
+
+TEST(Noisy, ZeroSigmaIsTransparent)
+{
+    NoisyPattern p(std::make_unique<ConstantPattern>(0.02), 0.0);
+    for (double v : take(p, 20))
+        EXPECT_DOUBLE_EQ(v, 0.02);
+}
+
+TEST(Noisy, RejectsBadConfig)
+{
+    EXPECT_FAILURE(NoisyPattern(nullptr, 0.01));
+    EXPECT_FAILURE(NoisyPattern(
+        std::make_unique<ConstantPattern>(0.01), -0.1));
+}
+
+TEST(Spike, ReplacesSamplesAtConfiguredRate)
+{
+    SpikePattern p(std::make_unique<ConstantPattern>(0.001), 0.05,
+                   0.1);
+    const auto v = take(p, 5000, 17);
+    size_t spikes = 0;
+    for (double x : v)
+        if (x == 0.05)
+            ++spikes;
+    EXPECT_NEAR(double(spikes) / v.size(), 0.1, 0.02);
+}
+
+TEST(Spike, RejectsBadConfig)
+{
+    EXPECT_FAILURE(SpikePattern(nullptr, 0.05, 0.1));
+    EXPECT_FAILURE(SpikePattern(
+        std::make_unique<ConstantPattern>(0.01), -0.05, 0.1));
+    EXPECT_FAILURE(SpikePattern(
+        std::make_unique<ConstantPattern>(0.01), 0.05, 1.5));
+}
+
+TEST(MachineBehavior, IpcFallsWithMemoryBoundedness)
+{
+    MachineBehavior b;
+    b.ipc_noise_sigma = 0.0;
+    Rng rng(1);
+    const Interval lo = b.makeInterval(0.0, 100e6, rng);
+    const Interval hi = b.makeInterval(0.03, 100e6, rng);
+    EXPECT_GT(lo.core_ipc, hi.core_ipc);
+    EXPECT_DOUBLE_EQ(hi.mem_per_uop, 0.03);
+    EXPECT_TRUE(lo.valid());
+    EXPECT_TRUE(hi.valid());
+}
+
+TEST(MachineBehavior, IpcClampedToConfiguredRange)
+{
+    MachineBehavior b;
+    b.ipc_noise_sigma = 0.0;
+    Rng rng(1);
+    const Interval extreme = b.makeInterval(10.0, 100e6, rng);
+    EXPECT_DOUBLE_EQ(extreme.core_ipc, b.min_core_ipc);
+}
+
+TEST(Interval, ValidityChecks)
+{
+    Interval good;
+    EXPECT_TRUE(good.valid());
+    Interval bad = good;
+    bad.uops = 0.0;
+    EXPECT_FALSE(bad.valid());
+    bad = good;
+    bad.uops_per_inst = 0.5;
+    EXPECT_FALSE(bad.valid());
+    bad = good;
+    bad.mem_per_uop = -0.1;
+    EXPECT_FALSE(bad.valid());
+    bad = good;
+    bad.core_ipc = 0.0;
+    EXPECT_FALSE(bad.valid());
+    bad = good;
+    bad.mem_block_factor = 1.5;
+    EXPECT_FALSE(bad.valid());
+}
+
+TEST(Interval, DerivedQuantities)
+{
+    Interval ivl;
+    ivl.uops = 100e6;
+    ivl.uops_per_inst = 1.25;
+    ivl.mem_per_uop = 0.01;
+    EXPECT_DOUBLE_EQ(ivl.instructions(), 80e6);
+    EXPECT_DOUBLE_EQ(ivl.memTransactions(), 1e6);
+}
+
+} // namespace
+} // namespace livephase

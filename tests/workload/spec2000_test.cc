@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the synthetic SPEC2000 suite: composition, determinism,
+ * and the Figure 3 behaviour targets each benchmark must hit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/quadrants.hh"
+#include "analysis/variability.hh"
+#include "workload/spec2000.hh"
+#include "workload/trace.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+TEST(Spec2000Suite, HasAll33BenchmarkInputCombos)
+{
+    EXPECT_EQ(Spec2000Suite::all().size(), 33u);
+    std::set<std::string> names;
+    for (const auto &b : Spec2000Suite::all())
+        names.insert(b.name());
+    EXPECT_EQ(names.size(), 33u); // all distinct
+}
+
+TEST(Spec2000Suite, ContainsThePaperHighlights)
+{
+    for (const char *name :
+         {"applu_in", "equake_in", "swim_in", "mcf_inp", "mgrid_in",
+          "bzip2_source", "gzip_log", "gcc_166", "crafty_in",
+          "vortex_lendian1"}) {
+        EXPECT_NO_FATAL_FAILURE(Spec2000Suite::byName(name));
+    }
+}
+
+TEST(Spec2000Suite, UnknownNameIsFatal)
+{
+    EXPECT_FAILURE(Spec2000Suite::byName("not_a_benchmark"));
+}
+
+TEST(Spec2000Suite, QuadrantMembershipMatchesPaperFigure3)
+{
+    using Q = Quadrant;
+    EXPECT_EQ(Spec2000Suite::byName("swim_in").quadrant(), Q::Q2);
+    EXPECT_EQ(Spec2000Suite::byName("mcf_inp").quadrant(), Q::Q2);
+    EXPECT_EQ(Spec2000Suite::byName("applu_in").quadrant(), Q::Q3);
+    EXPECT_EQ(Spec2000Suite::byName("equake_in").quadrant(), Q::Q3);
+    EXPECT_EQ(Spec2000Suite::byName("mgrid_in").quadrant(), Q::Q3);
+    EXPECT_EQ(Spec2000Suite::byName("bzip2_program").quadrant(),
+              Q::Q4);
+    EXPECT_EQ(Spec2000Suite::byName("bzip2_source").quadrant(),
+              Q::Q4);
+    EXPECT_EQ(Spec2000Suite::byName("bzip2_graphic").quadrant(),
+              Q::Q4);
+    EXPECT_EQ(Spec2000Suite::byName("crafty_in").quadrant(), Q::Q1);
+    EXPECT_EQ(Spec2000Suite::byName("gzip_log").quadrant(), Q::Q1);
+}
+
+TEST(Spec2000Suite, VariableSetIsTheLastSixOfFigure4)
+{
+    const auto variable = Spec2000Suite::variableSet();
+    ASSERT_EQ(variable.size(), 6u);
+    std::set<std::string> names;
+    for (const auto *b : variable)
+        names.insert(b->name());
+    EXPECT_TRUE(names.count("bzip2_program"));
+    EXPECT_TRUE(names.count("bzip2_source"));
+    EXPECT_TRUE(names.count("bzip2_graphic"));
+    EXPECT_TRUE(names.count("mgrid_in"));
+    EXPECT_TRUE(names.count("applu_in"));
+    EXPECT_TRUE(names.count("equake_in"));
+}
+
+TEST(Spec2000Suite, Fig12SetIsQ2Q3Q4)
+{
+    const auto set = Spec2000Suite::fig12Set();
+    ASSERT_EQ(set.size(), 8u);
+    for (const auto *b : set)
+        EXPECT_NE(b->quadrant(), Quadrant::Q1) << b->name();
+}
+
+TEST(Spec2000Suite, TracesAreDeterministicPerSeed)
+{
+    const auto &applu = Spec2000Suite::byName("applu_in");
+    const IntervalTrace a = applu.makeTrace(100, 7);
+    const IntervalTrace b = applu.makeTrace(100, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.at(i).mem_per_uop, b.at(i).mem_per_uop);
+        EXPECT_DOUBLE_EQ(a.at(i).core_ipc, b.at(i).core_ipc);
+    }
+    const IntervalTrace c = applu.makeTrace(100, 8);
+    bool any_different = false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (a.at(i).mem_per_uop != c.at(i).mem_per_uop)
+            any_different = true;
+    EXPECT_TRUE(any_different);
+}
+
+TEST(Spec2000Suite, BenchmarksShareSeedButNotStreams)
+{
+    const IntervalTrace applu =
+        Spec2000Suite::byName("applu_in").makeTrace(50, 1);
+    const IntervalTrace equake =
+        Spec2000Suite::byName("equake_in").makeTrace(50, 1);
+    bool differ = false;
+    for (size_t i = 0; i < 50; ++i)
+        if (applu.at(i).mem_per_uop != equake.at(i).mem_per_uop)
+            differ = true;
+    EXPECT_TRUE(differ);
+}
+
+TEST(Spec2000Suite, DefaultTraceLengthsAndSampleSize)
+{
+    const auto &crafty = Spec2000Suite::byName("crafty_in");
+    const IntervalTrace t = crafty.makeTrace();
+    EXPECT_EQ(t.size(), crafty.defaultSamples());
+    EXPECT_DOUBLE_EQ(t.at(0).uops, 100e6);
+    const IntervalTrace small = crafty.makeTrace(10, 1, 50e6);
+    EXPECT_EQ(small.size(), 10u);
+    EXPECT_DOUBLE_EQ(small.at(0).uops, 50e6);
+}
+
+TEST(Spec2000Suite, AllTracesAreValid)
+{
+    for (const auto &bench : Spec2000Suite::all()) {
+        const IntervalTrace t = bench.makeTrace(60, 3);
+        for (const Interval &ivl : t)
+            EXPECT_TRUE(ivl.valid()) << bench.name();
+    }
+}
+
+TEST(Spec2000Suite, McfIsExtremelyMemoryBound)
+{
+    const IntervalTrace t =
+        Spec2000Suite::byName("mcf_inp").makeTrace(300, 1);
+    EXPECT_GT(t.meanMemPerUop(), 0.08);
+    EXPECT_LT(t.meanMemPerUop(), 0.13);
+}
+
+TEST(Spec2000Suite, SwimIsFlatAndMemoryBound)
+{
+    const IntervalTrace t =
+        Spec2000Suite::byName("swim_in").makeTrace(300, 1);
+    EXPECT_NEAR(t.meanMemPerUop(), 0.024, 0.002);
+    EXPECT_LT(sampleVariationPct(t), 2.0);
+}
+
+TEST(Spec2000Suite, AppluIsHighlyVariable)
+{
+    const IntervalTrace t =
+        Spec2000Suite::byName("applu_in").makeTrace(600, 1);
+    EXPECT_GT(sampleVariationPct(t), 35.0);
+    EXPECT_GT(t.meanMemPerUop(), 0.0075);
+}
+
+/**
+ * Property sweep: every benchmark's generated trace must land in the
+ * quadrant the paper places it in (Figure 3), across seeds.
+ */
+class QuadrantFidelity
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>>
+{
+};
+
+TEST_P(QuadrantFidelity, TraceLandsInDeclaredQuadrant)
+{
+    const auto [bench_index, seed] = GetParam();
+    const SpecBenchmark &bench = Spec2000Suite::all()[bench_index];
+    const IntervalTrace trace = bench.makeTrace(500, seed);
+    const QuadrantPoint point = quadrantPoint(trace);
+    EXPECT_EQ(point.quadrant, bench.quadrant())
+        << bench.name() << ": variation " << point.variation_pct
+        << "%, mean Mem/Uop " << point.mean_mem_per_uop;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, QuadrantFidelity,
+    ::testing::Combine(::testing::Range(size_t(0), size_t(33)),
+                       ::testing::Values(uint64_t(1), uint64_t(9))));
+
+} // namespace
+} // namespace livephase

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for trace CSV import/export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "workload/spec2000.hh"
+#include "workload/trace_io.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+IntervalTrace
+sampleTrace()
+{
+    IntervalTrace t("sample");
+    Interval a;
+    a.uops = 100e6;
+    a.uops_per_inst = 1.25;
+    a.mem_per_uop = 0.0125;
+    a.core_ipc = 1.3;
+    a.mem_block_factor = 0.85;
+    t.append(a);
+    Interval b;
+    b.uops = 50e6;
+    b.mem_per_uop = 0.0;
+    b.core_ipc = 2.0;
+    t.append(b);
+    return t;
+}
+
+TEST(TraceIo, RoundTripPreservesEveryField)
+{
+    const IntervalTrace original = sampleTrace();
+    std::stringstream buffer;
+    writeTraceCsv(original, buffer);
+    const IntervalTrace loaded = readTraceCsv(buffer, "sample");
+    ASSERT_EQ(loaded.size(), original.size());
+    for (size_t i = 0; i < original.size(); ++i) {
+        EXPECT_DOUBLE_EQ(loaded.at(i).uops, original.at(i).uops);
+        EXPECT_DOUBLE_EQ(loaded.at(i).uops_per_inst,
+                         original.at(i).uops_per_inst);
+        EXPECT_DOUBLE_EQ(loaded.at(i).mem_per_uop,
+                         original.at(i).mem_per_uop);
+        EXPECT_DOUBLE_EQ(loaded.at(i).core_ipc,
+                         original.at(i).core_ipc);
+        EXPECT_DOUBLE_EQ(loaded.at(i).mem_block_factor,
+                         original.at(i).mem_block_factor);
+    }
+}
+
+TEST(TraceIo, RoundTripOfGeneratedBenchmark)
+{
+    const IntervalTrace original =
+        Spec2000Suite::byName("applu_in").makeTrace(100, 3);
+    std::stringstream buffer;
+    writeTraceCsv(original, buffer);
+    const IntervalTrace loaded = readTraceCsv(buffer, "applu_in");
+    ASSERT_EQ(loaded.size(), 100u);
+    EXPECT_DOUBLE_EQ(loaded.meanMemPerUop(),
+                     original.meanMemPerUop());
+}
+
+TEST(TraceIo, ToleratesCrlfAndBlankLines)
+{
+    std::stringstream buffer;
+    buffer << "uops,uops_per_inst,mem_per_uop,core_ipc,"
+              "mem_block_factor\r\n"
+           << "100000000,1,0.01,1.2,0.9\r\n"
+           << "\n"
+           << "100000000,1,0.02,1.1,0.9\n";
+    const IntervalTrace t = readTraceCsv(buffer, "crlf");
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_DOUBLE_EQ(t.at(1).mem_per_uop, 0.02);
+}
+
+TEST(TraceIo, RejectsMalformedInput)
+{
+    {
+        std::stringstream empty;
+        EXPECT_FAILURE(readTraceCsv(empty, "t"));
+    }
+    {
+        std::stringstream bad_header("nope\n1,2,3,4,5\n");
+        EXPECT_FAILURE(readTraceCsv(bad_header, "t"));
+    }
+    {
+        std::stringstream short_row;
+        short_row << "uops,uops_per_inst,mem_per_uop,core_ipc,"
+                     "mem_block_factor\n1,2,3\n";
+        EXPECT_FAILURE(readTraceCsv(short_row, "t"));
+    }
+    {
+        std::stringstream garbage;
+        garbage << "uops,uops_per_inst,mem_per_uop,core_ipc,"
+                   "mem_block_factor\n1e8,1,abc,1.2,0.9\n";
+        EXPECT_FAILURE(readTraceCsv(garbage, "t"));
+    }
+    {
+        std::stringstream invalid;
+        invalid << "uops,uops_per_inst,mem_per_uop,core_ipc,"
+                   "mem_block_factor\n-5,1,0.01,1.2,0.9\n";
+        EXPECT_FAILURE(readTraceCsv(invalid, "t"));
+    }
+    {
+        std::stringstream header_only;
+        header_only << "uops,uops_per_inst,mem_per_uop,core_ipc,"
+                       "mem_block_factor\n";
+        EXPECT_FAILURE(readTraceCsv(header_only, "t"));
+    }
+}
+
+TEST(TraceIo, FileRoundTripAndNaming)
+{
+    const std::string path = "/tmp/livephase_trace_io_test.csv";
+    saveTrace(sampleTrace(), path);
+    const IntervalTrace loaded = loadTrace(path);
+    EXPECT_EQ(loaded.name(), "livephase_trace_io_test");
+    EXPECT_EQ(loaded.size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileIsFatal)
+{
+    EXPECT_FAILURE(loadTrace("/nonexistent/dir/trace.csv"));
+    EXPECT_FAILURE(saveTrace(sampleTrace(),
+                             "/nonexistent/dir/trace.csv"));
+}
+
+} // namespace
+} // namespace livephase

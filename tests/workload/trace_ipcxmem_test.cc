@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for IntervalTrace and the IPCxMEM suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/timing_model.hh"
+#include "workload/ipcxmem.hh"
+#include "workload/trace.hh"
+#include "test_util.hh"
+
+namespace livephase
+{
+namespace
+{
+
+Interval
+simple(double m, double uops = 100e6)
+{
+    Interval ivl;
+    ivl.uops = uops;
+    ivl.mem_per_uop = m;
+    return ivl;
+}
+
+TEST(IntervalTrace, AppendAndAccess)
+{
+    IntervalTrace t("demo");
+    EXPECT_TRUE(t.empty());
+    t.append(simple(0.01));
+    t.append(simple(0.02, 50e6));
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_DOUBLE_EQ(t.at(1).mem_per_uop, 0.02);
+    EXPECT_DOUBLE_EQ(t.totalUops(), 150e6);
+    EXPECT_DOUBLE_EQ(t.totalInstructions(), 150e6);
+    EXPECT_EQ(t.name(), "demo");
+}
+
+TEST(IntervalTrace, SeriesAndMean)
+{
+    IntervalTrace t("demo");
+    t.append(simple(0.01));
+    t.append(simple(0.03));
+    const auto series = t.memPerUopSeries();
+    ASSERT_EQ(series.size(), 2u);
+    EXPECT_DOUBLE_EQ(series[0], 0.01);
+    EXPECT_DOUBLE_EQ(series[1], 0.03);
+    EXPECT_DOUBLE_EQ(t.meanMemPerUop(), 0.02);
+}
+
+TEST(IntervalTrace, RangeForIteration)
+{
+    IntervalTrace t("demo");
+    t.append(simple(0.01));
+    t.append(simple(0.02));
+    double sum = 0.0;
+    for (const Interval &ivl : t)
+        sum += ivl.mem_per_uop;
+    EXPECT_DOUBLE_EQ(sum, 0.03);
+}
+
+TEST(IntervalTrace, ErrorPaths)
+{
+    EXPECT_FAILURE(IntervalTrace(""));
+    IntervalTrace t("demo");
+    Interval bad;
+    bad.uops = -5.0;
+    EXPECT_FAILURE(t.append(bad));
+    EXPECT_FAILURE(t.at(0));
+    EXPECT_FAILURE(t.meanMemPerUop());
+}
+
+class IpcMemTest : public ::testing::Test
+{
+  protected:
+    IpcMemTest() : suite(model) {}
+
+    TimingModel model;
+    IpcMemSuite suite;
+};
+
+TEST_F(IpcMemTest, PinsTargetUpcAtReferenceFrequency)
+{
+    for (const IpcMemConfig &cfg : suite.figure7Configs()) {
+        const Interval ivl = suite.makeInterval(cfg);
+        EXPECT_NEAR(model.upc(ivl, 1.5e9), cfg.target_upc, 1e-9)
+            << cfg.toString();
+        EXPECT_DOUBLE_EQ(ivl.mem_per_uop, cfg.target_mem_per_uop);
+    }
+}
+
+TEST_F(IpcMemTest, MemPerUopIsDvfsInvariantByConstruction)
+{
+    // The paper's core Section 4 claim: Mem/Uop does not move with
+    // frequency. In the model it is an intrinsic event ratio.
+    const Interval ivl =
+        suite.makeInterval(IpcMemConfig{0.5, 0.0225});
+    EXPECT_DOUBLE_EQ(ivl.mem_per_uop, 0.0225);
+    // Executing at different frequencies changes cycles, never the
+    // event counts per uop.
+    EXPECT_DOUBLE_EQ(ivl.memTransactions() / ivl.uops, 0.0225);
+}
+
+TEST_F(IpcMemTest, BlockingConfigsSeeStrongUpcFrequencySwing)
+{
+    // UPC=0.1 @ Mem/Uop=0.0475 is realized with fully blocking
+    // accesses: its UPC must rise sharply at 600 MHz (paper: up to
+    // ~80%).
+    const Interval ivl =
+        suite.makeInterval(IpcMemConfig{0.1, 0.0475});
+    EXPECT_DOUBLE_EQ(ivl.mem_block_factor, 1.0);
+    const double swing =
+        model.upc(ivl, 0.6e9) / model.upc(ivl, 1.5e9);
+    EXPECT_GT(swing, 1.6);
+}
+
+TEST_F(IpcMemTest, CpuBoundConfigsAreFrequencyInvariant)
+{
+    const Interval ivl = suite.makeInterval(IpcMemConfig{0.9, 0.0});
+    EXPECT_NEAR(model.upc(ivl, 0.6e9), model.upc(ivl, 1.5e9), 1e-12);
+}
+
+TEST_F(IpcMemTest, HighUpcMemoryConfigsUseOverlap)
+{
+    // UPC=1.3 @ Mem/Uop=0.0075 is impossible with blocking accesses:
+    // the solver must raise memory-level parallelism instead.
+    const Interval ivl =
+        suite.makeInterval(IpcMemConfig{1.3, 0.0075});
+    EXPECT_LT(ivl.mem_block_factor, 1.0);
+    EXPECT_DOUBLE_EQ(ivl.core_ipc, model.params().max_core_ipc);
+    EXPECT_NEAR(model.upc(ivl, 1.5e9), 1.3, 1e-9);
+}
+
+TEST_F(IpcMemTest, GridCoversTheExplorationSpace)
+{
+    const auto grid = suite.grid();
+    // The paper runs ~50 configurations.
+    EXPECT_GE(grid.size(), 40u);
+    EXPECT_LE(grid.size(), 70u);
+    for (const auto &cfg : grid) {
+        EXPECT_LE(cfg.target_upc, suite.boundaryUpc(
+            cfg.target_mem_per_uop) + 1e-9);
+        // Every grid point must be constructible.
+        EXPECT_NO_FATAL_FAILURE(suite.makeInterval(cfg));
+    }
+}
+
+TEST_F(IpcMemTest, BoundaryDecreasesWithMemoryBoundedness)
+{
+    double prev = 1e9;
+    for (double m : {0.0, 0.01, 0.02, 0.03, 0.0475}) {
+        const double b = suite.boundaryUpc(m);
+        EXPECT_LT(b, prev);
+        prev = b;
+    }
+}
+
+TEST_F(IpcMemTest, UnreachableTargetsAreFatal)
+{
+    EXPECT_FAILURE(suite.makeInterval(IpcMemConfig{2.5, 0.0}));
+    EXPECT_FAILURE(suite.makeInterval(IpcMemConfig{1.9, 0.0475}));
+    EXPECT_FAILURE(suite.makeInterval(IpcMemConfig{0.0, 0.01}));
+    EXPECT_FAILURE(suite.makeInterval(IpcMemConfig{0.5, -0.01}));
+}
+
+TEST_F(IpcMemTest, TraceFactoryProducesSteadyBehavior)
+{
+    const IntervalTrace t =
+        suite.makeTrace(IpcMemConfig{0.5, 0.0025}, 20);
+    EXPECT_EQ(t.size(), 20u);
+    for (const Interval &ivl : t)
+        EXPECT_DOUBLE_EQ(ivl.mem_per_uop, 0.0025);
+    EXPECT_FAILURE(suite.makeTrace(IpcMemConfig{0.5, 0.0025}, 0));
+}
+
+TEST_F(IpcMemTest, LegendFormat)
+{
+    EXPECT_EQ((IpcMemConfig{0.9, 0.0075}).toString(),
+              "UPC=0.9, Mem/Uop=0.0075");
+}
+
+} // namespace
+} // namespace livephase
