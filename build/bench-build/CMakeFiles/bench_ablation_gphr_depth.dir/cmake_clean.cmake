@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_gphr_depth"
+  "../bench/bench_ablation_gphr_depth.pdb"
+  "CMakeFiles/bench_ablation_gphr_depth.dir/bench_ablation_gphr_depth.cc.o"
+  "CMakeFiles/bench_ablation_gphr_depth.dir/bench_ablation_gphr_depth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gphr_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

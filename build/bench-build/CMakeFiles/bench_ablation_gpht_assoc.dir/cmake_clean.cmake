@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_gpht_assoc"
+  "../bench/bench_ablation_gpht_assoc.pdb"
+  "CMakeFiles/bench_ablation_gpht_assoc.dir/bench_ablation_gpht_assoc.cc.o"
+  "CMakeFiles/bench_ablation_gpht_assoc.dir/bench_ablation_gpht_assoc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gpht_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_transition_cost"
+  "../bench/bench_ablation_transition_cost.pdb"
+  "CMakeFiles/bench_ablation_transition_cost.dir/bench_ablation_transition_cost.cc.o"
+  "CMakeFiles/bench_ablation_transition_cost.dir/bench_ablation_transition_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_transition_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_applu_trace"
+  "../bench/bench_fig02_applu_trace.pdb"
+  "CMakeFiles/bench_fig02_applu_trace.dir/bench_fig02_applu_trace.cc.o"
+  "CMakeFiles/bench_fig02_applu_trace.dir/bench_fig02_applu_trace.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_applu_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_quadrants"
+  "../bench/bench_fig03_quadrants.pdb"
+  "CMakeFiles/bench_fig03_quadrants.dir/bench_fig03_quadrants.cc.o"
+  "CMakeFiles/bench_fig03_quadrants.dir/bench_fig03_quadrants.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_quadrants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_ipcxmem_space"
+  "../bench/bench_fig06_ipcxmem_space.pdb"
+  "CMakeFiles/bench_fig06_ipcxmem_space.dir/bench_fig06_ipcxmem_space.cc.o"
+  "CMakeFiles/bench_fig06_ipcxmem_space.dir/bench_fig06_ipcxmem_space.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_ipcxmem_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_dvfs_invariance"
+  "../bench/bench_fig07_dvfs_invariance.pdb"
+  "CMakeFiles/bench_fig07_dvfs_invariance.dir/bench_fig07_dvfs_invariance.cc.o"
+  "CMakeFiles/bench_fig07_dvfs_invariance.dir/bench_fig07_dvfs_invariance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_dvfs_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_applu_managed"
+  "../bench/bench_fig10_applu_managed.pdb"
+  "CMakeFiles/bench_fig10_applu_managed.dir/bench_fig10_applu_managed.cc.o"
+  "CMakeFiles/bench_fig10_applu_managed.dir/bench_fig10_applu_managed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_applu_managed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

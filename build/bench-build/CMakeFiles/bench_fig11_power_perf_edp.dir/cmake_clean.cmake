@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_power_perf_edp"
+  "../bench/bench_fig11_power_perf_edp.pdb"
+  "CMakeFiles/bench_fig11_power_perf_edp.dir/bench_fig11_power_perf_edp.cc.o"
+  "CMakeFiles/bench_fig11_power_perf_edp.dir/bench_fig11_power_perf_edp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_power_perf_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

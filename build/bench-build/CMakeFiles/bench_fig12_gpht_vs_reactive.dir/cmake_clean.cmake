@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_gpht_vs_reactive"
+  "../bench/bench_fig12_gpht_vs_reactive.pdb"
+  "CMakeFiles/bench_fig12_gpht_vs_reactive.dir/bench_fig12_gpht_vs_reactive.cc.o"
+  "CMakeFiles/bench_fig12_gpht_vs_reactive.dir/bench_fig12_gpht_vs_reactive.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_gpht_vs_reactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig12_gpht_vs_reactive.
+# This may be replaced when dependencies are built.

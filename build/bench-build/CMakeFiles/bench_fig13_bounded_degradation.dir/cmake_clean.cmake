@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_bounded_degradation"
+  "../bench/bench_fig13_bounded_degradation.pdb"
+  "CMakeFiles/bench_fig13_bounded_degradation.dir/bench_fig13_bounded_degradation.cc.o"
+  "CMakeFiles/bench_fig13_bounded_degradation.dir/bench_fig13_bounded_degradation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_bounded_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multiprogramming"
+  "../bench/bench_multiprogramming.pdb"
+  "CMakeFiles/bench_multiprogramming.dir/bench_multiprogramming.cc.o"
+  "CMakeFiles/bench_multiprogramming.dir/bench_multiprogramming.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiprogramming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daq_measurement.dir/daq_measurement.cpp.o"
+  "CMakeFiles/daq_measurement.dir/daq_measurement.cpp.o.d"
+  "daq_measurement"
+  "daq_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daq_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/livephase_cli.dir/livephase_cli.cpp.o"
+  "CMakeFiles/livephase_cli.dir/livephase_cli.cpp.o.d"
+  "livephase_cli"
+  "livephase_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/livephase_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_management.dir/thermal_management.cpp.o"
+  "CMakeFiles/thermal_management.dir/thermal_management.cpp.o.d"
+  "thermal_management"
+  "thermal_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/accuracy.cc" "src/CMakeFiles/livephase.dir/analysis/accuracy.cc.o" "gcc" "src/CMakeFiles/livephase.dir/analysis/accuracy.cc.o.d"
+  "/root/repo/src/analysis/freq_scaling.cc" "src/CMakeFiles/livephase.dir/analysis/freq_scaling.cc.o" "gcc" "src/CMakeFiles/livephase.dir/analysis/freq_scaling.cc.o.d"
+  "/root/repo/src/analysis/phase_stats.cc" "src/CMakeFiles/livephase.dir/analysis/phase_stats.cc.o" "gcc" "src/CMakeFiles/livephase.dir/analysis/phase_stats.cc.o.d"
+  "/root/repo/src/analysis/power_perf.cc" "src/CMakeFiles/livephase.dir/analysis/power_perf.cc.o" "gcc" "src/CMakeFiles/livephase.dir/analysis/power_perf.cc.o.d"
+  "/root/repo/src/analysis/quadrants.cc" "src/CMakeFiles/livephase.dir/analysis/quadrants.cc.o" "gcc" "src/CMakeFiles/livephase.dir/analysis/quadrants.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/CMakeFiles/livephase.dir/analysis/report.cc.o" "gcc" "src/CMakeFiles/livephase.dir/analysis/report.cc.o.d"
+  "/root/repo/src/analysis/variability.cc" "src/CMakeFiles/livephase.dir/analysis/variability.cc.o" "gcc" "src/CMakeFiles/livephase.dir/analysis/variability.cc.o.d"
+  "/root/repo/src/common/cli.cc" "src/CMakeFiles/livephase.dir/common/cli.cc.o" "gcc" "src/CMakeFiles/livephase.dir/common/cli.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/livephase.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/livephase.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/livephase.dir/common/random.cc.o" "gcc" "src/CMakeFiles/livephase.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/livephase.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/livephase.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table_writer.cc" "src/CMakeFiles/livephase.dir/common/table_writer.cc.o" "gcc" "src/CMakeFiles/livephase.dir/common/table_writer.cc.o.d"
+  "/root/repo/src/core/confidence_predictor.cc" "src/CMakeFiles/livephase.dir/core/confidence_predictor.cc.o" "gcc" "src/CMakeFiles/livephase.dir/core/confidence_predictor.cc.o.d"
+  "/root/repo/src/core/dvfs_policy.cc" "src/CMakeFiles/livephase.dir/core/dvfs_policy.cc.o" "gcc" "src/CMakeFiles/livephase.dir/core/dvfs_policy.cc.o.d"
+  "/root/repo/src/core/fixed_window_predictor.cc" "src/CMakeFiles/livephase.dir/core/fixed_window_predictor.cc.o" "gcc" "src/CMakeFiles/livephase.dir/core/fixed_window_predictor.cc.o.d"
+  "/root/repo/src/core/governor.cc" "src/CMakeFiles/livephase.dir/core/governor.cc.o" "gcc" "src/CMakeFiles/livephase.dir/core/governor.cc.o.d"
+  "/root/repo/src/core/gpht_predictor.cc" "src/CMakeFiles/livephase.dir/core/gpht_predictor.cc.o" "gcc" "src/CMakeFiles/livephase.dir/core/gpht_predictor.cc.o.d"
+  "/root/repo/src/core/last_value_predictor.cc" "src/CMakeFiles/livephase.dir/core/last_value_predictor.cc.o" "gcc" "src/CMakeFiles/livephase.dir/core/last_value_predictor.cc.o.d"
+  "/root/repo/src/core/markov_predictor.cc" "src/CMakeFiles/livephase.dir/core/markov_predictor.cc.o" "gcc" "src/CMakeFiles/livephase.dir/core/markov_predictor.cc.o.d"
+  "/root/repo/src/core/phase.cc" "src/CMakeFiles/livephase.dir/core/phase.cc.o" "gcc" "src/CMakeFiles/livephase.dir/core/phase.cc.o.d"
+  "/root/repo/src/core/phase_classifier.cc" "src/CMakeFiles/livephase.dir/core/phase_classifier.cc.o" "gcc" "src/CMakeFiles/livephase.dir/core/phase_classifier.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/CMakeFiles/livephase.dir/core/predictor.cc.o" "gcc" "src/CMakeFiles/livephase.dir/core/predictor.cc.o.d"
+  "/root/repo/src/core/run_length_predictor.cc" "src/CMakeFiles/livephase.dir/core/run_length_predictor.cc.o" "gcc" "src/CMakeFiles/livephase.dir/core/run_length_predictor.cc.o.d"
+  "/root/repo/src/core/set_assoc_gpht_predictor.cc" "src/CMakeFiles/livephase.dir/core/set_assoc_gpht_predictor.cc.o" "gcc" "src/CMakeFiles/livephase.dir/core/set_assoc_gpht_predictor.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/livephase.dir/core/system.cc.o" "gcc" "src/CMakeFiles/livephase.dir/core/system.cc.o.d"
+  "/root/repo/src/core/variable_window_predictor.cc" "src/CMakeFiles/livephase.dir/core/variable_window_predictor.cc.o" "gcc" "src/CMakeFiles/livephase.dir/core/variable_window_predictor.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/livephase.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/livephase.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/dvfs_controller.cc" "src/CMakeFiles/livephase.dir/cpu/dvfs_controller.cc.o" "gcc" "src/CMakeFiles/livephase.dir/cpu/dvfs_controller.cc.o.d"
+  "/root/repo/src/cpu/dvfs_table.cc" "src/CMakeFiles/livephase.dir/cpu/dvfs_table.cc.o" "gcc" "src/CMakeFiles/livephase.dir/cpu/dvfs_table.cc.o.d"
+  "/root/repo/src/cpu/msr.cc" "src/CMakeFiles/livephase.dir/cpu/msr.cc.o" "gcc" "src/CMakeFiles/livephase.dir/cpu/msr.cc.o.d"
+  "/root/repo/src/cpu/operating_point.cc" "src/CMakeFiles/livephase.dir/cpu/operating_point.cc.o" "gcc" "src/CMakeFiles/livephase.dir/cpu/operating_point.cc.o.d"
+  "/root/repo/src/cpu/power_model.cc" "src/CMakeFiles/livephase.dir/cpu/power_model.cc.o" "gcc" "src/CMakeFiles/livephase.dir/cpu/power_model.cc.o.d"
+  "/root/repo/src/cpu/thermal_model.cc" "src/CMakeFiles/livephase.dir/cpu/thermal_model.cc.o" "gcc" "src/CMakeFiles/livephase.dir/cpu/thermal_model.cc.o.d"
+  "/root/repo/src/cpu/timing_model.cc" "src/CMakeFiles/livephase.dir/cpu/timing_model.cc.o" "gcc" "src/CMakeFiles/livephase.dir/cpu/timing_model.cc.o.d"
+  "/root/repo/src/daq/daq_sampler.cc" "src/CMakeFiles/livephase.dir/daq/daq_sampler.cc.o" "gcc" "src/CMakeFiles/livephase.dir/daq/daq_sampler.cc.o.d"
+  "/root/repo/src/daq/logging_machine.cc" "src/CMakeFiles/livephase.dir/daq/logging_machine.cc.o" "gcc" "src/CMakeFiles/livephase.dir/daq/logging_machine.cc.o.d"
+  "/root/repo/src/daq/sense_resistor.cc" "src/CMakeFiles/livephase.dir/daq/sense_resistor.cc.o" "gcc" "src/CMakeFiles/livephase.dir/daq/sense_resistor.cc.o.d"
+  "/root/repo/src/daq/signal_conditioner.cc" "src/CMakeFiles/livephase.dir/daq/signal_conditioner.cc.o" "gcc" "src/CMakeFiles/livephase.dir/daq/signal_conditioner.cc.o.d"
+  "/root/repo/src/dtm/dtm_harness.cc" "src/CMakeFiles/livephase.dir/dtm/dtm_harness.cc.o" "gcc" "src/CMakeFiles/livephase.dir/dtm/dtm_harness.cc.o.d"
+  "/root/repo/src/dtm/dtm_policies.cc" "src/CMakeFiles/livephase.dir/dtm/dtm_policies.cc.o" "gcc" "src/CMakeFiles/livephase.dir/dtm/dtm_policies.cc.o.d"
+  "/root/repo/src/dtm/power_advisor.cc" "src/CMakeFiles/livephase.dir/dtm/power_advisor.cc.o" "gcc" "src/CMakeFiles/livephase.dir/dtm/power_advisor.cc.o.d"
+  "/root/repo/src/dtm/thermal_monitor.cc" "src/CMakeFiles/livephase.dir/dtm/thermal_monitor.cc.o" "gcc" "src/CMakeFiles/livephase.dir/dtm/thermal_monitor.cc.o.d"
+  "/root/repo/src/kernel/kernel_log.cc" "src/CMakeFiles/livephase.dir/kernel/kernel_log.cc.o" "gcc" "src/CMakeFiles/livephase.dir/kernel/kernel_log.cc.o.d"
+  "/root/repo/src/kernel/parallel_port.cc" "src/CMakeFiles/livephase.dir/kernel/parallel_port.cc.o" "gcc" "src/CMakeFiles/livephase.dir/kernel/parallel_port.cc.o.d"
+  "/root/repo/src/kernel/phase_kernel_module.cc" "src/CMakeFiles/livephase.dir/kernel/phase_kernel_module.cc.o" "gcc" "src/CMakeFiles/livephase.dir/kernel/phase_kernel_module.cc.o.d"
+  "/root/repo/src/kernel/scheduler.cc" "src/CMakeFiles/livephase.dir/kernel/scheduler.cc.o" "gcc" "src/CMakeFiles/livephase.dir/kernel/scheduler.cc.o.d"
+  "/root/repo/src/pmc/pmc.cc" "src/CMakeFiles/livephase.dir/pmc/pmc.cc.o" "gcc" "src/CMakeFiles/livephase.dir/pmc/pmc.cc.o.d"
+  "/root/repo/src/pmc/pmc_event.cc" "src/CMakeFiles/livephase.dir/pmc/pmc_event.cc.o" "gcc" "src/CMakeFiles/livephase.dir/pmc/pmc_event.cc.o.d"
+  "/root/repo/src/pmc/pmi_controller.cc" "src/CMakeFiles/livephase.dir/pmc/pmi_controller.cc.o" "gcc" "src/CMakeFiles/livephase.dir/pmc/pmi_controller.cc.o.d"
+  "/root/repo/src/pmc/tsc.cc" "src/CMakeFiles/livephase.dir/pmc/tsc.cc.o" "gcc" "src/CMakeFiles/livephase.dir/pmc/tsc.cc.o.d"
+  "/root/repo/src/workload/interval.cc" "src/CMakeFiles/livephase.dir/workload/interval.cc.o" "gcc" "src/CMakeFiles/livephase.dir/workload/interval.cc.o.d"
+  "/root/repo/src/workload/ipcxmem.cc" "src/CMakeFiles/livephase.dir/workload/ipcxmem.cc.o" "gcc" "src/CMakeFiles/livephase.dir/workload/ipcxmem.cc.o.d"
+  "/root/repo/src/workload/patterns.cc" "src/CMakeFiles/livephase.dir/workload/patterns.cc.o" "gcc" "src/CMakeFiles/livephase.dir/workload/patterns.cc.o.d"
+  "/root/repo/src/workload/spec2000.cc" "src/CMakeFiles/livephase.dir/workload/spec2000.cc.o" "gcc" "src/CMakeFiles/livephase.dir/workload/spec2000.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/livephase.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/livephase.dir/workload/trace.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/CMakeFiles/livephase.dir/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/livephase.dir/workload/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

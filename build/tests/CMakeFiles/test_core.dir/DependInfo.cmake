@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/dvfs_policy_test.cc" "tests/CMakeFiles/test_core.dir/core/dvfs_policy_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/dvfs_policy_test.cc.o.d"
+  "/root/repo/tests/core/extended_predictors_test.cc" "tests/CMakeFiles/test_core.dir/core/extended_predictors_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/extended_predictors_test.cc.o.d"
+  "/root/repo/tests/core/gpht_predictor_test.cc" "tests/CMakeFiles/test_core.dir/core/gpht_predictor_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/gpht_predictor_test.cc.o.d"
+  "/root/repo/tests/core/phase_classifier_test.cc" "tests/CMakeFiles/test_core.dir/core/phase_classifier_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/phase_classifier_test.cc.o.d"
+  "/root/repo/tests/core/set_assoc_gpht_test.cc" "tests/CMakeFiles/test_core.dir/core/set_assoc_gpht_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/set_assoc_gpht_test.cc.o.d"
+  "/root/repo/tests/core/statistical_predictors_test.cc" "tests/CMakeFiles/test_core.dir/core/statistical_predictors_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/statistical_predictors_test.cc.o.d"
+  "/root/repo/tests/core/system_test.cc" "tests/CMakeFiles/test_core.dir/core/system_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/system_test.cc.o.d"
+  "/root/repo/tests/core/upc_governor_test.cc" "tests/CMakeFiles/test_core.dir/core/upc_governor_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/upc_governor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/livephase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/dvfs_policy_test.cc.o"
+  "CMakeFiles/test_core.dir/core/dvfs_policy_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/extended_predictors_test.cc.o"
+  "CMakeFiles/test_core.dir/core/extended_predictors_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/gpht_predictor_test.cc.o"
+  "CMakeFiles/test_core.dir/core/gpht_predictor_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/phase_classifier_test.cc.o"
+  "CMakeFiles/test_core.dir/core/phase_classifier_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/set_assoc_gpht_test.cc.o"
+  "CMakeFiles/test_core.dir/core/set_assoc_gpht_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/statistical_predictors_test.cc.o"
+  "CMakeFiles/test_core.dir/core/statistical_predictors_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/system_test.cc.o"
+  "CMakeFiles/test_core.dir/core/system_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/upc_governor_test.cc.o"
+  "CMakeFiles/test_core.dir/core/upc_governor_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

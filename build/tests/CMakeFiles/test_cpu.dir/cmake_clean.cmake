@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu.dir/cpu/core_events_test.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/core_events_test.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/core_test.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/core_test.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/msr_dvfs_test.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/msr_dvfs_test.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/operating_point_test.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/operating_point_test.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/power_model_test.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/power_model_test.cc.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/timing_model_test.cc.o"
+  "CMakeFiles/test_cpu.dir/cpu/timing_model_test.cc.o.d"
+  "test_cpu"
+  "test_cpu.pdb"
+  "test_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

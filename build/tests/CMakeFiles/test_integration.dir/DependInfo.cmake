@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/extension_claims_test.cc" "tests/CMakeFiles/test_integration.dir/integration/extension_claims_test.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/extension_claims_test.cc.o.d"
+  "/root/repo/tests/integration/measurement_consistency_test.cc" "tests/CMakeFiles/test_integration.dir/integration/measurement_consistency_test.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/measurement_consistency_test.cc.o.d"
+  "/root/repo/tests/integration/paper_claims_test.cc" "tests/CMakeFiles/test_integration.dir/integration/paper_claims_test.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/paper_claims_test.cc.o.d"
+  "/root/repo/tests/integration/soak_test.cc" "tests/CMakeFiles/test_integration.dir/integration/soak_test.cc.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/soak_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/livephase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

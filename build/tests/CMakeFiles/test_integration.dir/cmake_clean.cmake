@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/extension_claims_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/extension_claims_test.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/measurement_consistency_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/measurement_consistency_test.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/paper_claims_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/paper_claims_test.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/soak_test.cc.o"
+  "CMakeFiles/test_integration.dir/integration/soak_test.cc.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel.dir/kernel/parallel_port_test.cc.o"
+  "CMakeFiles/test_kernel.dir/kernel/parallel_port_test.cc.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/phase_kernel_module_test.cc.o"
+  "CMakeFiles/test_kernel.dir/kernel/phase_kernel_module_test.cc.o.d"
+  "CMakeFiles/test_kernel.dir/kernel/scheduler_test.cc.o"
+  "CMakeFiles/test_kernel.dir/kernel/scheduler_test.cc.o.d"
+  "test_kernel"
+  "test_kernel.pdb"
+  "test_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/patterns_test.cc" "tests/CMakeFiles/test_workload.dir/workload/patterns_test.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/patterns_test.cc.o.d"
+  "/root/repo/tests/workload/spec2000_test.cc" "tests/CMakeFiles/test_workload.dir/workload/spec2000_test.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/spec2000_test.cc.o.d"
+  "/root/repo/tests/workload/trace_io_test.cc" "tests/CMakeFiles/test_workload.dir/workload/trace_io_test.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/trace_io_test.cc.o.d"
+  "/root/repo/tests/workload/trace_ipcxmem_test.cc" "tests/CMakeFiles/test_workload.dir/workload/trace_ipcxmem_test.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/trace_ipcxmem_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/livephase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
