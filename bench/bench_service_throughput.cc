@@ -1,0 +1,176 @@
+/**
+ * @file
+ * livephased throughput/latency benchmark: the batching payoff.
+ *
+ * M client threads drive S sessions through the in-process
+ * transport (the real queue, worker pool and backpressure path),
+ * replaying the same synthetic phase streams at batch sizes
+ * K in {1, 16, 256}. Reported per K: aggregate intervals/sec and
+ * the service-side SubmitBatch latency distribution (p50/p99 from
+ * the stats op).
+ *
+ * K = 1 pays one full frame + queue + future round trip per
+ * interval; K = 256 amortizes that fixed cost 256 ways while still
+ * taking the session lock once per batch, so throughput scales
+ * nearly linearly until encode/classify work dominates.
+ *
+ * Flags:
+ *   --threads M     client threads            (default 4)
+ *   --sessions S    total sessions            (default 16)
+ *   --intervals N   intervals per session     (default 2048)
+ *   --check         CI mode: exit 1 unless rate(K=256) >= 5x
+ *                   rate(K=1)
+ */
+
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/table_writer.hh"
+#include "service/client.hh"
+#include "service/service.hh"
+
+using namespace livephase;
+using namespace livephase::service;
+
+namespace
+{
+
+std::vector<IntervalRecord>
+makeStream(uint64_t seed, size_t n)
+{
+    Rng rng(seed);
+    std::vector<IntervalRecord> records;
+    records.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        const double base = (i / 8) % 2 == 0 ? 0.002 : 0.025;
+        const double mem_per_uop =
+            std::max(0.0, base + rng.gaussian(0.0, 0.004));
+        records.push_back({100e6, mem_per_uop * 100e6,
+                           static_cast<uint64_t>(i)});
+    }
+    return records;
+}
+
+struct RunResult
+{
+    double intervals_per_sec = 0.0;
+    OpLatency submit_latency{};
+};
+
+RunResult
+runAtBatchSize(size_t batch, size_t threads, size_t sessions,
+               size_t intervals)
+{
+    LivePhaseService::Config cfg;
+    cfg.workers = 2;
+    cfg.max_batch = std::max<size_t>(cfg.max_batch, batch);
+    LivePhaseService svc(cfg);
+    InProcessTransport transport(svc);
+
+    const size_t per_thread = (sessions + threads - 1) / threads;
+    const auto start = std::chrono::steady_clock::now();
+
+    std::vector<std::thread> clients;
+    for (size_t t = 0; t < threads; ++t) {
+        clients.emplace_back([&, t] {
+            ServiceClient client(transport);
+            const size_t lo = t * per_thread;
+            const size_t hi = std::min(lo + per_thread, sessions);
+            for (size_t s = lo; s < hi; ++s) {
+                const auto open = client.open(PredictorKind::Gpht);
+                if (open.status != Status::Ok)
+                    fatal("open failed: %s",
+                          statusName(open.status));
+                const auto stream = makeStream(s, intervals);
+                for (size_t at = 0; at < stream.size();
+                     at += batch) {
+                    const size_t n =
+                        std::min(batch, stream.size() - at);
+                    const std::vector<IntervalRecord> records(
+                        stream.begin() + at,
+                        stream.begin() + at + n);
+                    const auto reply = client.submitBatchRetrying(
+                        open.session_id, records);
+                    if (reply.status != Status::Ok)
+                        fatal("submit failed: %s",
+                              statusName(reply.status));
+                }
+                client.close(open.session_id);
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    const StatsSnapshot snap = svc.stats();
+    const double total =
+        static_cast<double>(sessions) *
+        static_cast<double>(intervals);
+
+    RunResult result;
+    result.intervals_per_sec = seconds > 0.0 ? total / seconds : 0.0;
+    result.submit_latency =
+        snap.op_latency[static_cast<size_t>(Op::SubmitBatch) - 1];
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const size_t threads =
+        static_cast<size_t>(args.getInt("threads", 4));
+    const size_t sessions =
+        static_cast<size_t>(args.getInt("sessions", 16));
+    const size_t intervals =
+        static_cast<size_t>(args.getInt("intervals", 2048));
+    const bool check = args.getBool("check");
+
+    printBanner(std::cout, "livephased batched-ingestion throughput");
+    std::cout << threads << " client threads, " << sessions
+              << " sessions, " << intervals
+              << " intervals/session\n\n";
+
+    const size_t batch_sizes[] = {1, 16, 256};
+    std::vector<RunResult> results;
+    for (size_t batch : batch_sizes)
+        results.push_back(
+            runAtBatchSize(batch, threads, sessions, intervals));
+
+    TableWriter table({"K", "intervals_per_sec", "p50_us", "p99_us",
+                       "mean_us", "speedup_vs_K1"});
+    for (size_t i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        table.addRow({std::to_string(batch_sizes[i]),
+                      formatDouble(r.intervals_per_sec, 0),
+                      formatDouble(r.submit_latency.p50_us, 2),
+                      formatDouble(r.submit_latency.p99_us, 2),
+                      formatDouble(r.submit_latency.mean_us, 2),
+                      formatDouble(r.intervals_per_sec /
+                                       results[0].intervals_per_sec,
+                                   2)});
+    }
+    table.print(std::cout);
+
+    const double speedup = results.back().intervals_per_sec /
+        results.front().intervals_per_sec;
+    std::cout << "\nK=256 vs K=1 speedup: "
+              << formatDouble(speedup, 2) << "x\n";
+    if (check && speedup < 5.0) {
+        std::cerr << "FAIL: batching speedup " << speedup
+                  << "x below the 5x bar\n";
+        return 1;
+    }
+    return 0;
+}

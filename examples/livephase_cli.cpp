@@ -9,17 +9,26 @@
  * Subcommands:
  *   generate <benchmark> <out.csv> [--samples N] [--seed S]
  *       synthesize a suite benchmark into a CSV trace
- *   info <trace.csv>
+ *   info <trace.csv> [--json]
  *       phase characterization summary
- *   predict <trace.csv> [--predictor lastvalue|gpht|all]
+ *   predict <trace.csv> [--predictor lastvalue|gpht|all] [--json]
  *       prediction accuracy on the trace
- *   manage <trace.csv> [--governor reactive|gpht|bounded]
+ *   manage <trace.csv> [--governor reactive|gpht|bounded] [--json]
  *       managed-vs-baseline power/performance
+ *   serve <trace.csv> [--predictor lastvalue|gpht|setassoc|varwindow]
+ *         [--batch K] [--workers N] [--json]
+ *       replay the trace through the livephased service and report
+ *       client-side accuracy plus the service's own counters
  *   list
  *       list the built-in synthetic benchmarks
+ *
+ * `--json` switches the stats output of info/predict/manage/serve
+ * to machine-readable JSON on stdout.
  */
 
+#include <algorithm>
 #include <iostream>
+#include <sstream>
 
 #include "analysis/accuracy.hh"
 #include "analysis/phase_stats.hh"
@@ -30,6 +39,8 @@
 #include "core/gpht_predictor.hh"
 #include "core/last_value_predictor.hh"
 #include "core/system.hh"
+#include "service/client.hh"
+#include "service/service.hh"
 #include "workload/spec2000.hh"
 #include "workload/trace_io.hh"
 
@@ -44,10 +55,14 @@ usage(const std::string &prog)
     std::cerr
         << "usage: " << prog << " <command> [args]\n"
         << "  generate <benchmark> <out.csv> [--samples N] [--seed S]\n"
-        << "  info <trace.csv>\n"
-        << "  predict <trace.csv> [--predictor lastvalue|gpht|all]\n"
+        << "  info <trace.csv> [--json]\n"
+        << "  predict <trace.csv> [--predictor lastvalue|gpht|all]"
+           " [--json]\n"
         << "  manage <trace.csv> [--governor reactive|gpht|bounded]"
-           " [--bound 0.05]\n"
+           " [--bound 0.05] [--json]\n"
+        << "  serve <trace.csv>"
+           " [--predictor lastvalue|gpht|setassoc|varwindow]"
+           " [--batch K] [--workers N] [--json]\n"
         << "  list\n";
     return 2;
 }
@@ -77,14 +92,6 @@ cmdInfo(const CliArgs &args)
     const IntervalTrace trace = loadTrace(args.positional()[1]);
     const PhaseStats stats =
         computePhaseStats(trace, PhaseClassifier::table1());
-    std::cout << trace.name() << ": " << trace.size()
-              << " samples, mean Mem/Uop "
-              << formatDouble(trace.meanMemPerUop(), 4)
-              << ", transition rate "
-              << formatPercent(stats.transition_rate)
-              << ", next-phase entropy "
-              << formatDouble(stats.conditionalEntropyBits(), 2)
-              << " bits\n\n";
     TableWriter table({"phase", "residency", "runs", "mean_run",
                        "max_run"});
     for (const auto &row : stats.occupancy) {
@@ -96,6 +103,28 @@ cmdInfo(const CliArgs &args)
                       formatDouble(row.mean_run_length, 1),
                       std::to_string(row.max_run_length)});
     }
+    if (args.getBool("json")) {
+        std::cout << "{\n  \"trace\": \"" << trace.name()
+                  << "\",\n  \"samples\": " << trace.size()
+                  << ",\n  \"mean_mem_per_uop\": "
+                  << formatDouble(trace.meanMemPerUop(), 6)
+                  << ",\n  \"transition_rate\": "
+                  << formatDouble(stats.transition_rate, 4)
+                  << ",\n  \"next_phase_entropy_bits\": "
+                  << formatDouble(stats.conditionalEntropyBits(), 2)
+                  << ",\n  \"phases\": ";
+        table.printJson(std::cout);
+        std::cout << "}\n";
+        return 0;
+    }
+    std::cout << trace.name() << ": " << trace.size()
+              << " samples, mean Mem/Uop "
+              << formatDouble(trace.meanMemPerUop(), 4)
+              << ", transition rate "
+              << formatPercent(stats.transition_rate)
+              << ", next-phase entropy "
+              << formatDouble(stats.conditionalEntropyBits(), 2)
+              << " bits\n\n";
     table.print(std::cout);
     return 0;
 }
@@ -109,13 +138,16 @@ cmdPredict(const CliArgs &args)
     const std::string which =
         args.getString("predictor", "all");
     const PhaseClassifier classifier = PhaseClassifier::table1();
-    TableWriter table({"predictor", "accuracy", "mispredictions"});
+    const bool json = args.getBool("json");
+    TableWriter table({"predictor", "accuracy", "mispredictions",
+                       "evaluated"});
     auto report = [&](PhasePredictor &p) {
         const auto eval = evaluatePredictor(trace, classifier, p);
         table.addRow({eval.predictor,
-                      formatPercent(eval.accuracy()),
-                      std::to_string(eval.mispredictions) + "/" +
-                          std::to_string(eval.evaluated)});
+                      json ? formatDouble(eval.accuracy(), 4)
+                           : formatPercent(eval.accuracy()),
+                      std::to_string(eval.mispredictions),
+                      std::to_string(eval.evaluated)});
     };
     if (which == "lastvalue") {
         LastValuePredictor p;
@@ -129,7 +161,10 @@ cmdPredict(const CliArgs &args)
     } else {
         fatal("unknown predictor '%s'", which.c_str());
     }
-    table.print(std::cout);
+    if (json)
+        table.printJson(std::cout);
+    else
+        table.print(std::cout);
     return 0;
 }
 
@@ -162,6 +197,21 @@ cmdManage(const CliArgs &args)
     const System system;
     const ManagementResult r =
         compareToBaseline(system, trace, factory);
+    if (args.getBool("json")) {
+        std::cout << "{\n  \"trace\": \"" << trace.name()
+                  << "\",\n  \"governor\": \"" << r.governor
+                  << "\",\n  \"prediction_accuracy\": "
+                  << formatDouble(r.accuracy(), 4)
+                  << ",\n  \"power_savings\": "
+                  << formatDouble(r.relative.powerSavings(), 4)
+                  << ",\n  \"perf_degradation\": "
+                  << formatDouble(r.relative.perfDegradation(), 4)
+                  << ",\n  \"edp_improvement\": "
+                  << formatDouble(r.relative.edpImprovement(), 4)
+                  << ",\n  \"dvfs_transitions\": "
+                  << r.managed.dvfs_transitions << "\n}\n";
+        return 0;
+    }
     std::cout << trace.name() << " under " << r.governor << ":\n";
     std::cout << "  prediction accuracy:  "
               << formatPercent(r.accuracy()) << "\n";
@@ -173,6 +223,111 @@ cmdManage(const CliArgs &args)
               << formatPercent(r.relative.edpImprovement()) << "\n";
     std::cout << "  DVFS transitions:     "
               << r.managed.dvfs_transitions << "\n";
+    return 0;
+}
+
+int
+cmdServe(const CliArgs &args)
+{
+    using namespace livephase::service;
+
+    if (args.positional().size() < 2)
+        return usage(args.program());
+    const IntervalTrace trace = loadTrace(args.positional()[1]);
+    if (trace.empty())
+        fatal("trace '%s' is empty", trace.name().c_str());
+    const std::string which =
+        args.getString("predictor", "gpht");
+    const auto kind = predictorKindFromName(which);
+    if (!kind)
+        fatal("unknown service predictor '%s'", which.c_str());
+    const size_t batch = static_cast<size_t>(
+        args.getInt("batch", 64));
+    if (batch == 0)
+        fatal("--batch must be > 0");
+
+    LivePhaseService::Config cfg;
+    cfg.workers = static_cast<size_t>(args.getInt("workers", 2));
+    // workers = 0 is the service's manual-drain test mode; with a
+    // blocking client here it would hang forever.
+    if (cfg.workers == 0)
+        fatal("--workers must be > 0");
+    cfg.max_batch = std::max(cfg.max_batch, batch);
+    LivePhaseService svc(cfg);
+    InProcessTransport transport(svc);
+    ServiceClient client(transport);
+
+    const auto open = client.open(*kind);
+    if (open.status != Status::Ok)
+        fatal("open failed: %s", statusName(open.status));
+
+    // Replay the trace as batched interval records; tsc advances one
+    // tick per sample (the service only echoes it back).
+    std::vector<IntervalResult> results;
+    results.reserve(trace.size());
+    std::vector<IntervalRecord> records;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const Interval &ivl = trace.at(i);
+        records.push_back({ivl.uops, ivl.mem_per_uop * ivl.uops,
+                           static_cast<uint64_t>(i)});
+        if (records.size() == batch || i + 1 == trace.size()) {
+            const auto reply = client.submitBatchRetrying(
+                open.session_id, records);
+            if (reply.status != Status::Ok)
+                fatal("submit failed: %s",
+                      statusName(reply.status));
+            results.insert(results.end(), reply.results.begin(),
+                           reply.results.end());
+            records.clear();
+        }
+    }
+
+    // Client-side accuracy: the prediction made at interval i is for
+    // interval i+1 — identical accounting to evaluatePredictor().
+    uint64_t evaluated = 0, mispredictions = 0;
+    for (size_t i = 0; i + 1 < results.size(); ++i) {
+        ++evaluated;
+        if (results[i].predicted_next != results[i + 1].phase)
+            ++mispredictions;
+    }
+    const double accuracy = evaluated == 0
+        ? 0.0
+        : 1.0 - static_cast<double>(mispredictions) /
+              static_cast<double>(evaluated);
+
+    const auto stats_reply = client.queryStats();
+    if (stats_reply.status != Status::Ok)
+        fatal("query-stats failed: %s",
+              statusName(stats_reply.status));
+    client.close(open.session_id);
+
+    if (args.getBool("json")) {
+        std::ostringstream stats_os;
+        stats_reply.stats.printJson(stats_os);
+        std::string stats_json = stats_os.str();
+        while (!stats_json.empty() && stats_json.back() == '\n')
+            stats_json.pop_back();
+        std::cout << "{\n  \"trace\": \"" << trace.name()
+                  << "\",\n  \"predictor\": \""
+                  << predictorKindName(*kind)
+                  << "\",\n  \"batch\": " << batch
+                  << ",\n  \"intervals\": " << results.size()
+                  << ",\n  \"prediction_accuracy\": "
+                  << formatDouble(accuracy, 4)
+                  << ",\n  \"mispredictions\": " << mispredictions
+                  << ",\n  \"evaluated\": " << evaluated
+                  << ",\n  \"stats\": " << stats_json << "\n}\n";
+        return 0;
+    }
+    std::cout << trace.name() << " served with "
+              << predictorKindName(*kind) << " (batch " << batch
+              << "):\n";
+    std::cout << "  intervals:            " << results.size()
+              << "\n";
+    std::cout << "  prediction accuracy:  "
+              << formatPercent(accuracy) << " (" << mispredictions
+              << "/" << evaluated << " mispredicted)\n\n";
+    stats_reply.stats.print(std::cout);
     return 0;
 }
 
@@ -202,6 +357,8 @@ main(int argc, char **argv)
         return cmdPredict(args);
     if (command == "manage")
         return cmdManage(args);
+    if (command == "serve")
+        return cmdServe(args);
     if (command == "list")
         return cmdList();
     return usage(args.program());

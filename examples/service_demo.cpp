@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Minimal livephased walkthrough: open sessions against the service,
+ * stream batched interval records, and read back phase, next-phase
+ * prediction and the recommended DVFS operating point.
+ *
+ * Two clients share one daemon: an applu-like alternating workload
+ * on a GPHT session and a memory-bound workload on a last-value
+ * session. The same code works over a Unix-domain socket by
+ * swapping InProcessTransport for UdsClientTransport (see
+ * tests/service/service_test.cc for a socket round trip).
+ */
+
+#include <iostream>
+
+#include "common/table_writer.hh"
+#include "service/client.hh"
+#include "service/service.hh"
+#include "workload/spec2000.hh"
+
+using namespace livephase;
+using namespace livephase::service;
+
+namespace
+{
+
+/** Convert a synthetic benchmark trace into wire records. */
+std::vector<IntervalRecord>
+toRecords(const IntervalTrace &trace)
+{
+    std::vector<IntervalRecord> records;
+    records.reserve(trace.size());
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const Interval &ivl = trace.at(i);
+        records.push_back({ivl.uops, ivl.mem_per_uop * ivl.uops,
+                           static_cast<uint64_t>(i)});
+    }
+    return records;
+}
+
+void
+serveTrace(ServiceClient &client, const std::string &bench,
+           PredictorKind kind)
+{
+    const IntervalTrace trace =
+        Spec2000Suite::byName(bench).makeTrace(64, 1);
+    const auto records = toRecords(trace);
+
+    const auto open = client.open(kind);
+    if (open.status != Status::Ok) {
+        std::cerr << "open failed: " << statusName(open.status)
+                  << "\n";
+        return;
+    }
+
+    // One batch per 16 intervals; a real client would batch per
+    // sampling buffer flush.
+    std::vector<IntervalResult> results;
+    for (size_t at = 0; at < records.size(); at += 16) {
+        const size_t n = std::min<size_t>(16, records.size() - at);
+        const std::vector<IntervalRecord> batch(
+            records.begin() + at, records.begin() + at + n);
+        const auto reply =
+            client.submitBatchRetrying(open.session_id, batch);
+        if (reply.status != Status::Ok) {
+            std::cerr << "submit failed: "
+                      << statusName(reply.status) << "\n";
+            return;
+        }
+        results.insert(results.end(), reply.results.begin(),
+                       reply.results.end());
+    }
+
+    std::cout << trace.name() << " on " << predictorKindName(kind)
+              << " (session " << open.session_id << "):\n";
+    TableWriter table(
+        {"interval", "phase", "predicted_next", "dvfs_point"});
+    for (size_t i = 24; i < 32 && i < results.size(); ++i)
+        table.addRow({std::to_string(i),
+                      std::to_string(results[i].phase),
+                      std::to_string(results[i].predicted_next),
+                      std::to_string(results[i].dvfs_index)});
+    table.print(std::cout);
+    std::cout << "\n";
+
+    client.close(open.session_id);
+}
+
+} // namespace
+
+int
+main()
+{
+    LivePhaseService svc; // Table-1 phases, Table-2 policy
+    InProcessTransport transport(svc);
+    ServiceClient client(transport);
+
+    serveTrace(client, "applu_in", PredictorKind::Gpht);
+    serveTrace(client, "swim_in", PredictorKind::LastValue);
+
+    printBanner(std::cout, "service counters");
+    svc.stats().print(std::cout);
+    return 0;
+}

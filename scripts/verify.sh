@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-1 verification: configure, build everything, run the full
+# test suite (which includes the bench_service_throughput_ci gate).
+# Usage: scripts/verify.sh [build-dir]
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)"
+cd "$BUILD_DIR"
+ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 2)"

@@ -1,7 +1,9 @@
 #include "common/table_writer.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 
 #include "common/logging.hh"
@@ -95,6 +97,59 @@ TableWriter::printCsv(std::ostream &os) const
     emit_csv(head);
     for (const auto &row : body)
         emit_csv(row);
+}
+
+void
+TableWriter::printJson(std::ostream &os) const
+{
+    auto emit_string = [&](const std::string &s) {
+        os << '"';
+        for (char ch : s) {
+            switch (ch) {
+              case '"': os << "\\\""; break;
+              case '\\': os << "\\\\"; break;
+              case '\n': os << "\\n"; break;
+              case '\t': os << "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                    os << buf;
+                } else {
+                    os << ch;
+                }
+            }
+        }
+        os << '"';
+    };
+    auto emit_cell = [&](const std::string &cell) {
+        // Numeric cells (incl. "-1.5", "1e9") become JSON numbers;
+        // "nan"/"inf" are not valid JSON, so keep those as strings.
+        if (!cell.empty()) {
+            char *end = nullptr;
+            const double v = std::strtod(cell.c_str(), &end);
+            if (end == cell.c_str() + cell.size() &&
+                std::isfinite(v)) {
+                os << cell;
+                return;
+            }
+        }
+        emit_string(cell);
+    };
+
+    os << "[\n";
+    for (size_t r = 0; r < body.size(); ++r) {
+        os << "  {";
+        for (size_t c = 0; c < head.size(); ++c) {
+            emit_string(head[c]);
+            os << ": ";
+            emit_cell(body[r][c]);
+            if (c + 1 < head.size())
+                os << ", ";
+        }
+        os << (r + 1 < body.size() ? "},\n" : "}\n");
+    }
+    os << "]\n";
 }
 
 std::string

@@ -66,4 +66,15 @@ ConfidenceGatedPredictor::name() const
         std::to_string(max_level) + "(" + inner->name() + ")";
 }
 
+PredictorPtr
+ConfidenceGatedPredictor::clone() const
+{
+    auto copy = std::make_unique<ConfidenceGatedPredictor>(
+        inner->clone(), max_level, threshold);
+    copy->level = level;
+    copy->last_observed = last_observed;
+    copy->last_inner_prediction = last_inner_prediction;
+    return copy;
+}
+
 } // namespace livephase

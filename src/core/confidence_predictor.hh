@@ -46,6 +46,9 @@ class ConfidenceGatedPredictor : public PhasePredictor
     void reset() override;
     std::string name() const override;
 
+    /** Deep copy: clones the gated inner predictor as well. */
+    PredictorPtr clone() const override;
+
     /** Current confidence level. */
     int confidence() const { return level; }
 

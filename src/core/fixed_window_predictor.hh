@@ -49,6 +49,11 @@ class FixedWindowPredictor : public PhasePredictor
     void reset() override;
     std::string name() const override;
 
+    PredictorPtr clone() const override
+    {
+        return std::make_unique<FixedWindowPredictor>(*this);
+    }
+
     /** The configured window length. */
     size_t window() const { return win_size; }
 

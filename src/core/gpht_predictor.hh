@@ -65,6 +65,11 @@ class GphtPredictor : public PhasePredictor
     void reset() override;
     std::string name() const override;
 
+    PredictorPtr clone() const override
+    {
+        return std::make_unique<GphtPredictor>(*this);
+    }
+
     /** Configured GPHR depth. */
     size_t gphrDepth() const { return depth; }
 

@@ -29,6 +29,11 @@ class LastValuePredictor : public PhasePredictor
     void reset() override;
     std::string name() const override;
 
+    PredictorPtr clone() const override
+    {
+        return std::make_unique<LastValuePredictor>(*this);
+    }
+
   private:
     PhaseId last = INVALID_PHASE;
 };

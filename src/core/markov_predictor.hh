@@ -43,6 +43,11 @@ class MarkovPredictor : public PhasePredictor
     void reset() override;
     std::string name() const override;
 
+    PredictorPtr clone() const override
+    {
+        return std::make_unique<MarkovPredictor>(*this);
+    }
+
     /** Observed count for a (from, to) transition. */
     uint64_t transitionCount(PhaseId from, PhaseId to) const;
 

@@ -43,6 +43,16 @@ class PhasePredictor
     /** Forget all history. */
     virtual void reset() = 0;
 
+    /**
+     * Deep copy, learned state included: feeding the original and
+     * the clone the same subsequent observations yields identical
+     * predictions, and neither instance ever affects the other.
+     * Callers wanting a *fresh* predictor of the same configuration
+     * clone a prototype and reset() the copy — the pattern the
+     * service layer uses to stamp per-session predictors.
+     */
+    virtual std::unique_ptr<PhasePredictor> clone() const = 0;
+
     /** Identifier used in result tables ("GPHT_8_1024", ...). */
     virtual std::string name() const = 0;
 

@@ -45,6 +45,11 @@ class RunLengthPredictor : public PhasePredictor
     void reset() override;
     std::string name() const override;
 
+    PredictorPtr clone() const override
+    {
+        return std::make_unique<RunLengthPredictor>(*this);
+    }
+
     /** Learned expected run length of a phase (0 if never ended). */
     double expectedRunLength(PhaseId phase) const;
 

@@ -54,6 +54,11 @@ class SetAssocGphtPredictor : public PhasePredictor
     void reset() override;
     std::string name() const override;
 
+    PredictorPtr clone() const override
+    {
+        return std::make_unique<SetAssocGphtPredictor>(*this);
+    }
+
     /** Total capacity (sets * ways). */
     size_t capacity() const { return num_sets * num_ways; }
 

@@ -39,6 +39,11 @@ class VariableWindowPredictor : public PhasePredictor
     void reset() override;
     std::string name() const override;
 
+    PredictorPtr clone() const override
+    {
+        return std::make_unique<VariableWindowPredictor>(*this);
+    }
+
     /** Number of observations currently in the (possibly shrunk)
      *  window. */
     size_t occupancy() const { return history.size(); }

@@ -1,0 +1,82 @@
+#include "service/client.hh"
+
+#include <thread>
+
+namespace livephase::service
+{
+
+ServiceClient::OpenReply
+ServiceClient::open(PredictorKind kind)
+{
+    const Bytes response = link.roundTrip(encodeOpenRequest(kind));
+    ParsedResponse parsed;
+    if (!parseResponse(response, parsed))
+        return {Status::BadFrame, 0};
+    return {parsed.status, parsed.header.session_id};
+}
+
+ServiceClient::SubmitReply
+ServiceClient::submitBatch(uint64_t session_id,
+                           const std::vector<IntervalRecord> &records)
+{
+    const Bytes response =
+        link.roundTrip(encodeSubmitRequest(session_id, records));
+    ParsedResponse parsed;
+    if (!parseResponse(response, parsed))
+        return {Status::BadFrame, {}};
+    SubmitReply reply;
+    reply.status = parsed.status;
+    if (parsed.status == Status::Ok) {
+        auto results = decodeSubmitResults(parsed.body);
+        if (!results)
+            return {Status::BadFrame, {}};
+        reply.results = std::move(*results);
+    }
+    return reply;
+}
+
+ServiceClient::SubmitReply
+ServiceClient::submitBatchRetrying(
+    uint64_t session_id, const std::vector<IntervalRecord> &records,
+    size_t max_attempts)
+{
+    SubmitReply reply;
+    for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+        reply = submitBatch(session_id, records);
+        if (reply.status != Status::RetryAfter)
+            return reply;
+        std::this_thread::yield();
+    }
+    return reply;
+}
+
+ServiceClient::StatsReply
+ServiceClient::queryStats()
+{
+    const Bytes response = link.roundTrip(encodeStatsRequest());
+    ParsedResponse parsed;
+    if (!parseResponse(response, parsed))
+        return {Status::BadFrame, {}};
+    StatsReply reply;
+    reply.status = parsed.status;
+    if (parsed.status == Status::Ok) {
+        auto snap = decodeStats(parsed.body);
+        if (!snap)
+            return {Status::BadFrame, {}};
+        reply.stats = *snap;
+    }
+    return reply;
+}
+
+Status
+ServiceClient::close(uint64_t session_id)
+{
+    const Bytes response =
+        link.roundTrip(encodeCloseRequest(session_id));
+    ParsedResponse parsed;
+    if (!parseResponse(response, parsed))
+        return Status::BadFrame;
+    return parsed.status;
+}
+
+} // namespace livephase::service

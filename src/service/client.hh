@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Client library for the livephased service.
+ *
+ * A ServiceClient speaks the protocol over a FrameTransport; the
+ * transport abstraction is the reason examples, benches and tests
+ * run identical client code whether the service lives in the same
+ * process (InProcessTransport — frames go through the real request
+ * queue, worker pool and backpressure path) or behind a Unix-domain
+ * socket (UdsClientTransport in uds_transport.hh).
+ *
+ * A ServiceClient is not itself thread-safe; give each client
+ * thread its own instance (they may share an InProcessTransport,
+ * whose round trip is a thread-safe submit + future wait).
+ */
+
+#ifndef LIVEPHASE_SERVICE_CLIENT_HH
+#define LIVEPHASE_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "service/protocol.hh"
+#include "service/service.hh"
+#include "service/service_stats.hh"
+
+namespace livephase::service
+{
+
+/**
+ * One request frame in, one response frame out.
+ */
+class FrameTransport
+{
+  public:
+    virtual ~FrameTransport() = default;
+
+    /** Deliver a request frame; block for the response frame.
+     *  An empty return means the transport itself failed. */
+    virtual Bytes roundTrip(Bytes request_frame) = 0;
+};
+
+/**
+ * Transport into a LivePhaseService in the same process, through
+ * its queue and worker pool (so backpressure is observable).
+ */
+class InProcessTransport : public FrameTransport
+{
+  public:
+    explicit InProcessTransport(LivePhaseService &service)
+        : svc(service)
+    {
+    }
+
+    Bytes roundTrip(Bytes request_frame) override
+    {
+        return svc.submit(std::move(request_frame)).get();
+    }
+
+  private:
+    LivePhaseService &svc;
+};
+
+/**
+ * Typed wrapper over the wire protocol.
+ */
+class ServiceClient
+{
+  public:
+    explicit ServiceClient(FrameTransport &transport)
+        : link(transport)
+    {
+    }
+
+    struct OpenReply
+    {
+        Status status = Status::BadFrame;
+        uint64_t session_id = 0;
+    };
+
+    /** Open a session with the given per-session predictor. */
+    OpenReply open(PredictorKind kind);
+
+    struct SubmitReply
+    {
+        Status status = Status::BadFrame;
+        std::vector<IntervalResult> results;
+    };
+
+    /** Submit one batch of interval records. */
+    SubmitReply submitBatch(uint64_t session_id,
+                            const std::vector<IntervalRecord> &records);
+
+    /**
+     * submitBatch honoring the backpressure contract: on RetryAfter
+     * the call yields and retries, up to `max_attempts` times.
+     */
+    SubmitReply
+    submitBatchRetrying(uint64_t session_id,
+                        const std::vector<IntervalRecord> &records,
+                        size_t max_attempts = 1000);
+
+    struct StatsReply
+    {
+        Status status = Status::BadFrame;
+        StatsSnapshot stats{};
+    };
+
+    /** Fetch the service's counter snapshot. */
+    StatsReply queryStats();
+
+    /** Close a session. */
+    Status close(uint64_t session_id);
+
+  private:
+    FrameTransport &link;
+};
+
+} // namespace livephase::service
+
+#endif // LIVEPHASE_SERVICE_CLIENT_HH

@@ -1,0 +1,366 @@
+#include "service/protocol.hh"
+
+#include <cmath>
+#include <cstring>
+
+namespace livephase::service
+{
+
+const char *
+statusName(Status status)
+{
+    switch (status) {
+      case Status::Ok: return "ok";
+      case Status::RetryAfter: return "retry-after";
+      case Status::BadFrame: return "bad-frame";
+      case Status::UnknownSession: return "unknown-session";
+      case Status::UnknownPredictor: return "unknown-predictor";
+      case Status::BatchTooLarge: return "batch-too-large";
+      case Status::ShuttingDown: return "shutting-down";
+    }
+    return "status-?";
+}
+
+std::string
+opName(uint16_t raw_op)
+{
+    switch (static_cast<Op>(raw_op)) {
+      case Op::Open: return "open";
+      case Op::SubmitBatch: return "submit-batch";
+      case Op::QueryStats: return "query-stats";
+      case Op::Close: return "close";
+    }
+    return "op-" + std::to_string(raw_op);
+}
+
+const char *
+predictorKindName(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::LastValue: return "lastvalue";
+      case PredictorKind::Gpht: return "gpht";
+      case PredictorKind::SetAssocGpht: return "setassoc";
+      case PredictorKind::VariableWindow: return "varwindow";
+    }
+    return "predictor-?";
+}
+
+std::optional<PredictorKind>
+predictorKindFromName(const std::string &name)
+{
+    if (name == "lastvalue")
+        return PredictorKind::LastValue;
+    if (name == "gpht")
+        return PredictorKind::Gpht;
+    if (name == "setassoc")
+        return PredictorKind::SetAssocGpht;
+    if (name == "varwindow")
+        return PredictorKind::VariableWindow;
+    return std::nullopt;
+}
+
+bool
+IntervalRecord::valid() const
+{
+    return std::isfinite(uops) && uops > 0.0 &&
+        std::isfinite(bus_tran_mem) && bus_tran_mem >= 0.0;
+}
+
+// --- byte-level helpers ------------------------------------------
+
+void
+ByteWriter::u16(uint16_t v)
+{
+    buf.push_back(static_cast<uint8_t>(v));
+    buf.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+ByteWriter::u32(uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        buf.push_back(static_cast<uint8_t>(v >> shift));
+}
+
+void
+ByteWriter::u64(uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        buf.push_back(static_cast<uint8_t>(v >> shift));
+}
+
+void
+ByteWriter::i32(int32_t v)
+{
+    u32(static_cast<uint32_t>(v));
+}
+
+void
+ByteWriter::f64(double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+bool
+ByteReader::grab(void *out, size_t n)
+{
+    if (left < n)
+        return false;
+    std::memcpy(out, cur, n);
+    cur += n;
+    left -= n;
+    return true;
+}
+
+bool
+ByteReader::u16(uint16_t &v)
+{
+    uint8_t raw[2];
+    if (!grab(raw, sizeof(raw)))
+        return false;
+    v = static_cast<uint16_t>(raw[0] | (raw[1] << 8));
+    return true;
+}
+
+bool
+ByteReader::u32(uint32_t &v)
+{
+    uint8_t raw[4];
+    if (!grab(raw, sizeof(raw)))
+        return false;
+    v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | raw[i];
+    return true;
+}
+
+bool
+ByteReader::u64(uint64_t &v)
+{
+    uint8_t raw[8];
+    if (!grab(raw, sizeof(raw)))
+        return false;
+    v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | raw[i];
+    return true;
+}
+
+bool
+ByteReader::i32(int32_t &v)
+{
+    uint32_t raw;
+    if (!u32(raw))
+        return false;
+    v = static_cast<int32_t>(raw);
+    return true;
+}
+
+bool
+ByteReader::f64(double &v)
+{
+    uint64_t bits;
+    if (!u64(bits))
+        return false;
+    std::memcpy(&v, &bits, sizeof(v));
+    return true;
+}
+
+// --- framing -----------------------------------------------------
+
+namespace
+{
+
+void
+writeHeader(ByteWriter &w, uint16_t raw_op, uint64_t session_id,
+            uint32_t payload_size)
+{
+    w.u32(FRAME_MAGIC);
+    w.u16(PROTOCOL_VERSION);
+    w.u16(raw_op);
+    w.u64(session_id);
+    w.u32(payload_size);
+}
+
+Bytes
+frame(uint16_t raw_op, uint64_t session_id, const Bytes &payload)
+{
+    ByteWriter w;
+    writeHeader(w, raw_op, session_id,
+                static_cast<uint32_t>(payload.size()));
+    Bytes out = w.take();
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+} // namespace
+
+std::optional<FrameHeader>
+peekHeader(const uint8_t *data, size_t size)
+{
+    ByteReader r(data, size);
+    FrameHeader h;
+    if (!r.u32(h.magic) || !r.u16(h.version) || !r.u16(h.op) ||
+        !r.u64(h.session_id) || !r.u32(h.payload_size))
+        return std::nullopt;
+    return h;
+}
+
+std::optional<FrameHeader>
+peekHeader(const Bytes &frame)
+{
+    return peekHeader(frame.data(), frame.size());
+}
+
+Bytes
+encodeOpenRequest(PredictorKind kind)
+{
+    ByteWriter payload;
+    payload.u16(static_cast<uint16_t>(kind));
+    return frame(static_cast<uint16_t>(Op::Open), 0, payload.take());
+}
+
+Bytes
+encodeSubmitRequest(uint64_t session_id,
+                    const std::vector<IntervalRecord> &records)
+{
+    ByteWriter payload;
+    payload.u32(static_cast<uint32_t>(records.size()));
+    for (const IntervalRecord &rec : records) {
+        payload.f64(rec.uops);
+        payload.f64(rec.bus_tran_mem);
+        payload.u64(rec.tsc);
+    }
+    return frame(static_cast<uint16_t>(Op::SubmitBatch), session_id,
+                 payload.take());
+}
+
+Bytes
+encodeStatsRequest()
+{
+    return frame(static_cast<uint16_t>(Op::QueryStats), 0, {});
+}
+
+Bytes
+encodeCloseRequest(uint64_t session_id)
+{
+    return frame(static_cast<uint16_t>(Op::Close), session_id, {});
+}
+
+Status
+parseRequest(const Bytes &bytes, ParsedRequest &out)
+{
+    const auto header = peekHeader(bytes);
+    if (!header)
+        return Status::BadFrame;
+    out.header = *header;
+    if (header->magic != FRAME_MAGIC ||
+        header->version != PROTOCOL_VERSION)
+        return Status::BadFrame;
+    if (header->payload_size > MAX_PAYLOAD_SIZE ||
+        bytes.size() != FRAME_HEADER_SIZE + header->payload_size)
+        return Status::BadFrame;
+
+    ByteReader r(bytes.data() + FRAME_HEADER_SIZE,
+                 header->payload_size);
+    switch (static_cast<Op>(header->op)) {
+      case Op::Open: {
+        uint16_t kind;
+        if (!r.u16(kind) || r.remaining() != 0)
+            return Status::BadFrame;
+        out.predictor = static_cast<PredictorKind>(kind);
+        return Status::Ok;
+      }
+      case Op::SubmitBatch: {
+        uint32_t count;
+        if (!r.u32(count))
+            return Status::BadFrame;
+        if (r.remaining() != count * INTERVAL_RECORD_WIRE_SIZE)
+            return Status::BadFrame;
+        out.records.clear();
+        out.records.reserve(count);
+        for (uint32_t i = 0; i < count; ++i) {
+            IntervalRecord rec;
+            if (!r.f64(rec.uops) || !r.f64(rec.bus_tran_mem) ||
+                !r.u64(rec.tsc))
+                return Status::BadFrame;
+            out.records.push_back(rec);
+        }
+        return Status::Ok;
+      }
+      case Op::QueryStats:
+      case Op::Close:
+        return r.remaining() == 0 ? Status::Ok : Status::BadFrame;
+    }
+    return Status::BadFrame; // unknown op
+}
+
+Bytes
+encodeResponse(uint16_t raw_op, uint64_t session_id, Status status,
+               const Bytes &body)
+{
+    ByteWriter payload;
+    payload.u16(static_cast<uint16_t>(status));
+    Bytes p = payload.take();
+    p.insert(p.end(), body.begin(), body.end());
+    return frame(raw_op, session_id, p);
+}
+
+Bytes
+encodeSubmitResults(const std::vector<IntervalResult> &results)
+{
+    ByteWriter w;
+    w.u32(static_cast<uint32_t>(results.size()));
+    for (const IntervalResult &res : results) {
+        w.i32(res.phase);
+        w.i32(res.predicted_next);
+        w.u32(res.dvfs_index);
+    }
+    return w.take();
+}
+
+bool
+parseResponse(const Bytes &bytes, ParsedResponse &out)
+{
+    const auto header = peekHeader(bytes);
+    if (!header || header->magic != FRAME_MAGIC ||
+        header->version != PROTOCOL_VERSION)
+        return false;
+    if (bytes.size() != FRAME_HEADER_SIZE + header->payload_size ||
+        header->payload_size < 2)
+        return false;
+    out.header = *header;
+    ByteReader r(bytes.data() + FRAME_HEADER_SIZE,
+                 header->payload_size);
+    uint16_t status;
+    if (!r.u16(status))
+        return false;
+    out.status = static_cast<Status>(status);
+    out.body.assign(bytes.end() - r.remaining(), bytes.end());
+    return true;
+}
+
+std::optional<std::vector<IntervalResult>>
+decodeSubmitResults(const Bytes &body)
+{
+    ByteReader r(body);
+    uint32_t count;
+    if (!r.u32(count) ||
+        r.remaining() != count * INTERVAL_RESULT_WIRE_SIZE)
+        return std::nullopt;
+    std::vector<IntervalResult> results;
+    results.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        IntervalResult res;
+        if (!r.i32(res.phase) || !r.i32(res.predicted_next) ||
+            !r.u32(res.dvfs_index))
+            return std::nullopt;
+        results.push_back(res);
+    }
+    return results;
+}
+
+} // namespace livephase::service

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Wire protocol of the `livephased` phase-prediction service.
+ *
+ * Every exchange is one length-prefixed binary *frame*: a fixed
+ * 20-byte header followed by an op-specific payload. All integers
+ * are little-endian; doubles are IEEE-754 binary64 bit patterns.
+ *
+ *     offset  size  field
+ *     0       4     magic        0x4C504844 ("LPHD")
+ *     4       2     version      protocol revision (currently 1)
+ *     6       2     op           Op enumerator
+ *     8       8     session_id   0 for Open / QueryStats
+ *     16      4     payload_size bytes following the header
+ *
+ * Responses reuse the header (echoing op and session id); their
+ * payload always begins with a 16-bit Status, followed by an
+ * op-specific body. The same layout travels over the Unix-domain
+ * socket transport and the in-process transport, so a client is
+ * oblivious to which one it is talking through.
+ *
+ * Ops:
+ *  - Open        payload: u16 PredictorKind. Response header carries
+ *                the newly assigned session id.
+ *  - SubmitBatch payload: u32 count, then count IntervalRecords
+ *                (f64 uops, f64 bus_tran_mem, u64 tsc). Response
+ *                body: u32 count, then count IntervalResults
+ *                (i32 phase, i32 predicted_next, u32 dvfs_index).
+ *  - QueryStats  empty payload. Response body: a StatsSnapshot
+ *                (see service_stats.hh).
+ *  - Close       empty payload; session id in the header.
+ *
+ * Malformed input (bad magic/version, unknown op, truncated or
+ * oversized payload, record-count mismatch) is answered with
+ * Status::BadFrame — the service never fatal()s on network input.
+ */
+
+#ifndef LIVEPHASE_SERVICE_PROTOCOL_HH
+#define LIVEPHASE_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/phase.hh"
+
+namespace livephase::service
+{
+
+/** Raw frame bytes as they travel over a transport. */
+using Bytes = std::vector<uint8_t>;
+
+constexpr uint32_t FRAME_MAGIC = 0x4C504844u; // "LPHD"
+constexpr uint16_t PROTOCOL_VERSION = 1;
+constexpr size_t FRAME_HEADER_SIZE = 20;
+
+/** Largest payload a peer may send; larger frames are rejected
+ *  before buffering (a stream-desync or hostile-length guard). */
+constexpr uint32_t MAX_PAYLOAD_SIZE = 16u << 20;
+
+/** Request operations (echoed verbatim in the response header). */
+enum class Op : uint16_t
+{
+    Open = 1,
+    SubmitBatch = 2,
+    QueryStats = 3,
+    Close = 4,
+};
+
+constexpr size_t NUM_OPS = 4;
+
+/** First field of every response payload. */
+enum class Status : uint16_t
+{
+    Ok = 0,
+    RetryAfter = 1,      ///< request queue full — back off and retry
+    BadFrame = 2,        ///< malformed or protocol-violating frame
+    UnknownSession = 3,  ///< id never opened, closed, evicted or expired
+    UnknownPredictor = 4,///< Open named an unsupported predictor kind
+    BatchTooLarge = 5,   ///< SubmitBatch exceeded the service's K limit
+    ShuttingDown = 6,    ///< service is stopping; do not retry
+};
+
+/** Predictor chosen per session at open time. */
+enum class PredictorKind : uint16_t
+{
+    LastValue = 1,
+    Gpht = 2,
+    SetAssocGpht = 3,
+    VariableWindow = 4,
+};
+
+/** "ok", "retry-after", ... for logs and tables. */
+const char *statusName(Status status);
+
+/** "open", "submit-batch", ... ("op-N" for unknown raw values). */
+std::string opName(uint16_t raw_op);
+
+/** "gpht", "lastvalue", ... */
+const char *predictorKindName(PredictorKind kind);
+
+/** Parse a CLI predictor name; nullopt when unrecognized. */
+std::optional<PredictorKind>
+predictorKindFromName(const std::string &name);
+
+/** Decoded frame header (validated magic/version not implied). */
+struct FrameHeader
+{
+    uint32_t magic = 0;
+    uint16_t version = 0;
+    uint16_t op = 0;
+    uint64_t session_id = 0;
+    uint32_t payload_size = 0;
+};
+
+/** One client-side interval observation, as sampled by a PMI
+ *  handler: retired uops, memory bus transactions, timestamp. */
+struct IntervalRecord
+{
+    double uops = 0.0;
+    double bus_tran_mem = 0.0;
+    uint64_t tsc = 0;
+
+    /** Physically meaningful: positive finite uops, non-negative
+     *  finite bus transactions. */
+    bool valid() const;
+};
+
+constexpr size_t INTERVAL_RECORD_WIRE_SIZE = 24;
+
+/** Per-interval service answer. */
+struct IntervalResult
+{
+    PhaseId phase = INVALID_PHASE;          ///< classified phase
+    PhaseId predicted_next = INVALID_PHASE; ///< next-phase prediction
+    uint32_t dvfs_index = 0; ///< recommended operating-point index
+
+    bool operator==(const IntervalResult &other) const = default;
+};
+
+constexpr size_t INTERVAL_RESULT_WIRE_SIZE = 12;
+
+/**
+ * Little-endian append-only byte builder used by all encoders.
+ */
+class ByteWriter
+{
+  public:
+    void u16(uint16_t v);
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void i32(int32_t v);
+    void f64(double v);
+
+    size_t size() const { return buf.size(); }
+
+    /** Move the accumulated bytes out. */
+    Bytes take() { return std::move(buf); }
+
+  private:
+    Bytes buf;
+};
+
+/**
+ * Bounds-checked little-endian reader; every accessor returns false
+ * (leaving the output untouched) once the buffer is exhausted.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const uint8_t *data, size_t size)
+        : cur(data), left(size)
+    {
+    }
+
+    explicit ByteReader(const Bytes &bytes)
+        : ByteReader(bytes.data(), bytes.size())
+    {
+    }
+
+    bool u16(uint16_t &v);
+    bool u32(uint32_t &v);
+    bool u64(uint64_t &v);
+    bool i32(int32_t &v);
+    bool f64(double &v);
+
+    size_t remaining() const { return left; }
+
+  private:
+    bool grab(void *out, size_t n);
+
+    const uint8_t *cur;
+    size_t left;
+};
+
+// --- client-side request encoders --------------------------------
+
+Bytes encodeOpenRequest(PredictorKind kind);
+Bytes encodeSubmitRequest(uint64_t session_id,
+                          const std::vector<IntervalRecord> &records);
+Bytes encodeStatsRequest();
+Bytes encodeCloseRequest(uint64_t session_id);
+
+// --- server-side request parsing ---------------------------------
+
+/** A fully validated request frame. */
+struct ParsedRequest
+{
+    FrameHeader header{};
+    PredictorKind predictor = PredictorKind::LastValue; ///< Open only
+    std::vector<IntervalRecord> records; ///< SubmitBatch only
+};
+
+/**
+ * Decode just the header (no magic/version validation) so error
+ * responses can echo op and session id even for frames whose
+ * payload is unreadable. nullopt when shorter than a header.
+ */
+std::optional<FrameHeader> peekHeader(const Bytes &frame);
+std::optional<FrameHeader> peekHeader(const uint8_t *data, size_t size);
+
+/**
+ * Validate and decode a request frame. Returns Status::Ok and fills
+ * `out`, or Status::BadFrame (magic/version/op/length violations).
+ */
+Status parseRequest(const Bytes &frame, ParsedRequest &out);
+
+// --- server-side response encoders -------------------------------
+
+/**
+ * Build a response frame: header (echoed op/session) + u16 status +
+ * `body`. `raw_op` is deliberately untyped so replies to unknown ops
+ * can still echo what the client sent.
+ */
+Bytes encodeResponse(uint16_t raw_op, uint64_t session_id,
+                     Status status, const Bytes &body = {});
+
+/** SubmitBatch response body: u32 count + IntervalResults. */
+Bytes encodeSubmitResults(const std::vector<IntervalResult> &results);
+
+// --- client-side response parsing --------------------------------
+
+/** A decoded response frame. */
+struct ParsedResponse
+{
+    FrameHeader header{};
+    Status status = Status::BadFrame;
+    Bytes body; ///< op-specific remainder after the status field
+};
+
+/** False when the frame is not a well-formed response. */
+bool parseResponse(const Bytes &frame, ParsedResponse &out);
+
+/** Decode a SubmitBatch response body; nullopt when malformed. */
+std::optional<std::vector<IntervalResult>>
+decodeSubmitResults(const Bytes &body);
+
+} // namespace livephase::service
+
+#endif // LIVEPHASE_SERVICE_PROTOCOL_HH

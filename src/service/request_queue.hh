@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Bounded multi-producer/multi-consumer queue feeding the worker
+ * pool.
+ *
+ * The backpressure contract of the service lives here: tryPush()
+ * never blocks and never grows the queue past its capacity — a full
+ * queue is the *caller's* problem (the service answers the client
+ * with Status::RetryAfter), so a burst of traffic can never make
+ * the daemon's memory footprint unbounded.
+ *
+ * pop() blocks until an item or shutdown; after close(), remaining
+ * items are still drained (pop returns them) and only then does pop
+ * report exhaustion — so no accepted request is ever dropped.
+ */
+
+#ifndef LIVEPHASE_SERVICE_REQUEST_QUEUE_HH
+#define LIVEPHASE_SERVICE_REQUEST_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace livephase::service
+{
+
+/**
+ * Mutex/condvar bounded MPMC queue with a high-water-mark gauge.
+ */
+template <typename T>
+class BoundedMpmcQueue
+{
+  public:
+    /** @param capacity maximum queued items; fatal() when 0. */
+    explicit BoundedMpmcQueue(size_t capacity) : cap(capacity)
+    {
+        if (cap == 0)
+            fatal("BoundedMpmcQueue: capacity must be > 0");
+    }
+
+    /**
+     * Enqueue unless full or closed. Never blocks. The item is
+     * moved from only on success, so a rejected item stays intact
+     * in the caller's hands (the service replies RetryAfter through
+     * the very promise it tried to enqueue).
+     * @return true when the item was accepted.
+     */
+    bool tryPush(T &&item)
+    {
+        {
+            std::lock_guard lock(mu);
+            if (shut || items.size() >= cap)
+                return false;
+            items.push_back(std::move(item));
+            if (items.size() > hwm)
+                hwm = items.size();
+        }
+        not_empty.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue, blocking until an item is available. After close(),
+     * drains remaining items and then returns nullopt forever.
+     */
+    std::optional<T> pop()
+    {
+        std::unique_lock lock(mu);
+        not_empty.wait(lock,
+                       [this] { return shut || !items.empty(); });
+        if (items.empty())
+            return std::nullopt;
+        T item = std::move(items.front());
+        items.pop_front();
+        return item;
+    }
+
+    /** Non-blocking dequeue (manual draining / tests). */
+    std::optional<T> tryPop()
+    {
+        std::lock_guard lock(mu);
+        if (items.empty())
+            return std::nullopt;
+        T item = std::move(items.front());
+        items.pop_front();
+        return item;
+    }
+
+    /** Stop accepting items and wake all blocked consumers. */
+    void close()
+    {
+        {
+            std::lock_guard lock(mu);
+            shut = true;
+        }
+        not_empty.notify_all();
+    }
+
+    /** True after close(). */
+    bool closed() const
+    {
+        std::lock_guard lock(mu);
+        return shut;
+    }
+
+    /** Items currently queued. */
+    size_t depth() const
+    {
+        std::lock_guard lock(mu);
+        return items.size();
+    }
+
+    /** Deepest the queue has ever been. */
+    size_t highWaterMark() const
+    {
+        std::lock_guard lock(mu);
+        return hwm;
+    }
+
+  private:
+    const size_t cap;
+    mutable std::mutex mu;
+    std::condition_variable not_empty;
+    std::deque<T> items;
+    size_t hwm = 0;
+    bool shut = false;
+};
+
+} // namespace livephase::service
+
+#endif // LIVEPHASE_SERVICE_REQUEST_QUEUE_HH

@@ -1,0 +1,199 @@
+#include "service/service.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+
+namespace livephase::service
+{
+
+LivePhaseService::LivePhaseService()
+    : LivePhaseService(Config{})
+{
+}
+
+LivePhaseService::LivePhaseService(Config config)
+    : cfg(config), manager(cfg.sessions, &counters),
+      queue(cfg.queue_capacity)
+{
+    if (cfg.max_batch == 0)
+        fatal("LivePhaseService: max_batch must be > 0");
+    pool.reserve(cfg.workers);
+    for (size_t i = 0; i < cfg.workers; ++i)
+        pool.emplace_back([this] { workerLoop(); });
+}
+
+LivePhaseService::LivePhaseService(Config config,
+                                   PhaseClassifier classifier,
+                                   DvfsPolicy policy,
+                                   SessionManager::Clock clock)
+    : cfg(config),
+      manager(cfg.sessions, std::move(classifier), std::move(policy),
+              &counters, std::move(clock)),
+      queue(cfg.queue_capacity)
+{
+    if (cfg.max_batch == 0)
+        fatal("LivePhaseService: max_batch must be > 0");
+    pool.reserve(cfg.workers);
+    for (size_t i = 0; i < cfg.workers; ++i)
+        pool.emplace_back([this] { workerLoop(); });
+}
+
+LivePhaseService::~LivePhaseService()
+{
+    stop();
+}
+
+void
+LivePhaseService::stop()
+{
+    if (stopping.exchange(true))
+        return;
+    queue.close();
+    for (std::thread &worker : pool)
+        worker.join();
+    pool.clear();
+    // Anything still queued (workers == 0 mode) must not leave its
+    // client's future dangling.
+    while (auto req = queue.tryPop())
+        req->reply.set_value(
+            rejectionResponse(req->frame, Status::ShuttingDown));
+}
+
+Bytes
+LivePhaseService::rejectionResponse(const Bytes &request_frame,
+                                    Status status)
+{
+    uint16_t raw_op = 0;
+    uint64_t session_id = 0;
+    if (const auto header = peekHeader(request_frame)) {
+        raw_op = header->op;
+        session_id = header->session_id;
+    }
+    return encodeResponse(raw_op, session_id, status);
+}
+
+std::future<Bytes>
+LivePhaseService::submit(Bytes request_frame)
+{
+    Request req;
+    req.frame = std::move(request_frame);
+    std::future<Bytes> result = req.reply.get_future();
+
+    if (stopping.load(std::memory_order_acquire)) {
+        req.reply.set_value(
+            rejectionResponse(req.frame, Status::ShuttingDown));
+        return result;
+    }
+
+    if (!queue.tryPush(std::move(req))) {
+        // tryPush moves only on success, so req is still whole.
+        const Status status = stopping.load(std::memory_order_acquire)
+            ? Status::ShuttingDown
+            : Status::RetryAfter;
+        if (status == Status::RetryAfter)
+            counters.frameRejectedQueueFull();
+        req.reply.set_value(rejectionResponse(req.frame, status));
+    }
+    return result;
+}
+
+void
+LivePhaseService::workerLoop()
+{
+    while (auto req = queue.pop())
+        serveRequest(*req);
+}
+
+bool
+LivePhaseService::drainOne()
+{
+    auto req = queue.tryPop();
+    if (!req)
+        return false;
+    serveRequest(*req);
+    return true;
+}
+
+void
+LivePhaseService::serveRequest(Request &req)
+{
+    req.reply.set_value(handleFrame(req.frame));
+}
+
+Bytes
+LivePhaseService::handleFrame(const Bytes &request_frame)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    ParsedRequest parsed;
+    Bytes response;
+    const Status parse_status = parseRequest(request_frame, parsed);
+    if (parse_status != Status::Ok) {
+        counters.frameMalformed();
+        response = encodeResponse(parsed.header.op,
+                                  parsed.header.session_id,
+                                  parse_status);
+    } else {
+        response = dispatch(parsed);
+        const double micros =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        counters.opLatency(parsed.header.op, micros);
+    }
+    return response;
+}
+
+Bytes
+LivePhaseService::dispatch(const ParsedRequest &req)
+{
+    const uint16_t op = req.header.op;
+    const uint64_t sid = req.header.session_id;
+
+    switch (static_cast<Op>(op)) {
+      case Op::Open: {
+        auto [status, session] = manager.open(req.predictor);
+        return encodeResponse(op, session ? session->id() : 0,
+                              status);
+      }
+      case Op::SubmitBatch: {
+        if (req.records.size() > cfg.max_batch)
+            return encodeResponse(op, sid, Status::BatchTooLarge);
+        for (const IntervalRecord &rec : req.records) {
+            if (!rec.valid()) {
+                counters.frameMalformed();
+                return encodeResponse(op, sid, Status::BadFrame);
+            }
+        }
+        std::shared_ptr<Session> session = manager.find(sid);
+        if (!session)
+            return encodeResponse(op, sid, Status::UnknownSession);
+        const std::vector<IntervalResult> results =
+            session->processBatch(req.records);
+        counters.batchProcessed(results.size());
+        return encodeResponse(op, sid, Status::Ok,
+                              encodeSubmitResults(results));
+      }
+      case Op::QueryStats:
+        return encodeResponse(op, sid, Status::Ok,
+                              encodeStats(stats()));
+      case Op::Close:
+        return encodeResponse(op, sid,
+                              manager.close(sid)
+                                  ? Status::Ok
+                                  : Status::UnknownSession);
+    }
+    // parseRequest only admits known ops; defend anyway.
+    counters.frameMalformed();
+    return encodeResponse(op, sid, Status::BadFrame);
+}
+
+StatsSnapshot
+LivePhaseService::stats() const
+{
+    return counters.snapshot(manager.openCount(),
+                             queue.highWaterMark());
+}
+
+} // namespace livephase::service

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * `livephased` — the phase-prediction service.
+ *
+ * Serving shape: clients encode protocol frames (see protocol.hh)
+ * and submit() them; each submit is one request — a bounded MPMC
+ * queue hands it to a fixed worker pool, the worker parses,
+ * dispatches against the sharded SessionManager, and fulfils the
+ * client's future with the response frame. A full queue is answered
+ * *immediately* with Status::RetryAfter (never unbounded buffering,
+ * never silent drops) — the client backs off and retries.
+ *
+ * The synchronous entry point handleFrame() is the same parse +
+ * dispatch path minus the queue; transports that already have a
+ * thread per connection may call it directly, and the worker pool
+ * itself is just a loop around it.
+ *
+ * With workers = 0 nothing drains the queue automatically; call
+ * drainOne() to process requests by hand — tests use this to make
+ * queue-full backpressure deterministic.
+ */
+
+#ifndef LIVEPHASE_SERVICE_SERVICE_HH
+#define LIVEPHASE_SERVICE_SERVICE_HH
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.hh"
+#include "service/request_queue.hh"
+#include "service/service_stats.hh"
+#include "service/session_manager.hh"
+
+namespace livephase::service
+{
+
+/**
+ * Concurrent multi-session phase-prediction daemon core.
+ */
+class LivePhaseService
+{
+  public:
+    struct Config
+    {
+        SessionManager::Config sessions{};
+
+        /** Worker threads; 0 = drain manually via drainOne(). */
+        size_t workers = 2;
+
+        /** Bounded request-queue capacity; fatal() when 0. */
+        size_t queue_capacity = 256;
+
+        /** Largest accepted SubmitBatch (the K limit); fatal()
+         *  when 0. */
+        size_t max_batch = 1024;
+    };
+
+    /** Default Config: deployed pipeline, 2 workers, queue 256. */
+    LivePhaseService();
+
+    /** Deployed defaults: Table-1 phases, Table-2 policy. */
+    explicit LivePhaseService(Config cfg);
+
+    /** Custom pipeline pieces and (for tests) an injected clock. */
+    LivePhaseService(Config cfg, PhaseClassifier classifier,
+                     DvfsPolicy policy,
+                     SessionManager::Clock clock = {});
+
+    ~LivePhaseService();
+
+    LivePhaseService(const LivePhaseService &) = delete;
+    LivePhaseService &operator=(const LivePhaseService &) = delete;
+
+    /**
+     * Queue a request frame. The future always resolves with a
+     * response frame:
+     *  - queue accepted: resolved by a worker (or drainOne());
+     *  - queue full: resolved immediately with RetryAfter;
+     *  - service stopping: resolved immediately with ShuttingDown.
+     */
+    std::future<Bytes> submit(Bytes request_frame);
+
+    /**
+     * Parse + dispatch one frame synchronously on the calling
+     * thread, recording per-op latency. Never throws, never
+     * fatal()s on malformed input — always returns a response
+     * frame.
+     */
+    Bytes handleFrame(const Bytes &request_frame);
+
+    /**
+     * Process one queued request on the calling thread (workers = 0
+     * mode). @return false when the queue was empty.
+     */
+    bool drainOne();
+
+    /** Snapshot every service counter. */
+    StatsSnapshot stats() const;
+
+    /** The session store (tests drive eviction/TTL through it). */
+    SessionManager &sessionManager() { return manager; }
+
+    /** Stop accepting work, drain the queue, join workers.
+     *  Idempotent; the destructor calls it. */
+    void stop();
+
+    const Config &config() const { return cfg; }
+
+  private:
+    struct Request
+    {
+        Bytes frame;
+        std::promise<Bytes> reply;
+    };
+
+    void workerLoop();
+    void serveRequest(Request &req);
+    Bytes dispatch(const ParsedRequest &req);
+
+    /** Response for frames rejected before parsing (queue full /
+     *  shutdown): echo what little of the header is readable. */
+    Bytes rejectionResponse(const Bytes &request_frame,
+                            Status status);
+
+    Config cfg;
+    ServiceCounters counters;
+    SessionManager manager;
+    BoundedMpmcQueue<Request> queue;
+    std::vector<std::thread> pool;
+    std::atomic<bool> stopping{false};
+};
+
+} // namespace livephase::service
+
+#endif // LIVEPHASE_SERVICE_SERVICE_HH

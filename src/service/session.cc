@@ -1,0 +1,51 @@
+#include "service/session.hh"
+
+#include "common/logging.hh"
+
+namespace livephase::service
+{
+
+Session::Session(uint64_t id, PhaseClassifier classifier,
+                 PredictorPtr predictor, DvfsPolicy policy)
+    : sid(id), classes(std::move(classifier)),
+      pred(std::move(predictor)), pol(std::move(policy))
+{
+    if (!pred)
+        fatal("Session %llu: null predictor",
+              static_cast<unsigned long long>(id));
+    if (pol.numPhases() != classes.numPhases())
+        fatal("Session %llu: policy covers %d phases, classifier "
+              "defines %d",
+              static_cast<unsigned long long>(id), pol.numPhases(),
+              classes.numPhases());
+}
+
+std::string
+Session::predictorName() const
+{
+    return pred->name();
+}
+
+std::vector<IntervalResult>
+Session::processBatch(const std::vector<IntervalRecord> &records)
+{
+    std::vector<IntervalResult> results;
+    results.reserve(records.size());
+
+    std::lock_guard lock(mu);
+    for (const IntervalRecord &rec : records) {
+        const double mem_per_uop = rec.bus_tran_mem / rec.uops;
+        const PhaseSample observed = classes.sample(mem_per_uop);
+        pred->observe(observed);
+        PhaseId next = pred->predict();
+        if (next == INVALID_PHASE)
+            next = observed.phase; // cold-start reactive fallback
+        results.push_back(IntervalResult{
+            observed.phase, next,
+            static_cast<uint32_t>(pol.settingForPhase(next))});
+    }
+    processed.fetch_add(records.size(), std::memory_order_relaxed);
+    return results;
+}
+
+} // namespace livephase::service

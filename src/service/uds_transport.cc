@@ -1,0 +1,247 @@
+#include "service/uds_transport.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace livephase::service
+{
+
+namespace
+{
+
+/** Read exactly n bytes; false on EOF/error. */
+bool
+recvAll(int fd, uint8_t *buf, size_t n)
+{
+    size_t done = 0;
+    while (done < n) {
+        const ssize_t got = ::recv(fd, buf + done, n - done, 0);
+        if (got == 0)
+            return false;
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<size_t>(got);
+    }
+    return true;
+}
+
+/** Write exactly n bytes; false on error. */
+bool
+sendAll(int fd, const uint8_t *buf, size_t n)
+{
+    size_t done = 0;
+    while (done < n) {
+        const ssize_t sent =
+            ::send(fd, buf + done, n - done, MSG_NOSIGNAL);
+        if (sent < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<size_t>(sent);
+    }
+    return true;
+}
+
+enum class RecvStatus
+{
+    Ok,    ///< `frame` holds one complete frame
+    Eof,   ///< peer went away (EOF or IO error)
+    Desync ///< unparseable header; `frame` holds the header bytes
+};
+
+/** Read one frame off the stream. */
+RecvStatus
+recvFrame(int fd, Bytes &frame)
+{
+    frame.clear();
+    uint8_t header_bytes[FRAME_HEADER_SIZE];
+    if (!recvAll(fd, header_bytes, sizeof(header_bytes)))
+        return RecvStatus::Eof;
+    frame.assign(header_bytes, header_bytes + sizeof(header_bytes));
+    const auto header =
+        peekHeader(header_bytes, sizeof(header_bytes));
+    if (!header || header->magic != FRAME_MAGIC ||
+        header->version != PROTOCOL_VERSION ||
+        header->payload_size > MAX_PAYLOAD_SIZE)
+        return RecvStatus::Desync;
+    frame.resize(FRAME_HEADER_SIZE + header->payload_size);
+    if (header->payload_size > 0 &&
+        !recvAll(fd, frame.data() + FRAME_HEADER_SIZE,
+                 header->payload_size))
+        return RecvStatus::Eof;
+    return RecvStatus::Ok;
+}
+
+bool
+fillSockaddr(const std::string &path, sockaddr_un &addr)
+{
+    if (path.size() >= sizeof(addr.sun_path))
+        return false;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+UdsServer::UdsServer(LivePhaseService &service, std::string path)
+    : svc(service), sock_path(std::move(path))
+{
+}
+
+UdsServer::~UdsServer()
+{
+    stop();
+}
+
+bool
+UdsServer::start()
+{
+    sockaddr_un addr;
+    if (!fillSockaddr(sock_path, addr)) {
+        warn("UdsServer: socket path too long: %s",
+             sock_path.c_str());
+        return false;
+    }
+    listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd < 0) {
+        warn("UdsServer: socket(): %s", std::strerror(errno));
+        return false;
+    }
+    ::unlink(sock_path.c_str());
+    if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(listen_fd, 64) < 0) {
+        warn("UdsServer: bind/listen on %s: %s", sock_path.c_str(),
+             std::strerror(errno));
+        ::close(listen_fd);
+        listen_fd = -1;
+        return false;
+    }
+    running.store(true);
+    acceptor = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+UdsServer::stop()
+{
+    if (!running.exchange(false)) {
+        if (listen_fd >= 0) {
+            ::close(listen_fd);
+            listen_fd = -1;
+        }
+        return;
+    }
+    ::shutdown(listen_fd, SHUT_RDWR);
+    if (acceptor.joinable())
+        acceptor.join();
+    ::close(listen_fd);
+    listen_fd = -1;
+    ::unlink(sock_path.c_str());
+
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard lock(conns_mu);
+        for (int fd : conn_fds)
+            ::shutdown(fd, SHUT_RDWR);
+        threads.swap(conn_threads);
+    }
+    for (std::thread &t : threads)
+        t.join();
+}
+
+void
+UdsServer::acceptLoop()
+{
+    while (running.load()) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // listener shut down
+        }
+        std::lock_guard lock(conns_mu);
+        conn_fds.push_back(fd);
+        conn_threads.emplace_back(
+            [this, fd] { serveConnection(fd); });
+    }
+}
+
+void
+UdsServer::serveConnection(int fd)
+{
+    Bytes frame;
+    while (running.load()) {
+        const RecvStatus status = recvFrame(fd, frame);
+        if (status == RecvStatus::Eof)
+            break;
+        if (status == RecvStatus::Desync) {
+            // Unparseable header: let the normal parse path count
+            // it and build the BadFrame reply, then drop the
+            // connection — the stream cannot be resynchronized.
+            const Bytes response = svc.handleFrame(frame);
+            sendAll(fd, response.data(), response.size());
+            break;
+        }
+        const Bytes response = svc.submit(std::move(frame)).get();
+        if (!sendAll(fd, response.data(), response.size()))
+            break;
+    }
+    ::close(fd);
+}
+
+UdsClientTransport::UdsClientTransport(std::string path)
+    : sock_path(std::move(path))
+{
+}
+
+UdsClientTransport::~UdsClientTransport()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+bool
+UdsClientTransport::connect()
+{
+    sockaddr_un addr;
+    if (!fillSockaddr(sock_path, addr))
+        return false;
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        fd = -1;
+        return false;
+    }
+    return true;
+}
+
+Bytes
+UdsClientTransport::roundTrip(Bytes request_frame)
+{
+    if (fd < 0)
+        return {};
+    if (!sendAll(fd, request_frame.data(), request_frame.size()))
+        return {};
+    Bytes response;
+    if (recvFrame(fd, response) != RecvStatus::Ok)
+        return {};
+    return response;
+}
+
+} // namespace livephase::service

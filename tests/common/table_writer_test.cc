@@ -39,6 +39,30 @@ TEST(TableWriter, CsvEscapesSpecialCells)
     EXPECT_EQ(os.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
 }
 
+TEST(TableWriter, JsonEmitsNumbersAndEscapedStrings)
+{
+    TableWriter t({"bench", "acc", "note"});
+    t.addRow({"applu_in", "92.3", "say \"hi\""});
+    t.addRow({"gzip_log", "-1e3", "nan"});
+    std::ostringstream os;
+    t.printJson(os);
+    EXPECT_EQ(os.str(),
+              "[\n"
+              "  {\"bench\": \"applu_in\", \"acc\": 92.3, "
+              "\"note\": \"say \\\"hi\\\"\"},\n"
+              "  {\"bench\": \"gzip_log\", \"acc\": -1e3, "
+              "\"note\": \"nan\"}\n"
+              "]\n");
+}
+
+TEST(TableWriter, JsonEmptyBodyIsEmptyArray)
+{
+    TableWriter t({"a"});
+    std::ostringstream os;
+    t.printJson(os);
+    EXPECT_EQ(os.str(), "[\n]\n");
+}
+
 TEST(TableWriter, DoubleRowFormatsWithPrecision)
 {
     TableWriter t({"name", "x", "y"});

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Wire-protocol unit tests: encode/decode round trips and rejection
+ * of every class of malformed frame.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "service/protocol.hh"
+#include "service/service_stats.hh"
+
+using namespace livephase;
+using namespace livephase::service;
+
+namespace
+{
+
+TEST(Protocol, OpenRequestRoundTrip)
+{
+    const Bytes frame = encodeOpenRequest(PredictorKind::Gpht);
+    ASSERT_EQ(frame.size(), FRAME_HEADER_SIZE + 2);
+
+    ParsedRequest req;
+    ASSERT_EQ(parseRequest(frame, req), Status::Ok);
+    EXPECT_EQ(req.header.magic, FRAME_MAGIC);
+    EXPECT_EQ(req.header.version, PROTOCOL_VERSION);
+    EXPECT_EQ(static_cast<Op>(req.header.op), Op::Open);
+    EXPECT_EQ(req.header.session_id, 0u);
+    EXPECT_EQ(req.predictor, PredictorKind::Gpht);
+}
+
+TEST(Protocol, SubmitRequestRoundTrip)
+{
+    const std::vector<IntervalRecord> records = {
+        {100e6, 1.5e6, 111}, {100e6, 0.0, 222}, {50e6, 2e6, 333}};
+    const Bytes frame = encodeSubmitRequest(42, records);
+    ASSERT_EQ(frame.size(), FRAME_HEADER_SIZE + 4 +
+                  records.size() * INTERVAL_RECORD_WIRE_SIZE);
+
+    ParsedRequest req;
+    ASSERT_EQ(parseRequest(frame, req), Status::Ok);
+    EXPECT_EQ(static_cast<Op>(req.header.op), Op::SubmitBatch);
+    EXPECT_EQ(req.header.session_id, 42u);
+    ASSERT_EQ(req.records.size(), records.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+        EXPECT_DOUBLE_EQ(req.records[i].uops, records[i].uops);
+        EXPECT_DOUBLE_EQ(req.records[i].bus_tran_mem,
+                         records[i].bus_tran_mem);
+        EXPECT_EQ(req.records[i].tsc, records[i].tsc);
+    }
+}
+
+TEST(Protocol, StatsAndCloseRequests)
+{
+    ParsedRequest req;
+    ASSERT_EQ(parseRequest(encodeStatsRequest(), req), Status::Ok);
+    EXPECT_EQ(static_cast<Op>(req.header.op), Op::QueryStats);
+
+    ASSERT_EQ(parseRequest(encodeCloseRequest(7), req), Status::Ok);
+    EXPECT_EQ(static_cast<Op>(req.header.op), Op::Close);
+    EXPECT_EQ(req.header.session_id, 7u);
+}
+
+TEST(Protocol, RejectsBadMagic)
+{
+    Bytes frame = encodeStatsRequest();
+    frame[0] ^= 0xff;
+    ParsedRequest req;
+    EXPECT_EQ(parseRequest(frame, req), Status::BadFrame);
+}
+
+TEST(Protocol, RejectsBadVersion)
+{
+    Bytes frame = encodeStatsRequest();
+    frame[4] = 0x7f; // version low byte
+    ParsedRequest req;
+    EXPECT_EQ(parseRequest(frame, req), Status::BadFrame);
+}
+
+TEST(Protocol, RejectsUnknownOp)
+{
+    Bytes frame = encodeStatsRequest();
+    frame[6] = 0x63; // op low byte
+    ParsedRequest req;
+    EXPECT_EQ(parseRequest(frame, req), Status::BadFrame);
+    // The header still decodes, so error replies can echo the op.
+    EXPECT_EQ(req.header.op, 0x63);
+}
+
+TEST(Protocol, RejectsTruncatedFrames)
+{
+    ParsedRequest req;
+    EXPECT_EQ(parseRequest({}, req), Status::BadFrame);
+    EXPECT_EQ(parseRequest(Bytes(FRAME_HEADER_SIZE - 1, 0), req),
+              Status::BadFrame);
+
+    Bytes frame = encodeSubmitRequest(1, {{100e6, 1e6, 0}});
+    frame.pop_back();
+    EXPECT_EQ(parseRequest(frame, req), Status::BadFrame);
+}
+
+TEST(Protocol, RejectsRecordCountMismatch)
+{
+    Bytes frame = encodeSubmitRequest(1, {{100e6, 1e6, 0}});
+    // Claim two records but carry one.
+    frame[FRAME_HEADER_SIZE] = 2;
+    ParsedRequest req;
+    EXPECT_EQ(parseRequest(frame, req), Status::BadFrame);
+}
+
+TEST(Protocol, RejectsTrailingGarbage)
+{
+    Bytes frame = encodeCloseRequest(1);
+    frame.push_back(0);
+    ParsedRequest req;
+    // Payload length no longer matches the frame size.
+    EXPECT_EQ(parseRequest(frame, req), Status::BadFrame);
+}
+
+TEST(Protocol, ResponseRoundTrip)
+{
+    const std::vector<IntervalResult> results = {
+        {1, 2, 3}, {6, 6, 5}};
+    const Bytes frame =
+        encodeResponse(static_cast<uint16_t>(Op::SubmitBatch), 9,
+                       Status::Ok, encodeSubmitResults(results));
+
+    ParsedResponse resp;
+    ASSERT_TRUE(parseResponse(frame, resp));
+    EXPECT_EQ(resp.status, Status::Ok);
+    EXPECT_EQ(resp.header.session_id, 9u);
+    const auto decoded = decodeSubmitResults(resp.body);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, results);
+}
+
+TEST(Protocol, ErrorResponseRoundTrip)
+{
+    const Bytes frame = encodeResponse(
+        static_cast<uint16_t>(Op::Open), 0, Status::RetryAfter);
+    ParsedResponse resp;
+    ASSERT_TRUE(parseResponse(frame, resp));
+    EXPECT_EQ(resp.status, Status::RetryAfter);
+    EXPECT_TRUE(resp.body.empty());
+}
+
+TEST(Protocol, StatsSnapshotRoundTrip)
+{
+    StatsSnapshot snap;
+    snap.sessions_opened = 10;
+    snap.sessions_evicted_lru = 2;
+    snap.intervals_processed = 12345;
+    snap.queue_high_water = 17;
+    snap.batch_hist[batchHistBucket(256)] = 3;
+    snap.op_latency[1] = {100, 1.5, 1.2, 9.9, 12.0};
+
+    const auto decoded = decodeStats(encodeStats(snap));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->sessions_opened, 10u);
+    EXPECT_EQ(decoded->sessions_evicted_lru, 2u);
+    EXPECT_EQ(decoded->intervals_processed, 12345u);
+    EXPECT_EQ(decoded->queue_high_water, 17u);
+    EXPECT_EQ(decoded->batch_hist, snap.batch_hist);
+    EXPECT_EQ(decoded->op_latency[1].count, 100u);
+    EXPECT_DOUBLE_EQ(decoded->op_latency[1].p99_us, 9.9);
+
+    Bytes truncated = encodeStats(snap);
+    truncated.pop_back();
+    EXPECT_FALSE(decodeStats(truncated).has_value());
+}
+
+TEST(Protocol, BatchHistogramBuckets)
+{
+    EXPECT_EQ(batchHistBucket(1), 0u);
+    EXPECT_EQ(batchHistBucket(2), 1u);
+    EXPECT_EQ(batchHistBucket(3), 2u);
+    EXPECT_EQ(batchHistBucket(4), 2u);
+    EXPECT_EQ(batchHistBucket(5), 3u);
+    EXPECT_EQ(batchHistBucket(256), 8u);
+    EXPECT_EQ(batchHistBucket(257), 9u);
+    EXPECT_EQ(batchHistBucket(1u << 20), BATCH_HIST_BUCKETS - 1);
+    EXPECT_EQ(batchHistBucketLabel(0), "1");
+    EXPECT_EQ(batchHistBucketLabel(2), "3-4");
+    EXPECT_EQ(batchHistBucketLabel(BATCH_HIST_BUCKETS - 1), "257+");
+}
+
+TEST(Protocol, Names)
+{
+    EXPECT_STREQ(statusName(Status::Ok), "ok");
+    EXPECT_STREQ(statusName(Status::RetryAfter), "retry-after");
+    EXPECT_EQ(opName(static_cast<uint16_t>(Op::SubmitBatch)),
+              "submit-batch");
+    EXPECT_EQ(opName(250), "op-250");
+    EXPECT_STREQ(predictorKindName(PredictorKind::Gpht), "gpht");
+    EXPECT_EQ(predictorKindFromName("setassoc"),
+              PredictorKind::SetAssocGpht);
+    EXPECT_FALSE(predictorKindFromName("nope").has_value());
+}
+
+TEST(Protocol, IntervalRecordValidity)
+{
+    EXPECT_TRUE((IntervalRecord{100e6, 0.0, 0}).valid());
+    EXPECT_FALSE((IntervalRecord{0.0, 1.0, 0}).valid());
+    EXPECT_FALSE((IntervalRecord{-1.0, 1.0, 0}).valid());
+    EXPECT_FALSE((IntervalRecord{100e6, -1.0, 0}).valid());
+    EXPECT_FALSE(
+        (IntervalRecord{std::nan(""), 1.0, 0}).valid());
+}
+
+} // namespace
