@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Observability overhead gate: instrumented vs uninstrumented.
+ *
+ * The obs subsystem promises near-zero cost — DESIGN.md §11 budgets
+ * the fully *enabled* instrumentation (spans on every pipeline
+ * stage, core counters, queue-wait histogram) at under 5% of
+ * end-to-end service throughput. This bench measures exactly that:
+ * the same pre-encoded SubmitBatch frames pushed through
+ * LivePhaseService::handleFrame() with obs disabled and enabled,
+ * interleaved trial-by-trial so machine noise hits both sides, best
+ * trial kept per side.
+ *
+ * Flags:
+ *   --batches N   frames per timed run        (default 64)
+ *   --batch K     intervals per frame         (default 256)
+ *   --trials T    interleaved A/B trials      (default 5)
+ *   --check       CI mode: exit 1 when the enabled-overhead
+ *                 exceeds 5%
+ */
+
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/table_writer.hh"
+#include "obs/runtime.hh"
+#include "service/protocol.hh"
+#include "service/service.hh"
+
+using namespace livephase;
+using namespace livephase::service;
+
+namespace
+{
+
+std::vector<IntervalRecord>
+makeStream(uint64_t seed, size_t n)
+{
+    Rng rng(seed);
+    std::vector<IntervalRecord> records;
+    records.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        const double base = (i / 8) % 2 == 0 ? 0.002 : 0.025;
+        const double mem_per_uop =
+            std::max(0.0, base + rng.gaussian(0.0, 0.004));
+        records.push_back({100e6, mem_per_uop * 100e6,
+                           static_cast<uint64_t>(i)});
+    }
+    return records;
+}
+
+/** One timed run: a fresh service, the same frames, handleFrame on
+ *  the calling thread (no queue/future noise). @return seconds. */
+double
+timedRun(size_t batches, size_t batch)
+{
+    LivePhaseService::Config cfg;
+    cfg.workers = 0; // handleFrame directly; queue unused
+    cfg.max_batch = std::max(cfg.max_batch, batch);
+    LivePhaseService svc(cfg);
+
+    const Bytes open_frame = encodeOpenRequest(PredictorKind::Gpht);
+    ParsedResponse open_reply;
+    if (!parseResponse(svc.handleFrame(open_frame), open_reply) ||
+        open_reply.status != Status::Ok)
+        fatal("bench_obs_overhead: open failed");
+    const uint64_t sid = open_reply.header.session_id;
+
+    const auto stream = makeStream(1, batch);
+    std::vector<Bytes> frames;
+    frames.reserve(batches);
+    for (size_t i = 0; i < batches; ++i)
+        frames.push_back(encodeSubmitRequest(sid, stream));
+
+    const auto start = std::chrono::steady_clock::now();
+    for (const Bytes &frame : frames) {
+        ParsedResponse reply;
+        if (!parseResponse(svc.handleFrame(frame), reply) ||
+            reply.status != Status::Ok)
+            fatal("bench_obs_overhead: submit failed");
+    }
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliArgs args(argc, argv);
+    const size_t batches =
+        static_cast<size_t>(args.getInt("batches", 64));
+    const size_t batch =
+        static_cast<size_t>(args.getInt("batch", 256));
+    const size_t trials =
+        static_cast<size_t>(args.getInt("trials", 5));
+    const bool check = args.getBool("check");
+
+    printBanner(std::cout, "obs instrumentation overhead");
+    std::cout << batches << " frames x " << batch
+              << " intervals, best of " << trials
+              << " interleaved trials\n\n";
+
+    // Warm-up: fault in code paths and the span/counter statics so
+    // neither side pays one-time registration inside a timed run.
+    obs::setEnabled(true);
+    timedRun(4, batch);
+    obs::setEnabled(false);
+    timedRun(4, batch);
+
+    double best_disabled = 1e300, best_enabled = 1e300;
+    for (size_t t = 0; t < trials; ++t) {
+        obs::setEnabled(false);
+        best_disabled = std::min(best_disabled,
+                                 timedRun(batches, batch));
+        obs::setEnabled(true);
+        best_enabled = std::min(best_enabled,
+                                timedRun(batches, batch));
+    }
+    obs::setEnabled(false);
+
+    const double total =
+        static_cast<double>(batches) * static_cast<double>(batch);
+    const double overhead = best_enabled / best_disabled - 1.0;
+
+    TableWriter table({"obs", "seconds", "intervals_per_sec"});
+    table.addRow({"disabled", formatDouble(best_disabled, 6),
+                  formatDouble(total / best_disabled, 0)});
+    table.addRow({"enabled", formatDouble(best_enabled, 6),
+                  formatDouble(total / best_enabled, 0)});
+    table.print(std::cout);
+
+    std::cout << "\nenabled-instrumentation overhead: "
+              << formatPercent(overhead) << " (budget 5%)\n";
+    if (check && overhead > 0.05) {
+        std::cerr << "FAIL: obs overhead "
+                  << formatPercent(overhead)
+                  << " exceeds the 5% budget\n";
+        return 1;
+    }
+    return 0;
+}

@@ -19,6 +19,15 @@
  *         [--batch K] [--workers N] [--json]
  *       replay the trace through the livephased service and report
  *       client-side accuracy plus the service's own counters
+ *   stats [trace.csv] [--format prometheus|jsonl|table]
+ *         [--bench NAME] [--predictor ...] [--batch K]
+ *       enable the obs subsystem, run the trace through a managed
+ *       System run AND a service replay, then emit the merged
+ *       telemetry (core + cpu + service metrics) in the requested
+ *       exposition format
+ *   trace [trace.csv] [--bench NAME]
+ *       same replay, then dump the flight recorder (structured
+ *       trace events) to stdout
  *   list
  *       list the built-in synthetic benchmarks
  *
@@ -39,6 +48,9 @@
 #include "core/gpht_predictor.hh"
 #include "core/last_value_predictor.hh"
 #include "core/system.hh"
+#include "obs/exposition.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/runtime.hh"
 #include "service/client.hh"
 #include "service/service.hh"
 #include "workload/spec2000.hh"
@@ -63,6 +75,9 @@ usage(const std::string &prog)
         << "  serve <trace.csv>"
            " [--predictor lastvalue|gpht|setassoc|varwindow]"
            " [--batch K] [--workers N] [--json]\n"
+        << "  stats [trace.csv] [--format prometheus|jsonl|table]"
+           " [--bench NAME] [--predictor ...] [--batch K]\n"
+        << "  trace [trace.csv] [--bench NAME]\n"
         << "  list\n";
     return 2;
 }
@@ -331,6 +346,129 @@ cmdServe(const CliArgs &args)
     return 0;
 }
 
+/** What the stats/trace subcommands ask the service for. */
+struct ExpositionQuery
+{
+    obs::ExpositionFormat format = obs::ExpositionFormat::Prometheus;
+    bool table = false; ///< render queryStats tables instead
+};
+
+/** Trace for stats/trace: a CSV when given, else a synthesized
+ *  suite benchmark (--bench, default the first suite entry). */
+IntervalTrace
+statsTrace(const CliArgs &args)
+{
+    if (args.positional().size() >= 2)
+        return loadTrace(args.positional()[1]);
+    const std::string bench = args.getString(
+        "bench", Spec2000Suite::all().front().name());
+    return Spec2000Suite::byName(bench).makeTrace(0, 1);
+}
+
+/** Replay `trace` through an in-process service (the cmdServe
+ *  path, minus reporting) so service/core telemetry is live, then
+ *  hand the caller the requested exposition text. */
+std::string
+replayAndExpose(const CliArgs &args, const IntervalTrace &trace,
+                ExpositionQuery query)
+{
+    using namespace livephase::service;
+
+    const std::string which = args.getString("predictor", "gpht");
+    const auto kind = predictorKindFromName(which);
+    if (!kind)
+        fatal("unknown service predictor '%s'", which.c_str());
+    const size_t batch =
+        static_cast<size_t>(args.getInt("batch", 64));
+    if (batch == 0)
+        fatal("--batch must be > 0");
+
+    LivePhaseService::Config cfg;
+    cfg.max_batch = std::max(cfg.max_batch, batch);
+    LivePhaseService svc(cfg);
+    InProcessTransport transport(svc);
+    ServiceClient client(transport);
+
+    const auto open = client.open(*kind);
+    if (open.status != Status::Ok)
+        fatal("open failed: %s", statusName(open.status));
+    std::vector<IntervalRecord> records;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const Interval &ivl = trace.at(i);
+        records.push_back({ivl.uops, ivl.mem_per_uop * ivl.uops,
+                           static_cast<uint64_t>(i)});
+        if (records.size() == batch || i + 1 == trace.size()) {
+            const auto reply = client.submitBatchRetrying(
+                open.session_id, records);
+            if (reply.status != Status::Ok)
+                fatal("submit failed: %s",
+                      statusName(reply.status));
+            records.clear();
+        }
+    }
+    client.close(open.session_id);
+
+    const auto metrics = client.queryMetrics(
+        static_cast<uint16_t>(query.format));
+    if (metrics.status != Status::Ok)
+        fatal("query-metrics failed: %s",
+              statusName(metrics.status));
+    if (query.table) {
+        const auto stats = client.queryStats();
+        if (stats.status != Status::Ok)
+            fatal("query-stats failed: %s",
+                  statusName(stats.status));
+        std::ostringstream os;
+        stats.stats.print(os);
+        return os.str();
+    }
+    return metrics.text;
+}
+
+int
+cmdStats(const CliArgs &args)
+{
+    obs::setEnabled(true);
+    const IntervalTrace trace = statsTrace(args);
+
+    // A managed run first, so the exposition spans all three layers:
+    // cpu (System/Core/DVFS), core (classifier/predictor/policy) and
+    // service.
+    const System system;
+    system.run(trace, makeGphtGovernor(DvfsTable::pentiumM()));
+
+    const std::string format =
+        args.getString("format", "prometheus");
+    ExpositionQuery query;
+    if (format == "prometheus") {
+        query.format = obs::ExpositionFormat::Prometheus;
+    } else if (format == "jsonl") {
+        query.format = obs::ExpositionFormat::Jsonl;
+    } else if (format == "table") {
+        query.table = true;
+    } else {
+        fatal("unknown --format '%s' (prometheus|jsonl|table)",
+              format.c_str());
+    }
+    std::cout << replayAndExpose(args, trace, query);
+    return 0;
+}
+
+int
+cmdTrace(const CliArgs &args)
+{
+    obs::setEnabled(true);
+    const IntervalTrace trace = statsTrace(args);
+    obs::FlightRecorder::global().record(
+        obs::Severity::Info, "cli.trace.begin",
+        {{"trace", trace.name()},
+         {"intervals", static_cast<uint64_t>(trace.size())}});
+    ExpositionQuery query;
+    query.format = obs::ExpositionFormat::Trace;
+    std::cout << replayAndExpose(args, trace, query);
+    return 0;
+}
+
 int
 cmdList()
 {
@@ -359,6 +497,10 @@ main(int argc, char **argv)
         return cmdManage(args);
     if (command == "serve")
         return cmdServe(args);
+    if (command == "stats")
+        return cmdStats(args);
+    if (command == "trace")
+        return cmdTrace(args);
     if (command == "list")
         return cmdList();
     return usage(args.program());

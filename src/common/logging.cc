@@ -3,6 +3,13 @@
 #include <cstdio>
 #include <cstdlib>
 
+// The message stream stamps every line with the obs monotonic clock
+// and compact thread id so `warn:` lines on stderr correlate 1:1
+// with flight-recorder dumps. The library is one link unit, so this
+// common -> obs include is a wiring convenience, not a layering
+// inversion: obs/runtime.hh has no dependencies of its own.
+#include "obs/runtime.hh"
+
 namespace livephase
 {
 
@@ -11,6 +18,7 @@ namespace
 
 LogLevel global_level = LogLevel::Normal;
 FailureHook failure_hook = nullptr;
+LogSink log_sink = nullptr;
 
 std::string
 vformat(const char *fmt, va_list args)
@@ -26,7 +34,29 @@ vformat(const char *fmt, va_list args)
     return out;
 }
 
+/** "warn: [+1.234567s t01] message" on stderr. */
+void
+emit(const char *prefix, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: [%+.6fs t%02u] %s\n", prefix,
+                 static_cast<double>(obs::sinceStartNs()) / 1e9,
+                 obs::threadId(), msg.c_str());
+}
+
 } // anonymous namespace
+
+const char *
+logSeverityName(LogSeverity severity)
+{
+    switch (severity) {
+      case LogSeverity::Debug: return "debug";
+      case LogSeverity::Info: return "info";
+      case LogSeverity::Warn: return "warn";
+      case LogSeverity::Error: return "error";
+      case LogSeverity::Fatal: return "fatal";
+    }
+    return "severity-?";
+}
 
 void
 setLogLevel(LogLevel level)
@@ -47,12 +77,14 @@ panic(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);
     va_end(args);
+    if (log_sink)
+        log_sink(LogSeverity::Fatal, msg);
     if (failure_hook) {
         failure_hook(msg, true);
         // The hook is expected to throw; if it returns we must still
         // honour the [[noreturn]] contract.
     }
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    emit("panic", msg);
     std::abort();
 }
 
@@ -63,40 +95,52 @@ fatal(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);
     va_end(args);
+    if (log_sink)
+        log_sink(LogSeverity::Fatal, msg);
     if (failure_hook)
         failure_hook(msg, false);
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    emit("fatal", msg);
     std::exit(1);
 }
 
 void
 warn(const char *fmt, ...)
 {
-    if (global_level == LogLevel::Quiet)
-        return;
     va_list args;
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (log_sink)
+        log_sink(LogSeverity::Warn, msg);
+    if (global_level == LogLevel::Quiet)
+        return;
+    emit("warn", msg);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (global_level != LogLevel::Verbose)
-        return;
     va_list args;
     va_start(args, fmt);
     std::string msg = vformat(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (log_sink)
+        log_sink(LogSeverity::Info, msg);
+    if (global_level != LogLevel::Verbose)
+        return;
+    emit("info", msg);
 }
 
 void
 setFailureHook(FailureHook hook)
 {
     failure_hook = hook;
+}
+
+void
+setLogSink(LogSink sink)
+{
+    log_sink = sink;
 }
 
 } // namespace livephase

@@ -33,6 +33,24 @@ enum class LogLevel
     Verbose  ///< + inform()
 };
 
+/**
+ * Severity of one emitted message, ordered. inform() emits Info,
+ * warn() emits Warn, panic()/fatal() emit Fatal. Carried to the
+ * log sink (see setLogSink) so the obs flight recorder can keep
+ * WARN+ lines regardless of console verbosity.
+ */
+enum class LogSeverity
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+    Fatal = 4,
+};
+
+/** "debug", "info", ... */
+const char *logSeverityName(LogSeverity severity);
+
 /** Set the global verbosity for warn()/inform(). Thread-unsafe by design
  *  (configure once at startup). */
 void setLogLevel(LogLevel level);
@@ -70,6 +88,18 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
  */
 using FailureHook = void (*)(const std::string &message, bool is_panic);
 void setFailureHook(FailureHook hook);
+
+/**
+ * Observer of every emitted message (the raw text, before the
+ * stderr decoration), called regardless of the console verbosity
+ * level and before the failure hook on panic()/fatal() — so a
+ * flight-recorder dump triggered by a fatal error still sees the
+ * message that killed the process. The obs subsystem installs one
+ * at static-init time; nullptr uninstalls.
+ */
+using LogSink = void (*)(LogSeverity severity,
+                         const std::string &message);
+void setLogSink(LogSink sink);
 
 } // namespace livephase
 

@@ -1,9 +1,42 @@
 #include "core/system.hh"
 
 #include "common/logging.hh"
+#include "obs/span.hh"
 
 namespace livephase
 {
+
+namespace
+{
+
+/** Fold one finished run into the registry in bulk — counters are
+ *  touched once per run, never inside the interval loop. */
+void
+recordRunMetrics(const System::RunResult &result, size_t intervals)
+{
+    auto &reg = obs::MetricsRegistry::global();
+    static obs::Counter &runs =
+        reg.counter("livephase_cpu_runs_total");
+    static obs::Counter &ivls =
+        reg.counter("livephase_cpu_intervals_simulated_total");
+    static obs::Counter &transitions =
+        reg.counter("livephase_cpu_dvfs_transitions_total");
+    static obs::Gauge &joules =
+        reg.gauge("livephase_cpu_energy_joules");
+    static obs::Gauge &seconds =
+        reg.gauge("livephase_cpu_run_seconds");
+    static obs::Gauge &accuracy =
+        reg.gauge("livephase_cpu_prediction_accuracy");
+
+    runs.inc();
+    ivls.inc(intervals);
+    transitions.inc(result.dvfs_transitions);
+    joules.set(result.exact.joules);
+    seconds.set(result.exact.seconds);
+    accuracy.set(result.prediction_accuracy);
+}
+
+} // namespace
 
 System::System()
     : System(Config{})
@@ -20,6 +53,7 @@ System::System(Config config)
 System::RunResult
 System::run(const IntervalTrace &trace, Governor governor) const
 {
+    OBS_SPAN("cpu.run");
     if (trace.empty())
         fatal("System::run: workload '%s' is empty",
               trace.name().c_str());
@@ -78,6 +112,8 @@ System::run(const IntervalTrace &trace, Governor governor) const
     }
 
     module.unload();
+    if (obs::enabled())
+        recordRunMetrics(result, trace.size());
     return result;
 }
 

@@ -1,0 +1,186 @@
+#include "obs/exposition.hh"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace livephase::obs
+{
+
+namespace
+{
+
+std::string
+formatValue(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+/** Split "base{a=\"b\"}" into base and inner label list ("a=\"b\""). */
+void
+splitName(const std::string &name, std::string &base,
+          std::string &labels)
+{
+    const size_t brace = name.find('{');
+    if (brace == std::string::npos) {
+        base = name;
+        labels.clear();
+        return;
+    }
+    base = name.substr(0, brace);
+    const size_t end = name.rfind('}');
+    labels = name.substr(brace + 1,
+                         end == std::string::npos || end <= brace
+                             ? std::string::npos
+                             : end - brace - 1);
+}
+
+/** "base{labels,extra} " or "base{extra} " or "base ". */
+std::string
+promSeries(const std::string &base, const std::string &labels,
+           const std::string &extra)
+{
+    if (labels.empty() && extra.empty())
+        return base;
+    std::string out = base + "{" + labels;
+    if (!labels.empty() && !extra.empty())
+        out += ",";
+    out += extra;
+    out += "}";
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+expositionFormatName(ExpositionFormat format)
+{
+    switch (format) {
+      case ExpositionFormat::Prometheus: return "prometheus";
+      case ExpositionFormat::Jsonl: return "jsonl";
+      case ExpositionFormat::Trace: return "trace";
+    }
+    return "format-?";
+}
+
+std::string
+renderPrometheus(const MetricsSnapshot &snap)
+{
+    std::ostringstream os;
+    std::string prev_base;
+    for (const MetricSample &s : snap.samples) {
+        std::string base, labels;
+        splitName(s.name, base, labels);
+        if (base != prev_base) {
+            const char *type = s.kind == MetricKind::Counter
+                ? "counter"
+                : s.kind == MetricKind::Gauge ? "gauge" : "summary";
+            os << "# TYPE " << base << " " << type << "\n";
+            prev_base = base;
+        }
+        if (s.kind != MetricKind::Histogram) {
+            os << promSeries(base, labels, "") << " "
+               << formatValue(s.value) << "\n";
+            continue;
+        }
+        const double quantiles[] = {50.0, 90.0, 99.0};
+        for (double q : quantiles) {
+            char extra[32];
+            std::snprintf(extra, sizeof(extra), "quantile=\"%g\"",
+                          q / 100.0);
+            os << promSeries(base, labels, extra) << " "
+               << formatValue(s.hist.quantile(q)) << "\n";
+        }
+        os << promSeries(base + "_sum", labels, "") << " "
+           << formatValue(s.hist.sum) << "\n";
+        os << promSeries(base + "_count", labels, "") << " "
+           << s.hist.count << "\n";
+    }
+    return os.str();
+}
+
+std::string
+renderJsonl(const MetricsSnapshot &snap)
+{
+    std::ostringstream os;
+    for (const MetricSample &s : snap.samples) {
+        os << "{\"name\": \"" << jsonEscape(s.name)
+           << "\", \"kind\": \"" << metricKindName(s.kind) << "\"";
+        if (s.kind == MetricKind::Histogram) {
+            os << ", \"count\": " << s.hist.count
+               << ", \"sum\": " << formatValue(s.hist.sum)
+               << ", \"max\": " << formatValue(s.hist.max)
+               << ", \"mean\": " << formatValue(s.hist.mean())
+               << ", \"p50\": "
+               << formatValue(s.hist.quantile(50.0))
+               << ", \"p90\": "
+               << formatValue(s.hist.quantile(90.0))
+               << ", \"p99\": "
+               << formatValue(s.hist.quantile(99.0));
+        } else {
+            os << ", \"value\": " << formatValue(s.value);
+        }
+        os << "}\n";
+    }
+    return os.str();
+}
+
+PeriodicExporter::PeriodicExporter(const MetricsRegistry &registry,
+                                   std::ostream &os,
+                                   std::chrono::milliseconds interval)
+    : reg(registry), out(os)
+{
+    worker = std::thread([this, interval] { loop(interval); });
+}
+
+PeriodicExporter::~PeriodicExporter()
+{
+    {
+        std::lock_guard lock(mu);
+        stopping = true;
+    }
+    cv.notify_all();
+    worker.join();
+    exportOnce(); // final state, so short runs still export once
+}
+
+void
+PeriodicExporter::loop(std::chrono::milliseconds interval)
+{
+    std::unique_lock lock(mu);
+    while (!stopping) {
+        if (cv.wait_for(lock, interval,
+                        [this] { return stopping; }))
+            break;
+        lock.unlock();
+        exportOnce();
+        lock.lock();
+    }
+}
+
+void
+PeriodicExporter::exportOnce()
+{
+    const uint64_t tick =
+        tick_count.fetch_add(1, std::memory_order_relaxed);
+    out << "# export tick=" << tick << "\n"
+        << renderJsonl(reg.snapshot());
+    out.flush();
+}
+
+} // namespace livephase::obs

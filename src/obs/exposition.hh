@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Exposition: rendering a MetricsSnapshot for external consumers.
+ *
+ * Two formats:
+ *  - Prometheus text format (v0.0.4): counters and gauges as typed
+ *    single lines; histograms as summaries (p50/p90/p99 quantile
+ *    lines plus _sum and _count). Registered names may carry a
+ *    label set in braces; the renderer splices extra labels (e.g.
+ *    quantile="0.99") into it.
+ *  - JSONL: one self-describing JSON object per metric per line —
+ *    the format the benches' periodic export hooks append to a
+ *    file, one block per export tick.
+ *
+ * PeriodicExporter is the push-side hook: a background thread that
+ * renders the registry to a stream every interval, used by the
+ * benches to watch metrics evolve during a run.
+ */
+
+#ifndef LIVEPHASE_OBS_EXPOSITION_HH
+#define LIVEPHASE_OBS_EXPOSITION_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hh"
+
+namespace livephase::obs
+{
+
+/** Wire values of the query-metrics format selector (u16). */
+enum class ExpositionFormat : uint16_t
+{
+    Prometheus = 0,
+    Jsonl = 1,
+    Trace = 2, ///< flight-recorder dump, not a metrics rendering
+};
+
+/** nullopt for unknown raw values. */
+const char *expositionFormatName(ExpositionFormat format);
+
+/** Prometheus text format. */
+std::string renderPrometheus(const MetricsSnapshot &snap);
+
+/** One JSON object per metric per line. */
+std::string renderJsonl(const MetricsSnapshot &snap);
+
+/**
+ * Background thread dumping a registry to `os` every `interval`
+ * in JSONL, each tick preceded by a `# export tick=N` comment
+ * line. Stops (after one final export) on destruction.
+ */
+class PeriodicExporter
+{
+  public:
+    PeriodicExporter(const MetricsRegistry &registry,
+                     std::ostream &os,
+                     std::chrono::milliseconds interval);
+
+    ~PeriodicExporter();
+
+    PeriodicExporter(const PeriodicExporter &) = delete;
+    PeriodicExporter &operator=(const PeriodicExporter &) = delete;
+
+    /** Export ticks completed so far. */
+    uint64_t ticks() const
+    {
+        return tick_count.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void loop(std::chrono::milliseconds interval);
+    void exportOnce();
+
+    const MetricsRegistry &reg;
+    std::ostream &out;
+    std::atomic<uint64_t> tick_count{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    bool stopping = false;
+    std::thread worker;
+};
+
+} // namespace livephase::obs
+
+#endif // LIVEPHASE_OBS_EXPOSITION_HH

@@ -1,0 +1,237 @@
+#include "obs/flight_recorder.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "common/logging.hh"
+
+namespace livephase::obs
+{
+
+namespace
+{
+
+void
+copyTruncated(char *dst, size_t dst_size, const char *src)
+{
+    std::snprintf(dst, dst_size, "%s", src ? src : "");
+}
+
+} // namespace
+
+const char *
+severityName(Severity sev)
+{
+    switch (sev) {
+      case Severity::Debug: return "DEBUG";
+      case Severity::Info: return "INFO";
+      case Severity::Warn: return "WARN";
+      case Severity::Error: return "ERROR";
+      case Severity::Fatal: return "FATAL";
+    }
+    return "SEV?";
+}
+
+FlightRecorder::FieldArg::FieldArg(const char *k, const char *v)
+{
+    copyTruncated(key, sizeof(key), k);
+    copyTruncated(value, sizeof(value), v);
+}
+
+FlightRecorder::FieldArg::FieldArg(const char *k,
+                                   const std::string &v)
+    : FieldArg(k, v.c_str())
+{
+}
+
+FlightRecorder::FieldArg::FieldArg(const char *k, uint64_t v)
+{
+    copyTruncated(key, sizeof(key), k);
+    std::snprintf(value, sizeof(value), "%" PRIu64, v);
+}
+
+FlightRecorder::FieldArg::FieldArg(const char *k, int64_t v)
+{
+    copyTruncated(key, sizeof(key), k);
+    std::snprintf(value, sizeof(value), "%" PRId64, v);
+}
+
+FlightRecorder::FieldArg::FieldArg(const char *k, double v)
+{
+    copyTruncated(key, sizeof(key), k);
+    std::snprintf(value, sizeof(value), "%g", v);
+}
+
+FlightRecorder::FlightRecorder(size_t capacity) : cap(capacity)
+{
+    if (cap == 0)
+        fatal("FlightRecorder: capacity must be > 0");
+    slots = std::make_unique<Slot[]>(cap);
+}
+
+FlightRecorder &
+FlightRecorder::global()
+{
+    static FlightRecorder recorder;
+    return recorder;
+}
+
+void
+FlightRecorder::record(Severity sev, const char *name,
+                       std::initializer_list<FieldArg> fields)
+{
+    const uint64_t seq =
+        cursor.fetch_add(1, std::memory_order_relaxed);
+    Slot &slot = slots[seq % cap];
+
+    slot.version.store(2 * seq + 1, std::memory_order_release);
+    Event &ev = slot.event;
+    ev.seq = seq;
+    ev.t_ns = sinceStartNs();
+    ev.tid = threadId();
+    ev.sev = sev;
+    copyTruncated(ev.name, sizeof(ev.name), name);
+    currentSpanPath(ev.span, sizeof(ev.span));
+    ev.nfields = 0;
+    for (const FieldArg &field : fields) {
+        if (ev.nfields >= MAX_FIELDS)
+            break;
+        std::memcpy(ev.fields[ev.nfields].key, field.key,
+                    sizeof(field.key));
+        std::memcpy(ev.fields[ev.nfields].value, field.value,
+                    sizeof(field.value));
+        ++ev.nfields;
+    }
+    slot.version.store(2 * seq + 2, std::memory_order_release);
+}
+
+std::vector<FlightRecorder::Event>
+FlightRecorder::snapshotEvents() const
+{
+    std::vector<Event> events;
+    events.reserve(cap);
+    for (size_t i = 0; i < cap; ++i) {
+        const Slot &slot = slots[i];
+        const uint64_t v1 =
+            slot.version.load(std::memory_order_acquire);
+        if (v1 == 0 || v1 % 2 == 1)
+            continue; // never written, or mid-write
+        Event copy = slot.event;
+        const uint64_t v2 =
+            slot.version.load(std::memory_order_acquire);
+        if (v1 != v2)
+            continue; // overwritten while copying
+        events.push_back(copy);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  return a.seq < b.seq;
+              });
+    return events;
+}
+
+void
+FlightRecorder::dump(std::ostream &os) const
+{
+    const std::vector<Event> events = snapshotEvents();
+    const uint64_t total = recorded();
+    const uint64_t dropped =
+        total > events.size() ? total - events.size() : 0;
+    os << "--- flight recorder: " << events.size() << " events";
+    if (dropped > 0)
+        os << " (" << dropped << " older dropped)";
+    os << " ---\n";
+    char line[64];
+    for (const Event &ev : events) {
+        std::snprintf(line, sizeof(line), "[%+12.6fs t%02u] %-5s ",
+                      static_cast<double>(ev.t_ns) / 1e9, ev.tid,
+                      severityName(ev.sev));
+        os << line << ev.name;
+        if (ev.span[0] != '\0')
+            os << " span=" << ev.span;
+        for (uint8_t f = 0; f < ev.nfields; ++f)
+            os << ' ' << ev.fields[f].key << '='
+               << ev.fields[f].value;
+        os << '\n';
+    }
+    os << "--- end flight recorder ---\n";
+}
+
+bool
+FlightRecorder::autoDump(const char *reason)
+{
+    std::lock_guard lock(dump_mu);
+    const std::string key(reason ? reason : "");
+    if (std::find(latched_reasons.begin(), latched_reasons.end(),
+                  key) != latched_reasons.end())
+        return false;
+    latched_reasons.push_back(key);
+    std::ostream &os = sink ? *sink : std::cerr;
+    os << "flight-recorder auto-dump (reason=" << key << ")\n";
+    dump(os);
+    os.flush();
+    return true;
+}
+
+void
+FlightRecorder::setDumpSink(std::ostream *os)
+{
+    std::lock_guard lock(dump_mu);
+    sink = os;
+}
+
+void
+FlightRecorder::resetDumpLatches()
+{
+    std::lock_guard lock(dump_mu);
+    latched_reasons.clear();
+}
+
+// --- logging bridge ----------------------------------------------
+//
+// Routes WARN+ lines from common/logging into the recorder so one
+// dump carries both structured trace events and the log stream, and
+// forces a dump on panic()/fatal() before the process dies. The
+// sink is installed from a static initializer so any binary linking
+// the library gets the behavior without explicit setup; the
+// function-local statics behind global() make the ordering safe.
+
+namespace
+{
+
+void
+logSink(LogSeverity level, const std::string &message)
+{
+    Severity sev;
+    switch (level) {
+      case LogSeverity::Warn:
+        sev = Severity::Warn;
+        break;
+      case LogSeverity::Error:
+        sev = Severity::Error;
+        break;
+      case LogSeverity::Fatal:
+        sev = Severity::Fatal;
+        break;
+      default:
+        return; // Debug/Info stay out of the ring
+    }
+    FlightRecorder &recorder = FlightRecorder::global();
+    recorder.record(sev, "log", {{"msg", message}});
+    if (sev == Severity::Fatal)
+        recorder.autoDump("fatal");
+}
+
+struct LogBridgeInstaller
+{
+    LogBridgeInstaller() { setLogSink(&logSink); }
+};
+
+LogBridgeInstaller log_bridge_installer;
+
+} // namespace
+
+} // namespace livephase::obs

@@ -1,0 +1,276 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace livephase::obs
+{
+
+// --- histogram ---------------------------------------------------
+
+size_t
+Histogram::bucketIndex(double value)
+{
+    if (!(value >= std::ldexp(1.0, LOG_MIN_EXP)))
+        return 0; // underflow; also catches negatives and NaN
+    if (value >= std::ldexp(1.0, LOG_MAX_EXP))
+        return HISTOGRAM_BUCKETS - 1;
+    int exp;
+    const double mantissa = std::frexp(value, &exp); // in [0.5, 1)
+    // value = mantissa * 2^exp, so floor(log2(value)) == exp - 1.
+    const int octave = exp - 1 - LOG_MIN_EXP;
+    const auto sub = static_cast<size_t>(
+        (mantissa * 2.0 - 1.0) * static_cast<double>(LOG_SUBBUCKETS));
+    return 1 + static_cast<size_t>(octave) * LOG_SUBBUCKETS +
+        std::min(sub, LOG_SUBBUCKETS - 1);
+}
+
+double
+Histogram::bucketLowerBound(size_t bucket)
+{
+    if (bucket == 0)
+        return 0.0;
+    if (bucket >= HISTOGRAM_BUCKETS - 1)
+        return std::ldexp(1.0, LOG_MAX_EXP);
+    const size_t step = bucket - 1;
+    const auto octave = static_cast<int>(step / LOG_SUBBUCKETS);
+    const auto sub = static_cast<double>(step % LOG_SUBBUCKETS);
+    return std::ldexp(1.0 + sub / LOG_SUBBUCKETS,
+                      LOG_MIN_EXP + octave);
+}
+
+double
+Histogram::bucketUpperBound(size_t bucket)
+{
+    if (bucket >= HISTOGRAM_BUCKETS - 1)
+        return std::numeric_limits<double>::infinity();
+    return bucketLowerBound(bucket + 1);
+}
+
+void
+Histogram::record(double value)
+{
+    buckets[bucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    n.fetch_add(1, std::memory_order_relaxed);
+    double cur = total.load(std::memory_order_relaxed);
+    while (!total.compare_exchange_weak(cur, cur + value,
+                                        std::memory_order_relaxed)) {
+    }
+    double m = peak.load(std::memory_order_relaxed);
+    while (value > m &&
+           !peak.compare_exchange_weak(m, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    snap.count = count();
+    snap.sum = sum();
+    snap.max = max();
+    snap.buckets.resize(HISTOGRAM_BUCKETS);
+    for (size_t b = 0; b < HISTOGRAM_BUCKETS; ++b)
+        snap.buckets[b] = buckets[b].load(std::memory_order_relaxed);
+    return snap;
+}
+
+double
+HistogramSnapshot::quantile(double p) const
+{
+    if (count == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    // 1-based rank of the requested order statistic.
+    const auto target = static_cast<uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count)));
+    const uint64_t rank = std::max<uint64_t>(target, 1);
+    uint64_t seen = 0;
+    for (size_t b = 0; b < buckets.size(); ++b) {
+        if (buckets[b] == 0)
+            continue;
+        if (seen + buckets[b] >= rank) {
+            const double lo = Histogram::bucketLowerBound(b);
+            const double hi = b + 1 == buckets.size()
+                ? max // overflow bucket: best bound we have
+                : Histogram::bucketUpperBound(b);
+            const double frac = static_cast<double>(rank - seen) /
+                static_cast<double>(buckets[b]);
+            return std::min(lo + (hi - lo) * frac, max);
+        }
+        seen += buckets[b];
+    }
+    return max;
+}
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot &other)
+{
+    count += other.count;
+    sum += other.sum;
+    max = std::max(max, other.max);
+    if (buckets.size() < other.buckets.size())
+        buckets.resize(other.buckets.size());
+    for (size_t b = 0; b < other.buckets.size(); ++b)
+        buckets[b] += other.buckets[b];
+}
+
+// --- snapshot ----------------------------------------------------
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Gauge: return "gauge";
+      case MetricKind::Histogram: return "histogram";
+    }
+    return "kind-?";
+}
+
+const MetricSample *
+MetricsSnapshot::find(const std::string &name) const
+{
+    for (const MetricSample &s : samples)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+void
+MetricsSnapshot::merge(const MetricsSnapshot &other)
+{
+    for (const MetricSample &theirs : other.samples) {
+        bool merged = false;
+        for (MetricSample &ours : samples) {
+            if (ours.name != theirs.name)
+                continue;
+            if (ours.kind == MetricKind::Histogram)
+                ours.hist.merge(theirs.hist);
+            else
+                ours.value += theirs.value;
+            merged = true;
+            break;
+        }
+        if (!merged)
+            samples.push_back(theirs);
+    }
+    std::sort(samples.begin(), samples.end(),
+              [](const MetricSample &a, const MetricSample &b) {
+                  return a.name < b.name;
+              });
+}
+
+// --- registry ----------------------------------------------------
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+MetricsRegistry::Shard &
+MetricsRegistry::shardFor(const std::string &name)
+{
+    return shards[std::hash<std::string>{}(name) % SHARDS];
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::findOrCreate(const std::string &name,
+                              MetricKind kind)
+{
+    Shard &shard = shardFor(name);
+    std::lock_guard lock(shard.mu);
+    auto [it, inserted] = shard.metrics.try_emplace(name);
+    Entry &entry = it->second;
+    if (inserted) {
+        entry.kind = kind;
+        switch (kind) {
+          case MetricKind::Counter:
+            entry.counter = std::make_unique<Counter>();
+            break;
+          case MetricKind::Gauge:
+            entry.gauge = std::make_unique<Gauge>();
+            break;
+          case MetricKind::Histogram:
+            entry.histogram = std::make_unique<Histogram>();
+            break;
+        }
+    } else if (entry.kind != kind) {
+        panic("MetricsRegistry: '%s' registered as %s, requested as "
+              "%s",
+              name.c_str(), metricKindName(entry.kind),
+              metricKindName(kind));
+    }
+    return entry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    return *findOrCreate(name, MetricKind::Counter).counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    return *findOrCreate(name, MetricKind::Gauge).gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    return *findOrCreate(name, MetricKind::Histogram).histogram;
+}
+
+size_t
+MetricsRegistry::size() const
+{
+    size_t total = 0;
+    for (const Shard &shard : shards) {
+        std::lock_guard lock(shard.mu);
+        total += shard.metrics.size();
+    }
+    return total;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    for (const Shard &shard : shards) {
+        std::lock_guard lock(shard.mu);
+        for (const auto &[name, entry] : shard.metrics) {
+            MetricSample sample;
+            sample.name = name;
+            sample.kind = entry.kind;
+            switch (entry.kind) {
+              case MetricKind::Counter:
+                sample.value =
+                    static_cast<double>(entry.counter->value());
+                break;
+              case MetricKind::Gauge:
+                sample.value = entry.gauge->value();
+                break;
+              case MetricKind::Histogram:
+                sample.hist = entry.histogram->snapshot();
+                break;
+            }
+            snap.samples.push_back(std::move(sample));
+        }
+    }
+    std::sort(snap.samples.begin(), snap.samples.end(),
+              [](const MetricSample &a, const MetricSample &b) {
+                  return a.name < b.name;
+              });
+    return snap;
+}
+
+} // namespace livephase::obs

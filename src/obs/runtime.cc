@@ -1,0 +1,98 @@
+#include "obs/runtime.hh"
+
+#include <chrono>
+#include <cstring>
+
+namespace livephase::obs
+{
+
+namespace detail
+{
+std::atomic<bool> obs_enabled{false};
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    detail::obs_enabled.store(on, std::memory_order_relaxed);
+}
+
+uint64_t
+monoNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+uint64_t
+sinceStartNs()
+{
+    // Captured on first use; every later caller subtracts the same
+    // anchor, so timestamps across threads share one timebase.
+    static const uint64_t start = monoNowNs();
+    const uint64_t now = monoNowNs();
+    return now >= start ? now - start : 0;
+}
+
+uint32_t
+threadId()
+{
+    static std::atomic<uint32_t> next{0};
+    thread_local const uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed) + 1;
+    return id;
+}
+
+namespace
+{
+
+struct SpanStack
+{
+    const char *names[SPAN_STACK_DEPTH] = {};
+    size_t depth = 0; ///< may exceed SPAN_STACK_DEPTH (overflow)
+};
+
+thread_local SpanStack span_stack;
+
+} // namespace
+
+void
+pushSpan(const char *name)
+{
+    SpanStack &s = span_stack;
+    if (s.depth < SPAN_STACK_DEPTH)
+        s.names[s.depth] = name;
+    ++s.depth;
+}
+
+void
+popSpan()
+{
+    SpanStack &s = span_stack;
+    if (s.depth > 0)
+        --s.depth;
+}
+
+size_t
+currentSpanPath(char *buf, size_t size)
+{
+    if (size == 0)
+        return 0;
+    const SpanStack &s = span_stack;
+    const size_t depth =
+        s.depth < SPAN_STACK_DEPTH ? s.depth : SPAN_STACK_DEPTH;
+    size_t out = 0;
+    for (size_t i = 0; i < depth; ++i) {
+        const char *name = s.names[i];
+        if (i > 0 && out + 1 < size)
+            buf[out++] = '/';
+        for (const char *c = name; *c && out + 1 < size; ++c)
+            buf[out++] = *c;
+    }
+    buf[out] = '\0';
+    return out;
+}
+
+} // namespace livephase::obs

@@ -1,0 +1,15 @@
+#include "obs/span.hh"
+
+namespace livephase::obs
+{
+
+Histogram &
+spanHistogram(const char *name)
+{
+    std::string metric = "livephase_span_us{span=\"";
+    metric += name;
+    metric += "\"}";
+    return MetricsRegistry::global().histogram(metric);
+}
+
+} // namespace livephase::obs

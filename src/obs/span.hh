@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Scoped spans: RAII timers over the hot pipeline stages.
+ *
+ *     void Session::processBatch(...) {
+ *         OBS_SPAN("service.session_batch");
+ *         ...
+ *     }
+ *
+ * Each OBS_SPAN site owns one histogram in the global registry,
+ * named `livephase_span_us{span="<name>"}`, resolved once through a
+ * function-local static. While a span is open its label sits on the
+ * thread's span stack, so flight-recorder events record *where* in
+ * the pipeline they happened (see obs/flight_recorder.hh).
+ *
+ * Cost model:
+ *  - compiled out entirely with -DLIVEPHASE_OBS_DISABLED;
+ *  - runtime-disabled (the default): one relaxed atomic load and a
+ *    predicted-not-taken branch;
+ *  - enabled: two steady-clock reads plus one histogram record.
+ *
+ * bench_obs_overhead holds the enabled end-to-end cost under the 5%
+ * budget DESIGN.md §11 commits to.
+ */
+
+#ifndef LIVEPHASE_OBS_SPAN_HH
+#define LIVEPHASE_OBS_SPAN_HH
+
+#include "obs/metrics.hh"
+#include "obs/runtime.hh"
+
+namespace livephase::obs
+{
+
+/** Registry histogram backing one span site ("classify" ->
+ *  livephase_span_us{span="classify"}). */
+Histogram &spanHistogram(const char *name);
+
+/**
+ * RAII span: times its scope into `hist` and keeps `name` on the
+ * thread's span stack while alive. No-op when obs is disabled at
+ * construction time.
+ */
+class Span
+{
+  public:
+    Span(const char *name, Histogram &histogram)
+    {
+        if (enabled()) {
+            hist = &histogram;
+            start_ns = monoNowNs();
+            pushSpan(name);
+        }
+    }
+
+    ~Span()
+    {
+        if (hist) {
+            popSpan();
+            hist->record(
+                static_cast<double>(monoNowNs() - start_ns) / 1e3);
+        }
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    Histogram *hist = nullptr;
+    uint64_t start_ns = 0;
+};
+
+} // namespace livephase::obs
+
+#define LIVEPHASE_OBS_CONCAT2(a, b) a##b
+#define LIVEPHASE_OBS_CONCAT(a, b) LIVEPHASE_OBS_CONCAT2(a, b)
+
+#ifdef LIVEPHASE_OBS_DISABLED
+#define OBS_SPAN(name) ((void)0)
+#else
+/** Time the enclosing scope as span `name` (a string literal). */
+#define OBS_SPAN(name)                                               \
+    static ::livephase::obs::Histogram &LIVEPHASE_OBS_CONCAT(        \
+        obs_span_hist_, __LINE__) =                                  \
+        ::livephase::obs::spanHistogram(name);                       \
+    ::livephase::obs::Span LIVEPHASE_OBS_CONCAT(obs_span_,           \
+                                                __LINE__)            \
+    {                                                                \
+        (name), LIVEPHASE_OBS_CONCAT(obs_span_hist_, __LINE__)       \
+    }
+#endif
+
+#endif // LIVEPHASE_OBS_SPAN_HH

@@ -68,6 +68,25 @@ ServiceClient::queryStats()
     return reply;
 }
 
+ServiceClient::MetricsReply
+ServiceClient::queryMetrics(uint16_t raw_format)
+{
+    const Bytes response =
+        link.roundTrip(encodeMetricsRequest(raw_format));
+    ParsedResponse parsed;
+    if (!parseResponse(response, parsed))
+        return {Status::BadFrame, {}};
+    MetricsReply reply;
+    reply.status = parsed.status;
+    if (parsed.status == Status::Ok) {
+        auto text = decodeMetricsText(parsed.body);
+        if (!text)
+            return {Status::BadFrame, {}};
+        reply.text = std::move(*text);
+    }
+    return reply;
+}
+
 Status
 ServiceClient::close(uint64_t session_id)
 {

@@ -109,6 +109,16 @@ class ServiceClient
     /** Fetch the service's counter snapshot. */
     StatsReply queryStats();
 
+    struct MetricsReply
+    {
+        Status status = Status::BadFrame;
+        std::string text; ///< rendered exposition / trace dump
+    };
+
+    /** Fetch rendered telemetry; `raw_format` is an
+     *  obs::ExpositionFormat value. */
+    MetricsReply queryMetrics(uint16_t raw_format);
+
     /** Close a session. */
     Status close(uint64_t session_id);
 

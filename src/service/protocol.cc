@@ -29,6 +29,7 @@ opName(uint16_t raw_op)
       case Op::SubmitBatch: return "submit-batch";
       case Op::QueryStats: return "query-stats";
       case Op::Close: return "close";
+      case Op::QueryMetrics: return "query-metrics";
     }
     return "op-" + std::to_string(raw_op);
 }
@@ -250,6 +251,15 @@ encodeCloseRequest(uint64_t session_id)
     return frame(static_cast<uint16_t>(Op::Close), session_id, {});
 }
 
+Bytes
+encodeMetricsRequest(uint16_t raw_format)
+{
+    ByteWriter payload;
+    payload.u16(raw_format);
+    return frame(static_cast<uint16_t>(Op::QueryMetrics), 0,
+                 payload.take());
+}
+
 Status
 parseRequest(const Bytes &bytes, ParsedRequest &out)
 {
@@ -294,6 +304,10 @@ parseRequest(const Bytes &bytes, ParsedRequest &out)
       case Op::QueryStats:
       case Op::Close:
         return r.remaining() == 0 ? Status::Ok : Status::BadFrame;
+      case Op::QueryMetrics:
+        if (!r.u16(out.metrics_format) || r.remaining() != 0)
+            return Status::BadFrame;
+        return Status::Ok;
     }
     return Status::BadFrame; // unknown op
 }
@@ -320,6 +334,26 @@ encodeSubmitResults(const std::vector<IntervalResult> &results)
         w.u32(res.dvfs_index);
     }
     return w.take();
+}
+
+Bytes
+encodeMetricsText(const std::string &text)
+{
+    ByteWriter w;
+    w.u32(static_cast<uint32_t>(text.size()));
+    Bytes out = w.take();
+    out.insert(out.end(), text.begin(), text.end());
+    return out;
+}
+
+std::optional<std::string>
+decodeMetricsText(const Bytes &body)
+{
+    ByteReader r(body);
+    uint32_t length = 0;
+    if (!r.u32(length) || r.remaining() != length)
+        return std::nullopt;
+    return std::string(body.end() - length, body.end());
 }
 
 bool

@@ -29,6 +29,10 @@
  *  - QueryStats  empty payload. Response body: a StatsSnapshot
  *                (see service_stats.hh).
  *  - Close       empty payload; session id in the header.
+ *  - QueryMetrics payload: u16 obs::ExpositionFormat. Response
+ *                body: u32 length + that many bytes of rendered
+ *                telemetry (Prometheus text, JSONL, or a flight-
+ *                recorder dump).
  *
  * Malformed input (bad magic/version, unknown op, truncated or
  * oversized payload, record-count mismatch) is answered with
@@ -66,9 +70,10 @@ enum class Op : uint16_t
     SubmitBatch = 2,
     QueryStats = 3,
     Close = 4,
+    QueryMetrics = 5,
 };
 
-constexpr size_t NUM_OPS = 4;
+constexpr size_t NUM_OPS = 5;
 
 /** First field of every response payload. */
 enum class Status : uint16_t
@@ -201,6 +206,7 @@ Bytes encodeSubmitRequest(uint64_t session_id,
                           const std::vector<IntervalRecord> &records);
 Bytes encodeStatsRequest();
 Bytes encodeCloseRequest(uint64_t session_id);
+Bytes encodeMetricsRequest(uint16_t raw_format);
 
 // --- server-side request parsing ---------------------------------
 
@@ -210,6 +216,7 @@ struct ParsedRequest
     FrameHeader header{};
     PredictorKind predictor = PredictorKind::LastValue; ///< Open only
     std::vector<IntervalRecord> records; ///< SubmitBatch only
+    uint16_t metrics_format = 0; ///< QueryMetrics only (raw value)
 };
 
 /**
@@ -238,6 +245,12 @@ Bytes encodeResponse(uint16_t raw_op, uint64_t session_id,
 
 /** SubmitBatch response body: u32 count + IntervalResults. */
 Bytes encodeSubmitResults(const std::vector<IntervalResult> &results);
+
+/** QueryMetrics response body: u32 length + UTF-8 text. */
+Bytes encodeMetricsText(const std::string &text);
+
+/** Decode a QueryMetrics response body; nullopt when malformed. */
+std::optional<std::string> decodeMetricsText(const Bytes &body);
 
 // --- client-side response parsing --------------------------------
 

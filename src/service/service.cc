@@ -1,8 +1,12 @@
 #include "service/service.hh"
 
 #include <chrono>
+#include <sstream>
 
 #include "common/logging.hh"
+#include "obs/exposition.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/span.hh"
 
 namespace livephase::service
 {
@@ -78,6 +82,8 @@ LivePhaseService::submit(Bytes request_frame)
 {
     Request req;
     req.frame = std::move(request_frame);
+    if (obs::enabled())
+        req.enqueue_ns = obs::monoNowNs();
     std::future<Bytes> result = req.reply.get_future();
 
     if (stopping.load(std::memory_order_acquire)) {
@@ -118,12 +124,20 @@ LivePhaseService::drainOne()
 void
 LivePhaseService::serveRequest(Request &req)
 {
+    if (req.enqueue_ns != 0 && obs::enabled()) {
+        static obs::Histogram &queue_wait =
+            obs::MetricsRegistry::global().histogram(
+                "livephase_service_queue_wait_us");
+        queue_wait.record(
+            (obs::monoNowNs() - req.enqueue_ns) / 1e3);
+    }
     req.reply.set_value(handleFrame(req.frame));
 }
 
 Bytes
 LivePhaseService::handleFrame(const Bytes &request_frame)
 {
+    OBS_SPAN("service.handle");
     const auto start = std::chrono::steady_clock::now();
 
     ParsedRequest parsed;
@@ -131,6 +145,17 @@ LivePhaseService::handleFrame(const Bytes &request_frame)
     const Status parse_status = parseRequest(request_frame, parsed);
     if (parse_status != Status::Ok) {
         counters.frameMalformed();
+        // Redacted on purpose: header fields and lengths only,
+        // never payload bytes (frames can carry client data).
+        obs::FlightRecorder::global().record(
+            obs::Severity::Error, "frame.malformed",
+            {{"op", static_cast<uint64_t>(parsed.header.op)},
+             {"payload_size",
+              static_cast<uint64_t>(parsed.header.payload_size)},
+             {"frame_size",
+              static_cast<uint64_t>(request_frame.size())}});
+        if (cfg.dump_trace_on_error)
+            obs::FlightRecorder::global().autoDump("malformed-frame");
         response = encodeResponse(parsed.header.op,
                                   parsed.header.session_id,
                                   parse_status);
@@ -183,6 +208,10 @@ LivePhaseService::dispatch(const ParsedRequest &req)
                               manager.close(sid)
                                   ? Status::Ok
                                   : Status::UnknownSession);
+      case Op::QueryMetrics:
+        return encodeResponse(
+            op, sid, Status::Ok,
+            encodeMetricsText(metricsText(req.metrics_format)));
     }
     // parseRequest only admits known ops; defend anyway.
     counters.frameMalformed();
@@ -194,6 +223,25 @@ LivePhaseService::stats() const
 {
     return counters.snapshot(manager.openCount(),
                              queue.highWaterMark());
+}
+
+std::string
+LivePhaseService::metricsText(uint16_t raw_format) const
+{
+    const auto format = static_cast<obs::ExpositionFormat>(raw_format);
+    std::ostringstream out;
+    if (format == obs::ExpositionFormat::Trace) {
+        obs::FlightRecorder::global().dump(out);
+        return out.str();
+    }
+
+    obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::global().snapshot();
+    counters.fillMetrics(snap, manager.openCount(),
+                         queue.highWaterMark());
+    return format == obs::ExpositionFormat::Jsonl
+        ? obs::renderJsonl(snap)
+        : obs::renderPrometheus(snap);
 }
 
 } // namespace livephase::service

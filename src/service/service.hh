@@ -55,6 +55,10 @@ class LivePhaseService
         /** Largest accepted SubmitBatch (the K limit); fatal()
          *  when 0. */
         size_t max_batch = 1024;
+
+        /** Auto-dump the flight recorder on malformed frames and
+         *  other error triggers (latched once per reason). */
+        bool dump_trace_on_error = true;
     };
 
     /** Default Config: deployed pipeline, 2 workers, queue 256. */
@@ -99,6 +103,15 @@ class LivePhaseService
     /** Snapshot every service counter. */
     StatsSnapshot stats() const;
 
+    /**
+     * Render the service's telemetry (this instance's counters and
+     * latency histograms merged with the process-global registry —
+     * spans, core pipeline counters) in the requested exposition
+     * format. ExpositionFormat::Trace returns a flight-recorder
+     * dump instead. Unknown raw formats render as Prometheus.
+     */
+    std::string metricsText(uint16_t raw_format) const;
+
     /** The session store (tests drive eviction/TTL through it). */
     SessionManager &sessionManager() { return manager; }
 
@@ -113,6 +126,8 @@ class LivePhaseService
     {
         Bytes frame;
         std::promise<Bytes> reply;
+        /** obs::monoNowNs() at submit time; 0 when obs disabled. */
+        uint64_t enqueue_ns = 0;
     };
 
     void workerLoop();

@@ -2,7 +2,6 @@
 
 #include <ostream>
 
-#include "common/stats.hh"
 #include "common/table_writer.hh"
 
 namespace livephase::service
@@ -249,40 +248,87 @@ ServiceCounters::opLatency(uint16_t raw_op, double micros)
 {
     if (raw_op < 1 || raw_op > NUM_OPS)
         return;
-    std::lock_guard lock(mu);
-    OpAccumulator &acc = ops[raw_op - 1];
-    ++acc.count;
-    acc.sum_us += micros;
-    if (micros > acc.max_us)
-        acc.max_us = micros;
-    if (acc.ring.size() < LATENCY_RING) {
-        acc.ring.push_back(micros);
-    } else {
-        acc.ring[acc.ring_next] = micros;
-        acc.ring_next = (acc.ring_next + 1) % LATENCY_RING;
-    }
+    ops[raw_op - 1].record(micros);
 }
 
 StatsSnapshot
 ServiceCounters::snapshot(uint64_t sessions_open,
                           uint64_t queue_high_water) const
 {
-    std::lock_guard lock(mu);
-    StatsSnapshot snap = totals;
+    StatsSnapshot snap;
+    {
+        std::lock_guard lock(mu);
+        snap = totals;
+    }
     snap.sessions_open = sessions_open;
     snap.queue_high_water = queue_high_water;
     for (size_t i = 0; i < NUM_OPS; ++i) {
-        const OpAccumulator &acc = ops[i];
+        const obs::HistogramSnapshot hist = ops[i].snapshot();
         OpLatency &l = snap.op_latency[i];
-        l.count = acc.count;
-        if (acc.count == 0)
+        l.count = hist.count;
+        if (hist.count == 0)
             continue;
-        l.mean_us = acc.sum_us / static_cast<double>(acc.count);
-        l.max_us = acc.max_us;
-        l.p50_us = percentile(acc.ring, 50.0);
-        l.p99_us = percentile(acc.ring, 99.0);
+        l.mean_us = hist.mean();
+        l.max_us = hist.max;
+        l.p50_us = hist.quantile(50.0);
+        l.p99_us = hist.quantile(99.0);
     }
     return snap;
+}
+
+void
+ServiceCounters::fillMetrics(obs::MetricsSnapshot &out,
+                             uint64_t sessions_open,
+                             uint64_t queue_high_water) const
+{
+    const StatsSnapshot snap =
+        snapshot(sessions_open, queue_high_water);
+
+    obs::MetricsSnapshot mine;
+    const auto counter = [&mine](const char *name, uint64_t value) {
+        obs::MetricSample s;
+        s.name = name;
+        s.kind = obs::MetricKind::Counter;
+        s.value = static_cast<double>(value);
+        mine.samples.push_back(std::move(s));
+    };
+    const auto gauge = [&mine](const char *name, double value) {
+        obs::MetricSample s;
+        s.name = name;
+        s.kind = obs::MetricKind::Gauge;
+        s.value = value;
+        mine.samples.push_back(std::move(s));
+    };
+    counter("livephase_service_sessions_opened_total",
+            snap.sessions_opened);
+    counter("livephase_service_sessions_closed_total",
+            snap.sessions_closed);
+    counter("livephase_service_sessions_evicted_lru_total",
+            snap.sessions_evicted_lru);
+    counter("livephase_service_sessions_expired_ttl_total",
+            snap.sessions_expired_ttl);
+    counter("livephase_service_intervals_total",
+            snap.intervals_processed);
+    counter("livephase_service_batches_total",
+            snap.batches_processed);
+    counter("livephase_service_rejected_queue_full_total",
+            snap.rejected_queue_full);
+    counter("livephase_service_frames_malformed_total",
+            snap.frames_malformed);
+    gauge("livephase_service_sessions_open",
+          static_cast<double>(snap.sessions_open));
+    gauge("livephase_service_queue_high_water",
+          static_cast<double>(snap.queue_high_water));
+
+    for (size_t i = 0; i < NUM_OPS; ++i) {
+        obs::MetricSample s;
+        s.name = "livephase_service_op_latency_us{op=\"" +
+            opName(static_cast<uint16_t>(i + 1)) + "\"}";
+        s.kind = obs::MetricKind::Histogram;
+        s.hist = ops[i].snapshot();
+        mine.samples.push_back(std::move(s));
+    }
+    out.merge(mine);
 }
 
 } // namespace livephase::service

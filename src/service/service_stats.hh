@@ -10,10 +10,12 @@
  * a QueryStats response and is rendered through the existing
  * table_writer.
  *
- * Per-op latency keeps a bounded ring of recent samples (so a
- * long-lived daemon never grows without bound) from which the
- * snapshot derives p50/p99; count/mean/max are exact over the whole
- * lifetime.
+ * Per-op latency lives in the obs subsystem's log-bucketed
+ * histogram (bounded memory, so a long-lived daemon never grows
+ * without bound): count/mean/max are exact over the whole lifetime,
+ * p50/p99 are read off the buckets with the bounded relative error
+ * documented in obs/metrics.hh. The StatsSnapshot fields and the
+ * QueryStats wire format are unchanged from the sample-ring days.
  */
 
 #ifndef LIVEPHASE_SERVICE_SERVICE_STATS_HH
@@ -24,8 +26,8 @@
 #include <iosfwd>
 #include <mutex>
 #include <optional>
-#include <vector>
 
+#include "obs/metrics.hh"
 #include "service/protocol.hh"
 
 namespace livephase::service
@@ -45,8 +47,8 @@ struct OpLatency
 {
     uint64_t count = 0;
     double mean_us = 0.0;
-    double p50_us = 0.0; ///< over the recent-sample ring
-    double p99_us = 0.0; ///< over the recent-sample ring
+    double p50_us = 0.0; ///< log-bucket estimate (obs/metrics.hh)
+    double p99_us = 0.0; ///< log-bucket estimate (obs/metrics.hh)
     double max_us = 0.0;
 };
 
@@ -114,22 +116,22 @@ class ServiceCounters
     StatsSnapshot snapshot(uint64_t sessions_open,
                            uint64_t queue_high_water) const;
 
+    /**
+     * Contribute this instance's counters and latency histograms to
+     * a metrics snapshot under `livephase_service_*` names (the
+     * query-metrics exposition path). The caller supplies the same
+     * two gauges snapshot() does.
+     */
+    void fillMetrics(obs::MetricsSnapshot &out,
+                     uint64_t sessions_open,
+                     uint64_t queue_high_water) const;
+
   private:
-    /** Recent-sample ring capacity per op. */
-    static constexpr size_t LATENCY_RING = 4096;
-
-    struct OpAccumulator
-    {
-        uint64_t count = 0;
-        double sum_us = 0.0;
-        double max_us = 0.0;
-        std::vector<double> ring; ///< grows to LATENCY_RING, then wraps
-        size_t ring_next = 0;
-    };
-
     mutable std::mutex mu;
     StatsSnapshot totals; ///< latency fields unused; filled on demand
-    std::array<OpAccumulator, NUM_OPS> ops;
+    /** Lock-free per-op latency; the mutex above only guards
+     *  `totals`. */
+    std::array<obs::Histogram, NUM_OPS> ops;
 };
 
 } // namespace livephase::service

@@ -1,9 +1,40 @@
 #include "service/session.hh"
 
 #include "common/logging.hh"
+#include "obs/span.hh"
 
 namespace livephase::service
 {
+
+namespace
+{
+
+/** Core pipeline counters, shared by all sessions. Resolved once;
+ *  updated with one add per batch, not per interval. */
+struct CoreCounters
+{
+    obs::Counter &classified;
+    obs::Counter &transitions;
+    obs::Counter &predictions;
+    obs::Counter &mispredictions;
+
+    static CoreCounters &get()
+    {
+        static CoreCounters c{
+            obs::MetricsRegistry::global().counter(
+                "livephase_core_intervals_classified_total"),
+            obs::MetricsRegistry::global().counter(
+                "livephase_core_phase_transitions_total"),
+            obs::MetricsRegistry::global().counter(
+                "livephase_core_predictions_total"),
+            obs::MetricsRegistry::global().counter(
+                "livephase_core_mispredictions_total"),
+        };
+        return c;
+    }
+};
+
+} // namespace
 
 Session::Session(uint64_t id, PhaseClassifier classifier,
                  PredictorPtr predictor, DvfsPolicy policy)
@@ -30,20 +61,63 @@ std::vector<IntervalResult>
 Session::processBatch(const std::vector<IntervalRecord> &records)
 {
     std::vector<IntervalResult> results;
-    results.reserve(records.size());
+    results.resize(records.size());
 
     std::lock_guard lock(mu);
-    for (const IntervalRecord &rec : records) {
-        const double mem_per_uop = rec.bus_tran_mem / rec.uops;
-        const PhaseSample observed = classes.sample(mem_per_uop);
-        pred->observe(observed);
-        PhaseId next = pred->predict();
-        if (next == INVALID_PHASE)
-            next = observed.phase; // cold-start reactive fallback
-        results.push_back(IntervalResult{
-            observed.phase, next,
-            static_cast<uint32_t>(pol.settingForPhase(next))});
+
+    // Staged over the whole batch — classify all, then
+    // train/predict all, then translate all — so each stage is one
+    // span. Record order is preserved within every stage and only
+    // the predictor consumes another stage's output (buffered in
+    // `samples`), so this is bit-identical to the fused loop.
+    std::vector<PhaseSample> samples(records.size());
+    {
+        OBS_SPAN("core.classify");
+        for (size_t i = 0; i < records.size(); ++i) {
+            const IntervalRecord &rec = records[i];
+            samples[i] = classes.sample(rec.bus_tran_mem / rec.uops);
+            results[i].phase = samples[i].phase;
+        }
     }
+
+    uint64_t transitions = 0, mispredictions = 0, predictions = 0;
+    {
+        OBS_SPAN("core.predict");
+        for (size_t i = 0; i < records.size(); ++i) {
+            const PhaseId observed = samples[i].phase;
+            if (last_observed != INVALID_PHASE &&
+                observed != last_observed)
+                ++transitions;
+            if (last_predicted != INVALID_PHASE) {
+                ++predictions;
+                if (last_predicted != observed)
+                    ++mispredictions;
+            }
+            last_observed = observed;
+            pred->observe(samples[i]);
+            PhaseId next = pred->predict();
+            last_predicted = next;
+            if (next == INVALID_PHASE)
+                next = observed; // cold-start reactive fallback
+            results[i].predicted_next = next;
+        }
+    }
+
+    {
+        OBS_SPAN("core.policy");
+        for (IntervalResult &res : results)
+            res.dvfs_index = static_cast<uint32_t>(
+                pol.settingForPhase(res.predicted_next));
+    }
+
+    if (obs::enabled() && !records.empty()) {
+        CoreCounters &core = CoreCounters::get();
+        core.classified.inc(records.size());
+        core.transitions.inc(transitions);
+        core.predictions.inc(predictions);
+        core.mispredictions.inc(mispredictions);
+    }
+
     processed.fetch_add(records.size(), std::memory_order_relaxed);
     return results;
 }

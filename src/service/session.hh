@@ -94,6 +94,10 @@ class Session
     DvfsPolicy pol;
 
     std::mutex mu; ///< serializes batches within the session
+    /** Previous interval's observed / predicted phase (guarded by
+     *  mu), feeding the transition and misprediction counters. */
+    PhaseId last_observed = INVALID_PHASE;
+    PhaseId last_predicted = INVALID_PHASE;
     std::atomic<uint64_t> last_active{0};
     std::atomic<uint64_t> processed{0};
 };

@@ -4,6 +4,8 @@
 
 #include "common/logging.hh"
 #include "core/gpht_predictor.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/runtime.hh"
 #include "core/last_value_predictor.hh"
 #include "core/set_assoc_gpht_predictor.hh"
 #include "core/variable_window_predictor.hh"
@@ -23,6 +25,42 @@ steadyNowNs()
             std::chrono::steady_clock::now().time_since_epoch())
             .count());
 }
+
+/**
+ * Eviction-storm detector: a burst of LRU evictions means the
+ * session table is thrashing (max_sessions undersized or a client
+ * leaking sessions), which silently destroys predictor state. When
+ * STORM_THRESHOLD evictions land within STORM_WINDOW_NS the flight
+ * recorder auto-dumps (latched once per process).
+ */
+constexpr uint64_t STORM_THRESHOLD = 16;
+constexpr uint64_t STORM_WINDOW_NS = 1'000'000'000;
+
+class EvictionStormDetector
+{
+  public:
+    /** Record one eviction at monotonic time `now_ns`; true when
+     *  this one tripped the storm threshold. */
+    bool evicted(uint64_t now_ns)
+    {
+        uint64_t start = window_start.load(std::memory_order_relaxed);
+        if (now_ns - start > STORM_WINDOW_NS) {
+            // Stale window: one winner resets it (losers just count
+            // into the fresh window).
+            if (window_start.compare_exchange_strong(
+                    start, now_ns, std::memory_order_relaxed))
+                in_window.store(0, std::memory_order_relaxed);
+        }
+        return in_window.fetch_add(1, std::memory_order_relaxed) +
+            1 == STORM_THRESHOLD;
+    }
+
+  private:
+    std::atomic<uint64_t> window_start{0};
+    std::atomic<uint64_t> in_window{0};
+};
+
+EvictionStormDetector storm_detector;
 
 } // namespace
 
@@ -112,10 +150,16 @@ SessionManager::open(PredictorKind kind)
     std::lock_guard lock(shard.mu);
     reapLocked(shard, t);
     while (shard.index.size() >= per_shard_capacity) {
-        shard.index.erase(shard.lru.back()->id());
+        const uint64_t victim = shard.lru.back()->id();
+        shard.index.erase(victim);
         shard.lru.pop_back();
         if (stats)
             stats->sessionEvicted();
+        obs::FlightRecorder::global().record(
+            obs::Severity::Warn, "session.evicted",
+            {{"victim", victim}, {"for", id}});
+        if (storm_detector.evicted(obs::monoNowNs()))
+            obs::FlightRecorder::global().autoDump("eviction-storm");
     }
     shard.lru.push_front(session);
     shard.index[id] = shard.lru.begin();

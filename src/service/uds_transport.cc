@@ -8,12 +8,37 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/metrics.hh"
 
 namespace livephase::service
 {
 
 namespace
 {
+
+/** Transport-level counters (process-wide; servers share them). */
+struct TransportCounters
+{
+    obs::Counter &accepted;
+    obs::Counter &closed;
+    obs::Counter &desyncs;
+    obs::Counter &bytes_in;
+    obs::Counter &bytes_out;
+
+    static TransportCounters &get()
+    {
+        auto &reg = obs::MetricsRegistry::global();
+        static TransportCounters c{
+            reg.counter("livephase_uds_connections_accepted_total"),
+            reg.counter("livephase_uds_connections_closed_total"),
+            reg.counter("livephase_uds_desyncs_total"),
+            reg.counter("livephase_uds_bytes_received_total"),
+            reg.counter("livephase_uds_bytes_sent_total"),
+        };
+        return c;
+    }
+};
 
 /** Read exactly n bytes; false on EOF/error. */
 bool
@@ -182,23 +207,50 @@ UdsServer::acceptLoop()
 void
 UdsServer::serveConnection(int fd)
 {
+    TransportCounters &tc = TransportCounters::get();
+    tc.accepted.inc();
     Bytes frame;
     while (running.load()) {
         const RecvStatus status = recvFrame(fd, frame);
         if (status == RecvStatus::Eof)
             break;
+        tc.bytes_in.inc(frame.size());
         if (status == RecvStatus::Desync) {
             // Unparseable header: let the normal parse path count
             // it and build the BadFrame reply, then drop the
             // connection — the stream cannot be resynchronized.
+            // The trace event carries header fields and lengths
+            // ONLY — never payload/stream bytes, which may be
+            // client data (or garbage that contains it).
+            tc.desyncs.inc();
+            const auto header =
+                peekHeader(frame.data(), frame.size());
+            obs::FlightRecorder::global().record(
+                obs::Severity::Error, "uds.desync",
+                {{"magic",
+                  static_cast<uint64_t>(header ? header->magic : 0)},
+                 {"version",
+                  static_cast<uint64_t>(header ? header->version
+                                               : 0)},
+                 {"op",
+                  static_cast<uint64_t>(header ? header->op : 0)},
+                 {"payload_size",
+                  static_cast<uint64_t>(
+                      header ? header->payload_size : 0)}});
+            if (svc.config().dump_trace_on_error)
+                obs::FlightRecorder::global().autoDump(
+                    "socket-desync");
             const Bytes response = svc.handleFrame(frame);
+            tc.bytes_out.inc(response.size());
             sendAll(fd, response.data(), response.size());
             break;
         }
         const Bytes response = svc.submit(std::move(frame)).get();
+        tc.bytes_out.inc(response.size());
         if (!sendAll(fd, response.data(), response.size()))
             break;
     }
+    tc.closed.inc();
     ::close(fd);
 }
 

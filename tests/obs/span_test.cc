@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Span tests: histogram recording when enabled, strict no-op when
+ * disabled, nested span paths, and the runtime helpers backing them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+#include "obs/runtime.hh"
+#include "obs/span.hh"
+
+using namespace livephase;
+using namespace livephase::obs;
+
+namespace
+{
+
+class ScopedObsEnable
+{
+  public:
+    explicit ScopedObsEnable(bool on) : was(enabled())
+    {
+        setEnabled(on);
+    }
+    ~ScopedObsEnable() { setEnabled(was); }
+
+  private:
+    bool was;
+};
+
+TEST(Span, RecordsDurationWhenEnabled)
+{
+    ScopedObsEnable on(true);
+    Histogram &hist = spanHistogram("test.enabled_span");
+    const uint64_t before = hist.count();
+    {
+        OBS_SPAN("test.enabled_span");
+    }
+    EXPECT_EQ(hist.count(), before + 1);
+    // Same site on a later pass reuses the same histogram.
+    {
+        OBS_SPAN("test.enabled_span");
+    }
+    EXPECT_EQ(hist.count(), before + 2);
+    EXPECT_NE(MetricsRegistry::global().snapshot().find(
+                  "livephase_span_us{span=\"test.enabled_span\"}"),
+              nullptr);
+}
+
+TEST(Span, NoRecordingWhenDisabled)
+{
+    ScopedObsEnable off(false);
+    Histogram &hist = spanHistogram("test.disabled_span");
+    const uint64_t before = hist.count();
+    {
+        OBS_SPAN("test.disabled_span");
+    }
+    EXPECT_EQ(hist.count(), before);
+}
+
+TEST(Span, NestedPathsRenderOuterToInner)
+{
+    ScopedObsEnable on(true);
+    char path[128];
+    {
+        OBS_SPAN("alpha");
+        {
+            OBS_SPAN("beta");
+            currentSpanPath(path, sizeof(path));
+            EXPECT_STREQ(path, "alpha/beta");
+        }
+        currentSpanPath(path, sizeof(path));
+        EXPECT_STREQ(path, "alpha");
+    }
+    currentSpanPath(path, sizeof(path));
+    EXPECT_STREQ(path, "");
+}
+
+TEST(Span, StackDepthOverflowIsSafe)
+{
+    ScopedObsEnable on(true);
+    // Push past SPAN_STACK_DEPTH: the excess frames are dropped
+    // from the rendered path but pairing stays balanced.
+    {
+        OBS_SPAN("d1");
+        OBS_SPAN("d2");
+        OBS_SPAN("d3");
+        OBS_SPAN("d4");
+        OBS_SPAN("d5");
+        OBS_SPAN("d6");
+        OBS_SPAN("d7");
+        OBS_SPAN("d8");
+        OBS_SPAN("d9");
+        OBS_SPAN("d10");
+        char path[256];
+        currentSpanPath(path, sizeof(path));
+        EXPECT_EQ(std::string(path).rfind("d1/", 0), 0u)
+            << "path=" << path;
+    }
+    char path[16];
+    currentSpanPath(path, sizeof(path));
+    EXPECT_STREQ(path, "");
+}
+
+TEST(Runtime, ThreadIdsAreSmallAndStable)
+{
+    const uint32_t mine = threadId();
+    EXPECT_GT(mine, 0u);
+    EXPECT_EQ(threadId(), mine);
+}
+
+TEST(Runtime, MonotonicClockAdvances)
+{
+    const uint64_t a = monoNowNs();
+    const uint64_t b = monoNowNs();
+    EXPECT_GE(b, a);
+    EXPECT_GE(sinceStartNs(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Service-level observability integration: the query-metrics op
+ * end-to-end (in-process and over the UDS transport), automatic
+ * flight-recorder dumps on malformed frames, and payload redaction
+ * in the socket-desync dump.
+ */
+
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "obs/exposition.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/runtime.hh"
+#include "service/client.hh"
+#include "service/service.hh"
+#include "service/uds_transport.hh"
+
+using namespace livephase;
+using namespace livephase::service;
+
+namespace
+{
+
+class ScopedObsEnable
+{
+  public:
+    ScopedObsEnable() : was(obs::enabled())
+    {
+        obs::setEnabled(true);
+    }
+    ~ScopedObsEnable() { obs::setEnabled(was); }
+
+  private:
+    bool was;
+};
+
+/** Route auto-dumps into a captured stream for one test. */
+class ScopedDumpCapture
+{
+  public:
+    ScopedDumpCapture()
+    {
+        obs::FlightRecorder::global().resetDumpLatches();
+        obs::FlightRecorder::global().setDumpSink(&os);
+    }
+
+    ~ScopedDumpCapture()
+    {
+        obs::FlightRecorder::global().setDumpSink(nullptr);
+    }
+
+    std::string text() const { return os.str(); }
+
+  private:
+    std::ostringstream os;
+};
+
+std::vector<IntervalRecord>
+makeStream(size_t n)
+{
+    std::vector<IntervalRecord> records;
+    for (size_t i = 0; i < n; ++i)
+        records.push_back({100e6, (i % 16 < 8 ? 0.002 : 0.03) * 100e6,
+                           static_cast<uint64_t>(i)});
+    return records;
+}
+
+TEST(ObsIntegration, QueryMetricsInProcess)
+{
+    ScopedObsEnable on;
+    LivePhaseService svc;
+    InProcessTransport transport(svc);
+    ServiceClient client(transport);
+
+    const auto open = client.open(PredictorKind::Gpht);
+    ASSERT_EQ(open.status, Status::Ok);
+    ASSERT_EQ(client.submitBatchRetrying(open.session_id,
+                                         makeStream(128))
+                  .status,
+              Status::Ok);
+
+    const auto prom = client.queryMetrics(static_cast<uint16_t>(
+        obs::ExpositionFormat::Prometheus));
+    ASSERT_EQ(prom.status, Status::Ok);
+    EXPECT_NE(prom.text.find("# TYPE"), std::string::npos);
+    EXPECT_NE(prom.text.find(
+                  "livephase_service_sessions_opened_total 1"),
+              std::string::npos);
+    EXPECT_NE(prom.text.find("livephase_service_intervals_total "
+                             "128"),
+              std::string::npos);
+    EXPECT_NE(prom.text.find("livephase_core_intervals_classified"
+                             "_total"),
+              std::string::npos);
+    EXPECT_NE(prom.text.find(
+                  "livephase_span_us{span=\"core.classify\""),
+              std::string::npos);
+
+    const auto jsonl = client.queryMetrics(
+        static_cast<uint16_t>(obs::ExpositionFormat::Jsonl));
+    ASSERT_EQ(jsonl.status, Status::Ok);
+    EXPECT_NE(jsonl.text.find(
+                  "{\"name\": \"livephase_service_batches_total\""),
+              std::string::npos);
+
+    const auto trace = client.queryMetrics(
+        static_cast<uint16_t>(obs::ExpositionFormat::Trace));
+    ASSERT_EQ(trace.status, Status::Ok);
+    EXPECT_NE(trace.text.find("--- flight recorder:"),
+              std::string::npos);
+}
+
+TEST(ObsIntegration, QueryMetricsOverUds)
+{
+    ScopedObsEnable on;
+    LivePhaseService svc;
+    const std::string path =
+        "/tmp/livephased_obs_" +
+        std::to_string(static_cast<unsigned>(::getpid())) + ".sock";
+    UdsServer server(svc, path);
+    if (!server.start())
+        GTEST_SKIP() << "AF_UNIX unavailable in this environment";
+
+    UdsClientTransport transport(path);
+    ASSERT_TRUE(transport.connect());
+    ServiceClient client(transport);
+
+    const auto open = client.open(PredictorKind::LastValue);
+    ASSERT_EQ(open.status, Status::Ok);
+    ASSERT_EQ(client.submitBatchRetrying(open.session_id,
+                                         makeStream(64))
+                  .status,
+              Status::Ok);
+
+    const auto reply = client.queryMetrics(static_cast<uint16_t>(
+        obs::ExpositionFormat::Prometheus));
+    ASSERT_EQ(reply.status, Status::Ok);
+    EXPECT_NE(reply.text.find("livephase_service_intervals_total"),
+              std::string::npos);
+    EXPECT_NE(reply.text.find("livephase_uds_connections_accepted"
+                              "_total"),
+              std::string::npos);
+
+    server.stop();
+}
+
+TEST(ObsIntegration, MalformedFrameAutoDumpCarriesSpanContext)
+{
+    ScopedObsEnable on;
+    ScopedDumpCapture capture;
+    LivePhaseService svc;
+
+    Bytes frame = encodeStatsRequest();
+    frame[0] ^= 0xff; // corrupt magic
+    ParsedResponse resp;
+    ASSERT_TRUE(parseResponse(svc.handleFrame(frame), resp));
+    EXPECT_EQ(resp.status, Status::BadFrame);
+
+    const std::string dump = capture.text();
+    EXPECT_NE(dump.find("reason=malformed-frame"),
+              std::string::npos);
+    EXPECT_NE(dump.find("frame.malformed"), std::string::npos);
+    // The offending op's span context: the event was recorded
+    // inside the service.handle span.
+    EXPECT_NE(dump.find("span=service.handle"), std::string::npos);
+    EXPECT_NE(dump.find("payload_size="), std::string::npos);
+}
+
+TEST(ObsIntegration, MalformedFrameDumpCanBeDisabled)
+{
+    ScopedObsEnable on;
+    ScopedDumpCapture capture;
+    LivePhaseService::Config cfg;
+    cfg.dump_trace_on_error = false;
+    LivePhaseService svc(cfg);
+
+    Bytes frame = encodeStatsRequest();
+    frame[0] ^= 0xff;
+    ParsedResponse resp;
+    ASSERT_TRUE(parseResponse(svc.handleFrame(frame), resp));
+    EXPECT_EQ(resp.status, Status::BadFrame);
+    EXPECT_EQ(capture.text(), "");
+}
+
+TEST(ObsIntegration, DesyncDumpRedactsPayloadBytes)
+{
+    ScopedObsEnable on;
+    ScopedDumpCapture capture;
+    LivePhaseService svc;
+    const std::string path =
+        "/tmp/livephased_desync_" +
+        std::to_string(static_cast<unsigned>(::getpid())) + ".sock";
+    UdsServer server(svc, path);
+    if (!server.start())
+        GTEST_SKIP() << "AF_UNIX unavailable in this environment";
+
+    UdsClientTransport transport(path);
+    ASSERT_TRUE(transport.connect());
+
+    // Garbage that is NOT a frame, containing a marker that must
+    // never surface in any dump.
+    const std::string garbage =
+        "XSECRETPAYLOADXSECRETPAYLOADXSECRETPAYLOADX";
+    Bytes raw(garbage.begin(), garbage.end());
+    const Bytes response = transport.roundTrip(raw);
+    ParsedResponse resp;
+    ASSERT_TRUE(parseResponse(response, resp));
+    EXPECT_EQ(resp.status, Status::BadFrame);
+
+    server.stop();
+
+    const std::string dump = capture.text();
+    EXPECT_NE(dump.find("reason=socket-desync"), std::string::npos);
+    EXPECT_NE(dump.find("uds.desync"), std::string::npos);
+    // Lengths and opcodes only — never the bytes themselves.
+    EXPECT_EQ(dump.find("SECRETPAYLOAD"), std::string::npos);
+}
+
+} // namespace
