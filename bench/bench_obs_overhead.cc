@@ -17,9 +17,13 @@
  *   --trials T    interleaved A/B trials      (default 5)
  *   --check       CI mode: exit 1 when the enabled-overhead
  *                 exceeds 5%
+ *   --json PATH   also write a machine-readable result file
+ *                 (schema in scripts/bench_compare.py); CI
+ *                 compares it against bench/baselines/
  */
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -138,6 +142,37 @@ main(int argc, char **argv)
 
     std::cout << "\nenabled-instrumentation overhead: "
               << formatPercent(overhead) << " (budget 5%)\n";
+
+    if (args.has("json")) {
+        const std::string path = args.getString("json", "");
+        if (path.empty())
+            fatal("--json requires a path");
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot write %s", path.c_str());
+        // Only the overhead fraction is gated: it is a ratio of two
+        // runs on the same machine, so it transfers across hosts in
+        // a way the absolute rates never will.
+        out << "{\n"
+            << "  \"schema\": 1,\n"
+            << "  \"bench\": \"bench_obs_overhead\",\n"
+            << "  \"config\": {\"batches\": " << batches
+            << ", \"batch\": " << batch << ", \"trials\": " << trials
+            << "},\n"
+            << "  \"metrics\": {\n"
+            << "    \"intervals_per_sec_disabled\": "
+            << total / best_disabled << ",\n"
+            << "    \"intervals_per_sec_enabled\": "
+            << total / best_enabled << ",\n"
+            << "    \"overhead_fraction\": " << overhead << "\n"
+            << "  },\n"
+            << "  \"directions\": {\"overhead_fraction\": "
+            << "\"lower\"},\n"
+            << "  \"compare\": [\"overhead_fraction\"]\n"
+            << "}\n";
+        std::cout << "wrote " << path << "\n";
+    }
+
     if (check && overhead > 0.05) {
         std::cerr << "FAIL: obs overhead "
                   << formatPercent(overhead)

@@ -20,9 +20,13 @@
  *   --intervals N   intervals per session     (default 2048)
  *   --check         CI mode: exit 1 unless rate(K=256) >= 5x
  *                   rate(K=1)
+ *   --json PATH     also write a machine-readable result file
+ *                   (schema in scripts/bench_compare.py); CI
+ *                   compares it against bench/baselines/
  */
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -167,6 +171,41 @@ main(int argc, char **argv)
         results.front().intervals_per_sec;
     std::cout << "\nK=256 vs K=1 speedup: "
               << formatDouble(speedup, 2) << "x\n";
+
+    if (args.has("json")) {
+        const std::string path = args.getString("json", "");
+        if (path.empty())
+            fatal("--json requires a path");
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot write %s", path.c_str());
+        // Scale-free metrics (ratios) go under "compare": they are
+        // the only numbers stable enough to gate across machines.
+        // Absolute rates are recorded for humans reading the file.
+        out << "{\n"
+            << "  \"schema\": 1,\n"
+            << "  \"bench\": \"bench_service_throughput\",\n"
+            << "  \"config\": {\"threads\": " << threads
+            << ", \"sessions\": " << sessions
+            << ", \"intervals\": " << intervals << "},\n"
+            << "  \"metrics\": {\n"
+            << "    \"intervals_per_sec_k1\": "
+            << results[0].intervals_per_sec << ",\n"
+            << "    \"intervals_per_sec_k16\": "
+            << results[1].intervals_per_sec << ",\n"
+            << "    \"intervals_per_sec_k256\": "
+            << results[2].intervals_per_sec << ",\n"
+            << "    \"submit_p99_us_k256\": "
+            << results[2].submit_latency.p99_us << ",\n"
+            << "    \"speedup_k256_vs_k1\": " << speedup << "\n"
+            << "  },\n"
+            << "  \"directions\": {\"speedup_k256_vs_k1\": "
+            << "\"higher\"},\n"
+            << "  \"compare\": [\"speedup_k256_vs_k1\"]\n"
+            << "}\n";
+        std::cout << "wrote " << path << "\n";
+    }
+
     if (check && speedup < 5.0) {
         std::cerr << "FAIL: batching speedup " << speedup
                   << "x below the 5x bar\n";

@@ -16,9 +16,13 @@
  *   manage <trace.csv> [--governor reactive|gpht|bounded] [--json]
  *       managed-vs-baseline power/performance
  *   serve <trace.csv> [--predictor lastvalue|gpht|setassoc|varwindow]
- *         [--batch K] [--workers N] [--json]
+ *         [--batch K] [--workers N] [--json] [--deadline-ms D]
+ *         [--faults SPEC] [--fault-seed S]
  *       replay the trace through the livephased service and report
- *       client-side accuracy plus the service's own counters
+ *       client-side accuracy plus the service's own counters. The
+ *       client runs the resilient retry/deadline/breaker loop;
+ *       --faults arms failpoints (see src/fault/failpoint.hh for
+ *       the spec grammar), as does $LIVEPHASE_FAULTS.
  *   stats [trace.csv] [--format prometheus|jsonl|table]
  *         [--bench NAME] [--predictor ...] [--batch K]
  *       enable the obs subsystem, run the trace through a managed
@@ -33,6 +37,16 @@
  *
  * `--json` switches the stats output of info/predict/manage/serve
  * to machine-readable JSON on stdout.
+ *
+ * Exit codes (stable; scripts and CI parse them):
+ *   0  success
+ *   1  protocol or configuration error
+ *   2  usage error
+ *   3  backpressure: the service kept answering RetryAfter until
+ *      the client's deadline (retry later; the daemon is healthy)
+ *   4  unavailable: transport loss, request deadline, or an open
+ *      client circuit breaker
+ *   5  the service is shutting down
  */
 
 #include <algorithm>
@@ -45,6 +59,7 @@
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/table_writer.hh"
+#include "fault/failpoint.hh"
 #include "core/gpht_predictor.hh"
 #include "core/last_value_predictor.hh"
 #include "core/system.hh"
@@ -74,7 +89,8 @@ usage(const std::string &prog)
            " [--bound 0.05] [--json]\n"
         << "  serve <trace.csv>"
            " [--predictor lastvalue|gpht|setassoc|varwindow]"
-           " [--batch K] [--workers N] [--json]\n"
+           " [--batch K] [--workers N] [--json] [--deadline-ms D]"
+           " [--faults SPEC] [--fault-seed S]\n"
         << "  stats [trace.csv] [--format prometheus|jsonl|table]"
            " [--bench NAME] [--predictor ...] [--batch K]\n"
         << "  trace [trace.csv] [--bench NAME]\n"
@@ -241,6 +257,51 @@ cmdManage(const CliArgs &args)
     return 0;
 }
 
+/**
+ * Map a failed client operation to the documented exit code (see
+ * the file header): client-side failures (deadline, transport
+ * loss, open breaker) dominate, then the wire status.
+ */
+int
+exitCodeFor(service::Status status, service::ClientError error)
+{
+    using service::ClientError;
+    using service::Status;
+    if (error == ClientError::DeadlineExceeded &&
+        status == Status::RetryAfter)
+        return 3; // backpressure outlasted the deadline
+    if (error != ClientError::None)
+        return 4; // unavailable
+    switch (status) {
+      case Status::RetryAfter:
+        return 3;
+      case Status::ShuttingDown:
+        return 5;
+      default:
+        return 1;
+    }
+}
+
+/** Report a failed client operation on stderr (machine-readable on
+ *  --json runs) and pick the exit code. */
+int
+clientFailure(const char *op, const service::ServiceClient &client,
+              service::Status status, bool json)
+{
+    const auto error = client.lastCall().error;
+    if (json)
+        std::cerr << "{\"error\": \"" << op << "\", \"status\": \""
+                  << service::statusName(status)
+                  << "\", \"client_error\": \""
+                  << service::clientErrorName(error) << "\"}\n";
+    else
+        std::cerr << "livephase: " << op
+                  << " failed: " << service::statusName(status)
+                  << " (client: "
+                  << service::clientErrorName(error) << ")\n";
+    return exitCodeFor(status, error);
+}
+
 int
 cmdServe(const CliArgs &args)
 {
@@ -260,6 +321,17 @@ cmdServe(const CliArgs &args)
         args.getInt("batch", 64));
     if (batch == 0)
         fatal("--batch must be > 0");
+    const bool json = args.getBool("json");
+
+    if (args.has("fault-seed"))
+        fault::FailpointRegistry::global().setMasterSeed(
+            static_cast<uint64_t>(args.getInt("fault-seed", 1)));
+    if (args.has("faults")) {
+        std::string error;
+        if (!fault::FailpointRegistry::global().armFromConfig(
+                args.getString("faults", ""), &error))
+            fatal("--faults: %s", error.c_str());
+    }
 
     LivePhaseService::Config cfg;
     cfg.workers = static_cast<size_t>(args.getInt("workers", 2));
@@ -270,11 +342,14 @@ cmdServe(const CliArgs &args)
     cfg.max_batch = std::max(cfg.max_batch, batch);
     LivePhaseService svc(cfg);
     InProcessTransport transport(svc);
-    ServiceClient client(transport);
+    RetryPolicy policy;
+    policy.deadline_us = static_cast<uint64_t>(
+        args.getInt("deadline-ms", 2000)) * 1000;
+    ServiceClient client(transport, policy);
 
     const auto open = client.open(*kind);
     if (open.status != Status::Ok)
-        fatal("open failed: %s", statusName(open.status));
+        return clientFailure("open", client, open.status, json);
 
     // Replay the trace as batched interval records; tsc advances one
     // tick per sample (the service only echoes it back).
@@ -289,8 +364,8 @@ cmdServe(const CliArgs &args)
             const auto reply = client.submitBatchRetrying(
                 open.session_id, records);
             if (reply.status != Status::Ok)
-                fatal("submit failed: %s",
-                      statusName(reply.status));
+                return clientFailure("submit", client, reply.status,
+                                     json);
             results.insert(results.end(), reply.results.begin(),
                            reply.results.end());
             records.clear();
@@ -312,11 +387,11 @@ cmdServe(const CliArgs &args)
 
     const auto stats_reply = client.queryStats();
     if (stats_reply.status != Status::Ok)
-        fatal("query-stats failed: %s",
-              statusName(stats_reply.status));
+        return clientFailure("query-stats", client,
+                             stats_reply.status, json);
     client.close(open.session_id);
 
-    if (args.getBool("json")) {
+    if (json) {
         std::ostringstream stats_os;
         stats_reply.stats.printJson(stats_os);
         std::string stats_json = stats_os.str();
@@ -484,6 +559,9 @@ int
 main(int argc, char **argv)
 {
     const CliArgs args(argc, argv);
+    // $LIVEPHASE_FAULTS / $LIVEPHASE_FAULT_SEED arm failpoints for
+    // any subcommand (chaos-in-CI runs the normal CLI paths).
+    fault::FailpointRegistry::global().armFromEnv();
     if (args.positional().empty())
         return usage(args.program());
     const std::string &command = args.positional()[0];

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Compare a bench --json result against its committed baseline.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.20]
+                     [--abs-slack 0.02]
+
+Result-file schema (written by bench_service_throughput --json and
+bench_obs_overhead --json):
+
+    {
+      "schema": 1,
+      "bench": "bench_obs_overhead",
+      "config": {...},                  # knobs the run used
+      "metrics": {"overhead_fraction": 0.012, ...},
+      "directions": {"overhead_fraction": "lower"},
+      "compare": ["overhead_fraction"]  # gated metric names
+    }
+
+Only the metrics listed under "compare" are gated — by design these
+are scale-free ratios (batching speedup, instrumentation overhead
+fraction) that transfer across machines; the absolute rates in
+"metrics" are informational. A metric regresses when it moves in its
+bad direction ("directions": higher-is-better or lower-is-better) by
+more than max(tolerance * |baseline|, abs_slack). The absolute slack
+keeps near-zero fractions (e.g. 1% obs overhead) from tripping the
+relative gate on noise.
+
+Exit status: 0 = within tolerance, 1 = regression, 2 = usage or
+malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"bench_compare: cannot read {path}: {exc}")
+    for key in ("schema", "bench", "metrics", "compare"):
+        if key not in doc:
+            sys.exit(f"bench_compare: {path} missing '{key}'")
+    if doc["schema"] != 1:
+        sys.exit(f"bench_compare: {path}: unsupported schema "
+                 f"{doc['schema']}")
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate bench results against a baseline.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="relative regression budget "
+                             "(default 0.20 = 20%%)")
+    parser.add_argument("--abs-slack", type=float, default=0.02,
+                        help="absolute slack floor for near-zero "
+                             "metrics (default 0.02)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    if base["bench"] != cur["bench"]:
+        sys.exit(f"bench_compare: comparing {base['bench']} "
+                 f"baseline against {cur['bench']} result")
+
+    directions = base.get("directions", {})
+    failures = []
+    for name in base["compare"]:
+        if name not in base["metrics"]:
+            sys.exit(f"bench_compare: baseline lacks metric {name}")
+        if name not in cur["metrics"]:
+            failures.append(f"{name}: missing from current result")
+            continue
+        b = float(base["metrics"][name])
+        c = float(cur["metrics"][name])
+        slack = max(args.tolerance * abs(b), args.abs_slack)
+        direction = directions.get(name, "higher")
+        if direction not in ("higher", "lower"):
+            sys.exit(f"bench_compare: bad direction '{direction}' "
+                     f"for {name}")
+        # "higher" means higher-is-better: regression = drop.
+        delta = b - c if direction == "higher" else c - b
+        verdict = "REGRESSION" if delta > slack else "ok"
+        print(f"{name}: baseline={b:.4f} current={c:.4f} "
+              f"(direction={direction}, slack={slack:.4f}) "
+              f"{verdict}")
+        if delta > slack:
+            failures.append(
+                f"{name}: {b:.4f} -> {c:.4f} exceeds slack "
+                f"{slack:.4f}")
+
+    if failures:
+        print(f"bench_compare: {len(failures)} regression(s) in "
+              f"{cur['bench']}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"bench_compare: {cur['bench']} within tolerance "
+          f"({len(base['compare'])} gated metric(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,21 +3,33 @@
 # test suite (which includes the bench_service_throughput_ci and
 # bench_obs_overhead_ci gates).
 #
-# Usage: scripts/verify.sh [--tsan] [build-dir]
+# Usage: scripts/verify.sh [--tsan] [--asan] [build-dir]
 #
 # --tsan additionally builds a ThreadSanitizer configuration and
-# runs the concurrency-sensitive suites (service + obs) under it.
+# runs the concurrency-sensitive suites (service + obs + chaos)
+# under it.
+# --asan additionally builds an AddressSanitizer+UBSan
+# configuration and runs the same suites plus the fault tests.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 TSAN=0
-if [ "${1:-}" = "--tsan" ]; then
-    TSAN=1
-    shift
-fi
+ASAN=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --tsan) TSAN=1; shift ;;
+      --asan) ASAN=1; shift ;;
+      *) break ;;
+    esac
+done
 BUILD_DIR="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+# The suites whose bugs are concurrency- or memory-shaped: service,
+# obs and the chaos/fault-injection tests.
+SAN_TARGETS="test_service test_obs test_fault test_chaos"
+SAN_FILTER='Obs|FlightRecorder|Metrics|Histogram|Span|Runtime|Service|Session|Protocol|Exposition|Fault|Chaos'
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
@@ -28,14 +40,26 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 # shows up in the verification log.
 "$BUILD_DIR"/bench/bench_obs_overhead --check
 
+if [ "$ASAN" = 1 ]; then
+    ASAN_DIR="${BUILD_DIR}-asan"
+    cmake -B "$ASAN_DIR" -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+    # shellcheck disable=SC2086
+    cmake --build "$ASAN_DIR" -j "$JOBS" --target $SAN_TARGETS
+    (cd "$ASAN_DIR" && ctest --output-on-failure -j "$JOBS" \
+        -R "$SAN_FILTER")
+fi
+
 if [ "$TSAN" = 1 ]; then
     TSAN_DIR="${BUILD_DIR}-tsan"
     cmake -B "$TSAN_DIR" -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
         -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-    cmake --build "$TSAN_DIR" -j "$JOBS" \
-        --target test_service test_obs
+    # shellcheck disable=SC2086
+    cmake --build "$TSAN_DIR" -j "$JOBS" --target $SAN_TARGETS
     (cd "$TSAN_DIR" && ctest --output-on-failure -j "$JOBS" \
-        -R 'Obs|FlightRecorder|Metrics|Histogram|Span|Runtime|Service|Session|Protocol|Exposition')
+        -R "$SAN_FILTER")
 fi

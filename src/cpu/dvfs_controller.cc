@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "fault/failpoint.hh"
 
 namespace livephase
 {
@@ -45,6 +46,13 @@ DvfsController::requestIndex(size_t index)
         panic("DvfsController: operating point index %zu out of range "
               "(%zu points)", index, tbl.size());
     if (index == current_index)
+        return;
+    // Failpoint "dvfs.write": Error drops the PERF_CTL write (the
+    // core stays at its old operating point — a stalled SpeedStep
+    // write path); Delay stalls the requester inside evaluate(),
+    // on top of the modelled PLL-relock cost below.
+    if (auto f = FAULT_POINT("dvfs.write");
+        f.action == fault::Action::Error)
         return;
     current_index = index;
     ++transitions;

@@ -1,0 +1,353 @@
+#include "fault/failpoint.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/metrics.hh"
+
+namespace livephase::fault
+{
+
+namespace
+{
+
+/** FNV-1a: a stable per-name stream index, so the decision stream
+ *  of a point depends on its name and the master seed only — never
+ *  on registration order. */
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+const char *
+actionName(Action action)
+{
+    switch (action) {
+      case Action::None:
+        return "none";
+      case Action::Error:
+        return "error";
+      case Action::Delay:
+        return "delay";
+      case Action::PartialIo:
+        return "partial-io";
+      case Action::CorruptFrame:
+        return "corrupt-frame";
+      case Action::Panic:
+        return "panic";
+    }
+    return "unknown";
+}
+
+std::optional<Action>
+actionFromName(const std::string &name)
+{
+    if (name == "error")
+        return Action::Error;
+    if (name == "delay")
+        return Action::Delay;
+    if (name == "partial-io")
+        return Action::PartialIo;
+    if (name == "corrupt-frame")
+        return Action::CorruptFrame;
+    if (name == "panic")
+        return Action::Panic;
+    return std::nullopt;
+}
+
+namespace detail
+{
+std::atomic<uint32_t> armed_count{0};
+
+Outcome
+evaluateNamed(const char *name)
+{
+    return FailpointRegistry::global().point(name).evaluate();
+}
+} // namespace detail
+
+Failpoint::Failpoint(std::string name)
+    : point_name(std::move(name)),
+      trigger_counter(obs::MetricsRegistry::global().counter(
+          "livephase_fault_triggers_total{point=\"" + point_name +
+          "\"}"))
+{
+}
+
+void
+Failpoint::arm(const FaultSpec &spec, uint64_t seed)
+{
+    std::lock_guard lock(mu);
+    fault_spec = spec;
+    rng = Rng(seed).split(fnv1a(point_name));
+    hit_count = 0;
+    trigger_count = 0;
+    trigger_hits.clear();
+    if (!is_armed.exchange(true, std::memory_order_relaxed))
+        detail::armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Failpoint::disarm()
+{
+    std::lock_guard lock(mu);
+    if (is_armed.exchange(false, std::memory_order_relaxed))
+        detail::armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+Outcome
+Failpoint::evaluate()
+{
+    Outcome outcome;
+    uint64_t hit = 0;
+    {
+        std::lock_guard lock(mu);
+        if (!is_armed.load(std::memory_order_relaxed))
+            return outcome;
+        hit = hit_count++;
+        if (hit < fault_spec.skip)
+            return outcome;
+        if (fault_spec.limit != 0 &&
+            trigger_count >= fault_spec.limit)
+            return outcome;
+        // Exactly one draw per in-window evaluation: the decision
+        // for hit N is a pure function of (seed, N), which is what
+        // makes two same-seed runs replay the identical schedule.
+        if (!rng.chance(fault_spec.probability))
+            return outcome;
+        ++trigger_count;
+        if (trigger_hits.size() < TRIGGER_LOG_CAP)
+            trigger_hits.push_back(hit);
+        outcome.action = fault_spec.action;
+        outcome.delay_us = fault_spec.delay_us;
+    }
+
+    trigger_counter.inc();
+    obs::FlightRecorder::global().record(
+        obs::Severity::Warn, "fault.trigger",
+        {{"point", point_name.c_str()},
+         {"action", actionName(outcome.action)},
+         {"hit", hit}});
+
+    if (outcome.action == Action::Delay && outcome.delay_us > 0)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(outcome.delay_us));
+    if (outcome.action == Action::Panic)
+        panic("failpoint '%s': injected panic (hit %llu)",
+              point_name.c_str(),
+              static_cast<unsigned long long>(hit));
+    return outcome;
+}
+
+uint64_t
+Failpoint::hits() const
+{
+    std::lock_guard lock(mu);
+    return hit_count;
+}
+
+uint64_t
+Failpoint::triggers() const
+{
+    std::lock_guard lock(mu);
+    return trigger_count;
+}
+
+std::vector<uint64_t>
+Failpoint::triggerLog() const
+{
+    std::lock_guard lock(mu);
+    return trigger_hits;
+}
+
+FaultSpec
+Failpoint::spec() const
+{
+    std::lock_guard lock(mu);
+    return fault_spec;
+}
+
+FailpointRegistry &
+FailpointRegistry::global()
+{
+    static FailpointRegistry *registry = new FailpointRegistry();
+    return *registry;
+}
+
+Failpoint &
+FailpointRegistry::point(const std::string &name)
+{
+    std::lock_guard lock(mu);
+    for (const auto &p : points) {
+        if (p->name() == name)
+            return *p;
+    }
+    points.push_back(std::make_unique<Failpoint>(name));
+    return *points.back();
+}
+
+void
+FailpointRegistry::arm(const std::string &name, const FaultSpec &spec)
+{
+    point(name).arm(spec, masterSeed());
+}
+
+void
+FailpointRegistry::disarm(const std::string &name)
+{
+    std::lock_guard lock(mu);
+    for (const auto &p : points) {
+        if (p->name() == name) {
+            p->disarm();
+            return;
+        }
+    }
+}
+
+void
+FailpointRegistry::disarmAll()
+{
+    std::lock_guard lock(mu);
+    for (const auto &p : points)
+        p->disarm();
+}
+
+void
+FailpointRegistry::setMasterSeed(uint64_t seed)
+{
+    std::lock_guard lock(mu);
+    master_seed = seed;
+}
+
+uint64_t
+FailpointRegistry::masterSeed() const
+{
+    std::lock_guard lock(mu);
+    return master_seed;
+}
+
+bool
+FailpointRegistry::armFromConfig(const std::string &config,
+                                 std::string *error)
+{
+    auto fail = [&](const std::string &msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+
+    size_t at = 0;
+    while (at < config.size()) {
+        const size_t end = std::min(config.find(';', at),
+                                    config.size());
+        const std::string entry = config.substr(at, end - at);
+        at = end + 1;
+        if (entry.empty())
+            continue;
+
+        const size_t eq = entry.find('=');
+        if (eq == std::string::npos || eq == 0)
+            return fail("expected point=action in '" + entry + "'");
+        const std::string name = entry.substr(0, eq);
+        std::string rest = entry.substr(eq + 1);
+        std::string opts;
+        const size_t colon = rest.find(':');
+        if (colon != std::string::npos) {
+            opts = rest.substr(colon + 1);
+            rest.resize(colon);
+        }
+        const auto action = actionFromName(rest);
+        if (!action)
+            return fail("unknown action '" + rest + "' for '" +
+                        name + "'");
+
+        FaultSpec spec;
+        spec.action = *action;
+        size_t oat = 0;
+        while (oat < opts.size()) {
+            const size_t oend = std::min(opts.find(',', oat),
+                                         opts.size());
+            const std::string opt = opts.substr(oat, oend - oat);
+            oat = oend + 1;
+            if (opt.empty())
+                continue;
+            const size_t oeq = opt.find('=');
+            if (oeq == std::string::npos)
+                return fail("expected key=value in '" + opt + "'");
+            const std::string key = opt.substr(0, oeq);
+            const std::string value = opt.substr(oeq + 1);
+            char *parse_end = nullptr;
+            const double num =
+                std::strtod(value.c_str(), &parse_end);
+            if (parse_end == value.c_str() || *parse_end != '\0' ||
+                num < 0.0)
+                return fail("bad value '" + value + "' for '" + key +
+                            "'");
+            if (key == "p") {
+                if (num > 1.0)
+                    return fail("probability > 1 in '" + opt + "'");
+                spec.probability = num;
+            } else if (key == "us") {
+                spec.delay_us = static_cast<uint64_t>(num);
+            } else if (key == "skip") {
+                spec.skip = static_cast<uint64_t>(num);
+            } else if (key == "limit") {
+                spec.limit = static_cast<uint64_t>(num);
+            } else {
+                return fail("unknown key '" + key + "' in '" + entry +
+                            "'");
+            }
+        }
+        arm(name, spec);
+    }
+    return true;
+}
+
+bool
+FailpointRegistry::armFromEnv()
+{
+    const char *seed_env = std::getenv("LIVEPHASE_FAULT_SEED");
+    if (seed_env && *seed_env)
+        setMasterSeed(std::strtoull(seed_env, nullptr, 10));
+    const char *spec_env = std::getenv("LIVEPHASE_FAULTS");
+    if (!spec_env || !*spec_env)
+        return true;
+    std::string error;
+    if (!armFromConfig(spec_env, &error)) {
+        warn("LIVEPHASE_FAULTS: %s", error.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::vector<FailpointInfo>
+FailpointRegistry::snapshot() const
+{
+    std::vector<FailpointInfo> infos;
+    {
+        std::lock_guard lock(mu);
+        infos.reserve(points.size());
+        for (const auto &p : points)
+            infos.push_back({p->name(), p->armed(), p->spec(),
+                             p->hits(), p->triggers()});
+    }
+    std::sort(infos.begin(), infos.end(),
+              [](const FailpointInfo &a, const FailpointInfo &b) {
+                  return a.name < b.name;
+              });
+    return infos;
+}
+
+} // namespace livephase::fault

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Deterministic fault injection: named failpoints on the paths that
+ * face the real world.
+ *
+ * The paper's deployment target is a *live* machine, where PMI
+ * delivery jitters, counters glitch, and the socket between a
+ * monitored process and livephased can stall or drop mid-frame. A
+ * Failpoint is a named hook compiled into such a path; armed, it
+ * injects one of a small set of actions, and disarmed it costs a
+ * single relaxed atomic load and a predictable branch — the same
+ * discipline obs/runtime.hh applies to instrumentation.
+ *
+ * Actions (what the *call site* does with them is site-specific and
+ * documented in DESIGN.md §12's failpoint catalog):
+ *
+ *  - Error:        fail the operation (EOF, dropped transition,
+ *                  missed PMI, forced RetryAfter, ...).
+ *  - Delay:        stall the caller for `delay_us` microseconds
+ *                  (performed inside evaluate(), so call sites that
+ *                  only branch on Error may ignore it).
+ *  - PartialIo:    complete only part of the I/O, then fail —
+ *                  a short read/write, a disconnect mid-frame.
+ *  - CorruptFrame: flip bytes in the data the call site is handling
+ *                  (a desynchronized stream, a glitched counter).
+ *  - Panic:        call panic() at the failpoint (performed inside
+ *                  evaluate(); exercises crash/dump paths).
+ *
+ * Determinism: every failpoint owns a private Rng stream split from
+ * the registry's master seed by a stable hash of its name, and
+ * draws exactly one decision per armed evaluation. The decision for
+ * hit N is therefore a pure function of (name, spec, seed, N): two
+ * runs with the same seed produce bit-identical fault schedules,
+ * and the trigger log (the hit indices that fired) can be compared
+ * across runs even when thread interleaving differs.
+ *
+ * Arming is programmatic (tests) or via configuration:
+ *
+ *     LIVEPHASE_FAULTS="uds.read=error:p=0.05;dvfs.write=delay:us=500,limit=3"
+ *     LIVEPHASE_FAULT_SEED=42
+ *
+ * parsed by armFromConfig()/armFromEnv(). Every trigger increments
+ * a per-point obs counter and appends a flight-recorder event, so a
+ * chaos run's telemetry shows exactly which faults fired where.
+ */
+
+#ifndef LIVEPHASE_FAULT_FAILPOINT_HH
+#define LIVEPHASE_FAULT_FAILPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace livephase::obs
+{
+class Counter;
+} // namespace livephase::obs
+
+namespace livephase::fault
+{
+
+/** What an armed failpoint injects when it fires. */
+enum class Action : uint8_t
+{
+    None = 0,     ///< pass through (failpoint did not fire)
+    Error,        ///< fail the guarded operation
+    Delay,        ///< stall the caller for delay_us
+    PartialIo,    ///< complete part of the I/O, then fail
+    CorruptFrame, ///< corrupt the bytes in flight
+    Panic,        ///< panic() at the failpoint
+};
+
+/** "none", "error", "delay", "partial-io", "corrupt-frame",
+ *  "panic". */
+const char *actionName(Action action);
+
+/** Parse an action name; nullopt when unrecognized. */
+std::optional<Action> actionFromName(const std::string &name);
+
+/** The decision one evaluation returns. Converts to true when the
+ *  failpoint fired (Delay/Panic have already been performed by
+ *  evaluate(); the caller implements the rest). */
+struct Outcome
+{
+    Action action = Action::None;
+    uint64_t delay_us = 0; ///< Delay only
+
+    explicit operator bool() const { return action != Action::None; }
+};
+
+/** How an armed failpoint behaves. */
+struct FaultSpec
+{
+    Action action = Action::Error;
+
+    /** Per-evaluation trigger probability in [0, 1]. */
+    double probability = 1.0;
+
+    /** Stall length for Action::Delay, microseconds. */
+    uint64_t delay_us = 1000;
+
+    /** Armed evaluations to pass through before the window opens
+     *  (hit-count window start). */
+    uint64_t skip = 0;
+
+    /** Maximum triggers; 0 = unlimited (window never closes). */
+    uint64_t limit = 0;
+};
+
+/**
+ * One named injection site. Log-structured for replay: hits() counts
+ * armed evaluations, triggerLog() the hit indices that fired.
+ */
+class Failpoint
+{
+  public:
+    explicit Failpoint(std::string point_name);
+
+    Failpoint(const Failpoint &) = delete;
+    Failpoint &operator=(const Failpoint &) = delete;
+
+    const std::string &name() const { return point_name; }
+
+    /**
+     * Arm with `spec`; `seed` feeds this point's private decision
+     * stream. Resets hit/trigger accounting so a re-armed point
+     * replays from hit 0.
+     */
+    void arm(const FaultSpec &spec, uint64_t seed);
+
+    /** Disarm; accounting is preserved until the next arm(). */
+    void disarm();
+
+    /** One relaxed load — the per-point fast-path check. */
+    bool armed() const
+    {
+        return is_armed.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Draw this hit's decision (and perform Delay/Panic actions).
+     * Disarmed points return None without counting a hit.
+     */
+    Outcome evaluate();
+
+    /** Armed evaluations since the last arm(). */
+    uint64_t hits() const;
+
+    /** Evaluations that fired since the last arm(). */
+    uint64_t triggers() const;
+
+    /** Hit indices that fired, in order (capped at TRIGGER_LOG_CAP
+     *  entries; triggers() keeps exact count past the cap). */
+    std::vector<uint64_t> triggerLog() const;
+
+    /** Spec currently (or last) armed. */
+    FaultSpec spec() const;
+
+    /** Retained trigger-log entries, bounding replay-log memory. */
+    static constexpr size_t TRIGGER_LOG_CAP = 65536;
+
+  private:
+    std::string point_name;
+    obs::Counter &trigger_counter;
+
+    std::atomic<bool> is_armed{false};
+
+    mutable std::mutex mu; ///< armed-path state below
+    FaultSpec fault_spec;
+    Rng rng{0};
+    uint64_t hit_count = 0;
+    uint64_t trigger_count = 0;
+    std::vector<uint64_t> trigger_hits;
+};
+
+/** One row of FailpointRegistry::snapshot(). */
+struct FailpointInfo
+{
+    std::string name;
+    bool armed = false;
+    FaultSpec spec{};
+    uint64_t hits = 0;
+    uint64_t triggers = 0;
+};
+
+/**
+ * Process-wide name → Failpoint map, plus the master seed every
+ * armed point's private stream is split from.
+ */
+class FailpointRegistry
+{
+  public:
+    static FailpointRegistry &global();
+
+    /** Find-or-create (references stay valid forever, like
+     *  obs::MetricsRegistry). */
+    Failpoint &point(const std::string &name);
+
+    /** Arm `name` with `spec`, seeding from the master seed and a
+     *  stable hash of the name. */
+    void arm(const std::string &name, const FaultSpec &spec);
+
+    /** Disarm one point (no-op when it does not exist). */
+    void disarm(const std::string &name);
+
+    /** Disarm every point. */
+    void disarmAll();
+
+    /** Master seed for subsequently armed points (default 1). */
+    void setMasterSeed(uint64_t seed);
+    uint64_t masterSeed() const;
+
+    /**
+     * Parse and arm a config string:
+     *
+     *     point=action[:key=value[,key=value...]][;point=...]
+     *
+     * keys: p (probability), us (delay_us), skip, limit. Returns
+     * false (arming nothing further, `error` filled when non-null)
+     * on malformed input.
+     */
+    bool armFromConfig(const std::string &config,
+                       std::string *error = nullptr);
+
+    /** Arm from $LIVEPHASE_FAULTS / $LIVEPHASE_FAULT_SEED; false
+     *  (with a warn()) when the spec is malformed. No-op when the
+     *  variable is unset or empty. */
+    bool armFromEnv();
+
+    /** Every registered point, sorted by name. */
+    std::vector<FailpointInfo> snapshot() const;
+
+  private:
+    mutable std::mutex mu;
+    std::vector<std::unique_ptr<Failpoint>> points;
+    uint64_t master_seed = 1;
+};
+
+namespace detail
+{
+/** Count of armed failpoints; the process-wide kill switch. */
+extern std::atomic<uint32_t> armed_count;
+
+/** Slow path behind FAULT_POINT: registry lookup + evaluate. */
+Outcome evaluateNamed(const char *name);
+} // namespace detail
+
+/** True when any failpoint is armed (one relaxed load). */
+inline bool
+anyArmed()
+{
+    return detail::armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+} // namespace livephase::fault
+
+/**
+ * The injection hook: expands to an Outcome. Disabled cost is one
+ * relaxed atomic load and a never-taken branch; armed cost is a
+ * registry lookup plus one mutex-guarded decision draw.
+ *
+ *     if (auto f = FAULT_POINT("uds.read")) {
+ *         if (f.action == fault::Action::Error)
+ *             return false; // injected disconnect
+ *     }
+ */
+#define FAULT_POINT(name_literal)                                      \
+    (::livephase::fault::anyArmed()                                    \
+         ? ::livephase::fault::detail::evaluateNamed(name_literal)     \
+         : ::livephase::fault::Outcome{})
+
+#endif // LIVEPHASE_FAULT_FAILPOINT_HH

@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "cpu/msr.hh"
+#include "fault/failpoint.hh"
 
 namespace livephase
 {
@@ -41,6 +42,17 @@ Pmc::advance(uint64_t events)
     uint64_t wraps = 1 + remaining / MODULUS;
     value = remaining % MODULUS;
     overflow_flag = true;
+    // Failpoint "pmc.overflow": CorruptFrame glitches the
+    // post-wrap residue (a counter-read race at the overflow
+    // boundary); Error swallows the overflow notification while
+    // the sticky flag stays set — the handler learns of the wrap
+    // late, if at all.
+    if (auto f = FAULT_POINT("pmc.overflow")) {
+        if (f.action == fault::Action::CorruptFrame)
+            value = (value ^ 0xFFFULL) % MODULUS;
+        if (f.action == fault::Action::Error)
+            return wraps;
+    }
     if (sel.int_enable && on_overflow) {
         for (uint64_t w = 0; w < wraps; ++w)
             on_overflow(idx);

@@ -1,6 +1,7 @@
 #include "pmc/pmi_controller.hh"
 
 #include "common/logging.hh"
+#include "fault/failpoint.hh"
 
 namespace livephase
 {
@@ -26,6 +27,15 @@ void
 PmiController::raise(int counter_index)
 {
     if (is_masked || !handler) {
+        ++suppressed;
+        return;
+    }
+    // Failpoint "pmi.deliver": Error drops the interrupt on the
+    // floor (the missed-PMI jitter a live APIC exhibits); the
+    // sample window silently doubles — exactly the noise source
+    // bench_ablation_noise studies. Delay models a late interrupt.
+    if (auto f = FAULT_POINT("pmi.deliver");
+        f.action == fault::Action::Error) {
         ++suppressed;
         return;
     }

@@ -1,16 +1,253 @@
 #include "service/client.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <thread>
+
+#include "obs/flight_recorder.hh"
+#include "obs/metrics.hh"
+#include "obs/runtime.hh"
 
 namespace livephase::service
 {
 
+namespace
+{
+
+/** Client-side resilience counters (process-wide; clients share). */
+struct ClientCounters
+{
+    obs::Counter &retries;
+    obs::Counter &reconnects;
+    obs::Counter &transport_failures;
+    obs::Counter &deadline_exceeded;
+    obs::Counter &breaker_trips;
+    obs::Counter &breaker_fast_fails;
+
+    static ClientCounters &get()
+    {
+        auto &reg = obs::MetricsRegistry::global();
+        static ClientCounters c{
+            reg.counter("livephase_client_retries_total"),
+            reg.counter("livephase_client_reconnects_total"),
+            reg.counter("livephase_client_transport_failures_total"),
+            reg.counter("livephase_client_deadline_exceeded_total"),
+            reg.counter("livephase_client_breaker_trips_total"),
+            reg.counter("livephase_client_breaker_fast_fails_total"),
+        };
+        return c;
+    }
+};
+
+} // namespace
+
+const char *
+clientErrorName(ClientError error)
+{
+    switch (error) {
+      case ClientError::None:
+        return "none";
+      case ClientError::TransportFailure:
+        return "transport-failure";
+      case ClientError::DeadlineExceeded:
+        return "deadline-exceeded";
+      case ClientError::CircuitOpen:
+        return "circuit-open";
+    }
+    return "unknown";
+}
+
+bool
+ServiceClient::deadlinePassed(uint64_t deadline_ns) const
+{
+    return deadline_ns != 0 && obs::monoNowNs() >= deadline_ns;
+}
+
+void
+ServiceClient::backoff(uint64_t &step_us, uint64_t deadline_ns)
+{
+    const double jitter = policy.jitter <= 0.0
+        ? 1.0
+        : jitter_rng.uniform(1.0 - policy.jitter,
+                             1.0 + policy.jitter);
+    uint64_t sleep_us =
+        static_cast<uint64_t>(static_cast<double>(step_us) * jitter);
+    if (deadline_ns != 0) {
+        const uint64_t now = obs::monoNowNs();
+        if (now >= deadline_ns)
+            return;
+        sleep_us = std::min(sleep_us, (deadline_ns - now) / 1000);
+    }
+    if (sleep_us > 0)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(sleep_us));
+    last_call.backoff_us += sleep_us;
+    step_us = std::min(
+        static_cast<uint64_t>(static_cast<double>(step_us) *
+                              policy.backoff_multiplier),
+        policy.backoff_max_us);
+}
+
+void
+ServiceClient::noteTransportFailure()
+{
+    ClientCounters::get().transport_failures.inc();
+    if (policy.breaker_threshold == 0)
+        return;
+    ++consecutive_failures;
+    if (consecutive_failures >= policy.breaker_threshold &&
+        !breaker_open) {
+        breaker_open = true;
+        breaker_reopen_ns =
+            obs::monoNowNs() + policy.breaker_cooldown_us * 1000;
+        ClientCounters::get().breaker_trips.inc();
+        obs::FlightRecorder::global().record(
+            obs::Severity::Warn, "client.breaker.open",
+            {{"failures",
+              static_cast<uint64_t>(consecutive_failures)},
+             {"cooldown_us", policy.breaker_cooldown_us}});
+    } else if (breaker_open) {
+        // Failed half-open probe: restart the cooldown.
+        breaker_reopen_ns =
+            obs::monoNowNs() + policy.breaker_cooldown_us * 1000;
+    }
+}
+
+void
+ServiceClient::noteTransportSuccess()
+{
+    consecutive_failures = 0;
+    if (breaker_open) {
+        breaker_open = false;
+        obs::FlightRecorder::global().record(
+            obs::Severity::Info, "client.breaker.close", {});
+    }
+}
+
+bool
+ServiceClient::call(const Bytes &request, ParsedResponse &out)
+{
+    last_call = CallInfo{};
+    out = ParsedResponse{};
+
+    if (!resilient) {
+        ++last_call.attempts;
+        const Bytes response = link.roundTrip(request);
+        if (response.empty()) {
+            last_call.error = ClientError::TransportFailure;
+            return false;
+        }
+        return parseResponse(response, out);
+    }
+
+    ClientCounters &counters = ClientCounters::get();
+    const uint64_t deadline_ns = policy.deadline_us == 0
+        ? 0
+        : obs::monoNowNs() + policy.deadline_us * 1000;
+
+    if (breaker_open) {
+        if (obs::monoNowNs() < breaker_reopen_ns) {
+            counters.breaker_fast_fails.inc();
+            last_call.error = ClientError::CircuitOpen;
+            return false;
+        }
+        // Cooldown over: fall through as a half-open probe.
+    }
+
+    uint64_t step_us = policy.backoff_initial_us;
+    size_t reconnects_left = policy.max_reconnects;
+    for (;;) {
+        ++last_call.attempts;
+        const Bytes response = link.roundTrip(request);
+
+        if (response.empty()) {
+            noteTransportFailure();
+            if (breaker_open && last_call.attempts == 1) {
+                // The half-open probe itself failed; fail fast.
+                last_call.error = ClientError::TransportFailure;
+                return false;
+            }
+            if (reconnects_left == 0) {
+                last_call.error = ClientError::TransportFailure;
+                return false;
+            }
+            --reconnects_left;
+            ++last_call.reconnects;
+            counters.reconnects.inc();
+            obs::FlightRecorder::global().record(
+                obs::Severity::Warn, "client.reconnect",
+                {{"left", static_cast<uint64_t>(reconnects_left)}});
+            if (deadlinePassed(deadline_ns)) {
+                counters.deadline_exceeded.inc();
+                obs::FlightRecorder::global().record(
+                    obs::Severity::Warn, "client.deadline",
+                    {{"attempts",
+                      static_cast<uint64_t>(last_call.attempts)}});
+                last_call.error = ClientError::DeadlineExceeded;
+                return false;
+            }
+            backoff(step_us, deadline_ns);
+            link.reconnect(); // a failed dial just burns a retry
+            continue;
+        }
+
+        noteTransportSuccess();
+        const bool parsed_ok = parseResponse(response, out);
+
+        if (parsed_ok && out.status == Status::RetryAfter) {
+            ++last_call.retry_after;
+            counters.retries.inc();
+            obs::FlightRecorder::global().record(
+                obs::Severity::Info, "client.retry",
+                {{"attempts",
+                  static_cast<uint64_t>(last_call.attempts)},
+                 {"backoff_us", step_us}});
+            if (deadlinePassed(deadline_ns)) {
+                counters.deadline_exceeded.inc();
+                obs::FlightRecorder::global().record(
+                    obs::Severity::Warn, "client.deadline",
+                    {{"attempts",
+                      static_cast<uint64_t>(last_call.attempts)}});
+                last_call.error = ClientError::DeadlineExceeded;
+                // The service answered; report its status.
+                return true;
+            }
+            backoff(step_us, deadline_ns);
+            continue;
+        }
+
+        if (parsed_ok && out.status != Status::BadFrame)
+            return true; // includes ShuttingDown: do not retry
+
+        // BadFrame (or an unparseable response) to a well-formed
+        // request smells like a desynchronized stream — the server
+        // answers BadFrame and drops the connection. Reconnect and
+        // retry on a fresh stream, spending the reconnect budget;
+        // a genuinely malformed request comes back BadFrame again
+        // and is reported once the budget runs out.
+        if (reconnects_left == 0)
+            return parsed_ok;
+        --reconnects_left;
+        ++last_call.reconnects;
+        counters.reconnects.inc();
+        obs::FlightRecorder::global().record(
+            obs::Severity::Warn, "client.desync.retry",
+            {{"left", static_cast<uint64_t>(reconnects_left)}});
+        if (deadlinePassed(deadline_ns)) {
+            counters.deadline_exceeded.inc();
+            last_call.error = ClientError::DeadlineExceeded;
+            return parsed_ok;
+        }
+        backoff(step_us, deadline_ns);
+        link.reconnect();
+    }
+}
+
 ServiceClient::OpenReply
 ServiceClient::open(PredictorKind kind)
 {
-    const Bytes response = link.roundTrip(encodeOpenRequest(kind));
     ParsedResponse parsed;
-    if (!parseResponse(response, parsed))
+    if (!call(encodeOpenRequest(kind), parsed))
         return {Status::BadFrame, 0};
     return {parsed.status, parsed.header.session_id};
 }
@@ -19,10 +256,8 @@ ServiceClient::SubmitReply
 ServiceClient::submitBatch(uint64_t session_id,
                            const std::vector<IntervalRecord> &records)
 {
-    const Bytes response =
-        link.roundTrip(encodeSubmitRequest(session_id, records));
     ParsedResponse parsed;
-    if (!parseResponse(response, parsed))
+    if (!call(encodeSubmitRequest(session_id, records), parsed))
         return {Status::BadFrame, {}};
     SubmitReply reply;
     reply.status = parsed.status;
@@ -45,6 +280,8 @@ ServiceClient::submitBatchRetrying(
         reply = submitBatch(session_id, records);
         if (reply.status != Status::RetryAfter)
             return reply;
+        if (resilient) // backoff already happened inside call()
+            return reply;
         std::this_thread::yield();
     }
     return reply;
@@ -53,9 +290,8 @@ ServiceClient::submitBatchRetrying(
 ServiceClient::StatsReply
 ServiceClient::queryStats()
 {
-    const Bytes response = link.roundTrip(encodeStatsRequest());
     ParsedResponse parsed;
-    if (!parseResponse(response, parsed))
+    if (!call(encodeStatsRequest(), parsed))
         return {Status::BadFrame, {}};
     StatsReply reply;
     reply.status = parsed.status;
@@ -71,10 +307,8 @@ ServiceClient::queryStats()
 ServiceClient::MetricsReply
 ServiceClient::queryMetrics(uint16_t raw_format)
 {
-    const Bytes response =
-        link.roundTrip(encodeMetricsRequest(raw_format));
     ParsedResponse parsed;
-    if (!parseResponse(response, parsed))
+    if (!call(encodeMetricsRequest(raw_format), parsed))
         return {Status::BadFrame, {}};
     MetricsReply reply;
     reply.status = parsed.status;
@@ -90,10 +324,8 @@ ServiceClient::queryMetrics(uint16_t raw_format)
 Status
 ServiceClient::close(uint64_t session_id)
 {
-    const Bytes response =
-        link.roundTrip(encodeCloseRequest(session_id));
     ParsedResponse parsed;
-    if (!parseResponse(response, parsed))
+    if (!call(encodeCloseRequest(session_id), parsed))
         return Status::BadFrame;
     return parsed.status;
 }

@@ -9,6 +9,18 @@
  * queue, worker pool and backpressure path) or behind a Unix-domain
  * socket (UdsClientTransport in uds_transport.hh).
  *
+ * Resilience: constructed with a RetryPolicy, every operation runs
+ * inside one retry loop that (a) honors RetryAfter backpressure
+ * with capped exponential backoff plus deterministic jitter,
+ * (b) survives transport loss with bounded reconnects, (c) bounds
+ * the whole affair with a per-request deadline, and (d) trips a
+ * client-side circuit breaker after consecutive transport failures
+ * so a dead service is not hammered. Every retry, reconnect,
+ * deadline miss and breaker trip is counted in the obs metrics
+ * registry and recorded in the flight recorder. Constructed without
+ * a policy, the client is the bare one-shot protocol wrapper it
+ * always was (tests that drive the queue by hand rely on that).
+ *
  * A ServiceClient is not itself thread-safe; give each client
  * thread its own instance (they may share an InProcessTransport,
  * whose round trip is a thread-safe submit + future wait).
@@ -20,6 +32,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/random.hh"
 #include "service/protocol.hh"
 #include "service/service.hh"
 #include "service/service_stats.hh"
@@ -38,6 +51,13 @@ class FrameTransport
     /** Deliver a request frame; block for the response frame.
      *  An empty return means the transport itself failed. */
     virtual Bytes roundTrip(Bytes request_frame) = 0;
+
+    /**
+     * Re-establish the link after a roundTrip failure. The default
+     * is a no-op success: an in-process link cannot be *lost*, so
+     * the retry loop simply tries again.
+     */
+    virtual bool reconnect() { return true; }
 };
 
 /**
@@ -61,16 +81,87 @@ class InProcessTransport : public FrameTransport
     LivePhaseService &svc;
 };
 
+/** Client-side failure classification, orthogonal to the wire
+ *  Status (which only exists when a response actually arrived). */
+enum class ClientError : uint8_t
+{
+    None = 0,
+    TransportFailure, ///< roundTrip failed; reconnects exhausted
+    DeadlineExceeded, ///< per-request deadline elapsed mid-retry
+    CircuitOpen,      ///< breaker open: failed fast, no I/O issued
+};
+
+/** "none", "transport-failure", ... */
+const char *clientErrorName(ClientError error);
+
+/**
+ * Retry/deadline/breaker policy for a resilient ServiceClient.
+ * The defaults suit an interactive client of a local service.
+ */
+struct RetryPolicy
+{
+    /** Per-request budget, microseconds; 0 = no deadline. */
+    uint64_t deadline_us = 2'000'000;
+
+    /** First backoff sleep, microseconds. */
+    uint64_t backoff_initial_us = 50;
+
+    /** Backoff cap, microseconds. */
+    uint64_t backoff_max_us = 20'000;
+
+    /** Geometric growth factor per retry. */
+    double backoff_multiplier = 2.0;
+
+    /** Uniform jitter fraction: each sleep is scaled by a factor
+     *  drawn from [1 - jitter, 1 + jitter). */
+    double jitter = 0.2;
+
+    /** Reconnect attempts per request after transport loss. */
+    size_t max_reconnects = 8;
+
+    /** Consecutive transport failures that trip the breaker open;
+     *  0 disables the breaker. */
+    size_t breaker_threshold = 8;
+
+    /** How long an open breaker fails fast before allowing a
+     *  half-open probe, microseconds. */
+    uint64_t breaker_cooldown_us = 100'000;
+
+    /** Seed of the client's private jitter stream (deterministic
+     *  backoff schedules for tests). */
+    uint64_t seed = 0x5eedc11e47ULL;
+};
+
 /**
  * Typed wrapper over the wire protocol.
  */
 class ServiceClient
 {
   public:
+    /** Bare one-shot client: no retries, no deadline, no breaker —
+     *  every call is exactly one roundTrip. */
     explicit ServiceClient(FrameTransport &transport)
         : link(transport)
     {
     }
+
+    /** Resilient client governed by `policy`. */
+    ServiceClient(FrameTransport &transport,
+                  const RetryPolicy &retry_policy)
+        : link(transport), policy(retry_policy), resilient(true),
+          jitter_rng(retry_policy.seed)
+    {
+    }
+
+    /** Bookkeeping of the most recent operation. */
+    struct CallInfo
+    {
+        ClientError error = ClientError::None;
+        size_t attempts = 0;      ///< roundTrips issued
+        size_t retry_after = 0;   ///< RetryAfter responses absorbed
+        size_t reconnects = 0;    ///< transport re-dials
+        uint64_t backoff_us = 0;  ///< total time slept backing off
+    };
 
     struct OpenReply
     {
@@ -92,8 +183,10 @@ class ServiceClient
                             const std::vector<IntervalRecord> &records);
 
     /**
-     * submitBatch honoring the backpressure contract: on RetryAfter
-     * the call yields and retries, up to `max_attempts` times.
+     * submitBatch honoring the backpressure contract. One-shot
+     * clients yield and retry on RetryAfter, up to `max_attempts`
+     * times; resilient clients already absorb RetryAfter with
+     * backoff inside submitBatch, so this is an alias there.
      */
     SubmitReply
     submitBatchRetrying(uint64_t session_id,
@@ -122,8 +215,42 @@ class ServiceClient
     /** Close a session. */
     Status close(uint64_t session_id);
 
+    /** How the most recent operation went (attempts, retries,
+     *  reconnects, terminal client-side error if any). */
+    const CallInfo &lastCall() const { return last_call; }
+
+    /** True while the circuit breaker refuses to issue I/O. */
+    bool breakerOpen() const { return breaker_open; }
+
   private:
+    /**
+     * Run one request through the retry/deadline/breaker loop.
+     * Returns true with `out` filled when a well-formed response
+     * arrived; false when the call failed client-side (see
+     * lastCall().error) or the response was unparseable (out.status
+     * stays BadFrame).
+     */
+    bool call(const Bytes &request, ParsedResponse &out);
+
+    /** Sleep the next backoff step (capped, jittered, clipped to
+     *  the remaining deadline). */
+    void backoff(uint64_t &step_us, uint64_t deadline_ns);
+
+    bool deadlinePassed(uint64_t deadline_ns) const;
+
+    void noteTransportFailure();
+    void noteTransportSuccess();
+
     FrameTransport &link;
+    RetryPolicy policy{};
+    bool resilient = false;
+    Rng jitter_rng{0};
+    CallInfo last_call{};
+
+    // Circuit breaker (per client, as each thread owns one client).
+    size_t consecutive_failures = 0;
+    bool breaker_open = false;
+    uint64_t breaker_reopen_ns = 0;
 };
 
 } // namespace livephase::service

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "fault/failpoint.hh"
 #include "obs/exposition.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/span.hh"
@@ -89,6 +90,16 @@ LivePhaseService::submit(Bytes request_frame)
     if (stopping.load(std::memory_order_acquire)) {
         req.reply.set_value(
             rejectionResponse(req.frame, Status::ShuttingDown));
+        return result;
+    }
+
+    // Failpoint "service.queue": Error answers RetryAfter as if the
+    // queue were full — forced backpressure without real pressure.
+    if (auto f = FAULT_POINT("service.queue");
+        f.action == fault::Action::Error) {
+        counters.frameRejectedQueueFull();
+        req.reply.set_value(
+            rejectionResponse(req.frame, Status::RetryAfter));
         return result;
     }
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "core/gpht_predictor.hh"
+#include "fault/failpoint.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/runtime.hh"
 #include "core/last_value_predictor.hh"
@@ -149,7 +150,7 @@ SessionManager::open(PredictorKind kind)
     Shard &shard = shardFor(id);
     std::lock_guard lock(shard.mu);
     reapLocked(shard, t);
-    while (shard.index.size() >= per_shard_capacity) {
+    auto evict_lru = [&] {
         const uint64_t victim = shard.lru.back()->id();
         shard.index.erase(victim);
         shard.lru.pop_back();
@@ -160,7 +161,16 @@ SessionManager::open(PredictorKind kind)
             {{"victim", victim}, {"for", id}});
         if (storm_detector.evicted(obs::monoNowNs()))
             obs::FlightRecorder::global().autoDump("eviction-storm");
-    }
+    };
+    // Failpoint "session.evict": Error evicts the shard's LRU tail
+    // as if capacity pressure had struck — victims' clients see
+    // UnknownSession on their next frame, the recovery path chaos
+    // tests must survive.
+    if (auto f = FAULT_POINT("session.evict");
+        f.action == fault::Action::Error && !shard.lru.empty())
+        evict_lru();
+    while (shard.index.size() >= per_shard_capacity)
+        evict_lru();
     shard.lru.push_front(session);
     shard.index[id] = shard.lru.begin();
     if (stats)

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include "common/logging.hh"
+#include "fault/failpoint.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
 
@@ -40,13 +41,25 @@ struct TransportCounters
     }
 };
 
-/** Read exactly n bytes; false on EOF/error. */
+/** Read exactly n bytes; false on EOF/error.
+ *
+ *  Failpoint "uds.read": Error = the peer vanished before a byte
+ *  arrived; PartialIo = half the bytes arrive, then the stream dies
+ *  (a disconnect mid-frame). Delay stalls inside evaluate(),
+ *  modelling a jittery peer. */
 bool
 recvAll(int fd, uint8_t *buf, size_t n)
 {
+    size_t want = n;
+    if (auto f = FAULT_POINT("uds.read")) {
+        if (f.action == fault::Action::Error)
+            return false;
+        if (f.action == fault::Action::PartialIo)
+            want = n / 2;
+    }
     size_t done = 0;
-    while (done < n) {
-        const ssize_t got = ::recv(fd, buf + done, n - done, 0);
+    while (done < want) {
+        const ssize_t got = ::recv(fd, buf + done, want - done, 0);
         if (got == 0)
             return false;
         if (got < 0) {
@@ -56,17 +69,28 @@ recvAll(int fd, uint8_t *buf, size_t n)
         }
         done += static_cast<size_t>(got);
     }
-    return true;
+    return done == n;
 }
 
-/** Write exactly n bytes; false on error. */
+/** Write exactly n bytes; false on error.
+ *
+ *  Failpoint "uds.write": Error = send fails outright; PartialIo =
+ *  half the frame leaves, then the connection dies (the peer sees a
+ *  truncated stream). */
 bool
 sendAll(int fd, const uint8_t *buf, size_t n)
 {
+    size_t want = n;
+    if (auto f = FAULT_POINT("uds.write")) {
+        if (f.action == fault::Action::Error)
+            return false;
+        if (f.action == fault::Action::PartialIo)
+            want = n / 2;
+    }
     size_t done = 0;
-    while (done < n) {
+    while (done < want) {
         const ssize_t sent =
-            ::send(fd, buf + done, n - done, MSG_NOSIGNAL);
+            ::send(fd, buf + done, want - done, MSG_NOSIGNAL);
         if (sent < 0) {
             if (errno == EINTR)
                 continue;
@@ -74,7 +98,7 @@ sendAll(int fd, const uint8_t *buf, size_t n)
         }
         done += static_cast<size_t>(sent);
     }
-    return true;
+    return done == n;
 }
 
 enum class RecvStatus
@@ -92,6 +116,13 @@ recvFrame(int fd, Bytes &frame)
     uint8_t header_bytes[FRAME_HEADER_SIZE];
     if (!recvAll(fd, header_bytes, sizeof(header_bytes)))
         return RecvStatus::Eof;
+    // Failpoint "uds.frame": CorruptFrame garbles the length prefix
+    // (payload_size bytes), the classic stream-desync trigger.
+    if (auto f = FAULT_POINT("uds.frame");
+        f.action == fault::Action::CorruptFrame) {
+        for (size_t i = 16; i < FRAME_HEADER_SIZE; ++i)
+            header_bytes[i] ^= 0xA5;
+    }
     frame.assign(header_bytes, header_bytes + sizeof(header_bytes));
     const auto header =
         peekHeader(header_bytes, sizeof(header_bytes));
@@ -268,6 +299,13 @@ UdsClientTransport::~UdsClientTransport()
 bool
 UdsClientTransport::connect()
 {
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+    if (auto f = FAULT_POINT("uds.connect");
+        f.action == fault::Action::Error)
+        return false;
     sockaddr_un addr;
     if (!fillSockaddr(sock_path, addr))
         return false;
@@ -283,16 +321,31 @@ UdsClientTransport::connect()
     return true;
 }
 
+bool
+UdsClientTransport::reconnect()
+{
+    return connect();
+}
+
 Bytes
 UdsClientTransport::roundTrip(Bytes request_frame)
 {
     if (fd < 0)
         return {};
-    if (!sendAll(fd, request_frame.data(), request_frame.size()))
+    // Any failure poisons the stream (a partial write leaves the
+    // server mid-frame; a partial read leaves *us* mid-frame), so
+    // drop the connection — reconnect() starts clean.
+    if (!sendAll(fd, request_frame.data(), request_frame.size())) {
+        ::close(fd);
+        fd = -1;
         return {};
+    }
     Bytes response;
-    if (recvFrame(fd, response) != RecvStatus::Ok)
+    if (recvFrame(fd, response) != RecvStatus::Ok) {
+        ::close(fd);
+        fd = -1;
         return {};
+    }
     return response;
 }
 

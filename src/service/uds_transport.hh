@@ -88,8 +88,14 @@ class UdsClientTransport : public FrameTransport
     UdsClientTransport &operator=(const UdsClientTransport &) =
         delete;
 
-    /** Connect; false when the server is unreachable. */
+    /** Connect (closing any previous connection first); false when
+     *  the server is unreachable. */
     bool connect();
+
+    /** Drop the (possibly desynchronized) connection and dial
+     *  again — the transport-loss recovery hook ServiceClient's
+     *  retry loop uses. */
+    bool reconnect() override;
 
     bool connected() const { return fd >= 0; }
 

@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Unit tests for the fault-injection subsystem (src/fault).
+ *
+ * Covers the registry (find-or-create, snapshot), the arming
+ * lifecycle and the global kill switch, the skip/limit hit window,
+ * the determinism contract (same name + spec + seed => bit-identical
+ * decision sequence and trigger log), the config-string and
+ * environment arming paths, Delay/Panic side effects, and the obs
+ * counter every trigger feeds.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "fault/failpoint.hh"
+#include "obs/metrics.hh"
+#include "obs/runtime.hh"
+#include "test_util.hh"
+
+using namespace livephase;
+using namespace livephase::fault;
+
+namespace
+{
+
+/** Every test leaves the registry disarmed, whatever happens. */
+class FaultTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        FailpointRegistry::global().disarmAll();
+        FailpointRegistry::global().setMasterSeed(1);
+    }
+
+    void TearDown() override
+    {
+        FailpointRegistry::global().disarmAll();
+        FailpointRegistry::global().setMasterSeed(1);
+    }
+};
+
+/** Evaluate `point` n times; return the decision bitmap. */
+std::vector<bool>
+drawDecisions(Failpoint &point, size_t n)
+{
+    std::vector<bool> fired;
+    fired.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        fired.push_back(static_cast<bool>(point.evaluate()));
+    return fired;
+}
+
+TEST_F(FaultTest, RegistryFindOrCreateReturnsSameInstance)
+{
+    auto &reg = FailpointRegistry::global();
+    Failpoint &a = reg.point("test.registry.identity");
+    Failpoint &b = reg.point("test.registry.identity");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.name(), "test.registry.identity");
+}
+
+TEST_F(FaultTest, DisarmedPointIsFreeOfSideEffects)
+{
+    auto &reg = FailpointRegistry::global();
+    Failpoint &point = reg.point("test.disarmed");
+    EXPECT_FALSE(point.armed());
+    EXPECT_FALSE(anyArmed());
+
+    const Outcome out = point.evaluate();
+    EXPECT_FALSE(out);
+    EXPECT_EQ(out.action, Action::None);
+    EXPECT_EQ(point.hits(), 0u); // disarmed evaluations do not count
+}
+
+TEST_F(FaultTest, KillSwitchTracksArmedCount)
+{
+    auto &reg = FailpointRegistry::global();
+    EXPECT_FALSE(anyArmed());
+
+    reg.arm("test.kill.a", {Action::Error, 1.0});
+    EXPECT_TRUE(anyArmed());
+    reg.arm("test.kill.b", {Action::Error, 1.0});
+    EXPECT_TRUE(anyArmed());
+
+    reg.disarm("test.kill.a");
+    EXPECT_TRUE(anyArmed()); // b still armed
+    reg.disarm("test.kill.b");
+    EXPECT_FALSE(anyArmed());
+
+    // Re-arming an armed point must not double count.
+    reg.arm("test.kill.a", {Action::Error, 1.0});
+    reg.arm("test.kill.a", {Action::Error, 0.5});
+    reg.disarm("test.kill.a");
+    EXPECT_FALSE(anyArmed());
+}
+
+TEST_F(FaultTest, MacroReturnsNoneWhenNothingArmed)
+{
+    const Outcome out = FAULT_POINT("test.macro.disabled");
+    EXPECT_FALSE(out);
+}
+
+TEST_F(FaultTest, MacroEvaluatesArmedPoint)
+{
+    auto &reg = FailpointRegistry::global();
+    reg.arm("test.macro.armed", {Action::Error, 1.0});
+
+    const Outcome out = FAULT_POINT("test.macro.armed");
+    EXPECT_EQ(out.action, Action::Error);
+    EXPECT_EQ(reg.point("test.macro.armed").triggers(), 1u);
+}
+
+TEST_F(FaultTest, CertainProbabilityAlwaysFires)
+{
+    auto &reg = FailpointRegistry::global();
+    reg.arm("test.p1", {Action::Error, 1.0});
+    Failpoint &point = reg.point("test.p1");
+
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(point.evaluate().action, Action::Error);
+    EXPECT_EQ(point.hits(), 100u);
+    EXPECT_EQ(point.triggers(), 100u);
+    ASSERT_EQ(point.triggerLog().size(), 100u);
+    EXPECT_EQ(point.triggerLog()[0], 0u);
+    EXPECT_EQ(point.triggerLog()[99], 99u);
+}
+
+TEST_F(FaultTest, ZeroProbabilityNeverFires)
+{
+    auto &reg = FailpointRegistry::global();
+    reg.arm("test.p0", {Action::Error, 0.0});
+    Failpoint &point = reg.point("test.p0");
+
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(point.evaluate());
+    EXPECT_EQ(point.hits(), 100u);
+    EXPECT_EQ(point.triggers(), 0u);
+}
+
+TEST_F(FaultTest, FractionalProbabilityFiresRoughlyProportionally)
+{
+    auto &reg = FailpointRegistry::global();
+    FaultSpec spec{Action::Error, 0.25};
+    reg.arm("test.p25", spec);
+    Failpoint &point = reg.point("test.p25");
+
+    constexpr size_t N = 4000;
+    size_t fired = 0;
+    for (size_t i = 0; i < N; ++i)
+        fired += static_cast<bool>(point.evaluate());
+    // 4000 draws at p=0.25: mean 1000, sd ~27. +-150 is > 5 sigma.
+    EXPECT_GT(fired, 850u);
+    EXPECT_LT(fired, 1150u);
+}
+
+TEST_F(FaultTest, SkipOpensWindowLate)
+{
+    auto &reg = FailpointRegistry::global();
+    FaultSpec spec{Action::Error, 1.0};
+    spec.skip = 5;
+    reg.arm("test.skip", spec);
+    Failpoint &point = reg.point("test.skip");
+
+    const auto fired = drawDecisions(point, 10);
+    for (size_t i = 0; i < 5; ++i)
+        EXPECT_FALSE(fired[i]) << "hit " << i << " inside skip";
+    for (size_t i = 5; i < 10; ++i)
+        EXPECT_TRUE(fired[i]) << "hit " << i << " past skip";
+    EXPECT_EQ(point.triggerLog(),
+              (std::vector<uint64_t>{5, 6, 7, 8, 9}));
+}
+
+TEST_F(FaultTest, LimitClosesWindowAfterEnoughTriggers)
+{
+    auto &reg = FailpointRegistry::global();
+    FaultSpec spec{Action::Error, 1.0};
+    spec.limit = 3;
+    reg.arm("test.limit", spec);
+    Failpoint &point = reg.point("test.limit");
+
+    const auto fired = drawDecisions(point, 10);
+    EXPECT_TRUE(fired[0]);
+    EXPECT_TRUE(fired[1]);
+    EXPECT_TRUE(fired[2]);
+    for (size_t i = 3; i < 10; ++i)
+        EXPECT_FALSE(fired[i]) << "hit " << i << " past limit";
+    EXPECT_EQ(point.triggers(), 3u);
+    EXPECT_EQ(point.hits(), 10u);
+}
+
+TEST_F(FaultTest, SameSeedSameDecisionSequence)
+{
+    auto &reg = FailpointRegistry::global();
+    FaultSpec spec{Action::Error, 0.3};
+
+    reg.setMasterSeed(42);
+    reg.arm("test.det", spec);
+    Failpoint &point = reg.point("test.det");
+    const auto run_a = drawDecisions(point, 500);
+    const auto log_a = point.triggerLog();
+
+    reg.setMasterSeed(42);
+    reg.arm("test.det", spec); // re-arm resets accounting + stream
+    const auto run_b = drawDecisions(point, 500);
+    const auto log_b = point.triggerLog();
+
+    EXPECT_EQ(run_a, run_b);
+    EXPECT_EQ(log_a, log_b);
+    EXPECT_GT(log_a.size(), 0u);
+}
+
+TEST_F(FaultTest, DifferentSeedDifferentSchedule)
+{
+    auto &reg = FailpointRegistry::global();
+    FaultSpec spec{Action::Error, 0.3};
+
+    reg.setMasterSeed(42);
+    reg.arm("test.det2", spec);
+    Failpoint &point = reg.point("test.det2");
+    const auto run_a = drawDecisions(point, 500);
+
+    reg.setMasterSeed(43);
+    reg.arm("test.det2", spec);
+    const auto run_b = drawDecisions(point, 500);
+
+    EXPECT_NE(run_a, run_b);
+}
+
+TEST_F(FaultTest, DistinctPointsGetDecorrelatedStreams)
+{
+    auto &reg = FailpointRegistry::global();
+    FaultSpec spec{Action::Error, 0.5};
+    reg.arm("test.stream.one", spec);
+    reg.arm("test.stream.two", spec);
+
+    const auto a =
+        drawDecisions(reg.point("test.stream.one"), 256);
+    const auto b =
+        drawDecisions(reg.point("test.stream.two"), 256);
+    EXPECT_NE(a, b); // same seed, different name hash
+}
+
+TEST_F(FaultTest, DelayActionStallsInsideEvaluate)
+{
+    auto &reg = FailpointRegistry::global();
+    FaultSpec spec{Action::Delay, 1.0};
+    spec.delay_us = 2000;
+    reg.arm("test.delay", spec);
+
+    const uint64_t t0 = obs::monoNowNs();
+    const Outcome out = reg.point("test.delay").evaluate();
+    const uint64_t elapsed_ns = obs::monoNowNs() - t0;
+
+    EXPECT_EQ(out.action, Action::Delay);
+    EXPECT_EQ(out.delay_us, 2000u);
+    EXPECT_GE(elapsed_ns, 2'000'000u);
+}
+
+TEST_F(FaultTest, PanicActionPanicsAtTheFailpoint)
+{
+    auto &reg = FailpointRegistry::global();
+    reg.arm("test.panic", {Action::Panic, 1.0});
+    EXPECT_FAILURE(reg.point("test.panic").evaluate());
+}
+
+TEST_F(FaultTest, TriggersFeedObsCounter)
+{
+    auto &counter = obs::MetricsRegistry::global().counter(
+        "livephase_fault_triggers_total{point=\"test.counter\"}");
+    const uint64_t before = counter.value();
+
+    auto &reg = FailpointRegistry::global();
+    reg.arm("test.counter", {Action::Error, 1.0});
+    Failpoint &point = reg.point("test.counter");
+    for (int i = 0; i < 7; ++i)
+        point.evaluate();
+
+    EXPECT_EQ(counter.value(), before + 7);
+}
+
+TEST_F(FaultTest, SnapshotReportsArmedStateSorted)
+{
+    auto &reg = FailpointRegistry::global();
+    FaultSpec spec{Action::Delay, 0.5};
+    spec.delay_us = 123;
+    reg.arm("test.snap.b", spec);
+    reg.arm("test.snap.a", {Action::Error, 1.0});
+    reg.point("test.snap.a").evaluate();
+
+    const auto snap = reg.snapshot();
+    std::vector<FailpointInfo> ours;
+    for (const auto &info : snap) {
+        if (info.name.rfind("test.snap.", 0) == 0)
+            ours.push_back(info);
+    }
+    ASSERT_EQ(ours.size(), 2u);
+    EXPECT_EQ(ours[0].name, "test.snap.a");
+    EXPECT_TRUE(ours[0].armed);
+    EXPECT_EQ(ours[0].hits, 1u);
+    EXPECT_EQ(ours[0].triggers, 1u);
+    EXPECT_EQ(ours[1].name, "test.snap.b");
+    EXPECT_EQ(ours[1].spec.action, Action::Delay);
+    EXPECT_EQ(ours[1].spec.delay_us, 123u);
+    EXPECT_DOUBLE_EQ(ours[1].spec.probability, 0.5);
+}
+
+TEST_F(FaultTest, ActionNamesRoundTrip)
+{
+    for (Action a : {Action::Error, Action::Delay, Action::PartialIo,
+                     Action::CorruptFrame, Action::Panic}) {
+        auto parsed = actionFromName(actionName(a));
+        ASSERT_TRUE(parsed.has_value()) << actionName(a);
+        EXPECT_EQ(*parsed, a);
+    }
+    EXPECT_FALSE(actionFromName("frobnicate").has_value());
+}
+
+TEST_F(FaultTest, ConfigStringArmsPoints)
+{
+    auto &reg = FailpointRegistry::global();
+    std::string error;
+    ASSERT_TRUE(reg.armFromConfig(
+        "test.cfg.a=error:p=0.25,skip=2,limit=9;"
+        "test.cfg.b=delay:us=750;"
+        "test.cfg.c=corrupt-frame",
+        &error))
+        << error;
+
+    const FaultSpec a = reg.point("test.cfg.a").spec();
+    EXPECT_EQ(a.action, Action::Error);
+    EXPECT_DOUBLE_EQ(a.probability, 0.25);
+    EXPECT_EQ(a.skip, 2u);
+    EXPECT_EQ(a.limit, 9u);
+
+    const FaultSpec b = reg.point("test.cfg.b").spec();
+    EXPECT_EQ(b.action, Action::Delay);
+    EXPECT_EQ(b.delay_us, 750u);
+
+    EXPECT_EQ(reg.point("test.cfg.c").spec().action,
+              Action::CorruptFrame);
+    EXPECT_TRUE(reg.point("test.cfg.a").armed());
+    EXPECT_TRUE(reg.point("test.cfg.b").armed());
+    EXPECT_TRUE(reg.point("test.cfg.c").armed());
+}
+
+TEST_F(FaultTest, MalformedConfigIsRejectedWithError)
+{
+    auto &reg = FailpointRegistry::global();
+    const char *bad[] = {
+        "justaname",              // no '=' action
+        "x=unknownaction",        // unrecognized action
+        "x=error:p=1.5",          // probability out of range
+        "x=error:p=notanumber",   // unparseable value
+        "x=error:bogus=1",        // unknown key
+        "=error",                 // empty point name
+    };
+    for (const char *config : bad) {
+        std::string error;
+        EXPECT_FALSE(reg.armFromConfig(config, &error)) << config;
+        EXPECT_FALSE(error.empty()) << config;
+    }
+}
+
+TEST_F(FaultTest, EnvArmsPointsAndSeed)
+{
+    auto &reg = FailpointRegistry::global();
+    ASSERT_EQ(setenv("LIVEPHASE_FAULTS",
+                     "test.env.point=error:p=0.5", 1), 0);
+    ASSERT_EQ(setenv("LIVEPHASE_FAULT_SEED", "777", 1), 0);
+    const bool armed = reg.armFromEnv();
+    unsetenv("LIVEPHASE_FAULTS");
+    unsetenv("LIVEPHASE_FAULT_SEED");
+
+    ASSERT_TRUE(armed);
+    EXPECT_EQ(reg.masterSeed(), 777u);
+    EXPECT_TRUE(reg.point("test.env.point").armed());
+    EXPECT_DOUBLE_EQ(reg.point("test.env.point").spec().probability,
+                     0.5);
+}
+
+TEST_F(FaultTest, EnvUnsetIsANoOp)
+{
+    unsetenv("LIVEPHASE_FAULTS");
+    unsetenv("LIVEPHASE_FAULT_SEED");
+    auto &reg = FailpointRegistry::global();
+    EXPECT_TRUE(reg.armFromEnv()); // true = nothing malformed
+    EXPECT_FALSE(anyArmed());
+}
+
+TEST_F(FaultTest, DisarmAllSilencesEveryPoint)
+{
+    auto &reg = FailpointRegistry::global();
+    reg.arm("test.all.a", {Action::Error, 1.0});
+    reg.arm("test.all.b", {Action::Error, 1.0});
+    ASSERT_TRUE(anyArmed());
+
+    reg.disarmAll();
+    EXPECT_FALSE(anyArmed());
+    EXPECT_FALSE(reg.point("test.all.a").armed());
+    EXPECT_FALSE(reg.point("test.all.b").armed());
+    EXPECT_FALSE(FAULT_POINT("test.all.a"));
+}
+
+} // namespace

@@ -1,0 +1,521 @@
+/**
+ * @file
+ * Chaos tests: seeded fault schedules against the full
+ * client -> transport -> queue -> worker -> session stack.
+ *
+ * The contract under test is the one a live deployment needs:
+ * with faults armed at realistic probabilities on every transport
+ * and queue failpoint, a fleet of resilient clients must (a) never
+ * crash or corrupt session state, (b) resolve every request —
+ * success, or a *clean* classified client error — and (c) leave the
+ * service healthy once the faults are disarmed. Because every
+ * failpoint draws its decisions from a seed-split stream indexed by
+ * hit count, the same seed replays the identical fault schedule,
+ * which the determinism tests assert directly on the trigger logs.
+ *
+ * Also here: protocol desync recovery (a corrupted length prefix
+ * answers BadFrame and drops the connection; a fresh connection
+ * carries on), which is the exact recovery path the resilient
+ * client automates.
+ */
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "fault/failpoint.hh"
+#include "service/client.hh"
+#include "service/protocol.hh"
+#include "service/service.hh"
+#include "service/uds_transport.hh"
+
+using namespace livephase;
+using namespace livephase::service;
+
+namespace
+{
+
+/** Disarm everything on scope exit, whatever the test did. */
+struct ScopedDisarm
+{
+    ~ScopedDisarm()
+    {
+        fault::FailpointRegistry::global().disarmAll();
+        fault::FailpointRegistry::global().setMasterSeed(1);
+    }
+};
+
+/** A phased interval stream (same shape service_test uses). */
+std::vector<IntervalRecord>
+makeStream(uint64_t seed, size_t n)
+{
+    Rng rng(seed);
+    std::vector<IntervalRecord> records;
+    records.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        const double base = (i / 8) % 2 == 0 ? 0.002 : 0.025;
+        const double mem_per_uop =
+            std::max(0.0, base + rng.gaussian(0.0, 0.004));
+        const double uops = 100e6;
+        records.push_back({uops, mem_per_uop * uops,
+                           static_cast<uint64_t>(i) * 1000});
+    }
+    return records;
+}
+
+/** Per-thread tally of how its requests resolved. */
+struct FleetOutcome
+{
+    size_t batches_ok = 0;
+    size_t deadline_misses = 0; ///< clean DeadlineExceeded results
+    size_t session_reopens = 0; ///< evictions survived
+    size_t unexpected = 0;      ///< anything outside the contract
+    std::string first_unexpected;
+};
+
+/**
+ * Drive one client thread: open a session, push `batches` batches,
+ * close. Every fault the service or transport throws at us must
+ * resolve to an outcome in the contract; anything else is recorded
+ * as unexpected (and fails the test).
+ */
+FleetOutcome
+runFleetClient(FrameTransport &transport, const RetryPolicy &policy,
+               uint64_t stream_seed, size_t batches,
+               size_t batch_size)
+{
+    FleetOutcome tally;
+    auto unexpected = [&](const std::string &what) {
+        ++tally.unexpected;
+        if (tally.first_unexpected.empty())
+            tally.first_unexpected = what;
+    };
+
+    ServiceClient client(transport, policy);
+
+    uint64_t session = 0;
+    auto openSession = [&]() -> bool {
+        for (int attempt = 0; attempt < 100; ++attempt) {
+            const auto reply = client.open(PredictorKind::Gpht);
+            if (reply.status == Status::Ok) {
+                session = reply.session_id;
+                return true;
+            }
+            if (client.lastCall().error != ClientError::None ||
+                reply.status == Status::RetryAfter) {
+                // Clean client-side failure (deadline, breaker
+                // cooldown, reconnects exhausted): try again.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+                continue;
+            }
+            unexpected("open -> " +
+                       std::string(statusName(reply.status)));
+            return false;
+        }
+        unexpected("open never succeeded");
+        return false;
+    };
+
+    if (!openSession())
+        return tally;
+
+    const auto records = makeStream(stream_seed, batch_size);
+    for (size_t b = 0; b < batches; ++b) {
+        bool resolved = false;
+        for (int attempt = 0; attempt < 100 && !resolved;
+             ++attempt) {
+            const auto reply =
+                client.submitBatchRetrying(session, records);
+            const ClientError err = client.lastCall().error;
+            if (reply.status == Status::Ok &&
+                err == ClientError::None) {
+                if (reply.results.size() != records.size()) {
+                    unexpected("short result batch");
+                    return tally;
+                }
+                ++tally.batches_ok;
+                resolved = true;
+            } else if (reply.status == Status::UnknownSession) {
+                // Evicted under pressure: reopen and resubmit.
+                ++tally.session_reopens;
+                if (!openSession())
+                    return tally;
+            } else if (err == ClientError::DeadlineExceeded) {
+                // Clean, classified give-up: the contract allows it.
+                ++tally.deadline_misses;
+                resolved = true;
+            } else if (err == ClientError::CircuitOpen ||
+                       err == ClientError::TransportFailure) {
+                // Breaker cooling down / reconnect budget spent on
+                // one call: back off and retry the batch.
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+            } else {
+                unexpected("submit -> " +
+                           std::string(statusName(reply.status)) +
+                           " / " + clientErrorName(err));
+                return tally;
+            }
+        }
+        if (!resolved) {
+            unexpected("batch never resolved");
+            return tally;
+        }
+    }
+
+    // Close is best-effort under chaos: the session may already be
+    // evicted, or the deadline may hit. Only protocol-level
+    // surprises count against the contract.
+    const Status closed = client.close(session);
+    if (closed != Status::Ok && closed != Status::UnknownSession &&
+        client.lastCall().error == ClientError::None &&
+        closed != Status::RetryAfter)
+        unexpected("close -> " +
+                   std::string(statusName(closed)));
+    return tally;
+}
+
+/** A fleet policy: generous deadline, quick backoff, per-thread
+ *  jitter stream. */
+RetryPolicy
+fleetPolicy(uint64_t thread_seed)
+{
+    RetryPolicy policy;
+    policy.deadline_us = 10'000'000;
+    policy.backoff_initial_us = 50;
+    policy.backoff_max_us = 2'000;
+    policy.max_reconnects = 16;
+    policy.breaker_threshold = 32;
+    policy.breaker_cooldown_us = 2'000;
+    policy.seed = 0xf1ee7 + thread_seed;
+    return policy;
+}
+
+void
+assertFleetClean(const std::vector<FleetOutcome> &outcomes,
+                 size_t batches_per_thread)
+{
+    size_t total_ok = 0, total_deadline = 0, total_reopens = 0;
+    for (size_t t = 0; t < outcomes.size(); ++t) {
+        const FleetOutcome &o = outcomes[t];
+        EXPECT_EQ(o.unexpected, 0u)
+            << "thread " << t << ": " << o.first_unexpected;
+        EXPECT_EQ(o.batches_ok + o.deadline_misses,
+                  batches_per_thread)
+            << "thread " << t << " left batches unresolved";
+        total_ok += o.batches_ok;
+        total_deadline += o.deadline_misses;
+        total_reopens += o.session_reopens;
+    }
+    // With 10 s deadlines and µs faults, nearly everything should
+    // actually succeed; require a solid majority so the test cannot
+    // silently degrade into all-deadline-miss "success".
+    EXPECT_GT(total_ok * 2,
+              outcomes.size() * batches_per_thread)
+        << "ok=" << total_ok << " deadline=" << total_deadline
+        << " reopens=" << total_reopens;
+}
+
+/** The 8-thread fleet against one transport factory. */
+template <typename MakeTransport>
+std::vector<FleetOutcome>
+runFleet(MakeTransport &&makeTransport, size_t threads,
+         size_t batches, size_t batch_size)
+{
+    std::vector<FleetOutcome> outcomes(threads);
+    std::vector<std::thread> fleet;
+    fleet.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+        fleet.emplace_back([&, t]() {
+            auto transport = makeTransport(t);
+            outcomes[t] =
+                runFleetClient(*transport, fleetPolicy(t),
+                               /*stream_seed=*/1000 + t, batches,
+                               batch_size);
+        });
+    }
+    for (auto &th : fleet)
+        th.join();
+    return outcomes;
+}
+
+TEST(Chaos, InProcessFleetSurvivesQueueAndSessionFaults)
+{
+    ScopedDisarm guard;
+    auto &reg = fault::FailpointRegistry::global();
+    reg.setMasterSeed(2026);
+    reg.arm("service.queue", {fault::Action::Error, 0.05});
+    reg.arm("session.evict", {fault::Action::Error, 0.02});
+
+    LivePhaseService::Config cfg;
+    cfg.workers = 2;
+    cfg.queue_capacity = 16; // small: organic RetryAfter too
+    LivePhaseService svc(cfg);
+
+    constexpr size_t THREADS = 8, BATCHES = 25, K = 32;
+    const auto outcomes = runFleet(
+        [&](size_t) {
+            return std::make_unique<InProcessTransport>(svc);
+        },
+        THREADS, BATCHES, K);
+
+    assertFleetClean(outcomes, BATCHES);
+
+    // Faults fired (the schedule was not vacuously empty).
+    EXPECT_GT(reg.point("service.queue").triggers(), 0u);
+
+    // Disarmed, the service is healthy: a fresh client completes a
+    // full round trip and the stats add up.
+    reg.disarmAll();
+    InProcessTransport transport(svc);
+    ServiceClient client(transport);
+    const auto open = client.open(PredictorKind::Gpht);
+    ASSERT_EQ(open.status, Status::Ok);
+    const auto submit = client.submitBatchRetrying(
+        open.session_id, makeStream(7, 16));
+    ASSERT_EQ(submit.status, Status::Ok);
+    EXPECT_EQ(submit.results.size(), 16u);
+    EXPECT_EQ(client.close(open.session_id), Status::Ok);
+
+    const auto stats = client.queryStats();
+    ASSERT_EQ(stats.status, Status::Ok);
+    EXPECT_GE(stats.stats.sessions_opened,
+              stats.stats.sessions_closed +
+                  stats.stats.sessions_evicted_lru +
+                  stats.stats.sessions_expired_ttl);
+    EXPECT_GT(stats.stats.batches_processed, 0u);
+}
+
+TEST(Chaos, UdsFleetSurvivesTransportFaults)
+{
+    ScopedDisarm guard;
+
+    LivePhaseService::Config cfg;
+    cfg.workers = 2;
+    LivePhaseService svc(cfg);
+    const std::string path = "/tmp/livephase-chaos-" +
+        std::to_string(::getpid()) + ".sock";
+    UdsServer server(svc, path);
+    if (!server.start())
+        GTEST_SKIP() << "AF_UNIX unavailable in this sandbox";
+
+    auto &reg = fault::FailpointRegistry::global();
+    reg.setMasterSeed(2027);
+    reg.arm("uds.read", {fault::Action::Error, 0.05});
+    reg.arm("uds.write", {fault::Action::PartialIo, 0.05});
+    reg.arm("uds.frame", {fault::Action::CorruptFrame, 0.05});
+    reg.arm("uds.connect", {fault::Action::Error, 0.05});
+    reg.arm("service.queue", {fault::Action::Error, 0.05});
+
+    constexpr size_t THREADS = 8, BATCHES = 12, K = 16;
+    const auto outcomes = runFleet(
+        [&](size_t) {
+            auto transport =
+                std::make_unique<UdsClientTransport>(path);
+            // Initial dial may itself hit uds.connect.
+            for (int i = 0; i < 50 && !transport->connected(); ++i)
+                transport->connect();
+            return transport;
+        },
+        THREADS, BATCHES, K);
+
+    assertFleetClean(outcomes, BATCHES);
+
+    // The schedule exercised the wire path both ways.
+    EXPECT_GT(reg.point("uds.read").triggers() +
+                  reg.point("uds.write").triggers() +
+                  reg.point("uds.frame").triggers(),
+              0u);
+
+    // Quiesce and prove the server still serves clean traffic.
+    reg.disarmAll();
+    UdsClientTransport transport(path);
+    ASSERT_TRUE(transport.connect());
+    ServiceClient client(transport);
+    const auto open = client.open(PredictorKind::LastValue);
+    ASSERT_EQ(open.status, Status::Ok);
+    const auto submit = client.submitBatchRetrying(
+        open.session_id, makeStream(9, 8));
+    ASSERT_EQ(submit.status, Status::Ok);
+    EXPECT_EQ(client.close(open.session_id), Status::Ok);
+}
+
+/**
+ * Same seed => identical fault schedule. Single client thread, so
+ * the hit sequence of the armed point is deterministic end to end
+ * and the trigger logs must match exactly.
+ */
+TEST(Chaos, SameSeedReplaysIdenticalFaultSchedule)
+{
+    ScopedDisarm guard;
+    auto &reg = fault::FailpointRegistry::global();
+
+    auto runOnce = [&](uint64_t seed) {
+        reg.setMasterSeed(seed);
+        reg.arm("service.queue", {fault::Action::Error, 0.3});
+
+        LivePhaseService::Config cfg;
+        cfg.workers = 1;
+        LivePhaseService svc(cfg);
+        InProcessTransport transport(svc);
+        RetryPolicy policy = fleetPolicy(0);
+        ServiceClient client(transport, policy);
+
+        const auto open = client.open(PredictorKind::Gpht);
+        EXPECT_EQ(open.status, Status::Ok);
+        const auto records = makeStream(4, 8);
+        for (int b = 0; b < 40; ++b) {
+            const auto reply = client.submitBatchRetrying(
+                open.session_id, records);
+            EXPECT_EQ(reply.status, Status::Ok);
+        }
+        client.close(open.session_id);
+
+        auto log = reg.point("service.queue").triggerLog();
+        reg.disarmAll();
+        return log;
+    };
+
+    const auto log_a = runOnce(77);
+    const auto log_b = runOnce(77);
+    const auto log_c = runOnce(78);
+
+    EXPECT_GT(log_a.size(), 0u) << "schedule was vacuously empty";
+    EXPECT_EQ(log_a, log_b) << "same seed must replay identically";
+    EXPECT_NE(log_a, log_c);
+}
+
+/**
+ * Multi-threaded replay: hit interleaving differs between runs, but
+ * the per-hit decision stream is seed-determined, so the common
+ * prefix of the trigger logs must agree.
+ */
+TEST(Chaos, SameSeedSchedulePrefixAgreesUnderThreads)
+{
+    ScopedDisarm guard;
+    auto &reg = fault::FailpointRegistry::global();
+
+    auto runOnce = [&]() {
+        reg.setMasterSeed(99);
+        reg.arm("service.queue", {fault::Action::Error, 0.1});
+
+        LivePhaseService::Config cfg;
+        cfg.workers = 2;
+        LivePhaseService svc(cfg);
+        const auto outcomes = runFleet(
+            [&](size_t) {
+                return std::make_unique<InProcessTransport>(svc);
+            },
+            4, 10, 16);
+        assertFleetClean(outcomes, 10);
+
+        auto log = reg.point("service.queue").triggerLog();
+        reg.disarmAll();
+        return log;
+    };
+
+    const auto log_a = runOnce();
+    const auto log_b = runOnce();
+    const size_t common = std::min(log_a.size(), log_b.size());
+    ASSERT_GT(common, 0u);
+    for (size_t i = 0; i < common; ++i)
+        EXPECT_EQ(log_a[i], log_b[i]) << "diverged at entry " << i;
+}
+
+/**
+ * Protocol desync recovery (by hand, no failpoints): a frame whose
+ * length prefix is corrupted gets BadFrame and the server drops the
+ * connection; a fresh connection with a valid frame succeeds.
+ */
+TEST(Chaos, DesyncedStreamRecoversOnFreshConnection)
+{
+    LivePhaseService svc;
+    const std::string path = "/tmp/livephase-desync-" +
+        std::to_string(::getpid()) + ".sock";
+    UdsServer server(svc, path);
+    if (!server.start())
+        GTEST_SKIP() << "AF_UNIX unavailable in this sandbox";
+
+    UdsClientTransport transport(path);
+    ASSERT_TRUE(transport.connect());
+
+    // Corrupt the payload_size field (bytes 16..19) so the declared
+    // payload exceeds MAX_PAYLOAD_SIZE — an unrecoverable desync.
+    Bytes corrupt = encodeOpenRequest(PredictorKind::Gpht);
+    ASSERT_GE(corrupt.size(), FRAME_HEADER_SIZE);
+    corrupt[16] = corrupt[17] = corrupt[18] = corrupt[19] = 0xFF;
+
+    const Bytes answer = transport.roundTrip(corrupt);
+    ASSERT_FALSE(answer.empty()) << "server must answer BadFrame";
+    ParsedResponse parsed;
+    ASSERT_TRUE(parseResponse(answer, parsed));
+    EXPECT_EQ(parsed.status, Status::BadFrame);
+
+    // The server dropped the stream: the next round trip on this
+    // connection fails at the transport level...
+    const Bytes dead =
+        transport.roundTrip(encodeOpenRequest(PredictorKind::Gpht));
+    EXPECT_TRUE(dead.empty());
+
+    // ...and a reconnect carries on as if nothing happened.
+    ASSERT_TRUE(transport.reconnect());
+    ServiceClient client(transport);
+    const auto open = client.open(PredictorKind::Gpht);
+    ASSERT_EQ(open.status, Status::Ok);
+    const auto submit = client.submitBatchRetrying(
+        open.session_id, makeStream(3, 8));
+    EXPECT_EQ(submit.status, Status::Ok);
+    EXPECT_EQ(client.close(open.session_id), Status::Ok);
+}
+
+/**
+ * The resilient client automates that recovery: with the server
+ * corrupting its *view* of one inbound frame (uds.frame, limit=1),
+ * the client's desync retry path reconnects and completes the call.
+ */
+TEST(Chaos, ResilientClientRecoversFromInjectedDesync)
+{
+    ScopedDisarm guard;
+
+    LivePhaseService svc;
+    const std::string path = "/tmp/livephase-desync2-" +
+        std::to_string(::getpid()) + ".sock";
+    UdsServer server(svc, path);
+    if (!server.start())
+        GTEST_SKIP() << "AF_UNIX unavailable in this sandbox";
+
+    UdsClientTransport transport(path);
+    ASSERT_TRUE(transport.connect());
+    RetryPolicy policy; // defaults: 2 s deadline, 8 reconnects
+    ServiceClient client(transport, policy);
+
+    auto &reg = fault::FailpointRegistry::global();
+    fault::FaultSpec spec{fault::Action::CorruptFrame, 1.0};
+    spec.limit = 1; // corrupt exactly the next server-side read
+    reg.arm("uds.frame", spec);
+
+    const auto open = client.open(PredictorKind::Gpht);
+    EXPECT_EQ(open.status, Status::Ok);
+    EXPECT_GE(client.lastCall().reconnects, 1u)
+        << "recovery should have gone through the desync path";
+    EXPECT_EQ(reg.point("uds.frame").triggers(), 1u);
+
+    reg.disarmAll();
+    const auto submit = client.submitBatchRetrying(
+        open.session_id, makeStream(5, 8));
+    EXPECT_EQ(submit.status, Status::Ok);
+    EXPECT_EQ(client.close(open.session_id), Status::Ok);
+}
+
+} // namespace
+
