@@ -18,11 +18,16 @@
  *   serve <trace.csv> [--predictor lastvalue|gpht|setassoc|varwindow]
  *         [--batch K] [--workers N] [--json] [--deadline-ms D]
  *         [--faults SPEC] [--fault-seed S]
+ *         [--trace-sample R] [--trace-out FILE]
  *       replay the trace through the livephased service and report
  *       client-side accuracy plus the service's own counters. The
  *       client runs the resilient retry/deadline/breaker loop;
  *       --faults arms failpoints (see src/fault/failpoint.hh for
  *       the spec grammar), as does $LIVEPHASE_FAULTS.
+ *       --trace-sample enables request tracing at head-sampling
+ *       rate R; --trace-out fetches the sampled span trees over
+ *       the query-traces op at the end of the run and writes them
+ *       as Chrome trace-event JSON (load in Perfetto / about:tracing).
  *   stats [trace.csv] [--format prometheus|jsonl|table]
  *         [--bench NAME] [--predictor ...] [--batch K]
  *       enable the obs subsystem, run the trace through a managed
@@ -32,6 +37,11 @@
  *   trace [trace.csv] [--bench NAME]
  *       same replay, then dump the flight recorder (structured
  *       trace events) to stdout
+ *   traces [trace.csv] [--bench NAME] [--sample R] [--out FILE]
+ *       same replay with request tracing head-sampled at R
+ *       (default 1.0 — every request), then fetch the causal span
+ *       trees over the query-traces op and emit Chrome trace-event
+ *       JSON to stdout or FILE
  *   list
  *       list the built-in synthetic benchmarks
  *
@@ -50,6 +60,8 @@
  */
 
 #include <algorithm>
+#include <fstream>
+#include <functional>
 #include <iostream>
 #include <sstream>
 
@@ -66,6 +78,7 @@
 #include "obs/exposition.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/runtime.hh"
+#include "obs/trace.hh"
 #include "service/client.hh"
 #include "service/service.hh"
 #include "workload/spec2000.hh"
@@ -90,10 +103,13 @@ usage(const std::string &prog)
         << "  serve <trace.csv>"
            " [--predictor lastvalue|gpht|setassoc|varwindow]"
            " [--batch K] [--workers N] [--json] [--deadline-ms D]"
-           " [--faults SPEC] [--fault-seed S]\n"
+           " [--faults SPEC] [--fault-seed S]"
+           " [--trace-sample R] [--trace-out FILE]\n"
         << "  stats [trace.csv] [--format prometheus|jsonl|table]"
            " [--bench NAME] [--predictor ...] [--batch K]\n"
         << "  trace [trace.csv] [--bench NAME]\n"
+        << "  traces [trace.csv] [--bench NAME] [--sample R]"
+           " [--out FILE]\n"
         << "  list\n";
     return 2;
 }
@@ -333,6 +349,19 @@ cmdServe(const CliArgs &args)
             fatal("--faults: %s", error.c_str());
     }
 
+    const double trace_sample =
+        args.getDouble("trace-sample", 0.0);
+    if (trace_sample < 0.0 || trace_sample > 1.0)
+        fatal("--trace-sample must be in [0, 1]");
+    if (args.has("trace-out") && trace_sample <= 0.0)
+        fatal("--trace-out needs --trace-sample > 0");
+    if (trace_sample > 0.0) {
+        // Tracing rides on the obs subsystem (queue-wait stamps,
+        // span histograms): a traced serve is an instrumented one.
+        obs::setEnabled(true);
+        obs::Tracer::global().setSampleRate(trace_sample);
+    }
+
     LivePhaseService::Config cfg;
     cfg.workers = static_cast<size_t>(args.getInt("workers", 2));
     // workers = 0 is the service's manual-drain test mode; with a
@@ -391,6 +420,23 @@ cmdServe(const CliArgs &args)
                              stats_reply.status, json);
     client.close(open.session_id);
 
+    if (args.has("trace-out")) {
+        const std::string path = args.getString("trace-out", "");
+        if (path.empty())
+            fatal("--trace-out requires a path");
+        const auto traces = client.queryTraces();
+        if (traces.status != Status::Ok)
+            return clientFailure("query-traces", client,
+                                 traces.status, json);
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot write %s", path.c_str());
+        out << traces.json;
+        // stderr: --json runs keep stdout machine-readable.
+        std::cerr << "livephase: wrote Chrome trace JSON to " << path
+                  << "\n";
+    }
+
     if (json) {
         std::ostringstream stats_os;
         stats_reply.stats.printJson(stats_os);
@@ -442,10 +488,13 @@ statsTrace(const CliArgs &args)
 
 /** Replay `trace` through an in-process service (the cmdServe
  *  path, minus reporting) so service/core telemetry is live, then
- *  hand the caller the requested exposition text. */
+ *  hand the open client to `query` for whatever it wants to fetch
+ *  (exposition text, stats tables, span trees). */
 std::string
-replayAndExpose(const CliArgs &args, const IntervalTrace &trace,
-                ExpositionQuery query)
+replayAndQuery(
+    const CliArgs &args, const IntervalTrace &trace,
+    const std::function<std::string(service::ServiceClient &)>
+        &query)
 {
     using namespace livephase::service;
 
@@ -482,22 +531,34 @@ replayAndExpose(const CliArgs &args, const IntervalTrace &trace,
         }
     }
     client.close(open.session_id);
+    return query(client);
+}
 
-    const auto metrics = client.queryMetrics(
-        static_cast<uint16_t>(query.format));
-    if (metrics.status != Status::Ok)
-        fatal("query-metrics failed: %s",
-              statusName(metrics.status));
-    if (query.table) {
-        const auto stats = client.queryStats();
-        if (stats.status != Status::Ok)
-            fatal("query-stats failed: %s",
-                  statusName(stats.status));
-        std::ostringstream os;
-        stats.stats.print(os);
-        return os.str();
-    }
-    return metrics.text;
+/** The stats/trace flavor of replayAndQuery: fetch the requested
+ *  exposition text (or the queryStats tables). */
+std::string
+replayAndExpose(const CliArgs &args, const IntervalTrace &trace,
+                ExpositionQuery query)
+{
+    using namespace livephase::service;
+
+    return replayAndQuery(args, trace, [&](ServiceClient &client) {
+        const auto metrics = client.queryMetrics(
+            static_cast<uint16_t>(query.format));
+        if (metrics.status != Status::Ok)
+            fatal("query-metrics failed: %s",
+                  statusName(metrics.status));
+        if (query.table) {
+            const auto stats = client.queryStats();
+            if (stats.status != Status::Ok)
+                fatal("query-stats failed: %s",
+                      statusName(stats.status));
+            std::ostringstream os;
+            stats.stats.print(os);
+            return os.str();
+        }
+        return metrics.text;
+    });
 }
 
 int
@@ -545,6 +606,43 @@ cmdTrace(const CliArgs &args)
 }
 
 int
+cmdTraces(const CliArgs &args)
+{
+    using namespace livephase::service;
+
+    const double sample = args.getDouble("sample", 1.0);
+    if (sample <= 0.0 || sample > 1.0)
+        fatal("--sample must be in (0, 1]");
+    obs::setEnabled(true);
+    obs::Tracer::global().setSampleRate(sample);
+
+    const IntervalTrace trace = statsTrace(args);
+    const std::string json = replayAndQuery(
+        args, trace, [](ServiceClient &client) {
+            const auto traces = client.queryTraces();
+            if (traces.status != Status::Ok)
+                fatal("query-traces failed: %s",
+                      statusName(traces.status));
+            return traces.json;
+        });
+
+    if (args.has("out")) {
+        const std::string path = args.getString("out", "");
+        if (path.empty())
+            fatal("--out requires a path");
+        std::ofstream out(path);
+        if (!out)
+            fatal("cannot write %s", path.c_str());
+        out << json;
+        std::cout << "wrote Chrome trace JSON to " << path
+                  << " (load in Perfetto or chrome://tracing)\n";
+        return 0;
+    }
+    std::cout << json;
+    return 0;
+}
+
+int
 cmdList()
 {
     for (const auto &bench : Spec2000Suite::all())
@@ -579,6 +677,8 @@ main(int argc, char **argv)
         return cmdStats(args);
     if (command == "trace")
         return cmdTrace(args);
+    if (command == "traces")
+        return cmdTraces(args);
     if (command == "list")
         return cmdList();
     return usage(args.program());

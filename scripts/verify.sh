@@ -29,16 +29,17 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 # The suites whose bugs are concurrency- or memory-shaped: service,
 # obs and the chaos/fault-injection tests.
 SAN_TARGETS="test_service test_obs test_fault test_chaos"
-SAN_FILTER='Obs|FlightRecorder|Metrics|Histogram|Span|Runtime|Service|Session|Protocol|Exposition|Fault|Chaos'
+SAN_FILTER='Obs|FlightRecorder|Metrics|Histogram|Span|Runtime|Service|Session|Protocol|Exposition|Trace|Fault|Chaos'
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
 
-# The obs overhead gate also runs inside ctest
-# (bench_obs_overhead_ci); re-run it visibly so the budget number
-# shows up in the verification log.
+# The obs and tracing overhead gates also run inside ctest
+# (bench_obs_overhead_ci / bench_trace_overhead_ci); re-run them
+# visibly so the budget numbers show up in the verification log.
 "$BUILD_DIR"/bench/bench_obs_overhead --check
+"$BUILD_DIR"/bench/bench_trace_overhead --check
 
 if [ "$ASAN" = 1 ]; then
     ASAN_DIR="${BUILD_DIR}-asan"

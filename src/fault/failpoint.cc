@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace livephase::fault
 {
@@ -140,6 +141,12 @@ Failpoint::evaluate()
         {{"point", point_name.c_str()},
          {"action", actionName(outcome.action)},
          {"hit", hit}});
+    // Mirror into the request's trace (when one is sampled) so a
+    // span tree names the exact injected fault that shaped it.
+    obs::traceInstant("fault.trigger",
+                      {{"point", point_name.c_str()},
+                       {"action", actionName(outcome.action)},
+                       {"hit", hit}});
 
     if (outcome.action == Action::Delay && outcome.delay_us > 0)
         std::this_thread::sleep_for(

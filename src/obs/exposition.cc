@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/runtime.hh"
+
 namespace livephase::obs
 {
 
@@ -142,25 +144,59 @@ renderJsonl(const MetricsSnapshot &snap)
 
 PeriodicExporter::PeriodicExporter(const MetricsRegistry &registry,
                                    std::ostream &os,
-                                   std::chrono::milliseconds interval)
-    : reg(registry), out(os)
+                                   std::chrono::milliseconds tick)
+    : reg(registry), out(os), interval(tick)
 {
-    worker = std::thread([this, interval] { loop(interval); });
+    start();
 }
 
 PeriodicExporter::~PeriodicExporter()
 {
+    stop();
+}
+
+void
+PeriodicExporter::start()
+{
+    std::lock_guard lifecycle(lifecycle_mu);
+    if (worker.joinable())
+        return; // already running
+    {
+        std::lock_guard lock(mu);
+        stopping = false;
+    }
+    worker = std::thread([this] { loop(); });
+}
+
+void
+PeriodicExporter::stop()
+{
+    std::lock_guard lifecycle(lifecycle_mu);
+    if (!worker.joinable())
+        return; // never started, or already stopped
     {
         std::lock_guard lock(mu);
         stopping = true;
     }
     cv.notify_all();
+    // Join strictly before the final export: once the worker is
+    // gone, this thread is the only writer of `out`, so the final
+    // tick cannot interleave with an in-flight one (the teardown
+    // race this refactor removes).
     worker.join();
+    worker = std::thread();
     exportOnce(); // final state, so short runs still export once
 }
 
+bool
+PeriodicExporter::running() const
+{
+    std::lock_guard lifecycle(lifecycle_mu);
+    return worker.joinable();
+}
+
 void
-PeriodicExporter::loop(std::chrono::milliseconds interval)
+PeriodicExporter::loop()
 {
     std::unique_lock lock(mu);
     while (!stopping) {
@@ -176,6 +212,7 @@ PeriodicExporter::loop(std::chrono::milliseconds interval)
 void
 PeriodicExporter::exportOnce()
 {
+    refreshRuntimeMetrics();
     const uint64_t tick =
         tick_count.fetch_add(1, std::memory_order_relaxed);
     out << "# export tick=" << tick << "\n"

@@ -53,7 +53,10 @@ std::string renderJsonl(const MetricsSnapshot &snap);
 /**
  * Background thread dumping a registry to `os` every `interval`
  * in JSONL, each tick preceded by a `# export tick=N` comment
- * line. Stops (after one final export) on destruction.
+ * line. Starts on construction; stop() (idempotent, restart-safe
+ * via start()) joins the worker *before* issuing the final export,
+ * so teardown can never race a concurrent export tick on the
+ * stream. The destructor calls stop().
  */
 class PeriodicExporter
 {
@@ -67,6 +70,22 @@ class PeriodicExporter
     PeriodicExporter(const PeriodicExporter &) = delete;
     PeriodicExporter &operator=(const PeriodicExporter &) = delete;
 
+    /** Launch the export thread; no-op while already running. */
+    void start();
+
+    /**
+     * Signal the worker, join it, then write one final export (so
+     * even a zero-interval-elapsed run exports once per cycle).
+     * Idempotent and safe to call concurrently with start()/stop()
+     * from other threads; the lifecycle lock serializes them and
+     * the join-before-final-export ordering keeps the output
+     * stream single-writer.
+     */
+    void stop();
+
+    /** True between start() and stop(). */
+    bool running() const;
+
     /** Export ticks completed so far. */
     uint64_t ticks() const
     {
@@ -74,16 +93,22 @@ class PeriodicExporter
     }
 
   private:
-    void loop(std::chrono::milliseconds interval);
+    void loop();
     void exportOnce();
 
     const MetricsRegistry &reg;
     std::ostream &out;
+    const std::chrono::milliseconds interval;
     std::atomic<uint64_t> tick_count{0};
-    std::mutex mu;
+
+    /** Serializes start/stop transitions (and owns `worker`);
+     *  never held while exporting. */
+    mutable std::mutex lifecycle_mu;
+    std::thread worker;
+
+    std::mutex mu; ///< guards `stopping` for the cv handshake
     std::condition_variable cv;
     bool stopping = false;
-    std::thread worker;
 };
 
 } // namespace livephase::obs

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace livephase::obs
 {
@@ -170,7 +171,19 @@ FlightRecorder::autoDump(const char *reason)
         return false;
     latched_reasons.push_back(key);
     std::ostream &os = sink ? *sink : std::cerr;
-    os << "flight-recorder auto-dump (reason=" << key << ")\n";
+    os << "flight-recorder auto-dump (reason=" << key;
+    // Cross-reference: when the triggering thread is handling a
+    // sampled request, name the trace so the dump and the span
+    // tree can be joined up; the mirror-image instant event marks
+    // the dump inside the trace itself.
+    const TraceContext ctx = currentTrace();
+    if (ctx.sampled()) {
+        char id[24];
+        std::snprintf(id, sizeof(id), "0x%" PRIx64, ctx.trace_id);
+        os << ", trace_id=" << id;
+        traceInstant("flight.dump", {{"reason", key.c_str()}});
+    }
+    os << ")\n";
     dump(os);
     os.flush();
     return true;

@@ -1,7 +1,10 @@
 #include "obs/runtime.hh"
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+
+#include "obs/metrics.hh"
 
 namespace livephase::obs
 {
@@ -93,6 +96,50 @@ currentSpanPath(char *buf, size_t size)
     }
     buf[out] = '\0';
     return out;
+}
+
+const BuildInfo &
+buildInfo()
+{
+#ifdef LIVEPHASE_VERSION
+    static const char *version = LIVEPHASE_VERSION;
+#else
+    static const char *version = "0.0.0";
+#endif
+#ifdef LIVEPHASE_GIT_SHA
+    static const char *git_sha = LIVEPHASE_GIT_SHA;
+#else
+    static const char *git_sha = "unknown";
+#endif
+#if defined(__clang__)
+    static const char compiler[] = "clang " __clang_version__;
+#elif defined(__GNUC__)
+    static const char compiler[] = "gcc " __VERSION__;
+#else
+    static const char compiler[] = "unknown";
+#endif
+    static const BuildInfo info{version, git_sha, compiler};
+    return info;
+}
+
+void
+refreshRuntimeMetrics()
+{
+    const BuildInfo &info = buildInfo();
+    // Labels are baked into the registered name; the series is
+    // created once and its value is the constant 1.
+    static Gauge &build_gauge = [&]() -> Gauge & {
+        char name[256];
+        std::snprintf(name, sizeof(name),
+                      "livephase_build_info{version=\"%s\","
+                      "git_sha=\"%s\",compiler=\"%s\"}",
+                      info.version, info.git_sha, info.compiler);
+        return MetricsRegistry::global().gauge(name);
+    }();
+    build_gauge.set(1.0);
+    static Gauge &uptime = MetricsRegistry::global().gauge(
+        "livephase_uptime_seconds");
+    uptime.set(static_cast<double>(sinceStartNs()) / 1e9);
 }
 
 } // namespace livephase::obs

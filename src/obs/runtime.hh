@@ -70,6 +70,27 @@ void popSpan();
  */
 size_t currentSpanPath(char *buf, size_t size);
 
+/** Compile-time identity of this build, for exposition labels. */
+struct BuildInfo
+{
+    const char *version;  ///< project version (CMake)
+    const char *git_sha;  ///< short commit sha ("unknown" outside git)
+    const char *compiler; ///< compiler id + version
+};
+
+const BuildInfo &buildInfo();
+
+/**
+ * Refresh the registry's runtime self-description:
+ * `livephase_build_info{version=...,git_sha=...,compiler=...}` (a
+ * constant-1 gauge carrying its facts as labels, the Prometheus
+ * build-info idiom) and `livephase_uptime_seconds`. Called by the
+ * exposition paths (service metricsText, PeriodicExporter) right
+ * before each render, so both Prometheus and JSONL always carry a
+ * fresh uptime.
+ */
+void refreshRuntimeMetrics();
+
 } // namespace livephase::obs
 
 #endif // LIVEPHASE_OBS_RUNTIME_HH

@@ -28,6 +28,7 @@
 
 #include "obs/metrics.hh"
 #include "obs/runtime.hh"
+#include "obs/trace.hh"
 
 namespace livephase::obs
 {
@@ -40,11 +41,16 @@ Histogram &spanHistogram(const char *name);
  * RAII span: times its scope into `hist` and keeps `name` on the
  * thread's span stack while alive. No-op when obs is disabled at
  * construction time.
+ *
+ * When the thread carries a sampled trace context (obs/trace.hh),
+ * the scope additionally becomes a trace span of the same name
+ * nested under that context — the aggregate histogram and the
+ * per-request span tree come from one instrumentation site.
  */
 class Span
 {
   public:
-    Span(const char *name, Histogram &histogram)
+    Span(const char *name, Histogram &histogram) : tspan(name)
     {
         if (enabled()) {
             hist = &histogram;
@@ -65,7 +71,12 @@ class Span
     Span(const Span &) = delete;
     Span &operator=(const Span &) = delete;
 
+    /** The trace-side twin (inert when the request is unsampled);
+     *  call sites annotate request-specific facts through it. */
+    TraceSpan &trace() { return tspan; }
+
   private:
+    TraceSpan tspan;
     Histogram *hist = nullptr;
     uint64_t start_ns = 0;
 };

@@ -7,6 +7,7 @@
 #include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
 #include "obs/runtime.hh"
+#include "obs/trace.hh"
 
 namespace livephase::service
 {
@@ -78,9 +79,13 @@ ServiceClient::backoff(uint64_t &step_us, uint64_t deadline_ns)
             return;
         sleep_us = std::min(sleep_us, (deadline_ns - now) / 1000);
     }
-    if (sleep_us > 0)
+    if (sleep_us > 0) {
+        obs::TraceSpan sleep_span("client.backoff");
+        if (sleep_span.sampled())
+            sleep_span.annotate({"sleep_us", sleep_us});
         std::this_thread::sleep_for(
             std::chrono::microseconds(sleep_us));
+    }
     last_call.backoff_us += sleep_us;
     step_us = std::min(
         static_cast<uint64_t>(static_cast<double>(step_us) *
@@ -106,6 +111,11 @@ ServiceClient::noteTransportFailure()
             {{"failures",
               static_cast<uint64_t>(consecutive_failures)},
              {"cooldown_us", policy.breaker_cooldown_us}});
+        obs::traceInstant(
+            "client.breaker.open",
+            {{"failures",
+              static_cast<uint64_t>(consecutive_failures)},
+             {"cooldown_us", policy.breaker_cooldown_us}});
     } else if (breaker_open) {
         // Failed half-open probe: restart the cooldown.
         breaker_reopen_ns =
@@ -121,20 +131,47 @@ ServiceClient::noteTransportSuccess()
         breaker_open = false;
         obs::FlightRecorder::global().record(
             obs::Severity::Info, "client.breaker.close", {});
+        obs::traceInstant("client.breaker.close", {});
     }
 }
 
 bool
-ServiceClient::call(const Bytes &request, ParsedResponse &out)
+ServiceClient::call(const char *op_label, const EncodeFn &encode,
+                    ParsedResponse &out)
 {
     last_call = CallInfo{};
     out = ParsedResponse{};
 
+    // Trace root: join an ambient sampled context (the CLI's
+    // `traces` command installs one around its replay) or ask the
+    // head sampler; an unsampled decision leaves a zero context and
+    // every trace call below is a cheap no-op.
+    const obs::TraceContext ambient = obs::currentTrace();
+    obs::ScopedTrace scope(ambient.sampled()
+                               ? ambient
+                               : obs::Tracer::global().startTrace());
+    obs::TraceSpan root("client.request");
+    if (root.sampled())
+        root.annotate({"op", op_label});
+
+    // Trace context goes on the wire only to a peer that advertised
+    // v2 — a v1 server would reject the unknown revision. Untraced
+    // frames are invariant across attempts, so encode exactly once.
+    const bool wire_trace = root.sampled() && peer_version >= 2;
+    Bytes plain;
+    if (!wire_trace)
+        plain = encode(TraceField{});
+
     if (!resilient) {
         ++last_call.attempts;
-        const Bytes response = link.roundTrip(request);
+        const obs::TraceContext ctx = root.context();
+        const Bytes response = link.roundTrip(
+            wire_trace ? encode({ctx.trace_id, ctx.span_id})
+                       : plain);
         if (response.empty()) {
             last_call.error = ClientError::TransportFailure;
+            if (root.sampled())
+                root.annotate({"error", "transport-failure"});
             return false;
         }
         return parseResponse(response, out);
@@ -149,6 +186,10 @@ ServiceClient::call(const Bytes &request, ParsedResponse &out)
         if (obs::monoNowNs() < breaker_reopen_ns) {
             counters.breaker_fast_fails.inc();
             last_call.error = ClientError::CircuitOpen;
+            if (root.sampled()) {
+                root.annotate({"error", "circuit-open"});
+                obs::traceInstant("client.breaker.fastfail", {});
+            }
             return false;
         }
         // Cooldown over: fall through as a half-open probe.
@@ -158,17 +199,35 @@ ServiceClient::call(const Bytes &request, ParsedResponse &out)
     size_t reconnects_left = policy.max_reconnects;
     for (;;) {
         ++last_call.attempts;
-        const Bytes response = link.roundTrip(request);
+        // One span per round trip; a server that negotiated v2
+        // parents its service.handle span to *this attempt*, so a
+        // trace distinguishes the failed try from the retry that
+        // succeeded.
+        obs::TraceSpan attempt("client.attempt");
+        if (attempt.sampled())
+            attempt.annotate(
+                {"n", static_cast<uint64_t>(last_call.attempts)});
+        const obs::TraceContext actx = attempt.context();
+        const Bytes response = link.roundTrip(
+            wire_trace ? encode({actx.trace_id, actx.span_id})
+                       : plain);
 
         if (response.empty()) {
+            if (attempt.sampled())
+                attempt.annotate({"outcome", "transport-failure"});
+            attempt.end();
             noteTransportFailure();
             if (breaker_open && last_call.attempts == 1) {
                 // The half-open probe itself failed; fail fast.
                 last_call.error = ClientError::TransportFailure;
+                if (root.sampled())
+                    root.annotate({"error", "transport-failure"});
                 return false;
             }
             if (reconnects_left == 0) {
                 last_call.error = ClientError::TransportFailure;
+                if (root.sampled())
+                    root.annotate({"error", "transport-failure"});
                 return false;
             }
             --reconnects_left;
@@ -184,15 +243,25 @@ ServiceClient::call(const Bytes &request, ParsedResponse &out)
                     {{"attempts",
                       static_cast<uint64_t>(last_call.attempts)}});
                 last_call.error = ClientError::DeadlineExceeded;
+                if (root.sampled())
+                    root.annotate({"error", "deadline-exceeded"});
                 return false;
             }
             backoff(step_us, deadline_ns);
+            obs::traceInstant(
+                "client.reconnect",
+                {{"left", static_cast<uint64_t>(reconnects_left)}});
             link.reconnect(); // a failed dial just burns a retry
             continue;
         }
 
         noteTransportSuccess();
         const bool parsed_ok = parseResponse(response, out);
+        if (attempt.sampled())
+            attempt.annotate({"status", parsed_ok
+                                            ? statusName(out.status)
+                                            : "unparseable"});
+        attempt.end();
 
         if (parsed_ok && out.status == Status::RetryAfter) {
             ++last_call.retry_after;
@@ -209,6 +278,8 @@ ServiceClient::call(const Bytes &request, ParsedResponse &out)
                     {{"attempts",
                       static_cast<uint64_t>(last_call.attempts)}});
                 last_call.error = ClientError::DeadlineExceeded;
+                if (root.sampled())
+                    root.annotate({"error", "deadline-exceeded"});
                 // The service answered; report its status.
                 return true;
             }
@@ -233,9 +304,14 @@ ServiceClient::call(const Bytes &request, ParsedResponse &out)
         obs::FlightRecorder::global().record(
             obs::Severity::Warn, "client.desync.retry",
             {{"left", static_cast<uint64_t>(reconnects_left)}});
+        obs::traceInstant(
+            "client.desync.retry",
+            {{"left", static_cast<uint64_t>(reconnects_left)}});
         if (deadlinePassed(deadline_ns)) {
             counters.deadline_exceeded.inc();
             last_call.error = ClientError::DeadlineExceeded;
+            if (root.sampled())
+                root.annotate({"error", "deadline-exceeded"});
             return parsed_ok;
         }
         backoff(step_us, deadline_ns);
@@ -247,8 +323,17 @@ ServiceClient::OpenReply
 ServiceClient::open(PredictorKind kind)
 {
     ParsedResponse parsed;
-    if (!call(encodeOpenRequest(kind), parsed))
+    if (!call("open",
+              [kind](const TraceField &trace) {
+                  return encodeOpenRequest(kind, trace);
+              },
+              parsed))
         return {Status::BadFrame, 0};
+    // The Open response carries the server's version advert (absent
+    // on v1 servers => decodes as 1); it gates wire-level tracing
+    // for every later call on this client.
+    if (parsed.status == Status::Ok)
+        peer_version = decodeVersionAdvert(parsed.body);
     return {parsed.status, parsed.header.session_id};
 }
 
@@ -257,7 +342,12 @@ ServiceClient::submitBatch(uint64_t session_id,
                            const std::vector<IntervalRecord> &records)
 {
     ParsedResponse parsed;
-    if (!call(encodeSubmitRequest(session_id, records), parsed))
+    if (!call("submit-batch",
+              [session_id, &records](const TraceField &trace) {
+                  return encodeSubmitRequest(session_id, records,
+                                             trace);
+              },
+              parsed))
         return {Status::BadFrame, {}};
     SubmitReply reply;
     reply.status = parsed.status;
@@ -291,7 +381,11 @@ ServiceClient::StatsReply
 ServiceClient::queryStats()
 {
     ParsedResponse parsed;
-    if (!call(encodeStatsRequest(), parsed))
+    if (!call("query-stats",
+              [](const TraceField &trace) {
+                  return encodeStatsRequest(trace);
+              },
+              parsed))
         return {Status::BadFrame, {}};
     StatsReply reply;
     reply.status = parsed.status;
@@ -308,7 +402,11 @@ ServiceClient::MetricsReply
 ServiceClient::queryMetrics(uint16_t raw_format)
 {
     ParsedResponse parsed;
-    if (!call(encodeMetricsRequest(raw_format), parsed))
+    if (!call("query-metrics",
+              [raw_format](const TraceField &trace) {
+                  return encodeMetricsRequest(raw_format, trace);
+              },
+              parsed))
         return {Status::BadFrame, {}};
     MetricsReply reply;
     reply.status = parsed.status;
@@ -325,9 +423,34 @@ Status
 ServiceClient::close(uint64_t session_id)
 {
     ParsedResponse parsed;
-    if (!call(encodeCloseRequest(session_id), parsed))
+    if (!call("close",
+              [session_id](const TraceField &trace) {
+                  return encodeCloseRequest(session_id, trace);
+              },
+              parsed))
         return Status::BadFrame;
     return parsed.status;
+}
+
+ServiceClient::TracesReply
+ServiceClient::queryTraces(uint64_t trace_id)
+{
+    ParsedResponse parsed;
+    if (!call("query-traces",
+              [trace_id](const TraceField &trace) {
+                  return encodeTracesRequest(trace_id, trace);
+              },
+              parsed))
+        return {Status::BadFrame, {}};
+    TracesReply reply;
+    reply.status = parsed.status;
+    if (parsed.status == Status::Ok) {
+        auto text = decodeMetricsText(parsed.body);
+        if (!text)
+            return {Status::BadFrame, {}};
+        reply.json = std::move(*text);
+    }
+    return reply;
 }
 
 } // namespace livephase::service

@@ -21,6 +21,17 @@
  * a policy, the client is the bare one-shot protocol wrapper it
  * always was (tests that drive the queue by hand rely on that).
  *
+ * Tracing: every operation asks the global obs::Tracer for a
+ * head-sampling decision (or joins an already-installed sampled
+ * context) and becomes a `client.request` root span with one
+ * `client.attempt` child per round trip; backoff sleeps, reconnects,
+ * breaker transitions and deadline misses appear as child spans and
+ * instant events. When the server's Open response advertised
+ * protocol v2, the per-attempt span context additionally travels in
+ * the request frame's trace block so server-side spans nest under
+ * the attempt that caused them; against a v1 server the client
+ * keeps tracing locally but puts nothing extra on the wire.
+ *
  * A ServiceClient is not itself thread-safe; give each client
  * thread its own instance (they may share an InProcessTransport,
  * whose round trip is a thread-safe submit + future wait).
@@ -30,6 +41,8 @@
 #define LIVEPHASE_SERVICE_CLIENT_HH
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "common/random.hh"
@@ -215,6 +228,17 @@ class ServiceClient
     /** Close a session. */
     Status close(uint64_t session_id);
 
+    struct TracesReply
+    {
+        Status status = Status::BadFrame;
+        std::string json; ///< Chrome trace-event JSON
+    };
+
+    /** Fetch the server's retained trace spans as Chrome
+     *  trace-event JSON; `trace_id` 0 requests every trace.
+     *  Requires a v2 server (a v1 server answers BadFrame). */
+    TracesReply queryTraces(uint64_t trace_id = 0);
+
     /** How the most recent operation went (attempts, retries,
      *  reconnects, terminal client-side error if any). */
     const CallInfo &lastCall() const { return last_call; }
@@ -222,15 +246,28 @@ class ServiceClient
     /** True while the circuit breaker refuses to issue I/O. */
     bool breakerOpen() const { return breaker_open; }
 
+    /** Protocol revision the server advertised in its Open
+     *  response; PROTOCOL_VERSION_MIN until an Open succeeded.
+     *  Trace contexts go on the wire only when this is >= 2. */
+    uint16_t peerVersion() const { return peer_version; }
+
   private:
+    /** Builds the request frame for one attempt; the trace field is
+     *  that attempt's span context (zero when untraced). */
+    using EncodeFn = std::function<Bytes(const TraceField &)>;
+
     /**
      * Run one request through the retry/deadline/breaker loop.
-     * Returns true with `out` filled when a well-formed response
-     * arrived; false when the call failed client-side (see
+     * `op_label` names the root span; `encode` is re-invoked per
+     * attempt when a trace context travels on the wire (each
+     * attempt parents the server's spans) and exactly once
+     * otherwise. Returns true with `out` filled when a well-formed
+     * response arrived; false when the call failed client-side (see
      * lastCall().error) or the response was unparseable (out.status
      * stays BadFrame).
      */
-    bool call(const Bytes &request, ParsedResponse &out);
+    bool call(const char *op_label, const EncodeFn &encode,
+              ParsedResponse &out);
 
     /** Sleep the next backoff step (capped, jittered, clipped to
      *  the remaining deadline). */
@@ -246,6 +283,7 @@ class ServiceClient
     bool resilient = false;
     Rng jitter_rng{0};
     CallInfo last_call{};
+    uint16_t peer_version = PROTOCOL_VERSION_MIN;
 
     // Circuit breaker (per client, as each thread owns one client).
     size_t consecutive_failures = 0;

@@ -30,6 +30,7 @@ opName(uint16_t raw_op)
       case Op::QueryStats: return "query-stats";
       case Op::Close: return "close";
       case Op::QueryMetrics: return "query-metrics";
+      case Op::QueryTraces: return "query-traces";
     }
     return "op-" + std::to_string(raw_op);
 }
@@ -68,6 +69,12 @@ IntervalRecord::valid() const
 }
 
 // --- byte-level helpers ------------------------------------------
+
+void
+ByteWriter::u8(uint8_t v)
+{
+    buf.push_back(v);
+}
 
 void
 ByteWriter::u16(uint16_t v)
@@ -111,6 +118,22 @@ ByteReader::grab(void *out, size_t n)
     if (left < n)
         return false;
     std::memcpy(out, cur, n);
+    cur += n;
+    left -= n;
+    return true;
+}
+
+bool
+ByteReader::u8(uint8_t &v)
+{
+    return grab(&v, 1);
+}
+
+bool
+ByteReader::skip(size_t n)
+{
+    if (left < n)
+        return false;
     cur += n;
     left -= n;
     return true;
@@ -176,22 +199,46 @@ namespace
 {
 
 void
-writeHeader(ByteWriter &w, uint16_t raw_op, uint64_t session_id,
-            uint32_t payload_size)
+writeHeader(ByteWriter &w, uint16_t version, uint16_t raw_op,
+            uint64_t session_id, uint32_t payload_size)
 {
     w.u32(FRAME_MAGIC);
-    w.u16(PROTOCOL_VERSION);
+    w.u16(version);
     w.u16(raw_op);
     w.u64(session_id);
     w.u32(payload_size);
 }
 
+/** Response / legacy framing at an explicit version. */
 Bytes
-frame(uint16_t raw_op, uint64_t session_id, const Bytes &payload)
+frameAt(uint16_t version, uint16_t raw_op, uint64_t session_id,
+        const Bytes &payload)
 {
     ByteWriter w;
-    writeHeader(w, raw_op, session_id,
+    writeHeader(w, version, raw_op, session_id,
                 static_cast<uint32_t>(payload.size()));
+    Bytes out = w.take();
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+/** Request framing: an attached trace context upgrades the frame
+ *  to v2 and prepends the trace block; otherwise the bytes are
+ *  identical to what a v1 encoder always produced. */
+Bytes
+frame(uint16_t raw_op, uint64_t session_id, const Bytes &payload,
+      const TraceField &trace)
+{
+    if (!trace.present())
+        return frameAt(PROTOCOL_VERSION_MIN, raw_op, session_id,
+                       payload);
+    ByteWriter w;
+    writeHeader(w, PROTOCOL_VERSION, raw_op, session_id,
+                static_cast<uint32_t>(payload.size() + 1 +
+                                      TRACE_FIELD_WIRE_SIZE));
+    w.u8(static_cast<uint8_t>(TRACE_FIELD_WIRE_SIZE));
+    w.u64(trace.trace_id);
+    w.u64(trace.parent_span_id);
     Bytes out = w.take();
     out.insert(out.end(), payload.begin(), payload.end());
     return out;
@@ -217,16 +264,18 @@ peekHeader(const Bytes &frame)
 }
 
 Bytes
-encodeOpenRequest(PredictorKind kind)
+encodeOpenRequest(PredictorKind kind, const TraceField &trace)
 {
     ByteWriter payload;
     payload.u16(static_cast<uint16_t>(kind));
-    return frame(static_cast<uint16_t>(Op::Open), 0, payload.take());
+    return frame(static_cast<uint16_t>(Op::Open), 0, payload.take(),
+                 trace);
 }
 
 Bytes
 encodeSubmitRequest(uint64_t session_id,
-                    const std::vector<IntervalRecord> &records)
+                    const std::vector<IntervalRecord> &records,
+                    const TraceField &trace)
 {
     ByteWriter payload;
     payload.u32(static_cast<uint32_t>(records.size()));
@@ -236,28 +285,39 @@ encodeSubmitRequest(uint64_t session_id,
         payload.u64(rec.tsc);
     }
     return frame(static_cast<uint16_t>(Op::SubmitBatch), session_id,
-                 payload.take());
+                 payload.take(), trace);
 }
 
 Bytes
-encodeStatsRequest()
+encodeStatsRequest(const TraceField &trace)
 {
-    return frame(static_cast<uint16_t>(Op::QueryStats), 0, {});
+    return frame(static_cast<uint16_t>(Op::QueryStats), 0, {},
+                 trace);
 }
 
 Bytes
-encodeCloseRequest(uint64_t session_id)
+encodeCloseRequest(uint64_t session_id, const TraceField &trace)
 {
-    return frame(static_cast<uint16_t>(Op::Close), session_id, {});
+    return frame(static_cast<uint16_t>(Op::Close), session_id, {},
+                 trace);
 }
 
 Bytes
-encodeMetricsRequest(uint16_t raw_format)
+encodeMetricsRequest(uint16_t raw_format, const TraceField &trace)
 {
     ByteWriter payload;
     payload.u16(raw_format);
     return frame(static_cast<uint16_t>(Op::QueryMetrics), 0,
-                 payload.take());
+                 payload.take(), trace);
+}
+
+Bytes
+encodeTracesRequest(uint64_t trace_id_filter, const TraceField &trace)
+{
+    ByteWriter payload;
+    payload.u64(trace_id_filter);
+    return frame(static_cast<uint16_t>(Op::QueryTraces), 0,
+                 payload.take(), trace);
 }
 
 Status
@@ -268,7 +328,8 @@ parseRequest(const Bytes &bytes, ParsedRequest &out)
         return Status::BadFrame;
     out.header = *header;
     if (header->magic != FRAME_MAGIC ||
-        header->version != PROTOCOL_VERSION)
+        header->version < PROTOCOL_VERSION_MIN ||
+        header->version > PROTOCOL_VERSION)
         return Status::BadFrame;
     if (header->payload_size > MAX_PAYLOAD_SIZE ||
         bytes.size() != FRAME_HEADER_SIZE + header->payload_size)
@@ -276,6 +337,23 @@ parseRequest(const Bytes &bytes, ParsedRequest &out)
 
     ByteReader r(bytes.data() + FRAME_HEADER_SIZE,
                  header->payload_size);
+    if (header->version >= 2) {
+        // v2 trace block. A length that overruns the payload is a
+        // truncated frame (BadFrame, like any length violation),
+        // but any in-bounds block we cannot interpret — wrong
+        // length, zero trace id — degrades to an untraced request:
+        // a forward-compatibility valve, not an error.
+        uint8_t block_len = 0;
+        if (!r.u8(block_len) || block_len > r.remaining())
+            return Status::BadFrame;
+        if (block_len == TRACE_FIELD_WIRE_SIZE) {
+            if (!r.u64(out.trace.trace_id) ||
+                !r.u64(out.trace.parent_span_id))
+                return Status::BadFrame;
+        } else if (!r.skip(block_len)) {
+            return Status::BadFrame;
+        }
+    }
     switch (static_cast<Op>(header->op)) {
       case Op::Open: {
         uint16_t kind;
@@ -308,19 +386,49 @@ parseRequest(const Bytes &bytes, ParsedRequest &out)
         if (!r.u16(out.metrics_format) || r.remaining() != 0)
             return Status::BadFrame;
         return Status::Ok;
+      case Op::QueryTraces:
+        if (!r.u64(out.traces_filter) || r.remaining() != 0)
+            return Status::BadFrame;
+        return Status::Ok;
     }
     return Status::BadFrame; // unknown op
 }
 
 Bytes
 encodeResponse(uint16_t raw_op, uint64_t session_id, Status status,
-               const Bytes &body)
+               const Bytes &body, uint16_t version)
 {
     ByteWriter payload;
     payload.u16(static_cast<uint16_t>(status));
     Bytes p = payload.take();
     p.insert(p.end(), body.begin(), body.end());
-    return frame(raw_op, session_id, p);
+    // Echo a supported revision even when rejecting garbage whose
+    // header claimed something else.
+    const uint16_t v = version < PROTOCOL_VERSION_MIN
+        ? PROTOCOL_VERSION_MIN
+        : version > PROTOCOL_VERSION ? PROTOCOL_VERSION : version;
+    return frameAt(v, raw_op, session_id, p);
+}
+
+Bytes
+encodeVersionAdvert()
+{
+    ByteWriter w;
+    w.u16(PROTOCOL_VERSION);
+    return w.take();
+}
+
+uint16_t
+decodeVersionAdvert(const Bytes &body)
+{
+    if (body.size() < 2)
+        return PROTOCOL_VERSION_MIN;
+    // The advert is the last two bytes, little-endian.
+    const uint16_t v = static_cast<uint16_t>(
+        body[body.size() - 2] | (body[body.size() - 1] << 8));
+    if (v < PROTOCOL_VERSION_MIN)
+        return PROTOCOL_VERSION_MIN;
+    return v > PROTOCOL_VERSION ? PROTOCOL_VERSION : v;
 }
 
 Bytes
@@ -361,7 +469,8 @@ parseResponse(const Bytes &bytes, ParsedResponse &out)
 {
     const auto header = peekHeader(bytes);
     if (!header || header->magic != FRAME_MAGIC ||
-        header->version != PROTOCOL_VERSION)
+        header->version < PROTOCOL_VERSION_MIN ||
+        header->version > PROTOCOL_VERSION)
         return false;
     if (bytes.size() != FRAME_HEADER_SIZE + header->payload_size ||
         header->payload_size < 2)

@@ -8,20 +8,35 @@
  *
  *     offset  size  field
  *     0       4     magic        0x4C504844 ("LPHD")
- *     4       2     version      protocol revision (currently 1)
+ *     4       2     version      protocol revision (1 or 2)
  *     6       2     op           Op enumerator
  *     8       8     session_id   0 for Open / QueryStats
  *     16      4     payload_size bytes following the header
  *
- * Responses reuse the header (echoing op and session id); their
- * payload always begins with a 16-bit Status, followed by an
+ * Version 2 prepends an optional *trace block* to every request
+ * payload: u8 length, then that many bytes. Length 16 carries a
+ * trace context (u64 trace id + u64 parent span id); any other
+ * in-bounds length is skipped unread, so a request with an
+ * unrecognized (or garbled) trace block degrades to an *untraced*
+ * request, never to a protocol error. Version-1 frames have no
+ * block at all — encoders emit v1 whenever no context is attached,
+ * and parsers accept both revisions, which is the whole interop
+ * story: an old peer only ever sees v1 bytes it already speaks.
+ * New clients learn the server's revision from the version
+ * advertisement appended to the Open response body (old clients
+ * ignore trailing body bytes; absent advert = a v1 server).
+ *
+ * Responses reuse the header (echoing op, session id and the
+ * *request's* version — a v1 client never receives v2 bytes);
+ * their payload always begins with a 16-bit Status, followed by an
  * op-specific body. The same layout travels over the Unix-domain
  * socket transport and the in-process transport, so a client is
  * oblivious to which one it is talking through.
  *
  * Ops:
  *  - Open        payload: u16 PredictorKind. Response header carries
- *                the newly assigned session id.
+ *                the newly assigned session id; response body ends
+ *                with a u16 version advertisement (v2 servers).
  *  - SubmitBatch payload: u32 count, then count IntervalRecords
  *                (f64 uops, f64 bus_tran_mem, u64 tsc). Response
  *                body: u32 count, then count IntervalResults
@@ -33,6 +48,9 @@
  *                body: u32 length + that many bytes of rendered
  *                telemetry (Prometheus text, JSONL, or a flight-
  *                recorder dump).
+ *  - QueryTraces payload: u64 trace-id filter (0 = all traces).
+ *                Response body: u32 length + that many bytes of
+ *                Chrome trace-event JSON (obs/trace.hh). v2 only.
  *
  * Malformed input (bad magic/version, unknown op, truncated or
  * oversized payload, record-count mismatch) is answered with
@@ -56,7 +74,8 @@ namespace livephase::service
 using Bytes = std::vector<uint8_t>;
 
 constexpr uint32_t FRAME_MAGIC = 0x4C504844u; // "LPHD"
-constexpr uint16_t PROTOCOL_VERSION = 1;
+constexpr uint16_t PROTOCOL_VERSION = 2;     ///< newest we speak
+constexpr uint16_t PROTOCOL_VERSION_MIN = 1; ///< oldest we accept
 constexpr size_t FRAME_HEADER_SIZE = 20;
 
 /** Largest payload a peer may send; larger frames are rejected
@@ -71,9 +90,10 @@ enum class Op : uint16_t
     QueryStats = 3,
     Close = 4,
     QueryMetrics = 5,
+    QueryTraces = 6, ///< protocol v2; v1 servers answer BadFrame
 };
 
-constexpr size_t NUM_OPS = 5;
+constexpr size_t NUM_OPS = 6;
 
 /** First field of every response payload. */
 enum class Status : uint16_t
@@ -108,6 +128,23 @@ const char *predictorKindName(PredictorKind kind);
 /** Parse a CLI predictor name; nullopt when unrecognized. */
 std::optional<PredictorKind>
 predictorKindFromName(const std::string &name);
+
+/**
+ * Optional request trace context as it travels on the wire
+ * (protocol v2 trace block, length 16). trace_id == 0 — the
+ * default — means "untraced"; encoders then emit a plain v1 frame.
+ * Deliberately just two integers: the protocol layer knows nothing
+ * about the tracer behind them (obs/trace.hh).
+ */
+struct TraceField
+{
+    uint64_t trace_id = 0;
+    uint64_t parent_span_id = 0;
+
+    bool present() const { return trace_id != 0; }
+};
+
+constexpr size_t TRACE_FIELD_WIRE_SIZE = 16;
 
 /** Decoded frame header (validated magic/version not implied). */
 struct FrameHeader
@@ -152,6 +189,7 @@ constexpr size_t INTERVAL_RESULT_WIRE_SIZE = 12;
 class ByteWriter
 {
   public:
+    void u8(uint8_t v);
     void u16(uint16_t v);
     void u32(uint32_t v);
     void u64(uint64_t v);
@@ -184,11 +222,15 @@ class ByteReader
     {
     }
 
+    bool u8(uint8_t &v);
     bool u16(uint16_t &v);
     bool u32(uint32_t &v);
     bool u64(uint64_t &v);
     bool i32(int32_t &v);
     bool f64(double &v);
+
+    /** Advance past n bytes; false (no movement) when fewer left. */
+    bool skip(size_t n);
 
     size_t remaining() const { return left; }
 
@@ -200,13 +242,25 @@ class ByteReader
 };
 
 // --- client-side request encoders --------------------------------
+//
+// Every encoder takes an optional trace context; a present one
+// upgrades the frame to protocol v2 with a trace block, an absent
+// one (the default) emits byte-identical v1 frames.
 
-Bytes encodeOpenRequest(PredictorKind kind);
+Bytes encodeOpenRequest(PredictorKind kind,
+                        const TraceField &trace = {});
 Bytes encodeSubmitRequest(uint64_t session_id,
-                          const std::vector<IntervalRecord> &records);
-Bytes encodeStatsRequest();
-Bytes encodeCloseRequest(uint64_t session_id);
-Bytes encodeMetricsRequest(uint16_t raw_format);
+                          const std::vector<IntervalRecord> &records,
+                          const TraceField &trace = {});
+Bytes encodeStatsRequest(const TraceField &trace = {});
+Bytes encodeCloseRequest(uint64_t session_id,
+                         const TraceField &trace = {});
+Bytes encodeMetricsRequest(uint16_t raw_format,
+                           const TraceField &trace = {});
+
+/** @param trace_id_filter 0 requests every retained trace. */
+Bytes encodeTracesRequest(uint64_t trace_id_filter,
+                          const TraceField &trace = {});
 
 // --- server-side request parsing ---------------------------------
 
@@ -214,9 +268,11 @@ Bytes encodeMetricsRequest(uint16_t raw_format);
 struct ParsedRequest
 {
     FrameHeader header{};
+    TraceField trace{}; ///< v2 trace block (absent => zeros)
     PredictorKind predictor = PredictorKind::LastValue; ///< Open only
     std::vector<IntervalRecord> records; ///< SubmitBatch only
     uint16_t metrics_format = 0; ///< QueryMetrics only (raw value)
+    uint64_t traces_filter = 0;  ///< QueryTraces only (0 = all)
 };
 
 /**
@@ -238,10 +294,21 @@ Status parseRequest(const Bytes &frame, ParsedRequest &out);
 /**
  * Build a response frame: header (echoed op/session) + u16 status +
  * `body`. `raw_op` is deliberately untyped so replies to unknown ops
- * can still echo what the client sent.
+ * can still echo what the client sent. `version` should echo the
+ * request's revision (clamped into the supported range) so a v1
+ * client never receives v2 bytes; the default emits our newest.
  */
 Bytes encodeResponse(uint16_t raw_op, uint64_t session_id,
-                     Status status, const Bytes &body = {});
+                     Status status, const Bytes &body = {},
+                     uint16_t version = PROTOCOL_VERSION);
+
+/** u16 version advertisement a v2 server appends to its Open OK
+ *  response body (v1 clients ignore trailing body bytes). */
+Bytes encodeVersionAdvert();
+
+/** Advertised version at the tail of an Open response body; 1 when
+ *  absent (a v1 server), clamped to PROTOCOL_VERSION. */
+uint16_t decodeVersionAdvert(const Bytes &body);
 
 /** SubmitBatch response body: u32 count + IntervalResults. */
 Bytes encodeSubmitResults(const std::vector<IntervalResult> &results);

@@ -7,7 +7,9 @@
 #include "fault/failpoint.hh"
 #include "obs/exposition.hh"
 #include "obs/flight_recorder.hh"
+#include "obs/runtime.hh"
 #include "obs/span.hh"
+#include "obs/trace.hh"
 
 namespace livephase::service
 {
@@ -71,11 +73,13 @@ LivePhaseService::rejectionResponse(const Bytes &request_frame,
 {
     uint16_t raw_op = 0;
     uint64_t session_id = 0;
+    uint16_t version = PROTOCOL_VERSION;
     if (const auto header = peekHeader(request_frame)) {
         raw_op = header->op;
         session_id = header->session_id;
+        version = header->version; // encodeResponse clamps
     }
-    return encodeResponse(raw_op, session_id, status);
+    return encodeResponse(raw_op, session_id, status, {}, version);
 }
 
 std::future<Bytes>
@@ -142,13 +146,26 @@ LivePhaseService::serveRequest(Request &req)
         queue_wait.record(
             (obs::monoNowNs() - req.enqueue_ns) / 1e3);
     }
-    req.reply.set_value(handleFrame(req.frame));
+    req.reply.set_value(handleFrame(req.frame, req.enqueue_ns));
 }
 
 Bytes
 LivePhaseService::handleFrame(const Bytes &request_frame)
 {
-    OBS_SPAN("service.handle");
+    return handleFrame(request_frame, 0);
+}
+
+Bytes
+LivePhaseService::handleFrame(const Bytes &request_frame,
+                              uint64_t enqueue_ns)
+{
+    // Histogram + span-stack scope covers the whole request,
+    // including parsing, so malformed-frame flight events still
+    // carry span=service.handle. Its embedded trace twin is inert:
+    // the wire trace context is only known *after* parsing.
+    static obs::Histogram &handle_hist =
+        obs::spanHistogram("service.handle");
+    obs::Span span("service.handle", handle_hist);
     const auto start = std::chrono::steady_clock::now();
 
     ParsedRequest parsed;
@@ -167,17 +184,31 @@ LivePhaseService::handleFrame(const Bytes &request_frame)
               static_cast<uint64_t>(request_frame.size())}});
         if (cfg.dump_trace_on_error)
             obs::FlightRecorder::global().autoDump("malformed-frame");
-        response = encodeResponse(parsed.header.op,
-                                  parsed.header.session_id,
-                                  parse_status);
-    } else {
-        response = dispatch(parsed);
-        const double micros =
-            std::chrono::duration<double, std::micro>(
-                std::chrono::steady_clock::now() - start)
-                .count();
-        counters.opLatency(parsed.header.op, micros);
+        return encodeResponse(parsed.header.op,
+                              parsed.header.session_id,
+                              parse_status, {},
+                              parsed.header.version);
     }
+
+    // Adopt the wire trace context (if any) for the dispatch — the
+    // service.handle trace span and the pipeline spans under it
+    // then nest beneath the client's per-attempt span.
+    obs::ScopedTrace adopt(obs::TraceContext{
+        parsed.trace.trace_id, parsed.trace.parent_span_id});
+    obs::TraceSpan tspan("service.handle");
+    if (tspan.sampled()) {
+        tspan.annotate({"op", opName(parsed.header.op)});
+        if (enqueue_ns != 0)
+            tspan.annotate({"queue_wait_us",
+                            (obs::monoNowNs() - enqueue_ns) / 1e3});
+    }
+
+    response = dispatch(parsed);
+    const double micros =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    counters.opLatency(parsed.header.op, micros);
     return response;
 }
 
@@ -186,47 +217,66 @@ LivePhaseService::dispatch(const ParsedRequest &req)
 {
     const uint16_t op = req.header.op;
     const uint64_t sid = req.header.session_id;
+    const uint16_t ver = req.header.version;
 
     switch (static_cast<Op>(op)) {
       case Op::Open: {
         auto [status, session] = manager.open(req.predictor);
+        // The advert rides the OK body: v1 clients ignore trailing
+        // body bytes, v2 clients learn they may attach trace blocks.
         return encodeResponse(op, session ? session->id() : 0,
-                              status);
+                              status,
+                              status == Status::Ok
+                                  ? encodeVersionAdvert()
+                                  : Bytes{},
+                              ver);
       }
       case Op::SubmitBatch: {
         if (req.records.size() > cfg.max_batch)
-            return encodeResponse(op, sid, Status::BatchTooLarge);
+            return encodeResponse(op, sid, Status::BatchTooLarge,
+                                  {}, ver);
         for (const IntervalRecord &rec : req.records) {
             if (!rec.valid()) {
                 counters.frameMalformed();
-                return encodeResponse(op, sid, Status::BadFrame);
+                return encodeResponse(op, sid, Status::BadFrame,
+                                      {}, ver);
             }
         }
         std::shared_ptr<Session> session = manager.find(sid);
         if (!session)
-            return encodeResponse(op, sid, Status::UnknownSession);
+            return encodeResponse(op, sid, Status::UnknownSession,
+                                  {}, ver);
         const std::vector<IntervalResult> results =
             session->processBatch(req.records);
         counters.batchProcessed(results.size());
         return encodeResponse(op, sid, Status::Ok,
-                              encodeSubmitResults(results));
+                              encodeSubmitResults(results), ver);
       }
       case Op::QueryStats:
         return encodeResponse(op, sid, Status::Ok,
-                              encodeStats(stats()));
+                              encodeStats(stats()), ver);
       case Op::Close:
         return encodeResponse(op, sid,
                               manager.close(sid)
                                   ? Status::Ok
-                                  : Status::UnknownSession);
+                                  : Status::UnknownSession,
+                              {}, ver);
       case Op::QueryMetrics:
         return encodeResponse(
             op, sid, Status::Ok,
-            encodeMetricsText(metricsText(req.metrics_format)));
+            encodeMetricsText(metricsText(req.metrics_format)), ver);
+      case Op::QueryTraces: {
+        const std::vector<obs::SpanRecord> spans = req.traces_filter
+            ? obs::Tracer::global().snapshotTrace(req.traces_filter)
+            : obs::Tracer::global().snapshotSpans();
+        return encodeResponse(
+            op, sid, Status::Ok,
+            encodeMetricsText(obs::chromeTraceJson(spans)), ver);
+      }
     }
     // parseRequest only admits known ops; defend anyway.
     counters.frameMalformed();
-    return encodeResponse(op, sid, Status::BadFrame);
+    return encodeResponse(op, sid, Status::BadFrame, {}, ver);
 }
 
 StatsSnapshot
@@ -246,6 +296,7 @@ LivePhaseService::metricsText(uint16_t raw_format) const
         return out.str();
     }
 
+    obs::refreshRuntimeMetrics(); // build info + uptime gauges
     obs::MetricsSnapshot snap =
         obs::MetricsRegistry::global().snapshot();
     counters.fillMetrics(snap, manager.openCount(),

@@ -134,6 +134,11 @@ class LivePhaseService
     void serveRequest(Request &req);
     Bytes dispatch(const ParsedRequest &req);
 
+    /** handleFrame with the submit-time timestamp (0 = unqueued);
+     *  annotates the request's trace span with its queue wait. */
+    Bytes handleFrame(const Bytes &request_frame,
+                      uint64_t enqueue_ns);
+
     /** Response for frames rejected before parsing (queue full /
      *  shutdown): echo what little of the header is readable. */
     Bytes rejectionResponse(const Bytes &request_frame,

@@ -7,6 +7,7 @@
 #include "fault/failpoint.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/runtime.hh"
+#include "obs/trace.hh"
 #include "core/last_value_predictor.hh"
 #include "core/set_assoc_gpht_predictor.hh"
 #include "core/variable_window_predictor.hh"
@@ -159,6 +160,8 @@ SessionManager::open(PredictorKind kind)
         obs::FlightRecorder::global().record(
             obs::Severity::Warn, "session.evicted",
             {{"victim", victim}, {"for", id}});
+        obs::traceInstant("session.evicted",
+                          {{"victim", victim}, {"for", id}});
         if (storm_detector.evicted(obs::monoNowNs()))
             obs::FlightRecorder::global().autoDump("eviction-storm");
     };

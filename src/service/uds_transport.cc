@@ -127,7 +127,8 @@ recvFrame(int fd, Bytes &frame)
     const auto header =
         peekHeader(header_bytes, sizeof(header_bytes));
     if (!header || header->magic != FRAME_MAGIC ||
-        header->version != PROTOCOL_VERSION ||
+        header->version < PROTOCOL_VERSION_MIN ||
+        header->version > PROTOCOL_VERSION ||
         header->payload_size > MAX_PAYLOAD_SIZE)
         return RecvStatus::Desync;
     frame.resize(FRAME_HEADER_SIZE + header->payload_size);

@@ -33,6 +33,7 @@
 
 #include "common/random.hh"
 #include "fault/failpoint.hh"
+#include "obs/trace.hh"
 #include "service/client.hh"
 #include "service/protocol.hh"
 #include "service/service.hh"
@@ -514,6 +515,182 @@ TEST(Chaos, ResilientClientRecoversFromInjectedDesync)
     const auto submit = client.submitBatchRetrying(
         open.session_id, makeStream(5, 8));
     EXPECT_EQ(submit.status, Status::Ok);
+    EXPECT_EQ(client.close(open.session_id), Status::Ok);
+}
+
+/**
+ * The tracing acceptance scenario: over UDS, with a fault injected
+ * into the client's response read, ONE trace id must link the failed
+ * first attempt, the backoff sleep, the reconnect, the triggered
+ * failpoint (named in a span annotation) and the successful retry —
+ * including the server-side service.handle spans parented to the
+ * exact attempt that carried them. The same tree must then come back
+ * through the query-traces op as Chrome trace-event JSON.
+ */
+TEST(Chaos, OneTraceLinksFailureBackoffReconnectAndRetry)
+{
+    ScopedDisarm guard;
+    obs::Tracer::global().setSampleRate(1.0);
+    obs::Tracer::global().reset();
+    struct TracingOff
+    {
+        ~TracingOff()
+        {
+            obs::setCurrentTrace({});
+            obs::Tracer::global().setSampleRate(0.0);
+            obs::Tracer::global().reset();
+        }
+    } tracing_off;
+
+    LivePhaseService::Config cfg;
+    cfg.workers = 1;
+    LivePhaseService svc(cfg);
+    const std::string path = "/tmp/livephase-trace-" +
+        std::to_string(::getpid()) + ".sock";
+    UdsServer server(svc, path);
+    if (!server.start())
+        GTEST_SKIP() << "AF_UNIX unavailable in this sandbox";
+
+    UdsClientTransport transport(path);
+    ASSERT_TRUE(transport.connect());
+    RetryPolicy policy;
+    ServiceClient client(transport, policy);
+
+    const auto open = client.open(PredictorKind::Gpht);
+    ASSERT_EQ(open.status, Status::Ok);
+    ASSERT_GE(client.peerVersion(), 2)
+        << "wire tracing needs the v2 advert";
+
+    auto &reg = fault::FailpointRegistry::global();
+    const auto records = makeStream(11, 8);
+
+    // A deterministic two-fault schedule, chosen so each trigger can
+    // only land on one side of the socket:
+    //  - uds.frame (CorruptFrame, limit 1) always fires on the
+    //    *server's* request-header read — the client's only uds.frame
+    //    evaluation is on the response, which the server must corrupt
+    //    and answer first. The desync makes attempt 1 come back
+    //    BadFrame and drops the connection.
+    //  - uds.connect (Error, limit 1) is evaluated only by the
+    //    client's dial, so the desync-retry reconnect fails *inside*
+    //    the traced request: the trigger lands in the span tree.
+    // Attempt 2 then finds the link down (transport failure), backs
+    // off, reconnects for real, and attempt 3 succeeds.
+    obs::Tracer::global().reset();
+    fault::FaultSpec corrupt{fault::Action::CorruptFrame, 1.0};
+    corrupt.limit = 1;
+    reg.arm("uds.frame", corrupt);
+    fault::FaultSpec refuse{fault::Action::Error, 1.0};
+    refuse.limit = 1;
+    reg.arm("uds.connect", refuse);
+
+    const auto reply = client.submitBatch(open.session_id, records);
+    reg.disarmAll();
+    ASSERT_EQ(reply.status, Status::Ok);
+    ASSERT_EQ(reply.results.size(), records.size());
+    ASSERT_GE(client.lastCall().attempts, 3u);
+    ASSERT_GE(client.lastCall().reconnects, 2u);
+    EXPECT_EQ(reg.point("uds.frame").triggers(), 1u);
+    EXPECT_EQ(reg.point("uds.connect").triggers(), 1u);
+
+    std::vector<obs::SpanRecord> trace;
+    for (const obs::SpanRecord &s :
+         obs::Tracer::global().snapshotSpans())
+        if (std::string(s.name) == "fault.trigger") {
+            trace = obs::Tracer::global().snapshotTrace(s.trace_id);
+            break;
+        }
+    ASSERT_FALSE(trace.empty())
+        << "the fault never fired inside the client's trace";
+
+    auto named = [&](const char *name) {
+        std::vector<const obs::SpanRecord *> out;
+        for (const obs::SpanRecord &s : trace)
+            if (std::string(s.name) == name)
+                out.push_back(&s);
+        return out;
+    };
+    auto annotation = [](const obs::SpanRecord &s, const char *key) {
+        for (uint8_t i = 0; i < s.nannotations; ++i)
+            if (std::string(s.annotations[i].key) == key)
+                return std::string(s.annotations[i].value);
+        return std::string{};
+    };
+
+    const auto roots = named("client.request");
+    ASSERT_EQ(roots.size(), 1u);
+    const obs::SpanRecord &root = *roots[0];
+    EXPECT_EQ(root.parent_id, 0u);
+    EXPECT_EQ(annotation(root, "op"), "submit-batch");
+
+    // Three attempts under the root: the desynced one (the server
+    // answered BadFrame to the corrupted frame), the one that found
+    // the link down, and the retry that succeeded.
+    const auto attempts = named("client.attempt");
+    ASSERT_GE(attempts.size(), 3u);
+    const obs::SpanRecord *desynced = nullptr, *failed = nullptr,
+                          *succeeded = nullptr;
+    for (const obs::SpanRecord *a : attempts) {
+        EXPECT_EQ(a->parent_id, root.span_id);
+        if (annotation(*a, "status") == "bad-frame")
+            desynced = a;
+        if (annotation(*a, "outcome") == "transport-failure")
+            failed = a;
+        if (annotation(*a, "status") == "ok")
+            succeeded = a;
+    }
+    ASSERT_NE(desynced, nullptr);
+    ASSERT_NE(failed, nullptr);
+    ASSERT_NE(succeeded, nullptr);
+
+    // Desync retry, backoffs and the reconnect all hang off the
+    // root, between the attempts.
+    ASSERT_GE(named("client.desync.retry").size(), 1u);
+    const auto backoffs = named("client.backoff");
+    ASSERT_GE(backoffs.size(), 2u);
+    for (const obs::SpanRecord *b : backoffs)
+        EXPECT_EQ(b->parent_id, root.span_id);
+    const auto reconnects = named("client.reconnect");
+    ASSERT_GE(reconnects.size(), 1u);
+    EXPECT_EQ(reconnects[0]->parent_id, root.span_id);
+
+    // The triggered failpoint that refused the client's redial is
+    // an annotated instant inside the request's tree. (The frame
+    // corruption fired on the server's untraced reader thread, so
+    // by design it is *not* here.)
+    const auto faults = named("fault.trigger");
+    ASSERT_EQ(faults.size(), 1u);
+    EXPECT_EQ(faults[0]->parent_id, root.span_id);
+    EXPECT_EQ(annotation(*faults[0], "point"), "uds.connect");
+    EXPECT_EQ(annotation(*faults[0], "action"), "error");
+
+    // The server's handling of the successful retry is in the same
+    // tree, parented to the exact attempt that carried it.
+    const auto handles = named("service.handle");
+    ASSERT_GE(handles.size(), 1u);
+    bool handle_under_success = false;
+    for (const obs::SpanRecord *h : handles)
+        handle_under_success |= h->parent_id == succeeded->span_id;
+    EXPECT_TRUE(handle_under_success);
+    for (const obs::SpanRecord &s : trace)
+        EXPECT_EQ(s.trace_id, root.trace_id) << s.name;
+
+    // The whole tree exports over the wire as Chrome trace JSON.
+    const auto exported = client.queryTraces(root.trace_id);
+    ASSERT_EQ(exported.status, Status::Ok);
+    char id_hex[24];
+    std::snprintf(id_hex, sizeof(id_hex), "0x%llx",
+                  static_cast<unsigned long long>(root.trace_id));
+    EXPECT_NE(exported.json.find("\"traceEvents\""),
+              std::string::npos);
+    EXPECT_NE(exported.json.find(id_hex), std::string::npos);
+    EXPECT_NE(exported.json.find("client.request"),
+              std::string::npos);
+    EXPECT_NE(exported.json.find("fault.trigger"),
+              std::string::npos);
+    EXPECT_NE(exported.json.find("service.handle"),
+              std::string::npos);
+
     EXPECT_EQ(client.close(open.session_id), Status::Ok);
 }
 

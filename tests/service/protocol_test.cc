@@ -25,7 +25,9 @@ TEST(Protocol, OpenRequestRoundTrip)
     ParsedRequest req;
     ASSERT_EQ(parseRequest(frame, req), Status::Ok);
     EXPECT_EQ(req.header.magic, FRAME_MAGIC);
-    EXPECT_EQ(req.header.version, PROTOCOL_VERSION);
+    // Untraced encodes stay byte-identical to protocol v1 — that is
+    // the new-client / old-server interop guarantee.
+    EXPECT_EQ(req.header.version, PROTOCOL_VERSION_MIN);
     EXPECT_EQ(static_cast<Op>(req.header.op), Op::Open);
     EXPECT_EQ(req.header.session_id, 0u);
     EXPECT_EQ(req.predictor, PredictorKind::Gpht);
@@ -207,6 +209,133 @@ TEST(Protocol, IntervalRecordValidity)
     EXPECT_FALSE((IntervalRecord{100e6, -1.0, 0}).valid());
     EXPECT_FALSE(
         (IntervalRecord{std::nan(""), 1.0, 0}).valid());
+}
+
+// --- protocol v2: trace blocks and version negotiation -----------
+
+TEST(Protocol, TracedRequestCarriesContextAtVersion2)
+{
+    const TraceField trace{0xdeadbeefULL, 0x42ULL};
+    const Bytes frame =
+        encodeSubmitRequest(7, {{100e6, 1e6, 11}}, trace);
+
+    ParsedRequest req;
+    ASSERT_EQ(parseRequest(frame, req), Status::Ok);
+    EXPECT_EQ(req.header.version, 2);
+    EXPECT_EQ(req.trace.trace_id, 0xdeadbeefULL);
+    EXPECT_EQ(req.trace.parent_span_id, 0x42ULL);
+    ASSERT_EQ(req.records.size(), 1u);
+    EXPECT_EQ(req.records[0].tsc, 11u);
+}
+
+TEST(Protocol, TracedFrameIsExactlyOneBlockLarger)
+{
+    const Bytes plain = encodeOpenRequest(PredictorKind::Gpht);
+    const Bytes traced =
+        encodeOpenRequest(PredictorKind::Gpht, {1, 2});
+    EXPECT_EQ(traced.size(),
+              plain.size() + 1 + TRACE_FIELD_WIRE_SIZE);
+    // Every op's encoder threads the trace through.
+    ParsedRequest req;
+    ASSERT_EQ(parseRequest(encodeStatsRequest({5, 6}), req),
+              Status::Ok);
+    EXPECT_EQ(req.trace.trace_id, 5u);
+    ASSERT_EQ(parseRequest(encodeCloseRequest(3, {7, 8}), req),
+              Status::Ok);
+    EXPECT_EQ(req.trace.trace_id, 7u);
+    ASSERT_EQ(parseRequest(encodeMetricsRequest(0, {9, 10}), req),
+              Status::Ok);
+    EXPECT_EQ(req.trace.trace_id, 9u);
+}
+
+TEST(Protocol, TracesRequestRoundTrip)
+{
+    ParsedRequest req;
+    ASSERT_EQ(parseRequest(encodeTracesRequest(0xabcULL), req),
+              Status::Ok);
+    EXPECT_EQ(static_cast<Op>(req.header.op), Op::QueryTraces);
+    EXPECT_EQ(req.traces_filter, 0xabcULL);
+    EXPECT_EQ(opName(static_cast<uint16_t>(Op::QueryTraces)),
+              "query-traces");
+}
+
+TEST(Protocol, UnknownTraceBlockLengthDegradesToUntraced)
+{
+    // A v2 frame whose trace block has an in-bounds length other
+    // than 16 must parse as an *untraced* request, not a protocol
+    // error — that is the forward-compat escape hatch. Build the
+    // frame by hand: header (v2) + 5-byte trace block + Open body.
+    Bytes traced = encodeOpenRequest(PredictorKind::Gpht, {1, 2});
+    Bytes frame(traced.begin(), traced.begin() + FRAME_HEADER_SIZE);
+    const Bytes tail = {5, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, // block
+                        0x02, 0x00};                     // Gpht
+    frame.insert(frame.end(), tail.begin(), tail.end());
+    frame[16] = static_cast<uint8_t>(tail.size()); // payload_size
+    frame[17] = frame[18] = frame[19] = 0;
+
+    ParsedRequest req;
+    ASSERT_EQ(parseRequest(frame, req), Status::Ok);
+    EXPECT_FALSE(req.trace.present());
+    EXPECT_EQ(req.predictor, PredictorKind::Gpht);
+}
+
+TEST(Protocol, OverrunningTraceBlockIsBadFrame)
+{
+    // Block length pointing past the payload can't be skipped — the
+    // frame is structurally broken, not merely unrecognized.
+    Bytes traced = encodeOpenRequest(PredictorKind::Gpht, {1, 2});
+    Bytes frame(traced.begin(), traced.begin() + FRAME_HEADER_SIZE);
+    const Bytes tail = {200, 0x02, 0x00};
+    frame.insert(frame.end(), tail.begin(), tail.end());
+    frame[16] = static_cast<uint8_t>(tail.size());
+    frame[17] = frame[18] = frame[19] = 0;
+
+    ParsedRequest req;
+    EXPECT_EQ(parseRequest(frame, req), Status::BadFrame);
+}
+
+TEST(Protocol, GarbledTraceContextBytesStayInBand)
+{
+    // Fuzz-ish: flip every byte of the 16-byte context in turn; the
+    // result is always a *valid* frame (possibly a different trace
+    // id, possibly untraced when the id lands on 0) — never a
+    // protocol error, never a crash.
+    const Bytes traced =
+        encodeOpenRequest(PredictorKind::Gpht, {0x1111, 0x2222});
+    for (size_t i = 0; i < TRACE_FIELD_WIRE_SIZE; ++i) {
+        Bytes frame = traced;
+        frame[FRAME_HEADER_SIZE + 1 + i] ^= 0xff;
+        ParsedRequest req;
+        EXPECT_EQ(parseRequest(frame, req), Status::Ok)
+            << "flipped context byte " << i;
+        EXPECT_EQ(req.predictor, PredictorKind::Gpht);
+    }
+}
+
+TEST(Protocol, VersionAdvertRoundTrip)
+{
+    EXPECT_EQ(decodeVersionAdvert(encodeVersionAdvert()),
+              PROTOCOL_VERSION);
+    // Absent (v1 server body) => 1.
+    EXPECT_EQ(decodeVersionAdvert({}), PROTOCOL_VERSION_MIN);
+    EXPECT_EQ(decodeVersionAdvert({0x01}), PROTOCOL_VERSION_MIN);
+    // A future server advertising v9 is clamped to what we speak.
+    EXPECT_EQ(decodeVersionAdvert({0x09, 0x00}), PROTOCOL_VERSION);
+}
+
+TEST(Protocol, ResponseEchoesRequestedVersion)
+{
+    const Bytes v1 = encodeResponse(
+        static_cast<uint16_t>(Op::Open), 0, Status::Ok, {}, 1);
+    ParsedResponse resp;
+    ASSERT_TRUE(parseResponse(v1, resp));
+    EXPECT_EQ(resp.header.version, 1);
+
+    // Out-of-range echo requests are clamped, never emitted raw.
+    const Bytes clamped = encodeResponse(
+        static_cast<uint16_t>(Op::Open), 0, Status::Ok, {}, 0x7f);
+    ASSERT_TRUE(parseResponse(clamped, resp));
+    EXPECT_EQ(resp.header.version, PROTOCOL_VERSION);
 }
 
 } // namespace
