@@ -5,8 +5,9 @@ Usage:
     bench_compare.py BASELINE.json CURRENT.json [--tolerance 0.20]
                      [--abs-slack 0.02]
 
-Result-file schema (written by bench_service_throughput --json and
-bench_obs_overhead --json):
+Result-file schema (written by the --json flag of
+bench_service_throughput, bench_obs_overhead, bench_trace_overhead
+and bench_pipeline_allocs):
 
     {
       "schema": 1,
@@ -19,8 +20,9 @@ bench_obs_overhead --json):
 
 Only the metrics listed under "compare" are gated — by design these
 are scale-free ratios (batching speedup, instrumentation overhead
-fraction) that transfer across machines; the absolute rates in
-"metrics" are informational. A metric regresses when it moves in its
+fraction) or exact counts (steady-state allocations per request)
+that transfer across machines; the absolute rates in "metrics" are
+informational. A metric regresses when it moves in its
 bad direction ("directions": higher-is-better or lower-is-better) by
 more than max(tolerance * |baseline|, abs_slack). The absolute slack
 keeps near-zero fractions (e.g. 1% obs overhead) from tripping the

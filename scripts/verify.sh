@@ -35,11 +35,13 @@ cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
 
-# The obs and tracing overhead gates also run inside ctest
-# (bench_obs_overhead_ci / bench_trace_overhead_ci); re-run them
-# visibly so the budget numbers show up in the verification log.
+# The obs, tracing and allocation gates also run inside ctest
+# (bench_obs_overhead_ci / bench_trace_overhead_ci /
+# bench_pipeline_allocs_ci); re-run them visibly so the budget
+# numbers show up in the verification log.
 "$BUILD_DIR"/bench/bench_obs_overhead --check
 "$BUILD_DIR"/bench/bench_trace_overhead --check
+"$BUILD_DIR"/bench/bench_pipeline_allocs --check
 
 if [ "$ASAN" = 1 ]; then
     ASAN_DIR="${BUILD_DIR}-asan"

@@ -1,0 +1,97 @@
+#include "common/arena.hh"
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
+namespace livephase
+{
+
+namespace
+{
+
+/** Arena growth telemetry (process-wide; arenas are per-worker but
+ *  their growth events are rare enough to share counters). */
+struct ArenaCounters
+{
+    obs::Counter &chunks;
+    obs::Counter &bytes;
+
+    static ArenaCounters &get()
+    {
+        auto &reg = obs::MetricsRegistry::global();
+        static ArenaCounters c{
+            reg.counter("livephase_alloc_arena_chunks_total"),
+            reg.counter("livephase_alloc_arena_bytes_total"),
+        };
+        return c;
+    }
+};
+
+} // namespace
+
+Arena::Arena(size_t initial_chunk_bytes)
+    : next_chunk_bytes(initial_chunk_bytes)
+{
+    if (initial_chunk_bytes == 0)
+        fatal("Arena: initial chunk size must be > 0");
+}
+
+Arena::Chunk &
+Arena::grow(size_t min_bytes)
+{
+    size_t size = next_chunk_bytes;
+    while (size < min_bytes)
+        size *= 2;
+    next_chunk_bytes = size * 2;
+
+    Chunk chunk;
+    chunk.mem = std::make_unique<uint8_t[]>(size);
+    chunk.size = size;
+    chunks.push_back(std::move(chunk));
+    capacity_bytes += size;
+    ++chunk_allocs;
+    ArenaCounters &counters = ArenaCounters::get();
+    counters.chunks.inc();
+    counters.bytes.inc(size);
+    active = chunks.size() - 1;
+    return chunks.back();
+}
+
+void *
+Arena::alloc(size_t bytes, size_t align)
+{
+    if (align == 0 || (align & (align - 1)) != 0)
+        fatal("Arena::alloc: alignment %zu is not a power of two",
+              align);
+    // Worst case the bump needs align-1 slack; ask for it up front
+    // so a fresh chunk always satisfies the request.
+    const size_t need = bytes + align - 1;
+    Chunk *chunk = chunks.empty() ? &grow(need) : &chunks[active];
+    uintptr_t base =
+        reinterpret_cast<uintptr_t>(chunk->mem.get()) + chunk->used;
+    uintptr_t aligned = (base + align - 1) & ~(align - 1);
+    size_t total = (aligned - base) + bytes;
+    if (chunk->used + total > chunk->size) {
+        chunk = &grow(need);
+        base = reinterpret_cast<uintptr_t>(chunk->mem.get());
+        aligned = (base + align - 1) & ~(align - 1);
+        total = (aligned - base) + bytes;
+    }
+    chunk->used += total;
+    used_bytes += total;
+    return reinterpret_cast<void *>(aligned);
+}
+
+void
+Arena::reset()
+{
+    for (Chunk &chunk : chunks)
+        chunk.used = 0;
+    // Restart bumping from the biggest chunk (always the newest):
+    // once the arena reaches steady state a whole request fits in
+    // it and the older, smaller chunks become cold slack.
+    active = chunks.empty() ? 0 : chunks.size() - 1;
+    used_bytes = 0;
+}
+
+} // namespace livephase

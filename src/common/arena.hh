@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Per-worker bump arena for request-scoped scratch memory.
+ *
+ * The data plane (DESIGN.md §14) leans on two reuse primitives:
+ * BufferPool recycles whole wire-frame buffers across requests, and
+ * this Arena serves the small, request-scoped scratch allocations a
+ * single decode/dispatch needs (the copying decode fallback, result
+ * staging). An Arena is owned by exactly one worker at a time and is
+ * reset() between requests: allocation is a pointer bump, reset is a
+ * couple of stores, and after a short warm-up no request touches the
+ * heap at all — the property `bench_pipeline_allocs` gates in CI.
+ *
+ * Growth model: memory comes from a list of chunks. alloc() bumps
+ * within the newest chunk and appends a bigger chunk (geometric
+ * growth) only when the request does not fit; reset() rewinds every
+ * chunk but never frees one, so pointers handed out during a request
+ * stay valid until the *next* reset and the chunk list reaches a
+ * steady state sized by the largest request seen. Chunk growth is
+ * counted in `livephase_alloc_arena_chunks_total` /
+ * `livephase_alloc_arena_bytes_total` so a misbehaving workload
+ * shows up in the metrics, not as silent RSS creep.
+ *
+ * Not thread-safe: one Arena per worker (the service keeps one per
+ * request-handling thread), never shared.
+ */
+
+#ifndef LIVEPHASE_COMMON_ARENA_HH
+#define LIVEPHASE_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace livephase
+{
+
+/**
+ * Request-scoped bump allocator with chunk reuse across resets.
+ */
+class Arena
+{
+  public:
+    /** @param initial_chunk_bytes size of the first chunk, allocated
+     *  lazily on first use; fatal() when 0. */
+    explicit Arena(size_t initial_chunk_bytes = 16 * 1024);
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Allocate `bytes` aligned to `align` (a power of two). The
+     * returned memory is uninitialized and valid until the next
+     * reset(). Never fails (grows a new chunk when needed).
+     */
+    void *alloc(size_t bytes, size_t align);
+
+    /**
+     * Typed span of `count` default-usable T slots. T must be
+     * trivially copyable and trivially destructible — arena memory
+     * is reclaimed wholesale by reset(), no destructors run.
+     */
+    template <typename T>
+    std::span<T> allocSpan(size_t count)
+    {
+        static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>);
+        if (count == 0)
+            return {};
+        T *ptr = static_cast<T *>(
+            alloc(count * sizeof(T), alignof(T)));
+        return {ptr, count};
+    }
+
+    /** Rewind every chunk; keeps all chunk memory for reuse. */
+    void reset();
+
+    /** Bytes handed out since the last reset(). */
+    size_t usedBytes() const { return used_bytes; }
+
+    /** Total bytes owned across all chunks. */
+    size_t capacityBytes() const { return capacity_bytes; }
+
+    /** Chunks allocated over the arena's lifetime (a steady-state
+     *  arena stops growing this). */
+    uint64_t chunkAllocations() const { return chunk_allocs; }
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<uint8_t[]> mem;
+        size_t size = 0;
+        size_t used = 0;
+    };
+
+    /** Append a chunk able to hold `min_bytes` (+ alignment slop). */
+    Chunk &grow(size_t min_bytes);
+
+    std::vector<Chunk> chunks;
+    size_t next_chunk_bytes; ///< size the next grow() will request
+    size_t active = 0;       ///< index of the chunk being bumped
+    size_t used_bytes = 0;
+    size_t capacity_bytes = 0;
+    uint64_t chunk_allocs = 0;
+};
+
+} // namespace livephase
+
+#endif // LIVEPHASE_COMMON_ARENA_HH

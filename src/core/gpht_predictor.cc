@@ -27,6 +27,26 @@ GphtPredictor::GphtPredictor(size_t gphr_depth, size_t pht_entries)
 void
 GphtPredictor::observe(const PhaseSample &sample)
 {
+    step(sample);
+}
+
+void
+GphtPredictor::observeAndPredictBatch(
+    std::span<const PhaseSample> samples,
+    std::span<PhaseId> predictions)
+{
+    if (samples.size() != predictions.size())
+        fatal("GPHT batch: %zu samples vs %zu slots",
+              samples.size(), predictions.size());
+    for (size_t i = 0; i < samples.size(); ++i) {
+        step(samples[i]);
+        predictions[i] = current_prediction;
+    }
+}
+
+void
+GphtPredictor::step(const PhaseSample &sample)
+{
     // 1. Train the entry consulted (or installed) last period with
     //    the phase that actually followed its pattern.
     if (pending_train >= 0)

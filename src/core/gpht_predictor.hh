@@ -62,6 +62,9 @@ class GphtPredictor : public PhasePredictor
 
     void observe(const PhaseSample &sample) override;
     PhaseId predict() const override;
+    void observeAndPredictBatch(std::span<const PhaseSample> samples,
+                                std::span<PhaseId> predictions)
+        override;
     void reset() override;
     std::string name() const override;
 
@@ -109,6 +112,10 @@ class GphtPredictor : public PhasePredictor
         PhaseId prediction = INVALID_PHASE;
         int64_t age = -1;
     };
+
+    /** Non-virtual observe() body, the unit the batched loop
+     *  iterates without per-step dispatch. */
+    void step(const PhaseSample &sample);
 
     /** Index of the matching valid entry, or -1. */
     int lookup() const;

@@ -1,5 +1,7 @@
 #include "core/last_value_predictor.hh"
 
+#include "common/logging.hh"
+
 namespace livephase
 {
 
@@ -13,6 +15,20 @@ PhaseId
 LastValuePredictor::predict() const
 {
     return last;
+}
+
+void
+LastValuePredictor::observeAndPredictBatch(
+    std::span<const PhaseSample> samples,
+    std::span<PhaseId> predictions)
+{
+    if (samples.size() != predictions.size())
+        fatal("LastValue batch: %zu samples vs %zu slots",
+              samples.size(), predictions.size());
+    for (size_t i = 0; i < samples.size(); ++i)
+        predictions[i] = samples[i].phase;
+    if (!samples.empty())
+        last = samples.back().phase;
 }
 
 void

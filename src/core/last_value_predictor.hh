@@ -26,6 +26,9 @@ class LastValuePredictor : public PhasePredictor
 
     void observe(const PhaseSample &sample) override;
     PhaseId predict() const override;
+    void observeAndPredictBatch(std::span<const PhaseSample> samples,
+                                std::span<PhaseId> predictions)
+        override;
     void reset() override;
     std::string name() const override;
 

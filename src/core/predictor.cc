@@ -1,5 +1,7 @@
 #include "core/predictor.hh"
 
+#include "common/logging.hh"
+
 namespace livephase
 {
 
@@ -7,6 +9,24 @@ void
 PhasePredictor::observePhase(PhaseId phase)
 {
     observe(PhaseSample{phase, static_cast<double>(phase)});
+}
+
+void
+PhasePredictor::observeAndPredictBatch(
+    std::span<const PhaseSample> samples,
+    std::span<PhaseId> predictions)
+{
+    if (samples.size() != predictions.size())
+        fatal("observeAndPredictBatch: %zu samples vs %zu "
+              "prediction slots",
+              samples.size(), predictions.size());
+    // Generic fallback for predictors without a tuned override:
+    // still one *outer* virtual dispatch per batch, but each step
+    // pays the two inner virtual calls the overrides avoid.
+    for (size_t i = 0; i < samples.size(); ++i) {
+        observe(samples[i]);
+        predictions[i] = predict();
+    }
 }
 
 } // namespace livephase

@@ -17,6 +17,7 @@
 #define LIVEPHASE_CORE_PREDICTOR_HH
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "core/phase.hh"
@@ -39,6 +40,20 @@ class PhasePredictor
     /** Predicted phase for the next period (INVALID_PHASE until the
      *  first observation). */
     virtual PhaseId predict() const = 0;
+
+    /**
+     * Batched observe+predict: for each i, observe samples[i] and
+     * store the resulting next-phase prediction in predictions[i] —
+     * semantically identical to interleaved observe()/predict()
+     * calls, bit for bit. The batched form exists for the service
+     * data plane: ONE virtual dispatch per batch instead of two per
+     * interval, and concrete predictors override it with a tight
+     * non-virtual loop the compiler can inline and unroll.
+     * fatal() when the spans' sizes differ.
+     */
+    virtual void
+    observeAndPredictBatch(std::span<const PhaseSample> samples,
+                           std::span<PhaseId> predictions);
 
     /** Forget all history. */
     virtual void reset() = 0;

@@ -28,6 +28,26 @@ SetAssocGphtPredictor::SetAssocGphtPredictor(size_t gphr_depth,
 void
 SetAssocGphtPredictor::observe(const PhaseSample &sample)
 {
+    step(sample);
+}
+
+void
+SetAssocGphtPredictor::observeAndPredictBatch(
+    std::span<const PhaseSample> samples,
+    std::span<PhaseId> predictions)
+{
+    if (samples.size() != predictions.size())
+        fatal("GPHTsa batch: %zu samples vs %zu slots",
+              samples.size(), predictions.size());
+    for (size_t i = 0; i < samples.size(); ++i) {
+        step(samples[i]);
+        predictions[i] = current_prediction;
+    }
+}
+
+void
+SetAssocGphtPredictor::step(const PhaseSample &sample)
+{
     if (pending_train >= 0)
         table[static_cast<size_t>(pending_train)].prediction =
             sample.phase;

@@ -51,6 +51,9 @@ class SetAssocGphtPredictor : public PhasePredictor
 
     void observe(const PhaseSample &sample) override;
     PhaseId predict() const override;
+    void observeAndPredictBatch(std::span<const PhaseSample> samples,
+                                std::span<PhaseId> predictions)
+        override;
     void reset() override;
     std::string name() const override;
 
@@ -76,6 +79,10 @@ class SetAssocGphtPredictor : public PhasePredictor
         PhaseId prediction = INVALID_PHASE;
         int64_t age = -1;
     };
+
+    /** Non-virtual observe() body, the unit the batched loop
+     *  iterates without per-step dispatch. */
+    void step(const PhaseSample &sample);
 
     /** Hash the current GPHR to a set index. */
     size_t setIndex() const;

@@ -63,15 +63,28 @@ namespace detail
 extern thread_local TraceContext current_trace;
 } // namespace detail
 
+// GCC 12's ASan rewrite of the TLS address computation for
+// `current_trace` can split the flag-setting `add` into mov+lea,
+// leaving UBSan's null-reference branch reading stale flags from the
+// (always-zero) weak TLS-init-function test — a deterministic false
+// "reference binding to null pointer" abort under
+// -fsanitize=address,undefined. The address (%fs - offset) can never
+// be null, so exempt just these two accessors from UBSan.
+#if defined(__GNUC__) || defined(__clang__)
+#define LIVEPHASE_TLS_NO_UBSAN __attribute__((no_sanitize("undefined")))
+#else
+#define LIVEPHASE_TLS_NO_UBSAN
+#endif
+
 /** This thread's active trace context ({0,0} when untraced). */
-inline TraceContext
+inline TraceContext LIVEPHASE_TLS_NO_UBSAN
 currentTrace()
 {
     return detail::current_trace;
 }
 
 /** Install a context directly (prefer ScopedTrace). */
-inline void
+inline void LIVEPHASE_TLS_NO_UBSAN
 setCurrentTrace(TraceContext ctx)
 {
     detail::current_trace = ctx;

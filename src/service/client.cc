@@ -42,6 +42,19 @@ struct ClientCounters
 
 } // namespace
 
+bool
+FrameTransport::roundTripInto(const Bytes &request_frame,
+                              Bytes &response)
+{
+    // Bridge for transports that only implement the owning form:
+    // pay one request copy and adopt the returned storage.
+    Bytes got = roundTrip(request_frame);
+    if (got.empty())
+        return false;
+    response = std::move(got);
+    return true;
+}
+
 const char *
 clientErrorName(ClientError error)
 {
@@ -137,10 +150,10 @@ ServiceClient::noteTransportSuccess()
 
 bool
 ServiceClient::call(const char *op_label, const EncodeFn &encode,
-                    ParsedResponse &out)
+                    ResponseView &out)
 {
     last_call = CallInfo{};
-    out = ParsedResponse{};
+    out = ResponseView{};
 
     // Trace root: join an ambient sampled context (the CLI's
     // `traces` command installs one around its replay) or ask the
@@ -156,25 +169,25 @@ ServiceClient::call(const char *op_label, const EncodeFn &encode,
 
     // Trace context goes on the wire only to a peer that advertised
     // v2 — a v1 server would reject the unknown revision. Untraced
-    // frames are invariant across attempts, so encode exactly once.
+    // frames are invariant across attempts, so encode exactly once;
+    // either way the frame is built in place in the reused tx buffer.
     const bool wire_trace = root.sampled() && peer_version >= 2;
-    Bytes plain;
     if (!wire_trace)
-        plain = encode(TraceField{});
+        encode(tx, TraceField{});
 
     if (!resilient) {
         ++last_call.attempts;
-        const obs::TraceContext ctx = root.context();
-        const Bytes response = link.roundTrip(
-            wire_trace ? encode({ctx.trace_id, ctx.span_id})
-                       : plain);
-        if (response.empty()) {
+        if (wire_trace) {
+            const obs::TraceContext ctx = root.context();
+            encode(tx, {ctx.trace_id, ctx.span_id});
+        }
+        if (!link.roundTripInto(tx, rx)) {
             last_call.error = ClientError::TransportFailure;
             if (root.sampled())
                 root.annotate({"error", "transport-failure"});
             return false;
         }
-        return parseResponse(response, out);
+        return parseResponse(ByteView(rx), out);
     }
 
     ClientCounters &counters = ClientCounters::get();
@@ -207,12 +220,12 @@ ServiceClient::call(const char *op_label, const EncodeFn &encode,
         if (attempt.sampled())
             attempt.annotate(
                 {"n", static_cast<uint64_t>(last_call.attempts)});
-        const obs::TraceContext actx = attempt.context();
-        const Bytes response = link.roundTrip(
-            wire_trace ? encode({actx.trace_id, actx.span_id})
-                       : plain);
+        if (wire_trace) {
+            const obs::TraceContext actx = attempt.context();
+            encode(tx, {actx.trace_id, actx.span_id});
+        }
 
-        if (response.empty()) {
+        if (!link.roundTripInto(tx, rx)) {
             if (attempt.sampled())
                 attempt.annotate({"outcome", "transport-failure"});
             attempt.end();
@@ -256,7 +269,7 @@ ServiceClient::call(const char *op_label, const EncodeFn &encode,
         }
 
         noteTransportSuccess();
-        const bool parsed_ok = parseResponse(response, out);
+        const bool parsed_ok = parseResponse(ByteView(rx), out);
         if (attempt.sampled())
             attempt.annotate({"status", parsed_ok
                                             ? statusName(out.status)
@@ -322,10 +335,10 @@ ServiceClient::call(const char *op_label, const EncodeFn &encode,
 ServiceClient::OpenReply
 ServiceClient::open(PredictorKind kind)
 {
-    ParsedResponse parsed;
+    ResponseView parsed;
     if (!call("open",
-              [kind](const TraceField &trace) {
-                  return encodeOpenRequest(kind, trace);
+              [kind](Bytes &out, const TraceField &trace) {
+                  encodeOpenRequestInto(out, kind, trace);
               },
               parsed))
         return {Status::BadFrame, 0};
@@ -341,22 +354,20 @@ ServiceClient::SubmitReply
 ServiceClient::submitBatch(uint64_t session_id,
                            const std::vector<IntervalRecord> &records)
 {
-    ParsedResponse parsed;
+    ResponseView parsed;
     if (!call("submit-batch",
-              [session_id, &records](const TraceField &trace) {
-                  return encodeSubmitRequest(session_id, records,
-                                             trace);
+              [session_id, &records](Bytes &out,
+                                     const TraceField &trace) {
+                  encodeSubmitRequestInto(out, session_id, records,
+                                          trace);
               },
               parsed))
         return {Status::BadFrame, {}};
     SubmitReply reply;
     reply.status = parsed.status;
-    if (parsed.status == Status::Ok) {
-        auto results = decodeSubmitResults(parsed.body);
-        if (!results)
-            return {Status::BadFrame, {}};
-        reply.results = std::move(*results);
-    }
+    if (parsed.status == Status::Ok &&
+        !decodeSubmitResultsInto(parsed.body, reply.results))
+        return {Status::BadFrame, {}};
     return reply;
 }
 
@@ -380,10 +391,10 @@ ServiceClient::submitBatchRetrying(
 ServiceClient::StatsReply
 ServiceClient::queryStats()
 {
-    ParsedResponse parsed;
+    ResponseView parsed;
     if (!call("query-stats",
-              [](const TraceField &trace) {
-                  return encodeStatsRequest(trace);
+              [](Bytes &out, const TraceField &trace) {
+                  encodeStatsRequestInto(out, trace);
               },
               parsed))
         return {Status::BadFrame, {}};
@@ -401,10 +412,10 @@ ServiceClient::queryStats()
 ServiceClient::MetricsReply
 ServiceClient::queryMetrics(uint16_t raw_format)
 {
-    ParsedResponse parsed;
+    ResponseView parsed;
     if (!call("query-metrics",
-              [raw_format](const TraceField &trace) {
-                  return encodeMetricsRequest(raw_format, trace);
+              [raw_format](Bytes &out, const TraceField &trace) {
+                  encodeMetricsRequestInto(out, raw_format, trace);
               },
               parsed))
         return {Status::BadFrame, {}};
@@ -422,10 +433,10 @@ ServiceClient::queryMetrics(uint16_t raw_format)
 Status
 ServiceClient::close(uint64_t session_id)
 {
-    ParsedResponse parsed;
+    ResponseView parsed;
     if (!call("close",
-              [session_id](const TraceField &trace) {
-                  return encodeCloseRequest(session_id, trace);
+              [session_id](Bytes &out, const TraceField &trace) {
+                  encodeCloseRequestInto(out, session_id, trace);
               },
               parsed))
         return Status::BadFrame;
@@ -435,10 +446,10 @@ ServiceClient::close(uint64_t session_id)
 ServiceClient::TracesReply
 ServiceClient::queryTraces(uint64_t trace_id)
 {
-    ParsedResponse parsed;
+    ResponseView parsed;
     if (!call("query-traces",
-              [trace_id](const TraceField &trace) {
-                  return encodeTracesRequest(trace_id, trace);
+              [trace_id](Bytes &out, const TraceField &trace) {
+                  encodeTracesRequestInto(out, trace_id, trace);
               },
               parsed))
         return {Status::BadFrame, {}};

@@ -66,6 +66,20 @@ class FrameTransport
     virtual Bytes roundTrip(Bytes request_frame) = 0;
 
     /**
+     * Buffer-reusing round trip: deliver `request_frame` (the
+     * transport does not take ownership), decode the response into
+     * `response` — cleared first, capacity reused across calls, so
+     * a client looping on the same rx buffer stops allocating once
+     * warmed up. False means the transport itself failed
+     * (`response` contents are then unspecified). The default
+     * bridges to the owning roundTrip() so custom transports keep
+     * working unchanged; the built-in transports override it with
+     * genuinely copy-free paths.
+     */
+    virtual bool roundTripInto(const Bytes &request_frame,
+                               Bytes &response);
+
+    /**
      * Re-establish the link after a roundTrip failure. The default
      * is a no-op success: an in-process link cannot be *lost*, so
      * the retry loop simply tries again.
@@ -88,6 +102,22 @@ class InProcessTransport : public FrameTransport
     Bytes roundTrip(Bytes request_frame) override
     {
         return svc.submit(std::move(request_frame)).get();
+    }
+
+    bool roundTripInto(const Bytes &request_frame,
+                       Bytes &response) override
+    {
+        // The queue path must own its frame, so the request is
+        // copied into a pooled lease (a memcpy, not an allocation,
+        // once the pool is warm). The response arrives as detached
+        // pool storage; donating the caller's previous rx buffer
+        // back keeps the pool balanced.
+        BufferPool::Lease tx = BufferPool::global().lease();
+        tx->assign(request_frame.begin(), request_frame.end());
+        Bytes got = svc.submit(std::move(tx)).get();
+        BufferPool::global().giveBack(std::move(response));
+        response = std::move(got);
+        return true;
     }
 
   private:
@@ -252,9 +282,11 @@ class ServiceClient
     uint16_t peerVersion() const { return peer_version; }
 
   private:
-    /** Builds the request frame for one attempt; the trace field is
-     *  that attempt's span context (zero when untraced). */
-    using EncodeFn = std::function<Bytes(const TraceField &)>;
+    /** Builds the request frame for one attempt into the client's
+     *  reused tx buffer; the trace field is that attempt's span
+     *  context (zero when untraced). */
+    using EncodeFn =
+        std::function<void(Bytes &, const TraceField &)>;
 
     /**
      * Run one request through the retry/deadline/breaker loop.
@@ -264,10 +296,11 @@ class ServiceClient
      * otherwise. Returns true with `out` filled when a well-formed
      * response arrived; false when the call failed client-side (see
      * lastCall().error) or the response was unparseable (out.status
-     * stays BadFrame).
+     * stays BadFrame). `out` is a view into the client's rx buffer:
+     * valid only until the next operation on this client.
      */
     bool call(const char *op_label, const EncodeFn &encode,
-              ParsedResponse &out);
+              ResponseView &out);
 
     /** Sleep the next backoff step (capped, jittered, clipped to
      *  the remaining deadline). */
@@ -284,6 +317,13 @@ class ServiceClient
     Rng jitter_rng{0};
     CallInfo last_call{};
     uint16_t peer_version = PROTOCOL_VERSION_MIN;
+
+    /** Wire buffers reused across calls AND attempts: encoders
+     *  build frames into `tx`, transports decode into `rx`, and
+     *  both keep their capacity, so a steady-state client performs
+     *  no per-request allocation on the framing path. */
+    Bytes tx;
+    Bytes rx;
 
     // Circuit breaker (per client, as each thread owns one client).
     size_t consecutive_failures = 0;

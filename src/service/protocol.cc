@@ -1,5 +1,6 @@
 #include "service/protocol.hh"
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 
@@ -112,6 +113,54 @@ ByteWriter::f64(double v)
     u64(bits);
 }
 
+void
+ByteAppender::u8(uint8_t v)
+{
+    buf.push_back(v);
+}
+
+void
+ByteAppender::u16(uint16_t v)
+{
+    buf.push_back(static_cast<uint8_t>(v));
+    buf.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+ByteAppender::u32(uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        buf.push_back(static_cast<uint8_t>(v >> shift));
+}
+
+void
+ByteAppender::u64(uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        buf.push_back(static_cast<uint8_t>(v >> shift));
+}
+
+void
+ByteAppender::i32(int32_t v)
+{
+    u32(static_cast<uint32_t>(v));
+}
+
+void
+ByteAppender::f64(double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+ByteAppender::bytes(ByteView view)
+{
+    buf.insert(buf.end(), view.begin(), view.end());
+}
+
 bool
 ByteReader::grab(void *out, size_t n)
 {
@@ -198,50 +247,59 @@ ByteReader::f64(double &v)
 namespace
 {
 
+std::atomic<bool> g_force_copy_decode{false};
+
 void
-writeHeader(ByteWriter &w, uint16_t version, uint16_t raw_op,
-            uint64_t session_id, uint32_t payload_size)
+appendHeader(ByteAppender &a, uint16_t version, uint16_t raw_op,
+             uint64_t session_id, uint32_t payload_size)
 {
-    w.u32(FRAME_MAGIC);
-    w.u16(version);
-    w.u16(raw_op);
-    w.u64(session_id);
-    w.u32(payload_size);
+    a.u32(FRAME_MAGIC);
+    a.u16(version);
+    a.u16(raw_op);
+    a.u64(session_id);
+    a.u32(payload_size);
 }
 
-/** Response / legacy framing at an explicit version. */
-Bytes
-frameAt(uint16_t version, uint16_t raw_op, uint64_t session_id,
-        const Bytes &payload)
+/**
+ * Start a request frame in `out` (cleared): header with a
+ * placeholder payload size, plus the v2 trace block when a context
+ * is attached (otherwise a plain v1 header, byte-identical to what
+ * a v1 encoder always produced). finishFrame() patches the size.
+ */
+void
+beginRequestFrame(Bytes &out, uint16_t raw_op, uint64_t session_id,
+                  const TraceField &trace)
 {
-    ByteWriter w;
-    writeHeader(w, version, raw_op, session_id,
-                static_cast<uint32_t>(payload.size()));
-    Bytes out = w.take();
-    out.insert(out.end(), payload.begin(), payload.end());
-    return out;
+    out.clear();
+    ByteAppender a(out);
+    if (!trace.present()) {
+        appendHeader(a, PROTOCOL_VERSION_MIN, raw_op, session_id, 0);
+        return;
+    }
+    appendHeader(a, PROTOCOL_VERSION, raw_op, session_id, 0);
+    a.u8(static_cast<uint8_t>(TRACE_FIELD_WIRE_SIZE));
+    a.u64(trace.trace_id);
+    a.u64(trace.parent_span_id);
 }
 
-/** Request framing: an attached trace context upgrades the frame
- *  to v2 and prepends the trace block; otherwise the bytes are
- *  identical to what a v1 encoder always produced. */
-Bytes
-frame(uint16_t raw_op, uint64_t session_id, const Bytes &payload,
-      const TraceField &trace)
+/** Patch the header's payload_size now that the payload is known. */
+void
+finishFrame(Bytes &out)
 {
-    if (!trace.present())
-        return frameAt(PROTOCOL_VERSION_MIN, raw_op, session_id,
-                       payload);
-    ByteWriter w;
-    writeHeader(w, PROTOCOL_VERSION, raw_op, session_id,
-                static_cast<uint32_t>(payload.size() + 1 +
-                                      TRACE_FIELD_WIRE_SIZE));
-    w.u8(static_cast<uint8_t>(TRACE_FIELD_WIRE_SIZE));
-    w.u64(trace.trace_id);
-    w.u64(trace.parent_span_id);
-    Bytes out = w.take();
-    out.insert(out.end(), payload.begin(), payload.end());
-    return out;
+    const uint32_t payload =
+        static_cast<uint32_t>(out.size() - FRAME_HEADER_SIZE);
+    out[16] = static_cast<uint8_t>(payload);
+    out[17] = static_cast<uint8_t>(payload >> 8);
+    out[18] = static_cast<uint8_t>(payload >> 16);
+    out[19] = static_cast<uint8_t>(payload >> 24);
+}
+
+uint16_t
+clampVersion(uint16_t version)
+{
+    if (version < PROTOCOL_VERSION_MIN)
+        return PROTOCOL_VERSION_MIN;
+    return version > PROTOCOL_VERSION ? PROTOCOL_VERSION : version;
 }
 
 } // namespace
@@ -263,13 +321,83 @@ peekHeader(const Bytes &frame)
     return peekHeader(frame.data(), frame.size());
 }
 
+void
+encodeOpenRequestInto(Bytes &out, PredictorKind kind,
+                      const TraceField &trace)
+{
+    beginRequestFrame(out, static_cast<uint16_t>(Op::Open), 0,
+                      trace);
+    ByteAppender a(out);
+    a.u16(static_cast<uint16_t>(kind));
+    finishFrame(out);
+}
+
+void
+encodeSubmitRequestInto(Bytes &out, uint64_t session_id,
+                        RecordView records, const TraceField &trace)
+{
+    beginRequestFrame(out, static_cast<uint16_t>(Op::SubmitBatch),
+                      session_id, trace);
+    ByteAppender a(out);
+    a.u32(static_cast<uint32_t>(records.size()));
+    if constexpr (WIRE_LAYOUT_IS_NATIVE) {
+        a.bytes({reinterpret_cast<const uint8_t *>(records.data()),
+                 records.size() * INTERVAL_RECORD_WIRE_SIZE});
+    } else {
+        for (const IntervalRecord &rec : records) {
+            a.f64(rec.uops);
+            a.f64(rec.bus_tran_mem);
+            a.u64(rec.tsc);
+        }
+    }
+    finishFrame(out);
+}
+
+void
+encodeStatsRequestInto(Bytes &out, const TraceField &trace)
+{
+    beginRequestFrame(out, static_cast<uint16_t>(Op::QueryStats), 0,
+                      trace);
+    finishFrame(out);
+}
+
+void
+encodeCloseRequestInto(Bytes &out, uint64_t session_id,
+                       const TraceField &trace)
+{
+    beginRequestFrame(out, static_cast<uint16_t>(Op::Close),
+                      session_id, trace);
+    finishFrame(out);
+}
+
+void
+encodeMetricsRequestInto(Bytes &out, uint16_t raw_format,
+                         const TraceField &trace)
+{
+    beginRequestFrame(out, static_cast<uint16_t>(Op::QueryMetrics),
+                      0, trace);
+    ByteAppender a(out);
+    a.u16(raw_format);
+    finishFrame(out);
+}
+
+void
+encodeTracesRequestInto(Bytes &out, uint64_t trace_id_filter,
+                        const TraceField &trace)
+{
+    beginRequestFrame(out, static_cast<uint16_t>(Op::QueryTraces), 0,
+                      trace);
+    ByteAppender a(out);
+    a.u64(trace_id_filter);
+    finishFrame(out);
+}
+
 Bytes
 encodeOpenRequest(PredictorKind kind, const TraceField &trace)
 {
-    ByteWriter payload;
-    payload.u16(static_cast<uint16_t>(kind));
-    return frame(static_cast<uint16_t>(Op::Open), 0, payload.take(),
-                 trace);
+    Bytes out;
+    encodeOpenRequestInto(out, kind, trace);
+    return out;
 }
 
 Bytes
@@ -277,53 +405,48 @@ encodeSubmitRequest(uint64_t session_id,
                     const std::vector<IntervalRecord> &records,
                     const TraceField &trace)
 {
-    ByteWriter payload;
-    payload.u32(static_cast<uint32_t>(records.size()));
-    for (const IntervalRecord &rec : records) {
-        payload.f64(rec.uops);
-        payload.f64(rec.bus_tran_mem);
-        payload.u64(rec.tsc);
-    }
-    return frame(static_cast<uint16_t>(Op::SubmitBatch), session_id,
-                 payload.take(), trace);
+    Bytes out;
+    encodeSubmitRequestInto(out, session_id, records, trace);
+    return out;
 }
 
 Bytes
 encodeStatsRequest(const TraceField &trace)
 {
-    return frame(static_cast<uint16_t>(Op::QueryStats), 0, {},
-                 trace);
+    Bytes out;
+    encodeStatsRequestInto(out, trace);
+    return out;
 }
 
 Bytes
 encodeCloseRequest(uint64_t session_id, const TraceField &trace)
 {
-    return frame(static_cast<uint16_t>(Op::Close), session_id, {},
-                 trace);
+    Bytes out;
+    encodeCloseRequestInto(out, session_id, trace);
+    return out;
 }
 
 Bytes
 encodeMetricsRequest(uint16_t raw_format, const TraceField &trace)
 {
-    ByteWriter payload;
-    payload.u16(raw_format);
-    return frame(static_cast<uint16_t>(Op::QueryMetrics), 0,
-                 payload.take(), trace);
+    Bytes out;
+    encodeMetricsRequestInto(out, raw_format, trace);
+    return out;
 }
 
 Bytes
 encodeTracesRequest(uint64_t trace_id_filter, const TraceField &trace)
 {
-    ByteWriter payload;
-    payload.u64(trace_id_filter);
-    return frame(static_cast<uint16_t>(Op::QueryTraces), 0,
-                 payload.take(), trace);
+    Bytes out;
+    encodeTracesRequestInto(out, trace_id_filter, trace);
+    return out;
 }
 
 Status
-parseRequest(const Bytes &bytes, ParsedRequest &out)
+parseRequest(ByteView frame, Arena &scratch, RequestView &out)
 {
-    const auto header = peekHeader(bytes);
+    out = RequestView{};
+    const auto header = peekHeader(frame.data(), frame.size());
     if (!header)
         return Status::BadFrame;
     out.header = *header;
@@ -332,10 +455,10 @@ parseRequest(const Bytes &bytes, ParsedRequest &out)
         header->version > PROTOCOL_VERSION)
         return Status::BadFrame;
     if (header->payload_size > MAX_PAYLOAD_SIZE ||
-        bytes.size() != FRAME_HEADER_SIZE + header->payload_size)
+        frame.size() != FRAME_HEADER_SIZE + header->payload_size)
         return Status::BadFrame;
 
-    ByteReader r(bytes.data() + FRAME_HEADER_SIZE,
+    ByteReader r(frame.data() + FRAME_HEADER_SIZE,
                  header->payload_size);
     if (header->version >= 2) {
         // v2 trace block. A length that overruns the payload is a
@@ -368,15 +491,38 @@ parseRequest(const Bytes &bytes, ParsedRequest &out)
             return Status::BadFrame;
         if (r.remaining() != count * INTERVAL_RECORD_WIRE_SIZE)
             return Status::BadFrame;
-        out.records.clear();
-        out.records.reserve(count);
-        for (uint32_t i = 0; i < count; ++i) {
-            IntervalRecord rec;
-            if (!r.f64(rec.uops) || !r.f64(rec.bus_tran_mem) ||
-                !r.u64(rec.tsc))
-                return Status::BadFrame;
-            out.records.push_back(rec);
+        const uint8_t *base = r.position();
+        const bool aligned =
+            reinterpret_cast<uintptr_t>(base) %
+                alignof(IntervalRecord) == 0;
+        if (WIRE_LAYOUT_IS_NATIVE && aligned &&
+            !g_force_copy_decode.load(std::memory_order_relaxed)) {
+            // In-place fast path: the validated payload *is* the
+            // record array (layout asserted in the header).
+            out.records = RecordView{
+                reinterpret_cast<const IntervalRecord *>(base),
+                count};
+            return Status::Ok;
         }
+        // Copying fallback: one pass into the request arena. On a
+        // little-endian host only the alignment was wrong, so a
+        // bulk copy suffices; a big-endian host must swizzle each
+        // field through the reader.
+        std::span<IntervalRecord> copy =
+            scratch.allocSpan<IntervalRecord>(count);
+        if constexpr (WIRE_LAYOUT_IS_NATIVE) {
+            if (count != 0)
+                std::memcpy(copy.data(), base,
+                            count * INTERVAL_RECORD_WIRE_SIZE);
+        } else {
+            for (uint32_t i = 0; i < count; ++i) {
+                if (!r.f64(copy[i].uops) ||
+                    !r.f64(copy[i].bus_tran_mem) ||
+                    !r.u64(copy[i].tsc))
+                    return Status::BadFrame;
+            }
+        }
+        out.records = copy;
         return Status::Ok;
       }
       case Op::QueryStats:
@@ -394,20 +540,76 @@ parseRequest(const Bytes &bytes, ParsedRequest &out)
     return Status::BadFrame; // unknown op
 }
 
+Status
+parseRequest(const Bytes &bytes, ParsedRequest &out)
+{
+    Arena scratch(4096); // lazily allocated; unused on the alias path
+    RequestView view;
+    const Status status =
+        parseRequest(ByteView(bytes), scratch, view);
+    out.header = view.header;
+    out.trace = view.trace;
+    out.predictor = view.predictor;
+    out.metrics_format = view.metrics_format;
+    out.traces_filter = view.traces_filter;
+    out.records.assign(view.records.begin(), view.records.end());
+    return status;
+}
+
+bool
+setForceCopyDecodeForTest(bool on)
+{
+    return g_force_copy_decode.exchange(on);
+}
+
+void
+encodeResponseInto(Bytes &out, uint16_t raw_op, uint64_t session_id,
+                   Status status, ByteView body, uint16_t version)
+{
+    out.clear();
+    ByteAppender a(out);
+    // Echo a supported revision even when rejecting garbage whose
+    // header claimed something else.
+    appendHeader(a, clampVersion(version), raw_op, session_id,
+                 static_cast<uint32_t>(2 + body.size()));
+    a.u16(static_cast<uint16_t>(status));
+    a.bytes(body);
+}
+
 Bytes
 encodeResponse(uint16_t raw_op, uint64_t session_id, Status status,
                const Bytes &body, uint16_t version)
 {
-    ByteWriter payload;
-    payload.u16(static_cast<uint16_t>(status));
-    Bytes p = payload.take();
-    p.insert(p.end(), body.begin(), body.end());
-    // Echo a supported revision even when rejecting garbage whose
-    // header claimed something else.
-    const uint16_t v = version < PROTOCOL_VERSION_MIN
-        ? PROTOCOL_VERSION_MIN
-        : version > PROTOCOL_VERSION ? PROTOCOL_VERSION : version;
-    return frameAt(v, raw_op, session_id, p);
+    Bytes out;
+    encodeResponseInto(out, raw_op, session_id, status, body,
+                       version);
+    return out;
+}
+
+void
+encodeSubmitResponseInto(Bytes &out, uint16_t raw_op,
+                         uint64_t session_id,
+                         std::span<const IntervalResult> results,
+                         uint16_t version)
+{
+    out.clear();
+    ByteAppender a(out);
+    appendHeader(a, clampVersion(version), raw_op, session_id,
+                 static_cast<uint32_t>(
+                     2 + 4 +
+                     results.size() * INTERVAL_RESULT_WIRE_SIZE));
+    a.u16(static_cast<uint16_t>(Status::Ok));
+    a.u32(static_cast<uint32_t>(results.size()));
+    if constexpr (WIRE_LAYOUT_IS_NATIVE) {
+        a.bytes({reinterpret_cast<const uint8_t *>(results.data()),
+                 results.size() * INTERVAL_RESULT_WIRE_SIZE});
+    } else {
+        for (const IntervalResult &res : results) {
+            a.i32(res.phase);
+            a.i32(res.predicted_next);
+            a.u32(res.dvfs_index);
+        }
+    }
 }
 
 Bytes
@@ -419,7 +621,7 @@ encodeVersionAdvert()
 }
 
 uint16_t
-decodeVersionAdvert(const Bytes &body)
+decodeVersionAdvert(ByteView body)
 {
     if (body.size() < 2)
         return PROTOCOL_VERSION_MIN;
@@ -455,7 +657,7 @@ encodeMetricsText(const std::string &text)
 }
 
 std::optional<std::string>
-decodeMetricsText(const Bytes &body)
+decodeMetricsText(ByteView body)
 {
     ByteReader r(body);
     uint32_t length = 0;
@@ -465,44 +667,73 @@ decodeMetricsText(const Bytes &body)
 }
 
 bool
-parseResponse(const Bytes &bytes, ParsedResponse &out)
+parseResponse(ByteView frame, ResponseView &out)
 {
-    const auto header = peekHeader(bytes);
+    const auto header = peekHeader(frame.data(), frame.size());
     if (!header || header->magic != FRAME_MAGIC ||
         header->version < PROTOCOL_VERSION_MIN ||
         header->version > PROTOCOL_VERSION)
         return false;
-    if (bytes.size() != FRAME_HEADER_SIZE + header->payload_size ||
+    if (frame.size() != FRAME_HEADER_SIZE + header->payload_size ||
         header->payload_size < 2)
         return false;
     out.header = *header;
-    ByteReader r(bytes.data() + FRAME_HEADER_SIZE,
+    ByteReader r(frame.data() + FRAME_HEADER_SIZE,
                  header->payload_size);
     uint16_t status;
     if (!r.u16(status))
         return false;
     out.status = static_cast<Status>(status);
-    out.body.assign(bytes.end() - r.remaining(), bytes.end());
+    out.body = frame.subspan(frame.size() - r.remaining());
     return true;
 }
 
-std::optional<std::vector<IntervalResult>>
-decodeSubmitResults(const Bytes &body)
+bool
+parseResponse(const Bytes &bytes, ParsedResponse &out)
 {
+    ResponseView view;
+    if (!parseResponse(ByteView(bytes), view))
+        return false;
+    out.header = view.header;
+    out.status = view.status;
+    out.body.assign(view.body.begin(), view.body.end());
+    return true;
+}
+
+bool
+decodeSubmitResultsInto(ByteView body,
+                        std::vector<IntervalResult> &out)
+{
+    out.clear();
     ByteReader r(body);
     uint32_t count;
     if (!r.u32(count) ||
         r.remaining() != count * INTERVAL_RESULT_WIRE_SIZE)
-        return std::nullopt;
-    std::vector<IntervalResult> results;
-    results.reserve(count);
-    for (uint32_t i = 0; i < count; ++i) {
-        IntervalResult res;
-        if (!r.i32(res.phase) || !r.i32(res.predicted_next) ||
-            !r.u32(res.dvfs_index))
-            return std::nullopt;
-        results.push_back(res);
+        return false;
+    if constexpr (WIRE_LAYOUT_IS_NATIVE) {
+        out.resize(count);
+        if (count != 0)
+            std::memcpy(out.data(), r.position(),
+                        count * INTERVAL_RESULT_WIRE_SIZE);
+    } else {
+        out.reserve(count);
+        for (uint32_t i = 0; i < count; ++i) {
+            IntervalResult res;
+            if (!r.i32(res.phase) || !r.i32(res.predicted_next) ||
+                !r.u32(res.dvfs_index))
+                return false;
+            out.push_back(res);
+        }
     }
+    return true;
+}
+
+std::optional<std::vector<IntervalResult>>
+decodeSubmitResults(ByteView body)
+{
+    std::vector<IntervalResult> results;
+    if (!decodeSubmitResultsInto(body, results))
+        return std::nullopt;
     return results;
 }
 

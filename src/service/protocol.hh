@@ -55,16 +55,32 @@
  * Malformed input (bad magic/version, unknown op, truncated or
  * oversized payload, record-count mismatch) is answered with
  * Status::BadFrame — the service never fatal()s on network input.
+ *
+ * Zero-copy data plane (DESIGN.md §14): the record and result
+ * arrays are laid out on the wire exactly as the corresponding C++
+ * structs are laid out in memory on a little-endian host (asserted
+ * below), so the hot-path APIs decode *in place* — parseRequest
+ * into a RequestView yields a RecordView aliasing the frame buffer
+ * (falling back to one copy into a caller-supplied Arena on
+ * big-endian or unaligned frames), and encode*Into APIs append
+ * into a caller-reused buffer instead of allocating. The owning
+ * ParsedRequest/Bytes APIs remain as thin wrappers for tests and
+ * cold paths.
  */
 
 #ifndef LIVEPHASE_SERVICE_PROTOCOL_HH
 #define LIVEPHASE_SERVICE_PROTOCOL_HH
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "common/arena.hh"
 #include "core/phase.hh"
 
 namespace livephase::service
@@ -72,6 +88,9 @@ namespace livephase::service
 
 /** Raw frame bytes as they travel over a transport. */
 using Bytes = std::vector<uint8_t>;
+
+/** Non-owning window over frame bytes. */
+using ByteView = std::span<const uint8_t>;
 
 constexpr uint32_t FRAME_MAGIC = 0x4C504844u; // "LPHD"
 constexpr uint16_t PROTOCOL_VERSION = 2;     ///< newest we speak
@@ -183,6 +202,42 @@ struct IntervalResult
 
 constexpr size_t INTERVAL_RESULT_WIRE_SIZE = 12;
 
+// The in-place decode/encode paths reinterpret the wire byte stream
+// as arrays of these structs (and vice versa), which is only sound
+// while their in-memory layout matches the documented wire layout
+// field for field with no padding. Lock that down at compile time;
+// a platform where any assert fails simply cannot build the fast
+// path and must be ported (the copying fallback is selected at
+// runtime for endianness, not layout).
+static_assert(std::is_trivially_copyable_v<IntervalRecord>);
+static_assert(sizeof(IntervalRecord) == INTERVAL_RECORD_WIRE_SIZE);
+static_assert(offsetof(IntervalRecord, uops) == 0);
+static_assert(offsetof(IntervalRecord, bus_tran_mem) == 8);
+static_assert(offsetof(IntervalRecord, tsc) == 16);
+static_assert(std::is_trivially_copyable_v<IntervalResult>);
+static_assert(sizeof(PhaseId) == 4);
+static_assert(sizeof(IntervalResult) == INTERVAL_RESULT_WIRE_SIZE);
+static_assert(offsetof(IntervalResult, phase) == 0);
+static_assert(offsetof(IntervalResult, predicted_next) == 4);
+static_assert(offsetof(IntervalResult, dvfs_index) == 8);
+
+/** True when record/result arrays can be memcpy'd (or aliased)
+ *  to/from the wire without per-field byte shuffling. */
+constexpr bool WIRE_LAYOUT_IS_NATIVE =
+    std::endian::native == std::endian::little;
+
+/**
+ * Non-owning view of a decoded record batch. Points either into
+ * the request frame itself (little-endian host, aligned payload)
+ * or into the Arena the parse copied into; valid only until the
+ * frame buffer is released or the arena reset — see DESIGN.md §14
+ * for the holding rules.
+ */
+using RecordView = std::span<const IntervalRecord>;
+
+/** Caller-provided result window a batch is computed into. */
+using ResultSpan = std::span<IntervalResult>;
+
 /**
  * Little-endian append-only byte builder used by all encoders.
  */
@@ -206,6 +261,33 @@ class ByteWriter
 };
 
 /**
+ * Little-endian appender into a caller-owned buffer — the
+ * encode-into twin of ByteWriter. Appends (never truncates), so an
+ * encoder can build a frame directly inside a pooled/reused buffer
+ * with zero intermediate allocations.
+ */
+class ByteAppender
+{
+  public:
+    explicit ByteAppender(Bytes &out) : buf(out) {}
+
+    void u8(uint8_t v);
+    void u16(uint16_t v);
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void i32(int32_t v);
+    void f64(double v);
+
+    /** Raw byte append. */
+    void bytes(ByteView view);
+
+    size_t size() const { return buf.size(); }
+
+  private:
+    Bytes &buf;
+};
+
+/**
  * Bounds-checked little-endian reader; every accessor returns false
  * (leaving the output untouched) once the buffer is exhausted.
  */
@@ -222,6 +304,11 @@ class ByteReader
     {
     }
 
+    explicit ByteReader(ByteView view)
+        : ByteReader(view.data(), view.size())
+    {
+    }
+
     bool u8(uint8_t &v);
     bool u16(uint16_t &v);
     bool u32(uint32_t &v);
@@ -233,6 +320,9 @@ class ByteReader
     bool skip(size_t n);
 
     size_t remaining() const { return left; }
+
+    /** Current read position (for in-place aliasing). */
+    const uint8_t *position() const { return cur; }
 
   private:
     bool grab(void *out, size_t n);
@@ -246,6 +336,26 @@ class ByteReader
 // Every encoder takes an optional trace context; a present one
 // upgrades the frame to protocol v2 with a trace block, an absent
 // one (the default) emits byte-identical v1 frames.
+//
+// The *Into variants clear `out` and build the frame inside it, so
+// a client looping on a reused buffer encodes with no allocation
+// once the buffer's capacity has warmed up; the owning variants
+// are one-line wrappers kept for tests and one-shot callers.
+
+void encodeOpenRequestInto(Bytes &out, PredictorKind kind,
+                           const TraceField &trace = {});
+void encodeSubmitRequestInto(Bytes &out, uint64_t session_id,
+                             RecordView records,
+                             const TraceField &trace = {});
+void encodeStatsRequestInto(Bytes &out, const TraceField &trace = {});
+void encodeCloseRequestInto(Bytes &out, uint64_t session_id,
+                            const TraceField &trace = {});
+void encodeMetricsRequestInto(Bytes &out, uint16_t raw_format,
+                              const TraceField &trace = {});
+
+/** @param trace_id_filter 0 requests every retained trace. */
+void encodeTracesRequestInto(Bytes &out, uint64_t trace_id_filter,
+                             const TraceField &trace = {});
 
 Bytes encodeOpenRequest(PredictorKind kind,
                         const TraceField &trace = {});
@@ -257,20 +367,37 @@ Bytes encodeCloseRequest(uint64_t session_id,
                          const TraceField &trace = {});
 Bytes encodeMetricsRequest(uint16_t raw_format,
                            const TraceField &trace = {});
-
-/** @param trace_id_filter 0 requests every retained trace. */
 Bytes encodeTracesRequest(uint64_t trace_id_filter,
                           const TraceField &trace = {});
 
 // --- server-side request parsing ---------------------------------
 
-/** A fully validated request frame. */
+/** A fully validated request frame (owning decode). */
 struct ParsedRequest
 {
     FrameHeader header{};
     TraceField trace{}; ///< v2 trace block (absent => zeros)
     PredictorKind predictor = PredictorKind::LastValue; ///< Open only
     std::vector<IntervalRecord> records; ///< SubmitBatch only
+    uint16_t metrics_format = 0; ///< QueryMetrics only (raw value)
+    uint64_t traces_filter = 0;  ///< QueryTraces only (0 = all)
+};
+
+/**
+ * A fully validated request frame decoded *in place*: `records`
+ * aliases the frame buffer when the host layout matches the wire
+ * (little-endian, suitably aligned payload) and otherwise aliases
+ * a single copy made into the scratch Arena. Either way the view
+ * is only valid while both the frame bytes and the arena contents
+ * stay put — i.e. until the worker releases the frame lease or
+ * resets its arena for the next request.
+ */
+struct RequestView
+{
+    FrameHeader header{};
+    TraceField trace{};
+    PredictorKind predictor = PredictorKind::LastValue; ///< Open only
+    RecordView records{};        ///< SubmitBatch only
     uint16_t metrics_format = 0; ///< QueryMetrics only (raw value)
     uint64_t traces_filter = 0;  ///< QueryTraces only (0 = all)
 };
@@ -284,10 +411,27 @@ std::optional<FrameHeader> peekHeader(const Bytes &frame);
 std::optional<FrameHeader> peekHeader(const uint8_t *data, size_t size);
 
 /**
- * Validate and decode a request frame. Returns Status::Ok and fills
- * `out`, or Status::BadFrame (magic/version/op/length violations).
+ * Validate and decode a request frame in one pass with no
+ * allocation on the fast path. Returns Status::Ok and fills `out`
+ * (record views per the RequestView lifetime rules), or
+ * Status::BadFrame (magic/version/op/length violations). `scratch`
+ * backs the copying fallback and record staging; the caller resets
+ * it between requests.
+ */
+Status parseRequest(ByteView frame, Arena &scratch, RequestView &out);
+
+/**
+ * Owning decode: validates identically and copies the records into
+ * `out.records`. Thin wrapper over the view parse, kept for tests
+ * and cold paths.
  */
 Status parseRequest(const Bytes &frame, ParsedRequest &out);
+
+/** Test hook: force the big-endian/unaligned copying decode path
+ *  even on hosts where the in-place alias would be legal, so the
+ *  fallback is exercised everywhere CI runs. Returns the previous
+ *  setting. Not for production use. */
+bool setForceCopyDecodeForTest(bool on);
 
 // --- server-side response encoders -------------------------------
 
@@ -297,10 +441,26 @@ Status parseRequest(const Bytes &frame, ParsedRequest &out);
  * can still echo what the client sent. `version` should echo the
  * request's revision (clamped into the supported range) so a v1
  * client never receives v2 bytes; the default emits our newest.
+ * The Into variant clears `out` and encodes into it.
  */
+void encodeResponseInto(Bytes &out, uint16_t raw_op,
+                        uint64_t session_id, Status status,
+                        ByteView body = {},
+                        uint16_t version = PROTOCOL_VERSION);
 Bytes encodeResponse(uint16_t raw_op, uint64_t session_id,
                      Status status, const Bytes &body = {},
                      uint16_t version = PROTOCOL_VERSION);
+
+/**
+ * Build a complete SubmitBatch OK response (header + status +
+ * u32 count + results) in one pass into `out`, bulk-copying the
+ * result array on little-endian hosts. The zero-allocation twin of
+ * encodeResponse(op, sid, Ok, encodeSubmitResults(results)).
+ */
+void encodeSubmitResponseInto(Bytes &out, uint16_t raw_op,
+                              uint64_t session_id,
+                              std::span<const IntervalResult> results,
+                              uint16_t version = PROTOCOL_VERSION);
 
 /** u16 version advertisement a v2 server appends to its Open OK
  *  response body (v1 clients ignore trailing body bytes). */
@@ -308,7 +468,7 @@ Bytes encodeVersionAdvert();
 
 /** Advertised version at the tail of an Open response body; 1 when
  *  absent (a v1 server), clamped to PROTOCOL_VERSION. */
-uint16_t decodeVersionAdvert(const Bytes &body);
+uint16_t decodeVersionAdvert(ByteView body);
 
 /** SubmitBatch response body: u32 count + IntervalResults. */
 Bytes encodeSubmitResults(const std::vector<IntervalResult> &results);
@@ -317,11 +477,11 @@ Bytes encodeSubmitResults(const std::vector<IntervalResult> &results);
 Bytes encodeMetricsText(const std::string &text);
 
 /** Decode a QueryMetrics response body; nullopt when malformed. */
-std::optional<std::string> decodeMetricsText(const Bytes &body);
+std::optional<std::string> decodeMetricsText(ByteView body);
 
 // --- client-side response parsing --------------------------------
 
-/** A decoded response frame. */
+/** A decoded response frame (owning copy of the body). */
 struct ParsedResponse
 {
     FrameHeader header{};
@@ -329,12 +489,28 @@ struct ParsedResponse
     Bytes body; ///< op-specific remainder after the status field
 };
 
+/** A response frame decoded in place: `body` aliases the frame
+ *  buffer and is valid only while those bytes stay put (until the
+ *  client's next reuse of its rx buffer). */
+struct ResponseView
+{
+    FrameHeader header{};
+    Status status = Status::BadFrame;
+    ByteView body{};
+};
+
 /** False when the frame is not a well-formed response. */
+bool parseResponse(ByteView frame, ResponseView &out);
 bool parseResponse(const Bytes &frame, ParsedResponse &out);
 
 /** Decode a SubmitBatch response body; nullopt when malformed. */
 std::optional<std::vector<IntervalResult>>
-decodeSubmitResults(const Bytes &body);
+decodeSubmitResults(ByteView body);
+
+/** Decode a SubmitBatch response body into a reused vector (its
+ *  capacity survives across calls); false when malformed. */
+bool decodeSubmitResultsInto(ByteView body,
+                             std::vector<IntervalResult> &out);
 
 } // namespace livephase::service
 

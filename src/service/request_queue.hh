@@ -12,6 +12,13 @@
  * pop() blocks until an item or shutdown; after close(), remaining
  * items are still drained (pop returns them) and only then does pop
  * report exhaustion — so no accepted request is ever dropped.
+ *
+ * Storage is a fixed ring buffer sized once at construction:
+ * capacity is bounded anyway (that is the whole point), so a deque's
+ * demand-paged segments bought nothing but a heap allocation per
+ * enqueue burst. With the ring, the queue performs zero allocations
+ * after construction — slots are std::optional<T> that items are
+ * moved into and out of in place.
  */
 
 #ifndef LIVEPHASE_SERVICE_REQUEST_QUEUE_HH
@@ -19,10 +26,10 @@
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/logging.hh"
 
@@ -30,14 +37,17 @@ namespace livephase::service
 {
 
 /**
- * Mutex/condvar bounded MPMC queue with a high-water-mark gauge.
+ * Mutex/condvar bounded MPMC ring queue with a high-water-mark
+ * gauge.
  */
 template <typename T>
 class BoundedMpmcQueue
 {
   public:
-    /** @param capacity maximum queued items; fatal() when 0. */
-    explicit BoundedMpmcQueue(size_t capacity) : cap(capacity)
+    /** @param capacity maximum queued items (ring slots, allocated
+     *  here once); fatal() when 0. */
+    explicit BoundedMpmcQueue(size_t capacity)
+        : cap(capacity), ring(capacity)
     {
         if (cap == 0)
             fatal("BoundedMpmcQueue: capacity must be > 0");
@@ -54,11 +64,12 @@ class BoundedMpmcQueue
     {
         {
             std::lock_guard lock(mu);
-            if (shut || items.size() >= cap)
+            if (shut || count >= cap)
                 return false;
-            items.push_back(std::move(item));
-            if (items.size() > hwm)
-                hwm = items.size();
+            ring[(head + count) % cap].emplace(std::move(item));
+            ++count;
+            if (count > hwm)
+                hwm = count;
         }
         not_empty.notify_one();
         return true;
@@ -71,24 +82,19 @@ class BoundedMpmcQueue
     std::optional<T> pop()
     {
         std::unique_lock lock(mu);
-        not_empty.wait(lock,
-                       [this] { return shut || !items.empty(); });
-        if (items.empty())
+        not_empty.wait(lock, [this] { return shut || count != 0; });
+        if (count == 0)
             return std::nullopt;
-        T item = std::move(items.front());
-        items.pop_front();
-        return item;
+        return takeFrontLocked();
     }
 
     /** Non-blocking dequeue (manual draining / tests). */
     std::optional<T> tryPop()
     {
         std::lock_guard lock(mu);
-        if (items.empty())
+        if (count == 0)
             return std::nullopt;
-        T item = std::move(items.front());
-        items.pop_front();
-        return item;
+        return takeFrontLocked();
     }
 
     /** Stop accepting items and wake all blocked consumers. */
@@ -112,8 +118,11 @@ class BoundedMpmcQueue
     size_t depth() const
     {
         std::lock_guard lock(mu);
-        return items.size();
+        return count;
     }
+
+    /** Ring capacity (fixed at construction). */
+    size_t capacity() const { return cap; }
 
     /** Deepest the queue has ever been. */
     size_t highWaterMark() const
@@ -123,10 +132,22 @@ class BoundedMpmcQueue
     }
 
   private:
+    /** Move the head slot out and advance (mutex held, count>0). */
+    T takeFrontLocked()
+    {
+        T item = std::move(*ring[head]);
+        ring[head].reset(); // destroy the moved-from shell now
+        head = (head + 1) % cap;
+        --count;
+        return item;
+    }
+
     const size_t cap;
     mutable std::mutex mu;
     std::condition_variable not_empty;
-    std::deque<T> items;
+    std::vector<std::optional<T>> ring;
+    size_t head = 0;  ///< index of the oldest item
+    size_t count = 0; ///< live items in [head, head+count)
     size_t hwm = 0;
     bool shut = false;
 };

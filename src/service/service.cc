@@ -63,18 +63,19 @@ LivePhaseService::stop()
     // Anything still queued (workers == 0 mode) must not leave its
     // client's future dangling.
     while (auto req = queue.tryPop())
-        req->reply.set_value(
-            rejectionResponse(req->frame, Status::ShuttingDown));
+        req->reply.set_value(rejectionResponse(
+            ByteView(*req->frame), Status::ShuttingDown));
 }
 
 Bytes
-LivePhaseService::rejectionResponse(const Bytes &request_frame,
+LivePhaseService::rejectionResponse(ByteView request_frame,
                                     Status status)
 {
     uint16_t raw_op = 0;
     uint64_t session_id = 0;
     uint16_t version = PROTOCOL_VERSION;
-    if (const auto header = peekHeader(request_frame)) {
+    if (const auto header = peekHeader(request_frame.data(),
+                                       request_frame.size())) {
         raw_op = header->op;
         session_id = header->session_id;
         version = header->version; // encodeResponse clamps
@@ -83,7 +84,7 @@ LivePhaseService::rejectionResponse(const Bytes &request_frame,
 }
 
 std::future<Bytes>
-LivePhaseService::submit(Bytes request_frame)
+LivePhaseService::submit(BufferPool::Lease request_frame)
 {
     Request req;
     req.frame = std::move(request_frame);
@@ -92,8 +93,8 @@ LivePhaseService::submit(Bytes request_frame)
     std::future<Bytes> result = req.reply.get_future();
 
     if (stopping.load(std::memory_order_acquire)) {
-        req.reply.set_value(
-            rejectionResponse(req.frame, Status::ShuttingDown));
+        req.reply.set_value(rejectionResponse(
+            ByteView(*req.frame), Status::ShuttingDown));
         return result;
     }
 
@@ -102,8 +103,8 @@ LivePhaseService::submit(Bytes request_frame)
     if (auto f = FAULT_POINT("service.queue");
         f.action == fault::Action::Error) {
         counters.frameRejectedQueueFull();
-        req.reply.set_value(
-            rejectionResponse(req.frame, Status::RetryAfter));
+        req.reply.set_value(rejectionResponse(
+            ByteView(*req.frame), Status::RetryAfter));
         return result;
     }
 
@@ -114,9 +115,19 @@ LivePhaseService::submit(Bytes request_frame)
             : Status::RetryAfter;
         if (status == Status::RetryAfter)
             counters.frameRejectedQueueFull();
-        req.reply.set_value(rejectionResponse(req.frame, status));
+        req.reply.set_value(
+            rejectionResponse(ByteView(*req.frame), status));
     }
     return result;
+    // req.frame's lease ends here on the rejection paths, recycling
+    // the storage; on the queued path it travels with the Request.
+}
+
+std::future<Bytes>
+LivePhaseService::submit(Bytes request_frame)
+{
+    return submit(BufferPool::global().adopt(
+        std::move(request_frame)));
 }
 
 void
@@ -146,18 +157,36 @@ LivePhaseService::serveRequest(Request &req)
         queue_wait.record(
             (obs::monoNowNs() - req.enqueue_ns) / 1e3);
     }
-    req.reply.set_value(handleFrame(req.frame, req.enqueue_ns));
+    // Request and response storage both cycle through the pool: the
+    // response buffer is leased, filled, then detach()ed into the
+    // promise (std::future requires owning Bytes); whoever consumes
+    // it donates the storage back via giveBack(). The request
+    // frame's lease ends when `req` dies.
+    BufferPool::Lease response = BufferPool::global().lease();
+    handleFrameInto(ByteView(*req.frame), *response,
+                    req.enqueue_ns);
+    req.reply.set_value(response.detach());
 }
 
 Bytes
 LivePhaseService::handleFrame(const Bytes &request_frame)
 {
-    return handleFrame(request_frame, 0);
+    Bytes response;
+    handleFrameInto(ByteView(request_frame), response, 0);
+    return response;
 }
 
-Bytes
-LivePhaseService::handleFrame(const Bytes &request_frame,
-                              uint64_t enqueue_ns)
+void
+LivePhaseService::handleFrameInto(ByteView request_frame,
+                                  Bytes &response)
+{
+    handleFrameInto(request_frame, response, 0);
+}
+
+void
+LivePhaseService::handleFrameInto(ByteView request_frame,
+                                  Bytes &response,
+                                  uint64_t enqueue_ns)
 {
     // Histogram + span-stack scope covers the whole request,
     // including parsing, so malformed-frame flight events still
@@ -168,9 +197,16 @@ LivePhaseService::handleFrame(const Bytes &request_frame,
     obs::Span span("service.handle", handle_hist);
     const auto start = std::chrono::steady_clock::now();
 
-    ParsedRequest parsed;
-    Bytes response;
-    const Status parse_status = parseRequest(request_frame, parsed);
+    // Request-scoped scratch: the parse's copying-decode fallback
+    // and staging draw from a per-thread arena that is reset (not
+    // freed) between requests — the other half, with BufferPool, of
+    // the zero-allocation steady state.
+    static thread_local Arena scratch_arena;
+    scratch_arena.reset();
+
+    RequestView parsed;
+    const Status parse_status =
+        parseRequest(request_frame, scratch_arena, parsed);
     if (parse_status != Status::Ok) {
         counters.frameMalformed();
         // Redacted on purpose: header fields and lengths only,
@@ -184,10 +220,10 @@ LivePhaseService::handleFrame(const Bytes &request_frame,
               static_cast<uint64_t>(request_frame.size())}});
         if (cfg.dump_trace_on_error)
             obs::FlightRecorder::global().autoDump("malformed-frame");
-        return encodeResponse(parsed.header.op,
-                              parsed.header.session_id,
-                              parse_status, {},
-                              parsed.header.version);
+        encodeResponseInto(response, parsed.header.op,
+                           parsed.header.session_id, parse_status,
+                           {}, parsed.header.version);
+        return;
     }
 
     // Adopt the wire trace context (if any) for the dispatch — the
@@ -203,17 +239,16 @@ LivePhaseService::handleFrame(const Bytes &request_frame,
                             (obs::monoNowNs() - enqueue_ns) / 1e3});
     }
 
-    response = dispatch(parsed);
+    dispatch(parsed, response);
     const double micros =
         std::chrono::duration<double, std::micro>(
             std::chrono::steady_clock::now() - start)
             .count();
     counters.opLatency(parsed.header.op, micros);
-    return response;
 }
 
-Bytes
-LivePhaseService::dispatch(const ParsedRequest &req)
+void
+LivePhaseService::dispatch(const RequestView &req, Bytes &out)
 {
     const uint16_t op = req.header.op;
     const uint64_t sid = req.header.session_id;
@@ -224,59 +259,78 @@ LivePhaseService::dispatch(const ParsedRequest &req)
         auto [status, session] = manager.open(req.predictor);
         // The advert rides the OK body: v1 clients ignore trailing
         // body bytes, v2 clients learn they may attach trace blocks.
-        return encodeResponse(op, session ? session->id() : 0,
-                              status,
-                              status == Status::Ok
-                                  ? encodeVersionAdvert()
-                                  : Bytes{},
-                              ver);
+        encodeResponseInto(out, op, session ? session->id() : 0,
+                           status,
+                           status == Status::Ok
+                               ? ByteView(encodeVersionAdvert())
+                               : ByteView{},
+                           ver);
+        return;
       }
       case Op::SubmitBatch: {
-        if (req.records.size() > cfg.max_batch)
-            return encodeResponse(op, sid, Status::BatchTooLarge,
-                                  {}, ver);
+        if (req.records.size() > cfg.max_batch) {
+            encodeResponseInto(out, op, sid, Status::BatchTooLarge,
+                               {}, ver);
+            return;
+        }
         for (const IntervalRecord &rec : req.records) {
             if (!rec.valid()) {
                 counters.frameMalformed();
-                return encodeResponse(op, sid, Status::BadFrame,
-                                      {}, ver);
+                encodeResponseInto(out, op, sid, Status::BadFrame,
+                                   {}, ver);
+                return;
             }
         }
         std::shared_ptr<Session> session = manager.find(sid);
-        if (!session)
-            return encodeResponse(op, sid, Status::UnknownSession,
-                                  {}, ver);
-        const std::vector<IntervalResult> results =
-            session->processBatch(req.records);
+        if (!session) {
+            encodeResponseInto(out, op, sid,
+                               Status::UnknownSession, {}, ver);
+            return;
+        }
+        // Results are staged in per-thread storage (capacity reused
+        // across requests) and bulk-encoded straight into the
+        // response buffer — no per-request vectors, no body copy.
+        static thread_local std::vector<IntervalResult> results;
+        results.resize(req.records.size());
+        session->processBatch(req.records, results);
+        // Idle tracking: one touch per batch, stamped at completion
+        // on the manager's (possibly test-injected) clock, so a
+        // session is "idle" only after its last batch *finished*.
+        session->touch(manager.nowNs());
         counters.batchProcessed(results.size());
-        return encodeResponse(op, sid, Status::Ok,
-                              encodeSubmitResults(results), ver);
+        encodeSubmitResponseInto(out, op, sid, results, ver);
+        return;
       }
       case Op::QueryStats:
-        return encodeResponse(op, sid, Status::Ok,
-                              encodeStats(stats()), ver);
+        encodeResponseInto(out, op, sid, Status::Ok,
+                           encodeStats(stats()), ver);
+        return;
       case Op::Close:
-        return encodeResponse(op, sid,
-                              manager.close(sid)
-                                  ? Status::Ok
-                                  : Status::UnknownSession,
-                              {}, ver);
+        encodeResponseInto(out, op, sid,
+                           manager.close(sid)
+                               ? Status::Ok
+                               : Status::UnknownSession,
+                           {}, ver);
+        return;
       case Op::QueryMetrics:
-        return encodeResponse(
-            op, sid, Status::Ok,
-            encodeMetricsText(metricsText(req.metrics_format)), ver);
+        encodeResponseInto(
+            out, op, sid, Status::Ok,
+            encodeMetricsText(metricsText(req.metrics_format)),
+            ver);
+        return;
       case Op::QueryTraces: {
         const std::vector<obs::SpanRecord> spans = req.traces_filter
             ? obs::Tracer::global().snapshotTrace(req.traces_filter)
             : obs::Tracer::global().snapshotSpans();
-        return encodeResponse(
-            op, sid, Status::Ok,
+        encodeResponseInto(
+            out, op, sid, Status::Ok,
             encodeMetricsText(obs::chromeTraceJson(spans)), ver);
+        return;
       }
     }
     // parseRequest only admits known ops; defend anyway.
     counters.frameMalformed();
-    return encodeResponse(op, sid, Status::BadFrame, {}, ver);
+    encodeResponseInto(out, op, sid, Status::BadFrame, {}, ver);
 }
 
 StatsSnapshot

@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/buffer_pool.hh"
 #include "service/protocol.hh"
 #include "service/request_queue.hh"
 #include "service/service_stats.hh"
@@ -78,20 +79,36 @@ class LivePhaseService
     LivePhaseService &operator=(const LivePhaseService &) = delete;
 
     /**
-     * Queue a request frame. The future always resolves with a
-     * response frame:
+     * Queue a leased request frame. The future always resolves with
+     * a response frame:
      *  - queue accepted: resolved by a worker (or drainOne());
      *  - queue full: resolved immediately with RetryAfter;
      *  - service stopping: resolved immediately with ShuttingDown.
+     * The frame's storage is recycled through the lease once the
+     * worker is done with it; the response travels as owning Bytes
+     * (the std::future contract) whose storage was itself leased —
+     * transports giveBack() their previous buffer to keep the
+     * recycle loop closed.
      */
+    std::future<Bytes> submit(BufferPool::Lease request_frame);
+
+    /** Owning-frame convenience: adopts the bytes into the global
+     *  pool so the storage joins the recycle loop. */
     std::future<Bytes> submit(Bytes request_frame);
 
     /**
      * Parse + dispatch one frame synchronously on the calling
-     * thread, recording per-op latency. Never throws, never
-     * fatal()s on malformed input — always returns a response
-     * frame.
+     * thread, recording per-op latency, encoding the response into
+     * `response` (cleared first; its capacity is reused across
+     * calls — THE zero-allocation hot path `bench_pipeline_allocs`
+     * gates). `response` must not alias `request_frame`: the
+     * decoded record view reads the request bytes while the
+     * response is being written. Never throws, never fatal()s on
+     * malformed input — always produces a response frame.
      */
+    void handleFrameInto(ByteView request_frame, Bytes &response);
+
+    /** Owning wrapper over handleFrameInto(). */
     Bytes handleFrame(const Bytes &request_frame);
 
     /**
@@ -124,7 +141,7 @@ class LivePhaseService
   private:
     struct Request
     {
-        Bytes frame;
+        BufferPool::Lease frame;
         std::promise<Bytes> reply;
         /** obs::monoNowNs() at submit time; 0 when obs disabled. */
         uint64_t enqueue_ns = 0;
@@ -132,17 +149,17 @@ class LivePhaseService
 
     void workerLoop();
     void serveRequest(Request &req);
-    Bytes dispatch(const ParsedRequest &req);
+    void dispatch(const RequestView &req, Bytes &out);
 
-    /** handleFrame with the submit-time timestamp (0 = unqueued);
-     *  annotates the request's trace span with its queue wait. */
-    Bytes handleFrame(const Bytes &request_frame,
-                      uint64_t enqueue_ns);
+    /** handleFrameInto with the submit-time timestamp (0 =
+     *  unqueued); annotates the request's trace span with its
+     *  queue wait. */
+    void handleFrameInto(ByteView request_frame, Bytes &response,
+                         uint64_t enqueue_ns);
 
     /** Response for frames rejected before parsing (queue full /
      *  shutdown): echo what little of the header is readable. */
-    Bytes rejectionResponse(const Bytes &request_frame,
-                            Status status);
+    Bytes rejectionResponse(ByteView request_frame, Status status);
 
     Config cfg;
     ServiceCounters counters;

@@ -162,7 +162,7 @@ encodeStats(const StatsSnapshot &snap)
 }
 
 std::optional<StatsSnapshot>
-decodeStats(const Bytes &body)
+decodeStats(ByteView body)
 {
     ByteReader r(body);
     StatsSnapshot s;

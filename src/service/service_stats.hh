@@ -85,7 +85,7 @@ struct StatsSnapshot
 Bytes encodeStats(const StatsSnapshot &snap);
 
 /** Decode; nullopt when malformed. */
-std::optional<StatsSnapshot> decodeStats(const Bytes &body);
+std::optional<StatsSnapshot> decodeStats(ByteView body);
 
 /**
  * Thread-safe counter sink shared by the service internals.

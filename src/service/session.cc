@@ -57,11 +57,13 @@ Session::predictorName() const
     return pred->name();
 }
 
-std::vector<IntervalResult>
-Session::processBatch(const std::vector<IntervalRecord> &records)
+void
+Session::processBatch(RecordView records, ResultSpan results)
 {
-    std::vector<IntervalResult> results;
-    results.resize(records.size());
+    if (results.size() != records.size())
+        fatal("Session %llu: %zu records but %zu result slots",
+              static_cast<unsigned long long>(sid), records.size(),
+              results.size());
 
     std::lock_guard lock(mu);
 
@@ -69,22 +71,27 @@ Session::processBatch(const std::vector<IntervalRecord> &records)
     // train/predict all, then translate all — so each stage is one
     // span. Record order is preserved within every stage and only
     // the predictor consumes another stage's output (buffered in
-    // `samples`), so this is bit-identical to the fused loop.
-    std::vector<PhaseSample> samples(records.size());
+    // `scratch_samples`), so this is bit-identical to the fused
+    // loop. The scratch vectors keep their capacity across batches.
+    scratch_samples.resize(records.size());
+    scratch_predictions.resize(records.size());
     {
         OBS_SPAN("core.classify");
         for (size_t i = 0; i < records.size(); ++i) {
             const IntervalRecord &rec = records[i];
-            samples[i] = classes.sample(rec.bus_tran_mem / rec.uops);
-            results[i].phase = samples[i].phase;
+            scratch_samples[i] =
+                classes.sample(rec.bus_tran_mem / rec.uops);
+            results[i].phase = scratch_samples[i].phase;
         }
     }
 
     uint64_t transitions = 0, mispredictions = 0, predictions = 0;
     {
         OBS_SPAN("core.predict");
+        pred->observeAndPredictBatch(scratch_samples,
+                                     scratch_predictions);
         for (size_t i = 0; i < records.size(); ++i) {
-            const PhaseId observed = samples[i].phase;
+            const PhaseId observed = scratch_samples[i].phase;
             if (last_observed != INVALID_PHASE &&
                 observed != last_observed)
                 ++transitions;
@@ -94,8 +101,7 @@ Session::processBatch(const std::vector<IntervalRecord> &records)
                     ++mispredictions;
             }
             last_observed = observed;
-            pred->observe(samples[i]);
-            PhaseId next = pred->predict();
+            PhaseId next = scratch_predictions[i];
             last_predicted = next;
             if (next == INVALID_PHASE)
                 next = observed; // cold-start reactive fallback
@@ -119,6 +125,15 @@ Session::processBatch(const std::vector<IntervalRecord> &records)
     }
 
     processed.fetch_add(records.size(), std::memory_order_relaxed);
+}
+
+std::vector<IntervalResult>
+Session::processBatch(const std::vector<IntervalRecord> &records)
+{
+    // Reserve the full result window up front; the span form then
+    // writes every slot exactly once.
+    std::vector<IntervalResult> results(records.size());
+    processBatch(RecordView(records), ResultSpan(results));
     return results;
 }
 

@@ -57,15 +57,27 @@ class Session
 
     /**
      * Run a whole batch through the pipeline under one lock
-     * acquisition. Records must be valid() — the service rejects
-     * frames containing invalid records before reaching here.
+     * acquisition, writing results[i] for records[i]. Records must
+     * be valid() — the service rejects frames containing invalid
+     * records before reaching here — and the two spans must be the
+     * same size (fatal() otherwise; sizing the result window is the
+     * caller's contract, which is what lets the service point it at
+     * reused storage).
      *
      * Per record: Mem/Uop = bus_tran_mem / uops is classified, the
-     * sample trains the predictor, and the DVFS recommendation is
-     * looked up from the *predicted next* phase (falling back to the
-     * observed phase while the predictor is cold, mirroring the
-     * deployed handler).
+     * sample trains the predictor (one batched predictor call — see
+     * PhasePredictor::observeAndPredictBatch), and the DVFS
+     * recommendation is looked up from the *predicted next* phase
+     * (falling back to the observed phase while the predictor is
+     * cold, mirroring the deployed handler).
+     *
+     * Zero-allocation at steady state: classification and raw
+     * predictions go through member scratch vectors whose capacity
+     * survives across batches.
      */
+    void processBatch(RecordView records, ResultSpan results);
+
+    /** Owning convenience wrapper over the span form. */
     std::vector<IntervalResult>
     processBatch(const std::vector<IntervalRecord> &records);
 
@@ -98,6 +110,10 @@ class Session
      *  mu), feeding the transition and misprediction counters. */
     PhaseId last_observed = INVALID_PHASE;
     PhaseId last_predicted = INVALID_PHASE;
+    /** Per-batch staging (guarded by mu); capacity is retained so
+     *  steady-state batches never allocate. */
+    std::vector<PhaseSample> scratch_samples;
+    std::vector<PhaseId> scratch_predictions;
     std::atomic<uint64_t> last_active{0};
     std::atomic<uint64_t> processed{0};
 };

@@ -116,6 +116,11 @@ class SessionManager
     /** Live sessions across all shards. */
     size_t openCount() const;
 
+    /** Read the manager's (possibly injected) clock, so callers can
+     *  touch() a session with timestamps from the same timeline the
+     *  TTL reaper compares against. */
+    uint64_t nowNs() const { return now(); }
+
     const Config &config() const { return cfg; }
 
   private:

@@ -241,12 +241,17 @@ UdsServer::serveConnection(int fd)
 {
     TransportCounters &tc = TransportCounters::get();
     tc.accepted.inc();
-    Bytes frame;
+    // Request frames are pooled leases (the queue takes ownership);
+    // responses come back as detached pool storage that is donated
+    // back after the send, so a busy connection recycles the same
+    // few buffers instead of allocating per frame.
+    Bytes response;
     while (running.load()) {
-        const RecvStatus status = recvFrame(fd, frame);
+        BufferPool::Lease frame = BufferPool::global().lease();
+        const RecvStatus status = recvFrame(fd, *frame);
         if (status == RecvStatus::Eof)
             break;
-        tc.bytes_in.inc(frame.size());
+        tc.bytes_in.inc(frame->size());
         if (status == RecvStatus::Desync) {
             // Unparseable header: let the normal parse path count
             // it and build the BadFrame reply, then drop the
@@ -256,7 +261,7 @@ UdsServer::serveConnection(int fd)
             // client data (or garbage that contains it).
             tc.desyncs.inc();
             const auto header =
-                peekHeader(frame.data(), frame.size());
+                peekHeader(frame->data(), frame->size());
             obs::FlightRecorder::global().record(
                 obs::Severity::Error, "uds.desync",
                 {{"magic",
@@ -272,16 +277,19 @@ UdsServer::serveConnection(int fd)
             if (svc.config().dump_trace_on_error)
                 obs::FlightRecorder::global().autoDump(
                     "socket-desync");
-            const Bytes response = svc.handleFrame(frame);
+            svc.handleFrameInto(ByteView(*frame), response);
             tc.bytes_out.inc(response.size());
             sendAll(fd, response.data(), response.size());
             break;
         }
-        const Bytes response = svc.submit(std::move(frame)).get();
+        Bytes got = svc.submit(std::move(frame)).get();
+        BufferPool::global().giveBack(std::move(response));
+        response = std::move(got);
         tc.bytes_out.inc(response.size());
         if (!sendAll(fd, response.data(), response.size()))
             break;
     }
+    BufferPool::global().giveBack(std::move(response));
     tc.closed.inc();
     ::close(fd);
 }
@@ -331,23 +339,32 @@ UdsClientTransport::reconnect()
 Bytes
 UdsClientTransport::roundTrip(Bytes request_frame)
 {
-    if (fd < 0)
+    Bytes response;
+    if (!roundTripInto(request_frame, response))
         return {};
+    return response;
+}
+
+bool
+UdsClientTransport::roundTripInto(const Bytes &request_frame,
+                                  Bytes &response)
+{
+    if (fd < 0)
+        return false;
     // Any failure poisons the stream (a partial write leaves the
     // server mid-frame; a partial read leaves *us* mid-frame), so
     // drop the connection — reconnect() starts clean.
     if (!sendAll(fd, request_frame.data(), request_frame.size())) {
         ::close(fd);
         fd = -1;
-        return {};
+        return false;
     }
-    Bytes response;
     if (recvFrame(fd, response) != RecvStatus::Ok) {
         ::close(fd);
         fd = -1;
-        return {};
+        return false;
     }
-    return response;
+    return true;
 }
 
 } // namespace livephase::service

@@ -102,6 +102,12 @@ class UdsClientTransport : public FrameTransport
     /** Send one frame, receive one frame. Empty on I/O failure. */
     Bytes roundTrip(Bytes request_frame) override;
 
+    /** Buffer-reusing round trip: the response lands in `response`
+     *  (capacity recycled across calls), so a steady-state client
+     *  stops allocating on the socket path. */
+    bool roundTripInto(const Bytes &request_frame,
+                       Bytes &response) override;
+
   private:
     std::string sock_path;
     int fd = -1;

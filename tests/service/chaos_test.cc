@@ -31,6 +31,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/buffer_pool.hh"
 #include "common/random.hh"
 #include "fault/failpoint.hh"
 #include "obs/trace.hh"
@@ -692,6 +693,71 @@ TEST(Chaos, OneTraceLinksFailureBackoffReconnectAndRetry)
               std::string::npos);
 
     EXPECT_EQ(client.close(open.session_id), Status::Ok);
+}
+
+/**
+ * The buffer-pool invariant under fire: a fault storm across both
+ * transports must leave zero leases outstanding once the fleet and
+ * the server quiesce — every error path (corrupt frame, dead
+ * socket, queue rejection, mid-frame disconnect) returns or donates
+ * its buffer exactly once. Run under ASan, this is also the
+ * leak/double-return check for the whole lease lifecycle.
+ */
+TEST(Chaos, BufferPoolStaysBalancedThroughFaultStorms)
+{
+    ScopedDisarm guard;
+    auto &reg = fault::FailpointRegistry::global();
+    reg.setMasterSeed(2028);
+    reg.arm("service.queue", {fault::Action::Error, 0.05});
+    reg.arm("session.evict", {fault::Action::Error, 0.02});
+
+    constexpr size_t THREADS = 8, BATCHES = 12, K = 16;
+    {
+        LivePhaseService::Config cfg;
+        cfg.workers = 2;
+        cfg.queue_capacity = 16;
+        LivePhaseService svc(cfg);
+        const auto outcomes = runFleet(
+            [&](size_t) {
+                return std::make_unique<InProcessTransport>(svc);
+            },
+            THREADS, BATCHES, K);
+        assertFleetClean(outcomes, BATCHES);
+        svc.stop(); // drain, so no request can still hold a lease
+        EXPECT_EQ(BufferPool::global().leasedCount(), 0u)
+            << "in-process storm leaked request/response leases";
+    }
+
+    reg.arm("uds.read", {fault::Action::Error, 0.05});
+    reg.arm("uds.write", {fault::Action::PartialIo, 0.05});
+    reg.arm("uds.frame", {fault::Action::CorruptFrame, 0.05});
+    reg.arm("uds.connect", {fault::Action::Error, 0.05});
+    {
+        LivePhaseService::Config cfg;
+        cfg.workers = 2;
+        LivePhaseService svc(cfg);
+        const std::string path = "/tmp/livephase-poolbal-" +
+            std::to_string(::getpid()) + ".sock";
+        UdsServer server(svc, path);
+        if (!server.start())
+            GTEST_SKIP() << "AF_UNIX unavailable in this sandbox";
+        const auto outcomes = runFleet(
+            [&](size_t) {
+                auto transport =
+                    std::make_unique<UdsClientTransport>(path);
+                for (int i = 0; i < 50 && !transport->connected();
+                     ++i)
+                    transport->connect();
+                return transport;
+            },
+            THREADS, BATCHES, K);
+        assertFleetClean(outcomes, BATCHES);
+        reg.disarmAll();
+        server.stop(); // joins every connection thread
+        svc.stop();
+        EXPECT_EQ(BufferPool::global().leasedCount(), 0u)
+            << "socket storm leaked request/response leases";
+    }
 }
 
 } // namespace

@@ -5,6 +5,7 @@
  */
 
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
@@ -318,9 +319,10 @@ TEST(Protocol, VersionAdvertRoundTrip)
               PROTOCOL_VERSION);
     // Absent (v1 server body) => 1.
     EXPECT_EQ(decodeVersionAdvert({}), PROTOCOL_VERSION_MIN);
-    EXPECT_EQ(decodeVersionAdvert({0x01}), PROTOCOL_VERSION_MIN);
+    EXPECT_EQ(decodeVersionAdvert(Bytes{0x01}), PROTOCOL_VERSION_MIN);
     // A future server advertising v9 is clamped to what we speak.
-    EXPECT_EQ(decodeVersionAdvert({0x09, 0x00}), PROTOCOL_VERSION);
+    EXPECT_EQ(decodeVersionAdvert(Bytes{0x09, 0x00}),
+              PROTOCOL_VERSION);
 }
 
 TEST(Protocol, ResponseEchoesRequestedVersion)
@@ -336,6 +338,183 @@ TEST(Protocol, ResponseEchoesRequestedVersion)
         static_cast<uint16_t>(Op::Open), 0, Status::Ok, {}, 0x7f);
     ASSERT_TRUE(parseResponse(clamped, resp));
     EXPECT_EQ(resp.header.version, PROTOCOL_VERSION);
+}
+
+// ---- zero-copy data plane (DESIGN.md §14) ----
+
+std::vector<IntervalRecord>
+someRecords(size_t n)
+{
+    std::vector<IntervalRecord> records;
+    records.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        records.push_back({100e6 + static_cast<double>(i),
+                           1.5e6 * static_cast<double>(i % 7),
+                           1000 + i});
+    return records;
+}
+
+bool
+pointsInto(const void *p, const Bytes &frame)
+{
+    const auto *b = static_cast<const uint8_t *>(p);
+    return b >= frame.data() && b < frame.data() + frame.size();
+}
+
+TEST(Protocol, ViewParseAliasesWireBytesWhenAligned)
+{
+    if (!WIRE_LAYOUT_IS_NATIVE)
+        GTEST_SKIP() << "in-place decode disabled on this target";
+    const auto records = someRecords(16);
+    const Bytes frame = encodeSubmitRequest(9, records);
+    // Untraced v1 frame: records start at header + count = byte 24,
+    // 8-aligned relative to the (malloc-aligned) frame base.
+    Arena scratch;
+    RequestView view;
+    ASSERT_EQ(parseRequest(ByteView(frame), scratch, view),
+              Status::Ok);
+    ASSERT_EQ(view.records.size(), records.size());
+    EXPECT_TRUE(pointsInto(view.records.data(), frame));
+    EXPECT_EQ(scratch.usedBytes(), 0u); // nothing was copied
+    EXPECT_EQ(std::memcmp(view.records.data(), records.data(),
+                          records.size() * sizeof(IntervalRecord)),
+              0);
+}
+
+TEST(Protocol, ForcedCopyDecodeIsBitIdenticalToInPlace)
+{
+    const auto records = someRecords(16);
+    const Bytes frame = encodeSubmitRequest(9, records);
+
+    const bool was = setForceCopyDecodeForTest(true);
+    Arena scratch;
+    RequestView view;
+    const Status status =
+        parseRequest(ByteView(frame), scratch, view);
+    setForceCopyDecodeForTest(was);
+
+    ASSERT_EQ(status, Status::Ok);
+    ASSERT_EQ(view.records.size(), records.size());
+    // The copy path lands in the arena, never aliasing the frame.
+    EXPECT_FALSE(pointsInto(view.records.data(), frame));
+    EXPECT_GE(scratch.usedBytes(),
+              records.size() * sizeof(IntervalRecord));
+    EXPECT_EQ(std::memcmp(view.records.data(), records.data(),
+                          records.size() * sizeof(IntervalRecord)),
+              0);
+}
+
+TEST(Protocol, TracedFrameTakesTheCopyDecodePath)
+{
+    // A v2 trace block shifts the payload by 17 bytes, so the
+    // record array is no longer 8-aligned within the frame — the
+    // parser must fall back to copying, transparently.
+    const auto records = someRecords(8);
+    const Bytes frame =
+        encodeSubmitRequest(9, records, TraceField{0xABCD, 0x1234});
+    Arena scratch;
+    RequestView view;
+    ASSERT_EQ(parseRequest(ByteView(frame), scratch, view),
+              Status::Ok);
+    ASSERT_EQ(view.records.size(), records.size());
+    EXPECT_FALSE(pointsInto(view.records.data(), frame));
+    EXPECT_EQ(std::memcmp(view.records.data(), records.data(),
+                          records.size() * sizeof(IntervalRecord)),
+              0);
+    EXPECT_EQ(view.trace.trace_id, 0xABCDu);
+}
+
+TEST(Protocol, OwningParseMatchesViewParse)
+{
+    const auto records = someRecords(12);
+    const Bytes frame = encodeSubmitRequest(77, records);
+
+    Arena scratch;
+    RequestView view;
+    ASSERT_EQ(parseRequest(ByteView(frame), scratch, view),
+              Status::Ok);
+    ParsedRequest owned;
+    ASSERT_EQ(parseRequest(frame, owned), Status::Ok);
+
+    EXPECT_EQ(owned.header.session_id, view.header.session_id);
+    ASSERT_EQ(owned.records.size(), view.records.size());
+    EXPECT_EQ(std::memcmp(owned.records.data(), view.records.data(),
+                          owned.records.size() *
+                              sizeof(IntervalRecord)),
+              0);
+}
+
+TEST(Protocol, EncodeIntoMatchesOwningEncodersAndReusesBuffer)
+{
+    const auto records = someRecords(5);
+    Bytes out;
+    out.reserve(1024);
+    const uint8_t *storage = out.data();
+
+    encodeOpenRequestInto(out, PredictorKind::Gpht, {});
+    EXPECT_EQ(out, encodeOpenRequest(PredictorKind::Gpht));
+    encodeSubmitRequestInto(out, 42, records, {});
+    EXPECT_EQ(out, encodeSubmitRequest(42, records));
+    encodeStatsRequestInto(out);
+    EXPECT_EQ(out, encodeStatsRequest());
+    encodeCloseRequestInto(out, 42);
+    EXPECT_EQ(out, encodeCloseRequest(42));
+    encodeMetricsRequestInto(out, 1);
+    EXPECT_EQ(out, encodeMetricsRequest(1));
+    encodeTracesRequestInto(out, 7);
+    EXPECT_EQ(out, encodeTracesRequest(7));
+
+    // Traced variants too (v2 frames).
+    const TraceField trace{0xDEAD, 0xBEEF};
+    encodeSubmitRequestInto(out, 42, records, trace);
+    EXPECT_EQ(out, encodeSubmitRequest(42, records, trace));
+
+    // Every encode reused the reserved storage: no reallocation.
+    EXPECT_EQ(out.data(), storage);
+}
+
+TEST(Protocol, SubmitResponseIntoMatchesOwningEncode)
+{
+    const std::vector<IntervalResult> results = {
+        {3, 4, 2}, {1, 1, 0}, {INVALID_PHASE, 2, 5}};
+    const uint16_t op = static_cast<uint16_t>(Op::SubmitBatch);
+
+    Bytes packed;
+    encodeSubmitResponseInto(packed, op, 42, results,
+                             PROTOCOL_VERSION);
+    const Bytes owned =
+        encodeResponse(op, 42, Status::Ok,
+                       encodeSubmitResults(results));
+    EXPECT_EQ(packed, owned);
+
+    // And it decodes back bit-identically through the Into decoder.
+    ParsedResponse resp;
+    ASSERT_TRUE(parseResponse(packed, resp));
+    std::vector<IntervalResult> decoded;
+    ASSERT_TRUE(decodeSubmitResultsInto(ByteView(resp.body),
+                                        decoded));
+    ASSERT_EQ(decoded.size(), results.size());
+    EXPECT_EQ(std::memcmp(decoded.data(), results.data(),
+                          results.size() * sizeof(IntervalResult)),
+              0);
+}
+
+TEST(Protocol, ViewParseRejectsMalformedFramesLikeOwning)
+{
+    // The validation pass is shared: every rejection the owning
+    // parser makes, the view parser makes too.
+    const auto records = someRecords(3);
+    Bytes frame = encodeSubmitRequest(9, records);
+    frame.pop_back(); // truncate
+    Arena scratch;
+    RequestView view;
+    EXPECT_EQ(parseRequest(ByteView(frame), scratch, view),
+              Status::BadFrame);
+
+    Bytes garbage = encodeSubmitRequest(9, records);
+    garbage.push_back(0xFF); // trailing garbage
+    EXPECT_EQ(parseRequest(ByteView(garbage), scratch, view),
+              Status::BadFrame);
 }
 
 } // namespace

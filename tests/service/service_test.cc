@@ -33,6 +33,7 @@
 #include "core/variable_window_predictor.hh"
 #include "cpu/dvfs_table.hh"
 #include "service/client.hh"
+#include "service/request_queue.hh"
 #include "service/service.hh"
 #include "service/uds_transport.hh"
 
@@ -488,6 +489,96 @@ TEST(Service, UdsRejectsDesynchronizedStream)
     EXPECT_TRUE(transport.roundTrip(encodeStatsRequest()).empty());
 
     server.stop();
+}
+
+TEST(Service, HandleFrameIntoMatchesOwningHandleFrame)
+{
+    // The synchronous span path and the legacy owning path must
+    // produce byte-identical responses for every op and for
+    // malformed input.
+    LivePhaseService svc;
+    Bytes rx;
+
+    // Deterministic (state-independent) responses must agree
+    // byte-for-byte between the two entry points.
+    const auto both = [&](const Bytes &frame) {
+        const Bytes owned = svc.handleFrame(frame);
+        svc.handleFrameInto(ByteView(frame), rx);
+        EXPECT_EQ(rx, owned);
+    };
+
+    ParsedResponse resp;
+    ASSERT_TRUE(parseResponse(
+        svc.handleFrame(encodeOpenRequest(PredictorKind::Gpht)),
+        resp));
+    ASSERT_EQ(resp.status, Status::Ok);
+    const uint64_t sid = resp.header.session_id;
+
+    // Two sessions fed the same stream stay in lockstep, so the
+    // submit responses agree between the two entry points.
+    ASSERT_TRUE(parseResponse(
+        svc.handleFrame(encodeOpenRequest(PredictorKind::Gpht)),
+        resp));
+    const uint64_t sid2 = resp.header.session_id;
+    const auto stream = makeStream(7, 64);
+    for (size_t at = 0; at < stream.size(); at += 16) {
+        const std::vector<IntervalRecord> batch(
+            stream.begin() + at, stream.begin() + at + 16);
+        const Bytes owned =
+            svc.handleFrame(encodeSubmitRequest(sid, batch));
+        Bytes tx;
+        encodeSubmitRequestInto(tx, sid2, batch, {});
+        svc.handleFrameInto(ByteView(tx), rx);
+        ParsedResponse a, b;
+        ASSERT_TRUE(parseResponse(owned, a));
+        ASSERT_TRUE(parseResponse(rx, b));
+        EXPECT_EQ(a.status, Status::Ok);
+        EXPECT_EQ(b.status, Status::Ok);
+        EXPECT_EQ(a.body, b.body); // identical result arrays
+    }
+
+    both(Bytes{0xde, 0xad, 0xbe, 0xef}); // malformed
+    both(encodeSubmitRequest(999999, {{100e6, 1e6, 0}})); // no session
+    both(encodeCloseRequest(888888)); // close of unknown session
+}
+
+TEST(Service, QueueRingWrapsAroundWithoutLosingItems)
+{
+    BoundedMpmcQueue<int> q(4);
+    EXPECT_EQ(q.capacity(), 4u);
+    // March head around the ring several times with mixed
+    // occupancy, verifying FIFO order across the wrap.
+    int next_in = 0, next_out = 0;
+    for (int round = 0; round < 5; ++round) {
+        EXPECT_TRUE(q.tryPush(next_in++));
+        EXPECT_TRUE(q.tryPush(next_in++));
+        EXPECT_TRUE(q.tryPush(next_in++));
+        auto a = q.tryPop();
+        auto b = q.tryPop();
+        ASSERT_TRUE(a && b);
+        EXPECT_EQ(*a, next_out++);
+        EXPECT_EQ(*b, next_out++);
+        auto c = q.tryPop();
+        ASSERT_TRUE(c);
+        EXPECT_EQ(*c, next_out++);
+    }
+    EXPECT_EQ(q.depth(), 0u);
+
+    // Fill to capacity across a wrapped head; overflow is rejected.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(q.tryPush(100 + i));
+    EXPECT_FALSE(q.tryPush(999));
+    EXPECT_EQ(q.highWaterMark(), 4u);
+
+    // Drain-after-close still yields every accepted item in order.
+    q.close();
+    EXPECT_FALSE(q.tryPush(777));
+    for (int i = 0; i < 4; ++i) {
+        auto item = q.pop();
+        ASSERT_TRUE(item);
+        EXPECT_EQ(*item, 100 + i);
+    }
+    EXPECT_FALSE(q.pop());
 }
 
 } // namespace
