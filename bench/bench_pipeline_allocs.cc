@@ -18,6 +18,13 @@
  * measured alongside as the "before" number — informational, not
  * gated, since its cost is whatever the allocator feels like.
  *
+ * A third measurement repeats the Into path against a service with
+ * admission control enabled and a tagged (protocol-v2) frame: the
+ * tag peek, the token-bucket decide() and the per-tag accounting
+ * all sit on the hot path, and the zero-alloc budget must hold
+ * through them too. Gated at exactly zero alongside the untagged
+ * number.
+ *
  * Flags:
  *   --batch K       records per request       (default 64)
  *   --requests N    measured requests         (default 4096)
@@ -36,6 +43,7 @@
 #include <new>
 #include <vector>
 
+#include "admission/admission.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
@@ -178,15 +186,18 @@ openSession(LivePhaseService &svc)
 }
 
 /** Allocations per request over `n` requests of the span/Into
- *  path: encode in place, handle in place, same two buffers. */
+ *  path: encode in place, handle in place, same two buffers. A
+ *  nonzero `tag` emits protocol-v2 frames and exercises the
+ *  admission decide() hook when `svc` has it enabled. */
 double
 measureIntoPath(LivePhaseService &svc, uint64_t sid,
                 const std::vector<IntervalRecord> &records,
-                size_t warmup, size_t n)
+                size_t warmup, size_t n,
+                admission::TenantTag tag = 0)
 {
     Bytes tx, rx;
     const auto once = [&] {
-        encodeSubmitRequestInto(tx, sid, records, TraceField{});
+        encodeSubmitRequestInto(tx, sid, records, TraceField{}, tag);
         svc.handleFrameInto(ByteView(tx), rx);
         ResponseView view;
         if (!parseResponse(ByteView(rx), view) ||
@@ -260,9 +271,33 @@ main(int argc, char **argv)
     const double owning_allocs =
         measureOwningPath(svc, sid, records, warmup, requests);
 
+    // Tagged variant: same Into path, but the frames carry a
+    // protocol-v2 tenant tag and the service runs admission
+    // control (period 0 = no controller thread; the initial budget
+    // is never cut, so nothing is throttled — this measures the
+    // *cost of the admission hot path*, not shedding).
+    double tagged_allocs = 0.0;
+    {
+        LivePhaseService::Config tcfg;
+        tcfg.max_batch = std::max<size_t>(tcfg.max_batch, batch);
+        tcfg.admission.enabled = true;
+        tcfg.admission.controller.sample_period_ms = 0;
+        std::string error;
+        if (!admission::parseQosSpec("tag=bench:prio=0:share=1.0",
+                                     tcfg.admission, &error))
+            fatal("qos spec: %s", error.c_str());
+        LivePhaseService tsvc(tcfg);
+        const uint64_t tsid = openSession(tsvc);
+        tagged_allocs = measureIntoPath(
+            tsvc, tsid, records, warmup, requests,
+            admission::tagForName(tcfg.admission, "bench"));
+    }
+
     TableWriter table({"path", "allocs_per_request"});
     table.addRow({"handleFrameInto (span pipeline)",
                   formatDouble(into_allocs, 4)});
+    table.addRow({"handleFrameInto (tagged + admission)",
+                  formatDouble(tagged_allocs, 4)});
     table.addRow({"handleFrame (owning, legacy)",
                   formatDouble(owning_allocs, 4)});
     table.print(std::cout);
@@ -286,12 +321,16 @@ main(int argc, char **argv)
             << "  \"metrics\": {\n"
             << "    \"allocs_per_request\": " << into_allocs
             << ",\n"
+            << "    \"allocs_per_request_tagged\": " << tagged_allocs
+            << ",\n"
             << "    \"allocs_per_request_owning\": " << owning_allocs
             << "\n"
             << "  },\n"
             << "  \"directions\": {\"allocs_per_request\": "
+            << "\"lower\", \"allocs_per_request_tagged\": "
             << "\"lower\"},\n"
-            << "  \"compare\": [\"allocs_per_request\"]\n"
+            << "  \"compare\": [\"allocs_per_request\", "
+            << "\"allocs_per_request_tagged\"]\n"
             << "}\n";
         std::cout << "wrote " << path << "\n";
     }
@@ -303,8 +342,17 @@ main(int argc, char **argv)
                      "(budget: 0)\n";
         return 1;
     }
+    if (check && tagged_allocs != 0.0) {
+        std::cerr << "FAIL: tagged SubmitBatch under admission "
+                     "control performed "
+                  << tagged_allocs
+                  << " allocations/request (budget: 0)\n";
+        return 1;
+    }
     std::cout << "\nsteady-state Into path: "
               << formatDouble(into_allocs, 4)
-              << " allocs/request (budget 0)\n";
+              << " allocs/request untagged, "
+              << formatDouble(tagged_allocs, 4)
+              << " tagged (budget 0)\n";
     return 0;
 }

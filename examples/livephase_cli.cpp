@@ -19,6 +19,7 @@
  *         [--batch K] [--workers N] [--json] [--deadline-ms D]
  *         [--faults SPEC] [--fault-seed S]
  *         [--trace-sample R] [--trace-out FILE]
+ *         [--qos SPEC] [--tag NAME]
  *       replay the trace through the livephased service and report
  *       client-side accuracy plus the service's own counters. The
  *       client runs the resilient retry/deadline/breaker loop;
@@ -28,8 +29,14 @@
  *       rate R; --trace-out fetches the sampled span trees over
  *       the query-traces op at the end of the run and writes them
  *       as Chrome trace-event JSON (load in Perfetto / about:tracing).
+ *       --qos enables adaptive admission control with the given
+ *       per-tenant policies, e.g.
+ *         --qos tag=interactive:prio=0:share=0.6:deadline_ms=50,tag=bulk:prio=1:share=0.4
+ *       (grammar in src/admission/admission.hh); --tag stamps the
+ *       client's requests with one of those tags, and the report
+ *       ends with the service's per-tag admission table.
  *   stats [trace.csv] [--format prometheus|jsonl|table]
- *         [--bench NAME] [--predictor ...] [--batch K]
+ *         [--bench NAME] [--predictor ...] [--batch K] [--qos SPEC]
  *       enable the obs subsystem, run the trace through a managed
  *       System run AND a service replay, then emit the merged
  *       telemetry (core + cpu + service metrics) in the requested
@@ -65,6 +72,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "admission/admission.hh"
 #include "analysis/accuracy.hh"
 #include "analysis/phase_stats.hh"
 #include "analysis/power_perf.hh"
@@ -104,9 +112,11 @@ usage(const std::string &prog)
            " [--predictor lastvalue|gpht|setassoc|varwindow]"
            " [--batch K] [--workers N] [--json] [--deadline-ms D]"
            " [--faults SPEC] [--fault-seed S]"
-           " [--trace-sample R] [--trace-out FILE]\n"
+           " [--trace-sample R] [--trace-out FILE]"
+           " [--qos SPEC] [--tag NAME]\n"
         << "  stats [trace.csv] [--format prometheus|jsonl|table]"
-           " [--bench NAME] [--predictor ...] [--batch K]\n"
+           " [--bench NAME] [--predictor ...] [--batch K]"
+           " [--qos SPEC]\n"
         << "  trace [trace.csv] [--bench NAME]\n"
         << "  traces [trace.csv] [--bench NAME] [--sample R]"
            " [--out FILE]\n"
@@ -318,6 +328,42 @@ clientFailure(const char *op, const service::ServiceClient &client,
     return exitCodeFor(status, error);
 }
 
+/** Fold a `--qos` spec into a service config (no-op without the
+ *  flag); the flag's presence is what enables admission control. */
+void
+applyQos(const CliArgs &args, service::LivePhaseService::Config &cfg)
+{
+    if (!args.has("qos"))
+        return;
+    std::string error;
+    if (!admission::parseQosSpec(args.getString("qos", ""),
+                                 cfg.admission, &error))
+        fatal("--qos: %s", error.c_str());
+    cfg.admission.enabled = true;
+}
+
+/** Render the admission controller's per-tag table (budget split,
+ *  sheds, observed waits) — the QoS counterpart of the stats
+ *  tables. */
+void
+printTagTable(std::ostream &os,
+              const std::vector<admission::TagSnapshotRow> &rows)
+{
+    TableWriter table({"tag", "prio", "share", "rate_per_s",
+                       "demand_per_s", "admitted", "shed_throttle",
+                       "shed_deadline", "p99_wait_ms"});
+    for (const auto &r : rows)
+        table.addRow({r.name, admission::priorityName(r.priority),
+                      formatDouble(r.share, 2),
+                      formatDouble(r.rate, 1),
+                      formatDouble(r.demand, 1),
+                      std::to_string(r.admitted),
+                      std::to_string(r.shed_throttle),
+                      std::to_string(r.shed_deadline),
+                      formatDouble(r.p99_wait_ms, 2)});
+    table.print(os);
+}
+
 int
 cmdServe(const CliArgs &args)
 {
@@ -369,12 +415,24 @@ cmdServe(const CliArgs &args)
     if (cfg.workers == 0)
         fatal("--workers must be > 0");
     cfg.max_batch = std::max(cfg.max_batch, batch);
+    applyQos(args, cfg);
+    if (args.has("tag") && !cfg.admission.enabled)
+        fatal("--tag needs --qos");
     LivePhaseService svc(cfg);
     InProcessTransport transport(svc);
     RetryPolicy policy;
     policy.deadline_us = static_cast<uint64_t>(
         args.getInt("deadline-ms", 2000)) * 1000;
     ServiceClient client(transport, policy);
+    if (args.has("tag")) {
+        const std::string tag_name = args.getString("tag", "");
+        const auto tag =
+            admission::tagForName(cfg.admission, tag_name);
+        if (tag == 0)
+            fatal("--tag '%s' is not in the --qos spec",
+                  tag_name.c_str());
+        client.setTenantTag(tag);
+    }
 
     const auto open = client.open(*kind);
     if (open.status != Status::Ok)
@@ -464,6 +522,10 @@ cmdServe(const CliArgs &args)
               << formatPercent(accuracy) << " (" << mispredictions
               << "/" << evaluated << " mispredicted)\n\n";
     stats_reply.stats.print(std::cout);
+    if (auto *admit = svc.admissionControl()) {
+        std::cout << "\n";
+        printTagTable(std::cout, admit->tagTable());
+    }
     return 0;
 }
 
@@ -509,6 +571,9 @@ replayAndQuery(
 
     LivePhaseService::Config cfg;
     cfg.max_batch = std::max(cfg.max_batch, batch);
+    // `stats --qos ...` runs the replay under admission control so
+    // the per-tag series show up in the exposition output.
+    applyQos(args, cfg);
     LivePhaseService svc(cfg);
     InProcessTransport transport(svc);
     ServiceClient client(transport);

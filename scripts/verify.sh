@@ -27,21 +27,24 @@ BUILD_DIR="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 # The suites whose bugs are concurrency- or memory-shaped: service,
-# obs and the chaos/fault-injection tests.
-SAN_TARGETS="test_service test_obs test_fault test_chaos"
-SAN_FILTER='Obs|FlightRecorder|Metrics|Histogram|Span|Runtime|Service|Session|Protocol|Exposition|Trace|Fault|Chaos'
+# obs, admission (lock-free token buckets + controller thread) and
+# the chaos/fault-injection tests.
+SAN_TARGETS="test_service test_obs test_fault test_chaos test_admission"
+SAN_FILTER='Obs|FlightRecorder|Metrics|Histogram|Span|Runtime|Service|Session|Protocol|Exposition|Trace|Fault|Chaos|Ratekeeper|TagThrottler|QosSpec'
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
 
-# The obs, tracing and allocation gates also run inside ctest
-# (bench_obs_overhead_ci / bench_trace_overhead_ci /
-# bench_pipeline_allocs_ci); re-run them visibly so the budget
-# numbers show up in the verification log.
+# The obs, tracing, allocation and admission gates also run inside
+# ctest (bench_obs_overhead_ci / bench_trace_overhead_ci /
+# bench_pipeline_allocs_ci / bench_admission_goodput_ci); re-run
+# them visibly so the budget numbers show up in the verification
+# log.
 "$BUILD_DIR"/bench/bench_obs_overhead --check
 "$BUILD_DIR"/bench/bench_trace_overhead --check
 "$BUILD_DIR"/bench/bench_pipeline_allocs --check
+"$BUILD_DIR"/bench/bench_admission_goodput --check
 
 if [ "$ASAN" = 1 ]; then
     ASAN_DIR="${BUILD_DIR}-asan"

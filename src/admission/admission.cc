@@ -1,0 +1,134 @@
+#include "admission/admission.hh"
+
+#include <cstdlib>
+
+namespace livephase::admission
+{
+
+namespace
+{
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error != nullptr)
+        *error = message;
+    return false;
+}
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    size_t start = 0;
+    while (start <= text.size()) {
+        const size_t end = text.find(sep, start);
+        if (end == std::string::npos) {
+            parts.push_back(text.substr(start));
+            break;
+        }
+        parts.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+    return parts;
+}
+
+bool
+parseDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtod(text.c_str(), &end);
+    return end != nullptr && *end == '\0';
+}
+
+} // namespace
+
+bool
+parseQosSpec(const std::string &spec, AdmissionConfig &out,
+             std::string *error)
+{
+    if (spec.empty())
+        return fail(error, "empty --qos spec");
+    std::vector<TagPolicy> tags;
+    for (const std::string &entry : split(spec, ',')) {
+        const std::vector<std::string> fields = split(entry, ':');
+        if (fields.empty() || fields[0].rfind("tag=", 0) != 0)
+            return fail(error,
+                        "qos entry must start with tag=NAME: '" +
+                            entry + "'");
+        TagPolicy policy;
+        policy.name = fields[0].substr(4);
+        if (policy.name.empty())
+            return fail(error, "empty tag name in '" + entry + "'");
+        for (const TagPolicy &seen : tags) {
+            if (seen.name == policy.name)
+                return fail(error,
+                            "duplicate tag '" + policy.name + "'");
+        }
+        for (size_t i = 1; i < fields.size(); ++i) {
+            const std::string &field = fields[i];
+            const size_t eq = field.find('=');
+            if (eq == std::string::npos)
+                return fail(error,
+                            "expected key=value, got '" + field +
+                                "'");
+            const std::string key = field.substr(0, eq);
+            const std::string value = field.substr(eq + 1);
+            if (key == "prio") {
+                if (value == "0" || value == "interactive") {
+                    policy.priority = Priority::Interactive;
+                } else if (value == "1" || value == "bulk") {
+                    policy.priority = Priority::Bulk;
+                } else {
+                    return fail(error,
+                                "bad prio '" + value +
+                                    "' (0/interactive, 1/bulk)");
+                }
+            } else if (key == "share") {
+                if (!parseDouble(value, policy.share) ||
+                    !(policy.share > 0.0))
+                    return fail(error,
+                                "bad share '" + value + "'");
+            } else if (key == "deadline_ms") {
+                if (!parseDouble(value, policy.target_wait_ms) ||
+                    policy.target_wait_ms < 0.0)
+                    return fail(error,
+                                "bad deadline_ms '" + value + "'");
+            } else {
+                return fail(error, "unknown qos key '" + key + "'");
+            }
+        }
+        policy.tag = static_cast<TenantTag>(tags.size() + 1);
+        tags.push_back(std::move(policy));
+        if (tags.size() > TagThrottler::MAX_TAGS - 1)
+            return fail(error, "too many tags (max " +
+                                   std::to_string(
+                                       TagThrottler::MAX_TAGS - 1) +
+                                   ")");
+    }
+    out.tags.insert(out.tags.end(), tags.begin(), tags.end());
+    return true;
+}
+
+TenantTag
+tagForName(const AdmissionConfig &config, const std::string &name)
+{
+    for (const TagPolicy &policy : config.tags) {
+        if (policy.name == name)
+            return policy.tag;
+    }
+    return 0;
+}
+
+AdmissionControl::AdmissionControl(const AdmissionConfig &config,
+                                   Signals signals,
+                                   Ratekeeper::Clock clock)
+    : tags(config.tags, config.controller.max_budget, clock),
+      keeper(config.controller, std::move(signals), tags,
+             std::move(clock))
+{
+}
+
+} // namespace livephase::admission

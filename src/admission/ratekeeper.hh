@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Ratekeeper: the feedback half of the admission subsystem.
+ *
+ * A single controller thread samples signals the service already
+ * exports — queue depth, the enqueue→dequeue wait histogram
+ * (obs::queueWaitSecondsHistogram), session-eviction and buffer-
+ * pool-exhaustion counters — on a fixed cadence and steers one
+ * number: the global admitted-batches/sec budget the TagThrottler
+ * distributes. This is the paper's live-feedback-beats-static-policy
+ * argument applied to overload: instead of a fixed queue bound and
+ * a constant retry-after, the service measures its own service
+ * rate and admits exactly what it can finish within the target
+ * queue wait.
+ *
+ * Control law (AIMD, smoothed):
+ *
+ *   - Each tick measures the mean queue wait of the requests
+ *     dequeued since the previous tick. The budget decision runs on
+ *     that per-tick mean (an EWMA would keep reporting the pre-cut
+ *     backlog for ticks after a decrease and cut again on stale
+ *     data); an EWMA of it is kept as the smoothed estimate the
+ *     deadline-aware early drop uses.
+ *   - Overload (tick wait above target, or the queue nearly full,
+ *     or an eviction/pool-exhaustion storm): budget drops
+ *     multiplicatively
+ *     — anchored at the capacity estimate (a decaying max of the
+ *     per-tick completion rate: completions never exceed capacity,
+ *     so budget-limited ticks cannot drag the max down the way
+ *     they would an average), landing the first decrease near
+ *     actual capacity instead of decaying from the (effectively
+ *     unlimited) initial budget over many ticks, and
+ *     sized to drain the observed backlog over the cut's holdoff
+ *     window, so steady-state oscillation stays shallow. At most
+ *     one cut lands per
+ *     queue-drain time (TCP's one-cut-per-RTT, with the queue wait
+ *     as the RTT): the backlog a cut is already draining keeps
+ *     reporting pre-cut waits for several ticks, and cutting again
+ *     on that echo collapses the budget far below capacity.
+ *   - Otherwise: budget recovers — snapping straight back to just
+ *     under the capacity estimate the cuts measured (an overloaded
+ *     tick's admitted rate is taken with saturated workers, so it
+ *     is an honest capacity sample; cf. TCP's ssthresh), then
+ *     probing gradually toward max_budget.
+ *
+ * The sample path carries the "admission.sample" failpoint. A tick
+ * whose sample fails is *blind*: the budget is left untouched, and
+ * after blind_limit consecutive blind ticks the controller admits
+ * it cannot see and degrades to the static bound — TagThrottler
+ * bypass on, every request admitted, the bounded queue's RetryAfter
+ * the only backpressure — rather than enforcing stale budgets. The
+ * first good sample afterwards re-engages control.
+ */
+
+#ifndef LIVEPHASE_ADMISSION_RATEKEEPER_HH
+#define LIVEPHASE_ADMISSION_RATEKEEPER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "admission/tag_throttler.hh"
+
+namespace livephase::admission
+{
+
+struct RatekeeperConfig
+{
+    /** Controller cadence; 0 = no thread, ticks only via
+     *  sampleOnce() (deterministic tests, benches). */
+    uint32_t sample_period_ms = 50;
+
+    /** Queue-wait EWMA level the controller steers toward. */
+    double target_wait_ms = 5.0;
+
+    /** Floor of the multiplicative decrease applied on overload.
+     *  The actual factor is sized to drain the observed backlog
+     *  over the cut's holdoff window (1 - wait/window, clamped to
+     *  [decrease, 0.95]), so a mild overshoot sheds a few percent
+     *  while a deep one cuts hard. */
+    double decrease = 0.7;
+
+    /** Additive floor of the per-tick recovery, batches/s; each
+     *  non-overloaded tick grows the budget by
+     *  max(recover_per_tick, 5% of budget). */
+    double recover_per_tick = 500.0;
+
+    /** Budget clamp. The budget starts at max_budget (admit
+     *  everything until the loop measures otherwise); min_budget
+     *  keeps a trickle flowing so the wait signal never starves. */
+    double min_budget = 50.0;
+    double max_budget = 1e9;
+
+    /** EWMA weight of each tick's mean-wait sample. */
+    double wait_alpha = 0.4;
+
+    /** Queue-fill fraction treated as overload even when the wait
+     *  EWMA still looks healthy (waits lag depth under a burst). */
+    double depth_high = 0.9;
+
+    /** Secondary overload triggers: sustained session-eviction /
+     *  pool-exhaustion rates above these are churn storms. */
+    double eviction_high_per_s = 100.0;
+    double pool_exhaust_high_per_s = 1000.0;
+
+    /** Consecutive blind ticks before degrading to the static
+     *  bound (TagThrottler bypass). */
+    uint32_t blind_limit = 5;
+};
+
+/**
+ * Where the controller reads its inputs. All cumulative-counter
+ * style (the controller differences successive reads); any unset
+ * function reads as zero. Deliberately std::function — each is
+ * called once per tick, never on the submit path.
+ */
+struct Signals
+{
+    std::function<size_t()> queue_depth;
+    std::function<size_t()> queue_capacity;
+    std::function<uint64_t()> evictions;      ///< cumulative count
+    std::function<uint64_t()> pool_exhausted; ///< cumulative count
+    /** Cumulative (count, sum-of-seconds) of the queue-wait
+     *  histogram. */
+    std::function<std::pair<uint64_t, double>()> queue_wait;
+};
+
+class Ratekeeper
+{
+  public:
+    /** Monotonic-ns clock, injectable so tests control dt. */
+    using Clock = std::function<uint64_t()>;
+
+    /** @param clock defaults to obs::monoNowNs. */
+    Ratekeeper(const RatekeeperConfig &config, Signals signals,
+               TagThrottler &throttler, Clock clock = {});
+
+    ~Ratekeeper();
+
+    Ratekeeper(const Ratekeeper &) = delete;
+    Ratekeeper &operator=(const Ratekeeper &) = delete;
+
+    /** Start the controller thread (no-op when sample_period_ms is
+     *  0 or already started). */
+    void start();
+
+    /** Stop and join the controller thread (idempotent). */
+    void stop();
+
+    /** One controller tick: sample, decide, refill. Called by the
+     *  controller thread, or directly by tests/benches. */
+    void sampleOnce();
+
+    /** Current admitted-batches/s budget. */
+    double budget() const;
+
+    /** Smoothed queue-wait estimate, ms — what deadline-aware drop
+     *  compares against. */
+    double estimatedWaitMs() const;
+
+    /** True while degraded to the static bound (blind sample path). */
+    bool fallback() const;
+
+    uint64_t samples() const;       ///< total ticks
+    uint64_t blindSamples() const;  ///< ticks whose sample failed
+
+  private:
+    void runLoop();
+    void blindTick();
+
+    const RatekeeperConfig cfg;
+    Signals signals;
+    TagThrottler &throttler;
+    Clock clock;
+
+    std::atomic<double> budget_now;
+    std::atomic<double> smoothed_wait_ms{0.0};
+    std::atomic<bool> fallback_on{false};
+    std::atomic<uint64_t> tick_count{0};
+    std::atomic<uint64_t> blind_total{0};
+
+    // Controller-thread-only state.
+    uint64_t last_tick_ns = 0; ///< baselined to clock() in the ctor
+    uint64_t last_wait_count = 0;
+    double last_wait_sum = 0.0;
+    uint64_t last_evictions = 0;
+    uint64_t last_pool_exhausted = 0;
+    uint32_t blind_streak = 0;
+    /** Ticks left before another cut may land (one cut per queue-
+     *  drain time — overload readings inside the window are echoes
+     *  of the backlog the last cut is already draining). */
+    uint32_t cut_holdoff = 0;
+    /** Decaying max of the per-tick completion rate — the
+     *  service's observed capacity. Cuts anchor here and recovery
+     *  snaps back to just under it; 0 until first completions. */
+    double capacity_est = 0.0;
+    bool collapsed = false; ///< budget-collapse flight event latch
+
+    std::mutex run_mu;
+    std::condition_variable run_cv;
+    bool stopping = false;
+    bool running = false;
+    std::thread controller;
+};
+
+} // namespace livephase::admission
+
+#endif // LIVEPHASE_ADMISSION_RATEKEEPER_HH

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Per-tenant QoS throttling: the distribution half of the admission
+ * subsystem (the feedback half lives in admission/ratekeeper.hh).
+ *
+ * The Ratekeeper hands this class one number — the global admitted-
+ * batches/sec budget — and the TagThrottler splits it across tenant
+ * *tags* (the optional u16 each request carries in the protocol's
+ * v2 extension block). Each registered tag owns a token bucket that
+ * accrues tokens *continuously* at the rate the controller last set
+ * (lumping a tick's worth of tokens in at once would admit the tick
+ * in a burst that queues behind itself, manufacturing queue wait
+ * the controller would then steer down on); priority classes are
+ * strict
+ * (Interactive tags are funded before Bulk sees a token), shares
+ * divide a class's allocation proportionally, and unused allocation
+ * spills to whoever still has demand, so the split is work-
+ * conserving. A tag may also declare a target queue-wait: when the
+ * controller's current wait estimate exceeds it the request is shed
+ * *before* enqueue (deadline-aware early drop — by the time it
+ * would reach a worker its answer would be useless anyway).
+ *
+ * Modeled on FoundationDB's ratekeeper/tag-throttler split. The
+ * shape mirrors the paper's thesis one layer up: a live feedback
+ * signal (measured queue wait) beats the static policy (fixed queue
+ * bound) the service shipped with.
+ *
+ * Concurrency: decide() is called on every submit from transport
+ * threads and is allocation-free — a linear probe over at most
+ * MAX_TAGS preallocated slots, one atomic arrival count, one clock
+ * read + CAS to accrue tokens, one CAS to consume. tickDemand()/
+ * refill() run only on the controller thread (or a test driving
+ * ticks manually) and own all non-atomic bookkeeping.
+ */
+
+#ifndef LIVEPHASE_ADMISSION_TAG_THROTTLER_HH
+#define LIVEPHASE_ADMISSION_TAG_THROTTLER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace livephase::obs
+{
+class Counter;
+class Gauge;
+class Histogram;
+} // namespace livephase::obs
+
+namespace livephase::admission
+{
+
+/** Wire tenant tag (protocol v2 extension block); 0 = untagged. */
+using TenantTag = uint16_t;
+
+/** Strict-priority classes: Interactive is funded before Bulk. */
+enum class Priority : uint8_t
+{
+    Interactive = 0,
+    Bulk = 1,
+};
+
+constexpr size_t NUM_PRIORITIES = 2;
+
+/** "interactive" / "bulk". */
+const char *priorityName(Priority priority);
+
+/** QoS contract of one tenant tag. */
+struct TagPolicy
+{
+    std::string name;   ///< label in metrics, tables and --qos specs
+    TenantTag tag = 0;  ///< wire id (parseQosSpec assigns 1..N)
+    Priority priority = Priority::Bulk;
+
+    /** Relative weight within the priority class (> 0). */
+    double share = 1.0;
+
+    /** Shed before enqueue once the estimated queue wait exceeds
+     *  this (deadline-aware early drop); 0 disables the check. */
+    double target_wait_ms = 0.0;
+};
+
+/** One admission verdict; retry_after_ms only advises when shed. */
+struct Decision
+{
+    bool admit = true;
+    uint32_t retry_after_ms = 0;
+};
+
+/** Arrival/admission rates over the last controller tick. */
+struct DemandSample
+{
+    double arrival_rate = 0.0;  ///< offered batches/s, all tags
+    double admitted_rate = 0.0; ///< admitted batches/s, all tags
+};
+
+/** One row of snapshot() — the CLI's per-tag table. */
+struct TagSnapshotRow
+{
+    std::string name;
+    TenantTag tag = 0;
+    Priority priority = Priority::Bulk;
+    double share = 0.0;
+    double target_wait_ms = 0.0;
+    double rate = 0.0;   ///< current refill rate, batches/s
+    double demand = 0.0; ///< smoothed offered rate, batches/s
+    uint64_t admitted = 0;
+    uint64_t shed_throttle = 0;
+    uint64_t shed_deadline = 0;
+    double p99_wait_ms = 0.0; ///< observed per-tag queue wait
+};
+
+class TagThrottler
+{
+  public:
+    /** Registered tags plus the implicit untagged slot. */
+    static constexpr size_t MAX_TAGS = 64;
+
+    /** Token capacity, expressed in seconds of accrual rate — how
+     *  much burst a briefly idle tag may save up. */
+    static constexpr double BURST_SECONDS = 0.2;
+
+    /** Monotonic-ns clock driving token accrual; injectable so
+     *  tests control elapsed time. */
+    using Clock = std::function<uint64_t()>;
+
+    /**
+     * Preallocate one slot per policy (plus the untagged slot every
+     * unknown or absent tag falls into) and fund each bucket to the
+     * full burst its `initial_budget_per_s` share implies.
+     * Policies beyond MAX_TAGS - 1 are dropped with a warn().
+     * `clock` defaults to obs::monoNowNs.
+     */
+    TagThrottler(const std::vector<TagPolicy> &policies,
+                 double initial_budget_per_s, Clock clock = {});
+
+    TagThrottler(const TagThrottler &) = delete;
+    TagThrottler &operator=(const TagThrottler &) = delete;
+
+    /**
+     * Admit or shed one request carrying `tag`. Allocation-free.
+     * `estimated_wait_ms` is the controller's current queue-wait
+     * estimate, checked against the tag's deadline before any token
+     * is spent.
+     */
+    Decision decide(TenantTag tag, double estimated_wait_ms);
+
+    /** Record an observed enqueue→dequeue wait against a tag's
+     *  histogram (worker thread, after dequeue). */
+    void recordQueueWait(TenantTag tag, double wait_ms);
+
+    /**
+     * Fold this tick's arrival/admission deltas into the per-tag
+     * demand EWMAs (controller thread only). Call once per tick,
+     * before the budget decision, with the tick length in seconds.
+     */
+    DemandSample tickDemand(double dt_s);
+
+    /**
+     * Reprice: distribute `budget_per_s` across the tags as accrual
+     * rates (controller thread only): strict priority order, share-
+     * proportional within a class, capped near each tag's smoothed
+     * demand, remainder spilled to the next class and finally back
+     * to anyone unsaturated. Tokens themselves accrue continuously
+     * inside decide() at the rate set here; this call only clamps a
+     * bucket *down* to its new burst so a budget decrease takes
+     * effect immediately. `dt_s` gates degenerate ticks.
+     */
+    void refill(double budget_per_s, double dt_s);
+
+    /**
+     * Bypass mode: admit everything, still counting arrivals and
+     * admissions. The ratekeeper engages this when its sample path
+     * has been blind for too long — a controller that cannot see
+     * must not keep enforcing stale budgets; the static queue bound
+     * (RetryAfter on full) remains as the backstop.
+     */
+    void setBypass(bool on);
+    bool bypass() const;
+
+    /** Registered tags including the untagged slot. */
+    size_t tagCount() const { return slot_count; }
+
+    std::vector<TagSnapshotRow> snapshot() const;
+
+  private:
+    struct Slot
+    {
+        TagPolicy policy;
+
+        // decide()-side state (any thread).
+        std::atomic<double> tokens{0.0};
+        std::atomic<double> rate{0.0}; ///< batches/s, set by refill
+        /** Accrual watermark: tokens are funded up to this instant.
+         *  CAS-claimed in decide() so each elapsed nanosecond is
+         *  credited exactly once. */
+        std::atomic<uint64_t> funded_ns{0};
+        std::atomic<uint64_t> arrivals{0};
+        std::atomic<uint64_t> admitted{0};
+
+        // controller-side bookkeeping (written by tickDemand/refill
+        // only; demand is atomic because snapshot() reads it from
+        // other threads).
+        std::atomic<double> demand{0.0};
+        uint64_t last_arrivals = 0;
+        uint64_t last_admitted = 0;
+        double grant = 0.0; ///< scratch for refill's passes
+
+        // obs series, registered once at construction.
+        obs::Counter *admitted_total = nullptr;
+        obs::Counter *shed_throttle_total = nullptr;
+        obs::Counter *shed_deadline_total = nullptr;
+        obs::Gauge *rate_gauge = nullptr;
+        obs::Histogram *wait_hist = nullptr;
+    };
+
+    Slot &slotFor(TenantTag tag);
+
+    /** Accrue tokens for elapsed wall time (any thread). */
+    void topUp(Slot &slot);
+
+    Clock clock;
+    Slot slots[MAX_TAGS];
+    size_t slot_count = 0;
+    std::atomic<bool> bypass_on{false};
+};
+
+} // namespace livephase::admission
+
+#endif // LIVEPHASE_ADMISSION_TAG_THROTTLER_HH

@@ -142,4 +142,12 @@ refreshRuntimeMetrics()
     uptime.set(static_cast<double>(sinceStartNs()) / 1e9);
 }
 
+Histogram &
+queueWaitSecondsHistogram()
+{
+    static Histogram &hist = MetricsRegistry::global().histogram(
+        "livephase_queue_wait_seconds");
+    return hist;
+}
+
 } // namespace livephase::obs

@@ -22,6 +22,8 @@
 namespace livephase::obs
 {
 
+class Histogram;
+
 namespace detail
 {
 extern std::atomic<bool> obs_enabled;
@@ -90,6 +92,16 @@ const BuildInfo &buildInfo();
  * fresh uptime.
  */
 void refreshRuntimeMetrics();
+
+/**
+ * `livephase_queue_wait_seconds` — time a request spends between
+ * enqueue and dequeue in the service's request queue, recorded
+ * unconditionally (not gated by enabled()): it is the admission
+ * controller's primary control signal, so it must keep flowing even
+ * when span timing is off. Registered on first use; exposed through
+ * the normal Prometheus/JSONL exposition like every histogram.
+ */
+Histogram &queueWaitSecondsHistogram();
 
 } // namespace livephase::obs
 

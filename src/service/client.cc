@@ -19,6 +19,7 @@ namespace
 struct ClientCounters
 {
     obs::Counter &retries;
+    obs::Counter &throttled;
     obs::Counter &reconnects;
     obs::Counter &transport_failures;
     obs::Counter &deadline_exceeded;
@@ -30,6 +31,7 @@ struct ClientCounters
         auto &reg = obs::MetricsRegistry::global();
         static ClientCounters c{
             reg.counter("livephase_client_retries_total"),
+            reg.counter("livephase_client_throttled_total"),
             reg.counter("livephase_client_reconnects_total"),
             reg.counter("livephase_client_transport_failures_total"),
             reg.counter("livephase_client_deadline_exceeded_total"),
@@ -167,19 +169,22 @@ ServiceClient::call(const char *op_label, const EncodeFn &encode,
     if (root.sampled())
         root.annotate({"op", op_label});
 
-    // Trace context goes on the wire only to a peer that advertised
-    // v2 — a v1 server would reject the unknown revision. Untraced
-    // frames are invariant across attempts, so encode exactly once;
-    // either way the frame is built in place in the reused tx buffer.
+    // Trace context and tenant tag go on the wire only to a peer
+    // that advertised v2 — a v1 server would reject the unknown
+    // revision. Untraced frames are invariant across attempts, so
+    // encode exactly once; either way the frame is built in place
+    // in the reused tx buffer.
+    const TenantTag wire_tag =
+        peer_version >= 2 ? tenant_tag : TenantTag{0};
     const bool wire_trace = root.sampled() && peer_version >= 2;
     if (!wire_trace)
-        encode(tx, TraceField{});
+        encode(tx, TraceField{}, wire_tag);
 
     if (!resilient) {
         ++last_call.attempts;
         if (wire_trace) {
             const obs::TraceContext ctx = root.context();
-            encode(tx, {ctx.trace_id, ctx.span_id});
+            encode(tx, {ctx.trace_id, ctx.span_id}, wire_tag);
         }
         if (!link.roundTripInto(tx, rx)) {
             last_call.error = ClientError::TransportFailure;
@@ -187,7 +192,18 @@ ServiceClient::call(const char *op_label, const EncodeFn &encode,
                 root.annotate({"error", "transport-failure"});
             return false;
         }
-        return parseResponse(ByteView(rx), out);
+        const bool ok = parseResponse(ByteView(rx), out);
+        // Even one-shot clients surface the server's pacing hint so
+        // callers (submitBatchRetrying) can sleep it out.
+        if (ok && (out.status == Status::RetryAfter ||
+                   out.status == Status::Throttled)) {
+            if (out.status == Status::Throttled) {
+                ++last_call.throttled;
+                ClientCounters::get().throttled.inc();
+            }
+            last_call.retry_hint_ms = decodeRetryAfterMs(out.body);
+        }
+        return ok;
     }
 
     ClientCounters &counters = ClientCounters::get();
@@ -222,7 +238,7 @@ ServiceClient::call(const char *op_label, const EncodeFn &encode,
                 {"n", static_cast<uint64_t>(last_call.attempts)});
         if (wire_trace) {
             const obs::TraceContext actx = attempt.context();
-            encode(tx, {actx.trace_id, actx.span_id});
+            encode(tx, {actx.trace_id, actx.span_id}, wire_tag);
         }
 
         if (!link.roundTripInto(tx, rx)) {
@@ -276,14 +292,30 @@ ServiceClient::call(const char *op_label, const EncodeFn &encode,
                                             : "unparseable"});
         attempt.end();
 
-        if (parsed_ok && out.status == Status::RetryAfter) {
-            ++last_call.retry_after;
+        if (parsed_ok && (out.status == Status::RetryAfter ||
+                          out.status == Status::Throttled)) {
+            if (out.status == Status::Throttled) {
+                ++last_call.throttled;
+                counters.throttled.inc();
+            } else {
+                ++last_call.retry_after;
+            }
             counters.retries.inc();
+            // Both rejections may carry the server's own estimate of
+            // when capacity frees up; pacing to it beats blind
+            // exponential growth, so it floors the next step.
+            const uint32_t hint_ms = decodeRetryAfterMs(out.body);
+            if (hint_ms > 0) {
+                last_call.retry_hint_ms = hint_ms;
+                step_us = std::max(
+                    step_us, static_cast<uint64_t>(hint_ms) * 1000);
+            }
             obs::FlightRecorder::global().record(
                 obs::Severity::Info, "client.retry",
                 {{"attempts",
                   static_cast<uint64_t>(last_call.attempts)},
-                 {"backoff_us", step_us}});
+                 {"backoff_us", step_us},
+                 {"hint_ms", static_cast<uint64_t>(hint_ms)}});
             if (deadlinePassed(deadline_ns)) {
                 counters.deadline_exceeded.inc();
                 obs::FlightRecorder::global().record(
@@ -337,8 +369,9 @@ ServiceClient::open(PredictorKind kind)
 {
     ResponseView parsed;
     if (!call("open",
-              [kind](Bytes &out, const TraceField &trace) {
-                  encodeOpenRequestInto(out, kind, trace);
+              [kind](Bytes &out, const TraceField &trace,
+                     TenantTag tag) {
+                  encodeOpenRequestInto(out, kind, trace, tag);
               },
               parsed))
         return {Status::BadFrame, 0};
@@ -357,9 +390,10 @@ ServiceClient::submitBatch(uint64_t session_id,
     ResponseView parsed;
     if (!call("submit-batch",
               [session_id, &records](Bytes &out,
-                                     const TraceField &trace) {
+                                     const TraceField &trace,
+                                     TenantTag tag) {
                   encodeSubmitRequestInto(out, session_id, records,
-                                          trace);
+                                          trace, tag);
               },
               parsed))
         return {Status::BadFrame, {}};
@@ -379,11 +413,18 @@ ServiceClient::submitBatchRetrying(
     SubmitReply reply;
     for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
         reply = submitBatch(session_id, records);
-        if (reply.status != Status::RetryAfter)
+        if (reply.status != Status::RetryAfter &&
+            reply.status != Status::Throttled)
             return reply;
         if (resilient) // backoff already happened inside call()
             return reply;
-        std::this_thread::yield();
+        // One-shot client: honor the server's retry-after hint when
+        // it sent one; yield otherwise (local service, fast drain).
+        if (last_call.retry_hint_ms > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                last_call.retry_hint_ms));
+        else
+            std::this_thread::yield();
     }
     return reply;
 }
@@ -393,8 +434,9 @@ ServiceClient::queryStats()
 {
     ResponseView parsed;
     if (!call("query-stats",
-              [](Bytes &out, const TraceField &trace) {
-                  encodeStatsRequestInto(out, trace);
+              [](Bytes &out, const TraceField &trace,
+                 TenantTag tag) {
+                  encodeStatsRequestInto(out, trace, tag);
               },
               parsed))
         return {Status::BadFrame, {}};
@@ -414,8 +456,10 @@ ServiceClient::queryMetrics(uint16_t raw_format)
 {
     ResponseView parsed;
     if (!call("query-metrics",
-              [raw_format](Bytes &out, const TraceField &trace) {
-                  encodeMetricsRequestInto(out, raw_format, trace);
+              [raw_format](Bytes &out, const TraceField &trace,
+                           TenantTag tag) {
+                  encodeMetricsRequestInto(out, raw_format, trace,
+                                           tag);
               },
               parsed))
         return {Status::BadFrame, {}};
@@ -435,8 +479,10 @@ ServiceClient::close(uint64_t session_id)
 {
     ResponseView parsed;
     if (!call("close",
-              [session_id](Bytes &out, const TraceField &trace) {
-                  encodeCloseRequestInto(out, session_id, trace);
+              [session_id](Bytes &out, const TraceField &trace,
+                           TenantTag tag) {
+                  encodeCloseRequestInto(out, session_id, trace,
+                                         tag);
               },
               parsed))
         return Status::BadFrame;
@@ -448,8 +494,10 @@ ServiceClient::queryTraces(uint64_t trace_id)
 {
     ResponseView parsed;
     if (!call("query-traces",
-              [trace_id](Bytes &out, const TraceField &trace) {
-                  encodeTracesRequestInto(out, trace_id, trace);
+              [trace_id](Bytes &out, const TraceField &trace,
+                         TenantTag tag) {
+                  encodeTracesRequestInto(out, trace_id, trace,
+                                          tag);
               },
               parsed))
         return {Status::BadFrame, {}};

@@ -10,12 +10,21 @@
  * socket (UdsClientTransport in uds_transport.hh).
  *
  * Resilience: constructed with a RetryPolicy, every operation runs
- * inside one retry loop that (a) honors RetryAfter backpressure
- * with capped exponential backoff plus deterministic jitter,
+ * inside one retry loop that (a) honors RetryAfter and Throttled
+ * backpressure with capped exponential backoff plus deterministic
+ * jitter — when the response body carries a retry-after hint the
+ * next backoff step is floored to it, so clients of a throttling
+ * server pace themselves to the server's own estimate —
  * (b) survives transport loss with bounded reconnects, (c) bounds
  * the whole affair with a per-request deadline, and (d) trips a
  * client-side circuit breaker after consecutive transport failures
- * so a dead service is not hammered. Every retry, reconnect,
+ * so a dead service is not hammered.
+ *
+ * QoS tagging: setTenantTag() stamps every subsequent request with
+ * a tenant tag in the v2 extension block (nothing extra on the wire
+ * against a v1 server, mirroring trace propagation). The server's
+ * admission controller budgets each tag separately; a Throttled
+ * response counts into livephase_client_throttled_total. Every retry, reconnect,
  * deadline miss and breaker trip is counted in the obs metrics
  * registry and recorded in the flight recorder. Constructed without
  * a policy, the client is the bare one-shot protocol wrapper it
@@ -107,14 +116,20 @@ class InProcessTransport : public FrameTransport
     bool roundTripInto(const Bytes &request_frame,
                        Bytes &response) override
     {
+        // Admission preflight on the borrowed view: a shed frame
+        // is answered without paying the copy or the future.
+        if (svc.shedEarly(ByteView(request_frame), response))
+            return true;
         // The queue path must own its frame, so the request is
         // copied into a pooled lease (a memcpy, not an allocation,
         // once the pool is warm). The response arrives as detached
         // pool storage; donating the caller's previous rx buffer
-        // back keeps the pool balanced.
+        // back keeps the pool balanced. pre_admitted: the budget
+        // for this frame was spent by shedEarly() above.
         BufferPool::Lease tx = BufferPool::global().lease();
         tx->assign(request_frame.begin(), request_frame.end());
-        Bytes got = svc.submit(std::move(tx)).get();
+        Bytes got =
+            svc.submit(std::move(tx), /*pre_admitted=*/true).get();
         BufferPool::global().giveBack(std::move(response));
         response = std::move(got);
         return true;
@@ -202,8 +217,11 @@ class ServiceClient
         ClientError error = ClientError::None;
         size_t attempts = 0;      ///< roundTrips issued
         size_t retry_after = 0;   ///< RetryAfter responses absorbed
+        size_t throttled = 0;     ///< Throttled responses absorbed
         size_t reconnects = 0;    ///< transport re-dials
         uint64_t backoff_us = 0;  ///< total time slept backing off
+        /** Last server retry-after hint, ms (0 = none given). */
+        uint32_t retry_hint_ms = 0;
     };
 
     struct OpenReply
@@ -281,12 +299,20 @@ class ServiceClient
      *  Trace contexts go on the wire only when this is >= 2. */
     uint16_t peerVersion() const { return peer_version; }
 
+    /** Tag every subsequent request with `tag` for per-tenant QoS
+     *  accounting (0 = untagged). Travels in the v2 extension
+     *  block, so a v1 peer sees byte-identical v1 frames. */
+    void setTenantTag(TenantTag tag) { tenant_tag = tag; }
+
+    TenantTag tenantTag() const { return tenant_tag; }
+
   private:
     /** Builds the request frame for one attempt into the client's
      *  reused tx buffer; the trace field is that attempt's span
-     *  context (zero when untraced). */
+     *  context (zero when untraced) and the tag is the client's
+     *  tenant tag (zeroed by call() against a v1 peer). */
     using EncodeFn =
-        std::function<void(Bytes &, const TraceField &)>;
+        std::function<void(Bytes &, const TraceField &, TenantTag)>;
 
     /**
      * Run one request through the retry/deadline/breaker loop.
@@ -317,6 +343,7 @@ class ServiceClient
     Rng jitter_rng{0};
     CallInfo last_call{};
     uint16_t peer_version = PROTOCOL_VERSION_MIN;
+    TenantTag tenant_tag = 0;
 
     /** Wire buffers reused across calls AND attempts: encoders
      *  build frames into `tx`, transports decode into `rx`, and

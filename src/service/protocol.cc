@@ -18,6 +18,7 @@ statusName(Status status)
       case Status::UnknownPredictor: return "unknown-predictor";
       case Status::BatchTooLarge: return "batch-too-large";
       case Status::ShuttingDown: return "shutting-down";
+      case Status::Throttled: return "throttled";
     }
     return "status-?";
 }
@@ -262,24 +263,35 @@ appendHeader(ByteAppender &a, uint16_t version, uint16_t raw_op,
 
 /**
  * Start a request frame in `out` (cleared): header with a
- * placeholder payload size, plus the v2 trace block when a context
- * is attached (otherwise a plain v1 header, byte-identical to what
- * a v1 encoder always produced). finishFrame() patches the size.
+ * placeholder payload size, plus the v2 extension block when a
+ * trace context and/or tenant tag is attached (otherwise a plain
+ * v1 header, byte-identical to what a v1 encoder always produced).
+ * The block length doubles as the content selector: 16 = trace,
+ * 2 = tag, 18 = trace then tag. finishFrame() patches the size.
  */
 void
 beginRequestFrame(Bytes &out, uint16_t raw_op, uint64_t session_id,
-                  const TraceField &trace)
+                  const TraceField &trace, TenantTag tag)
 {
     out.clear();
     ByteAppender a(out);
-    if (!trace.present()) {
+    if (!trace.present() && tag == 0) {
         appendHeader(a, PROTOCOL_VERSION_MIN, raw_op, session_id, 0);
         return;
     }
     appendHeader(a, PROTOCOL_VERSION, raw_op, session_id, 0);
-    a.u8(static_cast<uint8_t>(TRACE_FIELD_WIRE_SIZE));
-    a.u64(trace.trace_id);
-    a.u64(trace.parent_span_id);
+    size_t block = 0;
+    if (trace.present())
+        block += TRACE_FIELD_WIRE_SIZE;
+    if (tag != 0)
+        block += TENANT_TAG_WIRE_SIZE;
+    a.u8(static_cast<uint8_t>(block));
+    if (trace.present()) {
+        a.u64(trace.trace_id);
+        a.u64(trace.parent_span_id);
+    }
+    if (tag != 0)
+        a.u16(tag);
 }
 
 /** Patch the header's payload_size now that the payload is known. */
@@ -323,10 +335,10 @@ peekHeader(const Bytes &frame)
 
 void
 encodeOpenRequestInto(Bytes &out, PredictorKind kind,
-                      const TraceField &trace)
+                      const TraceField &trace, TenantTag tag)
 {
     beginRequestFrame(out, static_cast<uint16_t>(Op::Open), 0,
-                      trace);
+                      trace, tag);
     ByteAppender a(out);
     a.u16(static_cast<uint16_t>(kind));
     finishFrame(out);
@@ -334,10 +346,11 @@ encodeOpenRequestInto(Bytes &out, PredictorKind kind,
 
 void
 encodeSubmitRequestInto(Bytes &out, uint64_t session_id,
-                        RecordView records, const TraceField &trace)
+                        RecordView records, const TraceField &trace,
+                        TenantTag tag)
 {
     beginRequestFrame(out, static_cast<uint16_t>(Op::SubmitBatch),
-                      session_id, trace);
+                      session_id, trace, tag);
     ByteAppender a(out);
     a.u32(static_cast<uint32_t>(records.size()));
     if constexpr (WIRE_LAYOUT_IS_NATIVE) {
@@ -354,28 +367,29 @@ encodeSubmitRequestInto(Bytes &out, uint64_t session_id,
 }
 
 void
-encodeStatsRequestInto(Bytes &out, const TraceField &trace)
+encodeStatsRequestInto(Bytes &out, const TraceField &trace,
+                       TenantTag tag)
 {
     beginRequestFrame(out, static_cast<uint16_t>(Op::QueryStats), 0,
-                      trace);
+                      trace, tag);
     finishFrame(out);
 }
 
 void
 encodeCloseRequestInto(Bytes &out, uint64_t session_id,
-                       const TraceField &trace)
+                       const TraceField &trace, TenantTag tag)
 {
     beginRequestFrame(out, static_cast<uint16_t>(Op::Close),
-                      session_id, trace);
+                      session_id, trace, tag);
     finishFrame(out);
 }
 
 void
 encodeMetricsRequestInto(Bytes &out, uint16_t raw_format,
-                         const TraceField &trace)
+                         const TraceField &trace, TenantTag tag)
 {
     beginRequestFrame(out, static_cast<uint16_t>(Op::QueryMetrics),
-                      0, trace);
+                      0, trace, tag);
     ByteAppender a(out);
     a.u16(raw_format);
     finishFrame(out);
@@ -383,62 +397,66 @@ encodeMetricsRequestInto(Bytes &out, uint16_t raw_format,
 
 void
 encodeTracesRequestInto(Bytes &out, uint64_t trace_id_filter,
-                        const TraceField &trace)
+                        const TraceField &trace, TenantTag tag)
 {
     beginRequestFrame(out, static_cast<uint16_t>(Op::QueryTraces), 0,
-                      trace);
+                      trace, tag);
     ByteAppender a(out);
     a.u64(trace_id_filter);
     finishFrame(out);
 }
 
 Bytes
-encodeOpenRequest(PredictorKind kind, const TraceField &trace)
+encodeOpenRequest(PredictorKind kind, const TraceField &trace,
+                  TenantTag tag)
 {
     Bytes out;
-    encodeOpenRequestInto(out, kind, trace);
+    encodeOpenRequestInto(out, kind, trace, tag);
     return out;
 }
 
 Bytes
 encodeSubmitRequest(uint64_t session_id,
                     const std::vector<IntervalRecord> &records,
-                    const TraceField &trace)
+                    const TraceField &trace, TenantTag tag)
 {
     Bytes out;
-    encodeSubmitRequestInto(out, session_id, records, trace);
+    encodeSubmitRequestInto(out, session_id, records, trace, tag);
     return out;
 }
 
 Bytes
-encodeStatsRequest(const TraceField &trace)
+encodeStatsRequest(const TraceField &trace, TenantTag tag)
 {
     Bytes out;
-    encodeStatsRequestInto(out, trace);
+    encodeStatsRequestInto(out, trace, tag);
     return out;
 }
 
 Bytes
-encodeCloseRequest(uint64_t session_id, const TraceField &trace)
+encodeCloseRequest(uint64_t session_id, const TraceField &trace,
+                   TenantTag tag)
 {
     Bytes out;
-    encodeCloseRequestInto(out, session_id, trace);
+    encodeCloseRequestInto(out, session_id, trace, tag);
     return out;
 }
 
 Bytes
-encodeMetricsRequest(uint16_t raw_format, const TraceField &trace)
+encodeMetricsRequest(uint16_t raw_format, const TraceField &trace,
+                     TenantTag tag)
 {
     Bytes out;
-    encodeMetricsRequestInto(out, raw_format, trace);
+    encodeMetricsRequestInto(out, raw_format, trace, tag);
     return out;
 }
 
 Bytes
-encodeTracesRequest(uint64_t trace_id_filter, const TraceField &trace)
+encodeTracesRequest(uint64_t trace_id_filter, const TraceField &trace,
+                    TenantTag tag)
 {
     Bytes out;
-    encodeTracesRequestInto(out, trace_id_filter, trace);
+    encodeTracesRequestInto(out, trace_id_filter, trace, tag);
     return out;
 }
 
@@ -461,17 +479,24 @@ parseRequest(ByteView frame, Arena &scratch, RequestView &out)
     ByteReader r(frame.data() + FRAME_HEADER_SIZE,
                  header->payload_size);
     if (header->version >= 2) {
-        // v2 trace block. A length that overruns the payload is a
-        // truncated frame (BadFrame, like any length violation),
-        // but any in-bounds block we cannot interpret — wrong
-        // length, zero trace id — degrades to an untraced request:
-        // a forward-compatibility valve, not an error.
+        // v2 extension block. A length that overruns the payload is
+        // a truncated frame (BadFrame, like any length violation),
+        // but any in-bounds block we cannot interpret — unknown
+        // length, zero trace id — degrades to an untraced, untagged
+        // request: a forward-compatibility valve, not an error.
         uint8_t block_len = 0;
         if (!r.u8(block_len) || block_len > r.remaining())
             return Status::BadFrame;
-        if (block_len == TRACE_FIELD_WIRE_SIZE) {
+        if (block_len == TRACE_FIELD_WIRE_SIZE ||
+            block_len == TRACE_TAG_WIRE_SIZE) {
             if (!r.u64(out.trace.trace_id) ||
                 !r.u64(out.trace.parent_span_id))
+                return Status::BadFrame;
+            if (block_len == TRACE_TAG_WIRE_SIZE &&
+                !r.u16(out.tenant_tag))
+                return Status::BadFrame;
+        } else if (block_len == TENANT_TAG_WIRE_SIZE) {
+            if (!r.u16(out.tenant_tag))
                 return Status::BadFrame;
         } else if (!r.skip(block_len)) {
             return Status::BadFrame;
@@ -549,11 +574,36 @@ parseRequest(const Bytes &bytes, ParsedRequest &out)
         parseRequest(ByteView(bytes), scratch, view);
     out.header = view.header;
     out.trace = view.trace;
+    out.tenant_tag = view.tenant_tag;
     out.predictor = view.predictor;
     out.metrics_format = view.metrics_format;
     out.traces_filter = view.traces_filter;
     out.records.assign(view.records.begin(), view.records.end());
     return status;
+}
+
+TenantTag
+peekTenantTag(ByteView frame)
+{
+    const auto header = peekHeader(frame.data(), frame.size());
+    if (!header || header->magic != FRAME_MAGIC ||
+        header->version < 2)
+        return 0;
+    ByteReader r(frame.data() + FRAME_HEADER_SIZE,
+                 frame.size() > FRAME_HEADER_SIZE
+                     ? frame.size() - FRAME_HEADER_SIZE
+                     : 0);
+    uint8_t block_len = 0;
+    if (!r.u8(block_len) || block_len > r.remaining())
+        return 0;
+    uint16_t tag = 0;
+    if (block_len == TENANT_TAG_WIRE_SIZE) {
+        r.u16(tag);
+    } else if (block_len == TRACE_TAG_WIRE_SIZE) {
+        r.skip(TRACE_FIELD_WIRE_SIZE);
+        r.u16(tag);
+    }
+    return tag;
 }
 
 bool
@@ -631,6 +681,23 @@ decodeVersionAdvert(ByteView body)
     if (v < PROTOCOL_VERSION_MIN)
         return PROTOCOL_VERSION_MIN;
     return v > PROTOCOL_VERSION ? PROTOCOL_VERSION : v;
+}
+
+void
+encodeRetryAdviceInto(Bytes &out, uint32_t retry_after_ms)
+{
+    out.clear();
+    ByteAppender a(out);
+    a.u32(retry_after_ms);
+}
+
+uint32_t
+decodeRetryAfterMs(ByteView body)
+{
+    ByteReader r(body);
+    uint32_t ms = 0;
+    r.u32(ms);
+    return ms;
 }
 
 Bytes

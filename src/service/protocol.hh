@@ -13,15 +13,22 @@
  *     8       8     session_id   0 for Open / QueryStats
  *     16      4     payload_size bytes following the header
  *
- * Version 2 prepends an optional *trace block* to every request
- * payload: u8 length, then that many bytes. Length 16 carries a
- * trace context (u64 trace id + u64 parent span id); any other
- * in-bounds length is skipped unread, so a request with an
- * unrecognized (or garbled) trace block degrades to an *untraced*
- * request, never to a protocol error. Version-1 frames have no
- * block at all — encoders emit v1 whenever no context is attached,
- * and parsers accept both revisions, which is the whole interop
- * story: an old peer only ever sees v1 bytes it already speaks.
+ * Version 2 prepends an optional *extension block* to every request
+ * payload: u8 length, then that many bytes. The length selects the
+ * contents:
+ *
+ *     16  trace context (u64 trace id + u64 parent span id)
+ *     2   tenant tag (u16, QoS admission control — src/admission/)
+ *     18  trace context then tenant tag
+ *
+ * Any other in-bounds length is skipped unread, so a request with
+ * an unrecognized (or garbled) block degrades to an *untraced,
+ * untagged* request, never to a protocol error. Version-1 frames
+ * have no block at all — encoders emit v1 whenever neither a trace
+ * context nor a tag is attached, and parsers accept both revisions,
+ * which is the whole interop story: an old peer only ever sees v1
+ * bytes it already speaks, and a pre-tag v2 peer skips the tag
+ * block it does not know.
  * New clients learn the server's revision from the version
  * advertisement appended to the Open response body (old clients
  * ignore trailing body bytes; absent advert = a v1 server).
@@ -124,6 +131,7 @@ enum class Status : uint16_t
     UnknownPredictor = 4,///< Open named an unsupported predictor kind
     BatchTooLarge = 5,   ///< SubmitBatch exceeded the service's K limit
     ShuttingDown = 6,    ///< service is stopping; do not retry
+    Throttled = 7,       ///< shed by QoS admission control — retry later
 };
 
 /** Predictor chosen per session at open time. */
@@ -164,6 +172,21 @@ struct TraceField
 };
 
 constexpr size_t TRACE_FIELD_WIRE_SIZE = 16;
+
+/**
+ * Tenant tag carried in the v2 extension block (length 2 alone, or
+ * appended to a trace context as length 18). 0 — the default —
+ * means "untagged"; such requests land in the admission layer's
+ * default bucket and the encoders put no tag on the wire, so an
+ * untagged, untraced request stays a byte-identical v1 frame. The
+ * protocol layer treats the value as an opaque u16; meaning (QoS
+ * policy, priority, share) lives entirely in src/admission/.
+ */
+using TenantTag = uint16_t;
+
+constexpr size_t TENANT_TAG_WIRE_SIZE = 2;
+constexpr size_t TRACE_TAG_WIRE_SIZE =
+    TRACE_FIELD_WIRE_SIZE + TENANT_TAG_WIRE_SIZE;
 
 /** Decoded frame header (validated magic/version not implied). */
 struct FrameHeader
@@ -333,9 +356,10 @@ class ByteReader
 
 // --- client-side request encoders --------------------------------
 //
-// Every encoder takes an optional trace context; a present one
-// upgrades the frame to protocol v2 with a trace block, an absent
-// one (the default) emits byte-identical v1 frames.
+// Every encoder takes an optional trace context and tenant tag;
+// either one present upgrades the frame to protocol v2 with the
+// matching extension block, both absent (the defaults) emits
+// byte-identical v1 frames.
 //
 // The *Into variants clear `out` and build the frame inside it, so
 // a client looping on a reused buffer encodes with no allocation
@@ -343,32 +367,44 @@ class ByteReader
 // are one-line wrappers kept for tests and one-shot callers.
 
 void encodeOpenRequestInto(Bytes &out, PredictorKind kind,
-                           const TraceField &trace = {});
+                           const TraceField &trace = {},
+                           TenantTag tag = 0);
 void encodeSubmitRequestInto(Bytes &out, uint64_t session_id,
                              RecordView records,
-                             const TraceField &trace = {});
-void encodeStatsRequestInto(Bytes &out, const TraceField &trace = {});
+                             const TraceField &trace = {},
+                             TenantTag tag = 0);
+void encodeStatsRequestInto(Bytes &out, const TraceField &trace = {},
+                            TenantTag tag = 0);
 void encodeCloseRequestInto(Bytes &out, uint64_t session_id,
-                            const TraceField &trace = {});
+                            const TraceField &trace = {},
+                            TenantTag tag = 0);
 void encodeMetricsRequestInto(Bytes &out, uint16_t raw_format,
-                              const TraceField &trace = {});
+                              const TraceField &trace = {},
+                              TenantTag tag = 0);
 
 /** @param trace_id_filter 0 requests every retained trace. */
 void encodeTracesRequestInto(Bytes &out, uint64_t trace_id_filter,
-                             const TraceField &trace = {});
+                             const TraceField &trace = {},
+                             TenantTag tag = 0);
 
 Bytes encodeOpenRequest(PredictorKind kind,
-                        const TraceField &trace = {});
+                        const TraceField &trace = {},
+                        TenantTag tag = 0);
 Bytes encodeSubmitRequest(uint64_t session_id,
                           const std::vector<IntervalRecord> &records,
-                          const TraceField &trace = {});
-Bytes encodeStatsRequest(const TraceField &trace = {});
+                          const TraceField &trace = {},
+                          TenantTag tag = 0);
+Bytes encodeStatsRequest(const TraceField &trace = {},
+                         TenantTag tag = 0);
 Bytes encodeCloseRequest(uint64_t session_id,
-                         const TraceField &trace = {});
+                         const TraceField &trace = {},
+                         TenantTag tag = 0);
 Bytes encodeMetricsRequest(uint16_t raw_format,
-                           const TraceField &trace = {});
+                           const TraceField &trace = {},
+                           TenantTag tag = 0);
 Bytes encodeTracesRequest(uint64_t trace_id_filter,
-                          const TraceField &trace = {});
+                          const TraceField &trace = {},
+                          TenantTag tag = 0);
 
 // --- server-side request parsing ---------------------------------
 
@@ -377,6 +413,7 @@ struct ParsedRequest
 {
     FrameHeader header{};
     TraceField trace{}; ///< v2 trace block (absent => zeros)
+    TenantTag tenant_tag = 0; ///< v2 tag block (absent => untagged)
     PredictorKind predictor = PredictorKind::LastValue; ///< Open only
     std::vector<IntervalRecord> records; ///< SubmitBatch only
     uint16_t metrics_format = 0; ///< QueryMetrics only (raw value)
@@ -396,6 +433,7 @@ struct RequestView
 {
     FrameHeader header{};
     TraceField trace{};
+    TenantTag tenant_tag = 0; ///< v2 tag block (absent => untagged)
     PredictorKind predictor = PredictorKind::LastValue; ///< Open only
     RecordView records{};        ///< SubmitBatch only
     uint16_t metrics_format = 0; ///< QueryMetrics only (raw value)
@@ -409,6 +447,16 @@ struct RequestView
  */
 std::optional<FrameHeader> peekHeader(const Bytes &frame);
 std::optional<FrameHeader> peekHeader(const uint8_t *data, size_t size);
+
+/**
+ * Extract just the tenant tag from a request frame without a full
+ * parse — the admission layer consults this *before* the frame is
+ * enqueued, so it must be cheap (a header peek plus at most three
+ * byte reads) and allocation-free. Returns 0 (untagged) for v1
+ * frames, tagless extension blocks, and anything malformed; a bad
+ * frame's real diagnosis is left to parseRequest on the worker.
+ */
+TenantTag peekTenantTag(ByteView frame);
 
 /**
  * Validate and decode a request frame in one pass with no
@@ -469,6 +517,19 @@ Bytes encodeVersionAdvert();
 /** Advertised version at the tail of an Open response body; 1 when
  *  absent (a v1 server), clamped to PROTOCOL_VERSION. */
 uint16_t decodeVersionAdvert(ByteView body);
+
+/**
+ * RetryAfter/Throttled response body: u32 suggested retry-after in
+ * milliseconds, derived from the live queue drain rate (RetryAfter)
+ * or the tag's token deficit (Throttled). Encoded into `out`
+ * (cleared) so the rejection path stays allocation-free on a
+ * warmed buffer.
+ */
+void encodeRetryAdviceInto(Bytes &out, uint32_t retry_after_ms);
+
+/** Retry advice from a RetryAfter/Throttled body; 0 when absent
+ *  (a pre-QoS server sent an empty rejection body). */
+uint32_t decodeRetryAfterMs(ByteView body);
 
 /** SubmitBatch response body: u32 count + IntervalResults. */
 Bytes encodeSubmitResults(const std::vector<IntervalResult> &results);

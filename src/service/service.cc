@@ -1,7 +1,10 @@
 #include "service/service.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "common/logging.hh"
 #include "fault/failpoint.hh"
@@ -14,6 +17,28 @@
 namespace livephase::service
 {
 
+namespace
+{
+
+/** Little-endian u32 retry advice on the stack — the alloc-free
+ *  twin of encodeRetryAdviceInto for in-flight response paths. */
+struct RetryAdvice
+{
+    uint8_t buf[4];
+
+    explicit RetryAdvice(uint32_t ms)
+        : buf{static_cast<uint8_t>(ms),
+              static_cast<uint8_t>(ms >> 8),
+              static_cast<uint8_t>(ms >> 16),
+              static_cast<uint8_t>(ms >> 24)}
+    {
+    }
+
+    ByteView view() const { return ByteView(buf, sizeof(buf)); }
+};
+
+} // namespace
+
 LivePhaseService::LivePhaseService()
     : LivePhaseService(Config{})
 {
@@ -25,6 +50,7 @@ LivePhaseService::LivePhaseService(Config config)
 {
     if (cfg.max_batch == 0)
         fatal("LivePhaseService: max_batch must be > 0");
+    initAdmission();
     pool.reserve(cfg.workers);
     for (size_t i = 0; i < cfg.workers; ++i)
         pool.emplace_back([this] { workerLoop(); });
@@ -41,9 +67,36 @@ LivePhaseService::LivePhaseService(Config config,
 {
     if (cfg.max_batch == 0)
         fatal("LivePhaseService: max_batch must be > 0");
+    initAdmission();
     pool.reserve(cfg.workers);
     for (size_t i = 0; i < cfg.workers; ++i)
         pool.emplace_back([this] { workerLoop(); });
+}
+
+void
+LivePhaseService::initAdmission()
+{
+    if (!cfg.admission.enabled)
+        return;
+    admission::Signals signals;
+    signals.queue_depth = [this] { return queue.depth(); };
+    signals.queue_capacity = [this] { return queue.capacity(); };
+    signals.evictions = [this] { return counters.evictionsTotal(); };
+    signals.pool_exhausted = [] {
+        // BufferPool misses = leases that had to heap-allocate —
+        // the pool's free list was exhausted by in-flight frames.
+        static obs::Counter &misses =
+            obs::MetricsRegistry::global().counter(
+                "livephase_alloc_pool_misses_total");
+        return misses.value();
+    };
+    signals.queue_wait = [] {
+        obs::Histogram &hist = obs::queueWaitSecondsHistogram();
+        return std::pair<uint64_t, double>{hist.count(), hist.sum()};
+    };
+    admit_ctl = std::make_unique<admission::AdmissionControl>(
+        cfg.admission, std::move(signals));
+    admit_ctl->start();
 }
 
 LivePhaseService::~LivePhaseService()
@@ -56,6 +109,8 @@ LivePhaseService::stop()
 {
     if (stopping.exchange(true))
         return;
+    if (admit_ctl)
+        admit_ctl->stop();
     queue.close();
     for (std::thread &worker : pool)
         worker.join();
@@ -69,7 +124,7 @@ LivePhaseService::stop()
 
 Bytes
 LivePhaseService::rejectionResponse(ByteView request_frame,
-                                    Status status)
+                                    Status status, ByteView body)
 {
     uint16_t raw_op = 0;
     uint64_t session_id = 0;
@@ -80,15 +135,63 @@ LivePhaseService::rejectionResponse(ByteView request_frame,
         session_id = header->session_id;
         version = header->version; // encodeResponse clamps
     }
-    return encodeResponse(raw_op, session_id, status, {}, version);
+    Bytes out;
+    encodeResponseInto(out, raw_op, session_id, status, body,
+                       version);
+    return out;
+}
+
+uint32_t
+LivePhaseService::retryAfterMs() const
+{
+    // Expected time for the current backlog to drain: queued
+    // requests times the measured per-request handle latency,
+    // spread across the worker pool. Replaces the old constant —
+    // a client of a fast service retries in ~1ms, one behind a
+    // deep queue of slow batches waits proportionally longer.
+    const double per_request_us =
+        handle_ewma_us.load(std::memory_order_relaxed);
+    if (per_request_us <= 0.0)
+        return 1; // no drain-rate sample yet
+    const double workers =
+        static_cast<double>(std::max<size_t>(cfg.workers, 1));
+    const double ms = static_cast<double>(queue.depth() + 1) *
+        per_request_us / (workers * 1000.0);
+    if (!(ms >= 1.0))
+        return 1;
+    return ms > 1000.0 ? 1000 : static_cast<uint32_t>(std::ceil(ms));
+}
+
+bool
+LivePhaseService::shedEarly(ByteView request_frame, Bytes &response)
+{
+    if (!admit_ctl)
+        return false;
+    const auto header =
+        peekHeader(request_frame.data(), request_frame.size());
+    if (!header || static_cast<Op>(header->op) != Op::SubmitBatch)
+        return false;
+    const admission::Decision verdict =
+        admit_ctl->decide(peekTenantTag(request_frame));
+    if (verdict.admit)
+        return false;
+    const RetryAdvice advice(verdict.retry_after_ms);
+    encodeResponseInto(response, header->op, header->session_id,
+                       Status::Throttled, advice.view(),
+                       header->version);
+    return true;
 }
 
 std::future<Bytes>
-LivePhaseService::submit(BufferPool::Lease request_frame)
+LivePhaseService::submit(BufferPool::Lease request_frame,
+                         bool pre_admitted)
 {
     Request req;
     req.frame = std::move(request_frame);
-    if (obs::enabled())
+    // The enqueue stamp is both span telemetry and — when admission
+    // control is on — the controller's wait signal, so it must flow
+    // even with obs span timing disabled.
+    if (admit_ctl || obs::enabled())
         req.enqueue_ns = obs::monoNowNs();
     std::future<Bytes> result = req.reply.get_future();
 
@@ -98,13 +201,42 @@ LivePhaseService::submit(BufferPool::Lease request_frame)
         return result;
     }
 
+    // QoS admission: only SubmitBatch frames spend budget — control
+    // ops (Open/Close/QueryStats/...) must stay answerable during
+    // overload, which is exactly when operators need them.
+    if (admit_ctl) {
+        const auto header =
+            peekHeader(req.frame->data(), req.frame->size());
+        if (header &&
+            static_cast<Op>(header->op) == Op::SubmitBatch) {
+            // The tag is needed even when the budget was already
+            // spent in shedEarly(): the worker attributes the
+            // observed queue wait to it after dequeue.
+            req.tag = peekTenantTag(ByteView(*req.frame));
+            if (!pre_admitted) {
+                const admission::Decision verdict =
+                    admit_ctl->decide(req.tag);
+                if (!verdict.admit) {
+                    const RetryAdvice advice(
+                        verdict.retry_after_ms);
+                    req.reply.set_value(rejectionResponse(
+                        ByteView(*req.frame), Status::Throttled,
+                        advice.view()));
+                    return result;
+                }
+            }
+        }
+    }
+
     // Failpoint "service.queue": Error answers RetryAfter as if the
     // queue were full — forced backpressure without real pressure.
     if (auto f = FAULT_POINT("service.queue");
         f.action == fault::Action::Error) {
         counters.frameRejectedQueueFull();
+        const RetryAdvice advice(retryAfterMs());
         req.reply.set_value(rejectionResponse(
-            ByteView(*req.frame), Status::RetryAfter));
+            ByteView(*req.frame), Status::RetryAfter,
+            advice.view()));
         return result;
     }
 
@@ -113,10 +245,15 @@ LivePhaseService::submit(BufferPool::Lease request_frame)
         const Status status = stopping.load(std::memory_order_acquire)
             ? Status::ShuttingDown
             : Status::RetryAfter;
-        if (status == Status::RetryAfter)
+        if (status == Status::RetryAfter) {
             counters.frameRejectedQueueFull();
-        req.reply.set_value(
-            rejectionResponse(ByteView(*req.frame), status));
+            const RetryAdvice advice(retryAfterMs());
+            req.reply.set_value(rejectionResponse(
+                ByteView(*req.frame), status, advice.view()));
+        } else {
+            req.reply.set_value(
+                rejectionResponse(ByteView(*req.frame), status));
+        }
     }
     return result;
     // req.frame's lease ends here on the rejection paths, recycling
@@ -150,12 +287,21 @@ LivePhaseService::drainOne()
 void
 LivePhaseService::serveRequest(Request &req)
 {
-    if (req.enqueue_ns != 0 && obs::enabled()) {
-        static obs::Histogram &queue_wait =
-            obs::MetricsRegistry::global().histogram(
-                "livephase_service_queue_wait_us");
-        queue_wait.record(
-            (obs::monoNowNs() - req.enqueue_ns) / 1e3);
+    if (req.enqueue_ns != 0) {
+        const double wait_s =
+            static_cast<double>(obs::monoNowNs() - req.enqueue_ns) /
+            1e9;
+        // Unconditional: the admission controller differences this
+        // histogram's count/sum every tick (see initAdmission).
+        obs::queueWaitSecondsHistogram().record(wait_s);
+        if (admit_ctl)
+            admit_ctl->recordQueueWait(req.tag, wait_s * 1e3);
+        if (obs::enabled()) {
+            static obs::Histogram &queue_wait =
+                obs::MetricsRegistry::global().histogram(
+                    "livephase_service_queue_wait_us");
+            queue_wait.record(wait_s * 1e6);
+        }
     }
     // Request and response storage both cycle through the pool: the
     // response buffer is leased, filled, then detach()ed into the
@@ -163,8 +309,8 @@ LivePhaseService::serveRequest(Request &req)
     // it donates the storage back via giveBack(). The request
     // frame's lease ends when `req` dies.
     BufferPool::Lease response = BufferPool::global().lease();
-    handleFrameInto(ByteView(*req.frame), *response,
-                    req.enqueue_ns);
+    handleFrameInto(ByteView(*req.frame), *response, req.enqueue_ns,
+                    /*pre_admitted=*/true);
     req.reply.set_value(response.detach());
 }
 
@@ -172,7 +318,7 @@ Bytes
 LivePhaseService::handleFrame(const Bytes &request_frame)
 {
     Bytes response;
-    handleFrameInto(ByteView(request_frame), response, 0);
+    handleFrameInto(ByteView(request_frame), response);
     return response;
 }
 
@@ -180,13 +326,15 @@ void
 LivePhaseService::handleFrameInto(ByteView request_frame,
                                   Bytes &response)
 {
-    handleFrameInto(request_frame, response, 0);
+    handleFrameInto(request_frame, response, 0,
+                    /*pre_admitted=*/false);
 }
 
 void
 LivePhaseService::handleFrameInto(ByteView request_frame,
                                   Bytes &response,
-                                  uint64_t enqueue_ns)
+                                  uint64_t enqueue_ns,
+                                  bool pre_admitted)
 {
     // Histogram + span-stack scope covers the whole request,
     // including parsing, so malformed-frame flight events still
@@ -226,6 +374,23 @@ LivePhaseService::handleFrameInto(ByteView request_frame,
         return;
     }
 
+    // Synchronous transports skip submit(), so their SubmitBatch
+    // frames meet admission here instead — same verdict, same
+    // Throttled + retry-advice response, still allocation-free.
+    if (admit_ctl && !pre_admitted &&
+        static_cast<Op>(parsed.header.op) == Op::SubmitBatch) {
+        const admission::Decision verdict =
+            admit_ctl->decide(parsed.tenant_tag);
+        if (!verdict.admit) {
+            const RetryAdvice advice(verdict.retry_after_ms);
+            encodeResponseInto(response, parsed.header.op,
+                               parsed.header.session_id,
+                               Status::Throttled, advice.view(),
+                               parsed.header.version);
+            return;
+        }
+    }
+
     // Adopt the wire trace context (if any) for the dispatch — the
     // service.handle trace span and the pipeline spans under it
     // then nest beneath the client's per-attempt span.
@@ -245,6 +410,13 @@ LivePhaseService::handleFrameInto(ByteView request_frame,
             std::chrono::steady_clock::now() - start)
             .count();
     counters.opLatency(parsed.header.op, micros);
+    // Drain-rate estimate behind retryAfterMs(). Racy read-modify-
+    // write by design: a lost update skews an advisory EWMA by one
+    // sample, which is not worth a CAS loop on the hot path.
+    const double prev =
+        handle_ewma_us.load(std::memory_order_relaxed);
+    handle_ewma_us.store(prev + 0.125 * (micros - prev),
+                         std::memory_order_relaxed);
 }
 
 void

@@ -25,9 +25,11 @@
 
 #include <atomic>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "admission/admission.hh"
 #include "common/buffer_pool.hh"
 #include "service/protocol.hh"
 #include "service/request_queue.hh"
@@ -60,6 +62,11 @@ class LivePhaseService
         /** Auto-dump the flight recorder on malformed frames and
          *  other error triggers (latched once per reason). */
         bool dump_trace_on_error = true;
+
+        /** Adaptive admission control (ratekeeper + per-tenant QoS
+         *  throttling, src/admission/). Disabled by default: no
+         *  controller thread, no admission check on submit. */
+        admission::AdmissionConfig admission{};
     };
 
     /** Default Config: deployed pipeline, 2 workers, queue 256. */
@@ -88,13 +95,30 @@ class LivePhaseService
      * worker is done with it; the response travels as owning Bytes
      * (the std::future contract) whose storage was itself leased —
      * transports giveBack() their previous buffer to keep the
-     * recycle loop closed.
+     * recycle loop closed. `pre_admitted` skips the QoS admission
+     * check — set by callers that already ran shedEarly() on this
+     * frame (decide() must spend budget exactly once per frame).
      */
-    std::future<Bytes> submit(BufferPool::Lease request_frame);
+    std::future<Bytes> submit(BufferPool::Lease request_frame,
+                              bool pre_admitted = false);
 
     /** Owning-frame convenience: adopts the bytes into the global
      *  pool so the storage joins the recycle loop. */
     std::future<Bytes> submit(Bytes request_frame);
+
+    /**
+     * QoS admission preflight on a frame *view*, before the caller
+     * pays the queue handoff (lease copy, promise/future). True
+     * means the frame was shed: `response` (cleared first, capacity
+     * reused) holds the Throttled + retry-advice frame and the
+     * caller must not submit. False means proceed — and when the
+     * frame is a SubmitBatch under admission control its budget is
+     * already spent, so complete the handoff with
+     * submit(..., pre_admitted = true). This is what keeps a
+     * rejected request cheap under overload: an attacker's shed
+     * frame costs a header peek and one token CAS, not a copy.
+     */
+    bool shedEarly(ByteView request_frame, Bytes &response);
 
     /**
      * Parse + dispatch one frame synchronously on the calling
@@ -132,6 +156,13 @@ class LivePhaseService
     /** The session store (tests drive eviction/TTL through it). */
     SessionManager &sessionManager() { return manager; }
 
+    /** The admission controller; nullptr when disabled. Tests and
+     *  the CLI read budgets and per-tag tables through it. */
+    admission::AdmissionControl *admissionControl()
+    {
+        return admit_ctl.get();
+    }
+
     /** Stop accepting work, drain the queue, join workers.
      *  Idempotent; the destructor calls it. */
     void stop();
@@ -143,28 +174,47 @@ class LivePhaseService
     {
         BufferPool::Lease frame;
         std::promise<Bytes> reply;
-        /** obs::monoNowNs() at submit time; 0 when obs disabled. */
+        /** obs::monoNowNs() at submit time; 0 when neither obs nor
+         *  admission control needs the queue-wait signal. */
         uint64_t enqueue_ns = 0;
+        /** Peeked tenant tag (admission enabled only). */
+        TenantTag tag = 0;
     };
 
     void workerLoop();
     void serveRequest(Request &req);
     void dispatch(const RequestView &req, Bytes &out);
 
+    /** Build the AdmissionControl (when cfg.admission.enabled) and
+     *  wire its signals to this service's queue/counters/obs. */
+    void initAdmission();
+
     /** handleFrameInto with the submit-time timestamp (0 =
      *  unqueued); annotates the request's trace span with its
-     *  queue wait. */
+     *  queue wait. `pre_admitted` marks frames that already passed
+     *  the admission check in submit(); the synchronous path passes
+     *  false and is checked after parsing. */
     void handleFrameInto(ByteView request_frame, Bytes &response,
-                         uint64_t enqueue_ns);
+                         uint64_t enqueue_ns, bool pre_admitted);
 
     /** Response for frames rejected before parsing (queue full /
-     *  shutdown): echo what little of the header is readable. */
-    Bytes rejectionResponse(ByteView request_frame, Status status);
+     *  shutdown): echo what little of the header is readable.
+     *  `body` carries retry advice on RetryAfter/Throttled. */
+    Bytes rejectionResponse(ByteView request_frame, Status status,
+                            ByteView body = {});
+
+    /** Queue-full retry advice: expected drain time of the current
+     *  backlog from the measured per-request handle latency —
+     *  replaces the old hard-coded constant. */
+    uint32_t retryAfterMs() const;
 
     Config cfg;
     ServiceCounters counters;
     SessionManager manager;
     BoundedMpmcQueue<Request> queue;
+    std::unique_ptr<admission::AdmissionControl> admit_ctl;
+    /** EWMA of handleFrameInto latency, µs (relaxed; advisory). */
+    std::atomic<double> handle_ewma_us{0.0};
     std::vector<std::thread> pool;
     std::atomic<bool> stopping{false};
 };

@@ -220,6 +220,13 @@ ServiceCounters::sessionExpired()
     ++totals.sessions_expired_ttl;
 }
 
+uint64_t
+ServiceCounters::evictionsTotal() const
+{
+    std::lock_guard lock(mu);
+    return totals.sessions_evicted_lru + totals.sessions_expired_ttl;
+}
+
 void
 ServiceCounters::batchProcessed(size_t intervals)
 {

@@ -104,6 +104,11 @@ class ServiceCounters
     void frameRejectedQueueFull();
     void frameMalformed();
 
+    /** Sessions lost to LRU eviction + TTL expiry, cumulative —
+     *  the admission controller's churn-storm signal (sampled at
+     *  its tick cadence, so the mutex here is uncontended). */
+    uint64_t evictionsTotal() const;
+
     /** Record one handled frame's latency. Raw op values outside
      *  Open..Close are ignored. */
     void opLatency(uint16_t raw_op, double micros);

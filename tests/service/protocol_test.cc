@@ -313,6 +313,109 @@ TEST(Protocol, GarbledTraceContextBytesStayInBand)
     }
 }
 
+// --- protocol v2: tenant tags and retry advice -------------------
+
+TEST(Protocol, TaggedRequestRoundTrip)
+{
+    // Tag without trace: a 2-byte extension block.
+    const Bytes frame =
+        encodeSubmitRequest(7, {{100e6, 1e6, 11}}, {}, 0xbeef);
+    const Bytes plain = encodeSubmitRequest(7, {{100e6, 1e6, 11}});
+    EXPECT_EQ(frame.size(),
+              plain.size() + 1 + TENANT_TAG_WIRE_SIZE);
+
+    ParsedRequest req;
+    ASSERT_EQ(parseRequest(frame, req), Status::Ok);
+    EXPECT_EQ(req.header.version, 2);
+    EXPECT_EQ(req.tenant_tag, 0xbeefu);
+    EXPECT_FALSE(req.trace.present());
+    ASSERT_EQ(req.records.size(), 1u);
+    EXPECT_EQ(req.records[0].tsc, 11u);
+}
+
+TEST(Protocol, TracedAndTaggedRequestRoundTrip)
+{
+    // Trace + tag share one 18-byte extension block.
+    const Bytes frame = encodeSubmitRequest(
+        7, {{100e6, 1e6, 11}}, {0xdeadULL, 0x42ULL}, 3);
+    const Bytes plain = encodeSubmitRequest(7, {{100e6, 1e6, 11}});
+    EXPECT_EQ(frame.size(),
+              plain.size() + 1 + TRACE_TAG_WIRE_SIZE);
+
+    ParsedRequest req;
+    ASSERT_EQ(parseRequest(frame, req), Status::Ok);
+    EXPECT_EQ(req.trace.trace_id, 0xdeadULL);
+    EXPECT_EQ(req.trace.parent_span_id, 0x42ULL);
+    EXPECT_EQ(req.tenant_tag, 3u);
+
+    // Every op's encoder threads the tag through.
+    ASSERT_EQ(parseRequest(encodeStatsRequest({}, 9), req),
+              Status::Ok);
+    EXPECT_EQ(req.tenant_tag, 9u);
+    ASSERT_EQ(parseRequest(encodeCloseRequest(3, {}, 8), req),
+              Status::Ok);
+    EXPECT_EQ(req.tenant_tag, 8u);
+    ASSERT_EQ(
+        parseRequest(encodeOpenRequest(PredictorKind::Gpht, {}, 7),
+                     req),
+        Status::Ok);
+    EXPECT_EQ(req.tenant_tag, 7u);
+}
+
+TEST(Protocol, UntaggedFramesStayByteIdenticalToV1)
+{
+    // The acceptance bar for the extension slot: no tag and no
+    // trace means the exact v1 bytes — header, version field, no
+    // extension block, payload at FRAME_HEADER_SIZE.
+    const std::vector<IntervalRecord> records = {{100e6, 1e6, 11}};
+    const Bytes frame = encodeSubmitRequest(7, records, {}, 0);
+    EXPECT_EQ(frame, encodeSubmitRequest(7, records));
+    ASSERT_EQ(frame.size(), FRAME_HEADER_SIZE + 4 +
+                  records.size() * INTERVAL_RECORD_WIRE_SIZE);
+    ParsedRequest req;
+    ASSERT_EQ(parseRequest(frame, req), Status::Ok);
+    EXPECT_EQ(req.header.version, PROTOCOL_VERSION_MIN);
+    EXPECT_EQ(req.tenant_tag, 0u);
+}
+
+TEST(Protocol, PeekTenantTagWithoutFullParse)
+{
+    // The service peeks the tag pre-parse (admission runs before
+    // the frame is queued); every block layout must be readable.
+    EXPECT_EQ(peekTenantTag(
+                  encodeSubmitRequest(1, {{1e6, 0, 0}}, {}, 0x1234)),
+              0x1234u);
+    EXPECT_EQ(peekTenantTag(encodeSubmitRequest(
+                  1, {{1e6, 0, 0}}, {5, 6}, 0x2345)),
+              0x2345u);
+    // Trace-only, untagged and v1 frames peek as tag 0.
+    EXPECT_EQ(peekTenantTag(
+                  encodeSubmitRequest(1, {{1e6, 0, 0}}, {5, 6})),
+              0u);
+    EXPECT_EQ(peekTenantTag(encodeSubmitRequest(1, {{1e6, 0, 0}})),
+              0u);
+    // Garbage never makes peek lie or crash.
+    EXPECT_EQ(peekTenantTag({}), 0u);
+    EXPECT_EQ(peekTenantTag(Bytes(3, 0xff)), 0u);
+    Bytes truncated =
+        encodeSubmitRequest(1, {{1e6, 0, 0}}, {}, 0x7777);
+    truncated.resize(FRAME_HEADER_SIZE + 1); // block len, no tag
+    EXPECT_EQ(peekTenantTag(truncated), 0u);
+}
+
+TEST(Protocol, RetryAdviceRoundTrip)
+{
+    Bytes body;
+    encodeRetryAdviceInto(body, 250);
+    EXPECT_EQ(body.size(), 4u);
+    EXPECT_EQ(decodeRetryAfterMs(body), 250u);
+    // Pre-advice servers sent empty rejection bodies; clients must
+    // read those as "no hint".
+    EXPECT_EQ(decodeRetryAfterMs({}), 0u);
+    EXPECT_EQ(statusName(Status::Throttled),
+              std::string("throttled"));
+}
+
 TEST(Protocol, VersionAdvertRoundTrip)
 {
     EXPECT_EQ(decodeVersionAdvert(encodeVersionAdvert()),
