@@ -41,6 +41,15 @@
  *       System run AND a service replay, then emit the merged
  *       telemetry (core + cpu + service metrics) in the requested
  *       exposition format
+ *   stats --watch [--interval-ms N] [--ticks N] [--rules SPEC]
+ *                 [--alerts-out FILE] [--phases-out FILE]
+ *         [trace.csv] [--bench NAME] [--qos SPEC]
+ *       top-style live view: replay the trace in a loop against an
+ *       in-process service (SLO watchdog armed — default rules, or
+ *       --rules in the watchdog grammar) and redraw health, phase
+ *       hit-rate windows, the windowed series table, recent SLO
+ *       alerts and the per-tag admission table every --interval-ms,
+ *       --ticks times (0 = until interrupted)
  *   trace [trace.csv] [--bench NAME]
  *       same replay, then dump the flight recorder (structured
  *       trace events) to stdout
@@ -67,10 +76,15 @@
  */
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <sstream>
+#include <thread>
+#include <unistd.h>
 
 #include "admission/admission.hh"
 #include "analysis/accuracy.hh"
@@ -85,8 +99,10 @@
 #include "core/system.hh"
 #include "obs/exposition.hh"
 #include "obs/flight_recorder.hh"
+#include "obs/phase_telemetry.hh"
 #include "obs/runtime.hh"
 #include "obs/trace.hh"
+#include "obs/watchdog.hh"
 #include "service/client.hh"
 #include "service/service.hh"
 #include "workload/spec2000.hh"
@@ -116,6 +132,10 @@ usage(const std::string &prog)
            " [--qos SPEC] [--tag NAME]\n"
         << "  stats [trace.csv] [--format prometheus|jsonl|table]"
            " [--bench NAME] [--predictor ...] [--batch K]"
+           " [--qos SPEC]\n"
+        << "  stats --watch [--interval-ms N] [--ticks N]"
+           " [--rules SPEC] [--alerts-out FILE]"
+           " [--phases-out FILE] [trace.csv] [--bench NAME]"
            " [--qos SPEC]\n"
         << "  trace [trace.csv] [--bench NAME]\n"
         << "  traces [trace.csv] [--bench NAME] [--sample R]"
@@ -351,7 +371,8 @@ printTagTable(std::ostream &os,
 {
     TableWriter table({"tag", "prio", "share", "rate_per_s",
                        "demand_per_s", "admitted", "shed_throttle",
-                       "shed_deadline", "p99_wait_ms"});
+                       "shed_deadline", "p99_wait_ms",
+                       "p99_10s_ms"});
     for (const auto &r : rows)
         table.addRow({r.name, admission::priorityName(r.priority),
                       formatDouble(r.share, 2),
@@ -360,7 +381,8 @@ printTagTable(std::ostream &os,
                       std::to_string(r.admitted),
                       std::to_string(r.shed_throttle),
                       std::to_string(r.shed_deadline),
-                      formatDouble(r.p99_wait_ms, 2)});
+                      formatDouble(r.p99_wait_ms, 2),
+                      formatDouble(r.p99_wait_10s_ms, 2)});
     table.print(os);
 }
 
@@ -626,9 +648,176 @@ replayAndExpose(const CliArgs &args, const IntervalTrace &trace,
     });
 }
 
+/** One frame of `stats --watch`: health banner, phase-quality
+ *  windows, the hottest windowed series, recent SLO alerts, and
+ *  the per-tag admission table when QoS is on. */
+void
+renderWatchFrame(std::ostream &os,
+                 service::LivePhaseService &svc, uint64_t tick)
+{
+    obs::TimeSeriesRegistry::global().rotateIfDue();
+
+    obs::Watchdog *wd = svc.watchdog();
+    const bool degraded = wd && wd->degraded();
+    os << "livephased  tick=" << tick << "  health="
+       << (degraded ? "DEGRADED" : "ok");
+    if (wd)
+        os << "  alerts=" << wd->alertCount();
+    os << "  sessions=" << svc.sessionManager().openCount() << "\n";
+
+    const obs::PhaseTelemetrySnapshot phases =
+        obs::PhaseTelemetry::global().snapshot();
+    os << "phase hit rate  1s="
+       << formatPercent(phases.hit_rate_1s)
+       << "  10s=" << formatPercent(phases.hit_rate_10s)
+       << "  60s=" << formatPercent(phases.hit_rate_60s)
+       << "  cumulative=" << formatPercent(phases.cumulativeHitRate())
+       << "  predictions/s="
+       << formatDouble(phases.pred_10s.rate, 1) << "\n\n";
+
+    const obs::TimeSeriesSnapshot windows =
+        obs::TimeSeriesRegistry::global().snapshot();
+    TableWriter table({"series", "rate_1s", "rate_10s", "p50_10s",
+                       "p99_10s", "max_10s"});
+    for (const auto &s : windows.series) {
+        table.addRow({s.name, formatDouble(s.w1s.rate, 1),
+                      formatDouble(s.w10s.rate, 1),
+                      s.is_histogram ? formatDouble(s.w10s.p50, 3)
+                                     : "-",
+                      s.is_histogram ? formatDouble(s.w10s.p99, 3)
+                                     : "-",
+                      s.is_histogram ? formatDouble(s.w10s.max, 3)
+                                     : "-"});
+    }
+    table.print(os);
+
+    if (wd) {
+        const auto alerts = wd->alerts();
+        const size_t shown = std::min<size_t>(alerts.size(), 5);
+        if (shown != 0)
+            os << "\nrecent SLO alerts:\n";
+        for (size_t i = alerts.size() - shown; i < alerts.size();
+             ++i)
+            os << "  " << alerts[i].toJson() << "\n";
+    }
+
+    if (auto *admit = svc.admissionControl()) {
+        os << "\n";
+        printTagTable(os, admit->tagTable());
+    }
+}
+
+/**
+ * `stats --watch`: keep an in-process service under continuous
+ * replay load and redraw a top-style telemetry frame every
+ * --interval-ms, --ticks times (0 = forever). The SLO watchdog is
+ * armed (default rules, or --rules SPEC) so the health banner and
+ * alert feed are live, not decorative.
+ */
+int
+cmdStatsWatch(const CliArgs &args)
+{
+    using namespace livephase::service;
+
+    obs::setEnabled(true);
+    const IntervalTrace trace = statsTrace(args);
+    const std::string which = args.getString("predictor", "gpht");
+    const auto kind = predictorKindFromName(which);
+    if (!kind)
+        fatal("unknown service predictor '%s'", which.c_str());
+    const size_t batch =
+        static_cast<size_t>(args.getInt("batch", 64));
+    if (batch == 0)
+        fatal("--batch must be > 0");
+    const auto interval = std::chrono::milliseconds(
+        std::max<long long>(args.getInt("interval-ms", 1000), 50));
+    const auto ticks =
+        static_cast<uint64_t>(args.getInt("ticks", 5));
+
+    LivePhaseService::Config cfg;
+    cfg.max_batch = std::max(cfg.max_batch, batch);
+    applyQos(args, cfg);
+    cfg.watchdog.enabled = true;
+    cfg.watchdog.rules = args.getString("rules", "");
+    LivePhaseService svc(cfg);
+    InProcessTransport transport(svc);
+    ServiceClient client(transport);
+
+    const auto open = client.open(*kind);
+    if (open.status != Status::Ok)
+        fatal("open failed: %s", statusName(open.status));
+
+    // The replay thread owns the client and loops the trace until
+    // told to stop; the render thread reads the service and the
+    // process-global obs planes directly — no shared client.
+    std::atomic<bool> stop_replay{false};
+    std::thread replay([&] {
+        std::vector<IntervalRecord> records;
+        uint64_t tsc = 0;
+        while (!stop_replay.load(std::memory_order_relaxed)) {
+            for (size_t i = 0;
+                 i < trace.size() &&
+                 !stop_replay.load(std::memory_order_relaxed);
+                 ++i) {
+                const Interval &ivl = trace.at(i);
+                records.push_back({ivl.uops,
+                                   ivl.mem_per_uop * ivl.uops,
+                                   tsc++});
+                if (records.size() == batch ||
+                    i + 1 == trace.size()) {
+                    const auto reply = client.submitBatchRetrying(
+                        open.session_id, records);
+                    records.clear();
+                    if (reply.status != Status::Ok)
+                        return; // shutting down
+                }
+            }
+        }
+    });
+
+    const bool tty = isatty(fileno(stdout)) != 0;
+    for (uint64_t tick = 0; ticks == 0 || tick < ticks; ++tick) {
+        std::this_thread::sleep_for(interval);
+        std::ostringstream frame;
+        renderWatchFrame(frame, svc, tick);
+        if (tty)
+            std::cout << "\033[H\033[2J"; // home + clear
+        else if (tick != 0)
+            std::cout << "---\n";
+        std::cout << frame.str() << std::flush;
+    }
+
+    stop_replay.store(true, std::memory_order_relaxed);
+    replay.join();
+    client.close(open.session_id);
+
+    // CI chaos artifacts: the watchdog's alert ring and the fleet
+    // phase telemetry, one JSON object per line.
+    const std::string alerts_path = args.getString("alerts-out", "");
+    if (!alerts_path.empty()) {
+        std::ofstream out(alerts_path);
+        if (!out)
+            fatal("cannot write %s", alerts_path.c_str());
+        if (auto *wd = svc.watchdog())
+            out << wd->alertsJsonl();
+        inform("watchdog alerts written to %s", alerts_path.c_str());
+    }
+    const std::string phases_path = args.getString("phases-out", "");
+    if (!phases_path.empty()) {
+        std::ofstream out(phases_path);
+        if (!out)
+            fatal("cannot write %s", phases_path.c_str());
+        out << obs::PhaseTelemetry::global().renderJson() << "\n";
+        inform("phase telemetry written to %s", phases_path.c_str());
+    }
+    return 0;
+}
+
 int
 cmdStats(const CliArgs &args)
 {
+    if (args.getBool("watch"))
+        return cmdStatsWatch(args);
     obs::setEnabled(true);
     const IntervalTrace trace = statsTrace(args);
 

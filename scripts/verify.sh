@@ -30,7 +30,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 # obs, admission (lock-free token buckets + controller thread) and
 # the chaos/fault-injection tests.
 SAN_TARGETS="test_service test_obs test_fault test_chaos test_admission"
-SAN_FILTER='Obs|FlightRecorder|Metrics|Histogram|Span|Runtime|Service|Session|Protocol|Exposition|Trace|Fault|Chaos|Ratekeeper|TagThrottler|QosSpec'
+SAN_FILTER='Obs|FlightRecorder|Metrics|Histogram|Span|Runtime|Service|Session|Protocol|Exposition|Trace|Fault|Chaos|Ratekeeper|TagThrottler|QosSpec|Watchdog|TimeSeries|PhaseTelemetry|FlightDump'
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
@@ -40,11 +40,16 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 # ctest (bench_obs_overhead_ci / bench_trace_overhead_ci /
 # bench_pipeline_allocs_ci / bench_admission_goodput_ci); re-run
 # them visibly so the budget numbers show up in the verification
-# log.
-"$BUILD_DIR"/bench/bench_obs_overhead --check
-"$BUILD_DIR"/bench/bench_trace_overhead --check
+# log. The timing gates go through the same cool-down retry as
+# their ctest twins — the suite that just finished leaves load the
+# single-digit-percent budgets cannot be measured under.
+RETRY="scripts/bench_retry.sh 3"
+$RETRY "$BUILD_DIR"/bench/bench_obs_overhead --check
+$RETRY "$BUILD_DIR"/bench/bench_obs_overhead --check --watchdog \
+    --batches 2048
+$RETRY "$BUILD_DIR"/bench/bench_trace_overhead --check
 "$BUILD_DIR"/bench/bench_pipeline_allocs --check
-"$BUILD_DIR"/bench/bench_admission_goodput --check
+$RETRY "$BUILD_DIR"/bench/bench_admission_goodput --check
 
 if [ "$ASAN" = 1 ]; then
     ASAN_DIR="${BUILD_DIR}-asan"

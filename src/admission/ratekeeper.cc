@@ -8,6 +8,7 @@
 #include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
 #include "obs/runtime.hh"
+#include "obs/timeseries.hh"
 
 namespace livephase::admission
 {
@@ -28,6 +29,13 @@ constexpr double RESUME_FRACTION = 0.9;
  *  cannot pull a max down. The decay (half-life ~34 ticks) lets
  *  the estimate follow a genuine capacity drop. */
 constexpr double CAPACITY_DECAY = 0.98;
+
+/** Per-tick decay of the smoothed wait estimate on an idle tick
+ *  (no completions, empty queue). Fast on purpose — a handful of
+ *  ticks, not a window: the stale value blocks admission via the
+ *  deadline drops, and every decayed tick is one where tenants are
+ *  being shed on a signal that no longer describes the queue. */
+constexpr double STALE_SIGNAL_DECAY = 0.8;
 
 struct KeeperMetrics
 {
@@ -150,6 +158,12 @@ Ratekeeper::sampleOnce()
     tick_count.fetch_add(1, std::memory_order_relaxed);
     KeeperMetrics::instance().ticks.inc();
 
+    // Keep the windowed time-series rotating even when no watchdog
+    // thread is running (admission-only deployments) — the per-tag
+    // windowed p99 below depends on cells closing on time. CAS-
+    // guarded, so a concurrent watchdog driver is harmless.
+    obs::TimeSeriesRegistry::global().rotateIfDue();
+
     if (auto f = FAULT_POINT("admission.sample")) {
         if (f.action == fault::Action::Error) {
             blindTick();
@@ -192,9 +206,13 @@ Ratekeeper::sampleOnce()
     // multiplicative cut, collapsing the budget far below capacity.
     // The EWMA is still maintained as the smoothed estimate the
     // deadline-aware early drop compares against. A tick with no
-    // completions keeps the previous estimate (an idle service and
-    // a fully wedged one both complete nothing — the depth trigger
-    // below tells them apart).
+    // completions and a non-empty queue keeps the previous estimate
+    // (the plant may be wedged); no completions with an *empty*
+    // queue means the plant is idle — the estimate is stale and
+    // must decay, or a panic value recorded just before admission
+    // cut everything off latches: deadline drops keyed on it shed
+    // all traffic, shed traffic produces no completions, and the
+    // estimate that caused the shedding never updates again.
     double wait_ewma =
         smoothed_wait_ms.load(std::memory_order_relaxed);
     double wait_now = wait_ewma;
@@ -203,6 +221,13 @@ Ratekeeper::sampleOnce()
             static_cast<double>(wait_count - last_wait_count) * 1e3;
         wait_now = mean_ms;
         wait_ewma += cfg.wait_alpha * (mean_ms - wait_ewma);
+        smoothed_wait_ms.store(wait_ewma,
+                               std::memory_order_relaxed);
+    } else if (depth == 0) {
+        wait_ewma *= STALE_SIGNAL_DECAY;
+        if (wait_ewma < 0.01)
+            wait_ewma = 0.0;
+        wait_now = wait_ewma;
         smoothed_wait_ms.store(wait_ewma,
                                std::memory_order_relaxed);
     }
@@ -232,10 +257,12 @@ Ratekeeper::sampleOnce()
     const DemandSample demand = throttler.tickDemand(dt_s);
 
     // --- decide ---------------------------------------------------
+    const bool degraded =
+        signals.health_degraded && signals.health_degraded();
     const bool overload = wait_now > cfg.target_wait_ms ||
         depth_frac >= cfg.depth_high ||
         eviction_rate > cfg.eviction_high_per_s ||
-        pool_rate > cfg.pool_exhaust_high_per_s;
+        pool_rate > cfg.pool_exhaust_high_per_s || degraded;
 
     double budget = budget_now.load(std::memory_order_relaxed);
     if (overload && cut_holdoff > 0) {

@@ -127,6 +127,12 @@ struct Signals
     /** Cumulative (count, sum-of-seconds) of the queue-wait
      *  histogram. */
     std::function<std::pair<uint64_t, double>()> queue_wait;
+
+    /** SLO watchdog health (obs/watchdog.hh): true while any rule
+     *  is firing. Treated as an overload trigger — a breached SLO
+     *  cuts the admitted budget even before the queue-wait signal
+     *  catches up. Optional. */
+    std::function<bool()> health_degraded;
 };
 
 class Ratekeeper

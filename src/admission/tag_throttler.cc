@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "obs/metrics.hh"
 #include "obs/runtime.hh"
+#include "obs/timeseries.hh"
 
 namespace livephase::admission
 {
@@ -21,6 +22,13 @@ constexpr double DEMAND_HEADROOM = 1.25;
 /** Every funded tag keeps at least this refill rate (batches/s) so
  *  a fully shed tenant can still probe its way back in. */
 constexpr double MIN_TAG_RATE = 1.0;
+
+/** Per-tick decay of the cached windowed p99 when the tag recorded
+ *  no waits since the last tick (see Slot::windowed_p99_ms). Fast
+ *  on purpose: every decayed tick is one where the tag may be shed
+ *  on a tail estimate its own shedding is keeping stale. Matches
+ *  the ratekeeper's STALE_SIGNAL_DECAY on its wait EWMA. */
+constexpr double STALE_TAIL_DECAY = 0.8;
 
 double
 consumeToken(std::atomic<double> &tokens)
@@ -71,6 +79,9 @@ TagThrottler::TagThrottler(const std::vector<TagPolicy> &policies,
             "livephase_admission_tag_rate_batches_per_s" + label);
         slot.wait_hist = &reg.histogram(
             "livephase_admission_queue_wait_ms" + label);
+        slot.wait_window =
+            &obs::TimeSeriesRegistry::global().histogram(
+                "admission.queue_wait_ms" + label);
     };
 
     // Slot 0 is the untagged catch-all: Bulk priority, unit share,
@@ -152,9 +163,9 @@ Decision
 TagThrottler::decide(TenantTag tag, double estimated_wait_ms)
 {
     Slot &slot = slotFor(tag);
-    slot.arrivals.fetch_add(1, std::memory_order_relaxed);
 
     if (bypass_on.load(std::memory_order_relaxed)) {
+        slot.arrivals.fetch_add(1, std::memory_order_relaxed);
         slot.admitted.fetch_add(1, std::memory_order_relaxed);
         slot.admitted_total->inc();
         return {true, 0};
@@ -162,12 +173,26 @@ TagThrottler::decide(TenantTag tag, double estimated_wait_ms)
 
     // Deadline-aware early drop: if the queue is already slower
     // than this tag's target, admitting would only burn a worker on
-    // an answer the tenant has stopped waiting for.
+    // an answer the tenant has stopped waiting for. Two signals,
+    // worst wins: the controller's fleet-mean estimate, and this
+    // tag's own windowed p99 (cached by tickDemand — the tail can
+    // blow the deadline while the mean still looks fine). Shed
+    // here, the request is NOT counted as demand: no allocation of
+    // queue capacity could have admitted it, so letting it claim
+    // rate would park budget on a tag that cannot use it while
+    // lower-priority tags starve (the split stops being work-
+    // conserving exactly when goodput needs it most).
     const double deadline = slot.policy.target_wait_ms;
-    if (deadline > 0.0 && estimated_wait_ms > deadline) {
-        slot.shed_deadline_total->inc();
-        return {false, clampRetryMs(estimated_wait_ms)};
+    if (deadline > 0.0) {
+        const double wait = std::max(
+            estimated_wait_ms,
+            slot.windowed_p99_ms.load(std::memory_order_relaxed));
+        if (wait > deadline) {
+            slot.shed_deadline_total->inc();
+            return {false, clampRetryMs(wait)};
+        }
     }
+    slot.arrivals.fetch_add(1, std::memory_order_relaxed);
 
     topUp(slot);
     const double had = consumeToken(slot.tokens);
@@ -187,7 +212,10 @@ TagThrottler::decide(TenantTag tag, double estimated_wait_ms)
 void
 TagThrottler::recordQueueWait(TenantTag tag, double wait_ms)
 {
-    slotFor(tag).wait_hist->record(wait_ms);
+    Slot &slot = slotFor(tag);
+    slot.wait_hist->record(wait_ms);
+    slot.wait_window->record(wait_ms);
+    slot.wait_samples.fetch_add(1, std::memory_order_relaxed);
 }
 
 DemandSample
@@ -200,8 +228,36 @@ TagThrottler::tickDemand(double dt_s)
     // change in a tenant's offered load, slow enough that one idle
     // tick does not zero its claim on the next split.
     constexpr double DEMAND_ALPHA = 0.3;
+    const double slot_seconds =
+        static_cast<double>(
+            obs::TimeSeriesRegistry::global().slotDurationNs()) /
+        1e9;
     for (size_t i = 0; i < slot_count; ++i) {
         Slot &slot = slots[i];
+        // Refresh the cached windowed p99 the deadline check reads:
+        // an 11-cell histogram merge per tag per tick (controller
+        // thread), never on the submit path. A tick that recorded
+        // no waits gets a decayed cache instead of the raw window:
+        // once the drop engages, the tag stops producing samples,
+        // and the raw 10 s tail would hold the pre-drop panic
+        // value until it ages out — a self-sustaining blackhole.
+        // Decaying lets a probe through within a few ticks; if the
+        // queue is still slow the probe's wait re-arms the drop.
+        const uint64_t seen =
+            slot.wait_samples.load(std::memory_order_relaxed);
+        double p99 = slot.wait_window
+                         ->stats(obs::Window::TenSeconds,
+                                 slot_seconds)
+                         .p99;
+        if (seen == slot.last_wait_samples) {
+            const double prev = slot.windowed_p99_ms.load(
+                std::memory_order_relaxed);
+            p99 = std::min(p99, prev * STALE_TAIL_DECAY);
+            if (p99 < 0.01)
+                p99 = 0.0;
+        }
+        slot.last_wait_samples = seen;
+        slot.windowed_p99_ms.store(p99, std::memory_order_relaxed);
         const uint64_t arrivals =
             slot.arrivals.load(std::memory_order_relaxed);
         const uint64_t admitted =
@@ -323,6 +379,8 @@ TagThrottler::snapshot() const
         row.shed_throttle = slot.shed_throttle_total->value();
         row.shed_deadline = slot.shed_deadline_total->value();
         row.p99_wait_ms = slot.wait_hist->snapshot().quantile(99.0);
+        row.p99_wait_10s_ms =
+            slot.windowed_p99_ms.load(std::memory_order_relaxed);
         rows.push_back(std::move(row));
     }
     return rows;

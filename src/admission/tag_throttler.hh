@@ -16,9 +16,13 @@
  * divide a class's allocation proportionally, and unused allocation
  * spills to whoever still has demand, so the split is work-
  * conserving. A tag may also declare a target queue-wait: when the
- * controller's current wait estimate exceeds it the request is shed
- * *before* enqueue (deadline-aware early drop — by the time it
- * would reach a worker its answer would be useless anyway).
+ * controller's current wait estimate — or the tag's own p99 queue
+ * wait over the last 10 s (the windowed time-series, cached once
+ * per controller tick) — exceeds it, the request is shed *before*
+ * enqueue (deadline-aware early drop — by the time it would reach
+ * a worker its answer would be useless anyway). The windowed term
+ * catches a tail that the fleet-mean estimate hides: one tenant's
+ * batches can be slow while the average stays healthy.
  *
  * Modeled on FoundationDB's ratekeeper/tag-throttler split. The
  * shape mirrors the paper's thesis one layer up: a live feedback
@@ -47,6 +51,7 @@ namespace livephase::obs
 class Counter;
 class Gauge;
 class Histogram;
+class WindowedHistogram;
 } // namespace livephase::obs
 
 namespace livephase::admission
@@ -109,7 +114,11 @@ struct TagSnapshotRow
     uint64_t admitted = 0;
     uint64_t shed_throttle = 0;
     uint64_t shed_deadline = 0;
-    double p99_wait_ms = 0.0; ///< observed per-tag queue wait
+    double p99_wait_ms = 0.0; ///< since-boot per-tag queue wait
+    /** p99 over the last 10 s (obs windowed time-series) — what the
+     *  deadline-aware drop actually compares; 0 when the window is
+     *  empty. */
+    double p99_wait_10s_ms = 0.0;
 };
 
 class TagThrottler
@@ -214,6 +223,22 @@ class TagThrottler
         obs::Counter *shed_deadline_total = nullptr;
         obs::Gauge *rate_gauge = nullptr;
         obs::Histogram *wait_hist = nullptr;
+        /** Windowed twin of wait_hist (obs/timeseries.hh). */
+        obs::WindowedHistogram *wait_window = nullptr;
+        /** Cached 10-second p99 of wait_window, refreshed once per
+         *  controller tick — decide() reads one atomic instead of
+         *  merging window cells on the submit path. 0 while the
+         *  window is empty (cold start, idle tag), which keeps the
+         *  deadline check on the controller's estimate alone. On a
+         *  tick with no fresh wait samples the cache decays instead
+         *  of tracking the raw window: the drop it gates starves
+         *  the window of samples, so a raw read would latch an old
+         *  tail for the full 10 s and blackhole the tag. */
+        std::atomic<double> windowed_p99_ms{0.0};
+        /** Waits recorded since boot; tickDemand diffs it against
+         *  last_wait_samples to detect a starved window. */
+        std::atomic<uint64_t> wait_samples{0};
+        uint64_t last_wait_samples = 0; ///< controller thread only
     };
 
     Slot &slotFor(TenantTag tag);

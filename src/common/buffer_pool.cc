@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
+#include "obs/timeseries.hh"
 
 namespace livephase
 {
@@ -58,6 +59,12 @@ BufferPool::lease()
             pc.hits.inc();
         } else {
             pc.misses.inc();
+            // Windowed twin for the watchdog's pool-exhaustion
+            // rate rule — the cumulative counter can't say "now".
+            static obs::WindowedCounter &miss_window =
+                obs::TimeSeriesRegistry::global().counter(
+                    "service.pool_exhausted");
+            miss_window.inc();
         }
         ++leased;
         pc.free_buffers.set(static_cast<double>(free_list.size()));

@@ -142,6 +142,89 @@ renderJsonl(const MetricsSnapshot &snap)
     return os.str();
 }
 
+namespace
+{
+
+/** Escape a series name for use inside a label value (per-tag
+ *  series carry their own {tag="..."} suffix with quotes). */
+std::string
+labelEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '\\' || c == '"')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+void
+windowPrometheusLines(std::ostringstream &os,
+                      const SeriesSample &s, const char *window,
+                      const WindowStats &w)
+{
+    const std::string prefix = "livephase_window{series=\"" +
+        labelEscape(s.name) + "\",window=\"" + window +
+        "\",stat=\"";
+    os << prefix << "rate\"} " << formatValue(w.rate) << "\n";
+    if (s.is_histogram) {
+        os << prefix << "p50\"} " << formatValue(w.p50) << "\n";
+        os << prefix << "p99\"} " << formatValue(w.p99) << "\n";
+        os << prefix << "max\"} " << formatValue(w.max) << "\n";
+    }
+}
+
+void
+windowJson(std::ostringstream &os, const SeriesSample &s,
+           const char *window, const WindowStats &w)
+{
+    os << "\"" << window << "\": {\"count\": " << w.count
+       << ", \"rate\": " << formatValue(w.rate);
+    if (s.is_histogram) {
+        os << ", \"mean\": " << formatValue(w.mean)
+           << ", \"p50\": " << formatValue(w.p50)
+           << ", \"p99\": " << formatValue(w.p99)
+           << ", \"max\": " << formatValue(w.max);
+    }
+    os << "}";
+}
+
+} // namespace
+
+std::string
+renderTimeSeriesPrometheus(const TimeSeriesSnapshot &snap)
+{
+    std::ostringstream os;
+    if (!snap.series.empty())
+        os << "# TYPE livephase_window gauge\n";
+    for (const SeriesSample &s : snap.series) {
+        windowPrometheusLines(os, s, "1s", s.w1s);
+        windowPrometheusLines(os, s, "10s", s.w10s);
+        windowPrometheusLines(os, s, "60s", s.w60s);
+    }
+    return os.str();
+}
+
+std::string
+renderTimeSeriesJsonl(const TimeSeriesSnapshot &snap)
+{
+    std::ostringstream os;
+    for (const SeriesSample &s : snap.series) {
+        os << "{\"series\": \"" << jsonEscape(s.name)
+           << "\", \"kind\": \""
+           << (s.is_histogram ? "histogram" : "counter") << "\", ";
+        windowJson(os, s, "1s", s.w1s);
+        os << ", ";
+        windowJson(os, s, "10s", s.w10s);
+        os << ", ";
+        windowJson(os, s, "60s", s.w60s);
+        os << "}\n";
+    }
+    return os.str();
+}
+
 PeriodicExporter::PeriodicExporter(const MetricsRegistry &registry,
                                    std::ostream &os,
                                    std::chrono::milliseconds tick)

@@ -29,6 +29,7 @@
 #include <thread>
 
 #include "obs/metrics.hh"
+#include "obs/timeseries.hh"
 
 namespace livephase::obs
 {
@@ -49,6 +50,16 @@ std::string renderPrometheus(const MetricsSnapshot &snap);
 
 /** One JSON object per metric per line. */
 std::string renderJsonl(const MetricsSnapshot &snap);
+
+/**
+ * Windowed time-series exposition (obs/timeseries.hh): per series,
+ * gauge lines `livephase_window{series="...",window="10s",
+ * stat="p99"}` (Prometheus) or one JSON object per series per line
+ * carrying all three windows (JSONL).
+ */
+std::string renderTimeSeriesPrometheus(
+    const TimeSeriesSnapshot &snap);
+std::string renderTimeSeriesJsonl(const TimeSeriesSnapshot &snap);
 
 /**
  * Background thread dumping a registry to `os` every `interval`

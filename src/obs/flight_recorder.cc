@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
 
 namespace livephase::obs
@@ -166,10 +167,31 @@ FlightRecorder::autoDump(const char *reason)
 {
     std::lock_guard lock(dump_mu);
     const std::string key(reason ? reason : "");
-    if (std::find(latched_reasons.begin(), latched_reasons.end(),
-                  key) != latched_reasons.end())
-        return false;
-    latched_reasons.push_back(key);
+    const uint64_t now = monoNowNs();
+    DumpLatch *latch = nullptr;
+    for (DumpLatch &l : latches) {
+        if (l.reason == key) {
+            latch = &l;
+            break;
+        }
+    }
+    if (latch) {
+        // Cooldown 0 means "no limit"; otherwise a repeat trigger
+        // within the window is deduped, counted, and dropped.
+        if (cooldown_ns == 0 ||
+            now - latch->last_dump_ns >= cooldown_ns) {
+            latch->last_dump_ns = now;
+        } else {
+            suppressed.fetch_add(1, std::memory_order_relaxed);
+            static Counter &suppressed_total =
+                MetricsRegistry::global().counter(
+                    "livephase_flight_dumps_suppressed_total");
+            suppressed_total.inc();
+            return false;
+        }
+    } else {
+        latches.push_back({key, now});
+    }
     std::ostream &os = sink ? *sink : std::cerr;
     os << "flight-recorder auto-dump (reason=" << key;
     // Cross-reference: when the triggering thread is handling a
@@ -190,6 +212,20 @@ FlightRecorder::autoDump(const char *reason)
 }
 
 void
+FlightRecorder::setDumpCooldown(uint64_t ns)
+{
+    std::lock_guard lock(dump_mu);
+    cooldown_ns = ns;
+}
+
+uint64_t
+FlightRecorder::dumpCooldownNs() const
+{
+    std::lock_guard lock(dump_mu);
+    return cooldown_ns;
+}
+
+void
 FlightRecorder::setDumpSink(std::ostream *os)
 {
     std::lock_guard lock(dump_mu);
@@ -200,7 +236,7 @@ void
 FlightRecorder::resetDumpLatches()
 {
     std::lock_guard lock(dump_mu);
-    latched_reasons.clear();
+    latches.clear();
 }
 
 // --- logging bridge ----------------------------------------------

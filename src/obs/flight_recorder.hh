@@ -115,11 +115,26 @@ class FlightRecorder
     void dump(std::ostream &os) const;
 
     /**
-     * Dump to the configured sink (stderr by default), at most once
-     * per distinct `reason` until resetDumpLatches(). Returns true
-     * when a dump was actually produced.
+     * Dump to the configured sink (stderr by default), rate-limited
+     * per distinct `reason`: the first trigger dumps, repeats within
+     * the cooldown window are suppressed (counted in
+     * `livephase_flight_dumps_suppressed_total`) so a sustained
+     * breach produces one dump per cause per window, not a spam
+     * storm. Returns true when a dump was actually produced.
      */
     bool autoDump(const char *reason);
+
+    /** Per-reason re-dump cooldown; default 60 s. 0 disables the
+     *  limit (every trigger dumps). */
+    void setDumpCooldown(uint64_t ns);
+
+    uint64_t dumpCooldownNs() const;
+
+    /** Dumps suppressed by the cooldown since process start. */
+    uint64_t suppressedDumps() const
+    {
+        return suppressed.load(std::memory_order_relaxed);
+    }
 
     /** Redirect dumps; nullptr restores stderr. */
     void setDumpSink(std::ostream *os);
@@ -148,9 +163,17 @@ class FlightRecorder
     std::unique_ptr<Slot[]> slots;
     std::atomic<uint64_t> cursor{0};
 
+    struct DumpLatch
+    {
+        std::string reason;
+        uint64_t last_dump_ns; ///< monoNowNs() of the last dump
+    };
+
     mutable std::mutex dump_mu; ///< sink pointer + latch set
     std::ostream *sink = nullptr;
-    std::vector<std::string> latched_reasons;
+    std::vector<DumpLatch> latches;
+    uint64_t cooldown_ns = 60'000'000'000; ///< 60 s
+    std::atomic<uint64_t> suppressed{0};
 };
 
 } // namespace livephase::obs

@@ -68,6 +68,16 @@ Histogram::record(double value)
     }
 }
 
+void
+Histogram::clear()
+{
+    for (size_t b = 0; b < HISTOGRAM_BUCKETS; ++b)
+        buckets[b].store(0, std::memory_order_relaxed);
+    n.store(0, std::memory_order_relaxed);
+    total.store(0.0, std::memory_order_relaxed);
+    peak.store(0.0, std::memory_order_relaxed);
+}
+
 HistogramSnapshot
 Histogram::snapshot() const
 {

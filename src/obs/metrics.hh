@@ -162,6 +162,14 @@ class Histogram
 
     HistogramSnapshot snapshot() const;
 
+    /**
+     * Reset all buckets and aggregates to zero. NOT safe against
+     * concurrent record() — callers must guarantee no writer is
+     * touching this instance (the time-series ring clears only the
+     * cell one full rotation away from the live one).
+     */
+    void clear();
+
   private:
     std::array<std::atomic<uint64_t>, HISTOGRAM_BUCKETS> buckets{};
     std::atomic<uint64_t> n{0};

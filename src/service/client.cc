@@ -512,4 +512,28 @@ ServiceClient::queryTraces(uint64_t trace_id)
     return reply;
 }
 
+ServiceClient::MetricsReply
+ServiceClient::queryPhases(uint64_t session_id, uint16_t raw_format)
+{
+    ResponseView parsed;
+    if (!call("query-phases",
+              [session_id, raw_format](Bytes &out,
+                                       const TraceField &trace,
+                                       TenantTag tag) {
+                  encodePhasesRequestInto(out, session_id,
+                                          raw_format, trace, tag);
+              },
+              parsed))
+        return {Status::BadFrame, {}};
+    MetricsReply reply;
+    reply.status = parsed.status;
+    if (parsed.status == Status::Ok) {
+        auto text = decodeMetricsText(parsed.body);
+        if (!text)
+            return {Status::BadFrame, {}};
+        reply.text = std::move(*text);
+    }
+    return reply;
+}
+
 } // namespace livephase::service

@@ -287,6 +287,13 @@ class ServiceClient
      *  Requires a v2 server (a v1 server answers BadFrame). */
     TracesReply queryTraces(uint64_t trace_id = 0);
 
+    /** Fetch phase telemetry: `session_id` 0 = fleet-wide summary,
+     *  nonzero = that session's predictor-quality detail.
+     *  `raw_format` is an obs::ExpositionFormat (Jsonl renders
+     *  JSON; anything else Prometheus text). v2 servers only. */
+    MetricsReply queryPhases(uint64_t session_id = 0,
+                             uint16_t raw_format = 1);
+
     /** How the most recent operation went (attempts, retries,
      *  reconnects, terminal client-side error if any). */
     const CallInfo &lastCall() const { return last_call; }

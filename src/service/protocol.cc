@@ -33,6 +33,7 @@ opName(uint16_t raw_op)
       case Op::Close: return "close";
       case Op::QueryMetrics: return "query-metrics";
       case Op::QueryTraces: return "query-traces";
+      case Op::QueryPhases: return "query-phases";
     }
     return "op-" + std::to_string(raw_op);
 }
@@ -406,6 +407,18 @@ encodeTracesRequestInto(Bytes &out, uint64_t trace_id_filter,
     finishFrame(out);
 }
 
+void
+encodePhasesRequestInto(Bytes &out, uint64_t session_id,
+                        uint16_t raw_format, const TraceField &trace,
+                        TenantTag tag)
+{
+    beginRequestFrame(out, static_cast<uint16_t>(Op::QueryPhases),
+                      session_id, trace, tag);
+    ByteAppender a(out);
+    a.u16(raw_format);
+    finishFrame(out);
+}
+
 Bytes
 encodeOpenRequest(PredictorKind kind, const TraceField &trace,
                   TenantTag tag)
@@ -457,6 +470,15 @@ encodeTracesRequest(uint64_t trace_id_filter, const TraceField &trace,
 {
     Bytes out;
     encodeTracesRequestInto(out, trace_id_filter, trace, tag);
+    return out;
+}
+
+Bytes
+encodePhasesRequest(uint64_t session_id, uint16_t raw_format,
+                    const TraceField &trace, TenantTag tag)
+{
+    Bytes out;
+    encodePhasesRequestInto(out, session_id, raw_format, trace, tag);
     return out;
 }
 
@@ -554,6 +576,7 @@ parseRequest(ByteView frame, Arena &scratch, RequestView &out)
       case Op::Close:
         return r.remaining() == 0 ? Status::Ok : Status::BadFrame;
       case Op::QueryMetrics:
+      case Op::QueryPhases:
         if (!r.u16(out.metrics_format) || r.remaining() != 0)
             return Status::BadFrame;
         return Status::Ok;

@@ -58,6 +58,14 @@
  *  - QueryTraces payload: u64 trace-id filter (0 = all traces).
  *                Response body: u32 length + that many bytes of
  *                Chrome trace-event JSON (obs/trace.hh). v2 only.
+ *  - QueryPhases payload: u16 obs::ExpositionFormat. Header session
+ *                id selects scope: 0 = fleet-wide phase telemetry
+ *                (hit-rate windows, transition matrix, residency,
+ *                DVFS attribution), nonzero = that session's
+ *                predictor-quality detail (UnknownSession when not
+ *                live). Response body: u32 length + rendered text
+ *                (JSON for ExpositionFormat::Jsonl, Prometheus
+ *                otherwise). v2 only.
  *
  * Malformed input (bad magic/version, unknown op, truncated or
  * oversized payload, record-count mismatch) is answered with
@@ -117,9 +125,10 @@ enum class Op : uint16_t
     Close = 4,
     QueryMetrics = 5,
     QueryTraces = 6, ///< protocol v2; v1 servers answer BadFrame
+    QueryPhases = 7, ///< protocol v2; v1 servers answer BadFrame
 };
 
-constexpr size_t NUM_OPS = 6;
+constexpr size_t NUM_OPS = 7;
 
 /** First field of every response payload. */
 enum class Status : uint16_t
@@ -387,6 +396,12 @@ void encodeTracesRequestInto(Bytes &out, uint64_t trace_id_filter,
                              const TraceField &trace = {},
                              TenantTag tag = 0);
 
+/** @param session_id 0 = fleet summary, nonzero = per-session. */
+void encodePhasesRequestInto(Bytes &out, uint64_t session_id,
+                             uint16_t raw_format,
+                             const TraceField &trace = {},
+                             TenantTag tag = 0);
+
 Bytes encodeOpenRequest(PredictorKind kind,
                         const TraceField &trace = {},
                         TenantTag tag = 0);
@@ -405,6 +420,9 @@ Bytes encodeMetricsRequest(uint16_t raw_format,
 Bytes encodeTracesRequest(uint64_t trace_id_filter,
                           const TraceField &trace = {},
                           TenantTag tag = 0);
+Bytes encodePhasesRequest(uint64_t session_id, uint16_t raw_format,
+                          const TraceField &trace = {},
+                          TenantTag tag = 0);
 
 // --- server-side request parsing ---------------------------------
 
@@ -416,7 +434,7 @@ struct ParsedRequest
     TenantTag tenant_tag = 0; ///< v2 tag block (absent => untagged)
     PredictorKind predictor = PredictorKind::LastValue; ///< Open only
     std::vector<IntervalRecord> records; ///< SubmitBatch only
-    uint16_t metrics_format = 0; ///< QueryMetrics only (raw value)
+    uint16_t metrics_format = 0; ///< QueryMetrics/QueryPhases (raw)
     uint64_t traces_filter = 0;  ///< QueryTraces only (0 = all)
 };
 
@@ -436,7 +454,7 @@ struct RequestView
     TenantTag tenant_tag = 0; ///< v2 tag block (absent => untagged)
     PredictorKind predictor = PredictorKind::LastValue; ///< Open only
     RecordView records{};        ///< SubmitBatch only
-    uint16_t metrics_format = 0; ///< QueryMetrics only (raw value)
+    uint16_t metrics_format = 0; ///< QueryMetrics/QueryPhases (raw)
     uint64_t traces_filter = 0;  ///< QueryTraces only (0 = all)
 };
 

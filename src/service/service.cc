@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <utility>
 
@@ -10,6 +11,7 @@
 #include "fault/failpoint.hh"
 #include "obs/exposition.hh"
 #include "obs/flight_recorder.hh"
+#include "obs/phase_telemetry.hh"
 #include "obs/runtime.hh"
 #include "obs/span.hh"
 #include "obs/trace.hh"
@@ -51,6 +53,7 @@ LivePhaseService::LivePhaseService(Config config)
     if (cfg.max_batch == 0)
         fatal("LivePhaseService: max_batch must be > 0");
     initAdmission();
+    initWatchdog();
     pool.reserve(cfg.workers);
     for (size_t i = 0; i < cfg.workers; ++i)
         pool.emplace_back([this] { workerLoop(); });
@@ -68,6 +71,7 @@ LivePhaseService::LivePhaseService(Config config,
     if (cfg.max_batch == 0)
         fatal("LivePhaseService: max_batch must be > 0");
     initAdmission();
+    initWatchdog();
     pool.reserve(cfg.workers);
     for (size_t i = 0; i < cfg.workers; ++i)
         pool.emplace_back([this] { workerLoop(); });
@@ -94,9 +98,31 @@ LivePhaseService::initAdmission()
         obs::Histogram &hist = obs::queueWaitSecondsHistogram();
         return std::pair<uint64_t, double>{hist.count(), hist.sum()};
     };
+    // initWatchdog() runs after initAdmission(), so the lambda must
+    // re-read the pointer each tick rather than capture it.
+    signals.health_degraded = [this] {
+        return slo_watchdog && slo_watchdog->degraded();
+    };
     admit_ctl = std::make_unique<admission::AdmissionControl>(
         cfg.admission, std::move(signals));
     admit_ctl->start();
+}
+
+void
+LivePhaseService::initWatchdog()
+{
+    if (!cfg.watchdog.enabled)
+        return;
+    obs::WatchdogConfig wd;
+    wd.eval_interval_ns = cfg.watchdog.eval_interval_ns;
+    if (!cfg.watchdog.rules.empty()) {
+        auto rules = obs::parseWatchdogRules(cfg.watchdog.rules);
+        if (!rules)
+            fatal("LivePhaseService: malformed watchdog rule spec");
+        wd.rules = std::move(*rules);
+    }
+    slo_watchdog = std::make_unique<obs::Watchdog>(wd);
+    slo_watchdog->start();
 }
 
 LivePhaseService::~LivePhaseService()
@@ -109,6 +135,8 @@ LivePhaseService::stop()
 {
     if (stopping.exchange(true))
         return;
+    if (slo_watchdog)
+        slo_watchdog->stop();
     if (admit_ctl)
         admit_ctl->stop();
     queue.close();
@@ -294,6 +322,12 @@ LivePhaseService::serveRequest(Request &req)
         // Unconditional: the admission controller differences this
         // histogram's count/sum every tick (see initAdmission).
         obs::queueWaitSecondsHistogram().record(wait_s);
+        // Windowed twin — the watchdog's burn-rate rules evaluate
+        // p99 over this series, so it is a control signal too.
+        static obs::WindowedHistogram &wait_window =
+            obs::TimeSeriesRegistry::global().histogram(
+                "service.queue_wait_ms");
+        wait_window.record(wait_s * 1e3);
         if (admit_ctl)
             admit_ctl->recordQueueWait(req.tag, wait_s * 1e3);
         if (obs::enabled()) {
@@ -499,6 +533,17 @@ LivePhaseService::dispatch(const RequestView &req, Bytes &out)
             encodeMetricsText(obs::chromeTraceJson(spans)), ver);
         return;
       }
+      case Op::QueryPhases: {
+        Status status = Status::Ok;
+        const std::string text =
+            phasesText(sid, req.metrics_format, status);
+        const Bytes body = status == Status::Ok
+            ? encodeMetricsText(text)
+            : Bytes{};
+        encodeResponseInto(out, op, sid, status, ByteView(body),
+                           ver);
+        return;
+      }
     }
     // parseRequest only admits known ops; defend anyway.
     counters.frameMalformed();
@@ -527,9 +572,95 @@ LivePhaseService::metricsText(uint16_t raw_format) const
         obs::MetricsRegistry::global().snapshot();
     counters.fillMetrics(snap, manager.openCount(),
                          queue.highWaterMark());
-    return format == obs::ExpositionFormat::Jsonl
-        ? obs::renderJsonl(snap)
-        : obs::renderPrometheus(snap);
+    // Splice in the windowed time-series and phase-quality planes:
+    // one scrape answers "what is happening *now*", not just
+    // since-boot cumulatives. Rotate first so a service scraped by
+    // a slow poller still closes its one-second cells on time.
+    obs::TimeSeriesRegistry::global().rotateIfDue();
+    const obs::TimeSeriesSnapshot windows =
+        obs::TimeSeriesRegistry::global().snapshot();
+    if (format == obs::ExpositionFormat::Jsonl) {
+        std::string text = obs::renderJsonl(snap);
+        text += obs::renderTimeSeriesJsonl(windows);
+        text += obs::PhaseTelemetry::global().renderJson();
+        text += "\n";
+        return text;
+    }
+    std::string text = obs::renderPrometheus(snap);
+    text += obs::renderTimeSeriesPrometheus(windows);
+    text += obs::PhaseTelemetry::global().renderPrometheus();
+    return text;
+}
+
+std::string
+LivePhaseService::phasesText(uint64_t session_id,
+                             uint16_t raw_format, Status &status)
+{
+    const auto format =
+        static_cast<obs::ExpositionFormat>(raw_format);
+    status = Status::Ok;
+
+    if (session_id == 0) {
+        // Fleet scope: the process-global phase-telemetry plane.
+        if (format == obs::ExpositionFormat::Jsonl) {
+            std::string text =
+                obs::PhaseTelemetry::global().renderJson();
+            text += "\n";
+            return text;
+        }
+        return obs::PhaseTelemetry::global().renderPrometheus();
+    }
+
+    // Per-session scope: predictor-quality detail for one live
+    // session (UnknownSession once evicted/closed — phase history
+    // dies with the session, only the fleet aggregate persists).
+    const std::shared_ptr<Session> session =
+        manager.find(session_id);
+    if (!session) {
+        status = Status::UnknownSession;
+        return {};
+    }
+    char buf[512];
+    if (format == obs::ExpositionFormat::Jsonl) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"session\": %llu, \"predictor\": \"%s\", "
+            "\"intervals\": %llu, \"predictions\": %llu, "
+            "\"mispredictions\": %llu, \"transitions\": %llu, "
+            "\"hit_rate\": %.6f}\n",
+            static_cast<unsigned long long>(session->id()),
+            session->predictorName().c_str(),
+            static_cast<unsigned long long>(
+                session->intervalsProcessed()),
+            static_cast<unsigned long long>(session->predictions()),
+            static_cast<unsigned long long>(
+                session->mispredictions()),
+            static_cast<unsigned long long>(session->transitions()),
+            session->hitRate());
+        return buf;
+    }
+    std::snprintf(
+        buf, sizeof(buf),
+        "livephase_session_intervals_total{session=\"%llu\"} %llu\n"
+        "livephase_session_predictions_total{session=\"%llu\"} "
+        "%llu\n"
+        "livephase_session_mispredictions_total{session=\"%llu\"} "
+        "%llu\n"
+        "livephase_session_transitions_total{session=\"%llu\"} "
+        "%llu\n"
+        "livephase_session_hit_rate{session=\"%llu\"} %.6f\n",
+        static_cast<unsigned long long>(session->id()),
+        static_cast<unsigned long long>(
+            session->intervalsProcessed()),
+        static_cast<unsigned long long>(session->id()),
+        static_cast<unsigned long long>(session->predictions()),
+        static_cast<unsigned long long>(session->id()),
+        static_cast<unsigned long long>(session->mispredictions()),
+        static_cast<unsigned long long>(session->id()),
+        static_cast<unsigned long long>(session->transitions()),
+        static_cast<unsigned long long>(session->id()),
+        session->hitRate());
+    return buf;
 }
 
 } // namespace livephase::service

@@ -31,6 +31,7 @@
 
 #include "admission/admission.hh"
 #include "common/buffer_pool.hh"
+#include "obs/watchdog.hh"
 #include "service/protocol.hh"
 #include "service/request_queue.hh"
 #include "service/service_stats.hh"
@@ -67,6 +68,21 @@ class LivePhaseService
          *  throttling, src/admission/). Disabled by default: no
          *  controller thread, no admission check on submit. */
         admission::AdmissionConfig admission{};
+
+        /** SLO watchdog (obs/watchdog.hh). Disabled by default: no
+         *  evaluation thread, no time-series rotation driver. */
+        struct WatchdogSettings
+        {
+            bool enabled = false;
+
+            /** Rule spec in the watchdog grammar; empty = built-in
+             *  defaults. fatal() at construction on a malformed
+             *  spec — a typo'd SLO must not silently disarm. */
+            std::string rules;
+
+            /** Evaluation + rotation cadence. */
+            uint64_t eval_interval_ns = 1'000'000'000;
+        } watchdog{};
     };
 
     /** Default Config: deployed pipeline, 2 workers, queue 256. */
@@ -163,6 +179,9 @@ class LivePhaseService
         return admit_ctl.get();
     }
 
+    /** The SLO watchdog; nullptr when disabled. */
+    obs::Watchdog *watchdog() { return slo_watchdog.get(); }
+
     /** Stop accepting work, drain the queue, join workers.
      *  Idempotent; the destructor calls it. */
     void stop();
@@ -189,6 +208,13 @@ class LivePhaseService
      *  wire its signals to this service's queue/counters/obs. */
     void initAdmission();
 
+    /** Build + start the SLO watchdog (when cfg.watchdog.enabled). */
+    void initWatchdog();
+
+    /** Phase-telemetry response body for QueryPhases. */
+    std::string phasesText(uint64_t session_id,
+                           uint16_t raw_format, Status &status);
+
     /** handleFrameInto with the submit-time timestamp (0 =
      *  unqueued); annotates the request's trace span with its
      *  queue wait. `pre_admitted` marks frames that already passed
@@ -213,6 +239,7 @@ class LivePhaseService
     SessionManager manager;
     BoundedMpmcQueue<Request> queue;
     std::unique_ptr<admission::AdmissionControl> admit_ctl;
+    std::unique_ptr<obs::Watchdog> slo_watchdog;
     /** EWMA of handleFrameInto latency, µs (relaxed; advisory). */
     std::atomic<double> handle_ewma_us{0.0};
     std::vector<std::thread> pool;

@@ -1,6 +1,8 @@
 #include "service/session.hh"
 
 #include "common/logging.hh"
+#include "fault/failpoint.hh"
+#include "obs/phase_telemetry.hh"
 #include "obs/span.hh"
 
 namespace livephase::service
@@ -85,6 +87,23 @@ Session::processBatch(RecordView records, ResultSpan results)
         }
     }
 
+    // Phase-quality telemetry rides the batch on the stack and is
+    // flushed once (obs/phase_telemetry.hh) — no per-interval
+    // atomics, nothing when telemetry is off.
+    const bool telemetry = obs::enabled();
+    obs::PhaseBatchDelta delta;
+
+    // Failpoint "obs.accuracy": Error scrambles every prediction in
+    // the batch to the "next phase up", collapsing predictor
+    // accuracy without touching classification — the chaos suite
+    // uses it to prove the watchdog's accuracy-collapse rule fires.
+    const bool scramble = [] {
+        if (auto f = FAULT_POINT("obs.accuracy"))
+            return f.action == fault::Action::Error;
+        return false;
+    }();
+    const int num_phases = classes.numPhases();
+
     uint64_t transitions = 0, mispredictions = 0, predictions = 0;
     {
         OBS_SPAN("core.predict");
@@ -93,8 +112,11 @@ Session::processBatch(RecordView records, ResultSpan results)
         for (size_t i = 0; i < records.size(); ++i) {
             const PhaseId observed = scratch_samples[i].phase;
             if (last_observed != INVALID_PHASE &&
-                observed != last_observed)
+                observed != last_observed) {
                 ++transitions;
+                if (telemetry)
+                    delta.addTransition(last_observed, observed);
+            }
             if (last_predicted != INVALID_PHASE) {
                 ++predictions;
                 if (last_predicted != observed)
@@ -102,29 +124,50 @@ Session::processBatch(RecordView records, ResultSpan results)
             }
             last_observed = observed;
             PhaseId next = scratch_predictions[i];
+            if (scramble)
+                next = (observed % num_phases) + 1;
             last_predicted = next;
             if (next == INVALID_PHASE)
                 next = observed; // cold-start reactive fallback
             results[i].predicted_next = next;
+            if (telemetry)
+                delta.addResidency(observed);
         }
     }
 
     {
         OBS_SPAN("core.policy");
-        for (IntervalResult &res : results)
+        for (IntervalResult &res : results) {
             res.dvfs_index = static_cast<uint32_t>(
                 pol.settingForPhase(res.predicted_next));
+            if (telemetry)
+                delta.addDvfsAction(res.dvfs_index);
+        }
     }
 
-    if (obs::enabled() && !records.empty()) {
+    if (telemetry && !records.empty()) {
         CoreCounters &core = CoreCounters::get();
         core.classified.inc(records.size());
         core.transitions.inc(transitions);
         core.predictions.inc(predictions);
         core.mispredictions.inc(mispredictions);
+        delta.classified = records.size();
+        delta.predictions = predictions;
+        delta.mispredictions = mispredictions;
+        delta.transitions = transitions;
+        obs::PhaseTelemetry::global().recordBatch(delta);
     }
 
     processed.fetch_add(records.size(), std::memory_order_relaxed);
+    if (predictions)
+        pred_total.fetch_add(predictions,
+                             std::memory_order_relaxed);
+    if (mispredictions)
+        miss_total.fetch_add(mispredictions,
+                             std::memory_order_relaxed);
+    if (transitions)
+        trans_total.fetch_add(transitions,
+                              std::memory_order_relaxed);
 }
 
 std::vector<IntervalResult>

@@ -87,6 +87,36 @@ class Session
         return processed.load(std::memory_order_relaxed);
     }
 
+    /** Predictions scored so far (intervals where a prior
+     *  prediction existed to compare against). */
+    uint64_t predictions() const
+    {
+        return pred_total.load(std::memory_order_relaxed);
+    }
+
+    /** Scored predictions that were wrong. */
+    uint64_t mispredictions() const
+    {
+        return miss_total.load(std::memory_order_relaxed);
+    }
+
+    /** Observed phase changes. */
+    uint64_t transitions() const
+    {
+        return trans_total.load(std::memory_order_relaxed);
+    }
+
+    /** Prediction hit rate since open; 1.0 before any scoring. */
+    double hitRate() const
+    {
+        const uint64_t p = predictions();
+        const uint64_t m = mispredictions();
+        if (p == 0)
+            return 1.0;
+        return static_cast<double>(p > m ? p - m : 0) /
+            static_cast<double>(p);
+    }
+
     /** Idle-tracking timestamp (manager clock, ns). */
     uint64_t lastActiveNs() const
     {
@@ -116,6 +146,11 @@ class Session
     std::vector<PhaseId> scratch_predictions;
     std::atomic<uint64_t> last_active{0};
     std::atomic<uint64_t> processed{0};
+    /** Cumulative predictor-quality counters (relaxed; read by the
+     *  query-phases per-session detail path). */
+    std::atomic<uint64_t> pred_total{0};
+    std::atomic<uint64_t> miss_total{0};
+    std::atomic<uint64_t> trans_total{0};
 };
 
 } // namespace livephase::service

@@ -7,6 +7,7 @@
 #include "fault/failpoint.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/runtime.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 #include "core/last_value_predictor.hh"
 #include "core/set_assoc_gpht_predictor.hh"
@@ -157,6 +158,12 @@ SessionManager::open(PredictorKind kind)
         shard.lru.pop_back();
         if (stats)
             stats->sessionEvicted();
+        // Windowed twin of the cumulative counter — what the SLO
+        // watchdog's eviction-storm rate rule evaluates.
+        static obs::WindowedCounter &evict_window =
+            obs::TimeSeriesRegistry::global().counter(
+                "service.evictions");
+        evict_window.inc();
         obs::FlightRecorder::global().record(
             obs::Severity::Warn, "session.evicted",
             {{"victim", victim}, {"for", id}});

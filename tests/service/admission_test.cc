@@ -124,6 +124,46 @@ TEST(Ratekeeper, DepthTriggersDecreaseBeforeWaitsDo)
     EXPECT_LT(keeper.budget(), cfg.max_budget);
 }
 
+TEST(Ratekeeper, StaleWaitDecaysWhenQueueEmpty)
+{
+    RatekeeperConfig cfg;
+    cfg.sample_period_ms = 0;
+    cfg.target_wait_ms = 5.0;
+
+    uint64_t now_ns = 0;
+    TagThrottler tags({}, cfg.max_budget, [&] { return now_ns; });
+    uint64_t wait_count = 0;
+    double wait_sum = 0.0;
+    size_t depth = 0;
+    Signals sig;
+    sig.queue_wait = [&] {
+        return std::pair<uint64_t, double>{wait_count, wait_sum};
+    };
+    sig.queue_depth = [&] { return depth; };
+    sig.queue_capacity = [] { return size_t{100}; };
+    Ratekeeper keeper(cfg, std::move(sig), tags,
+                      [&] { return now_ns; });
+
+    // One congested tick: completions reporting 40 ms waits.
+    wait_count = 100;
+    wait_sum = 100 * 0.040;
+    now_ns += 100'000'000;
+    keeper.sampleOnce();
+    EXPECT_GT(keeper.estimatedWaitMs(), 10.0);
+
+    // Then silence with an empty queue: nothing admitted, nothing
+    // completing. An empty queue cannot be slow — the estimate must
+    // decay instead of freezing at the panic value (a frozen
+    // estimate above a tag's deadline would blackhole that tag:
+    // deadline drops starve completions, and completions are the
+    // only thing that refreshes the estimate).
+    for (int i = 0; i < 40; ++i) {
+        now_ns += 100'000'000;
+        keeper.sampleOnce();
+    }
+    EXPECT_LT(keeper.estimatedWaitMs(), 1.0);
+}
+
 // --- tag throttler: fairness, priority, deadlines ----------------
 
 TEST(TagThrottler, EqualTagsSplitBudgetFairly)
@@ -225,6 +265,35 @@ TEST(TagThrottler, DeadlineAwareEarlyDrop)
     ASSERT_NE(rt, rows.end());
     EXPECT_EQ(rt->shed_deadline, 1u);
     EXPECT_EQ(rt->admitted, 1u);
+}
+
+TEST(TagThrottler, StaleWindowedTailUnlatches)
+{
+    const std::vector<TagPolicy> policies = {
+        {"stale", 1, Priority::Interactive, 1.0, 50.0},
+    };
+    uint64_t now_ns = 0;
+    TagThrottler tags(policies, 1e6, [&] { return now_ns; });
+
+    // A burst of over-deadline waits lands in the window...
+    for (int i = 0; i < 64; ++i)
+        tags.recordQueueWait(1, 80.0);
+    tags.tickDemand(0.01);
+    // ...and the cached tail now sheds everything for the tag even
+    // with a quiet controller estimate.
+    EXPECT_FALSE(tags.decide(1, 0.0).admit);
+
+    // Shedding means no fresh waits. The cached tail must decay
+    // tick over tick instead of holding the pre-drop value for the
+    // full 10 s window — a closed-loop tenant could otherwise never
+    // recover (its own drop starves the window that gates it).
+    int ticks = 0;
+    while (!tags.decide(1, 0.0).admit && ticks < 50) {
+        tags.tickDemand(0.01);
+        ++ticks;
+    }
+    // 80 ms * 0.8^k drops below the 50 ms deadline at k = 3.
+    EXPECT_LT(ticks, 10);
 }
 
 // --- chaos: blind controller degrades instead of wedging ---------

@@ -149,6 +149,66 @@ TEST(ObsIntegration, QueryMetricsOverUds)
     server.stop();
 }
 
+TEST(ObsIntegration, QueryPhasesFleetAndPerSession)
+{
+    ScopedObsEnable on;
+    LivePhaseService svc;
+    InProcessTransport transport(svc);
+    ServiceClient client(transport);
+
+    const auto open = client.open(PredictorKind::Gpht);
+    ASSERT_EQ(open.status, Status::Ok);
+    ASSERT_EQ(client.submitBatchRetrying(open.session_id,
+                                         makeStream(128))
+                  .status,
+              Status::Ok);
+
+    // Fleet scope (session_id 0): the process-global telemetry
+    // plane, JSON and Prometheus flavors.
+    const auto fleet_json = client.queryPhases(
+        0, static_cast<uint16_t>(obs::ExpositionFormat::Jsonl));
+    ASSERT_EQ(fleet_json.status, Status::Ok);
+    EXPECT_NE(fleet_json.text.find("\"hit_rate\""),
+              std::string::npos);
+    EXPECT_NE(fleet_json.text.find("\"hit_rate_10s\""),
+              std::string::npos);
+
+    const auto fleet_prom = client.queryPhases(
+        0,
+        static_cast<uint16_t>(obs::ExpositionFormat::Prometheus));
+    ASSERT_EQ(fleet_prom.status, Status::Ok);
+    EXPECT_NE(fleet_prom.text.find("livephase_phase_hit_rate"),
+              std::string::npos);
+
+    // Per-session scope: predictor-quality detail for the live
+    // session, with the volume we just pushed through it.
+    const auto session_json = client.queryPhases(
+        open.session_id,
+        static_cast<uint16_t>(obs::ExpositionFormat::Jsonl));
+    ASSERT_EQ(session_json.status, Status::Ok);
+    EXPECT_NE(session_json.text.find(
+                  "\"session\": " +
+                  std::to_string(open.session_id)),
+              std::string::npos);
+    EXPECT_NE(session_json.text.find("\"intervals\": 128"),
+              std::string::npos);
+
+    const auto session_prom = client.queryPhases(
+        open.session_id,
+        static_cast<uint16_t>(obs::ExpositionFormat::Prometheus));
+    ASSERT_EQ(session_prom.status, Status::Ok);
+    EXPECT_NE(session_prom.text.find(
+                  "livephase_session_hit_rate"),
+              std::string::npos);
+
+    // A session id nobody opened: UnknownSession, empty body.
+    const auto missing = client.queryPhases(
+        open.session_id + 999,
+        static_cast<uint16_t>(obs::ExpositionFormat::Jsonl));
+    EXPECT_EQ(missing.status, Status::UnknownSession);
+    EXPECT_TRUE(missing.text.empty());
+}
+
 TEST(ObsIntegration, MalformedFrameAutoDumpCarriesSpanContext)
 {
     ScopedObsEnable on;
