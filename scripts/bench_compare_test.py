@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench_compare.py regression gate.
+
+Stdlib-only (unittest + tempfile); registered in ctest as
+`bench_compare_unit` and run in the quick CI job, because the gate
+itself guards every perf-sensitive merge and must not rot.
+
+bench_compare.py reports problems via sys.exit: exit code 1 for a
+metric regression, and exit with a *message* (code 2 semantics via
+argparse, or SystemExit(str)) for malformed input. The tests drive
+main() in-process and assert on the SystemExit payload.
+"""
+
+import contextlib
+import importlib.util
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare", os.path.join(_HERE, "bench_compare.py"))
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_compare)
+
+
+def result_doc(metrics, compare=None, directions=None,
+               bench="bench_obs_overhead", schema=1):
+    doc = {
+        "schema": schema,
+        "bench": bench,
+        "config": {},
+        "metrics": metrics,
+        "compare": sorted(metrics) if compare is None else compare,
+    }
+    if directions is not None:
+        doc["directions"] = directions
+    return doc
+
+
+class GateHarness(unittest.TestCase):
+    """Writes doc pairs to temp files and runs main() in-process."""
+
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self._dir.name, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            if isinstance(doc, str):
+                fh.write(doc)
+            else:
+                json.dump(doc, fh)
+        return path
+
+    def run_gate(self, baseline, current, *extra):
+        argv = ["bench_compare.py",
+                self.write("baseline.json", baseline),
+                self.write("current.json", current), *extra]
+        stdout, stderr = io.StringIO(), io.StringIO()
+        old_argv, sys.argv = sys.argv, argv
+        try:
+            with contextlib.redirect_stdout(stdout), \
+                 contextlib.redirect_stderr(stderr):
+                try:
+                    code = bench_compare.main()
+                except SystemExit as exc:
+                    code = exc.code
+        finally:
+            sys.argv = old_argv
+        return code, stdout.getvalue(), stderr.getvalue()
+
+
+class TestRegressionGate(GateHarness):
+
+    def test_identical_results_pass(self):
+        doc = result_doc({"overhead_fraction": 0.10},
+                         directions={"overhead_fraction": "lower"})
+        code, out, _ = self.run_gate(doc, doc)
+        self.assertEqual(code, 0)
+        self.assertIn("within tolerance", out)
+
+    def test_20_percent_regression_fails_lower_is_better(self):
+        # 0.50 -> 0.65: +30% on a lower-is-better metric, well past
+        # the 20% relative budget and the 0.02 absolute floor.
+        base = result_doc({"overhead_fraction": 0.50},
+                          directions={"overhead_fraction": "lower"})
+        cur = result_doc({"overhead_fraction": 0.65},
+                         directions={"overhead_fraction": "lower"})
+        code, out, err = self.run_gate(base, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("overhead_fraction", err)
+
+    def test_20_percent_regression_fails_higher_is_better(self):
+        base = result_doc({"speedup": 4.0},
+                          directions={"speedup": "higher"})
+        cur = result_doc({"speedup": 3.0},
+                         directions={"speedup": "higher"})
+        code, _, err = self.run_gate(base, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("speedup", err)
+
+    def test_within_tolerance_passes(self):
+        # -10% on higher-is-better: inside the 20% budget.
+        base = result_doc({"speedup": 4.0},
+                          directions={"speedup": "higher"})
+        cur = result_doc({"speedup": 3.6},
+                         directions={"speedup": "higher"})
+        code, out, _ = self.run_gate(base, cur)
+        self.assertEqual(code, 0)
+        self.assertIn("ok", out)
+
+    def test_improvement_never_fails(self):
+        base = result_doc({"overhead_fraction": 0.50},
+                          directions={"overhead_fraction": "lower"})
+        cur = result_doc({"overhead_fraction": 0.10},
+                         directions={"overhead_fraction": "lower"})
+        code, _, _ = self.run_gate(base, cur)
+        self.assertEqual(code, 0)
+
+    def test_abs_slack_shields_near_zero_metrics(self):
+        # 0.005 -> 0.015 is a 200% relative move but within the 0.02
+        # absolute floor — the documented noise shield.
+        base = result_doc({"overhead_fraction": 0.005},
+                          directions={"overhead_fraction": "lower"})
+        cur = result_doc({"overhead_fraction": 0.015},
+                         directions={"overhead_fraction": "lower"})
+        code, _, _ = self.run_gate(base, cur)
+        self.assertEqual(code, 0)
+        # ... and tightening the floor exposes it again.
+        code, _, _ = self.run_gate(base, cur, "--abs-slack", "0.001")
+        self.assertEqual(code, 1)
+
+    def test_custom_tolerance_flag(self):
+        base = result_doc({"speedup": 10.0},
+                          directions={"speedup": "higher"})
+        cur = result_doc({"speedup": 9.0},
+                         directions={"speedup": "higher"})
+        code, _, _ = self.run_gate(base, cur, "--tolerance", "0.05")
+        self.assertEqual(code, 1)
+        code, _, _ = self.run_gate(base, cur, "--tolerance", "0.20")
+        self.assertEqual(code, 0)
+
+    def test_exact_count_metric_zero_allocs(self):
+        # bench_pipeline_allocs gates allocations == 0; any nonzero
+        # count must trip (0.02 abs slack < 1 alloc).
+        base = result_doc({"allocs_per_request": 0.0},
+                          directions={"allocs_per_request": "lower"})
+        cur = result_doc({"allocs_per_request": 1.0},
+                         directions={"allocs_per_request": "lower"})
+        code, _, _ = self.run_gate(base, cur)
+        self.assertEqual(code, 1)
+
+    def test_uncompared_metrics_are_informational(self):
+        # Only "compare"-listed metrics gate; the absolute rate may
+        # swing freely.
+        base = result_doc(
+            {"overhead_fraction": 0.10, "rate_per_sec": 100.0},
+            compare=["overhead_fraction"],
+            directions={"overhead_fraction": "lower"})
+        cur = result_doc(
+            {"overhead_fraction": 0.10, "rate_per_sec": 5.0},
+            compare=["overhead_fraction"],
+            directions={"overhead_fraction": "lower"})
+        code, _, _ = self.run_gate(base, cur)
+        self.assertEqual(code, 0)
+
+
+class TestMalformedInput(GateHarness):
+
+    def assert_usage_error(self, code, fragment):
+        # sys.exit(str) carries the message as the code payload.
+        self.assertIsInstance(code, str)
+        self.assertIn(fragment, code)
+
+    def test_metric_missing_from_current_result_fails(self):
+        base = result_doc({"speedup": 4.0},
+                          directions={"speedup": "higher"})
+        cur = result_doc({"other": 1.0}, compare=["other"])
+        cur["bench"] = base["bench"]
+        code, _, err = self.run_gate(base, cur)
+        self.assertEqual(code, 1)
+        self.assertIn("missing from current result", err)
+
+    def test_metric_missing_from_baseline_is_usage_error(self):
+        base = result_doc({"speedup": 4.0}, compare=["ghost"])
+        cur = result_doc({"speedup": 4.0}, compare=["ghost"])
+        code, _, _ = self.run_gate(base, cur)
+        self.assert_usage_error(code, "baseline lacks metric ghost")
+
+    def test_malformed_json_rejected(self):
+        good = result_doc({"speedup": 4.0})
+        code, _, _ = self.run_gate("{not json", good)
+        self.assert_usage_error(code, "cannot read")
+
+    def test_missing_required_key_rejected(self):
+        good = result_doc({"speedup": 4.0})
+        bad = result_doc({"speedup": 4.0})
+        del bad["compare"]
+        code, _, _ = self.run_gate(bad, good)
+        self.assert_usage_error(code, "missing 'compare'")
+
+    def test_unsupported_schema_rejected(self):
+        good = result_doc({"speedup": 4.0})
+        bad = result_doc({"speedup": 4.0}, schema=2)
+        code, _, _ = self.run_gate(bad, good)
+        self.assert_usage_error(code, "unsupported schema")
+
+    def test_mismatched_bench_names_rejected(self):
+        base = result_doc({"speedup": 4.0}, bench="bench_a")
+        cur = result_doc({"speedup": 4.0}, bench="bench_b")
+        code, _, _ = self.run_gate(base, cur)
+        self.assert_usage_error(code, "bench_a")
+
+    def test_bad_direction_rejected(self):
+        base = result_doc({"speedup": 4.0},
+                          directions={"speedup": "sideways"})
+        cur = result_doc({"speedup": 4.0},
+                         directions={"speedup": "sideways"})
+        code, _, _ = self.run_gate(base, cur)
+        self.assert_usage_error(code, "bad direction")
+
+    def test_nonexistent_file_rejected(self):
+        good = self.write("ok.json", result_doc({"speedup": 1.0}))
+        argv = ["bench_compare.py", "/nonexistent/base.json", good]
+        old_argv, sys.argv = sys.argv, argv
+        try:
+            with contextlib.redirect_stdout(io.StringIO()), \
+                 contextlib.redirect_stderr(io.StringIO()):
+                with self.assertRaises(SystemExit) as ctx:
+                    bench_compare.main()
+        finally:
+            sys.argv = old_argv
+        self.assert_usage_error(ctx.exception.code, "cannot read")
+
+
+if __name__ == "__main__":
+    unittest.main()

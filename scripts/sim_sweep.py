@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Seed sweep over the deterministic simulator (DESIGN.md §17).
+
+Runs `sim_runner --replay-check` across a seed range x node counts x
+scenarios, and on any failure reproduces the run with --events-out to
+capture the failing seed's artifact bundle: the event log (JSONL),
+the run digest, sim_runner's full stdout, and the exact one-line
+replay command. The nightly sim-sweep workflow uploads that bundle,
+so a red nightly is a `git clone && <replay command>` away from a
+local, bit-identical reproduction.
+
+Usage:
+    sim_sweep.py --runner build/tools/sim_runner
+                 [--seed-base N] [--seeds 200]
+                 [--nodes 1,3] [--scenarios steady,partition,churn]
+                 [--artifacts DIR] [--jobs J]
+
+The seed base shifts nightly (the workflow passes the run id), so
+the sweep walks fresh seed space on every run while any failure
+stays replayable forever — the seed is in the artifact.
+
+Exit status: 0 = all runs clean, 1 = at least one failure.
+Stdlib only; runs are independent processes, so --jobs parallelism
+cannot perturb determinism.
+"""
+
+import argparse
+import concurrent.futures
+import os
+import subprocess
+import sys
+
+
+class Run:
+    __slots__ = ("seed", "nodes", "scenario", "canary")
+
+    def __init__(self, seed, nodes, scenario, canary=False):
+        self.seed = seed
+        self.nodes = nodes
+        self.scenario = scenario
+        self.canary = canary
+
+    def name(self):
+        tag = "-canary" if self.canary else ""
+        return f"seed{self.seed}-n{self.nodes}-{self.scenario}{tag}"
+
+    def argv(self, runner, extra=()):
+        argv = [runner, "--seed", str(self.seed),
+                "--nodes", str(self.nodes),
+                "--scenario", self.scenario, "--replay-check"]
+        if self.canary:
+            argv.append("--canary")
+        argv.extend(extra)
+        return argv
+
+    def replay_command(self):
+        cmd = (f"sim_runner --seed {self.seed} "
+               f"--nodes {self.nodes} --scenario {self.scenario}")
+        if self.canary:
+            cmd += " --canary"
+        return cmd
+
+
+def execute(runner, run, timeout):
+    proc = subprocess.run(run.argv(runner), capture_output=True,
+                          text=True, timeout=timeout)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def capture_artifact(runner, run, output, artifacts_dir, timeout):
+    os.makedirs(artifacts_dir, exist_ok=True)
+    stem = os.path.join(artifacts_dir, run.name())
+    events = stem + ".events.jsonl"
+    # Re-run with --events-out; determinism means this reproduces
+    # the failing run exactly (and if it doesn't, that divergence is
+    # itself the bug, visible as differing digests in the two logs).
+    repro = subprocess.run(
+        run.argv(runner, ("--events-out", events)),
+        capture_output=True, text=True, timeout=timeout)
+    with open(stem + ".log", "w", encoding="utf-8") as fh:
+        fh.write("=== first (failing) run ===\n")
+        fh.write(output)
+        fh.write("\n=== artifact re-run ===\n")
+        fh.write(repro.stdout + repro.stderr)
+    with open(stem + ".replay", "w", encoding="utf-8") as fh:
+        fh.write(run.replay_command() + "\n")
+    return stem
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Sweep sim_runner over seeds; capture failing-"
+                    "seed artifacts.")
+    parser.add_argument("--runner",
+                        default="build/tools/sim_runner")
+    parser.add_argument("--seed-base", type=int, default=1)
+    parser.add_argument("--seeds", type=int, default=200,
+                        help="seeds per (nodes, scenario) cell are "
+                             "drawn round-robin from this many "
+                             "consecutive values (default 200)")
+    parser.add_argument("--nodes", default="1,3")
+    parser.add_argument("--scenarios",
+                        default="steady,partition,churn")
+    parser.add_argument("--artifacts", default="sim-artifacts")
+    parser.add_argument("--jobs", type=int,
+                        default=os.cpu_count() or 2)
+    parser.add_argument("--timeout", type=int, default=120,
+                        help="per-run wall timeout, seconds")
+    parser.add_argument("--canary", action="store_true",
+                        help="arm the duplicate-delivery canary on "
+                             "every run: each must then FAIL, and "
+                             "the sweep's failure/artifact path is "
+                             "what is under test (CI inverts the "
+                             "exit status)")
+    args = parser.parse_args()
+
+    if not os.access(args.runner, os.X_OK):
+        sys.exit(f"sim_sweep: runner not executable: {args.runner}")
+
+    node_counts = [int(n) for n in args.nodes.split(",") if n]
+    scenarios = [s for s in args.scenarios.split(",") if s]
+    cells = [(n, s) for n in node_counts for s in scenarios]
+
+    # Spread the seed range across the (nodes, scenario) grid
+    # round-robin: every seed value runs exactly once, every cell
+    # sees ~seeds/len(cells) distinct seeds.
+    runs = [Run(args.seed_base + i, *cells[i % len(cells)],
+                canary=args.canary)
+            for i in range(args.seeds)]
+
+    print(f"sim_sweep: {len(runs)} runs "
+          f"(seeds {args.seed_base}..{args.seed_base + args.seeds - 1}, "
+          f"nodes {node_counts}, scenarios {scenarios}, "
+          f"jobs {args.jobs})")
+
+    failures = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = {pool.submit(execute, args.runner, run,
+                               args.timeout): run for run in runs}
+        done = 0
+        for future in concurrent.futures.as_completed(futures):
+            run = futures[future]
+            done += 1
+            try:
+                code, output = future.result()
+            except subprocess.TimeoutExpired:
+                code, output = -1, "TIMEOUT\n"
+            if code != 0:
+                failures.append((run, code, output))
+                print(f"[{done}/{len(runs)}] FAIL {run.name()} "
+                      f"(exit {code})")
+            elif done % 25 == 0 or done == len(runs):
+                print(f"[{done}/{len(runs)}] ok through "
+                      f"{run.name()}")
+
+    if not failures:
+        print(f"sim_sweep: all {len(runs)} runs clean")
+        return 0
+
+    print(f"sim_sweep: {len(failures)} failure(s); capturing "
+          f"artifacts to {args.artifacts}/", file=sys.stderr)
+    for run, code, output in failures:
+        stem = capture_artifact(args.runner, run, output,
+                                args.artifacts, args.timeout)
+        print(f"  {run.name()}: exit {code}", file=sys.stderr)
+        print(f"    artifact: {stem}.{{log,events.jsonl,replay}}",
+              file=sys.stderr)
+        print(f"    replay:   {run.replay_command()}",
+              file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,23 +3,29 @@
 # test suite (which includes the bench_service_throughput_ci and
 # bench_obs_overhead_ci gates).
 #
-# Usage: scripts/verify.sh [--tsan] [--asan] [build-dir]
+# Usage: scripts/verify.sh [--tsan] [--asan] [--sim] [build-dir]
 #
 # --tsan additionally builds a ThreadSanitizer configuration and
 # runs the concurrency-sensitive suites (service + obs + chaos)
 # under it.
 # --asan additionally builds an AddressSanitizer+UBSan
 # configuration and runs the same suites plus the fault tests.
+# --sim additionally runs the deterministic-simulation slice: the
+# `sim` ctest label, the canary self-check (the invariant detector
+# must catch a forced duplicate) and a small seed sweep through
+# scripts/sim_sweep.py. The nightly workflow runs the wide sweep.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 TSAN=0
 ASAN=0
+SIM=0
 while [ $# -gt 0 ]; do
     case "$1" in
       --tsan) TSAN=1; shift ;;
       --asan) ASAN=1; shift ;;
+      --sim) SIM=1; shift ;;
       *) break ;;
     esac
 done
@@ -50,6 +56,18 @@ $RETRY "$BUILD_DIR"/bench/bench_obs_overhead --check --watchdog \
 $RETRY "$BUILD_DIR"/bench/bench_trace_overhead --check
 "$BUILD_DIR"/bench/bench_pipeline_allocs --check
 $RETRY "$BUILD_DIR"/bench/bench_admission_goodput --check
+
+if [ "$SIM" = 1 ]; then
+    # The sim label re-runs fast (3-seed smoke replays); then the
+    # canary proves the invariant checker detects what it claims to,
+    # and a 30-seed sweep slice walks fresh seed space.
+    (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS" -L sim)
+    "$BUILD_DIR"/tools/sim_runner --seed 7 --scenario steady \
+        --canary --expect-violation
+    python3 scripts/sim_sweep.py \
+        --runner "$BUILD_DIR"/tools/sim_runner \
+        --seed-base "$(date +%j)00" --seeds 30 --jobs "$JOBS"
+fi
 
 if [ "$ASAN" = 1 ]; then
     ASAN_DIR="${BUILD_DIR}-asan"

@@ -71,8 +71,21 @@ Ratekeeper::Ratekeeper(const RatekeeperConfig &config,
 {
     // Baseline for the first tick's dt — without it the first
     // sample would difference against time zero (or a guessed
-    // period) and mis-scale every rate it derives.
+    // period) and mis-scale every rate it derives. The cumulative
+    // signals are baselined the same way: the wait histogram and
+    // eviction counters are process-global, so a keeper constructed
+    // into a warm process (a second service instance, a sim replay)
+    // must not read their whole history as its first tick's delta.
     last_tick_ns = clock();
+    if (signals.queue_wait) {
+        const auto [count, sum] = signals.queue_wait();
+        last_wait_count = count;
+        last_wait_sum = sum;
+    }
+    if (signals.evictions)
+        last_evictions = signals.evictions();
+    if (signals.pool_exhausted)
+        last_pool_exhausted = signals.pool_exhausted();
     KeeperMetrics::instance().budget.set(cfg.max_budget);
 }
 

@@ -1,0 +1,84 @@
+#include "common/clock.hh"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace livephase::timebase
+{
+
+namespace
+{
+
+uint64_t
+wallSteadyNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+wallSleepNs(uint64_t ns)
+{
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+std::atomic<NowFn> g_now{&wallSteadyNowNs};
+std::atomic<SleepFn> g_sleep{&wallSleepNs};
+std::atomic<bool> g_virtual{false};
+
+} // namespace
+
+uint64_t
+nowNs()
+{
+    return g_now.load(std::memory_order_relaxed)();
+}
+
+void
+sleepNs(uint64_t ns)
+{
+    g_sleep.load(std::memory_order_relaxed)(ns);
+}
+
+void
+installVirtual(NowFn now, SleepFn sleep)
+{
+    if (now == nullptr || sleep == nullptr)
+        panic("timebase::installVirtual: null source");
+    if (g_virtual.exchange(true))
+        panic("timebase::installVirtual: already virtualized");
+    g_now.store(now, std::memory_order_relaxed);
+    g_sleep.store(sleep, std::memory_order_relaxed);
+}
+
+void
+resetToWall()
+{
+    g_now.store(&wallSteadyNowNs, std::memory_order_relaxed);
+    g_sleep.store(&wallSleepNs, std::memory_order_relaxed);
+    g_virtual.store(false, std::memory_order_relaxed);
+}
+
+bool
+virtualized()
+{
+    return g_virtual.load(std::memory_order_relaxed);
+}
+
+uint64_t
+wallNowNs()
+{
+#ifndef NDEBUG
+    if (virtualized())
+        panic("timebase::wallNowNs: wall-clock read under virtual "
+              "time (mixed-clock use on a simulated path)");
+#endif
+    return wallSteadyNowNs();
+}
+
+} // namespace livephase::timebase

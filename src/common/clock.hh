@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The process-wide time seam: every time-driven path in livephase
+ * (obs::monoNowNs, client deadlines/backoff, failpoint delays, TTL
+ * eviction, ratekeeper ticks, windowed-series rotation) reads "now"
+ * and sleeps through this indirection instead of touching
+ * std::chrono directly.
+ *
+ * By default the seam reads the monotonic steady clock and sleeps
+ * for real — exactly the previous behaviour, at the cost of one
+ * relaxed atomic load of a function pointer (the same discipline as
+ * obs::enabled() and fault::anyArmed()). The deterministic
+ * simulator (src/sim/) installs a virtual source: "now" becomes the
+ * single-threaded event loop's virtual clock and "sleep" advances
+ * it, which is what lets a whole N-node cluster replay
+ * bit-identically from a seed (DESIGN.md §17).
+ *
+ * Mixed-clock guard: code that genuinely needs wall time while a
+ * virtual source is installed must say so via wallNowNs(). In debug
+ * builds wallNowNs() panics when called under virtual time — a
+ * wall-clock read on a simulated path would silently mix the two
+ * timelines (TTLs that never expire, deadlines that pass instantly)
+ * and destroy replay determinism, so it is a bug by definition.
+ */
+
+#ifndef LIVEPHASE_COMMON_CLOCK_HH
+#define LIVEPHASE_COMMON_CLOCK_HH
+
+#include <cstdint>
+
+namespace livephase::timebase
+{
+
+/** Monotonic now-source: nanoseconds since an arbitrary epoch. */
+using NowFn = uint64_t (*)();
+
+/** Sleep-source: block (or virtually advance) for `ns`. */
+using SleepFn = void (*)(uint64_t ns);
+
+/** Monotonic nanoseconds from the installed source (wall steady
+ *  clock by default; the simulator's virtual clock under sim). */
+uint64_t nowNs();
+
+/** Sleep through the installed source. Under the default source
+ *  this is std::this_thread::sleep_for; under simulation it runs
+ *  the event loop forward by `ns` of virtual time instead. */
+void sleepNs(uint64_t ns);
+
+/**
+ * Install a virtual now/sleep source (the simulator's event loop).
+ * Both pointers must be non-null and must outlive the installation;
+ * uninstall with resetToWall(). Not reference-counted — nested
+ * installs are a bug (the simulator is single-threaded and owns the
+ * process while it runs).
+ */
+void installVirtual(NowFn now, SleepFn sleep);
+
+/** Restore the default wall-clock source. */
+void resetToWall();
+
+/** True while a virtual source is installed. */
+bool virtualized();
+
+/**
+ * Read the *wall* steady clock explicitly, bypassing any installed
+ * virtual source. Debug builds panic when a virtual source is
+ * active: under simulation nothing on an audited path may read wall
+ * time (see file comment). Release builds just read the clock.
+ */
+uint64_t wallNowNs();
+
+} // namespace livephase::timebase
+
+#endif // LIVEPHASE_COMMON_CLOCK_HH

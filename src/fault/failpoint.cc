@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "common/clock.hh"
 #include "common/logging.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
@@ -149,8 +150,9 @@ Failpoint::evaluate()
                        {"hit", hit}});
 
     if (outcome.action == Action::Delay && outcome.delay_us > 0)
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(outcome.delay_us));
+        // Seamed sleep: an injected stall advances virtual time
+        // under simulation instead of blocking the event loop.
+        timebase::sleepNs(outcome.delay_us * 1000);
     if (outcome.action == Action::Panic)
         panic("failpoint '%s': injected panic (hit %llu)",
               point_name.c_str(),

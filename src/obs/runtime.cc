@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/clock.hh"
 #include "obs/metrics.hh"
 
 namespace livephase::obs
@@ -23,10 +24,9 @@ setEnabled(bool on)
 uint64_t
 monoNowNs()
 {
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
+    // The time seam (common/clock.hh): wall steady clock by
+    // default, the simulator's virtual clock when one is installed.
+    return timebase::nowNs();
 }
 
 uint64_t

@@ -79,6 +79,14 @@ WindowedHistogram::rotate()
     epoch.store(cur + 1, std::memory_order_release);
 }
 
+void
+WindowedHistogram::resetForTest()
+{
+    for (Histogram &cell : cells)
+        cell.clear();
+    epoch.store(0, std::memory_order_release);
+}
+
 // --- windowed counter --------------------------------------------
 
 uint64_t
@@ -114,6 +122,14 @@ WindowedCounter::rotate()
     const uint64_t cur = epoch.load(std::memory_order_relaxed);
     cells[(cur + 1) % TS_SLOTS].store(0, std::memory_order_relaxed);
     epoch.store(cur + 1, std::memory_order_release);
+}
+
+void
+WindowedCounter::resetForTest()
+{
+    for (std::atomic<uint64_t> &cell : cells)
+        cell.store(0, std::memory_order_relaxed);
+    epoch.store(0, std::memory_order_release);
 }
 
 // --- snapshot ----------------------------------------------------
@@ -247,6 +263,21 @@ size_t
 TimeSeriesRegistry::rotateIfDue()
 {
     return rotateIfDue(monoNowNs());
+}
+
+void
+TimeSeriesRegistry::resetAllForTest()
+{
+    for (Shard &shard : shards) {
+        std::lock_guard lock(shard.mu);
+        for (auto &[name, entry] : shard.series) {
+            if (entry.is_histogram)
+                entry.hist->resetForTest();
+            else
+                entry.counter->resetForTest();
+        }
+    }
+    next_rotation_ns.store(0, std::memory_order_relaxed);
 }
 
 void

@@ -96,6 +96,11 @@ class WindowedHistogram
      *  it live. Called only by the registry's rotation tick. */
     void rotate();
 
+    /** Clear every cell and reset the epoch to 0. NOT safe against
+     *  concurrent record(); single-threaded callers only (the
+     *  simulator between replays, tests). */
+    void resetForTest();
+
     uint64_t currentEpoch() const
     {
         return epoch.load(std::memory_order_relaxed);
@@ -130,6 +135,10 @@ class WindowedCounter
     WindowStats stats(Window w, double slot_seconds) const;
 
     void rotate();
+
+    /** Zero every cell and the epoch; see
+     *  WindowedHistogram::resetForTest for the safety contract. */
+    void resetForTest();
 
     uint64_t currentEpoch() const
     {
@@ -199,6 +208,16 @@ class TimeSeriesRegistry
     /** Slot duration; default 1 s. Tests shrink it to drive windows
      *  quickly. Takes effect at the next rotation. */
     void setSlotDuration(uint64_t ns);
+
+    /**
+     * Reset every registered series (cells cleared, epochs zeroed)
+     * and un-anchor the rotation schedule, WITHOUT invalidating
+     * handed-out series references. The simulator calls this before
+     * each run so a replay inside a warm process starts from the
+     * same window state as a cold one; not safe against concurrent
+     * writers.
+     */
+    void resetAllForTest();
 
     uint64_t slotDurationNs() const
     {

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/clock.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/metrics.hh"
 #include "obs/runtime.hh"
@@ -98,8 +99,9 @@ ServiceClient::backoff(uint64_t &step_us, uint64_t deadline_ns)
         obs::TraceSpan sleep_span("client.backoff");
         if (sleep_span.sampled())
             sleep_span.annotate({"sleep_us", sleep_us});
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(sleep_us));
+        // Seamed sleep: under simulation this advances virtual time
+        // (and runs other actors) instead of blocking the thread.
+        timebase::sleepNs(sleep_us * 1000);
     }
     last_call.backoff_us += sleep_us;
     step_us = std::min(
@@ -421,8 +423,9 @@ ServiceClient::submitBatchRetrying(
         // One-shot client: honor the server's retry-after hint when
         // it sent one; yield otherwise (local service, fast drain).
         if (last_call.retry_hint_ms > 0)
-            std::this_thread::sleep_for(std::chrono::milliseconds(
-                last_call.retry_hint_ms));
+            timebase::sleepNs(
+                static_cast<uint64_t>(last_call.retry_hint_ms) *
+                1'000'000);
         else
             std::this_thread::yield();
     }

@@ -377,7 +377,9 @@ LivePhaseService::handleFrameInto(ByteView request_frame,
     static obs::Histogram &handle_hist =
         obs::spanHistogram("service.handle");
     obs::Span span("service.handle", handle_hist);
-    const auto start = std::chrono::steady_clock::now();
+    // Seamed clock, not steady_clock directly: this latency feeds
+    // retryAfterMs(), which must run on virtual time under sim.
+    const uint64_t start_ns = obs::monoNowNs();
 
     // Request-scoped scratch: the parse's copying-decode fallback
     // and staging draw from a per-thread arena that is reset (not
@@ -440,9 +442,7 @@ LivePhaseService::handleFrameInto(ByteView request_frame,
 
     dispatch(parsed, response);
     const double micros =
-        std::chrono::duration<double, std::micro>(
-            std::chrono::steady_clock::now() - start)
-            .count();
+        static_cast<double>(obs::monoNowNs() - start_ns) / 1e3;
     counters.opLatency(parsed.header.op, micros);
     // Drain-rate estimate behind retryAfterMs(). Racy read-modify-
     // write by design: a lost update skews an advisory EWMA by one

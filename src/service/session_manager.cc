@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/clock.hh"
 #include "common/logging.hh"
 #include "core/gpht_predictor.hh"
 #include "fault/failpoint.hh"
@@ -23,10 +24,9 @@ namespace
 uint64_t
 steadyNowNs()
 {
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
+    // Through the time seam: TTL expiry and LRU idle stamps must
+    // run on virtual time under simulation (common/clock.hh).
+    return timebase::nowNs();
 }
 
 /**

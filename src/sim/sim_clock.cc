@@ -1,0 +1,148 @@
+#include "sim/sim_clock.hh"
+
+#include <thread>
+
+#include "common/clock.hh"
+#include "common/logging.hh"
+
+namespace livephase::sim
+{
+
+namespace
+{
+
+/** The one scheduler currently installed as the process time
+ *  source. Plain pointer, not atomic: the simulator is
+ *  single-threaded by contract, and install() enforces exclusivity
+ *  before any virtual read can happen. */
+SimScheduler *g_active = nullptr;
+
+uint64_t
+virtualNowNs()
+{
+    return g_active->nowNs();
+}
+
+void
+virtualSleepNs(uint64_t ns)
+{
+    // A "blocking" sleep under simulation runs the event loop
+    // forward: other actors' due events fire inside this call, which
+    // is exactly how a blocking thread yields the CPU in a real
+    // process — but in one deterministic total order.
+    g_active->advanceBy(ns);
+}
+
+uint64_t
+threadToken()
+{
+    return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+} // namespace
+
+uint64_t
+stableHash(std::string_view name)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : name) {
+        h ^= static_cast<uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+SimScheduler::SimScheduler(uint64_t seed)
+    : master_seed(seed), owner_thread_token(threadToken())
+{
+}
+
+SimScheduler::~SimScheduler()
+{
+    uninstall();
+}
+
+Rng
+SimScheduler::actorRng(std::string_view name) const
+{
+    return Rng(master_seed).split(stableHash(name));
+}
+
+void
+SimScheduler::assertOwnerThread() const
+{
+#ifndef NDEBUG
+    if (threadToken() != owner_thread_token)
+        panic("SimScheduler: cross-thread use — the simulator is "
+              "single-threaded by contract");
+#endif
+}
+
+void
+SimScheduler::at(uint64_t at_ns, std::function<void()> fn)
+{
+    assertOwnerThread();
+    queue.push(Event{std::max(at_ns, now_ns), next_seq++,
+                     std::move(fn)});
+}
+
+void
+SimScheduler::advanceTo(uint64_t target_ns)
+{
+    assertOwnerThread();
+    // Strictly-earlier nested targets are no-ops (time never moves
+    // backwards). target == now still drains events due *at* now —
+    // at() clamps past schedules there, and runUntil() relies on
+    // advanceTo(top.at_ns) always consuming the top event.
+    if (target_ns < now_ns)
+        return;
+    while (!queue.empty() && queue.top().at_ns <= target_ns) {
+        // Copy out before pop: the callback may schedule (mutating
+        // the queue) or recursively advance (popping from it).
+        Event ev = queue.top();
+        queue.pop();
+        now_ns = std::max(now_ns, ev.at_ns);
+        ++events_run;
+        ev.fn();
+        // A nested advance inside ev.fn() may have moved time past
+        // target_ns already; the loop condition handles it (events
+        // due before now were drained by the nested call).
+    }
+    now_ns = std::max(now_ns, target_ns);
+}
+
+size_t
+SimScheduler::runUntil(uint64_t until_ns)
+{
+    assertOwnerThread();
+    const uint64_t before = events_run;
+    while (!queue.empty() && queue.top().at_ns <= until_ns)
+        advanceTo(queue.top().at_ns);
+    now_ns = std::max(now_ns, until_ns);
+    return static_cast<size_t>(events_run - before);
+}
+
+void
+SimScheduler::install()
+{
+    if (is_installed)
+        return;
+    if (g_active != nullptr)
+        panic("SimScheduler::install: another scheduler is already "
+              "installed");
+    g_active = this;
+    timebase::installVirtual(&virtualNowNs, &virtualSleepNs);
+    is_installed = true;
+}
+
+void
+SimScheduler::uninstall()
+{
+    if (!is_installed)
+        return;
+    timebase::resetToWall();
+    g_active = nullptr;
+    is_installed = false;
+}
+
+} // namespace livephase::sim

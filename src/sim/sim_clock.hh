@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Deterministic discrete-event scheduler — the heart of the
+ * whole-cluster simulator (DESIGN.md §17).
+ *
+ * FDB-style simulation in one process, one thread: virtual time is
+ * an integer, events live in a priority queue ordered by
+ * (time, sequence-number) so ties break deterministically, and all
+ * "randomness" flows from seed-split Rng streams. While a
+ * SimScheduler is installed as the process time source
+ * (common/clock.hh), every seamed path — TTL eviction, client
+ * deadlines/backoff, ratekeeper dt, failpoint delays, windowed
+ * rotation — reads the virtual clock, and every seamed sleep
+ * *advances* it, running whatever events fall due. That reentrancy
+ * is the concurrency model: an actor that "sleeps" inside its
+ * callback yields the loop to other actors, exactly like a blocking
+ * thread yields the CPU, but with one global total order that is a
+ * pure function of the seed.
+ *
+ * Determinism rules (enforced here, documented in DESIGN.md §17):
+ *  - single-threaded: the scheduler records its owning thread and
+ *    (in debug builds) panics on cross-thread use;
+ *  - no wall clock: timebase::wallNowNs() panics under virtual
+ *    time in debug builds;
+ *  - no unseeded randomness: actors draw from actorRng(name)
+ *    streams split from the run seed by a stable FNV-1a hash.
+ */
+
+#ifndef LIVEPHASE_SIM_SIM_CLOCK_HH
+#define LIVEPHASE_SIM_SIM_CLOCK_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string_view>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace livephase::sim
+{
+
+/** Stable 64-bit FNV-1a over a name — the stream-index hash used
+ *  to split per-actor Rng streams from one run seed (the same
+ *  discipline as the failpoint registry). */
+uint64_t stableHash(std::string_view name);
+
+/**
+ * Streaming FNV-1a/64 accumulator — the run digest. Everything a
+ * simulation run observes (event log, final counters, predictor
+ * results, alert sequence) is folded in in a fixed order; two runs
+ * of the same seed must produce the same value bit for bit, which
+ * is the replay invariant sim_runner asserts.
+ */
+struct Fnv64
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+
+    void mixByte(uint8_t b)
+    {
+        h ^= b;
+        h *= 0x100000001b3ULL;
+    }
+
+    /** Fold a 64-bit value, little-endian byte order (the digest
+     *  must not depend on host word layout). */
+    void mix(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            mixByte(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void mix(std::string_view s)
+    {
+        mix(static_cast<uint64_t>(s.size()));
+        for (const char c : s)
+            mixByte(static_cast<uint8_t>(c));
+    }
+};
+
+/**
+ * Virtual-time event loop with a deterministic priority queue.
+ */
+class SimScheduler
+{
+  public:
+    /** Virtual epoch all runs start at: an arbitrary nonzero
+     *  constant so "time zero" arithmetic (TTL windows, EWMA
+     *  baselines) behaves exactly like a long-running process. */
+    static constexpr uint64_t EPOCH_NS = 1'000'000'000'000ULL;
+
+    explicit SimScheduler(uint64_t seed);
+    ~SimScheduler();
+
+    SimScheduler(const SimScheduler &) = delete;
+    SimScheduler &operator=(const SimScheduler &) = delete;
+
+    /** Current virtual time, nanoseconds. */
+    uint64_t nowNs() const { return now_ns; }
+
+    /** Run seed this world was built from. */
+    uint64_t seed() const { return master_seed; }
+
+    /** Private Rng stream for a named actor: split from the run
+     *  seed by a stable hash of the name, so adding an actor never
+     *  perturbs another actor's stream. */
+    Rng actorRng(std::string_view name) const;
+
+    /** Schedule `fn` at absolute virtual time `at_ns` (clamped to
+     *  now — the past is not schedulable). */
+    void at(uint64_t at_ns, std::function<void()> fn);
+
+    /** Schedule `fn` after `delay_ns` of virtual time. */
+    void after(uint64_t delay_ns, std::function<void()> fn)
+    {
+        at(now_ns + delay_ns, std::move(fn));
+    }
+
+    /**
+     * Advance virtual time to `target_ns`, running every event due
+     * on the way in (time, seq) order. Reentrant: an event callback
+     * may advance the clock itself (a seamed sleep); the nested
+     * advance drains due events up to *its* target and returns,
+     * after which the outer advance continues. Time never moves
+     * backwards — a nested target earlier than an outer one simply
+     * returns immediately.
+     */
+    void advanceTo(uint64_t target_ns);
+
+    /** advanceTo(now + delta). */
+    void advanceBy(uint64_t delta_ns) { advanceTo(now_ns + delta_ns); }
+
+    /**
+     * Run events (advancing time to each) until the queue is empty
+     * or `until_ns` is reached, whichever comes first. Returns the
+     * number of events run.
+     */
+    size_t runUntil(uint64_t until_ns);
+
+    /** Events executed so far (the deterministic sequence number). */
+    uint64_t eventsRun() const { return events_run; }
+
+    /** Events currently queued. */
+    size_t pending() const { return queue.size(); }
+
+    /**
+     * Install this scheduler as the process time source
+     * (timebase::installVirtual). Exactly one scheduler may be
+     * installed at a time; the destructor uninstalls. While
+     * installed, timebase::nowNs() reads the virtual clock and
+     * timebase::sleepNs(ns) calls advanceBy(ns).
+     */
+    void install();
+
+    /** Uninstall (restore the wall clock). Idempotent. */
+    void uninstall();
+
+    bool installed() const { return is_installed; }
+
+  private:
+    struct Event
+    {
+        uint64_t at_ns;
+        uint64_t seq; ///< insertion order — the deterministic tie-break
+        std::function<void()> fn;
+    };
+
+    struct EventOrder
+    {
+        bool operator()(const Event &a, const Event &b) const
+        {
+            // priority_queue is a max-heap; invert for earliest-first,
+            // lowest-seq-first.
+            if (a.at_ns != b.at_ns)
+                return a.at_ns > b.at_ns;
+            return a.seq > b.seq;
+        }
+    };
+
+    void assertOwnerThread() const;
+
+    uint64_t master_seed;
+    uint64_t now_ns = EPOCH_NS;
+    uint64_t next_seq = 0;
+    uint64_t events_run = 0;
+    bool is_installed = false;
+    std::priority_queue<Event, std::vector<Event>, EventOrder> queue;
+    uint64_t owner_thread_token;
+};
+
+} // namespace livephase::sim
+
+#endif // LIVEPHASE_SIM_SIM_CLOCK_HH

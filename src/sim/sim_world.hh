@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The simulated cluster: N virtual `livephased` nodes, their client
+ * actors, a fleet watchdog, scripted failure scenarios, and the
+ * invariant checks + run digest that make a whole-cluster run a
+ * single comparable value.
+ *
+ * One call — runSimulation(options) — builds the world under a
+ * SimScheduler, installs virtual time, replays the scenario to
+ * completion, and returns:
+ *
+ *  - `digest`: an FNV-64 fold of everything the run observed (the
+ *    network event log, per-actor progress, every predictor result
+ *    the clients acked, per-node service/network counters, the
+ *    fleet phase-telemetry totals, and the watchdog alert
+ *    sequence). Same seed ⇒ bit-identical digest; that equality IS
+ *    the replay test.
+ *  - `violations`: invariant breaches, empty on a healthy run:
+ *      * network accounting: sent == delivered + dropped-request,
+ *        delivered == returned + dropped-response, per node;
+ *      * no lost batch: after partitions heal and the flush phase
+ *        runs, every generated batch is acked by its client;
+ *      * no duplicated batch: per node,
+ *        server_ok == client_acked + dropped-Ok-responses (the
+ *        at-least-once ledger), cross-checked against the node's
+ *        own batches_processed counter. The `canary` option arms a
+ *        forced duplicate delivery that must trip exactly this
+ *        check — CI runs it to prove the detector detects.
+ *
+ * Scenarios (all parameters scale off `until_ms` when given):
+ *  - "steady":    lossless links, light load — the baseline digest;
+ *  - "partition": lossy links plus scripted partition windows on
+ *    even nodes, then heal + flush; exercises retry, reconnect,
+ *    breaker, RetryAfter and the drop-burst watchdog rule;
+ *  - "churn":     tiny session capacity, short TTL and flapping
+ *    clients (close/idle/reopen); exercises LRU eviction, TTL
+ *    expiry and UnknownSession recovery under load.
+ *
+ * Workload: each client replays one of the 33 SPEC-shaped
+ * generators (Spec2000Suite, phase-flappers included), chunked into
+ * SubmitBatch frames, through a fully resilient ServiceClient — the
+ * production retry/backoff/breaker code path, not a test double.
+ */
+
+#ifndef LIVEPHASE_SIM_SIM_WORLD_HH
+#define LIVEPHASE_SIM_SIM_WORLD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sim_net.hh"
+
+namespace livephase::sim
+{
+
+struct SimOptions
+{
+    uint64_t seed = 1;
+    uint32_t nodes = 1;
+    std::string scenario = "steady";
+
+    /** Steady-state phase length override, ms; 0 = scenario
+     *  default. The flush allowance is added on top. */
+    uint64_t until_ms = 0;
+
+    /** Arm the duplicate-delivery canary failpoint: the run must
+     *  then report a batch-accounting violation (CI uses this to
+     *  prove the checker catches what it claims to). */
+    bool canary = false;
+};
+
+/** Everything a finished run reports. */
+struct SimResult
+{
+    uint64_t digest = 0;
+    std::vector<std::string> violations;
+
+    /** Watchdog alert sequence in firing order: "rule" for breach
+     *  edges, "rule:recovered" for recovery edges. */
+    std::vector<std::string> alert_sequence;
+
+    uint64_t virtual_ms = 0;   ///< virtual time the run spanned
+    uint64_t events_run = 0;   ///< scheduler events executed
+    uint64_t net_events = 0;   ///< network decisions logged
+    uint64_t batches_total = 0;
+    uint64_t batches_acked = 0;
+    uint64_t server_ok_batches = 0;
+    uint64_t dropped_requests = 0;
+    uint64_t dropped_responses = 0;
+    uint64_t duplicated = 0;
+    uint64_t sessions_evicted = 0;
+    uint64_t sessions_expired = 0;
+
+    /** Retained network event log (bounded; see SimNet), for the
+     *  failing-seed artifact. */
+    std::vector<NetEvent> events;
+
+    bool passed() const { return violations.empty(); }
+};
+
+/** Scenario names runSimulation accepts. */
+const std::vector<std::string> &knownScenarios();
+
+/** Build, run and tear down one simulated cluster. Panics on an
+ *  unknown scenario or zero nodes (validate first via
+ *  knownScenarios()). Resets the process-global windowed series,
+ *  phase telemetry and failpoints at entry, so back-to-back runs in
+ *  one process start from identical state — the in-process replay
+ *  contract. */
+SimResult runSimulation(const SimOptions &options);
+
+} // namespace livephase::sim
+
+#endif // LIVEPHASE_SIM_SIM_WORLD_HH

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * SimScheduler unit tests: deterministic event ordering, reentrant
+ * advance (the seamed-sleep concurrency model), the timebase
+ * install/uninstall contract, and seed-split Rng stream stability.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/clock.hh"
+#include "sim/sim_clock.hh"
+#include "test_util.hh"
+
+namespace
+{
+
+using livephase::sim::Fnv64;
+using livephase::sim::SimScheduler;
+using livephase::sim::stableHash;
+
+TEST(SimClock, EventsFireInTimeThenInsertionOrder)
+{
+    SimScheduler sched(1);
+    std::vector<int> fired;
+    const uint64_t t0 = sched.nowNs();
+
+    // Insert out of time order; same-time events must fire in
+    // insertion order (the seq tie-break).
+    sched.at(t0 + 300, [&] { fired.push_back(3); });
+    sched.at(t0 + 100, [&] { fired.push_back(1); });
+    sched.at(t0 + 200, [&] { fired.push_back(20); });
+    sched.at(t0 + 200, [&] { fired.push_back(21); });
+
+    sched.advanceBy(1000);
+    EXPECT_EQ(fired, (std::vector<int>{1, 20, 21, 3}));
+    EXPECT_EQ(sched.nowNs(), t0 + 1000);
+    EXPECT_EQ(sched.eventsRun(), 4u);
+    EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(SimClock, PastSchedulingClampsToNow)
+{
+    SimScheduler sched(1);
+    sched.advanceBy(500);
+    bool ran = false;
+    // A target before now is clamped, not dropped and not able to
+    // move time backwards.
+    sched.at(SimScheduler::EPOCH_NS, [&] { ran = true; });
+    sched.advanceBy(0);
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(sched.nowNs(), SimScheduler::EPOCH_NS + 500);
+}
+
+TEST(SimClock, ReentrantAdvanceRunsOtherActorsInsideASleep)
+{
+    SimScheduler sched(1);
+    std::vector<std::string> order;
+    const uint64_t t0 = sched.nowNs();
+
+    // Actor A "sleeps" 400ns inside its callback; actor B's event at
+    // t0+300 must fire inside that nested advance, before A resumes.
+    sched.at(t0 + 100, [&] {
+        order.push_back("A-start");
+        sched.advanceBy(400);
+        order.push_back("A-resume");
+    });
+    sched.at(t0 + 300, [&] { order.push_back("B"); });
+
+    sched.advanceBy(1000);
+    EXPECT_EQ(order,
+              (std::vector<std::string>{"A-start", "B", "A-resume"}));
+}
+
+TEST(SimClock, NestedAdvanceNeverMovesTimeBackwards)
+{
+    SimScheduler sched(1);
+    const uint64_t t0 = sched.nowNs();
+    uint64_t seen_inside = 0;
+    sched.at(t0 + 500, [&] {
+        // Nested target earlier than the outer one: returns
+        // immediately, time unchanged.
+        sched.advanceTo(t0 + 100);
+        seen_inside = sched.nowNs();
+    });
+    sched.advanceBy(600);
+    EXPECT_EQ(seen_inside, t0 + 500);
+    EXPECT_EQ(sched.nowNs(), t0 + 600);
+}
+
+TEST(SimClock, RunUntilStopsAtBoundaryAndCountsEvents)
+{
+    SimScheduler sched(1);
+    const uint64_t t0 = sched.nowNs();
+    int ran = 0;
+    sched.at(t0 + 100, [&] { ++ran; });
+    sched.at(t0 + 200, [&] { ++ran; });
+    sched.at(t0 + 900, [&] { ++ran; });
+
+    EXPECT_EQ(sched.runUntil(t0 + 500), 2u);
+    EXPECT_EQ(ran, 2);
+    EXPECT_EQ(sched.pending(), 1u);
+    EXPECT_EQ(sched.runUntil(t0 + 1000), 1u);
+    EXPECT_EQ(ran, 3);
+}
+
+TEST(SimClock, InstallRoutesTimebaseThroughVirtualClock)
+{
+    const uint64_t wall_before = livephase::timebase::nowNs();
+    {
+        SimScheduler sched(7);
+        sched.install();
+        ASSERT_TRUE(livephase::timebase::virtualized());
+        EXPECT_EQ(livephase::timebase::nowNs(), sched.nowNs());
+
+        // A seamed sleep advances virtual time instead of blocking.
+        livephase::timebase::sleepNs(250'000);
+        EXPECT_EQ(sched.nowNs(), SimScheduler::EPOCH_NS + 250'000);
+        EXPECT_EQ(livephase::timebase::nowNs(), sched.nowNs());
+
+        sched.uninstall();
+        EXPECT_FALSE(livephase::timebase::virtualized());
+    }
+    // Wall clock restored and still monotonic.
+    EXPECT_GE(livephase::timebase::nowNs(), wall_before);
+}
+
+TEST(SimClock, DestructorUninstallsAndDoubleInstallPanics)
+{
+    SimScheduler outer(1);
+    outer.install();
+    {
+        SimScheduler inner(2);
+        EXPECT_FAILURE(inner.install());
+    }
+    EXPECT_TRUE(livephase::timebase::virtualized());
+    outer.uninstall();
+    EXPECT_FALSE(livephase::timebase::virtualized());
+}
+
+#ifndef NDEBUG
+TEST(SimClock, WallNowPanicsUnderVirtualTime)
+{
+    SimScheduler sched(1);
+    sched.install();
+    EXPECT_FAILURE((void)livephase::timebase::wallNowNs());
+    sched.uninstall();
+    // Legal again once the wall clock is restored.
+    EXPECT_GT(livephase::timebase::wallNowNs(), 0u);
+}
+#endif
+
+TEST(SimClock, ActorRngStreamsAreStableAndIndependent)
+{
+    SimScheduler a(42);
+    SimScheduler b(42);
+    livephase::Rng s1 = a.actorRng("sim.client.0");
+    livephase::Rng s2 = b.actorRng("sim.client.0");
+    livephase::Rng other = a.actorRng("sim.client.1");
+
+    bool diverged = false;
+    for (int i = 0; i < 64; ++i) {
+        const uint64_t v = s1.next();
+        EXPECT_EQ(v, s2.next()) << "same seed+name must replay";
+        diverged = diverged || v != other.next();
+    }
+    EXPECT_TRUE(diverged) << "different names must get different "
+                             "streams";
+
+    // A different master seed shifts every stream.
+    SimScheduler c(43);
+    EXPECT_NE(a.actorRng("sim.client.0").next(),
+              c.actorRng("sim.client.0").next());
+}
+
+TEST(SimClock, StableHashIsStableAcrossCalls)
+{
+    EXPECT_EQ(stableHash("sim.link.0.0"), stableHash("sim.link.0.0"));
+    EXPECT_NE(stableHash("sim.link.0.0"), stableHash("sim.link.0.1"));
+    // FNV-1a of the empty string is the offset basis.
+    EXPECT_EQ(stableHash(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(SimClock, DigestIsOrderAndLengthSensitive)
+{
+    Fnv64 a, b, c;
+    a.mix(uint64_t{1});
+    a.mix(uint64_t{2});
+    b.mix(uint64_t{2});
+    b.mix(uint64_t{1});
+    EXPECT_NE(a.h, b.h);
+
+    // Length-prefixed strings: "ab"+"c" must differ from "a"+"bc".
+    c.mix(std::string_view("ab"));
+    c.mix(std::string_view("c"));
+    Fnv64 d;
+    d.mix(std::string_view("a"));
+    d.mix(std::string_view("bc"));
+    EXPECT_NE(c.h, d.h);
+}
+
+} // namespace
