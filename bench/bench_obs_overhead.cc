@@ -27,6 +27,12 @@
  *                 (default rules, fast eval tick) so the gate
  *                 covers windowed recording + a live evaluation
  *                 thread, not just the flat counters
+ *   --profiler    the enabled side also runs the continuous
+ *                 profiling plane at the default 99 Hz with
+ *                 hardware counters attempted: SIGPROF unwinds on
+ *                 the serving thread, per-stage cycle attribution
+ *                 on every span, PMC reads per tick — all inside
+ *                 the same 5% budget
  *   --json PATH   also write a machine-readable result file
  *                 (schema in scripts/bench_compare.py); CI
  *                 compares it against bench/baselines/
@@ -34,6 +40,7 @@
 
 #include <chrono>
 #include <fstream>
+#include <optional>
 #include <iostream>
 #include <vector>
 
@@ -41,6 +48,7 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/table_writer.hh"
+#include "obs/profiler.hh"
 #include "obs/runtime.hh"
 #include "service/protocol.hh"
 #include "service/service.hh"
@@ -70,11 +78,15 @@ makeStream(uint64_t seed, size_t n)
 /** One timed run: a fresh service, the same frames, handleFrame on
  *  the calling thread (no queue/future noise). @return seconds. */
 double
-timedRun(size_t batches, size_t batch, bool watchdog = false)
+timedRun(size_t batches, size_t batch, bool watchdog = false,
+         bool profiler = false)
 {
     LivePhaseService::Config cfg;
     cfg.workers = 0; // handleFrame directly; queue unused
     cfg.max_batch = std::max(cfg.max_batch, batch);
+    if (profiler) {
+        cfg.profiler.enabled = true; // defaults: 99 Hz, counters
+    }
     if (watchdog) {
         // Fast tick so the evaluation thread (and the ring rotation
         // it drives) actually contends with the timed loop — 40x
@@ -86,6 +98,11 @@ timedRun(size_t batches, size_t batch, bool watchdog = false)
         cfg.watchdog.eval_interval_ns = 25'000'000; // 25 ms
     }
     LivePhaseService svc(cfg);
+    // workers=0 serves on this thread, so this thread is what the
+    // profiler must sample.
+    std::optional<obs::ThreadProfile> profile_guard;
+    if (profiler)
+        profile_guard.emplace("bench");
 
     const Bytes open_frame = encodeOpenRequest(PredictorKind::Gpht);
     ParsedResponse open_reply;
@@ -107,9 +124,16 @@ timedRun(size_t batches, size_t batch, bool watchdog = false)
             reply.status != Status::Ok)
             fatal("bench_obs_overhead: submit failed");
     }
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - start)
-        .count();
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    // The plane is process-global and service stop leaves it
+    // running (operator's call); the bench must silence it so the
+    // interleaved disabled side runs unprofiled.
+    if (profiler)
+        obs::Profiler::global().stop();
+    return seconds;
 }
 
 } // namespace
@@ -126,10 +150,14 @@ main(int argc, char **argv)
         static_cast<size_t>(args.getInt("trials", 5));
     const bool check = args.getBool("check");
     const bool watchdog = args.getBool("watchdog");
+    const bool profiler = args.getBool("profiler");
 
-    printBanner(std::cout,
-                watchdog ? "obs instrumentation overhead (+watchdog)"
-                         : "obs instrumentation overhead");
+    std::string banner = "obs instrumentation overhead";
+    if (watchdog)
+        banner += " (+watchdog)";
+    if (profiler)
+        banner += " (+profiler)";
+    printBanner(std::cout, banner);
     std::cout << batches << " frames x " << batch
               << " intervals, best of " << trials
               << (check ? "+" : "") << " interleaved trials\n\n";
@@ -137,7 +165,7 @@ main(int argc, char **argv)
     // Warm-up: fault in code paths and the span/counter statics so
     // neither side pays one-time registration inside a timed run.
     obs::setEnabled(true);
-    timedRun(4, batch, watchdog);
+    timedRun(4, batch, watchdog, profiler);
     obs::setEnabled(false);
     timedRun(4, batch);
 
@@ -152,7 +180,8 @@ main(int argc, char **argv)
                                  timedRun(batches, batch));
         obs::setEnabled(true);
         best_enabled = std::min(
-            best_enabled, timedRun(batches, batch, watchdog));
+            best_enabled,
+            timedRun(batches, batch, watchdog, profiler));
         ++ran;
         overhead = best_enabled / best_disabled - 1.0;
         if (t + 1 >= trials && overhead <= budget)
@@ -187,7 +216,8 @@ main(int argc, char **argv)
         out << "{\n"
             << "  \"schema\": 1,\n"
             << "  \"bench\": \"bench_obs_overhead"
-            << (watchdog ? "_watchdog" : "") << "\",\n"
+            << (watchdog ? "_watchdog" : "")
+            << (profiler ? "_profiler" : "") << "\",\n"
             << "  \"config\": {\"batches\": " << batches
             << ", \"batch\": " << batch << ", \"trials\": " << trials
             << "},\n"

@@ -100,6 +100,7 @@
 #include "obs/exposition.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/phase_telemetry.hh"
+#include "obs/profiler.hh"
 #include "obs/runtime.hh"
 #include "obs/trace.hh"
 #include "obs/watchdog.hh"
@@ -129,7 +130,7 @@ usage(const std::string &prog)
            " [--batch K] [--workers N] [--json] [--deadline-ms D]"
            " [--faults SPEC] [--fault-seed S]"
            " [--trace-sample R] [--trace-out FILE]"
-           " [--qos SPEC] [--tag NAME]\n"
+           " [--qos SPEC] [--tag NAME] [--profile]\n"
         << "  stats [trace.csv] [--format prometheus|jsonl|table]"
            " [--bench NAME] [--predictor ...] [--batch K]"
            " [--qos SPEC]\n"
@@ -137,6 +138,9 @@ usage(const std::string &prog)
            " [--rules SPEC] [--alerts-out FILE]"
            " [--phases-out FILE] [trace.csv] [--bench NAME]"
            " [--qos SPEC]\n"
+        << "  profile [trace.csv] [--bench NAME] [--hz N]"
+           " [--duration-ms N] [--format folded|jsonl]"
+           " [--out FILE] [--no-counters]\n"
         << "  trace [trace.csv] [--bench NAME]\n"
         << "  traces [trace.csv] [--bench NAME] [--sample R]"
            " [--out FILE]\n"
@@ -437,6 +441,9 @@ cmdServe(const CliArgs &args)
     if (cfg.workers == 0)
         fatal("--workers must be > 0");
     cfg.max_batch = std::max(cfg.max_batch, batch);
+    // Continuous profiling of the serve itself; query-profile then
+    // returns live folded stacks (obs/profiler.hh).
+    cfg.profiler.enabled = args.getBool("profile");
     applyQos(args, cfg);
     if (args.has("tag") && !cfg.admission.enabled)
         fatal("--tag needs --qos");
@@ -648,6 +655,106 @@ replayAndExpose(const CliArgs &args, const IntervalTrace &trace,
     });
 }
 
+/**
+ * `profile`: replay load through an in-process service with the
+ * profiling plane armed, then print the sampled on-CPU stacks —
+ * folded (flamegraph.pl input, the default) or JSONL
+ * (--format jsonl). Hardware counters are attempted unless
+ * --no-counters; denial (containers, perf_event_paranoid) degrades
+ * to timer-only sampling. Pipe the folded output through
+ * flamegraph.pl for an SVG of where livephased burns its cycles.
+ */
+int
+cmdProfile(const CliArgs &args)
+{
+    using namespace livephase::service;
+
+    obs::setEnabled(true);
+    const IntervalTrace trace = statsTrace(args);
+    const std::string which = args.getString("predictor", "gpht");
+    const auto kind = predictorKindFromName(which);
+    if (!kind)
+        fatal("unknown service predictor '%s'", which.c_str());
+    const size_t batch =
+        static_cast<size_t>(args.getInt("batch", 64));
+    if (batch == 0)
+        fatal("--batch must be > 0");
+    const auto duration = std::chrono::milliseconds(
+        std::max<long long>(args.getInt("duration-ms", 2000), 50));
+    const std::string format =
+        args.getString("format", "folded");
+    if (format != "folded" && format != "jsonl")
+        fatal("--format must be folded or jsonl");
+    const uint16_t raw_format = format == "jsonl" ? 1 : 0;
+
+    LivePhaseService::Config cfg;
+    cfg.max_batch = std::max(cfg.max_batch, batch);
+    cfg.profiler.enabled = true;
+    cfg.profiler.sample_hz =
+        static_cast<uint32_t>(args.getInt("hz", 99));
+    cfg.profiler.counters = !args.getBool("no-counters");
+    LivePhaseService svc(cfg);
+    InProcessTransport transport(svc);
+    ServiceClient client(transport);
+
+    const auto open = client.open(*kind);
+    if (open.status != Status::Ok)
+        fatal("open failed: %s", statusName(open.status));
+
+    {
+        // The replay (request-encoding) side is part of the
+        // profile too.
+        obs::ThreadProfile replay_guard("replay");
+        const auto deadline =
+            std::chrono::steady_clock::now() + duration;
+        std::vector<IntervalRecord> records;
+        uint64_t tsc = 0;
+        while (std::chrono::steady_clock::now() < deadline) {
+            for (size_t i = 0; i < trace.size(); ++i) {
+                const Interval &ivl = trace.at(i);
+                records.push_back({ivl.uops,
+                                   ivl.mem_per_uop * ivl.uops,
+                                   tsc++});
+                if (records.size() == batch ||
+                    i + 1 == trace.size()) {
+                    const auto reply = client.submitBatchRetrying(
+                        open.session_id, records);
+                    records.clear();
+                    if (reply.status != Status::Ok)
+                        fatal("submit failed: %s",
+                              statusName(reply.status));
+                }
+            }
+            if (std::chrono::steady_clock::now() >= deadline)
+                break;
+        }
+    }
+
+    const auto reply = client.queryProfile(raw_format);
+    if (reply.status != Status::Ok)
+        fatal("query-profile failed: %s",
+              statusName(reply.status));
+    client.close(open.session_id);
+
+    obs::Profiler &prof = obs::Profiler::global();
+    std::cerr << "profiler: mode=" << profilerModeName(prof.mode())
+              << " samples=" << prof.samplesTotal()
+              << " hz=" << cfg.profiler.sample_hz << "\n";
+
+    const std::string out_path = args.getString("out", "");
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out)
+            fatal("cannot write %s", out_path.c_str());
+        out << reply.text;
+        std::cerr << "wrote " << out_path << " ("
+                  << reply.text.size() << " bytes)\n";
+    } else {
+        std::cout << reply.text;
+    }
+    return 0;
+}
+
 /** One frame of `stats --watch`: health banner, phase-quality
  *  windows, the hottest windowed series, recent SLO alerts, and
  *  the per-tag admission table when QoS is on. */
@@ -679,7 +786,12 @@ renderWatchFrame(std::ostream &os,
         obs::TimeSeriesRegistry::global().snapshot();
     TableWriter table({"series", "rate_1s", "rate_10s", "p50_10s",
                        "p99_10s", "max_10s"});
+    bool have_cycles = false;
     for (const auto &s : windows.series) {
+        if (s.name.rfind("cycles.", 0) == 0) {
+            have_cycles = true; // rendered in their own section
+            continue;
+        }
         table.addRow({s.name, formatDouble(s.w1s.rate, 1),
                       formatDouble(s.w10s.rate, 1),
                       s.is_histogram ? formatDouble(s.w10s.p50, 3)
@@ -690,6 +802,28 @@ renderWatchFrame(std::ostream &os,
                                      : "-"});
     }
     table.print(os);
+
+    // Live cycles-by-stage: the per-span TSC attribution the
+    // profiling plane turns on (obs/profiler.hh). Series exist
+    // only once the profiler has run, so the section appears on
+    // demand.
+    if (have_cycles) {
+        obs::Profiler &prof = obs::Profiler::global();
+        os << "\ncycles by stage  (profiler="
+           << profilerModeName(prof.mode())
+           << "  samples=" << prof.samplesTotal() << ")\n";
+        TableWriter cycles({"stage", "calls/s_10s", "p50_cycles",
+                            "p99_cycles"});
+        for (const auto &s : windows.series) {
+            if (s.name.rfind("cycles.", 0) != 0)
+                continue;
+            cycles.addRow(
+                {s.name.substr(7), formatDouble(s.w10s.rate, 1),
+                 formatDouble(s.w10s.p50, 0),
+                 formatDouble(s.w10s.p99, 0)});
+        }
+        cycles.print(os);
+    }
 
     if (wd) {
         const auto alerts = wd->alerts();
@@ -739,6 +873,9 @@ cmdStatsWatch(const CliArgs &args)
     applyQos(args, cfg);
     cfg.watchdog.enabled = true;
     cfg.watchdog.rules = args.getString("rules", "");
+    // The watch view doubles as the profiler's live display:
+    // cycles-by-stage and self.* series come from here.
+    cfg.profiler.enabled = true;
     LivePhaseService svc(cfg);
     InProcessTransport transport(svc);
     ServiceClient client(transport);
@@ -929,6 +1066,8 @@ main(int argc, char **argv)
         return cmdServe(args);
     if (command == "stats")
         return cmdStats(args);
+    if (command == "profile")
+        return cmdProfile(args);
     if (command == "trace")
         return cmdTrace(args);
     if (command == "traces")

@@ -36,7 +36,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 # obs, admission (lock-free token buckets + controller thread) and
 # the chaos/fault-injection tests.
 SAN_TARGETS="test_service test_obs test_fault test_chaos test_admission"
-SAN_FILTER='Obs|FlightRecorder|Metrics|Histogram|Span|Runtime|Service|Session|Protocol|Exposition|Trace|Fault|Chaos|Ratekeeper|TagThrottler|QosSpec|Watchdog|TimeSeries|PhaseTelemetry|FlightDump'
+SAN_FILTER='Obs|FlightRecorder|Metrics|Histogram|Span|Runtime|Service|Session|Protocol|Exposition|Trace|Fault|Chaos|Ratekeeper|TagThrottler|QosSpec|Watchdog|TimeSeries|PhaseTelemetry|FlightDump|Profiler'
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
@@ -52,6 +52,8 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 RETRY="scripts/bench_retry.sh 3"
 $RETRY "$BUILD_DIR"/bench/bench_obs_overhead --check
 $RETRY "$BUILD_DIR"/bench/bench_obs_overhead --check --watchdog \
+    --batches 2048
+$RETRY "$BUILD_DIR"/bench/bench_obs_overhead --check --profiler \
     --batches 2048
 $RETRY "$BUILD_DIR"/bench/bench_trace_overhead --check
 "$BUILD_DIR"/bench/bench_pipeline_allocs --check

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Real hardware cycle counter reads for the self-profiling plane
+ * (obs/profiler.hh) — as opposed to src/pmc/tsc.hh, which *models*
+ * the Pentium-M TSC for simulated workloads. rdcycles() reads the
+ * actual CPU timestamp counter so per-stage cycle attribution and
+ * the profiler's IPC series measure livephased itself, which is the
+ * paper's monitor pointed at the server.
+ *
+ * Seam guard: raw cycle reads are wall-time state and must never
+ * feed a deterministic-simulation path. Callers gate every read
+ * behind a flag that can only be set while no virtual time source
+ * is installed (obs::setCycleAttribution refuses under
+ * timebase::virtualized()), so a replayed run never observes a TSC
+ * value. The counter itself is monotonic per-core and async-signal
+ * safe to read (a single unprivileged instruction).
+ */
+
+#ifndef LIVEPHASE_COMMON_CYCLES_HH
+#define LIVEPHASE_COMMON_CYCLES_HH
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#else
+#include <chrono>
+#endif
+
+namespace livephase
+{
+
+/** Read the CPU cycle counter (TSC on x86, virtual counter on
+ *  arm64; a steady-clock nanosecond read elsewhere — still a valid
+ *  "cycles at 1 GHz" unit for relative attribution). */
+inline uint64_t
+rdcycles()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    return __rdtsc();
+#elif defined(__aarch64__)
+    uint64_t v;
+    asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+    return v;
+#else
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+#endif
+}
+
+} // namespace livephase
+
+#endif // LIVEPHASE_COMMON_CYCLES_HH

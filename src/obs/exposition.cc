@@ -1,5 +1,7 @@
 #include "obs/exposition.hh"
 
+#include "common/clock.hh"
+
 #include <cstdio>
 #include <ostream>
 #include <sstream>
@@ -59,10 +61,23 @@ jsonEscape(const std::string &s)
 {
     std::string out;
     out.reserve(s.size() + 8);
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        out += c;
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                // Remaining control characters JSON forbids raw.
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
     }
     return out;
 }
@@ -145,17 +160,23 @@ renderJsonl(const MetricsSnapshot &snap)
 namespace
 {
 
-/** Escape a series name for use inside a label value (per-tag
- *  series carry their own {tag="..."} suffix with quotes). */
+/** Escape a series name for use inside a Prometheus text-format
+ *  label value (per-tag series carry their own {tag="..."} suffix
+ *  with quotes). The format reserves exactly three characters:
+ *  backslash, double-quote, and newline — a raw newline would
+ *  terminate the sample line mid-value. */
 std::string
-labelEscape(const std::string &s)
+promLabelEscape(const std::string &s)
 {
     std::string out;
     out.reserve(s.size());
     for (const char c : s) {
-        if (c == '\\' || c == '"')
-            out += '\\';
-        out += c;
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"': out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
     }
     return out;
 }
@@ -166,7 +187,7 @@ windowPrometheusLines(std::ostringstream &os,
                       const WindowStats &w)
 {
     const std::string prefix = "livephase_window{series=\"" +
-        labelEscape(s.name) + "\",window=\"" + window +
+        promLabelEscape(s.name) + "\",window=\"" + window +
         "\",stat=\"";
     os << prefix << "rate\"} " << formatValue(w.rate) << "\n";
     if (s.is_histogram) {
@@ -283,8 +304,29 @@ PeriodicExporter::loop()
 {
     std::unique_lock lock(mu);
     while (!stopping) {
-        if (cv.wait_for(lock, interval,
-                        [this] { return stopping; }))
+        // Interval arithmetic on the timebase seam (not the cv's
+        // wall clock) so a virtual time source can drive export
+        // cadence; see Watchdog::loop for the same pattern.
+        const uint64_t deadline =
+            timebase::nowNs() +
+            static_cast<uint64_t>(interval.count()) * 1000000ull;
+        while (!stopping) {
+            const uint64_t now = timebase::nowNs();
+            if (now >= deadline)
+                break;
+            const uint64_t remaining = deadline - now;
+            if (timebase::virtualized()) {
+                lock.unlock();
+                timebase::sleepNs(remaining);
+                lock.lock();
+            } else if (cv.wait_for(
+                           lock,
+                           std::chrono::nanoseconds(remaining),
+                           [this] { return stopping; })) {
+                break;
+            }
+        }
+        if (stopping)
             break;
         lock.unlock();
         exportOnce();

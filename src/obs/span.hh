@@ -26,8 +26,10 @@
 #ifndef LIVEPHASE_OBS_SPAN_HH
 #define LIVEPHASE_OBS_SPAN_HH
 
+#include "common/cycles.hh"
 #include "obs/metrics.hh"
 #include "obs/runtime.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 
 namespace livephase::obs
@@ -36,6 +38,32 @@ namespace livephase::obs
 /** Registry histogram backing one span site ("classify" ->
  *  livephase_span_us{span="classify"}). */
 Histogram &spanHistogram(const char *name);
+
+/** Windowed series backing one span site's cycle attribution
+ *  ("core.predict" -> `cycles.core.predict`). */
+WindowedHistogram &spanCycleSeries(const char *name);
+
+namespace detail
+{
+extern std::atomic<bool> cycle_attribution;
+}
+
+/** True while OBS_SPAN sites also record TSC deltas into their
+ *  `cycles.<name>` windowed series. */
+inline bool
+cycleAttributionEnabled()
+{
+    return detail::cycle_attribution.load(std::memory_order_relaxed);
+}
+
+/**
+ * Turn per-stage cycle attribution on or off. Flipped by the
+ * profiler's start/stop (obs/profiler.hh); refuses to enable —
+ * returning false — while a virtual time source is installed, so a
+ * deterministic simulation can never observe a raw TSC read
+ * (common/cycles.hh seam guard). Disabling always succeeds.
+ */
+bool setCycleAttribution(bool on);
 
 /**
  * RAII span: times its scope into `hist` and keeps `name` on the
@@ -50,12 +78,31 @@ Histogram &spanHistogram(const char *name);
 class Span
 {
   public:
-    Span(const char *name, Histogram &histogram) : tspan(name)
+    /** `cycle_site` is the OBS_SPAN site's lazily resolved
+     *  `cycles.<name>` series slot; null opts the site out of
+     *  cycle attribution entirely. */
+    Span(const char *name, Histogram &histogram,
+         std::atomic<WindowedHistogram *> *cycle_site = nullptr)
+        : tspan(name)
     {
         if (enabled()) {
             hist = &histogram;
             start_ns = monoNowNs();
             pushSpan(name);
+            if (cycle_site != nullptr && cycleAttributionEnabled()) {
+                WindowedHistogram *w =
+                    cycle_site->load(std::memory_order_acquire);
+                if (w == nullptr) {
+                    /* One registry lookup per site, and only on
+                     * the first pass with attribution live — the
+                     * attribution-off hot path never touches the
+                     * registry. */
+                    w = &spanCycleSeries(name);
+                    cycle_site->store(w, std::memory_order_release);
+                }
+                cycles_out = w;
+                start_cycles = rdcycles();
+            }
         }
     }
 
@@ -63,6 +110,10 @@ class Span
     {
         if (hist) {
             popSpan();
+            if (cycles_out != nullptr) {
+                cycles_out->record(static_cast<double>(
+                    rdcycles() - start_cycles));
+            }
             hist->record(
                 static_cast<double>(monoNowNs() - start_ns) / 1e3);
         }
@@ -78,7 +129,9 @@ class Span
   private:
     TraceSpan tspan;
     Histogram *hist = nullptr;
+    WindowedHistogram *cycles_out = nullptr;
     uint64_t start_ns = 0;
+    uint64_t start_cycles = 0;
 };
 
 } // namespace livephase::obs
@@ -89,15 +142,20 @@ class Span
 #ifdef LIVEPHASE_OBS_DISABLED
 #define OBS_SPAN(name) ((void)0)
 #else
-/** Time the enclosing scope as span `name` (a string literal). */
+/** Time the enclosing scope as span `name` (a string literal).
+ *  The per-site atomic caches the `cycles.<name>` windowed series
+ *  once cycle attribution first sees the site (see Span). */
 #define OBS_SPAN(name)                                               \
     static ::livephase::obs::Histogram &LIVEPHASE_OBS_CONCAT(        \
         obs_span_hist_, __LINE__) =                                  \
         ::livephase::obs::spanHistogram(name);                       \
+    static ::std::atomic<::livephase::obs::WindowedHistogram *>      \
+        LIVEPHASE_OBS_CONCAT(obs_span_cycles_, __LINE__){nullptr};   \
     ::livephase::obs::Span LIVEPHASE_OBS_CONCAT(obs_span_,           \
                                                 __LINE__)            \
     {                                                                \
-        (name), LIVEPHASE_OBS_CONCAT(obs_span_hist_, __LINE__)       \
+        (name), LIVEPHASE_OBS_CONCAT(obs_span_hist_, __LINE__),      \
+            &LIVEPHASE_OBS_CONCAT(obs_span_cycles_, __LINE__)        \
     }
 #endif
 

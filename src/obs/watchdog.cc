@@ -1,5 +1,8 @@
 #include "obs/watchdog.hh"
 
+#include "common/clock.hh"
+#include "obs/profiler.hh"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -289,13 +292,36 @@ Watchdog::loop()
 {
     std::unique_lock lock(stop_mu);
     while (!stop_requested) {
-        stop_cv.wait_for(
-            lock, std::chrono::nanoseconds(cfg.eval_interval_ns));
+        // One eval interval measured on the timebase seam, so an
+        // installed virtual time source drives the cadence
+        // (DESIGN.md §17 clock-seam audit). Under wall time the cv
+        // still bounds stop() latency at one wakeup; under virtual
+        // time the sleep goes through the seam and stop() is seen
+        // on the next virtual advance.
+        const uint64_t deadline =
+            timebase::nowNs() + cfg.eval_interval_ns;
+        while (!stop_requested) {
+            const uint64_t now = timebase::nowNs();
+            if (now >= deadline)
+                break;
+            const uint64_t remaining = deadline - now;
+            if (timebase::virtualized()) {
+                lock.unlock();
+                timebase::sleepNs(remaining);
+                lock.lock();
+            } else {
+                stop_cv.wait_for(
+                    lock, std::chrono::nanoseconds(remaining));
+            }
+        }
         if (stop_requested)
             break;
         lock.unlock();
         TimeSeriesRegistry::global().rotateIfDue();
         evalOnce();
+        // The profiling plane reports health on the same cadence
+        // as every other SLO signal.
+        Profiler::global().healthTick();
         lock.lock();
     }
 }

@@ -539,4 +539,27 @@ ServiceClient::queryPhases(uint64_t session_id, uint16_t raw_format)
     return reply;
 }
 
+ServiceClient::MetricsReply
+ServiceClient::queryProfile(uint16_t raw_format)
+{
+    ResponseView parsed;
+    if (!call("query-profile",
+              [raw_format](Bytes &out, const TraceField &trace,
+                           TenantTag tag) {
+                  encodeProfileRequestInto(out, raw_format, trace,
+                                           tag);
+              },
+              parsed))
+        return {Status::BadFrame, {}};
+    MetricsReply reply;
+    reply.status = parsed.status;
+    if (parsed.status == Status::Ok) {
+        auto text = decodeMetricsText(parsed.body);
+        if (!text)
+            return {Status::BadFrame, {}};
+        reply.text = std::move(*text);
+    }
+    return reply;
+}
+
 } // namespace livephase::service

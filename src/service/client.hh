@@ -294,6 +294,12 @@ class ServiceClient
     MetricsReply queryPhases(uint64_t session_id = 0,
                              uint16_t raw_format = 1);
 
+    /** Fetch the server's in-process profiler samples.
+     *  `raw_format` 0 = folded stacks (flamegraph.pl input),
+     *  1 = JSONL. Empty text when the server never profiled.
+     *  v2 servers only. */
+    MetricsReply queryProfile(uint16_t raw_format = 0);
+
     /** How the most recent operation went (attempts, retries,
      *  reconnects, terminal client-side error if any). */
     const CallInfo &lastCall() const { return last_call; }

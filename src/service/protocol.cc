@@ -34,6 +34,7 @@ opName(uint16_t raw_op)
       case Op::QueryMetrics: return "query-metrics";
       case Op::QueryTraces: return "query-traces";
       case Op::QueryPhases: return "query-phases";
+      case Op::QueryProfile: return "query-profile";
     }
     return "op-" + std::to_string(raw_op);
 }
@@ -419,6 +420,17 @@ encodePhasesRequestInto(Bytes &out, uint64_t session_id,
     finishFrame(out);
 }
 
+void
+encodeProfileRequestInto(Bytes &out, uint16_t raw_format,
+                         const TraceField &trace, TenantTag tag)
+{
+    beginRequestFrame(out, static_cast<uint16_t>(Op::QueryProfile), 0,
+                      trace, tag);
+    ByteAppender a(out);
+    a.u16(raw_format);
+    finishFrame(out);
+}
+
 Bytes
 encodeOpenRequest(PredictorKind kind, const TraceField &trace,
                   TenantTag tag)
@@ -479,6 +491,15 @@ encodePhasesRequest(uint64_t session_id, uint16_t raw_format,
 {
     Bytes out;
     encodePhasesRequestInto(out, session_id, raw_format, trace, tag);
+    return out;
+}
+
+Bytes
+encodeProfileRequest(uint16_t raw_format, const TraceField &trace,
+                     TenantTag tag)
+{
+    Bytes out;
+    encodeProfileRequestInto(out, raw_format, trace, tag);
     return out;
 }
 
@@ -577,6 +598,7 @@ parseRequest(ByteView frame, Arena &scratch, RequestView &out)
         return r.remaining() == 0 ? Status::Ok : Status::BadFrame;
       case Op::QueryMetrics:
       case Op::QueryPhases:
+      case Op::QueryProfile:
         if (!r.u16(out.metrics_format) || r.remaining() != 0)
             return Status::BadFrame;
         return Status::Ok;

@@ -66,6 +66,11 @@
  *                live). Response body: u32 length + rendered text
  *                (JSON for ExpositionFormat::Jsonl, Prometheus
  *                otherwise). v2 only.
+ *  - QueryProfile payload: u16 profile format (0 = folded stacks,
+ *                1 = JSONL). Response body: u32 length + the
+ *                in-process profiler's rendered samples
+ *                (obs/profiler.hh); empty when the profiler never
+ *                ran. v2 only.
  *
  * Malformed input (bad magic/version, unknown op, truncated or
  * oversized payload, record-count mismatch) is answered with
@@ -125,10 +130,11 @@ enum class Op : uint16_t
     Close = 4,
     QueryMetrics = 5,
     QueryTraces = 6, ///< protocol v2; v1 servers answer BadFrame
-    QueryPhases = 7, ///< protocol v2; v1 servers answer BadFrame
+    QueryPhases = 7,  ///< protocol v2; v1 servers answer BadFrame
+    QueryProfile = 8, ///< protocol v2; v1 servers answer BadFrame
 };
 
-constexpr size_t NUM_OPS = 7;
+constexpr size_t NUM_OPS = 8;
 
 /** First field of every response payload. */
 enum class Status : uint16_t
@@ -402,6 +408,11 @@ void encodePhasesRequestInto(Bytes &out, uint64_t session_id,
                              const TraceField &trace = {},
                              TenantTag tag = 0);
 
+/** @param raw_format 0 = folded stacks, 1 = JSONL. */
+void encodeProfileRequestInto(Bytes &out, uint16_t raw_format,
+                              const TraceField &trace = {},
+                              TenantTag tag = 0);
+
 Bytes encodeOpenRequest(PredictorKind kind,
                         const TraceField &trace = {},
                         TenantTag tag = 0);
@@ -423,6 +434,9 @@ Bytes encodeTracesRequest(uint64_t trace_id_filter,
 Bytes encodePhasesRequest(uint64_t session_id, uint16_t raw_format,
                           const TraceField &trace = {},
                           TenantTag tag = 0);
+Bytes encodeProfileRequest(uint16_t raw_format,
+                           const TraceField &trace = {},
+                           TenantTag tag = 0);
 
 // --- server-side request parsing ---------------------------------
 

@@ -12,6 +12,7 @@
 #include "obs/exposition.hh"
 #include "obs/flight_recorder.hh"
 #include "obs/phase_telemetry.hh"
+#include "obs/profiler.hh"
 #include "obs/runtime.hh"
 #include "obs/span.hh"
 #include "obs/trace.hh"
@@ -54,6 +55,7 @@ LivePhaseService::LivePhaseService(Config config)
         fatal("LivePhaseService: max_batch must be > 0");
     initAdmission();
     initWatchdog();
+    initProfiler();
     pool.reserve(cfg.workers);
     for (size_t i = 0; i < cfg.workers; ++i)
         pool.emplace_back([this] { workerLoop(); });
@@ -72,6 +74,7 @@ LivePhaseService::LivePhaseService(Config config,
         fatal("LivePhaseService: max_batch must be > 0");
     initAdmission();
     initWatchdog();
+    initProfiler();
     pool.reserve(cfg.workers);
     for (size_t i = 0; i < cfg.workers; ++i)
         pool.emplace_back([this] { workerLoop(); });
@@ -123,6 +126,21 @@ LivePhaseService::initWatchdog()
     }
     slo_watchdog = std::make_unique<obs::Watchdog>(wd);
     slo_watchdog->start();
+}
+
+void
+LivePhaseService::initProfiler()
+{
+    if (!cfg.profiler.enabled)
+        return;
+    obs::ProfilerConfig pc;
+    pc.sample_hz = cfg.profiler.sample_hz;
+    pc.counters = cfg.profiler.counters;
+    // The plane is process-global and refcount-free: a second
+    // service's start() is an idempotent no-op, and stop() is the
+    // operator's (or the simulator's) call, not ours — samples
+    // should keep flowing across service restarts.
+    obs::Profiler::global().start(pc);
 }
 
 LivePhaseService::~LivePhaseService()
@@ -298,6 +316,9 @@ LivePhaseService::submit(Bytes request_frame)
 void
 LivePhaseService::workerLoop()
 {
+    // Register with the profiling plane for the thread's lifetime;
+    // while the profiler is stopped this is one registry insert.
+    obs::ThreadProfile profile_guard("worker");
     while (auto req = queue.pop())
         serveRequest(*req);
 }
@@ -376,7 +397,9 @@ LivePhaseService::handleFrameInto(ByteView request_frame,
     // the wire trace context is only known *after* parsing.
     static obs::Histogram &handle_hist =
         obs::spanHistogram("service.handle");
-    obs::Span span("service.handle", handle_hist);
+    static std::atomic<obs::WindowedHistogram *> handle_cycles{
+        nullptr};
+    obs::Span span("service.handle", handle_hist, &handle_cycles);
     // Seamed clock, not steady_clock directly: this latency feeds
     // retryAfterMs(), which must run on virtual time under sim.
     const uint64_t start_ns = obs::monoNowNs();
@@ -389,8 +412,14 @@ LivePhaseService::handleFrameInto(ByteView request_frame,
     scratch_arena.reset();
 
     RequestView parsed;
-    const Status parse_status =
-        parseRequest(request_frame, scratch_arena, parsed);
+    Status parse_status;
+    {
+        // Parse gets its own stage so cycle attribution separates
+        // wire decode from pipeline work (obs/profiler.hh).
+        OBS_SPAN("service.parse");
+        parse_status =
+            parseRequest(request_frame, scratch_arena, parsed);
+    }
     if (parse_status != Status::Ok) {
         counters.frameMalformed();
         // Redacted on purpose: header fields and lengths only,
@@ -504,7 +533,10 @@ LivePhaseService::dispatch(const RequestView &req, Bytes &out)
         // session is "idle" only after its last batch *finished*.
         session->touch(manager.nowNs());
         counters.batchProcessed(results.size());
-        encodeSubmitResponseInto(out, op, sid, results, ver);
+        {
+            OBS_SPAN("service.encode");
+            encodeSubmitResponseInto(out, op, sid, results, ver);
+        }
         return;
       }
       case Op::QueryStats:
@@ -542,6 +574,15 @@ LivePhaseService::dispatch(const RequestView &req, Bytes &out)
             : Bytes{};
         encodeResponseInto(out, op, sid, status, ByteView(body),
                            ver);
+        return;
+      }
+      case Op::QueryProfile: {
+        const obs::Profiler &prof = obs::Profiler::global();
+        const std::string text = req.metrics_format == 1
+            ? prof.renderJsonl()
+            : prof.renderFolded();
+        encodeResponseInto(out, op, sid, Status::Ok,
+                           encodeMetricsText(text), ver);
         return;
       }
     }

@@ -83,6 +83,23 @@ class LivePhaseService
             /** Evaluation + rotation cadence. */
             uint64_t eval_interval_ns = 1'000'000'000;
         } watchdog{};
+
+        /** Continuous in-process profiling (obs/profiler.hh).
+         *  Disabled by default; when enabled each worker registers
+         *  with the global profiler and the service starts it.
+         *  Under virtual time the start is refused and the service
+         *  simply runs unprofiled. */
+        struct ProfilerSettings
+        {
+            bool enabled = false;
+
+            /** Per-thread on-CPU sampling frequency. */
+            uint32_t sample_hz = 99;
+
+            /** Attempt perf_event_open hardware counters; denial
+             *  degrades to timer-only sampling either way. */
+            bool counters = true;
+        } profiler{};
     };
 
     /** Default Config: deployed pipeline, 2 workers, queue 256. */
@@ -210,6 +227,9 @@ class LivePhaseService
 
     /** Build + start the SLO watchdog (when cfg.watchdog.enabled). */
     void initWatchdog();
+
+    /** Start the global profiling plane when cfg.profiler asks. */
+    void initProfiler();
 
     /** Phase-telemetry response body for QueryPhases. */
     std::string phasesText(uint64_t session_id,

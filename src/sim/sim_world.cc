@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "fault/failpoint.hh"
 #include "obs/phase_telemetry.hh"
+#include "obs/profiler.hh"
 #include "obs/timeseries.hh"
 #include "obs/watchdog.hh"
 #include "service/client.hh"
@@ -184,9 +185,15 @@ struct World
     void resetGlobals()
     {
         // In-process replay hygiene: a second run must see the same
-        // process-global state as the first. Windowed series keep
-        // their registrations (handed-out references stay valid)
-        // but lose all cells and the rotation anchor.
+        // process-global state as the first. The profiling plane
+        // must be silent before the virtual clock takes over —
+        // start() refuses under virtual time, but a profiler some
+        // earlier test left running would still be writing real
+        // TSC/PMC state mid-simulation.
+        obs::Profiler::global().stop();
+        // Windowed series keep their registrations (handed-out
+        // references stay valid) but lose all cells and the
+        // rotation anchor.
         obs::TimeSeriesRegistry::global().resetAllForTest();
         obs::PhaseTelemetry::global().resetForTest();
         auto &faults = fault::FailpointRegistry::global();
